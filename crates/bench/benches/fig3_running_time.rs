@@ -1,0 +1,43 @@
+//! Fig. 3 — running time of the solvers on configuration C1.
+//!
+//! Criterion counterpart of `experiments fig3`: measures each solver's
+//! wall-clock solve time on the NetHEPT stand-in at budget 10. The paper's
+//! headline shape — SeqGRD-NM orders of magnitude faster than the
+//! marginal-computing algorithms, greedyWM/Balance-C slowest — should be
+//! visible directly in the Criterion report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cwelmax_bench::{network, Scale};
+use cwelmax_core::baselines::{BalanceC, CandidatePool, GreedyWm, Tcim};
+use cwelmax_core::prelude::*;
+use cwelmax_graph::generators::benchmark::Network;
+use cwelmax_utility::configs::{self, TwoItemConfig};
+
+fn bench(c: &mut Criterion) {
+    let g = network(Network::NetHept, Scale::Quick);
+    let problem = Problem::new((*g).clone(), configs::two_item_config(TwoItemConfig::C1))
+        .with_uniform_budget(10)
+        .with_sim(Scale::Quick.solver_sim())
+        .with_imm(Scale::Quick.imm());
+
+    let mut group = c.benchmark_group("fig3_running_time");
+    group.sample_size(10);
+    group.bench_function("SeqGRD-NM", |b| {
+        b.iter(|| SeqGrd::new(SeqGrdMode::NoMarginal).solve(&problem))
+    });
+    group.bench_function("SeqGRD", |b| {
+        b.iter(|| SeqGrd::new(SeqGrdMode::Marginal).solve(&problem))
+    });
+    group.bench_function("MaxGRD", |b| b.iter(|| MaxGrd.solve(&problem)));
+    group.bench_function("TCIM", |b| b.iter(|| Tcim.solve(&problem)));
+    group.bench_function("greedyWM(top30)", |b| {
+        b.iter(|| GreedyWm::new(CandidatePool::TopDegree(30)).solve(&problem))
+    });
+    group.bench_function("Balance-C(top30)", |b| {
+        b.iter(|| BalanceC::with_candidates(Some(30)).solve(&problem))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Fig. 4 — solver cost across the four two-item utility configurations on
+//! the Douban-Movie stand-in. (Welfare values themselves are produced by
+//! `experiments fig4`; Criterion tracks the time dimension per config.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cwelmax_bench::{network, Scale};
+use cwelmax_core::prelude::*;
+use cwelmax_graph::generators::benchmark::Network;
+use cwelmax_utility::configs::{self, TwoItemConfig};
+
+fn bench(c: &mut Criterion) {
+    let g = network(Network::DoubanMovie, Scale::Quick);
+    let mut group = c.benchmark_group("fig4_configs");
+    group.sample_size(10);
+    for cfg in [
+        TwoItemConfig::C1,
+        TwoItemConfig::C2,
+        TwoItemConfig::C3,
+        TwoItemConfig::C4,
+    ] {
+        let problem = Problem::new((*g).clone(), configs::two_item_config(cfg))
+            .with_uniform_budget(10)
+            .with_sim(Scale::Quick.solver_sim())
+            .with_imm(Scale::Quick.imm());
+        group.bench_with_input(
+            BenchmarkId::new("SeqGRD-NM", format!("{cfg:?}")),
+            &problem,
+            |b, p| b.iter(|| SeqGrd::new(SeqGrdMode::NoMarginal).solve(p)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("SeqGRD", format!("{cfg:?}")),
+            &problem,
+            |b, p| b.iter(|| SeqGrd::new(SeqGrdMode::Marginal).solve(p)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Fig. 5(c)/(d) — SupGRD vs SeqGRD-NM running time on the large-network
+//! stand-ins under C5/C6 with IMM-fixed inferior seeds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cwelmax_bench::{network, Scale};
+use cwelmax_core::prelude::*;
+use cwelmax_diffusion::Allocation;
+use cwelmax_graph::generators::benchmark::Network;
+use cwelmax_rrset::imm::imm_select;
+use cwelmax_rrset::StandardRr;
+use cwelmax_utility::configs::{self, SupConfig};
+
+fn bench(c: &mut Criterion) {
+    let g = network(Network::Orkut, Scale::Quick);
+    let top = imm_select(&g, &StandardRr, 20, &Scale::Quick.imm());
+    let fixed = Allocation::from_item_seeds(1, &top.seeds);
+
+    let mut group = c.benchmark_group("fig5_supgrd");
+    group.sample_size(10);
+    for cfg in [SupConfig::C5, SupConfig::C6] {
+        let problem = Problem::new((*g).clone(), configs::supgrd_config(cfg))
+            .with_budgets(vec![20, 0])
+            .with_fixed_allocation(fixed.clone())
+            .with_sim(Scale::Quick.solver_sim())
+            .with_imm(Scale::Quick.imm());
+        group.bench_with_input(
+            BenchmarkId::new("SupGRD", format!("{cfg:?}")),
+            &problem,
+            |b, p| b.iter(|| SupGrd.solve(p)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("SeqGRD-NM", format!("{cfg:?}")),
+            &problem,
+            |b, p| b.iter(|| SeqGrd::new(SeqGrdMode::NoMarginal).solve(p)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Fig. 6(a) — running time vs number of items, and Fig. 6(d) — SeqGRD-NM
+//! scalability over BFS subgraphs of the Orkut stand-in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cwelmax_bench::{network, Scale};
+use cwelmax_core::prelude::*;
+use cwelmax_graph::generators::benchmark::Network;
+use cwelmax_graph::{subgraph, ProbabilityModel};
+use cwelmax_utility::configs;
+
+fn bench_items(c: &mut Criterion) {
+    let g = network(Network::NetHept, Scale::Quick);
+    let mut group = c.benchmark_group("fig6a_items");
+    group.sample_size(10);
+    for m in 1..=5usize {
+        let problem = Problem::new((*g).clone(), configs::multi_item_pure_competition(m))
+            .with_uniform_budget(10)
+            .with_sim(Scale::Quick.solver_sim())
+            .with_imm(Scale::Quick.imm());
+        group.bench_with_input(BenchmarkId::new("SeqGRD-NM", m), &problem, |b, p| {
+            b.iter(|| SeqGrd::new(SeqGrdMode::NoMarginal).solve(p))
+        });
+        group.bench_with_input(BenchmarkId::new("SeqGRD", m), &problem, |b, p| {
+            b.iter(|| SeqGrd::new(SeqGrdMode::Marginal).solve(p))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scalability(c: &mut Criterion) {
+    let g = network(Network::Orkut, Scale::Quick);
+    let mut group = c.benchmark_group("fig6d_scalability");
+    group.sample_size(10);
+    for pct in [50usize, 75, 100] {
+        let sub = subgraph::bfs_fraction(
+            &g,
+            0,
+            pct as f64 / 100.0,
+            ProbabilityModel::WeightedCascade,
+        );
+        let problem = Problem::new(sub.graph, configs::multi_item_pure_competition(3))
+            .with_uniform_budget(10)
+            .with_sim(Scale::Quick.solver_sim())
+            .with_imm(Scale::Quick.imm());
+        group.bench_with_input(BenchmarkId::new("SeqGRD-NM", pct), &problem, |b, p| {
+            b.iter(|| SeqGrd::new(SeqGrdMode::NoMarginal).solve(p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_items, bench_scalability);
+criterion_main!(benches);

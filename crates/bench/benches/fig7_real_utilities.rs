@@ -1,0 +1,34 @@
+//! Fig. 7(a)/(b) — running time under the real (Table-5) utility
+//! configuration with four genres, plus Table 6's assignment baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cwelmax_bench::{network, Scale};
+use cwelmax_core::baselines::{RoundRobin, Snake, Tcim};
+use cwelmax_core::prelude::*;
+use cwelmax_graph::generators::benchmark::Network;
+use cwelmax_utility::configs;
+
+fn bench(c: &mut Criterion) {
+    let g = network(Network::NetHept, Scale::Quick);
+    let problem = Problem::new((*g).clone(), configs::lastfm())
+        .with_uniform_budget(10)
+        .with_sim(Scale::Quick.solver_sim())
+        .with_imm(Scale::Quick.imm());
+
+    let mut group = c.benchmark_group("fig7_real_utilities");
+    group.sample_size(10);
+    group.bench_function("SeqGRD-NM", |b| {
+        b.iter(|| SeqGrd::new(SeqGrdMode::NoMarginal).solve(&problem))
+    });
+    group.bench_function("SeqGRD", |b| {
+        b.iter(|| SeqGrd::new(SeqGrdMode::Marginal).solve(&problem))
+    });
+    group.bench_function("MaxGRD", |b| b.iter(|| MaxGrd.solve(&problem)));
+    group.bench_function("TCIM", |b| b.iter(|| Tcim.solve(&problem)));
+    group.bench_function("Round-robin", |b| b.iter(|| RoundRobin.solve(&problem)));
+    group.bench_function("Snake", |b| b.iter(|| Snake.solve(&problem)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Experiment driver: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments [EXPERIMENT] [--scale quick|full] [--out DIR]
+//!
+//! EXPERIMENT: all | table1 | table2 | gadget | fig3 | fig4 | fig5 |
+//!             fig6ab | fig6c | fig6d | fig7 | table6      (default: all)
+//! --scale:    quick (minutes, miniature networks — default)
+//!             full  (Table-2 networks, paper sampling)
+//! --out:      directory for per-experiment JSON (default: results/)
+//! ```
+
+use cwelmax_bench::{experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "all".to_string();
+    let mut scale = Scale::Quick;
+    let mut out_dir = "results".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| Scale::parse(s))
+                    .unwrap_or_else(|| die("--scale expects quick|full"));
+            }
+            "--out" => {
+                i += 1;
+                out_dir = args.get(i).cloned().unwrap_or_else(|| die("--out expects a dir"));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: experiments [all|table1|table2|gadget|fig3|fig4|fig5|fig6ab|fig6c|fig6d|fig7|table6] \
+                     [--scale quick|full] [--out DIR]"
+                );
+                return;
+            }
+            other => which = other.to_string(),
+        }
+        i += 1;
+    }
+
+    let started = std::time::Instant::now();
+    eprintln!("running experiment(s) `{which}` at {scale:?} scale…");
+    let results = experiments::run(&which, scale);
+    if results.is_empty() {
+        die(&format!("unknown experiment `{which}`"));
+    }
+    for r in &results {
+        println!("{}", r.to_markdown());
+        if let Err(e) = r.save_json(&out_dir) {
+            eprintln!("warning: could not save {}: {e}", r.id);
+        }
+    }
+    eprintln!(
+        "done: {} experiment(s) in {:.1}s; JSON under {out_dir}/",
+        results.len(),
+        started.elapsed().as_secs_f64()
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,652 @@
+//! One function per paper table/figure. Each returns an
+//! [`ExperimentResult`] that the `experiments` binary prints and persists;
+//! EXPERIMENTS.md records the measured outputs next to the paper's.
+
+use crate::harness::{self, network, Scale};
+use crate::report::{fmt, fmt_secs, ExperimentResult};
+use cwelmax_core::baselines::{BalanceC, CandidatePool, GreedyWm, RoundRobin, Snake, Tcim};
+use cwelmax_core::prelude::*;
+use cwelmax_diffusion::Allocation;
+use cwelmax_graph::generators::benchmark::Network;
+use cwelmax_graph::generators::gadget;
+use cwelmax_graph::stats::GraphStats;
+use cwelmax_graph::subgraph;
+use cwelmax_rrset::imm::imm_select;
+use cwelmax_rrset::StandardRr;
+use cwelmax_utility::configs::{self, SupConfig, TwoItemConfig};
+use cwelmax_utility::ItemSet;
+
+/// Table 2: network statistics.
+pub fn table2(scale: Scale) -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "table2",
+        "Network statistics (generated stand-ins; see DESIGN.md substitutions)",
+        &["network", "# nodes", "# arcs", "avg deg", "type"],
+    );
+    for net in [
+        Network::NetHept,
+        Network::DoubanBook,
+        Network::DoubanMovie,
+        Network::Orkut,
+        Network::Twitter,
+    ] {
+        let g = network(net, scale);
+        let s = GraphStats::of(&g);
+        r.push_row(vec![
+            net.name().into(),
+            s.num_nodes.to_string(),
+            s.num_edges.to_string(),
+            fmt(s.avg_out_degree),
+            if s.is_symmetric { "undirected".into() } else { "directed".into() },
+        ]);
+    }
+    r.note(
+        "Paper: 15.2K/23.3K/34.9K/3.07M/41.7M nodes, avg degrees \
+         4.13/6.5/7.9/77.5/70.5. NetHEPT & Douban match at full scale; \
+         Orkut/Twitter are scaled-down PA graphs with matched degree shape.",
+    );
+    r
+}
+
+fn fig3_budgets(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Quick => vec![10, 30, 50],
+        Scale::Full => vec![10, 30, 50],
+    }
+}
+
+/// Fig. 3: running time of all algorithms on C1 across four networks.
+pub fn fig3(scale: Scale) -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "fig3",
+        "Running time (s), configuration C1",
+        &["network", "budget", "greedyWM", "Balance-C", "TCIM", "MaxGRD", "SeqGRD", "SeqGRD-NM"],
+    );
+    let nets = [
+        Network::NetHept,
+        Network::DoubanBook,
+        Network::DoubanMovie,
+        Network::Orkut,
+    ];
+    for net in nets {
+        let g = network(net, scale);
+        // the paper's greedyWM/Balance-C do not finish on Orkut in 6h; we
+        // reproduce the same cut (and cap their candidate pools elsewhere)
+        let run_slow = net != Network::Orkut;
+        for &b in &fig3_budgets(scale) {
+            let p = harness::problem(&g, configs::two_item_config(TwoItemConfig::C1), scale)
+                .with_uniform_budget(b);
+            let mut row = vec![net.name().to_string(), b.to_string()];
+            if run_slow {
+                let pool = harness::spread_pool(&g, (2 * b + 20).min(60), scale);
+                let bc_pool: Vec<_> = pool.iter().copied().take(30).collect();
+                row.push(fmt_secs(
+                    GreedyWm::new(CandidatePool::Nodes(pool)).solve(&p).elapsed,
+                ));
+                row.push(fmt_secs(BalanceC::with_pool(bc_pool).solve(&p).elapsed));
+            } else {
+                row.push("—".into());
+                row.push("—".into());
+            }
+            row.push(fmt_secs(Tcim.solve(&p).elapsed));
+            row.push(fmt_secs(MaxGrd.solve(&p).elapsed));
+            row.push(fmt_secs(SeqGrd::new(SeqGrdMode::Marginal).solve(&p).elapsed));
+            row.push(fmt_secs(SeqGrd::new(SeqGrdMode::NoMarginal).solve(&p).elapsed));
+            r.push_row(row);
+        }
+    }
+    r.note(
+        "Expected shape (paper Fig. 3): SeqGRD-NM orders of magnitude \
+         fastest; greedyWM/Balance-C slowest (and absent on Orkut); \
+         marginal-computing algorithms dominated by simulation cost. \
+         greedyWM/Balance-C run with an IMM-spread candidate pool \
+         (documented deviation; the unpruned variants exist in the API).",
+    );
+    r
+}
+
+/// Fig. 4: expected social welfare on Douban-Movie under C1–C4.
+pub fn fig4(scale: Scale) -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "fig4",
+        "Expected social welfare on Douban-Movie, configurations C1–C4",
+        &["config", "budget(s)", "greedyWM", "Balance-C", "TCIM", "MaxGRD", "SeqGRD", "SeqGRD-NM"],
+    );
+    let g = network(Network::DoubanMovie, scale);
+    let budgets: Vec<usize> = match scale {
+        Scale::Quick => vec![10, 30, 50],
+        Scale::Full => vec![10, 20, 30, 40, 50],
+    };
+    let eval =
+        |p: &Problem, a: &Allocation| fmt(harness::evaluate(p, a, scale));
+    // spread-based candidate pools; Balance-C re-evaluates its whole pool
+    // every round (no lazy evaluation exists for its objective), so its
+    // pool must stay small to keep the baseline runnable
+    let pool = harness::spread_pool(&g, 60, scale);
+    let bc_pool: Vec<_> = pool.iter().copied().take(30).collect();
+    // the paper's greedyWM/Balance-C are too slow beyond Quick scale
+    let run_slow = scale == Scale::Quick;
+    for cfg in [
+        TwoItemConfig::C1,
+        TwoItemConfig::C2,
+        TwoItemConfig::C3,
+        TwoItemConfig::C4,
+    ] {
+        let budget_pairs: Vec<(usize, usize)> = if cfg == TwoItemConfig::C4 {
+            // non-uniform: b_i = 50 fixed, b_j varies (paper: 30..110)
+            match scale {
+                Scale::Quick => vec![(50, 30), (50, 70), (50, 110)],
+                Scale::Full => vec![(50, 30), (50, 50), (50, 70), (50, 90), (50, 110)],
+            }
+        } else {
+            budgets.iter().map(|&b| (b, b)).collect()
+        };
+        for (bi, bj) in budget_pairs {
+            let p = harness::problem(&g, configs::two_item_config(cfg), scale)
+                .with_budgets(vec![bi, bj]);
+            let label = if bi == bj { bi.to_string() } else { format!("{bi}/{bj}") };
+            let (gw, bc) = if run_slow {
+                (
+                    eval(
+                        &p,
+                        &GreedyWm::new(CandidatePool::Nodes(pool.clone())).solve(&p).allocation,
+                    ),
+                    eval(&p, &BalanceC::with_pool(bc_pool.clone()).solve(&p).allocation),
+                )
+            } else {
+                ("—".into(), "—".into())
+            };
+            r.push_row(vec![
+                format!("{cfg:?}"),
+                label,
+                gw,
+                bc,
+                eval(&p, &Tcim.solve(&p).allocation),
+                eval(&p, &MaxGrd.solve(&p).allocation),
+                eval(&p, &SeqGrd::new(SeqGrdMode::Marginal).solve(&p).allocation),
+                eval(&p, &SeqGrd::new(SeqGrdMode::NoMarginal).solve(&p).allocation),
+            ]);
+        }
+    }
+    r.note(
+        "Expected shape (paper Fig. 4): SeqGRD ≈ SeqGRD-NM ≈ greedyWM on \
+         top; MaxGRD markedly worse under soft competition (C3/C4, it \
+         allocates one item); TCIM/Balance-C below the welfare-aware \
+         algorithms, with Balance-C dropping further under the non-uniform \
+         budgets of C4. Balance-C's small candidate pool saturates at high \
+         budgets (flat rows) — the price of keeping the unprunable plain \
+         greedy runnable.",
+    );
+    r
+}
+
+/// Fig. 5: SupGRD vs SeqGRD-NM on the two largest networks, C5/C6
+/// (inferior item fixed on IMM top seeds).
+pub fn fig5(scale: Scale) -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "fig5",
+        "SupGRD vs SeqGRD-NM on Orkut/Twitter, C5 & C6 (welfare and time)",
+        &[
+            "network",
+            "config",
+            "budget",
+            "SupGRD welfare",
+            "SeqGRD-NM welfare",
+            "SupGRD time (s)",
+            "SeqGRD-NM time (s)",
+        ],
+    );
+    let inferior_seeds = match scale {
+        Scale::Quick => 20,
+        Scale::Full => 50,
+    };
+    let budgets: Vec<usize> = match scale {
+        Scale::Quick => vec![10, 30, 50],
+        Scale::Full => vec![10, 20, 30, 40, 50],
+    };
+    for net in [Network::Orkut, Network::Twitter] {
+        let g = network(net, scale);
+        let top = imm_select(&g, &StandardRr, inferior_seeds, &scale.imm());
+        let fixed = Allocation::from_item_seeds(1, &top.seeds);
+        for cfg in [SupConfig::C5, SupConfig::C6] {
+            for &b in &budgets {
+                let p = harness::problem(&g, configs::supgrd_config(cfg), scale)
+                    .with_budgets(vec![b, 0])
+                    .with_fixed_allocation(fixed.clone());
+                let sup = SupGrd.solve(&p);
+                let seq = SeqGrd::new(SeqGrdMode::NoMarginal).solve(&p);
+                r.push_row(vec![
+                    net.name().into(),
+                    format!("{cfg:?}"),
+                    b.to_string(),
+                    fmt(harness::evaluate(&p, &sup.allocation, scale)),
+                    fmt(harness::evaluate(&p, &seq.allocation, scale)),
+                    fmt_secs(sup.elapsed),
+                    fmt_secs(seq.elapsed),
+                ]);
+            }
+        }
+    }
+    r.note(
+        "Expected shape (paper Fig. 5): comparable welfare on C5 (near-tied \
+         utilities); SupGRD clearly ahead on C6 (it re-contests the top \
+         spreaders that PRIMA+'s marginal sampling avoids); running times \
+         within ~2× of each other.",
+    );
+    r
+}
+
+/// Fig. 6(a)/(b): impact of the number of items on time and welfare.
+pub fn fig6ab(scale: Scale) -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "fig6ab",
+        "Multi-item: running time and welfare vs number of items (NetHEPT)",
+        &[
+            "# items",
+            "greedyWM t(s)",
+            "TCIM t(s)",
+            "MaxGRD t(s)",
+            "SeqGRD t(s)",
+            "SeqGRD-NM t(s)",
+            "greedyWM ρ",
+            "TCIM ρ",
+            "MaxGRD ρ",
+            "SeqGRD ρ",
+            "SeqGRD-NM ρ",
+        ],
+    );
+    let g = network(Network::NetHept, scale);
+    let budget = match scale {
+        Scale::Quick => 10,
+        Scale::Full => 50,
+    };
+    let pool = harness::spread_pool(&g, (5 * budget + 20).min(70), scale);
+    for m in 1..=5usize {
+        let p = harness::problem(&g, configs::multi_item_pure_competition(m), scale)
+            .with_uniform_budget(budget);
+        let gw = GreedyWm::new(CandidatePool::Nodes(pool.clone())).solve(&p);
+        let tc = Tcim.solve(&p);
+        let mx = MaxGrd.solve(&p);
+        let sq = SeqGrd::new(SeqGrdMode::Marginal).solve(&p);
+        let nm = SeqGrd::new(SeqGrdMode::NoMarginal).solve(&p);
+        r.push_row(vec![
+            m.to_string(),
+            fmt_secs(gw.elapsed),
+            fmt_secs(tc.elapsed),
+            fmt_secs(mx.elapsed),
+            fmt_secs(sq.elapsed),
+            fmt_secs(nm.elapsed),
+            fmt(harness::evaluate(&p, &gw.allocation, scale)),
+            fmt(harness::evaluate(&p, &tc.allocation, scale)),
+            fmt(harness::evaluate(&p, &mx.allocation, scale)),
+            fmt(harness::evaluate(&p, &sq.allocation, scale)),
+            fmt(harness::evaluate(&p, &nm.allocation, scale)),
+        ]);
+    }
+    r.note(
+        "Expected shape (paper Fig. 6a/b): marginal-checking algorithms' \
+         time grows steeply with the item count while SeqGRD-NM stays \
+         nearly flat; TCIM and MaxGRD welfare plateaus (one item's worth) \
+         while SeqGRD/SeqGRD-NM/greedyWM welfare grows with items.",
+    );
+    r
+}
+
+/// Fig. 6(c): the marginal check under engineered item blocking (Table 4).
+pub fn fig6c(scale: Scale) -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "fig6c",
+        "Effect of the marginal check (Table-4 configuration, NetHEPT)",
+        &["budget of j,k", "SeqGRD ρ", "SeqGRD-NM ρ"],
+    );
+    let g = network(Network::NetHept, scale);
+    let (bi, bjk): (usize, Vec<usize>) = match scale {
+        Scale::Quick => (50, vec![10, 30, 50]),
+        Scale::Full => (500, vec![100, 200, 300, 400, 500]),
+    };
+    for &b in &bjk {
+        let p = harness::problem(&g, configs::three_item_blocking(), scale)
+            .with_budgets(vec![bi, b, b]);
+        let full = SeqGrd::new(SeqGrdMode::Marginal).solve(&p);
+        let nm = SeqGrd::new(SeqGrdMode::NoMarginal).solve(&p);
+        r.push_row(vec![
+            b.to_string(),
+            fmt(harness::evaluate(&p, &full.allocation, scale)),
+            fmt(harness::evaluate(&p, &nm.allocation, scale)),
+        ]);
+    }
+    r.note(
+        "Expected shape (paper Fig. 6c): SeqGRD ≥ SeqGRD-NM, with the gap \
+         widening as the blocking items' budgets grow.",
+    );
+    r
+}
+
+/// Fig. 6(d): SeqGRD-NM scalability over BFS subgraphs of Orkut.
+pub fn fig6d(scale: Scale) -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "fig6d",
+        "SeqGRD-NM scalability on Orkut BFS subgraphs (3 items, two edge models)",
+        &["% nodes", "time 1/din (s)", "time p=0.01 (s)"],
+    );
+    let g = network(Network::Orkut, scale);
+    let budget = match scale {
+        Scale::Quick => 10,
+        Scale::Full => 50,
+    };
+    for pct in [50, 60, 70, 80, 90, 100] {
+        let frac = pct as f64 / 100.0;
+        let sub_wc = subgraph::bfs_fraction(
+            &g,
+            0,
+            frac,
+            cwelmax_graph::ProbabilityModel::WeightedCascade,
+        );
+        let sub_const =
+            subgraph::bfs_fraction(&g, 0, frac, cwelmax_graph::ProbabilityModel::Constant(0.01));
+        let mut row = vec![pct.to_string()];
+        for sub in [sub_wc, sub_const] {
+            let p = Problem::new(sub.graph, configs::multi_item_pure_competition(3))
+                .with_uniform_budget(budget)
+                .with_sim(scale.solver_sim())
+                .with_imm(scale.imm());
+            let s = SeqGrd::new(SeqGrdMode::NoMarginal).solve(&p);
+            row.push(fmt_secs(s.elapsed));
+        }
+        r.push_row(row);
+    }
+    r.note(
+        "Expected shape (paper Fig. 6d): roughly linear growth of running \
+         time with the subgraph size under both edge-probability models.",
+    );
+    r
+}
+
+/// Fig. 7: real (Table-5) utilities on NetHEPT and Orkut.
+pub fn fig7(scale: Scale) -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "fig7",
+        "Real (Last.fm-learned) utilities: time and welfare, 4 genres",
+        &[
+            "network",
+            "budget",
+            "TCIM t(s)",
+            "MaxGRD t(s)",
+            "SeqGRD t(s)",
+            "SeqGRD-NM t(s)",
+            "TCIM ρ",
+            "MaxGRD ρ",
+            "SeqGRD ρ",
+            "SeqGRD-NM ρ",
+        ],
+    );
+    let budgets: Vec<usize> = match scale {
+        Scale::Quick => vec![10, 40],
+        Scale::Full => vec![10, 20, 30, 40],
+    };
+    for net in [Network::NetHept, Network::Orkut] {
+        let g = network(net, scale);
+        for &b in &budgets {
+            let p = harness::problem(&g, configs::lastfm(), scale).with_uniform_budget(b);
+            let tc = Tcim.solve(&p);
+            let mx = MaxGrd.solve(&p);
+            let sq = SeqGrd::new(SeqGrdMode::Marginal).solve(&p);
+            let nm = SeqGrd::new(SeqGrdMode::NoMarginal).solve(&p);
+            r.push_row(vec![
+                net.name().into(),
+                b.to_string(),
+                fmt_secs(tc.elapsed),
+                fmt_secs(mx.elapsed),
+                fmt_secs(sq.elapsed),
+                fmt_secs(nm.elapsed),
+                fmt(harness::evaluate(&p, &tc.allocation, scale)),
+                fmt(harness::evaluate(&p, &mx.allocation, scale)),
+                fmt(harness::evaluate(&p, &sq.allocation, scale)),
+                fmt(harness::evaluate(&p, &nm.allocation, scale)),
+            ]);
+        }
+    }
+    r.note(
+        "Expected shape (paper Fig. 7): SeqGRD-NM fastest by orders of \
+         magnitude; SeqGRD ≈ SeqGRD-NM welfare (pure competition ⇒ the \
+         marginal check rarely fires); TCIM/MaxGRD welfare clearly lower \
+         with 4 items in play.",
+    );
+    r
+}
+
+/// Table 6: adoption counts and welfare — Round-robin vs Snake vs
+/// SeqGRD-NM, real + synthetic configurations.
+pub fn table6(scale: Scale) -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "table6",
+        "Adoption counts per item and welfare (RR / Snake / SeqGRD-NM)",
+        &["network", "budget", "config", "algorithm", "adoptions per item", "total", "welfare"],
+    );
+    let budgets: Vec<usize> = vec![10, 40];
+    let nets = [Network::NetHept, Network::Orkut];
+    for net in nets {
+        let g = network(net, scale);
+        for &b in &budgets {
+            for (cfg_name, model) in [
+                ("real (Table 5)", configs::lastfm()),
+                ("synthetic (Table 4)", configs::three_item_blocking()),
+            ] {
+                let p = harness::problem(&g, model, scale).with_uniform_budget(b);
+                for (name, alloc) in [
+                    ("RR", RoundRobin.solve(&p).allocation),
+                    ("Snake", Snake.solve(&p).allocation),
+                    ("SGRD-NM", SeqGrd::new(SeqGrdMode::NoMarginal).solve(&p).allocation),
+                ] {
+                    let rep = harness::evaluate_report(&p, &alloc, scale);
+                    let counts: Vec<String> =
+                        rep.adoption_counts.iter().map(|c| format!("{c:.0}")).collect();
+                    r.push_row(vec![
+                        net.name().into(),
+                        b.to_string(),
+                        cfg_name.into(),
+                        name.into(),
+                        counts.join(" / "),
+                        format!("{:.0}", rep.total_adoptions()),
+                        fmt(rep.welfare),
+                    ]);
+                }
+            }
+        }
+    }
+    r.note(
+        "Expected shape (paper Table 6): total adoptions nearly identical \
+         across the three algorithms; SeqGRD-NM shifts adoptions toward the \
+         superior item (largest drop on the most inferior one) and achieves \
+         the highest welfare.",
+    );
+    r
+}
+
+/// Table 1: the hardness utility configuration, with the c = 0.4 gap
+/// inequalities verified.
+pub fn table1() -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "table1",
+        "Hardness utility configuration (Theorem 2)",
+        &["bundle", "value", "price", "utility"],
+    );
+    let m = configs::hardness_table1();
+    for s in cwelmax_utility::itemset::all_itemsets(4) {
+        r.push_row(vec![
+            if s.is_empty() { "∅".into() } else { s.to_string() },
+            fmt(m.value_fn().value(s)),
+            fmt(m.price(s)),
+            fmt(m.deterministic_utility(s)),
+        ]);
+    }
+    let c = 0.4;
+    let u23 = m.deterministic_utility(ItemSet::from_items([1, 2]));
+    let u14 = m.deterministic_utility(ItemSet::from_items([0, 3]));
+    let u4 = m.deterministic_utility(ItemSet::singleton(3));
+    r.note(format!(
+        "gap inequalities for c = {c}: U({{i2,i3}}) = {u23} < c/4·U({{i1,i4}}) = {:.2} ✓;  \
+         c·U(i4) = {:.2} > U({{i2,i3}}) ✓; V monotone = {}, submodular = {}",
+        c / 4.0 * u14,
+        c * u4,
+        m.value_fn().is_monotone(),
+        m.value_fn().is_submodular(),
+    ));
+    r
+}
+
+/// The Theorem-2 gadget welfare gap, executed.
+pub fn gadget_gap() -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "gadget",
+        "SET-COVER reduction welfare gap (Theorem 2, N = 60)",
+        &["instance", "i1 seeding", "welfare", "threshold c·N²·U({i1,i4})", "verdict"],
+    );
+    let copies = 60;
+    let d = 60;
+    for (label, sc) in [
+        ("YES (k=2)", gadget::example_yes_instance()),
+        ("NO (k=1)", gadget::example_no_instance()),
+    ] {
+        let k = sc.k;
+        let gi = gadget::build_gadget(sc, copies, d);
+        let mut fixed = Allocation::new();
+        for &a in &gi.a_nodes {
+            fixed.add(a, 1);
+        }
+        for &b in &gi.b_nodes {
+            fixed.add(b, 2);
+        }
+        for &j in &gi.j_nodes {
+            fixed.add(j, 3);
+        }
+        let p = Problem::new(gi.graph.clone(), configs::hardness_table1())
+            .with_budgets(vec![k, 0, 0, 0])
+            .with_fixed_allocation(fixed)
+            .with_mc_samples(1);
+        // best k-subset of s nodes (exhaustive on the tiny instance)
+        let r_sets = gi.s_nodes.len();
+        let mut best = f64::NEG_INFINITY;
+        for_each_k_subset(r_sets, k, &mut |subset| {
+            let alloc = Allocation::from_pairs(subset.iter().map(|&s| (gi.s_nodes[s], 0)));
+            best = best.max(p.evaluate(&alloc));
+        });
+        let n_d = (gi.copies * gi.d_per_copy) as f64;
+        let u14 = p.model.deterministic_utility(ItemSet::from_items([0, 3]));
+        let threshold = 0.4 * n_d * u14;
+        r.push_row(vec![
+            label.into(),
+            format!("best of C({r_sets},{k}) s-subsets"),
+            fmt(best),
+            fmt(threshold),
+            if best > threshold { "ABOVE → YES".into() } else { "below → NO".into() },
+        ]);
+    }
+    r.note("A constant-factor approximation would separate the rows — hence none exists unless P = NP.");
+    r
+}
+
+/// **Extension** (§7 future work): the mixed competition/complementarity
+/// setting, with the BundleGRD strategy of [6] against the competitive
+/// algorithms, plus fairness metrics over the adoption distribution.
+pub fn ext_mixed(scale: Scale) -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "ext_mixed",
+        "Extension: mixed competition + complementarity (i0,i1 complements; i2 competitor)",
+        &["algorithm", "welfare", "adoptions per item", "min share", "Gini", "Jain"],
+    );
+    let g = network(Network::NetHept, scale);
+    let budget = match scale {
+        Scale::Quick => 10,
+        Scale::Full => 50,
+    };
+    let p = harness::problem(&g, configs::mixed_interaction(), scale).with_uniform_budget(budget);
+    for (name, alloc) in [
+        ("SeqGRD-NM", SeqGrd::new(SeqGrdMode::NoMarginal).solve(&p).allocation),
+        ("SeqGRD", SeqGrd::new(SeqGrdMode::Marginal).solve(&p).allocation),
+        ("MaxGRD", MaxGrd.solve(&p).allocation),
+        ("BundleGRD", cwelmax_core::baselines::BundleGrd.solve(&p).allocation),
+        ("TCIM", Tcim.solve(&p).allocation),
+        ("Round-robin", RoundRobin.solve(&p).allocation),
+    ] {
+        let rep = harness::evaluate_report(&p, &alloc, scale);
+        let fair = cwelmax_diffusion::FairnessReport::of(&rep);
+        let counts: Vec<String> = rep.adoption_counts.iter().map(|c| format!("{c:.0}")).collect();
+        r.push_row(vec![
+            name.into(),
+            fmt(rep.welfare),
+            counts.join(" / "),
+            fmt(fair.min_share),
+            fmt(fair.gini),
+            fmt(fair.jain_index),
+        ]);
+    }
+    r.note(
+        "Extension beyond the paper: with a complementary pair in the mix, \
+         co-locating the complements (BundleGRD, from the predecessor paper \
+         [6]) beats the competition-oriented allocators, while the \
+         competitor item i2 is starved — visible in the fairness columns. \
+         None of the paper's guarantees apply here (V is not submodular); \
+         this is the §7 open problem made runnable.",
+    );
+    r
+}
+
+/// Visit every k-subset of `0..r`.
+fn for_each_k_subset(r: usize, k: usize, f: &mut impl FnMut(&[usize])) {
+    fn rec(r: usize, k: usize, start: usize, cur: &mut Vec<usize>, f: &mut impl FnMut(&[usize])) {
+        if cur.len() == k {
+            f(cur);
+            return;
+        }
+        for s in start..r {
+            cur.push(s);
+            rec(r, k, s + 1, cur, f);
+            cur.pop();
+        }
+    }
+    rec(r, k, 0, &mut Vec::new(), f);
+}
+
+/// Run the experiment(s) named by `which` ("all" for everything).
+pub fn run(which: &str, scale: Scale) -> Vec<ExperimentResult> {
+    let mut out = Vec::new();
+    let all = which == "all";
+    if all || which == "table2" {
+        out.push(table2(scale));
+    }
+    if all || which == "table1" {
+        out.push(table1());
+    }
+    if all || which == "gadget" {
+        out.push(gadget_gap());
+    }
+    if all || which == "fig3" {
+        out.push(fig3(scale));
+    }
+    if all || which == "fig4" {
+        out.push(fig4(scale));
+    }
+    if all || which == "fig5" {
+        out.push(fig5(scale));
+    }
+    if all || which == "fig6ab" {
+        out.push(fig6ab(scale));
+    }
+    if all || which == "fig6c" {
+        out.push(fig6c(scale));
+    }
+    if all || which == "fig6d" {
+        out.push(fig6d(scale));
+    }
+    if all || which == "fig7" {
+        out.push(fig7(scale));
+    }
+    if all || which == "table6" {
+        out.push(table6(scale));
+    }
+    if all || which == "ext" {
+        out.push(ext_mixed(scale));
+    }
+    out
+}

@@ -1,0 +1,143 @@
+//! Shared experiment plumbing: network cache, scales, solver registry.
+
+use cwelmax_core::prelude::*;
+use cwelmax_diffusion::SimulationConfig;
+use cwelmax_graph::generators::benchmark::Network;
+use cwelmax_graph::Graph;
+use cwelmax_rrset::ImmParams;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Miniature networks, light Monte Carlo — minutes end to end.
+    Quick,
+    /// Table-2-matched networks, heavier sampling — hours end to end.
+    Full,
+}
+
+impl Scale {
+    /// Parse from a CLI argument.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "quick" => Some(Scale::Quick),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// Monte-Carlo samples for welfare evaluation at this scale (the paper
+    /// uses 5000).
+    pub fn eval_samples(self) -> usize {
+        match self {
+            Scale::Quick => 400,
+            Scale::Full => 5000,
+        }
+    }
+
+    /// Monte-Carlo samples for in-algorithm marginal checks.
+    pub fn marginal_samples(self) -> usize {
+        match self {
+            Scale::Quick => 200,
+            Scale::Full => 5000,
+        }
+    }
+
+    /// Simulation config for evaluation.
+    pub fn sim(self) -> SimulationConfig {
+        SimulationConfig { samples: self.eval_samples(), threads: 0, base_seed: 0xE7A1 }
+    }
+
+    /// Simulation config for solver-internal marginals.
+    pub fn solver_sim(self) -> SimulationConfig {
+        SimulationConfig { samples: self.marginal_samples(), threads: 0, base_seed: 0xE7A2 }
+    }
+
+    /// IMM parameters (ε = 0.5, ℓ = 1 as in §6.1.3).
+    pub fn imm(self) -> ImmParams {
+        ImmParams { eps: 0.5, ell: 1.0, seed: 0x1DD, threads: 0, max_rr_sets: 30_000_000 }
+    }
+}
+
+/// Process-wide cache: each benchmark network is generated once per scale.
+fn cache() -> &'static Mutex<HashMap<(Network, Scale), Arc<Graph>>> {
+    static CACHE: std::sync::OnceLock<Mutex<HashMap<(Network, Scale), Arc<Graph>>>> =
+        std::sync::OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The benchmark network at a scale (generated once, then shared).
+pub fn network(net: Network, scale: Scale) -> Arc<Graph> {
+    let mut guard = cache().lock().unwrap();
+    guard
+        .entry((net, scale))
+        .or_insert_with(|| {
+            let spec = match scale {
+                Scale::Quick => net.tiny_spec(),
+                Scale::Full => net.default_spec(),
+            };
+            Arc::new(spec.generate())
+        })
+        .clone()
+}
+
+/// Build a problem with the scale's default knobs.
+pub fn problem(
+    graph: &Arc<Graph>,
+    model: cwelmax_utility::UtilityModel,
+    scale: Scale,
+) -> Problem {
+    Problem::new((**graph).clone(), model)
+        .with_sim(scale.solver_sim())
+        .with_imm(scale.imm())
+}
+
+/// Evaluate a solution's welfare with the (heavier) evaluation sampling.
+pub fn evaluate(problem: &Problem, alloc: &cwelmax_diffusion::Allocation, scale: Scale) -> f64 {
+    let mut p = problem.clone();
+    p.sim = scale.sim();
+    p.evaluate(alloc)
+}
+
+/// A spread-based candidate pool for the MC-greedy baselines (greedyWM,
+/// Balance-C): the top-`size` IMM seeds. On heavy-tailed directed graphs a
+/// degree-based pool is useless (high in-degree ≠ high influence), so the
+/// pruned baselines would be strawmen without this.
+pub fn spread_pool(
+    graph: &cwelmax_graph::Graph,
+    size: usize,
+    scale: Scale,
+) -> Vec<cwelmax_graph::NodeId> {
+    cwelmax_rrset::imm::imm_select(graph, &cwelmax_rrset::StandardRr, size, &scale.imm()).seeds
+}
+
+/// Evaluate welfare + adoption counts with the evaluation sampling.
+pub fn evaluate_report(
+    problem: &Problem,
+    alloc: &cwelmax_diffusion::Allocation,
+    scale: Scale,
+) -> cwelmax_diffusion::WelfareReport {
+    let mut p = problem.clone();
+    p.sim = scale.sim();
+    p.evaluate_report(alloc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_cache_returns_same_instance() {
+        let a = network(Network::NetHept, Scale::Quick);
+        let b = network(Network::NetHept, Scale::Quick);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn scale_parse() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("x"), None);
+    }
+}

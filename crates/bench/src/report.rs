@@ -1,0 +1,125 @@
+//! Experiment result tables: markdown rendering and JSON persistence.
+
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// One regenerated table or figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Paper artifact id, e.g. `"fig4"`, `"table6"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form commentary (expected shape vs paper).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentResult {
+    /// Create an empty result.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> ExperimentResult {
+        ExperimentResult {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append one row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        debug_assert_eq!(row.len(), self.columns.len());
+        self.rows.push(row);
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render as a GitHub-flavored markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n\n", self.id, self.title));
+        out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
+        out.push_str(&format!(
+            "|{}|\n",
+            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("\n> {n}\n"));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Persist to `dir/<id>.json`.
+    pub fn save_json(&self, dir: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.as_ref().join(format!("{}.json", self.id));
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(serde_json::to_string_pretty(self).expect("serializable").as_bytes())
+    }
+}
+
+/// Format a float with sensible width for tables.
+pub fn fmt(v: f64) -> String {
+    let v = if v == 0.0 { 0.0 } else { v }; // normalize -0.0
+    if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Format a duration in seconds.
+pub fn fmt_secs(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering() {
+        let mut r = ExperimentResult::new("figX", "demo", &["a", "b"]);
+        r.push_row(vec!["1".into(), "2".into()]);
+        r.note("shape holds");
+        let md = r.to_markdown();
+        assert!(md.contains("### figX — demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("> shape holds"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut r = ExperimentResult::new("t", "t", &["x"]);
+        r.push_row(vec!["7".into()]);
+        let dir = std::env::temp_dir().join("cwelmax_report_test");
+        r.save_json(&dir).unwrap();
+        let loaded: ExperimentResult = serde_json::from_str(
+            &std::fs::read_to_string(dir.join("t.json")).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(loaded.rows, r.rows);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt(12345.6), "12346");
+        assert_eq!(fmt(42.42), "42.4");
+        assert_eq!(fmt(0.1234), "0.123");
+    }
+}

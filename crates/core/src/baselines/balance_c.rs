@@ -1,0 +1,180 @@
+//! Balance-C (Garimella et al., NeurIPS'17): balanced-exposure
+//! maximization for two competing items.
+//!
+//! Given an initial placement of the two items, Balance-C selects the
+//! remaining seeds to maximize the number of nodes that end up seeing
+//! *both* items or *neither* (§6.1.2). It is defined only for two items.
+//! We re-implement it as a Monte-Carlo greedy on the balanced-exposure
+//! objective: when no placement is fixed, each item first receives one
+//! top-spread seed (the "initial seed placement" its formulation assumes),
+//! then `(node, item)` pairs are added greedily.
+
+use crate::problem::Problem;
+use crate::solution::{timed, CwelMaxAlgorithm, Solution};
+use cwelmax_diffusion::Allocation;
+use cwelmax_graph::NodeId;
+use cwelmax_rrset::imm::imm_select;
+use cwelmax_rrset::StandardRr;
+
+/// The Balance-C baseline (two items only).
+#[derive(Debug, Clone)]
+pub struct BalanceC {
+    /// Candidate nodes per greedy round (top out-degree); keeps the MC
+    /// greedy tractable. `None` = all nodes, as in the original.
+    pub candidate_limit: Option<usize>,
+    /// An explicit candidate pool overriding the degree heuristic (e.g.
+    /// top-spread nodes from IMM).
+    pub candidate_pool: Option<Vec<NodeId>>,
+}
+
+impl Default for BalanceC {
+    fn default() -> Self {
+        BalanceC { candidate_limit: Some(100), candidate_pool: None }
+    }
+}
+
+impl BalanceC {
+    /// With an explicit candidate limit (`None` = all nodes).
+    pub fn with_candidates(limit: Option<usize>) -> BalanceC {
+        BalanceC { candidate_limit: limit, candidate_pool: None }
+    }
+
+    /// With an explicit candidate pool.
+    pub fn with_pool(pool: Vec<NodeId>) -> BalanceC {
+        BalanceC { candidate_limit: None, candidate_pool: Some(pool) }
+    }
+}
+
+impl CwelMaxAlgorithm for BalanceC {
+    fn name(&self) -> &str {
+        "Balance-C"
+    }
+
+    fn solve(&self, problem: &Problem) -> Solution {
+        let (alloc, elapsed) = timed(|| {
+            let free = problem.free_items();
+            assert!(
+                free.len() <= 2,
+                "Balance-C is defined for two items (got {})",
+                free.len()
+            );
+            if free.is_empty() {
+                return Allocation::new();
+            }
+            let items: Vec<_> = free.iter().collect();
+            let pair = if items.len() == 2 {
+                (items[0], items[1])
+            } else {
+                // one free item: balance it against the fixed item
+                let fixed_items = problem.fixed.items();
+                let other = fixed_items.iter().next().unwrap_or(items[0]);
+                (items[0], other)
+            };
+
+            let mut remaining: Vec<usize> = problem.budgets.clone();
+            let mut alloc = Allocation::new();
+
+            // initial placement: one top-spread seed per free item
+            let top = imm_select(&problem.graph, &StandardRr, 2, &problem.imm);
+            for (rank, &i) in items.iter().enumerate() {
+                if remaining[i] > 0 {
+                    if let Some(&v) = top.seeds.get(rank.min(top.seeds.len().saturating_sub(1))) {
+                        alloc.add(v, i);
+                        remaining[i] -= 1;
+                    }
+                }
+            }
+
+            // candidates: explicit pool, or top out-degree nodes
+            let candidates: Vec<NodeId> = match &self.candidate_pool {
+                Some(pool) => pool.clone(),
+                None => {
+                    let mut c: Vec<NodeId> = problem.graph.nodes().collect();
+                    c.sort_by_key(|&v| std::cmp::Reverse(problem.graph.out_degree(v)));
+                    if let Some(k) = self.candidate_limit {
+                        c.truncate(k);
+                    }
+                    c
+                }
+            };
+
+            let estimator = problem.estimator();
+            while items.iter().any(|&i| remaining[i] > 0) {
+                let mut best: Option<(f64, NodeId, usize)> = None;
+                for &i in &items {
+                    if remaining[i] == 0 {
+                        continue;
+                    }
+                    for &v in &candidates {
+                        if alloc.pairs().contains(&(v, i)) {
+                            continue;
+                        }
+                        let mut cand = alloc.clone();
+                        cand.add(v, i);
+                        let score =
+                            estimator.balanced_exposure(&cand.union(&problem.fixed), pair);
+                        if best.map_or(true, |(bs, bv, bi)| {
+                            score > bs || (score == bs && (v, i) < (bv, bi))
+                        }) {
+                            best = Some((score, v, i));
+                        }
+                    }
+                }
+                match best {
+                    Some((_, v, i)) => {
+                        alloc.add(v, i);
+                        remaining[i] -= 1;
+                    }
+                    None => break,
+                }
+            }
+            alloc
+        });
+        debug_assert!(problem.check_feasible(&alloc).is_ok());
+        Solution::new(self.name(), alloc, elapsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwelmax_diffusion::SimulationConfig;
+    use cwelmax_graph::{generators, ProbabilityModel as PM};
+    use cwelmax_rrset::ImmParams;
+    use cwelmax_utility::configs::{self, TwoItemConfig};
+
+    fn fast_problem(graph: cwelmax_graph::Graph) -> Problem {
+        Problem::new(graph, configs::two_item_config(TwoItemConfig::C1))
+            .with_sim(SimulationConfig { samples: 60, threads: 2, base_seed: 3 })
+            .with_imm(ImmParams { eps: 0.5, ell: 1.0, seed: 2, threads: 2, max_rr_sets: 500_000 })
+    }
+
+    #[test]
+    fn exhausts_budgets() {
+        let g = generators::erdos_renyi(50, 200, 6, PM::WeightedCascade);
+        let p = fast_problem(g).with_uniform_budget(2);
+        let s = BalanceC::default().solve(&p);
+        assert_eq!(s.allocation.seeds_of(0).len(), 2);
+        assert_eq!(s.allocation.seeds_of(1).len(), 2);
+        p.check_feasible(&s.allocation).unwrap();
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_three_items() {
+        let g = generators::path(10, PM::Constant(1.0));
+        let p = Problem::new(g, configs::three_item_blocking()).with_uniform_budget(1);
+        let _ = BalanceC::default().solve(&p);
+    }
+
+    #[test]
+    fn single_free_item_against_fixed() {
+        let g = generators::erdos_renyi(50, 200, 6, PM::WeightedCascade);
+        let p = fast_problem(g)
+            .with_budgets(vec![2, 0])
+            .with_fixed_allocation(Allocation::from_pairs([(3, 1)]));
+        let s = BalanceC::default().solve(&p);
+        assert_eq!(s.allocation.seeds_of(0).len(), 2);
+        assert!(s.allocation.seeds_of(1).is_empty());
+    }
+}

@@ -1,0 +1,26 @@
+//! The baselines of §6.1.2 and §6.4.3.
+//!
+//! * [`GreedyWm`] — greedy over `(node, item)` pairs on marginal welfare
+//!   (CELF-accelerated Monte-Carlo greedy; the paper's exorbitantly slow
+//!   but quality-competitive reference);
+//! * [`Tcim`] — competitive adoption-count maximization (Lin & Lui), run
+//!   item by item against the fixed seeds;
+//! * [`BalanceC`] — balanced-exposure maximization for two items
+//!   (Garimella et al.);
+//! * [`RoundRobin`] / [`Snake`] — positional item assignment over a shared
+//!   seed ranking (Table 6's adoption-count baselines);
+//! * [`BundleGrd`] — the bundling strategy of the complementary-items
+//!   predecessor paper [6], as an extension baseline for the §7
+//!   mixed-interaction setting.
+
+mod balance_c;
+mod bundle;
+mod greedy_wm;
+mod round_robin;
+mod tcim;
+
+pub use balance_c::BalanceC;
+pub use bundle::BundleGrd;
+pub use greedy_wm::{CandidatePool, GreedyWm};
+pub use round_robin::{RoundRobin, Snake};
+pub use tcim::Tcim;

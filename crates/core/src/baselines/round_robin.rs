@@ -1,0 +1,160 @@
+//! Round-robin and Snake item assignment (§6.4.3, Table 6).
+//!
+//! Both baselines first select the same seed pool SeqGRD-NM uses (PRIMA+
+//! over `Σ b_i` seeds, marginal to `SP`), then differ only in how items map
+//! to ranked seeds. With seeds `s1..s4` and items `i, j`:
+//!
+//! * SeqGRD-NM: `s1:i, s2:i, s3:j, s4:j` (blocks by utility order);
+//! * Round-robin: `s1:i, s2:j, s3:i, s4:j` (cyclic);
+//! * Snake: `s1:i, s2:j, s3:j, s4:i` (direction flips every row).
+//!
+//! Budget-exhausted items are skipped, so all budgets are always exhausted
+//! over the same pool — isolating the *assignment policy* as the only
+//! difference Table 6 measures.
+
+use crate::problem::Problem;
+use crate::solution::{timed, CwelMaxAlgorithm, Solution};
+use cwelmax_diffusion::Allocation;
+use cwelmax_rrset::prima::prima_plus;
+use cwelmax_utility::ItemId;
+
+/// Assign ranked seeds to items cyclically.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin;
+
+/// Assign ranked seeds to items boustrophedonically (flip each row).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Snake;
+
+fn positional_assign(problem: &Problem, snake: bool) -> Allocation {
+    let free = problem.free_items();
+    if free.is_empty() {
+        return Allocation::new();
+    }
+    // items ordered by decreasing expected truncated utility, matching the
+    // order SeqGRD-NM blocks them in
+    let order = problem.model.items_by_truncated_utility(free);
+    let budgets: Vec<usize> = free.iter().map(|i| problem.budgets[i]).collect();
+    let b_total: usize = budgets.iter().sum();
+    let sp = problem.fixed.seed_nodes();
+    let pool = prima_plus(&problem.graph, &sp, &budgets, b_total, &problem.imm);
+
+    let m = order.len();
+    let mut remaining: Vec<usize> = problem.budgets.clone();
+    let mut alloc = Allocation::new();
+    let mut k = 0usize; // position in the item cycle
+    for &v in pool.seeds.iter() {
+        // find the next item (in cycle order) with budget left
+        let mut assigned: Option<ItemId> = None;
+        for step in 0..m {
+            let pos = (k + step) % m;
+            let row = (k + step) / m;
+            let idx = if snake && row % 2 == 1 { m - 1 - pos } else { pos };
+            let item = order[idx];
+            if remaining[item] > 0 {
+                assigned = Some(item);
+                k += step + 1;
+                break;
+            }
+        }
+        match assigned {
+            Some(item) => {
+                alloc.add(v, item);
+                remaining[item] -= 1;
+            }
+            None => break, // all budgets exhausted
+        }
+    }
+    alloc
+}
+
+impl CwelMaxAlgorithm for RoundRobin {
+    fn name(&self) -> &str {
+        "Round-robin"
+    }
+
+    fn solve(&self, problem: &Problem) -> Solution {
+        let (alloc, elapsed) = timed(|| positional_assign(problem, false));
+        debug_assert!(problem.check_feasible(&alloc).is_ok());
+        Solution::new(self.name(), alloc, elapsed)
+    }
+}
+
+impl CwelMaxAlgorithm for Snake {
+    fn name(&self) -> &str {
+        "Snake"
+    }
+
+    fn solve(&self, problem: &Problem) -> Solution {
+        let (alloc, elapsed) = timed(|| positional_assign(problem, true));
+        debug_assert!(problem.check_feasible(&alloc).is_ok());
+        Solution::new(self.name(), alloc, elapsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwelmax_diffusion::SimulationConfig;
+    use cwelmax_graph::{generators, ProbabilityModel as PM};
+    use cwelmax_rrset::ImmParams;
+    use cwelmax_utility::configs::{self, TwoItemConfig};
+
+    fn fast_problem() -> Problem {
+        Problem::new(
+            generators::erdos_renyi(120, 600, 5, PM::WeightedCascade),
+            configs::two_item_config(TwoItemConfig::C1),
+        )
+        .with_uniform_budget(2)
+        .with_sim(SimulationConfig { samples: 100, threads: 2, base_seed: 3 })
+        .with_imm(ImmParams { eps: 0.5, ell: 1.0, seed: 2, threads: 2, max_rr_sets: 500_000 })
+    }
+
+    /// Reconstruct the shared pool to compare assignment patterns.
+    fn pool_of(p: &Problem) -> Vec<u32> {
+        let budgets: Vec<usize> = p.free_items().iter().map(|i| p.budgets[i]).collect();
+        let b: usize = budgets.iter().sum();
+        prima_plus(&p.graph, &[], &budgets, b, &p.imm).seeds
+    }
+
+    #[test]
+    fn round_robin_alternates() {
+        let p = fast_problem();
+        let s = RoundRobin.solve(&p);
+        let pool = pool_of(&p);
+        // item 0 (higher E[U+]) gets ranks 0 and 2; item 1 gets 1 and 3
+        assert_eq!(s.allocation.seeds_of(0), vec![pool[0], pool[2]]);
+        assert_eq!(s.allocation.seeds_of(1), vec![pool[1], pool[3]]);
+    }
+
+    #[test]
+    fn snake_flips_each_row() {
+        let p = fast_problem();
+        let s = Snake.solve(&p);
+        let pool = pool_of(&p);
+        // s1:i, s2:j | s3:j, s4:i
+        assert_eq!(s.allocation.seeds_of(0), vec![pool[0], pool[3]]);
+        assert_eq!(s.allocation.seeds_of(1), vec![pool[1], pool[2]]);
+    }
+
+    #[test]
+    fn uneven_budgets_are_exhausted() {
+        let p = fast_problem().with_budgets(vec![3, 1]);
+        for (name, alloc) in [
+            ("rr", RoundRobin.solve(&p).allocation),
+            ("snake", Snake.solve(&p).allocation),
+        ] {
+            assert_eq!(alloc.seeds_of(0).len(), 3, "{name}");
+            assert_eq!(alloc.seeds_of(1).len(), 1, "{name}");
+            p.check_feasible(&alloc).unwrap();
+        }
+    }
+
+    #[test]
+    fn empty_problem() {
+        let g = generators::path(3, PM::Constant(1.0));
+        let p = Problem::new(g, configs::two_item_config(TwoItemConfig::C1));
+        assert!(RoundRobin.solve(&p).allocation.is_empty());
+        assert!(Snake.solve(&p).allocation.is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! # cwelmax-core
+//!
+//! The CWelMax algorithms — the paper's primary contribution (§5) — and
+//! every baseline the evaluation compares against (§6.1.2).
+//!
+//! | Algorithm | Guarantee | Assumptions |
+//! |---|---|---|
+//! | [`SeqGrd`] (Algorithm 1) | `(umin/umax)(1 − 1/e − ε)` | none |
+//! | [`SeqGrd`] in NM mode | same bound, faster, worse under blocking | none |
+//! | [`MaxGrd`] (Algorithm 2) | `(1/m)(1 − 1/e − ε)` | `SP = ∅` |
+//! | [`best_of`] SeqGRD/MaxGRD | `max(umin/umax, 1/m)(1 − 1/e − ε)` | `SP = ∅` |
+//! | [`SupGrd`] (§5.3) | `(1 − 1/e − ε)` | superior item, fixed inferior seeds, pure competition |
+//! | [`baselines::GreedyWm`] | none (heuristic) | — |
+//! | [`baselines::Tcim`] | adoption-count objective | pure competition |
+//! | [`baselines::BalanceC`] | balanced-exposure objective | 2 items |
+//! | [`baselines::RoundRobin`] / `Snake` | none | — |
+//!
+//! All solvers consume a [`Problem`] (graph + utility model + budgets +
+//! fixed allocation + accuracy knobs) and produce a [`Solution`].
+
+pub mod baselines;
+pub mod maxgrd;
+pub mod problem;
+pub mod seqgrd;
+pub mod solution;
+pub mod supgrd;
+
+pub use maxgrd::{best_of, MaxGrd};
+pub use problem::Problem;
+pub use seqgrd::{SeqGrd, SeqGrdMode};
+pub use solution::{CwelMaxAlgorithm, Solution};
+pub use supgrd::SupGrd;
+
+/// One-stop imports.
+pub mod prelude {
+    pub use crate::baselines::{BalanceC, BundleGrd, GreedyWm, RoundRobin, Snake, Tcim};
+    pub use crate::maxgrd::{best_of, MaxGrd};
+    pub use crate::problem::Problem;
+    pub use crate::seqgrd::{SeqGrd, SeqGrdMode};
+    pub use crate::solution::{CwelMaxAlgorithm, Solution};
+    pub use crate::supgrd::SupGrd;
+}

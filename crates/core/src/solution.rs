@@ -1,0 +1,51 @@
+//! Solver outputs and the common algorithm interface.
+
+use crate::problem::Problem;
+use cwelmax_diffusion::Allocation;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// The outcome of one solver run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Solution {
+    /// Which algorithm produced it.
+    pub algorithm: String,
+    /// The selected allocation over `I2` (does **not** include `SP`).
+    pub allocation: Allocation,
+    /// The solver's own estimate of `ρ(allocation ∪ SP)`, when it computes
+    /// one as a by-product (e.g. RR-based estimates); `None` means evaluate
+    /// with [`Problem::evaluate`].
+    pub internal_estimate: Option<f64>,
+    /// Wall-clock solve time.
+    pub elapsed: Duration,
+}
+
+impl Solution {
+    /// Construct, timing already measured.
+    pub fn new(algorithm: impl Into<String>, allocation: Allocation, elapsed: Duration) -> Solution {
+        Solution { algorithm: algorithm.into(), allocation, internal_estimate: None, elapsed }
+    }
+
+    /// Attach an internal estimate.
+    pub fn with_estimate(mut self, est: f64) -> Solution {
+        self.internal_estimate = Some(est);
+        self
+    }
+}
+
+/// Common interface implemented by every solver and baseline.
+pub trait CwelMaxAlgorithm {
+    /// Short display name (e.g. `"SeqGRD"`, `"TCIM"`).
+    fn name(&self) -> &str;
+
+    /// Solve the instance. Implementations must return a feasible
+    /// allocation over the free items (`Problem::check_feasible` passes).
+    fn solve(&self, problem: &Problem) -> Solution;
+}
+
+/// Time a closure, returning its output and the elapsed wall-clock time.
+pub(crate) fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}

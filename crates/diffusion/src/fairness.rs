@@ -1,0 +1,121 @@
+//! Fairness metrics over adoption outcomes — the §7 future-work direction
+//! ("for a campaigner who often pays for advertising, ensuring that her
+//! item is seen at least by a certain number of users is critical").
+//!
+//! These are *measurements*, not constraints: they quantify how unevenly a
+//! welfare-maximizing allocation treats the competing campaigners, so the
+//! welfare/fairness trade-off of Table 6 (SeqGRD-NM starves the inferior
+//! items) becomes a number instead of an eyeball judgement.
+
+use crate::estimate::WelfareReport;
+use serde::{Deserialize, Serialize};
+
+/// Fairness summary of per-item expected adoption counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FairnessReport {
+    /// Per-item share of total adoptions (sums to 1 when any adoption).
+    pub shares: Vec<f64>,
+    /// Smallest per-item share (1/m = perfectly even, 0 = starved item).
+    pub min_share: f64,
+    /// Gini coefficient of the adoption counts (0 = perfectly even,
+    /// → 1 = one item takes everything).
+    pub gini: f64,
+    /// Jain's fairness index `(Σx)² / (m·Σx²)` (1 = even, 1/m = one item).
+    pub jain_index: f64,
+}
+
+impl FairnessReport {
+    /// Compute from per-item expected adoption counts.
+    pub fn from_counts(counts: &[f64]) -> FairnessReport {
+        let m = counts.len().max(1);
+        let total: f64 = counts.iter().sum();
+        let shares: Vec<f64> = if total > 0.0 {
+            counts.iter().map(|&c| c / total).collect()
+        } else {
+            vec![0.0; counts.len()]
+        };
+        let min_share = shares.iter().cloned().fold(f64::INFINITY, f64::min);
+        let min_share = if min_share.is_finite() { min_share } else { 0.0 };
+        // Gini over the (non-negative) counts
+        let gini = if total > 0.0 && m > 1 {
+            let mut sorted = counts.to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let weighted: f64 = sorted
+                .iter()
+                .enumerate()
+                .map(|(rank, &x)| (2.0 * (rank as f64 + 1.0) - m as f64 - 1.0) * x)
+                .sum();
+            weighted / (m as f64 * total)
+        } else {
+            0.0
+        };
+        let sum_sq: f64 = counts.iter().map(|&c| c * c).sum();
+        let jain_index = if sum_sq > 0.0 {
+            total * total / (m as f64 * sum_sq)
+        } else {
+            1.0
+        };
+        FairnessReport { shares, min_share, gini, jain_index }
+    }
+
+    /// Compute from a [`WelfareReport`].
+    pub fn of(report: &WelfareReport) -> FairnessReport {
+        FairnessReport::from_counts(&report.adoption_counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_even() {
+        let f = FairnessReport::from_counts(&[100.0, 100.0, 100.0]);
+        assert!((f.min_share - 1.0 / 3.0).abs() < 1e-12);
+        assert!(f.gini.abs() < 1e-12);
+        assert!((f.jain_index - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_item_takes_all() {
+        let f = FairnessReport::from_counts(&[300.0, 0.0, 0.0]);
+        assert_eq!(f.min_share, 0.0);
+        assert!((f.gini - 2.0 / 3.0).abs() < 1e-12, "gini {}", f.gini);
+        assert!((f.jain_index - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moderate_skew_is_between() {
+        let even = FairnessReport::from_counts(&[100.0, 100.0]);
+        let skew = FairnessReport::from_counts(&[150.0, 50.0]);
+        let extreme = FairnessReport::from_counts(&[200.0, 0.0]);
+        assert!(even.gini < skew.gini && skew.gini < extreme.gini);
+        assert!(even.jain_index > skew.jain_index && skew.jain_index > extreme.jain_index);
+        assert!((skew.min_share - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_zero() {
+        let f = FairnessReport::from_counts(&[]);
+        assert_eq!(f.min_share, 0.0);
+        let z = FairnessReport::from_counts(&[0.0, 0.0]);
+        assert_eq!(z.gini, 0.0);
+        assert_eq!(z.jain_index, 1.0);
+    }
+
+    #[test]
+    fn gini_invariant_to_scale() {
+        let a = FairnessReport::from_counts(&[30.0, 10.0, 60.0]);
+        let b = FairnessReport::from_counts(&[300.0, 100.0, 600.0]);
+        assert!((a.gini - b.gini).abs() < 1e-12);
+        assert!((a.jain_index - b.jain_index).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_invariance() {
+        let a = FairnessReport::from_counts(&[10.0, 50.0, 40.0]);
+        let b = FairnessReport::from_counts(&[50.0, 40.0, 10.0]);
+        assert!((a.gini - b.gini).abs() < 1e-12);
+        assert!((a.min_share - b.min_share).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,395 @@
+//! The UIC diffusion fixpoint in one possible world.
+//!
+//! Semantics (§3 of the paper): at `t = 1` every seed's desire set is the
+//! items allocated to it and the seed adopts the utility-maximal
+//! non-negative bundle. Whenever a node adopts new items at time `t − 1`,
+//! every live out-edge delivers those items into the neighbour's desire set
+//! at time `t`; the neighbour then re-solves the progressive best response
+//! `argmax { U(T) | A(t−1) ⊆ T ⊆ R(t), U(T) ≥ 0 }`. Adoption is
+//! progressive (never retracted) and the process converges when no new
+//! adoption happens.
+//!
+//! [`UicContext`] owns reusable epoch-stamped node state so that running
+//! thousands of Monte-Carlo worlds allocates nothing per world.
+
+use crate::allocation::Allocation;
+use crate::world::EdgeWorld;
+use cwelmax_graph::{Graph, NodeId};
+use cwelmax_utility::{ItemSet, NoiseWorld};
+
+/// Aggregated outcome of one world.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UicOutcome {
+    /// `ρ_w(S) = Σ_v U_w(A_w(v))`.
+    pub welfare: f64,
+    /// Nodes with a non-empty adoption set.
+    pub adopters: usize,
+    /// `adoption_counts[i]` = number of nodes whose final adoption contains
+    /// item `i`.
+    pub adoption_counts: Vec<usize>,
+    /// Nodes with a non-empty desire set (aware of at least one item).
+    pub informed: usize,
+}
+
+/// Reusable simulation state for one thread.
+pub struct UicContext {
+    num_items: usize,
+    epoch: Vec<u32>,
+    desire: Vec<u32>,
+    adopted: Vec<u32>,
+    current_epoch: u32,
+    /// Nodes touched (desire became non-empty) in the current world.
+    touched: Vec<NodeId>,
+    frontier: Vec<(NodeId, ItemSet)>,
+    next_frontier: Vec<(NodeId, ItemSet)>,
+    /// Per-step pending desire additions, keyed by node (epoch-stamped).
+    pending_epoch: Vec<u32>,
+    pending: Vec<u32>,
+    pending_nodes: Vec<NodeId>,
+    pending_round: u32,
+}
+
+impl UicContext {
+    /// Allocate state for a graph with `num_nodes` nodes and `num_items`
+    /// items.
+    pub fn new(num_nodes: usize, num_items: usize) -> UicContext {
+        UicContext {
+            num_items,
+            epoch: vec![0; num_nodes],
+            desire: vec![0; num_nodes],
+            adopted: vec![0; num_nodes],
+            current_epoch: 0,
+            touched: Vec::new(),
+            frontier: Vec::new(),
+            next_frontier: Vec::new(),
+            pending_epoch: vec![0; num_nodes],
+            pending: vec![0; num_nodes],
+            pending_nodes: Vec::new(),
+            pending_round: 0,
+        }
+    }
+
+    #[inline]
+    fn desire_of(&self, v: NodeId) -> ItemSet {
+        if self.epoch[v as usize] == self.current_epoch {
+            ItemSet(self.desire[v as usize])
+        } else {
+            ItemSet::EMPTY
+        }
+    }
+
+    #[inline]
+    fn adopted_of(&self, v: NodeId) -> ItemSet {
+        if self.epoch[v as usize] == self.current_epoch {
+            ItemSet(self.adopted[v as usize])
+        } else {
+            ItemSet::EMPTY
+        }
+    }
+
+    #[inline]
+    fn touch(&mut self, v: NodeId) {
+        if self.epoch[v as usize] != self.current_epoch {
+            self.epoch[v as usize] = self.current_epoch;
+            self.desire[v as usize] = 0;
+            self.adopted[v as usize] = 0;
+            self.touched.push(v);
+        }
+    }
+
+    /// Run the UIC fixpoint for `allocation` in the possible world
+    /// `(edge_world, noise_world)` and return the aggregate outcome.
+    pub fn run(
+        &mut self,
+        graph: &Graph,
+        noise_world: &NoiseWorld,
+        edge_world: EdgeWorld,
+        allocation: &Allocation,
+    ) -> UicOutcome {
+        debug_assert_eq!(noise_world.num_items(), self.num_items);
+        self.begin_world();
+
+        // t = 1: seeds receive their allocated items and adopt.
+        for (v, items) in allocation.desire_by_node() {
+            self.touch(v);
+            self.desire[v as usize] |= items.0;
+            let adoption = noise_world.best_response(items, ItemSet::EMPTY);
+            if !adoption.is_empty() {
+                self.adopted[v as usize] = adoption.0;
+                self.frontier.push((v, adoption));
+            }
+        }
+
+        // t ≥ 2: propagate newly adopted items over live edges.
+        while !self.frontier.is_empty() {
+            self.pending_round += 1;
+            self.pending_nodes.clear();
+            // deliver this step's new adoptions into neighbours' pending sets
+            let mut k = 0;
+            while k < self.frontier.len() {
+                let (u, new_items) = self.frontier[k];
+                k += 1;
+                for e in graph.out_edges(u) {
+                    if !edge_world.is_live(e.id, e.prob) {
+                        continue;
+                    }
+                    let v = e.node as usize;
+                    if self.pending_epoch[v] != self.pending_round {
+                        self.pending_epoch[v] = self.pending_round;
+                        self.pending[v] = 0;
+                        self.pending_nodes.push(e.node);
+                    }
+                    self.pending[v] |= new_items.0;
+                }
+            }
+            self.frontier.clear();
+            // all same-step arrivals are combined before the best response
+            let mut idx = 0;
+            while idx < self.pending_nodes.len() {
+                let v = self.pending_nodes[idx];
+                idx += 1;
+                let add = ItemSet(self.pending[v as usize]);
+                self.touch(v);
+                let old_desire = ItemSet(self.desire[v as usize]);
+                let new_desire = old_desire.union(add);
+                if new_desire == old_desire {
+                    continue; // nothing new arrived
+                }
+                self.desire[v as usize] = new_desire.0;
+                let old_adopted = ItemSet(self.adopted[v as usize]);
+                let new_adopted = noise_world.best_response(new_desire, old_adopted);
+                let delta = new_adopted.difference(old_adopted);
+                if !delta.is_empty() {
+                    self.adopted[v as usize] = new_adopted.0;
+                    self.next_frontier.push((v, delta));
+                }
+            }
+            std::mem::swap(&mut self.frontier, &mut self.next_frontier);
+        }
+
+        // aggregate
+        let mut welfare = 0.0;
+        let mut adopters = 0;
+        let mut counts = vec![0usize; self.num_items];
+        let mut informed = 0;
+        for k in 0..self.touched.len() {
+            let v = self.touched[k];
+            informed += 1;
+            let a = ItemSet(self.adopted[v as usize]);
+            if !a.is_empty() {
+                adopters += 1;
+                welfare += noise_world.utility(a);
+                for i in a.iter() {
+                    counts[i] += 1;
+                }
+            }
+        }
+        UicOutcome { welfare, adopters, adoption_counts: counts, informed }
+    }
+
+    /// Prepare state for a fresh world (O(1) amortized via epochs).
+    fn begin_world(&mut self) {
+        self.current_epoch = self.current_epoch.wrapping_add(1);
+        if self.current_epoch == 0 {
+            // epoch wrapped: hard reset (once per 2^32 worlds)
+            self.epoch.iter_mut().for_each(|e| *e = 0);
+            self.pending_epoch.iter_mut().for_each(|e| *e = 0);
+            self.current_epoch = 1;
+            self.pending_round = 0;
+        }
+        self.touched.clear();
+        self.frontier.clear();
+        self.next_frontier.clear();
+    }
+
+    /// After a [`run`](Self::run): the desire set of `v` in the last world.
+    pub fn last_desire(&self, v: NodeId) -> ItemSet {
+        self.desire_of(v)
+    }
+
+    /// After a [`run`](Self::run): the adoption set of `v` in the last
+    /// world.
+    pub fn last_adopted(&self, v: NodeId) -> ItemSet {
+        self.adopted_of(v)
+    }
+
+    /// Nodes whose desire set became non-empty in the last world.
+    pub fn last_touched(&self) -> &[NodeId] {
+        &self.touched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwelmax_graph::{generators, GraphBuilder, ProbabilityModel as PM};
+    use cwelmax_utility::configs;
+
+    /// Two-node deterministic network of the Theorem-1 counterexample.
+    fn two_node() -> Graph {
+        generators::path(2, PM::Constant(1.0))
+    }
+
+    fn run_det(graph: &Graph, model: &cwelmax_utility::UtilityModel, alloc: &Allocation) -> UicOutcome {
+        let mut ctx = UicContext::new(graph.num_nodes(), model.num_items());
+        let nw = model.noiseless_world();
+        ctx.run(graph, &nw, EdgeWorld::new(0), alloc)
+    }
+
+    #[test]
+    fn theorem1_monotonicity_counterexample() {
+        // ρ({(u,i1)}) = 8 but ρ({(u,i1),(v,i2)}) = 7
+        let g = two_node();
+        let m = configs::counterexample_theorem1();
+        let s1 = Allocation::from_pairs([(0, 0)]);
+        let s2 = Allocation::from_pairs([(0, 0), (1, 1)]);
+        let o1 = run_det(&g, &m, &s1);
+        let o2 = run_det(&g, &m, &s2);
+        assert!((o1.welfare - 8.0).abs() < 1e-9, "ρ(S1) = {}", o1.welfare);
+        assert!((o2.welfare - 7.0).abs() < 1e-9, "ρ(S2) = {}", o2.welfare);
+    }
+
+    #[test]
+    fn theorem1_submodularity_counterexample() {
+        let g = two_node();
+        let m = configs::counterexample_theorem1();
+        let s1 = Allocation::from_pairs([(1, 1)]);
+        let s2 = Allocation::from_pairs([(1, 1), (1, 2)]);
+        let x = (0, 0usize);
+        let rho = |a: &Allocation| run_det(&g, &m, a).welfare;
+        let m1 = rho(&s1.union(&Allocation::from_pairs([x]))) - rho(&s1);
+        let m2 = rho(&s2.union(&Allocation::from_pairs([x]))) - rho(&s2);
+        assert!((m1 - 4.0).abs() < 1e-9, "marginal over S1 = {m1}");
+        assert!((m2 - 5.0).abs() < 1e-9, "marginal over S2 = {m2}");
+        assert!(m2 > m1, "submodularity violated as the paper proves");
+    }
+
+    #[test]
+    fn theorem1_supermodularity_counterexample() {
+        let g = two_node();
+        let m = configs::counterexample_theorem1();
+        let s1 = Allocation::new();
+        let s2 = Allocation::from_pairs([(1, 1)]);
+        let x = Allocation::from_pairs([(0, 0)]);
+        let rho = |a: &Allocation| run_det(&g, &m, a).welfare;
+        let m1 = rho(&s1.union(&x)) - rho(&s1);
+        let m2 = rho(&s2.union(&x)) - rho(&s2);
+        assert!((m1 - 8.0).abs() < 1e-9);
+        assert!((m2 - 4.0).abs() < 1e-9);
+        assert!(m2 < m1, "supermodularity violated as the paper proves");
+    }
+
+    #[test]
+    fn seeds_adopt_best_nonnegative_bundle() {
+        let g = two_node();
+        let m = configs::two_item_config(configs::TwoItemConfig::C1);
+        // noiseless world: seed with both items adopts only item 0 (U=1)
+        let alloc = Allocation::from_pairs([(0, 0), (0, 1)]);
+        let o = run_det(&g, &m, &alloc);
+        assert_eq!(o.adoption_counts, vec![2, 0]); // both nodes adopt i, not j
+        assert!((o.welfare - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocking_under_pure_competition() {
+        // path 0 -> 1 -> 2; node 1 seeded with j blocks i from reaching 2
+        // under C1 (pure competition), because 1 adopts j first and never
+        // switches, but i still reaches 2 through 1? No: 1 never adopts i,
+        // so i is never forwarded. Node 2 adopts j.
+        let g = generators::path(3, PM::Constant(1.0));
+        let m = configs::two_item_config(configs::TwoItemConfig::C1);
+        let alloc = Allocation::from_pairs([(0, 0), (1, 1)]);
+        let o = run_det(&g, &m, &alloc);
+        // node 0: i (1.0); node 1: j at t=1, i arrives t=2 but bundle is
+        // negative, keeps j (0.9); node 2: j (0.9)
+        assert_eq!(o.adoption_counts, vec![1, 2]);
+        assert!((o.welfare - (1.0 + 0.9 + 0.9)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn soft_competition_allows_bundles() {
+        let g = generators::path(3, PM::Constant(1.0));
+        let m = configs::two_item_config(configs::TwoItemConfig::C3);
+        let alloc = Allocation::from_pairs([(0, 0), (1, 1)]);
+        let o = run_det(&g, &m, &alloc);
+        // node 1 adopts j then upgrades to {i,j} (1.7 > 0.9);
+        // node 2 receives j at t=2 (from 1's initial adoption) and i at t=3
+        // (after 1 upgrades), ending with the bundle as well
+        assert_eq!(o.adoption_counts, vec![3, 2]);
+        let expect = 1.0 + 1.7 + 1.7;
+        assert!((o.welfare - expect).abs() < 1e-9, "welfare {}", o.welfare);
+    }
+
+    #[test]
+    fn unreached_nodes_stay_empty() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        let g = b.build(PM::Constant(1.0));
+        let m = configs::two_item_config(configs::TwoItemConfig::C1);
+        let alloc = Allocation::from_pairs([(0, 0)]);
+        let mut ctx = UicContext::new(g.num_nodes(), m.num_items());
+        let nw = m.noiseless_world();
+        let o = ctx.run(&g, &nw, EdgeWorld::new(0), &alloc);
+        assert_eq!(o.informed, 2);
+        assert_eq!(ctx.last_adopted(2), ItemSet::EMPTY);
+        assert_eq!(ctx.last_desire(2), ItemSet::EMPTY);
+    }
+
+    #[test]
+    fn blocked_edges_stop_propagation() {
+        let g = generators::path(3, PM::Constant(0.0)); // all edges dead
+        let m = configs::two_item_config(configs::TwoItemConfig::C1);
+        let alloc = Allocation::from_pairs([(0, 0)]);
+        let o = run_det(&g, &m, &alloc);
+        assert_eq!(o.adopters, 1);
+        assert!((o.welfare - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn state_reuse_across_worlds_is_clean() {
+        let g = generators::path(4, PM::Constant(1.0));
+        let m = configs::two_item_config(configs::TwoItemConfig::C1);
+        let mut ctx = UicContext::new(g.num_nodes(), m.num_items());
+        let nw = m.noiseless_world();
+        let a1 = Allocation::from_pairs([(0, 0)]);
+        let a2 = Allocation::from_pairs([(3, 1)]);
+        let o1 = ctx.run(&g, &nw, EdgeWorld::new(1), &a1);
+        let o2 = ctx.run(&g, &nw, EdgeWorld::new(1), &a2);
+        let o1_again = ctx.run(&g, &nw, EdgeWorld::new(1), &a1);
+        assert_eq!(o1, o1_again, "state must not leak between worlds");
+        assert_eq!(o2.adopters, 1); // node 3 has no out-edges
+    }
+
+    #[test]
+    fn negative_seed_adopts_nothing() {
+        // an item with negative utility is desired but never adopted
+        let g = two_node();
+        let m = cwelmax_utility::UtilityModel::new(
+            cwelmax_utility::TableValue::from_table(1, vec![0.0, 1.0]),
+            vec![5.0], // price 5, value 1 → U = -4
+            vec![cwelmax_utility::NoiseDist::None],
+        );
+        let alloc = Allocation::from_pairs([(0, 0)]);
+        let o = run_det(&g, &m, &alloc);
+        assert_eq!(o.adopters, 0);
+        assert_eq!(o.welfare, 0.0);
+    }
+
+    #[test]
+    fn simultaneous_arrivals_combine_before_adoption() {
+        // diamond: 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 with items on 1 and 2;
+        // both items reach 3 at the same step, so 3 chooses the better one,
+        // not the first in some arbitrary order
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(1, 3);
+        b.add_edge(2, 3);
+        let g = b.build(PM::Constant(1.0));
+        let m = configs::two_item_config(configs::TwoItemConfig::C1);
+        // seed worse item j on node 1, better item i on node 2
+        let alloc = Allocation::from_pairs([(1, 1), (2, 0)]);
+        let mut ctx = UicContext::new(g.num_nodes(), m.num_items());
+        let nw = m.noiseless_world();
+        ctx.run(&g, &nw, EdgeWorld::new(0), &alloc);
+        assert_eq!(ctx.last_adopted(3), ItemSet::singleton(0), "3 must pick the better item");
+    }
+}

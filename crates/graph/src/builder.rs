@@ -1,0 +1,220 @@
+//! Mutable edge-list accumulator that freezes into an immutable [`Graph`].
+
+use crate::csr::{Graph, NodeId};
+use crate::probability::ProbabilityModel;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Accumulates directed edges and freezes them into CSR form.
+///
+/// Duplicate `(u, v)` pairs are collapsed (keeping the *first* supplied
+/// explicit probability), self-loops are dropped — both are standard
+/// normalizations in the IM literature, where a node does not influence
+/// itself and parallel edges carry no extra information under the IC model.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    edges: Vec<(NodeId, NodeId, f32)>,
+}
+
+impl GraphBuilder {
+    /// Start a builder for a graph with `num_nodes` nodes (ids `0..num_nodes`).
+    pub fn new(num_nodes: usize) -> Self {
+        assert!(num_nodes <= u32::MAX as usize, "node count exceeds u32 range");
+        GraphBuilder { num_nodes, edges: Vec::new() }
+    }
+
+    /// Start a builder with capacity for `num_edges` edges.
+    pub fn with_capacity(num_nodes: usize, num_edges: usize) -> Self {
+        let mut b = Self::new(num_nodes);
+        b.edges.reserve(num_edges);
+        b
+    }
+
+    /// Number of nodes the frozen graph will have.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of edges added so far (before dedup).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Grow the node universe to at least `n` nodes.
+    pub fn ensure_nodes(&mut self, n: usize) {
+        assert!(n <= u32::MAX as usize, "node count exceeds u32 range");
+        self.num_nodes = self.num_nodes.max(n);
+    }
+
+    /// Add a directed edge `u -> v`; its probability is decided at
+    /// [`build`](Self::build) time by the chosen [`ProbabilityModel`].
+    #[inline]
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        self.add_edge_with_prob(u, v, f32::NAN);
+    }
+
+    /// Add a directed edge with an explicit probability (used with
+    /// [`ProbabilityModel::Explicit`]).
+    #[inline]
+    pub fn add_edge_with_prob(&mut self, u: NodeId, v: NodeId, p: f32) {
+        debug_assert!((u as usize) < self.num_nodes, "source {u} out of range");
+        debug_assert!((v as usize) < self.num_nodes, "target {v} out of range");
+        self.edges.push((u, v, p));
+    }
+
+    /// Add both `u -> v` and `v -> u` (the paper treats NetHEPT and Orkut as
+    /// undirected networks, i.e. each undirected edge becomes two arcs).
+    #[inline]
+    pub fn add_undirected_edge(&mut self, u: NodeId, v: NodeId) {
+        self.add_edge(u, v);
+        self.add_edge(v, u);
+    }
+
+    /// Freeze into an immutable CSR [`Graph`].
+    pub fn build(mut self, model: ProbabilityModel) -> Graph {
+        let n = self.num_nodes;
+        // Normalize: drop self loops, dedup (u,v) keeping first occurrence.
+        self.edges.retain(|&(u, v, _)| u != v);
+        self.edges.sort_by_key(|&(u, v, _)| (u, v));
+        self.edges.dedup_by_key(|&mut (u, v, _)| (u, v));
+        let m = self.edges.len();
+
+        // Forward CSR (edges are already sorted by source).
+        let mut out_offsets = vec![0u32; n + 1];
+        for &(u, _, _) in &self.edges {
+            out_offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let mut out_targets = Vec::with_capacity(m);
+        let mut explicit = Vec::with_capacity(m);
+        for &(_, v, p) in &self.edges {
+            out_targets.push(v);
+            explicit.push(p);
+        }
+
+        // In-degrees, needed both for the reverse CSR and weighted cascade.
+        let mut in_deg = vec![0u32; n];
+        for &v in &out_targets {
+            in_deg[v as usize] += 1;
+        }
+
+        // Assign probabilities.
+        let mut rng = SmallRng::seed_from_u64(model.seed() ^ 0x9e37_79b9_7f4a_7c15);
+        let mut out_probs = Vec::with_capacity(m);
+        for k in 0..m {
+            let v = out_targets[k] as usize;
+            out_probs.push(model.prob_for(in_deg[v] as usize, explicit[k], &mut rng));
+        }
+
+        // Reverse CSR with shared edge ids.
+        let mut in_offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            in_offsets[v + 1] = in_offsets[v] + in_deg[v];
+        }
+        let mut cursor: Vec<u32> = in_offsets[..n].to_vec();
+        let mut in_sources = vec![0 as NodeId; m];
+        let mut in_probs = vec![0f32; m];
+        let mut in_edge_ids = vec![0u32; m];
+        for u in 0..n as NodeId {
+            let lo = out_offsets[u as usize] as usize;
+            let hi = out_offsets[u as usize + 1] as usize;
+            for k in lo..hi {
+                let v = out_targets[k] as usize;
+                let slot = cursor[v] as usize;
+                cursor[v] += 1;
+                in_sources[slot] = u;
+                in_probs[slot] = out_probs[k];
+                in_edge_ids[slot] = k as u32;
+            }
+        }
+
+        let g = Graph {
+            out_offsets,
+            out_targets,
+            out_probs,
+            in_offsets,
+            in_sources,
+            in_probs,
+            in_edge_ids,
+        };
+        debug_assert!(g.validate().is_ok(), "{:?}", g.validate());
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProbabilityModel as PM;
+
+    #[test]
+    fn dedup_and_self_loop_removal() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1); // duplicate
+        b.add_edge(1, 1); // self loop
+        b.add_edge(1, 2);
+        let g = b.build(PM::Constant(1.0));
+        assert_eq!(g.num_edges(), 2);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn dedup_keeps_first_explicit_probability() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge_with_prob(0, 1, 0.9);
+        b.add_edge_with_prob(0, 1, 0.1);
+        let g = b.build(PM::Explicit);
+        let probs: Vec<f32> = g.edges().map(|(_, _, p)| p).collect();
+        assert_eq!(probs, vec![0.9]);
+    }
+
+    #[test]
+    fn undirected_adds_two_arcs() {
+        let mut b = GraphBuilder::new(2);
+        b.add_undirected_edge(0, 1);
+        let g = b.build(PM::Constant(0.5));
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.out_degree(1), 1);
+    }
+
+    #[test]
+    fn ensure_nodes_grows() {
+        let mut b = GraphBuilder::new(1);
+        b.ensure_nodes(10);
+        assert_eq!(b.num_nodes(), 10);
+        let g = b.build(PM::WeightedCascade);
+        assert_eq!(g.num_nodes(), 10);
+    }
+
+    #[test]
+    fn weighted_cascade_after_dedup_uses_final_in_degree() {
+        // v=2 receives edges from 0 and 1, plus a duplicate from 0; the
+        // duplicate must not count toward din.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 2);
+        b.add_edge(0, 2);
+        b.add_edge(1, 2);
+        let g = b.build(PM::WeightedCascade);
+        assert_eq!(g.in_degree(2), 2);
+        for e in g.in_edges(2) {
+            assert!((e.prob - 0.5).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn big_linear_chain() {
+        let n = 10_000;
+        let mut b = GraphBuilder::with_capacity(n, n - 1);
+        for i in 0..(n - 1) as u32 {
+            b.add_edge(i, i + 1);
+        }
+        let g = b.build(PM::WeightedCascade);
+        assert_eq!(g.num_edges(), n - 1);
+        g.validate().unwrap();
+    }
+}

@@ -1,0 +1,106 @@
+//! Deterministic structured graphs used by tests, examples and worked
+//! counterexamples (the Theorem 1 network is a 2-node path).
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::probability::ProbabilityModel;
+
+/// Directed path `0 -> 1 -> ... -> n-1`.
+pub fn path(n: usize, model: ProbabilityModel) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for i in 0..n.saturating_sub(1) as u32 {
+        b.add_edge(i, i + 1);
+    }
+    b.build(model)
+}
+
+/// Star with center `0` and out-edges to `1..n`.
+pub fn star(n: usize, model: ProbabilityModel) -> Graph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    for i in 1..n as u32 {
+        b.add_edge(0, i);
+    }
+    b.build(model)
+}
+
+/// Complete directed graph on `n` nodes (all ordered pairs).
+pub fn complete(n: usize, model: ProbabilityModel) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1) * n);
+    for u in 0..n as u32 {
+        for v in 0..n as u32 {
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build(model)
+}
+
+/// `rows × cols` 4-neighbour grid with arcs in both directions.
+pub fn grid(rows: usize, cols: usize, model: ProbabilityModel) -> Graph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::with_capacity(n, 4 * n);
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_undirected_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_undirected_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProbabilityModel as PM;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5, PM::Constant(1.0));
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.out_degree(4), 0);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(6, PM::Constant(1.0));
+        assert_eq!(g.out_degree(0), 5);
+        assert_eq!(g.in_degree(0), 0);
+        for v in 1..6 {
+            assert_eq!(g.in_degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(4, PM::Constant(0.5));
+        assert_eq!(g.num_edges(), 12);
+        for v in g.nodes() {
+            assert_eq!(g.out_degree(v), 3);
+            assert_eq!(g.in_degree(v), 3);
+        }
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4, PM::Constant(1.0));
+        assert_eq!(g.num_nodes(), 12);
+        // undirected edges: 3*3 horizontal + 2*4 vertical = 17, ×2 arcs
+        assert_eq!(g.num_edges(), 34);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(path(1, PM::Explicit).num_edges(), 0);
+        assert_eq!(star(1, PM::Explicit).num_edges(), 0);
+        assert_eq!(complete(1, PM::Explicit).num_edges(), 0);
+        assert_eq!(grid(1, 1, PM::Explicit).num_edges(), 0);
+    }
+}

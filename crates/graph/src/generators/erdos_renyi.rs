@@ -1,0 +1,73 @@
+//! Erdős–Rényi `G(n, m)` directed random graphs.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::probability::ProbabilityModel;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Sample a uniform random directed graph with `n` nodes and (up to) `m`
+/// distinct non-loop edges. Sampling is rejection-based, so `m` must be at
+/// most `n(n-1)`; for extremely dense requests the generator caps `m`.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64, model: ProbabilityModel) -> Graph {
+    let max_edges = n.saturating_mul(n.saturating_sub(1));
+    let m = m.min(max_edges);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    if n >= 2 {
+        let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(m * 2);
+        while seen.len() < m {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            if u != v && seen.insert((u, v)) {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProbabilityModel as PM;
+
+    #[test]
+    fn exact_edge_count() {
+        let g = erdos_renyi(100, 500, 1, PM::WeightedCascade);
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 500);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn reproducible() {
+        let g1 = erdos_renyi(50, 200, 42, PM::Constant(0.1));
+        let g2 = erdos_renyi(50, 200, 42, PM::Constant(0.1));
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g1 = erdos_renyi(50, 200, 1, PM::Constant(0.1));
+        let g2 = erdos_renyi(50, 200, 2, PM::Constant(0.1));
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_ne!(e1, e2);
+    }
+
+    #[test]
+    fn dense_request_is_capped() {
+        let g = erdos_renyi(5, 1000, 3, PM::Constant(0.5));
+        assert_eq!(g.num_edges(), 20); // 5*4
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        assert_eq!(erdos_renyi(0, 10, 1, PM::Explicit).num_nodes(), 0);
+        assert_eq!(erdos_renyi(1, 10, 1, PM::Explicit).num_edges(), 0);
+    }
+}

@@ -1,0 +1,301 @@
+//! The SET-COVER hardness gadget of Theorem 2 (Fig. 2).
+//!
+//! Given a SET COVER instance `(F, X, k)` with `r` subsets over `n` ground
+//! elements, the reduction builds a network in which four items
+//! `i1, i2, i3, i4` propagate (utility configuration of Table 1):
+//!
+//! * `s` nodes (one per subset) are the candidate seeds for item `i1`;
+//! * `a` nodes are fixed seeds of `i2`, `b` nodes of `i3`, `j` nodes of `i4`;
+//! * each of `N` copies duplicates the `g / e / f / l / m / o / d` internal
+//!   structure while sharing the `s / a / b / j` seed nodes;
+//! * if the SET COVER instance is a YES-instance, seeding the covering `k`
+//!   subsets with `i1` blocks `{i2, i3}` everywhere and the `N²` `d` nodes
+//!   adopt the high-utility bundle `{i1, i4}`; on a NO-instance the bundle
+//!   `{i2, i3}` wins the race and blocks `i4`, collapsing the welfare.
+//!
+//! All edge probabilities are 1, so the diffusion is deterministic. The
+//! generator exposes every node-role so tests and the experiment driver can
+//! wire the fixed allocation exactly as in the proof.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, NodeId};
+use crate::probability::ProbabilityModel;
+
+/// A SET COVER instance: `sets[i]` lists the ground elements (in `0..n`)
+/// covered by subset `i`.
+#[derive(Debug, Clone)]
+pub struct SetCoverInstance {
+    pub num_elements: usize,
+    pub sets: Vec<Vec<usize>>,
+    /// Number of subsets that may be selected.
+    pub k: usize,
+}
+
+impl SetCoverInstance {
+    /// Check whether choosing the subsets in `chosen` covers every element.
+    pub fn covers(&self, chosen: &[usize]) -> bool {
+        let mut hit = vec![false; self.num_elements];
+        for &s in chosen {
+            for &g in &self.sets[s] {
+                hit[g] = true;
+            }
+        }
+        hit.iter().all(|&h| h)
+    }
+
+    /// Exhaustively decide the instance (test-sized instances only).
+    pub fn is_yes_instance(&self) -> bool {
+        let r = self.sets.len();
+        let k = self.k.min(r);
+        // enumerate k-subsets of 0..r
+        fn rec(inst: &SetCoverInstance, start: usize, chosen: &mut Vec<usize>, k: usize) -> bool {
+            if chosen.len() == k {
+                return inst.covers(chosen);
+            }
+            for s in start..inst.sets.len() {
+                chosen.push(s);
+                if rec(inst, s + 1, chosen, k) {
+                    chosen.pop();
+                    return true;
+                }
+                chosen.pop();
+            }
+            false
+        }
+        rec(self, 0, &mut Vec::new(), k)
+    }
+}
+
+/// The constructed reduction network plus all node-role indices.
+#[derive(Debug, Clone)]
+pub struct GadgetInstance {
+    pub graph: Graph,
+    /// Shared nodes: candidate seeds for `i1` (one per subset).
+    pub s_nodes: Vec<NodeId>,
+    /// Fixed seeds of `i2`.
+    pub a_nodes: Vec<NodeId>,
+    /// Fixed seeds of `i3`.
+    pub b_nodes: Vec<NodeId>,
+    /// Fixed seeds of `i4`.
+    pub j_nodes: Vec<NodeId>,
+    /// `g_nodes[copy][element]`.
+    pub g_nodes: Vec<Vec<NodeId>>,
+    /// `f_nodes[copy][element]`.
+    pub f_nodes: Vec<Vec<NodeId>>,
+    /// `d_nodes[copy]` — the welfare-carrying sink nodes (`copies × n_d` total).
+    pub d_nodes: Vec<Vec<NodeId>>,
+    /// The underlying SET COVER instance.
+    pub set_cover: SetCoverInstance,
+    /// Number of structure copies (the proof's `N`).
+    pub copies: usize,
+    /// `d` nodes per copy (the proof's `N`, must be a multiple of `n`).
+    pub d_per_copy: usize,
+}
+
+/// Build the Theorem-2 reduction network.
+///
+/// `copies` is the number of duplicated structures and `d_per_copy` the
+/// number of `d` sink nodes per copy; the proof takes both equal to a huge
+/// `N`, tests use small values. `d_per_copy` is rounded up to a multiple of
+/// the element count.
+pub fn build_gadget(sc: SetCoverInstance, copies: usize, d_per_copy: usize) -> GadgetInstance {
+    let n = sc.num_elements;
+    let r = sc.sets.len();
+    assert!(n > 0 && r > 0 && copies > 0);
+    let d_per_copy = d_per_copy.div_ceil(n) * n; // multiple of n
+    let block = d_per_copy / n;
+
+    let per_copy_nodes = 6 * n + d_per_copy; // g,e,f,l,m,o + d
+    let total = r + 3 * n + copies * per_copy_nodes;
+    let mut b = GraphBuilder::with_capacity(total, copies * (n * n + n * 7 + 2 * d_per_copy));
+
+    let mut next: u32 = 0;
+    let take = |count: usize, next: &mut u32| -> Vec<NodeId> {
+        let v: Vec<NodeId> = (*next..*next + count as u32).collect();
+        *next += count as u32;
+        v
+    };
+    let s_nodes = take(r, &mut next);
+    let a_nodes = take(n, &mut next);
+    let b_nodes = take(n, &mut next);
+    let j_nodes = take(n, &mut next);
+
+    let mut g_all = Vec::with_capacity(copies);
+    let mut f_all = Vec::with_capacity(copies);
+    let mut d_all = Vec::with_capacity(copies);
+
+    for _copy in 0..copies {
+        let g = take(n, &mut next);
+        let e = take(n, &mut next);
+        let f = take(n, &mut next);
+        let l = take(n, &mut next);
+        let m = take(n, &mut next);
+        let o = take(n, &mut next);
+        let d = take(d_per_copy, &mut next);
+
+        // s_i -> g_j iff element j in set i (shared s nodes, per-copy g)
+        for (si, set) in sc.sets.iter().enumerate() {
+            for &gj in set {
+                b.ensure_nodes(total);
+                b.add_edge(s_nodes[si], g[gj]);
+            }
+        }
+        for i in 0..n {
+            b.add_edge(a_nodes[i], g[i]); // a_i -> g_i (i2 entry)
+            // g -> f is complete bipartite within the copy: the proof needs
+            // "if any one of the g nodes adopts i2 … then ALL the f nodes
+            // adopt {i2,i3}", which requires every f to hear every g
+            for j in 0..n {
+                b.add_edge(g[i], f[j]);
+            }
+            b.add_edge(b_nodes[i], e[i]); // b_i -> e_i -> f_i (i3 path, length 2)
+            b.add_edge(e[i], f[i]);
+            b.add_edge(j_nodes[i], l[i]); // j_i -> l_i -> m_i -> o_i (i4 path, length 3)
+            b.add_edge(l[i], m[i]);
+            b.add_edge(m[i], o[i]);
+            // f_i and o_i each feed block i of the d nodes
+            for t in 0..block {
+                let dn = d[i * block + t];
+                b.add_edge(f[i], dn);
+                b.add_edge(o[i], dn);
+            }
+        }
+        g_all.push(g);
+        f_all.push(f);
+        d_all.push(d);
+    }
+
+    b.ensure_nodes(total);
+    let graph = b.build(ProbabilityModel::Constant(1.0));
+    GadgetInstance {
+        graph,
+        s_nodes,
+        a_nodes,
+        b_nodes,
+        j_nodes,
+        g_nodes: g_all,
+        f_nodes: f_all,
+        d_nodes: d_all,
+        set_cover: sc,
+        copies,
+        d_per_copy,
+    }
+}
+
+/// A small YES-instance: 3 sets over 4 elements, `k = 2`,
+/// cover = {S0 = {0,1}, S1 = {2,3}}.
+pub fn example_yes_instance() -> SetCoverInstance {
+    SetCoverInstance {
+        num_elements: 4,
+        sets: vec![vec![0, 1], vec![2, 3], vec![1, 2]],
+        k: 2,
+    }
+}
+
+/// A small NO-instance: the same sets but `k = 1` (no single set covers).
+pub fn example_no_instance() -> SetCoverInstance {
+    SetCoverInstance {
+        num_elements: 4,
+        sets: vec![vec![0, 1], vec![2, 3], vec![1, 2]],
+        k: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::bfs_distances;
+
+    #[test]
+    fn set_cover_decider() {
+        assert!(example_yes_instance().is_yes_instance());
+        assert!(!example_no_instance().is_yes_instance());
+    }
+
+    #[test]
+    fn covers_checks_subsets() {
+        let sc = example_yes_instance();
+        assert!(sc.covers(&[0, 1]));
+        assert!(!sc.covers(&[0, 2]));
+        assert!(!sc.covers(&[2]));
+    }
+
+    #[test]
+    fn gadget_structure_counts() {
+        let sc = example_yes_instance();
+        let (n, r) = (sc.num_elements, sc.sets.len());
+        let copies = 3;
+        let d_per_copy = 8;
+        let gi = build_gadget(sc, copies, d_per_copy);
+        assert_eq!(gi.s_nodes.len(), r);
+        assert_eq!(gi.a_nodes.len(), n);
+        assert_eq!(gi.b_nodes.len(), n);
+        assert_eq!(gi.j_nodes.len(), n);
+        assert_eq!(gi.g_nodes.len(), copies);
+        assert_eq!(gi.d_nodes.len(), copies);
+        assert_eq!(gi.d_nodes[0].len(), d_per_copy);
+        assert_eq!(
+            gi.graph.num_nodes(),
+            r + 3 * n + copies * (6 * n + d_per_copy)
+        );
+        gi.graph.validate().unwrap();
+    }
+
+    #[test]
+    fn path_lengths_match_proof() {
+        // seeds of i2/i3 reach d in 3 hops; seeds of i4 reach d in 4 hops.
+        let gi = build_gadget(example_yes_instance(), 1, 4);
+        let d0 = gi.d_nodes[0][0];
+        let da = bfs_distances(&gi.graph, &[gi.a_nodes[0]]);
+        let db = bfs_distances(&gi.graph, &[gi.b_nodes[0]]);
+        let dj = bfs_distances(&gi.graph, &[gi.j_nodes[0]]);
+        assert_eq!(da[d0 as usize], 3, "a -> g -> f -> d");
+        assert_eq!(db[d0 as usize], 3, "b -> e -> f -> d");
+        assert_eq!(dj[d0 as usize], 4, "j -> l -> m -> o -> d");
+    }
+
+    #[test]
+    fn g_to_f_is_complete_bipartite_per_copy() {
+        let gi = build_gadget(example_yes_instance(), 2, 4);
+        for copy in 0..2 {
+            for &g in &gi.g_nodes[copy] {
+                let dist = bfs_distances(&gi.graph, &[g]);
+                for &f in &gi.f_nodes[copy] {
+                    assert_eq!(dist[f as usize], 1, "every f hears every g");
+                }
+            }
+            // but not across copies
+            let other = 1 - copy;
+            let dist = bfs_distances(&gi.graph, &[gi.g_nodes[copy][0]]);
+            for &f in &gi.f_nodes[other] {
+                assert!(dist[f as usize] != 1, "copies must not share g->f edges");
+            }
+        }
+    }
+
+    #[test]
+    fn s_nodes_reach_their_elements_in_every_copy() {
+        let sc = example_yes_instance();
+        let gi = build_gadget(sc.clone(), 2, 4);
+        for (si, set) in sc.sets.iter().enumerate() {
+            let dist = bfs_distances(&gi.graph, &[gi.s_nodes[si]]);
+            for copy in 0..2 {
+                for &el in set {
+                    assert_eq!(dist[gi.g_nodes[copy][el] as usize], 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn d_per_copy_rounds_to_multiple_of_n() {
+        let gi = build_gadget(example_yes_instance(), 1, 5);
+        assert_eq!(gi.d_per_copy, 8); // rounded up from 5 to multiple of 4
+    }
+
+    #[test]
+    fn all_probabilities_are_one() {
+        let gi = build_gadget(example_no_instance(), 2, 4);
+        assert!(gi.graph.edges().all(|(_, _, p)| p == 1.0));
+    }
+}

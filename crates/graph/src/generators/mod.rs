@@ -1,0 +1,28 @@
+//! Synthetic network generators.
+//!
+//! All generators are deterministic given their seed. They return
+//! [`crate::GraphBuilder`]-produced CSR graphs with probabilities assigned by
+//! the caller's [`crate::ProbabilityModel`].
+//!
+//! * [`erdos_renyi`] — `G(n, m)` uniform random directed graphs;
+//! * [`preferential_attachment`] — heavy-tailed degree distributions matching
+//!   real social networks (used for the Table 2 stand-ins);
+//! * [`small_world`] — Watts–Strogatz ring-rewiring graphs;
+//! * [`grid`] / [`path`] / [`star`] / [`complete`] — deterministic structured
+//!   graphs for tests and worked examples;
+//! * [`gadget`] — the SET-COVER hardness reduction network of Theorem 2;
+//! * [`benchmark`] — statistic-matched stand-ins for the paper's five
+//!   networks (NetHEPT, Douban-Book, Douban-Movie, Orkut, Twitter).
+
+mod deterministic;
+mod erdos_renyi;
+pub mod gadget;
+mod preferential_attachment;
+mod small_world;
+
+pub mod benchmark;
+
+pub use deterministic::{complete, grid, path, star};
+pub use erdos_renyi::erdos_renyi;
+pub use preferential_attachment::{preferential_attachment, preferential_attachment_simple, PaParams};
+pub use small_world::small_world;

@@ -1,0 +1,98 @@
+//! Watts–Strogatz small-world graphs (ring lattice + random rewiring).
+//!
+//! Used in stress tests: small-world graphs have short diameters, which
+//! exercises deep multi-hop diffusion differently from the heavy-tailed
+//! preferential-attachment graphs.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::probability::ProbabilityModel;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate a Watts–Strogatz graph: `n` nodes on a ring, each connected to
+/// its `k/2` nearest neighbours on each side (as undirected arc pairs), with
+/// every edge's far endpoint rewired uniformly at random with probability
+/// `beta`.
+pub fn small_world(n: usize, k: usize, beta: f64, seed: u64, model: ProbabilityModel) -> Graph {
+    assert!(k % 2 == 0, "k must be even (k/2 neighbours per side)");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * k);
+    if n > 1 {
+        let half = (k / 2).min(n - 1);
+        for u in 0..n {
+            for d in 1..=half {
+                let mut v = (u + d) % n;
+                if beta > 0.0 && rng.gen_bool(beta.clamp(0.0, 1.0)) {
+                    // rewire to a uniform non-self target
+                    let mut tries = 0;
+                    loop {
+                        let cand = rng.gen_range(0..n);
+                        tries += 1;
+                        if cand != u || tries > 20 {
+                            v = cand;
+                            break;
+                        }
+                    }
+                    if v == u {
+                        v = (u + d) % n; // give up rewiring rather than self-loop
+                    }
+                }
+                b.add_undirected_edge(u as u32, v as u32);
+            }
+        }
+    }
+    b.build(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::bfs_distances;
+    use crate::ProbabilityModel as PM;
+
+    #[test]
+    fn ring_lattice_without_rewiring() {
+        let g = small_world(20, 4, 0.0, 1, PM::Constant(1.0));
+        assert_eq!(g.num_nodes(), 20);
+        // every node connects to 2 on each side, undirected: degree 4 each
+        for v in g.nodes() {
+            assert_eq!(g.out_degree(v), 4, "node {v}");
+        }
+    }
+
+    #[test]
+    fn rewiring_shrinks_diameter() {
+        let n = 200;
+        let diam = |g: &crate::Graph| {
+            bfs_distances(g, &[0]).iter().filter(|&&d| d != u32::MAX).max().copied().unwrap()
+        };
+        let lattice = small_world(n, 4, 0.0, 7, PM::Constant(1.0));
+        let rewired = small_world(n, 4, 0.3, 7, PM::Constant(1.0));
+        assert!(
+            diam(&rewired) < diam(&lattice),
+            "rewired diameter {} should beat lattice {}",
+            diam(&rewired),
+            diam(&lattice)
+        );
+    }
+
+    #[test]
+    fn reproducible() {
+        let g1 = small_world(50, 4, 0.2, 9, PM::Constant(0.5));
+        let g2 = small_world(50, 4, 0.2, 9, PM::Constant(0.5));
+        assert_eq!(g1.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic]
+    fn odd_k_panics() {
+        let _ = small_world(10, 3, 0.0, 1, PM::Explicit);
+    }
+
+    #[test]
+    fn tiny() {
+        assert_eq!(small_world(0, 2, 0.1, 1, PM::Explicit).num_nodes(), 0);
+        assert_eq!(small_world(1, 2, 0.1, 1, PM::Explicit).num_edges(), 0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Graph serialization: SNAP-style plain-text edge lists and a compact
+//! binary format (via `bytes`).
+//!
+//! The text format is line-oriented — `u v [p]` per edge, `#`-prefixed
+//! comment lines ignored — matching the SNAP dumps the paper downloads for
+//! Twitter/Orkut, so real datasets drop in unchanged when available.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::probability::ProbabilityModel;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Error type for graph IO.
+#[derive(Debug)]
+pub enum IoError {
+    Io(io::Error),
+    Parse { line: usize, msg: String },
+    Corrupt(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            IoError::Corrupt(msg) => write!(f, "corrupt binary graph: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Parse a SNAP-style edge list from a reader.
+///
+/// Lines: `u v` or `u v p`; `#` comments and blank lines skipped. Node ids
+/// need not be dense — the universe is `0..=max_id`. If any line carries an
+/// explicit probability the graph is built with [`ProbabilityModel::Explicit`]
+/// (missing probabilities default to `1.0`); otherwise `model` applies.
+pub fn read_edge_list(r: impl Read, model: ProbabilityModel) -> Result<Graph, IoError> {
+    let reader = BufReader::new(r);
+    let mut edges: Vec<(u32, u32, f32)> = Vec::new();
+    let mut max_id: u32 = 0;
+    let mut any_prob = false;
+    let mut line_buf = String::new();
+    let mut reader = reader;
+    let mut line_no = 0usize;
+    loop {
+        line_buf.clear();
+        if reader.read_line(&mut line_buf)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let line = line_buf.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let parse_u32 = |s: Option<&str>, what: &str| -> Result<u32, IoError> {
+            s.ok_or_else(|| IoError::Parse { line: line_no, msg: format!("missing {what}") })?
+                .parse::<u32>()
+                .map_err(|e| IoError::Parse { line: line_no, msg: format!("bad {what}: {e}") })
+        };
+        let u = parse_u32(parts.next(), "source")?;
+        let v = parse_u32(parts.next(), "target")?;
+        let p = match parts.next() {
+            Some(tok) => {
+                any_prob = true;
+                tok.parse::<f32>()
+                    .map_err(|e| IoError::Parse { line: line_no, msg: format!("bad prob: {e}") })?
+            }
+            None => 1.0,
+        };
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v, p));
+    }
+    let n = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for (u, v, p) in edges {
+        b.add_edge_with_prob(u, v, p);
+    }
+    let model = if any_prob { ProbabilityModel::Explicit } else { model };
+    Ok(b.build(model))
+}
+
+/// Read an edge list from a file path.
+pub fn read_edge_list_file(path: impl AsRef<Path>, model: ProbabilityModel) -> Result<Graph, IoError> {
+    read_edge_list(std::fs::File::open(path)?, model)
+}
+
+/// Write the graph as a `u v p` edge list.
+pub fn write_edge_list(g: &Graph, mut w: impl Write) -> Result<(), IoError> {
+    writeln!(w, "# cwelmax edge list: {} nodes {} edges", g.num_nodes(), g.num_edges())?;
+    for (u, v, p) in g.edges() {
+        writeln!(w, "{u} {v} {p}")?;
+    }
+    Ok(())
+}
+
+const BINARY_MAGIC: u32 = 0x4357_4c58; // "CWLX"
+const BINARY_VERSION: u32 = 1;
+
+/// Serialize the graph to the compact binary format.
+///
+/// Layout: magic, version, n, m, then `m` records of `(u: u32, v: u32,
+/// p: f32)` in edge-id order. The CSR is rebuilt on load, which keeps the
+/// format independent of internal layout changes.
+pub fn to_binary(g: &Graph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + g.num_edges() * 12);
+    buf.put_u32_le(BINARY_MAGIC);
+    buf.put_u32_le(BINARY_VERSION);
+    buf.put_u64_le(g.num_nodes() as u64);
+    buf.put_u64_le(g.num_edges() as u64);
+    for (u, v, p) in g.edges() {
+        buf.put_u32_le(u);
+        buf.put_u32_le(v);
+        buf.put_f32_le(p);
+    }
+    buf.freeze()
+}
+
+/// Deserialize a graph written by [`to_binary`].
+pub fn from_binary(mut buf: impl Buf) -> Result<Graph, IoError> {
+    if buf.remaining() < 24 {
+        return Err(IoError::Corrupt("truncated header".into()));
+    }
+    if buf.get_u32_le() != BINARY_MAGIC {
+        return Err(IoError::Corrupt("bad magic".into()));
+    }
+    let version = buf.get_u32_le();
+    if version != BINARY_VERSION {
+        return Err(IoError::Corrupt(format!("unsupported version {version}")));
+    }
+    let n = buf.get_u64_le() as usize;
+    let m = buf.get_u64_le() as usize;
+    if buf.remaining() < m * 12 {
+        return Err(IoError::Corrupt("truncated edge records".into()));
+    }
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for _ in 0..m {
+        let u = buf.get_u32_le();
+        let v = buf.get_u32_le();
+        let p = buf.get_f32_le();
+        if u as usize >= n || v as usize >= n {
+            return Err(IoError::Corrupt(format!("edge ({u},{v}) out of range n={n}")));
+        }
+        b.add_edge_with_prob(u, v, p);
+    }
+    Ok(b.build(ProbabilityModel::Explicit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, ProbabilityModel as PM};
+
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge_with_prob(0, 1, 0.5);
+        b.add_edge_with_prob(1, 2, 0.25);
+        b.add_edge_with_prob(3, 0, 1.0);
+        b.build(PM::Explicit)
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = sample();
+        let mut out = Vec::new();
+        write_edge_list(&g, &mut out).unwrap();
+        let g2 = read_edge_list(&out[..], PM::WeightedCascade).unwrap();
+        assert_eq!(g.num_nodes(), g2.num_nodes());
+        let e1: Vec<_> = g.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn text_without_probs_uses_model() {
+        let txt = "# comment\n0 1\n1 2\n\n2 0\n";
+        let g = read_edge_list(txt.as_bytes(), PM::Constant(0.125)).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert!(g.edges().all(|(_, _, p)| (p - 0.125).abs() < 1e-9));
+    }
+
+    #[test]
+    fn text_parse_error_reports_line() {
+        let txt = "0 1\nx y\n";
+        match read_edge_list(txt.as_bytes(), PM::Explicit) {
+            Err(IoError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = sample();
+        let bytes = to_binary(&g);
+        let g2 = from_binary(bytes).unwrap();
+        assert_eq!(g.num_nodes(), g2.num_nodes());
+        let e1: Vec<_> = g.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+        g2.validate().unwrap();
+    }
+
+    #[test]
+    fn binary_rejects_garbage() {
+        assert!(from_binary(&b"not a graph at all......"[..]).is_err());
+        let g = sample();
+        let bytes = to_binary(&g);
+        let truncated = bytes.slice(0..bytes.len() - 4);
+        assert!(from_binary(truncated).is_err());
+    }
+
+    #[test]
+    fn empty_edge_list() {
+        let g = read_edge_list(&b"# nothing\n"[..], PM::Explicit).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! # cwelmax-graph
+//!
+//! Directed probabilistic graph substrate for the CWelMax reproduction.
+//!
+//! A social network is a directed graph `G = (V, E, p)` where `p : E → [0,1]`
+//! assigns each edge an independent influence probability (§2 of the paper).
+//! This crate provides:
+//!
+//! * [`Graph`] — an immutable compressed-sparse-row (CSR) representation with
+//!   *both* forward (out-neighbor) and reverse (in-neighbor) adjacency, which
+//!   diffusion (forward) and RR-set sampling (reverse) need respectively;
+//! * [`GraphBuilder`] — mutable edge-list accumulator that deduplicates edges
+//!   and freezes into a [`Graph`];
+//! * [`ProbabilityModel`] — the paper's default weighted-cascade assignment
+//!   `p(u,v) = 1/din(v)` (§6.1.3), constant probabilities, trivalency, and
+//!   uniform-random models;
+//! * [`generators`] — synthetic networks (Erdős–Rényi, directed preferential
+//!   attachment, Watts–Strogatz, grids), statistic-matched stand-ins for the
+//!   paper's five benchmark networks (Table 2), and the SET-COVER hardness
+//!   gadget of Theorem 2 (Fig. 2);
+//! * [`io`] — plain-text edge-list and compact binary serialization;
+//! * [`subgraph`] — BFS-based progressive subgraph extraction used by the
+//!   scalability experiment (Fig. 6d);
+//! * [`stats`] — the degree/size statistics reported in Table 2;
+//! * [`traversal`] — BFS reachability helpers shared by tests and algorithms.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use cwelmax_graph::{GraphBuilder, ProbabilityModel};
+//!
+//! let mut b = GraphBuilder::new(4);
+//! b.add_edge(0, 1);
+//! b.add_edge(1, 2);
+//! b.add_edge(3, 2);
+//! let g = b.build(ProbabilityModel::WeightedCascade);
+//! assert_eq!(g.num_nodes(), 4);
+//! assert_eq!(g.num_edges(), 3);
+//! // node 2 has in-degree 2, so both incoming edges carry probability 1/2.
+//! let probs: Vec<f32> = g.in_edges(2).map(|e| e.prob).collect();
+//! assert_eq!(probs, vec![0.5, 0.5]);
+//! ```
+
+pub mod builder;
+pub mod csr;
+pub mod generators;
+pub mod io;
+pub mod probability;
+pub mod stats;
+pub mod subgraph;
+pub mod traversal;
+
+pub use builder::GraphBuilder;
+pub use csr::{EdgeRef, Graph, NodeId};
+pub use probability::ProbabilityModel;
+pub use stats::GraphStats;

@@ -1,0 +1,159 @@
+//! Edge-probability assignment models.
+//!
+//! The paper's default (§6.1.3, following the IM literature) is the
+//! *weighted cascade* model: every edge `(u,v)` gets probability
+//! `1/din(v)`, the reciprocal of the target's in-degree. The scalability
+//! experiment (Fig. 6d) additionally uses a constant `0.01`. We also supply
+//! the trivalency model common in the IM literature and uniform-random
+//! probabilities for stress tests.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How edge probabilities are derived when a [`crate::GraphBuilder`] freezes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ProbabilityModel {
+    /// `p(u,v) = 1 / din(v)` — the paper's default.
+    WeightedCascade,
+    /// Every edge gets the same probability.
+    Constant(f32),
+    /// Each edge picks uniformly at random from `{0.1, 0.01, 0.001}`
+    /// (the "trivalency" model of Chen et al.). Seeded for reproducibility.
+    Trivalency { seed: u64 },
+    /// Each edge draws `p ~ U(lo, hi)`. Seeded for reproducibility.
+    Uniform { lo: f32, hi: f32, seed: u64 },
+    /// Keep the probabilities the caller supplied with each edge
+    /// (via [`crate::GraphBuilder::add_edge_with_prob`]).
+    Explicit,
+}
+
+impl ProbabilityModel {
+    /// Compute the probability of edge `(u, v)` given the target's final
+    /// in-degree. `rng` is only consulted by the stochastic models.
+    pub(crate) fn prob_for(
+        &self,
+        in_degree_of_target: usize,
+        explicit: f32,
+        rng: &mut impl Rng,
+    ) -> f32 {
+        match *self {
+            ProbabilityModel::WeightedCascade => {
+                if in_degree_of_target == 0 {
+                    0.0
+                } else {
+                    1.0 / in_degree_of_target as f32
+                }
+            }
+            ProbabilityModel::Constant(p) => p.clamp(0.0, 1.0),
+            ProbabilityModel::Trivalency { .. } => {
+                const LEVELS: [f32; 3] = [0.1, 0.01, 0.001];
+                LEVELS[rng.gen_range(0..3)]
+            }
+            ProbabilityModel::Uniform { lo, hi, .. } => rng.gen_range(lo..=hi).clamp(0.0, 1.0),
+            ProbabilityModel::Explicit => {
+                // edges added without an explicit probability carry NaN;
+                // treat them as deterministic (p = 1), matching the paper's
+                // all-probability-1 gadget constructions
+                if explicit.is_nan() {
+                    1.0
+                } else {
+                    explicit.clamp(0.0, 1.0)
+                }
+            }
+        }
+    }
+
+    /// The RNG seed the model wants the builder to use (stochastic models
+    /// carry their own seed so that graph construction is reproducible).
+    pub(crate) fn seed(&self) -> u64 {
+        match *self {
+            ProbabilityModel::Trivalency { seed } => seed,
+            ProbabilityModel::Uniform { seed, .. } => seed,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, ProbabilityModel as PM};
+
+    #[test]
+    fn weighted_cascade_uses_in_degree() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 3);
+        b.add_edge(1, 3);
+        b.add_edge(2, 3);
+        b.add_edge(0, 1);
+        let g = b.build(PM::WeightedCascade);
+        for e in g.in_edges(3) {
+            assert!((e.prob - 1.0 / 3.0).abs() < 1e-6);
+        }
+        for e in g.in_edges(1) {
+            assert_eq!(e.prob, 1.0);
+        }
+    }
+
+    #[test]
+    fn constant_model() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let g = b.build(PM::Constant(0.01));
+        assert!(g.edges().all(|(_, _, p)| (p - 0.01).abs() < 1e-9));
+    }
+
+    #[test]
+    fn trivalency_levels_only() {
+        let mut b = GraphBuilder::new(50);
+        for i in 0..49u32 {
+            b.add_edge(i, i + 1);
+        }
+        let g = b.build(PM::Trivalency { seed: 7 });
+        for (_, _, p) in g.edges() {
+            assert!(
+                (p - 0.1).abs() < 1e-9 || (p - 0.01).abs() < 1e-9 || (p - 0.001).abs() < 1e-9,
+                "unexpected trivalency level {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn trivalency_is_reproducible() {
+        let build = || {
+            let mut b = GraphBuilder::new(20);
+            for i in 0..19u32 {
+                b.add_edge(i, i + 1);
+            }
+            b.build(PM::Trivalency { seed: 99 })
+        };
+        let g1 = build();
+        let g2 = build();
+        let p1: Vec<f32> = g1.edges().map(|(_, _, p)| p).collect();
+        let p2: Vec<f32> = g2.edges().map(|(_, _, p)| p).collect();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut b = GraphBuilder::new(30);
+        for i in 0..29u32 {
+            b.add_edge(i, i + 1);
+        }
+        let g = b.build(PM::Uniform { lo: 0.2, hi: 0.4, seed: 3 });
+        for (_, _, p) in g.edges() {
+            assert!((0.2..=0.4).contains(&p));
+        }
+    }
+
+    #[test]
+    fn explicit_keeps_supplied_probs() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge_with_prob(0, 1, 0.33);
+        b.add_edge_with_prob(1, 2, 0.66);
+        let g = b.build(PM::Explicit);
+        let probs: Vec<f32> = g.edges().map(|(_, _, p)| p).collect();
+        assert_eq!(probs, vec![0.33, 0.66]);
+    }
+}

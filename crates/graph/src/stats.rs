@@ -1,0 +1,125 @@
+//! Network statistics as reported in Table 2 of the paper
+//! (# nodes, # edges, average degree, directedness).
+
+use crate::csr::Graph;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics for one network (Table 2 row).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    pub num_nodes: usize,
+    /// Directed arc count. For networks the paper lists as undirected, the
+    /// paper's "# edges" is the *undirected* pair count; see
+    /// [`GraphStats::undirected_pairs`].
+    pub num_edges: usize,
+    /// Average out-degree (= m / n for directed graphs).
+    pub avg_out_degree: f64,
+    pub max_out_degree: usize,
+    pub max_in_degree: usize,
+    /// Number of unordered pairs `{u, v}` with at least one arc; equals the
+    /// paper's edge count for undirected networks.
+    pub undirected_pairs: usize,
+    /// True if every arc has its reverse arc present.
+    pub is_symmetric: bool,
+}
+
+impl GraphStats {
+    /// Compute statistics for `g`.
+    pub fn of(g: &Graph) -> GraphStats {
+        let n = g.num_nodes();
+        let m = g.num_edges();
+        let mut max_out = 0;
+        let mut max_in = 0;
+        for v in g.nodes() {
+            max_out = max_out.max(g.out_degree(v));
+            max_in = max_in.max(g.in_degree(v));
+        }
+        // Symmetry / undirected-pair count: count arcs (u,v) with u<v that
+        // have a reverse, and arcs without.
+        let mut pairs = 0usize;
+        let mut symmetric_arcs = 0usize;
+        for (u, v, _) in g.edges() {
+            let has_reverse = g.out_edges(v).any(|e| e.node == u);
+            if has_reverse {
+                symmetric_arcs += 1;
+                if u < v {
+                    pairs += 1; // count the symmetric pair once
+                }
+            } else {
+                pairs += 1;
+            }
+        }
+        GraphStats {
+            num_nodes: n,
+            num_edges: m,
+            avg_out_degree: if n == 0 { 0.0 } else { m as f64 / n as f64 },
+            max_out_degree: max_out,
+            max_in_degree: max_in,
+            undirected_pairs: pairs,
+            is_symmetric: m > 0 && symmetric_arcs == m,
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} m={} avg_deg={:.2} max_out={} max_in={} type={}",
+            self.num_nodes,
+            self.num_edges,
+            self.avg_out_degree,
+            self.max_out_degree,
+            self.max_in_degree,
+            if self.is_symmetric { "undirected" } else { "directed" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, ProbabilityModel as PM};
+
+    #[test]
+    fn directed_triangle() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 0);
+        let s = GraphStats::of(&b.build(PM::Constant(0.5)));
+        assert_eq!(s.num_nodes, 3);
+        assert_eq!(s.num_edges, 3);
+        assert!((s.avg_out_degree - 1.0).abs() < 1e-12);
+        assert!(!s.is_symmetric);
+        assert_eq!(s.undirected_pairs, 3);
+    }
+
+    #[test]
+    fn undirected_edge_counting() {
+        let mut b = GraphBuilder::new(3);
+        b.add_undirected_edge(0, 1);
+        b.add_undirected_edge(1, 2);
+        let s = GraphStats::of(&b.build(PM::Constant(0.5)));
+        assert_eq!(s.num_edges, 4);
+        assert_eq!(s.undirected_pairs, 2);
+        assert!(s.is_symmetric);
+    }
+
+    #[test]
+    fn mixed_graph_is_not_symmetric() {
+        let mut b = GraphBuilder::new(3);
+        b.add_undirected_edge(0, 1);
+        b.add_edge(1, 2);
+        let s = GraphStats::of(&b.build(PM::Constant(0.5)));
+        assert!(!s.is_symmetric);
+        assert_eq!(s.undirected_pairs, 2);
+    }
+
+    #[test]
+    fn empty() {
+        let s = GraphStats::of(&GraphBuilder::new(0).build(PM::Explicit));
+        assert_eq!(s.num_nodes, 0);
+        assert_eq!(s.avg_out_degree, 0.0);
+    }
+}

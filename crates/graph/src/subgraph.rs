@@ -1,0 +1,184 @@
+//! BFS-based subgraph extraction.
+//!
+//! The scalability experiment (§6.3.3, Fig. 6d) grows the network by taking
+//! BFS balls that cover a target percentage of the nodes and re-running the
+//! algorithm on the induced subgraph. This module reproduces exactly that:
+//! a multi-source BFS (restarting from unvisited nodes when a component is
+//! exhausted) collects the first `⌈fraction · n⌉` nodes, and the subgraph
+//! induced on them is rebuilt — with node ids re-densified and probabilities
+//! reassigned by the caller's chosen model (the paper re-derives `1/din`
+//! on the subgraph, because in-degrees change).
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, NodeId};
+use crate::probability::ProbabilityModel;
+use std::collections::VecDeque;
+
+/// The result of extracting a subgraph: the graph plus the mapping from new
+/// dense ids to original ids.
+pub struct Subgraph {
+    pub graph: Graph,
+    /// `original_of[new_id] = old_id`.
+    pub original_of: Vec<NodeId>,
+}
+
+/// Extract the BFS-induced subgraph covering `fraction` of the nodes,
+/// starting from `start` and restarting (in id order) when the reachable
+/// component is exhausted. `fraction` is clamped to `[0, 1]`.
+pub fn bfs_fraction(
+    g: &Graph,
+    start: NodeId,
+    fraction: f64,
+    model: ProbabilityModel,
+) -> Subgraph {
+    let n = g.num_nodes();
+    let target = ((n as f64) * fraction.clamp(0.0, 1.0)).ceil() as usize;
+    let target = target.min(n);
+
+    let mut picked: Vec<NodeId> = Vec::with_capacity(target);
+    let mut visited = vec![false; n];
+    let mut queue = VecDeque::new();
+    let mut restart_cursor = 0u32;
+
+    let push = |v: NodeId,
+                    visited: &mut Vec<bool>,
+                    picked: &mut Vec<NodeId>,
+                    queue: &mut VecDeque<NodeId>| {
+        if !visited[v as usize] {
+            visited[v as usize] = true;
+            picked.push(v);
+            queue.push_back(v);
+        }
+    };
+
+    if n > 0 {
+        push(start.min(n as u32 - 1), &mut visited, &mut picked, &mut queue);
+    }
+    while picked.len() < target {
+        match queue.pop_front() {
+            Some(u) => {
+                // follow edges in both directions so undirected networks
+                // (stored as arc pairs) expand naturally
+                for e in g.out_edges(u).chain(g.in_edges(u)) {
+                    if picked.len() >= target {
+                        break;
+                    }
+                    push(e.node, &mut visited, &mut picked, &mut queue);
+                }
+            }
+            None => {
+                // component exhausted: restart from the next unvisited node
+                while (restart_cursor as usize) < n && visited[restart_cursor as usize] {
+                    restart_cursor += 1;
+                }
+                if (restart_cursor as usize) >= n {
+                    break;
+                }
+                push(restart_cursor, &mut visited, &mut picked, &mut queue);
+            }
+        }
+    }
+
+    // Dense re-id.
+    let mut new_id = vec![u32::MAX; n];
+    for (new, &old) in picked.iter().enumerate() {
+        new_id[old as usize] = new as u32;
+    }
+    let mut b = GraphBuilder::new(picked.len());
+    for &old_u in &picked {
+        for e in g.out_edges(old_u) {
+            let nv = new_id[e.node as usize];
+            if nv != u32::MAX {
+                b.add_edge_with_prob(new_id[old_u as usize], nv, e.prob);
+            }
+        }
+    }
+    Subgraph { graph: b.build(model), original_of: picked }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, ProbabilityModel as PM};
+
+    fn chain(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..(n - 1) as u32 {
+            b.add_edge(i, i + 1);
+        }
+        b.build(PM::Constant(1.0))
+    }
+
+    #[test]
+    fn full_fraction_is_whole_graph() {
+        let g = chain(10);
+        let s = bfs_fraction(&g, 0, 1.0, PM::Constant(1.0));
+        assert_eq!(s.graph.num_nodes(), 10);
+        assert_eq!(s.graph.num_edges(), 9);
+    }
+
+    #[test]
+    fn half_fraction_takes_half_nodes() {
+        let g = chain(10);
+        let s = bfs_fraction(&g, 0, 0.5, PM::Constant(1.0));
+        assert_eq!(s.graph.num_nodes(), 5);
+        // chain prefix: 4 induced edges
+        assert_eq!(s.graph.num_edges(), 4);
+        assert_eq!(s.original_of, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn restarts_across_components() {
+        // two disjoint chains 0-1-2 and 3-4-5
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(3, 4);
+        b.add_edge(4, 5);
+        let g = b.build(PM::Constant(1.0));
+        let s = bfs_fraction(&g, 0, 1.0, PM::Constant(1.0));
+        assert_eq!(s.graph.num_nodes(), 6);
+        assert_eq!(s.graph.num_edges(), 4);
+    }
+
+    #[test]
+    fn weighted_cascade_recomputed_on_subgraph() {
+        // star into node 3 from 0,1,2; take a subgraph that keeps only two
+        // of the spokes -> din drops from 3 to 2, so p becomes 1/2.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 3);
+        b.add_edge(1, 3);
+        b.add_edge(2, 3);
+        let g = b.build(PM::WeightedCascade);
+        for e in g.in_edges(3) {
+            assert!((e.prob - 1.0 / 3.0).abs() < 1e-6);
+        }
+        // BFS from 0 visits 0 then 3 (out-edge) then 1, 2 via in-edges of 3;
+        // with fraction 0.75 we keep {0, 3, 1}.
+        let s = bfs_fraction(&g, 0, 0.75, PM::WeightedCascade);
+        assert_eq!(s.graph.num_nodes(), 3);
+        let new3 = s.original_of.iter().position(|&o| o == 3).unwrap() as u32;
+        for e in s.graph.in_edges(new3) {
+            assert!((e.prob - 0.5).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_fraction_keeps_one_node_at_most() {
+        let g = chain(5);
+        let s = bfs_fraction(&g, 2, 0.0, PM::Constant(1.0));
+        assert!(s.graph.num_nodes() <= 1);
+    }
+
+    #[test]
+    fn ids_are_remapped_consistently() {
+        let g = chain(6);
+        let s = bfs_fraction(&g, 3, 0.5, PM::Constant(1.0));
+        // every edge in the subgraph must exist in the original
+        for (u, v, _) in s.graph.edges() {
+            let ou = s.original_of[u as usize];
+            let ov = s.original_of[v as usize];
+            assert!(g.out_edges(ou).any(|e| e.node == ov));
+        }
+    }
+}

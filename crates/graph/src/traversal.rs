@@ -1,0 +1,161 @@
+//! Deterministic BFS / reachability helpers.
+//!
+//! These operate on the graph *topology* (ignoring probabilities); they are
+//! used by tests, by the hardness-gadget analysis, and by the BFS subgraph
+//! sampler. Probabilistic traversal (live-edge sampling) lives in the
+//! `cwelmax-diffusion` and `cwelmax-rrset` crates.
+
+use crate::csr::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Nodes reachable from `sources` following out-edges (including sources).
+pub fn forward_reachable(g: &Graph, sources: &[NodeId]) -> Vec<NodeId> {
+    bfs(g, sources, Direction::Forward).order
+}
+
+/// Nodes that can reach `targets` following in-edges (including targets).
+pub fn backward_reachable(g: &Graph, targets: &[NodeId]) -> Vec<NodeId> {
+    bfs(g, targets, Direction::Backward).order
+}
+
+/// BFS distance (hop count) from `sources` to every node; `u32::MAX` means
+/// unreachable.
+pub fn bfs_distances(g: &Graph, sources: &[NodeId]) -> Vec<u32> {
+    bfs(g, sources, Direction::Forward).dist
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Forward,
+    Backward,
+}
+
+struct BfsResult {
+    order: Vec<NodeId>,
+    dist: Vec<u32>,
+}
+
+fn bfs(g: &Graph, roots: &[NodeId], dir: Direction) -> BfsResult {
+    let n = g.num_nodes();
+    let mut dist = vec![u32::MAX; n];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    for &r in roots {
+        let r_us = r as usize;
+        assert!(r_us < n, "root {r} out of range");
+        if dist[r_us] == u32::MAX {
+            dist[r_us] = 0;
+            order.push(r);
+            queue.push_back(r);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let d = dist[u as usize];
+        let step = |w: NodeId, dist: &mut Vec<u32>, order: &mut Vec<NodeId>, queue: &mut VecDeque<NodeId>| {
+            if dist[w as usize] == u32::MAX {
+                dist[w as usize] = d + 1;
+                order.push(w);
+                queue.push_back(w);
+            }
+        };
+        match dir {
+            Direction::Forward => {
+                for e in g.out_edges(u) {
+                    step(e.node, &mut dist, &mut order, &mut queue);
+                }
+            }
+            Direction::Backward => {
+                for e in g.in_edges(u) {
+                    step(e.node, &mut dist, &mut order, &mut queue);
+                }
+            }
+        }
+    }
+    BfsResult { order, dist }
+}
+
+/// Number of weakly connected components (treating edges as undirected).
+pub fn weakly_connected_components(g: &Graph) -> usize {
+    let n = g.num_nodes();
+    let mut comp = vec![usize::MAX; n];
+    let mut count = 0;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        comp[start] = count;
+        queue.push_back(start as NodeId);
+        while let Some(u) = queue.pop_front() {
+            for e in g.out_edges(u).chain(g.in_edges(u)) {
+                let w = e.node as usize;
+                if comp[w] == usize::MAX {
+                    comp[w] = count;
+                    queue.push_back(w as NodeId);
+                }
+            }
+        }
+        count += 1;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, ProbabilityModel as PM};
+
+    fn path(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..(n - 1) as u32 {
+            b.add_edge(i, i + 1);
+        }
+        b.build(PM::Constant(1.0))
+    }
+
+    #[test]
+    fn forward_reach_on_path() {
+        let g = path(5);
+        let r = forward_reachable(&g, &[2]);
+        assert_eq!(r, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn backward_reach_on_path() {
+        let g = path(5);
+        let mut r = backward_reachable(&g, &[2]);
+        r.sort_unstable();
+        assert_eq!(r, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn distances() {
+        let g = path(4);
+        assert_eq!(bfs_distances(&g, &[0]), vec![0, 1, 2, 3]);
+        assert_eq!(bfs_distances(&g, &[3]), vec![u32::MAX, u32::MAX, u32::MAX, 0]);
+    }
+
+    #[test]
+    fn multi_source_bfs() {
+        let g = path(6);
+        let d = bfs_distances(&g, &[0, 4]);
+        assert_eq!(d, vec![0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn components() {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        // 4, 5 isolated
+        let g = b.build(PM::Constant(1.0));
+        assert_eq!(weakly_connected_components(&g), 4);
+    }
+
+    #[test]
+    fn duplicate_roots_counted_once() {
+        let g = path(3);
+        let r = forward_reachable(&g, &[0, 0, 1]);
+        assert_eq!(r, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,329 @@
+//! Collections of (weighted) RR sets and the greedy `NodeSelection`
+//! (Algorithm 5).
+
+use crate::sampler::RrSampler;
+use cwelmax_graph::{Graph, NodeId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A bag of sampled RR sets with weights and an inverted node → sets index.
+pub struct RrCollection {
+    num_nodes: usize,
+    /// Flattened set storage: `members[set_offsets[j]..set_offsets[j+1]]`.
+    set_offsets: Vec<usize>,
+    members: Vec<NodeId>,
+    weights: Vec<f64>,
+    /// Number of sets sampled, **including** discarded/empty ones (the
+    /// estimator divides by this θ).
+    num_sampled: usize,
+}
+
+impl RrCollection {
+    /// An empty collection over `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> RrCollection {
+        RrCollection {
+            num_nodes,
+            set_offsets: vec![0],
+            members: Vec::new(),
+            weights: Vec::new(),
+            num_sampled: 0,
+        }
+    }
+
+    /// θ — the number of sets sampled (including empty ones).
+    pub fn num_sampled(&self) -> usize {
+        self.num_sampled
+    }
+
+    /// Number of retained (non-empty) sets.
+    pub fn num_sets(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Members of retained set `j`.
+    pub fn set(&self, j: usize) -> &[NodeId] {
+        &self.members[self.set_offsets[j]..self.set_offsets[j + 1]]
+    }
+
+    /// Weight of retained set `j`.
+    pub fn weight(&self, j: usize) -> f64 {
+        self.weights[j]
+    }
+
+    /// Add one sampled set (empty sets only bump θ).
+    pub fn push(&mut self, set: Vec<NodeId>, weight: f64) {
+        self.num_sampled += 1;
+        if set.is_empty() || weight <= 0.0 {
+            return;
+        }
+        self.members.extend_from_slice(&set);
+        self.set_offsets.push(self.members.len());
+        self.weights.push(weight);
+    }
+
+    /// Sample `count` additional sets in parallel. Set `k` (globally
+    /// indexed from the current θ) uses an RNG seeded by `(seed, k)`, so
+    /// the collection's contents depend only on `(seed, total count)` —
+    /// not on thread scheduling.
+    pub fn extend_parallel(
+        &mut self,
+        graph: &Graph,
+        sampler: &(impl RrSampler + ?Sized),
+        count: usize,
+        seed: u64,
+        threads: usize,
+    ) {
+        let start = self.num_sampled as u64;
+        let threads = threads.max(1).min(count.max(1));
+        let chunk = count.div_ceil(threads);
+        let shards: Vec<Vec<(Vec<NodeId>, f64)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    scope.spawn(move || {
+                        let lo = t * chunk;
+                        let hi = ((t + 1) * chunk).min(count);
+                        let mut out = Vec::with_capacity(hi.saturating_sub(lo));
+                        for k in lo..hi {
+                            let mut rng = SmallRng::seed_from_u64(sample_seed(seed, start + k as u64));
+                            out.push(sampler.sample(graph, &mut rng));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("sampler panicked")).collect()
+        });
+        for shard in shards {
+            for (set, w) in shard {
+                self.push(set, w);
+            }
+        }
+    }
+
+    /// Total weight covered by seed set `s`:
+    /// `M_R(S) = Σ_{R ∈ R} I[S ∩ R ≠ ∅] · w(R)`.
+    pub fn coverage_of(&self, s: &[NodeId]) -> f64 {
+        let mut in_s = vec![false; self.num_nodes];
+        for &v in s {
+            in_s[v as usize] = true;
+        }
+        (0..self.num_sets())
+            .filter(|&j| self.set(j).iter().any(|&v| in_s[v as usize]))
+            .map(|j| self.weights[j])
+            .sum()
+    }
+
+    /// Greedy `NodeSelection` (Algorithm 5): pick `b` nodes maximizing the
+    /// covered weight; returns the **ordered** seed list and the covered
+    /// weight after each pick (`coverage[i]` = weight covered by the first
+    /// `i + 1` seeds). The ordering is what makes PRIMA+ prefix-preserving:
+    /// the first `b_i` nodes are exactly the greedy solution for budget
+    /// `b_i` on the same collection.
+    pub fn greedy_select(&self, b: usize) -> GreedySelection {
+        let num_sets = self.num_sets();
+        // inverted index: node -> list of set ids
+        let mut node_deg = vec![0u32; self.num_nodes];
+        for &v in &self.members {
+            node_deg[v as usize] += 1;
+        }
+        let mut index_off = vec![0usize; self.num_nodes + 1];
+        for v in 0..self.num_nodes {
+            index_off[v + 1] = index_off[v] + node_deg[v] as usize;
+        }
+        let mut index = vec![0u32; self.members.len()];
+        let mut cursor = index_off.clone();
+        for j in 0..num_sets {
+            for &v in self.set(j) {
+                index[cursor[v as usize]] = j as u32;
+                cursor[v as usize] += 1;
+            }
+        }
+        // covered weight per node over uncovered sets
+        let mut gain = vec![0.0f64; self.num_nodes];
+        for j in 0..num_sets {
+            for &v in self.set(j) {
+                gain[v as usize] += self.weights[j];
+            }
+        }
+        let mut covered = vec![false; num_sets];
+        let mut seeds = Vec::with_capacity(b);
+        let mut coverage = Vec::with_capacity(b);
+        let mut total = 0.0;
+        for _ in 0..b.min(self.num_nodes) {
+            // argmax over gains (ties -> smaller id for determinism)
+            let (best, &best_gain) = match gain
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(&a.0)))
+            {
+                Some(x) => x,
+                None => break,
+            };
+            seeds.push(best as NodeId);
+            total += best_gain;
+            coverage.push(total);
+            // mark this node's uncovered sets covered; decrement members
+            for idx in index_off[best]..index_off[best + 1] {
+                let j = index[idx] as usize;
+                if covered[j] {
+                    continue;
+                }
+                covered[j] = true;
+                for &v in self.set(j) {
+                    gain[v as usize] -= self.weights[j];
+                }
+            }
+            debug_assert!(gain[best].abs() < 1e-6);
+            gain[best] = f64::NEG_INFINITY; // never pick the same node twice
+        }
+        GreedySelection { seeds, coverage }
+    }
+
+    /// The estimator scale: an estimate of the objective from a covered
+    /// weight `M` is `n · M / θ` (Lemma 6 / Borgs et al.).
+    pub fn estimate(&self, covered_weight: f64) -> f64 {
+        if self.num_sampled == 0 {
+            0.0
+        } else {
+            self.num_nodes as f64 * covered_weight / self.num_sampled as f64
+        }
+    }
+}
+
+/// Result of greedy node selection.
+#[derive(Debug, Clone)]
+pub struct GreedySelection {
+    /// Seeds in pick order.
+    pub seeds: Vec<NodeId>,
+    /// `coverage[i]` = covered weight of the first `i + 1` seeds.
+    pub coverage: Vec<f64>,
+}
+
+impl GreedySelection {
+    /// Covered weight of the full selection.
+    pub fn total_coverage(&self) -> f64 {
+        self.coverage.last().copied().unwrap_or(0.0)
+    }
+}
+
+fn sample_seed(seed: u64, k: u64) -> u64 {
+    // SplitMix64 of (seed, k)
+    let mut z = seed ^ k.wrapping_mul(0x2545_f491_4f6c_dd1d);
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::StandardRr;
+    use cwelmax_graph::{generators, ProbabilityModel as PM};
+
+    fn manual_collection(n: usize, sets: &[(&[NodeId], f64)]) -> RrCollection {
+        let mut c = RrCollection::new(n);
+        for (s, w) in sets {
+            c.push(s.to_vec(), *w);
+        }
+        c
+    }
+
+    #[test]
+    fn coverage_counts_weighted_hits() {
+        let c = manual_collection(
+            5,
+            &[(&[0, 1], 1.0), (&[2], 2.0), (&[3, 4], 0.5), (&[0], 1.0)],
+        );
+        assert_eq!(c.coverage_of(&[0]), 2.0);
+        assert_eq!(c.coverage_of(&[2]), 2.0);
+        assert_eq!(c.coverage_of(&[0, 2]), 4.0);
+        assert_eq!(c.coverage_of(&[]), 0.0);
+    }
+
+    #[test]
+    fn empty_sets_count_toward_theta_only() {
+        let mut c = RrCollection::new(3);
+        c.push(vec![0], 1.0);
+        c.push(vec![], 1.0);
+        c.push(vec![1], 0.0); // zero weight: also discarded
+        assert_eq!(c.num_sampled(), 3);
+        assert_eq!(c.num_sets(), 1);
+        // estimate of covering everything: n * 1 / 3
+        assert!((c.estimate(c.coverage_of(&[0, 1, 2])) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_picks_highest_gain_first() {
+        // node 2 covers weight 3, nodes 0/1 cover weight 1 each
+        let c = manual_collection(4, &[(&[2], 3.0), (&[0], 1.0), (&[1], 1.0)]);
+        let sel = c.greedy_select(2);
+        assert_eq!(sel.seeds[0], 2);
+        assert_eq!(sel.coverage, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn greedy_accounts_for_overlap() {
+        // node 0 appears in both sets; picking it covers both, so the
+        // second pick gains nothing from those sets
+        let c = manual_collection(3, &[(&[0, 1], 1.0), (&[0, 2], 1.0)]);
+        let sel = c.greedy_select(2);
+        assert_eq!(sel.seeds[0], 0);
+        assert_eq!(sel.total_coverage(), 2.0);
+        assert_eq!(sel.coverage[0], 2.0); // everything covered by first pick
+    }
+
+    #[test]
+    fn greedy_prefix_property() {
+        // greedy for budget b must be a prefix of greedy for budget b' > b
+        let g = generators::erdos_renyi(150, 700, 11, PM::WeightedCascade);
+        let mut c = RrCollection::new(150);
+        c.extend_parallel(&g, &StandardRr, 3000, 9, 2);
+        let s5 = c.greedy_select(5);
+        let s10 = c.greedy_select(10);
+        assert_eq!(s5.seeds[..], s10.seeds[..5]);
+        assert_eq!(s5.coverage[..], s10.coverage[..5]);
+    }
+
+    #[test]
+    fn parallel_sampling_is_deterministic() {
+        let g = generators::erdos_renyi(100, 400, 2, PM::WeightedCascade);
+        let build = |threads| {
+            let mut c = RrCollection::new(100);
+            c.extend_parallel(&g, &StandardRr, 500, 7, threads);
+            (0..c.num_sets()).map(|j| c.set(j).to_vec()).collect::<Vec<_>>()
+        };
+        assert_eq!(build(1), build(4));
+    }
+
+    #[test]
+    fn estimate_matches_spread_on_path() {
+        // deterministic path of 4: RR sets from root r have size r+1;
+        // σ({0}) = 4 (reaches everyone)
+        let g = generators::path(4, PM::Constant(1.0));
+        let mut c = RrCollection::new(4);
+        c.extend_parallel(&g, &StandardRr, 20_000, 3, 2);
+        let est = c.estimate(c.coverage_of(&[0]));
+        assert!((est - 4.0).abs() < 0.1, "estimate {est}");
+        // σ({3}) = 1 (no out-edges)
+        let est3 = c.estimate(c.coverage_of(&[3]));
+        assert!((est3 - 1.0).abs() < 0.1, "estimate {est3}");
+    }
+
+    #[test]
+    fn greedy_never_repeats_a_node() {
+        let c = manual_collection(2, &[(&[0], 5.0), (&[1], 0.1)]);
+        let sel = c.greedy_select(5);
+        assert_eq!(sel.seeds.len(), 2);
+        assert_eq!(sel.seeds[0], 0);
+        assert_eq!(sel.seeds[1], 1);
+    }
+
+    #[test]
+    fn greedy_on_empty_collection() {
+        let c = RrCollection::new(10);
+        let sel = c.greedy_select(3);
+        assert_eq!(sel.seeds.len(), 3); // picks arbitrary zero-gain nodes
+        assert_eq!(sel.total_coverage(), 0.0);
+    }
+}

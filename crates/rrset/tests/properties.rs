@@ -1,0 +1,106 @@
+//! Property-based tests on the RR-set machinery.
+
+use cwelmax_graph::{generators, GraphBuilder, ProbabilityModel};
+use cwelmax_rrset::{MarginalRr, RrCollection, RrSampler, StandardRr, WeightedRr};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Coverage is monotone and subadditive in the seed set, and bounded by
+    /// the total weight.
+    #[test]
+    fn coverage_monotone_subadditive(seed in 0u64..500, n_sets in 50usize..300) {
+        let g = generators::erdos_renyi(60, 240, seed, ProbabilityModel::WeightedCascade);
+        let mut c = RrCollection::new(60);
+        c.extend_parallel(&g, &StandardRr, n_sets, seed, 2);
+        let total: f64 = (0..c.num_sets()).map(|j| c.weight(j)).sum();
+        let a = [0u32, 5, 9];
+        let b = [9u32, 20, 33];
+        let cov_a = c.coverage_of(&a);
+        let cov_b = c.coverage_of(&b);
+        let both: Vec<u32> = a.iter().chain(b.iter()).copied().collect();
+        let cov_ab = c.coverage_of(&both);
+        prop_assert!(cov_ab + 1e-9 >= cov_a.max(cov_b), "monotone");
+        prop_assert!(cov_ab <= cov_a + cov_b + 1e-9, "subadditive");
+        prop_assert!(cov_ab <= total + 1e-9, "bounded by total weight");
+    }
+
+    /// The greedy selection's running coverage is concave (diminishing
+    /// returns — max-coverage is submodular even though welfare is not).
+    #[test]
+    fn greedy_coverage_is_concave(seed in 0u64..500) {
+        let g = generators::erdos_renyi(80, 400, seed, ProbabilityModel::WeightedCascade);
+        let mut c = RrCollection::new(80);
+        c.extend_parallel(&g, &StandardRr, 2000, seed ^ 7, 2);
+        let sel = c.greedy_select(10);
+        let mut prev_gain = f64::INFINITY;
+        let mut prev_cov = 0.0;
+        for &cov in &sel.coverage {
+            let gain = cov - prev_cov;
+            prop_assert!(gain <= prev_gain + 1e-9, "gains must not increase");
+            prop_assert!(gain >= -1e-9, "gains must not be negative");
+            prev_gain = gain;
+            prev_cov = cov;
+        }
+    }
+
+    /// Marginal RR sets never contain SP nodes, and the discard rate equals
+    /// the probability of reaching SP.
+    #[test]
+    fn marginal_sets_avoid_sp(seed in 0u64..200, sp_node in 0u32..40) {
+        let g = generators::erdos_renyi(40, 200, seed, ProbabilityModel::WeightedCascade);
+        let sampler = MarginalRr::new(40, &[sp_node]);
+        for k in 0..100u64 {
+            let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(1000) + k);
+            let (set, w) = sampler.sample(&g, &mut rng);
+            if !set.is_empty() {
+                prop_assert!(w == 1.0);
+                prop_assert!(!set.contains(&sp_node), "SP node in a kept set");
+            }
+        }
+    }
+
+    /// Weighted RR sets: weight is in [0, superior], and equals the full
+    /// superior utility exactly when no SP node is in the set.
+    #[test]
+    fn weighted_set_weights_consistent(seed in 0u64..200) {
+        let g = generators::erdos_renyi(50, 250, seed, ProbabilityModel::WeightedCascade);
+        let sp: Vec<(u32, f64)> = vec![(3, 1.5), (17, 0.5)];
+        let sup = 4.0;
+        let sampler = WeightedRr::new(50, sup, sp.clone());
+        for k in 0..200u64 {
+            let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(999) + k);
+            let (set, w) = sampler.sample(&g, &mut rng);
+            prop_assert!((0.0..=sup).contains(&w));
+            let hit: Vec<f64> = sp
+                .iter()
+                .filter(|(v, _)| set.contains(v))
+                .map(|&(_, u)| u)
+                .collect();
+            if hit.is_empty() {
+                prop_assert!((w - sup).abs() < 1e-12, "no SP hit ⇒ full weight, got {}", w);
+            } else {
+                let expect = sup - hit.iter().cloned().fold(0.0f64, f64::max);
+                prop_assert!((w - expect).abs() < 1e-12, "weight {} vs expected {}", w, expect);
+            }
+        }
+    }
+}
+
+/// Deterministic regression: RR-set frequencies estimate exact reachability
+/// probabilities on a graph small enough to enumerate.
+#[test]
+fn rr_estimates_match_exact_reachability() {
+    // 0 -> 1 (p=0.5), 1 -> 2 (p=0.5): σ({0}) = 1 + 0.5 + 0.25 = 1.75
+    let mut b = GraphBuilder::new(3);
+    b.add_edge_with_prob(0, 1, 0.5);
+    b.add_edge_with_prob(1, 2, 0.5);
+    let g = b.build(ProbabilityModel::Explicit);
+    let mut c = RrCollection::new(3);
+    c.extend_parallel(&g, &StandardRr, 200_000, 5, 4);
+    let est = c.estimate(c.coverage_of(&[0]));
+    assert!((est - 1.75).abs() < 0.02, "estimate {est}");
+}

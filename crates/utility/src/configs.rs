@@ -1,0 +1,385 @@
+//! Every utility configuration used in the paper's evaluation (§6) and
+//! proofs (§4), ready to plug into the diffusion engine.
+//!
+//! | Constructor | Paper source | Competition |
+//! |---|---|---|
+//! | [`two_item_config`] C1–C4 | Table 3 | pure (C1, C2), soft (C3, C4) |
+//! | [`supgrd_config`] C5, C6 | §6.2.3 | pure, bounded noise |
+//! | [`three_item_blocking`] | Table 4 | mixed soft/pure |
+//! | [`multi_item_pure_competition`] | §6.3.1 (Fig. 6a/b) | pure |
+//! | [`lastfm`] | Table 5 (learned from Last.fm) | pure |
+//! | [`hardness_table1`] | Table 1 (Theorem 2) | the gap gadget config |
+//! | [`counterexample_theorem1`] | Fig. 1(a) (Theorem 1) | mixed |
+
+use crate::itemset::ItemSet;
+use crate::model::UtilityModel;
+use crate::noise::NoiseDist;
+use crate::value::TableValue;
+
+/// The four two-item configurations of Table 3. All share prices
+/// `P(i)=3, P(j)=4` and noise `N(0,1)` per item; they differ in values.
+/// C4 has the same utilities as C3 — it differs only in the (non-uniform)
+/// budgets, which are a property of the experiment, not the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TwoItemConfig {
+    /// Pure competition, comparable utilities: `U(i)=1, U(j)=0.9`.
+    C1,
+    /// Pure competition, lopsided utilities: `U(i)=1, U(j)=0.1`.
+    C2,
+    /// Soft competition: `U(i)=1, U(j)=0.9, U({i,j})=1.7`.
+    C3,
+    /// Same utilities as C3; run with non-uniform budgets.
+    C4,
+}
+
+/// Build a Table-3 configuration. Item `i` is item 0, item `j` is item 1.
+pub fn two_item_config(cfg: TwoItemConfig) -> UtilityModel {
+    // mask order: [∅, {i}, {j}, {i,j}]
+    let values = match cfg {
+        TwoItemConfig::C1 => vec![0.0, 4.0, 4.9, 4.9],
+        TwoItemConfig::C2 => vec![0.0, 4.0, 4.1, 4.1],
+        TwoItemConfig::C3 | TwoItemConfig::C4 => vec![0.0, 4.0, 4.9, 8.7],
+    };
+    UtilityModel::new(
+        TableValue::from_table(2, values),
+        vec![3.0, 4.0],
+        vec![NoiseDist::Normal { std: 1.0 }, NoiseDist::Normal { std: 1.0 }],
+    )
+}
+
+/// The SupGRD comparison configurations of §6.2.3. They reuse the C1/C2
+/// utilities but bound the noise so a superior item exists: C5 keeps C1's
+/// near-tied utilities (`1` vs `0.9`, uniform noise ±0.04), C6 keeps C2's
+/// lopsided ones (`1` vs `0.1`, uniform noise ±0.4). Item `i` (id 0) is
+/// the superior item in both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupConfig {
+    C5,
+    C6,
+}
+
+/// Build a C5/C6 configuration.
+pub fn supgrd_config(cfg: SupConfig) -> UtilityModel {
+    let (values, half_width) = match cfg {
+        SupConfig::C5 => (vec![0.0, 4.0, 4.9, 4.9], 0.04),
+        SupConfig::C6 => (vec![0.0, 4.0, 4.1, 4.1], 0.4),
+    };
+    UtilityModel::new(
+        TableValue::from_table(2, values),
+        vec![3.0, 4.0],
+        vec![
+            NoiseDist::Uniform { half_width },
+            NoiseDist::Uniform { half_width },
+        ],
+    )
+}
+
+/// The three-item configuration of Table 4 (used for the marginal-check
+/// experiment, Fig. 6c): `U(i)=2, U(j)=0.11, U(k)=0.1, U({i,k})=2.1`,
+/// every other bundle negative. Items map as `i→0, j→1, k→2`. No noise.
+pub fn three_item_blocking() -> UtilityModel {
+    let i = ItemSet::singleton(0);
+    let j = ItemSet::singleton(1);
+    let k = ItemSet::singleton(2);
+    UtilityModel::from_utilities(
+        3,
+        &[
+            (i, 2.0),
+            (j, 0.11),
+            (k, 0.1),
+            (i.union(j), -1.0),
+            (i.union(k), 2.1),
+            (j.union(k), -1.0),
+            (ItemSet::full(3), -3.5),
+        ],
+        vec![NoiseDist::None; 3],
+        0.5,
+    )
+}
+
+/// The multi-item configuration of §6.3.1 (Fig. 6a/b): `m` symmetric items,
+/// each with expected utility 1, in pure competition (every multi-item
+/// bundle has negative utility, with properly decreasing marginals so the
+/// underlying value function stays submodular).
+pub fn multi_item_pure_competition(m: usize) -> UtilityModel {
+    assert!(m >= 1);
+    // cardinality utilities: u(0)=0, u(1)=1, u(ℓ) = u(ℓ-1) - ℓ for ℓ ≥ 2
+    // → differences 1, -2, -3, -4, ... strictly decreasing (submodular)
+    let mut by_size = vec![0.0f64; m + 1];
+    if m >= 1 {
+        by_size[1] = 1.0;
+    }
+    for l in 2..=m {
+        by_size[l] = by_size[l - 1] - l as f64;
+    }
+    let utilities: Vec<(ItemSet, f64)> = crate::itemset::all_itemsets(m)
+        .map(|s| (s, by_size[s.len()]))
+        .collect();
+    UtilityModel::from_utilities(m, &utilities, vec![NoiseDist::None; m], 0.5)
+}
+
+/// The real (Last.fm-learned) configuration of Table 5: four genres with
+/// singleton utilities `indie 7.0, rock 6.8, industrial 5.0,
+/// progressive-metal 4.7` in pure competition. Bundles get a pairwise
+/// penalty of 10 per item pair, which makes every marginal strictly
+/// negative (behavioural pure competition) while keeping the value function
+/// submodular. Items map as `indie→0, rock→1, industrial→2, prog-metal→3`.
+pub fn lastfm() -> UtilityModel {
+    lastfm_from_singles(&LASTFM_SINGLE_UTILITIES)
+}
+
+/// Table 5 singleton utilities (indie, rock, industrial, progressive metal).
+pub const LASTFM_SINGLE_UTILITIES: [f64; 4] = [7.0, 6.8, 5.0, 4.7];
+
+/// Genre names for reports, in item-id order.
+pub const LASTFM_GENRES: [&str; 4] = ["indie", "rock", "industrial", "progressive metal"];
+
+/// Build a pure-competition model from arbitrary singleton utilities using
+/// the pairwise-penalty construction (`U(S) = Σ u_i − 10·C(|S|,2)`): each
+/// pair of co-adopted items costs 10 utility, so marginals
+/// `u_x − 10·|S|` are strictly decreasing (submodular) and negative beyond
+/// singletons whenever `u_x < 10`.
+pub fn lastfm_from_singles(singles: &[f64]) -> UtilityModel {
+    let m = singles.len();
+    const PAIR_PENALTY: f64 = 10.0;
+    let utilities: Vec<(ItemSet, f64)> = crate::itemset::all_itemsets(m)
+        .map(|s| {
+            let base: f64 = s.iter().map(|i| singles[i]).sum();
+            let pairs = (s.len() * s.len().saturating_sub(1) / 2) as f64;
+            (s, base - PAIR_PENALTY * pairs)
+        })
+        .collect();
+    UtilityModel::from_utilities(m, &utilities, vec![NoiseDist::None; m], 0.5)
+}
+
+/// The hardness configuration of Table 1 (used in the Theorem-2 reduction
+/// with `c = 0.4`): explicit values and additive prices
+/// `P = (10, 100, 100, 1)` over items `i1..i4` (ids 0..3). No noise.
+pub fn hardness_table1() -> UtilityModel {
+    // mask order over (i1=bit0, i2=bit1, i3=bit2, i4=bit3)
+    let mut values = vec![0.0f64; 16];
+    let set = |values: &mut Vec<f64>, items: &[usize], v: f64| {
+        values[ItemSet::from_items(items.iter().copied()).mask()] = v;
+    };
+    set(&mut values, &[0], 15.1);
+    set(&mut values, &[1], 105.0);
+    set(&mut values, &[2], 105.0);
+    set(&mut values, &[3], 101.0);
+    set(&mut values, &[0, 1], 114.9);
+    set(&mut values, &[0, 2], 114.9);
+    set(&mut values, &[0, 3], 116.1);
+    set(&mut values, &[1, 2], 210.0);
+    set(&mut values, &[1, 3], 206.0);
+    set(&mut values, &[2, 3], 206.0);
+    set(&mut values, &[0, 1, 2], 214.6);
+    set(&mut values, &[0, 1, 3], 214.0);
+    set(&mut values, &[0, 2, 3], 214.0);
+    set(&mut values, &[1, 2, 3], 210.5);
+    set(&mut values, &[0, 1, 2, 3], 214.6);
+    UtilityModel::new(
+        TableValue::from_table(4, values),
+        vec![10.0, 100.0, 100.0, 1.0],
+        vec![NoiseDist::None; 4],
+    )
+}
+
+/// **Extension (§7 future work)**: an *arbitrary mix* of competition and
+/// complementarity — the open problem the paper closes with. Three items:
+/// `i0` and `i1` are complements (`U({i0,i1}) = 2.6 > U(i0) + U(i1)`),
+/// while `i2` competes with both (every bundle containing `i2` and another
+/// item is worse than its best member). The value function is monotone but
+/// deliberately *not* submodular (complementarity requires a supermodular
+/// corner), so none of the paper's guarantees apply — the diffusion engine
+/// and all heuristic solvers still run, which is exactly what makes the
+/// extension explorable.
+pub fn mixed_interaction() -> UtilityModel {
+    let i0 = ItemSet::singleton(0);
+    let i1 = ItemSet::singleton(1);
+    let i2 = ItemSet::singleton(2);
+    UtilityModel::from_utilities(
+        3,
+        &[
+            (i0, 1.0),
+            (i1, 0.8),
+            (i2, 0.9),
+            (i0.union(i1), 2.6),  // complementary: superadditive
+            (i0.union(i2), -0.5), // competitive
+            (i1.union(i2), -0.5),
+            (ItemSet::full(3), -1.0),
+        ],
+        vec![NoiseDist::None; 3],
+        0.5,
+    )
+}
+
+/// The Theorem-1 counterexample configuration (Fig. 1a): three items on a
+/// two-node network with utilities
+/// `U(i1)=4, U(i2)=3, U(i3)=3.5, U({i1,i2})=2, U({i1,i3})=4.5,
+/// U({i2,i3})=3, U({i1,i2,i3})=1.5`. Items map as `i1→0, i2→1, i3→2`.
+pub fn counterexample_theorem1() -> UtilityModel {
+    UtilityModel::new(
+        TableValue::from_table(
+            3,
+            // masks: ∅, {1}, {2}, {12}, {3}, {13}, {23}, {123}
+            vec![0.0, 6.0, 6.5, 7.5, 4.5, 7.5, 7.5, 8.0],
+        ),
+        vec![2.0, 3.5, 1.0],
+        vec![NoiseDist::None; 3],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::itemset::all_itemsets;
+
+    fn assert_structural(m: &UtilityModel) {
+        assert!(m.value_fn().is_monotone(), "V must be monotone");
+        assert!(m.value_fn().is_submodular(), "V must be submodular");
+    }
+
+    #[test]
+    fn c1_utilities() {
+        let m = two_item_config(TwoItemConfig::C1);
+        assert_structural(&m);
+        assert!((m.deterministic_utility(ItemSet::singleton(0)) - 1.0).abs() < 1e-9);
+        assert!((m.deterministic_utility(ItemSet::singleton(1)) - 0.9).abs() < 1e-9);
+        assert!(m.deterministic_utility(ItemSet::full(2)) < 0.0, "pure competition");
+    }
+
+    #[test]
+    fn c2_utilities() {
+        let m = two_item_config(TwoItemConfig::C2);
+        assert_structural(&m);
+        assert!((m.deterministic_utility(ItemSet::singleton(1)) - 0.1).abs() < 1e-9);
+        assert!(m.deterministic_utility(ItemSet::full(2)) < 0.0);
+    }
+
+    #[test]
+    fn c3_soft_competition() {
+        let m = two_item_config(TwoItemConfig::C3);
+        assert_structural(&m);
+        let bundle = m.deterministic_utility(ItemSet::full(2));
+        assert!((bundle - 1.7).abs() < 1e-9);
+        // soft: bundle beats each single but is subadditive
+        assert!(bundle > 1.0 && bundle < 1.9);
+    }
+
+    #[test]
+    fn c5_c6_have_superior_item() {
+        for cfg in [SupConfig::C5, SupConfig::C6] {
+            let m = supgrd_config(cfg);
+            assert_structural(&m);
+            assert_eq!(m.superior_item(), Some(0), "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn table4_shape() {
+        let m = three_item_blocking();
+        assert_structural(&m);
+        let i = ItemSet::singleton(0);
+        let j = ItemSet::singleton(1);
+        let k = ItemSet::singleton(2);
+        assert!((m.deterministic_utility(i) - 2.0).abs() < 1e-9);
+        assert!((m.deterministic_utility(j) - 0.11).abs() < 1e-9);
+        assert!((m.deterministic_utility(k) - 0.1).abs() < 1e-9);
+        assert!((m.deterministic_utility(i.union(k)) - 2.1).abs() < 1e-9);
+        assert!(m.deterministic_utility(i.union(j)) < 0.0);
+        assert!(m.deterministic_utility(j.union(k)) < 0.0);
+        assert!(m.deterministic_utility(ItemSet::full(3)) < 0.0);
+    }
+
+    #[test]
+    fn multi_item_symmetric() {
+        for m_items in 1..=5 {
+            let m = multi_item_pure_competition(m_items);
+            assert_structural(&m);
+            for i in 0..m_items {
+                assert!(
+                    (m.deterministic_utility(ItemSet::singleton(i)) - 1.0).abs() < 1e-9
+                );
+            }
+            for s in all_itemsets(m_items).filter(|s| s.len() >= 2) {
+                assert!(m.deterministic_utility(s) < 0.0, "bundle {s} must be negative");
+            }
+        }
+    }
+
+    #[test]
+    fn lastfm_matches_table5() {
+        let m = lastfm();
+        assert_structural(&m);
+        for (i, &u) in LASTFM_SINGLE_UTILITIES.iter().enumerate() {
+            assert!((m.deterministic_utility(ItemSet::singleton(i)) - u).abs() < 1e-9);
+        }
+        // behavioural pure competition: every marginal beyond a singleton is
+        // negative, so best response never bundles
+        for s in all_itemsets(4).filter(|s| !s.is_empty()) {
+            for x in 0..4 {
+                if !s.contains(x) {
+                    let marg = m.deterministic_utility(s.insert(x)) - m.deterministic_utility(s);
+                    assert!(marg < 0.0, "marginal of i{x} given {s} must be negative");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hardness_table1_matches_paper() {
+        let m = hardness_table1();
+        assert!(m.value_fn().is_monotone());
+        assert!(m.value_fn().is_submodular());
+        let u = |items: &[usize]| m.deterministic_utility(ItemSet::from_items(items.iter().copied()));
+        assert!((u(&[0]) - 5.1).abs() < 1e-9);
+        assert!((u(&[1]) - 5.0).abs() < 1e-9);
+        assert!((u(&[2]) - 5.0).abs() < 1e-9);
+        assert!((u(&[3]) - 100.0).abs() < 1e-9);
+        assert!((u(&[0, 3]) - 105.1).abs() < 1e-9);
+        assert!((u(&[1, 2]) - 10.0).abs() < 1e-9);
+        assert!((u(&[0, 1, 2, 3]) - 3.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hardness_gap_inequalities_hold_for_c04() {
+        // the reduction needs U({i2,i3}) < c/4 · U({i1,i4}) and
+        // c · U(i4) > U({i2,i3}) for c = 0.4
+        let m = hardness_table1();
+        let c = 0.4;
+        let u23 = m.deterministic_utility(ItemSet::from_items([1, 2]));
+        let u14 = m.deterministic_utility(ItemSet::from_items([0, 3]));
+        let u4 = m.deterministic_utility(ItemSet::singleton(3));
+        assert!(u23 < c / 4.0 * u14, "{u23} < {}", c / 4.0 * u14);
+        assert!(c * u4 > u23, "{} > {u23}", c * u4);
+        // i1 individually beats i2 and i3, but {i2,i3} beats i1
+        let u1 = m.deterministic_utility(ItemSet::singleton(0));
+        assert!(u1 > m.deterministic_utility(ItemSet::singleton(1)));
+        assert!(u23 > u1);
+    }
+
+    #[test]
+    fn mixed_interaction_shape() {
+        let m = mixed_interaction();
+        assert!(m.value_fn().is_monotone());
+        // complementarity forces non-submodularity — by design
+        assert!(!m.value_fn().is_submodular());
+        let u01 = m.deterministic_utility(ItemSet::from_items([0, 1]));
+        assert!(u01 > m.deterministic_utility(ItemSet::singleton(0))
+            + m.deterministic_utility(ItemSet::singleton(1)));
+        assert!(m.deterministic_utility(ItemSet::from_items([0, 2])) < 0.0);
+    }
+
+    #[test]
+    fn counterexample_utilities() {
+        let m = counterexample_theorem1();
+        assert_structural(&m);
+        let u = |items: &[usize]| m.deterministic_utility(ItemSet::from_items(items.iter().copied()));
+        assert!((u(&[0]) - 4.0).abs() < 1e-9);
+        assert!((u(&[1]) - 3.0).abs() < 1e-9);
+        assert!((u(&[2]) - 3.5).abs() < 1e-9);
+        assert!((u(&[0, 1]) - 2.0).abs() < 1e-9);
+        assert!((u(&[0, 2]) - 4.5).abs() < 1e-9);
+        assert!((u(&[1, 2]) - 3.0).abs() < 1e-9);
+        assert!((u(&[0, 1, 2]) - 1.5).abs() < 1e-9);
+    }
+}

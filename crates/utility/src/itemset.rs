@@ -1,0 +1,257 @@
+//! Itemsets as bitmasks.
+//!
+//! The paper's experiments use at most five items; we support up to 20
+//! (bounded by the `2^m` utility tables, not by this type). An [`ItemSet`]
+//! is a thin wrapper over a `u32` mask with set algebra, iteration and —
+//! crucial for the adoption best-response — *subset enumeration*: iterating
+//! all submasks of a mask in `O(2^{|mask|})` via the standard
+//! `sub = (sub - 1) & mask` trick.
+
+use serde::{Deserialize, Serialize};
+
+/// Item identifier: items are indexed `0..m`.
+pub type ItemId = usize;
+
+/// Maximum number of distinct items supported by the bitmask representation.
+pub const MAX_ITEMS: usize = 20;
+
+/// A set of items, stored as a bitmask (bit `i` ⇔ item `i` present).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct ItemSet(pub u32);
+
+impl ItemSet {
+    /// The empty itemset.
+    pub const EMPTY: ItemSet = ItemSet(0);
+
+    /// Singleton `{i}`.
+    #[inline]
+    pub fn singleton(i: ItemId) -> ItemSet {
+        debug_assert!(i < MAX_ITEMS);
+        ItemSet(1 << i)
+    }
+
+    /// The full itemset over a universe of `m` items.
+    #[inline]
+    pub fn full(m: usize) -> ItemSet {
+        debug_assert!(m <= MAX_ITEMS);
+        ItemSet(if m == 0 { 0 } else { (1u32 << m) - 1 })
+    }
+
+    /// Build from an iterator of item ids.
+    pub fn from_items(items: impl IntoIterator<Item = ItemId>) -> ItemSet {
+        let mut s = ItemSet::EMPTY;
+        for i in items {
+            s = s.insert(i);
+        }
+        s
+    }
+
+    /// Number of items in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True iff empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(self, i: ItemId) -> bool {
+        self.0 & (1 << i) != 0
+    }
+
+    /// `self ∪ {i}`.
+    #[inline]
+    #[must_use]
+    pub fn insert(self, i: ItemId) -> ItemSet {
+        debug_assert!(i < MAX_ITEMS);
+        ItemSet(self.0 | (1 << i))
+    }
+
+    /// `self \ {i}`.
+    #[inline]
+    #[must_use]
+    pub fn remove(self, i: ItemId) -> ItemSet {
+        ItemSet(self.0 & !(1 << i))
+    }
+
+    /// `self ∪ other`.
+    #[inline]
+    #[must_use]
+    pub fn union(self, other: ItemSet) -> ItemSet {
+        ItemSet(self.0 | other.0)
+    }
+
+    /// `self ∩ other`.
+    #[inline]
+    #[must_use]
+    pub fn intersect(self, other: ItemSet) -> ItemSet {
+        ItemSet(self.0 & other.0)
+    }
+
+    /// `self \ other`.
+    #[inline]
+    #[must_use]
+    pub fn difference(self, other: ItemSet) -> ItemSet {
+        ItemSet(self.0 & !other.0)
+    }
+
+    /// `self ⊆ other`.
+    #[inline]
+    pub fn is_subset_of(self, other: ItemSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterate item ids in ascending order.
+    #[inline]
+    pub fn iter(self) -> impl Iterator<Item = ItemId> {
+        let mut rest = self.0;
+        std::iter::from_fn(move || {
+            if rest == 0 {
+                None
+            } else {
+                let i = rest.trailing_zeros() as ItemId;
+                rest &= rest - 1;
+                Some(i)
+            }
+        })
+    }
+
+    /// Iterate **all** subsets of `self`, including `∅` and `self` itself,
+    /// in `O(2^len)` total.
+    pub fn subsets(self) -> Subsets {
+        Subsets { mask: self.0, sub: self.0, done: false }
+    }
+
+    /// The raw mask, usable as an index into `2^m`-sized tables.
+    #[inline]
+    pub fn mask(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ItemSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (k, i) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "i{i}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<ItemId> for ItemSet {
+    fn from_iter<T: IntoIterator<Item = ItemId>>(iter: T) -> Self {
+        ItemSet::from_items(iter)
+    }
+}
+
+/// Iterator over all submasks of a mask (descending mask order, ending with
+/// the empty set).
+pub struct Subsets {
+    mask: u32,
+    sub: u32,
+    done: bool,
+}
+
+impl Iterator for Subsets {
+    type Item = ItemSet;
+
+    fn next(&mut self) -> Option<ItemSet> {
+        if self.done {
+            return None;
+        }
+        let cur = self.sub;
+        if cur == 0 {
+            self.done = true;
+        } else {
+            self.sub = (cur - 1) & self.mask;
+        }
+        Some(ItemSet(cur))
+    }
+}
+
+/// Enumerate every itemset over a universe of `m` items (`2^m` sets).
+pub fn all_itemsets(m: usize) -> impl Iterator<Item = ItemSet> {
+    debug_assert!(m <= MAX_ITEMS);
+    (0u32..(1u32 << m)).map(ItemSet)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_algebra() {
+        let s = ItemSet::from_items([0, 2]);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(0) && s.contains(2) && !s.contains(1));
+        assert_eq!(s.insert(1), ItemSet::from_items([0, 1, 2]));
+        assert_eq!(s.remove(0), ItemSet::singleton(2));
+        assert!(ItemSet::singleton(2).is_subset_of(s));
+        assert!(!s.is_subset_of(ItemSet::singleton(2)));
+        assert_eq!(s.union(ItemSet::singleton(1)).len(), 3);
+        assert_eq!(s.intersect(ItemSet::singleton(2)), ItemSet::singleton(2));
+        assert_eq!(s.difference(ItemSet::singleton(2)), ItemSet::singleton(0));
+    }
+
+    #[test]
+    fn iteration_order() {
+        let s = ItemSet::from_items([3, 0, 5]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 3, 5]);
+    }
+
+    #[test]
+    fn subsets_enumerates_powerset() {
+        let s = ItemSet::from_items([0, 1, 3]);
+        let subs: Vec<ItemSet> = s.subsets().collect();
+        assert_eq!(subs.len(), 8);
+        assert!(subs.contains(&ItemSet::EMPTY));
+        assert!(subs.contains(&s));
+        for sub in subs {
+            assert!(sub.is_subset_of(s));
+        }
+    }
+
+    #[test]
+    fn subsets_of_empty() {
+        let subs: Vec<ItemSet> = ItemSet::EMPTY.subsets().collect();
+        assert_eq!(subs, vec![ItemSet::EMPTY]);
+    }
+
+    #[test]
+    fn full_universe() {
+        assert_eq!(ItemSet::full(0), ItemSet::EMPTY);
+        assert_eq!(ItemSet::full(3).len(), 3);
+        assert_eq!(ItemSet::full(3).mask(), 7);
+    }
+
+    #[test]
+    fn all_itemsets_count() {
+        assert_eq!(all_itemsets(4).count(), 16);
+        assert_eq!(all_itemsets(0).count(), 1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ItemSet::from_items([1, 3]).to_string(), "{i1,i3}");
+        assert_eq!(ItemSet::EMPTY.to_string(), "{}");
+    }
+
+    #[test]
+    fn mask_indexing_is_stable() {
+        // tables indexed by mask() must agree with singleton positions
+        for i in 0..8 {
+            assert_eq!(ItemSet::singleton(i).mask(), 1 << i);
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Discrete-choice utility learning (§6.4.1).
+//!
+//! The paper learns item utilities from the Last.fm listening logs using the
+//! discrete-choice model of Benson, Kumar & Tomkins (WSDM'18): each item `i`
+//! has an adoption probability `p_i`, bundles have
+//! `p_I = γ_{|I|} · Π_{j∈I} p_j + q_I` where `q_I` is an interaction
+//! correction (negative under competition), and utilities follow from the
+//! softmax relation `p_i = e^{v_i} / Σ_j e^{v_j}` as
+//! `v_i = ln(SCALE · p_i)` with `SCALE = 10000` chosen to keep utilities
+//! positive.
+//!
+//! The raw Last.fm logs are not redistributable, so this module provides the
+//! full synthetic pipeline (DESIGN.md "Substitutions"): a log *generator*
+//! sampling adoption events from known ground-truth probabilities, an
+//! *estimator* recovering `p̂`, `γ̂`, `q̂` from the logs, and the utility
+//! mapping — plus the paper's published Table-5 parameters as constants.
+
+use crate::itemset::{all_itemsets, ItemSet};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// The paper's scaling constant in `v_i = ln(SCALE · p_i)`.
+pub const UTILITY_SCALE: f64 = 10_000.0;
+
+/// Table 5's learned adoption probabilities
+/// (indie, rock, industrial, progressive metal).
+pub const LASTFM_ADOPTION_PROBS: [f64; 4] = [0.107, 0.091, 0.015, 0.011];
+
+/// Ground-truth or learned discrete-choice parameters.
+#[derive(Debug, Clone)]
+pub struct ChoiceModel {
+    /// Singleton adoption probabilities `p_i`.
+    pub item_probs: Vec<f64>,
+    /// Size-dependent mixing coefficients `γ_ℓ` (index = bundle size;
+    /// `gamma[0]` and `gamma[1]` are unused and conventionally 1).
+    pub gamma: Vec<f64>,
+    /// Interaction corrections `q_I` for multi-item bundles (missing ⇒ 0).
+    pub corrections: HashMap<ItemSet, f64>,
+}
+
+impl ChoiceModel {
+    /// A purely independent model (no corrections).
+    pub fn independent(item_probs: Vec<f64>) -> ChoiceModel {
+        let m = item_probs.len();
+        ChoiceModel { item_probs, gamma: vec![1.0; m + 1], corrections: HashMap::new() }
+    }
+
+    /// Number of items.
+    pub fn num_items(&self) -> usize {
+        self.item_probs.len()
+    }
+
+    /// The bundle adoption probability
+    /// `p_I = γ_{|I|} Π_{j∈I} p_j + q_I` (singletons are `p_i` directly;
+    /// probabilities are clamped to `[0, 1]`).
+    pub fn bundle_prob(&self, s: ItemSet) -> f64 {
+        match s.len() {
+            0 => 0.0,
+            1 => self.item_probs[s.iter().next().unwrap()],
+            l => {
+                let prod: f64 = s.iter().map(|i| self.item_probs[i]).product();
+                let gamma = self.gamma.get(l).copied().unwrap_or(1.0);
+                let q = self.corrections.get(&s).copied().unwrap_or(0.0);
+                (gamma * prod + q).clamp(0.0, 1.0)
+            }
+        }
+    }
+
+    /// Utility of an itemset: `ln(SCALE · p_I)`, or a large negative value
+    /// when `p_I` is (numerically) zero — the paper notes only the relative
+    /// order matters, and a zero-probability bundle must never win a best
+    /// response.
+    pub fn utility(&self, s: ItemSet) -> f64 {
+        if s.is_empty() {
+            return 0.0;
+        }
+        let p = self.bundle_prob(s);
+        if p <= 0.0 {
+            -1e6
+        } else {
+            (UTILITY_SCALE * p).ln()
+        }
+    }
+
+    /// Utilities of all itemsets over the universe, indexed by mask.
+    pub fn utilities(&self) -> Vec<(ItemSet, f64)> {
+        all_itemsets(self.num_items()).map(|s| (s, self.utility(s))).collect()
+    }
+}
+
+/// One adoption-log entry: the itemset a user selected in one session.
+pub type LogEntry = ItemSet;
+
+/// Generate `n` synthetic adoption-log entries from a ground-truth model:
+/// every session selects a non-empty itemset with probability proportional
+/// to its `bundle_prob` (the empirical frequencies then estimate the
+/// normalized selection probabilities, exactly the quantity Benson et al.
+/// fit).
+pub fn generate_logs(truth: &ChoiceModel, n: usize, rng: &mut impl Rng) -> Vec<LogEntry> {
+    let sets: Vec<ItemSet> = all_itemsets(truth.num_items())
+        .filter(|s| !s.is_empty())
+        .collect();
+    let weights: Vec<f64> = sets.iter().map(|&s| truth.bundle_prob(s)).collect();
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "ground truth assigns zero probability everywhere");
+    let mut logs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut x = rng.gen::<f64>() * total;
+        let mut chosen = sets[sets.len() - 1];
+        for (k, &w) in weights.iter().enumerate() {
+            if x < w {
+                chosen = sets[k];
+                break;
+            }
+            x -= w;
+        }
+        logs.push(chosen);
+    }
+    logs
+}
+
+/// Estimate a [`ChoiceModel`] from adoption logs.
+///
+/// `p̂_i` is the (selection-frequency) estimate for singletons, `γ̂_ℓ` is
+/// fixed to 1 (Benson et al. fit it globally; with synthetic logs the
+/// correction term absorbs it) and `q̂_I = p̂_I − Π p̂_j` for observed
+/// multi-item bundles. The estimates are normalized so that relative
+/// magnitudes — all the utility mapping consumes — match the ground truth's
+/// scale via the supplied `total_mass` (the sum of all ground-truth bundle
+/// probabilities; pass the observed number of *possible* sessions when
+/// using real logs).
+pub fn estimate_from_logs(num_items: usize, logs: &[LogEntry], total_mass: f64) -> ChoiceModel {
+    assert!(!logs.is_empty(), "cannot learn from an empty log");
+    let n = logs.len() as f64;
+    let mut counts: HashMap<ItemSet, f64> = HashMap::new();
+    for &e in logs {
+        *counts.entry(e).or_insert(0.0) += 1.0;
+    }
+    let freq = |s: ItemSet| counts.get(&s).copied().unwrap_or(0.0) / n * total_mass;
+    let item_probs: Vec<f64> = (0..num_items).map(|i| freq(ItemSet::singleton(i))).collect();
+    let mut corrections = HashMap::new();
+    for s in all_itemsets(num_items).filter(|s| s.len() >= 2) {
+        let observed = freq(s);
+        let independent: f64 = s.iter().map(|i| item_probs[i]).product();
+        let q = observed - independent;
+        if q.abs() > 1e-12 {
+            corrections.insert(s, q);
+        }
+    }
+    ChoiceModel { item_probs, gamma: vec![1.0; num_items + 1], corrections }
+}
+
+/// The paper's Table-5 model: singleton probabilities from the published
+/// learned parameters, with strongly negative corrections on every bundle
+/// (the paper observes larger bundles are "either not present in the
+/// dataset or have smaller learned utilities", i.e. pure competition).
+pub fn lastfm_choice_model() -> ChoiceModel {
+    let probs = LASTFM_ADOPTION_PROBS.to_vec();
+    let mut corrections = HashMap::new();
+    for s in all_itemsets(probs.len()).filter(|s| s.len() >= 2) {
+        // cancel the independent term entirely: bundles were absent
+        let independent: f64 = s.iter().map(|i| probs[i]).product();
+        corrections.insert(s, -independent);
+    }
+    ChoiceModel { item_probs: probs, gamma: vec![1.0; 5], corrections }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn table5_utilities_match_paper() {
+        let m = lastfm_choice_model();
+        let expected = [7.0, 6.8, 5.0, 4.7];
+        for (i, &e) in expected.iter().enumerate() {
+            let u = m.utility(ItemSet::singleton(i));
+            assert!(
+                (u - e).abs() < 0.05,
+                "genre {i}: utility {u:.3} should be ≈ {e} (Table 5 UD column)"
+            );
+        }
+    }
+
+    #[test]
+    fn table5_bundles_never_win() {
+        let m = lastfm_choice_model();
+        for s in all_itemsets(4).filter(|s| s.len() >= 2) {
+            assert!(m.bundle_prob(s) == 0.0);
+            assert!(m.utility(s) < 0.0);
+        }
+    }
+
+    #[test]
+    fn independent_model_bundle_probs_multiply() {
+        let m = ChoiceModel::independent(vec![0.5, 0.2]);
+        let b = m.bundle_prob(ItemSet::full(2));
+        assert!((b - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utility_is_log_of_scaled_prob() {
+        let m = ChoiceModel::independent(vec![0.107]);
+        let u = m.utility(ItemSet::singleton(0));
+        assert!((u - (10_000.0f64 * 0.107).ln()).abs() < 1e-12);
+        assert!((u - 6.975).abs() < 0.01);
+    }
+
+    #[test]
+    fn learning_recovers_singleton_probabilities() {
+        let truth = ChoiceModel::independent(vec![0.107, 0.091, 0.015, 0.011]);
+        let total: f64 = all_itemsets(4)
+            .filter(|s| !s.is_empty())
+            .map(|s| truth.bundle_prob(s))
+            .sum();
+        let mut rng = SmallRng::seed_from_u64(1234);
+        let logs = generate_logs(&truth, 300_000, &mut rng);
+        let learned = estimate_from_logs(4, &logs, total);
+        for i in 0..4 {
+            let err = (learned.item_probs[i] - truth.item_probs[i]).abs();
+            assert!(
+                err < 0.005,
+                "item {i}: learned {} vs truth {}",
+                learned.item_probs[i],
+                truth.item_probs[i]
+            );
+        }
+    }
+
+    #[test]
+    fn learning_preserves_utility_order() {
+        let truth = lastfm_choice_model();
+        // bundles have probability 0 in the truth, so logs contain only
+        // singletons; order of learned singleton utilities must match
+        let total: f64 = all_itemsets(4)
+            .filter(|s| !s.is_empty())
+            .map(|s| truth.bundle_prob(s))
+            .sum();
+        let mut rng = SmallRng::seed_from_u64(99);
+        let logs = generate_logs(&truth, 100_000, &mut rng);
+        let learned = estimate_from_logs(4, &logs, total);
+        let us: Vec<f64> = (0..4).map(|i| learned.utility(ItemSet::singleton(i))).collect();
+        assert!(us[0] > us[1] && us[1] > us[2] && us[2] > us[3], "order: {us:?}");
+    }
+
+    #[test]
+    fn learning_detects_negative_correction() {
+        // ground truth with a strong negative interaction on {0,1}
+        let mut truth = ChoiceModel::independent(vec![0.3, 0.3]);
+        truth.corrections.insert(ItemSet::full(2), -0.08);
+        let total: f64 = all_itemsets(2)
+            .filter(|s| !s.is_empty())
+            .map(|s| truth.bundle_prob(s))
+            .sum();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let logs = generate_logs(&truth, 400_000, &mut rng);
+        let learned = estimate_from_logs(2, &logs, total);
+        let q = learned.corrections.get(&ItemSet::full(2)).copied().unwrap_or(0.0);
+        assert!(
+            (q - (-0.08)).abs() < 0.01,
+            "learned correction {q} should be ≈ -0.08"
+        );
+    }
+
+    #[test]
+    fn generated_logs_are_nonempty_itemsets() {
+        let truth = ChoiceModel::independent(vec![0.5, 0.1, 0.2]);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for e in generate_logs(&truth, 1000, &mut rng) {
+            assert!(!e.is_empty());
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # cwelmax-utility
+//!
+//! The itemset utility model of the UIC diffusion model (§3 of the paper).
+//!
+//! Every itemset `I ⊆ 𝓘` has utility `U(I) = V(I) − P(I) + N(I)` where
+//!
+//! * `V` is a monotone, submodular *value* function with `V(∅) = 0`
+//!   (submodularity models competition: the marginal value of an item
+//!   decreases as the bundle grows);
+//! * `P` is an additive *price*;
+//! * `N` is additive zero-mean *noise*, one independent distribution per
+//!   item.
+//!
+//! This crate provides:
+//!
+//! * [`ItemSet`] — itemsets as `u32` bitmasks with subset enumeration;
+//! * [`value`] — value-function representations and the
+//!   monotonicity/submodularity checkers used to validate configurations;
+//! * [`noise`] — the noise distributions with analytic
+//!   `E[max(0, μ + N)]` (the *expected truncated utility* at the heart of
+//!   the `umin`/`umax` approximation bounds);
+//! * [`UtilityModel`] — the assembled model: deterministic utilities,
+//!   `umin`, `umax`, superior-item detection, and noise-world sampling;
+//! * [`world::NoiseWorld`] — one sampled noise possible world `w2` with the
+//!   utility-maximal progressive *best response* used by the diffusion;
+//! * [`configs`] — every utility configuration the paper evaluates
+//!   (Tables 1, 3, 4, 5 and the Theorem-1 counterexample);
+//! * [`learn`] — the discrete-choice learning pipeline (§6.4.1) recovering
+//!   utilities from adoption logs via `v_i = ln(10000 · p_i)`.
+
+pub mod configs;
+pub mod itemset;
+pub mod learn;
+pub mod model;
+pub mod noise;
+pub mod value;
+pub mod world;
+
+pub use itemset::{ItemId, ItemSet};
+pub use model::UtilityModel;
+pub use noise::NoiseDist;
+pub use value::TableValue;
+pub use world::NoiseWorld;

@@ -1,0 +1,186 @@
+//! One sampled *noise possible world* `w2` and the adoption best response.
+//!
+//! In the possible-world interpretation (§3) the noise of every item is
+//! sampled once before the diffusion starts, making `U_{w2}(·)` a fixed
+//! deterministic function for the whole cascade. A [`NoiseWorld`] is that
+//! function, tabulated over all `2^m` itemsets, together with the
+//! progressive utility-maximal *best response* that drives adoption:
+//!
+//! > `A(t) = argmax { U(T) | A(t−1) ⊆ T ⊆ R(t), U(T) ≥ 0 }`
+
+use crate::itemset::ItemSet;
+
+/// Tabulated utilities of one noise world.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseWorld {
+    num_items: usize,
+    /// `utils[s.mask()] = U_{w2}(s)`; length `2^m`; `utils[0] = 0`.
+    utils: Vec<f64>,
+}
+
+impl NoiseWorld {
+    /// Build from a full utility table (length `2^m`).
+    pub fn new(num_items: usize, utils: Vec<f64>) -> NoiseWorld {
+        assert_eq!(utils.len(), 1 << num_items);
+        debug_assert!(utils[0].abs() < 1e-12, "U(∅) must be 0");
+        NoiseWorld { num_items, utils }
+    }
+
+    /// Number of items.
+    #[inline]
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// `U_{w2}(s)`.
+    #[inline]
+    pub fn utility(&self, s: ItemSet) -> f64 {
+        self.utils[s.mask()]
+    }
+
+    /// Truncated utility `U⁺_{w2}(s) = max(0, U_{w2}(s))`.
+    #[inline]
+    pub fn truncated_utility(&self, s: ItemSet) -> f64 {
+        self.utils[s.mask()].max(0.0)
+    }
+
+    /// The progressive best response: the utility-maximal `T` with
+    /// `adopted ⊆ T ⊆ desire` and `U(T) ≥ 0`.
+    ///
+    /// * When `adopted` is non-empty its own utility is ≥ 0 by induction
+    ///   (it was chosen by an earlier best response), so the result is
+    ///   always a superset of `adopted`.
+    /// * When `adopted = ∅`, the empty set (utility 0) is always feasible,
+    ///   so a node adopts nothing rather than a negative-utility bundle.
+    ///
+    /// Ties are broken toward *fewer items* (then the smaller mask), making
+    /// the diffusion fully deterministic given the possible world — nodes
+    /// do not pick up items that add exactly zero utility.
+    pub fn best_response(&self, desire: ItemSet, adopted: ItemSet) -> ItemSet {
+        debug_assert!(adopted.is_subset_of(desire));
+        let candidates = desire.difference(adopted);
+        if candidates.is_empty() {
+            return adopted;
+        }
+        let mut best = adopted;
+        // baseline: keeping the current adoption (utility 0 for ∅)
+        let mut best_u = self.utils[adopted.mask()];
+        if adopted.is_empty() {
+            best_u = 0.0;
+        }
+        for sub in candidates.subsets() {
+            if sub.is_empty() {
+                continue;
+            }
+            let t = adopted.union(sub);
+            let u = self.utils[t.mask()];
+            if u > best_u + 1e-12
+                || (u > best_u - 1e-12
+                    && (t.len() < best.len() || (t.len() == best.len() && t < best))
+                    && u >= 0.0)
+            {
+                if u >= 0.0 {
+                    best = t;
+                    best_u = u;
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// worlds indexed: [∅, {0}, {1}, {0,1}]
+    fn world(u0: f64, u1: f64, u01: f64) -> NoiseWorld {
+        NoiseWorld::new(2, vec![0.0, u0, u1, u01])
+    }
+
+    #[test]
+    fn picks_best_single() {
+        let w = world(1.0, 0.9, -2.1);
+        let full = ItemSet::full(2);
+        assert_eq!(w.best_response(full, ItemSet::EMPTY), ItemSet::singleton(0));
+    }
+
+    #[test]
+    fn picks_bundle_when_superadditive() {
+        let w = world(1.0, 0.9, 2.5);
+        assert_eq!(
+            w.best_response(ItemSet::full(2), ItemSet::EMPTY),
+            ItemSet::full(2)
+        );
+    }
+
+    #[test]
+    fn adopts_nothing_when_all_negative() {
+        let w = world(-0.5, -0.1, -3.0);
+        assert_eq!(w.best_response(ItemSet::full(2), ItemSet::EMPTY), ItemSet::EMPTY);
+    }
+
+    #[test]
+    fn progressive_constraint_keeps_adoption() {
+        // already adopted {1}; {0} alone is better but not a superset
+        let w = world(1.0, 0.9, -2.1);
+        assert_eq!(
+            w.best_response(ItemSet::full(2), ItemSet::singleton(1)),
+            ItemSet::singleton(1)
+        );
+    }
+
+    #[test]
+    fn progressive_extension_when_bundle_improves() {
+        let w = world(1.0, 0.9, 1.5);
+        assert_eq!(
+            w.best_response(ItemSet::full(2), ItemSet::singleton(1)),
+            ItemSet::full(2)
+        );
+    }
+
+    #[test]
+    fn desire_restricts_choice() {
+        let w = world(1.0, 5.0, 6.0);
+        // only item 0 desired: cannot adopt the better item 1
+        assert_eq!(
+            w.best_response(ItemSet::singleton(0), ItemSet::EMPTY),
+            ItemSet::singleton(0)
+        );
+    }
+
+    #[test]
+    fn zero_marginal_not_picked_up() {
+        // adding item 1 leaves utility unchanged: tie broken to fewer items
+        let w = world(1.0, 0.0, 1.0);
+        assert_eq!(
+            w.best_response(ItemSet::full(2), ItemSet::EMPTY),
+            ItemSet::singleton(0)
+        );
+    }
+
+    #[test]
+    fn three_item_best_response() {
+        // counterexample config: desire {0,1,2}, adopted {2}
+        // U: i0=4, i1=3, i2=3.5, {0,1}=2, {0,2}=4.5, {1,2}=3, {0,1,2}=1.5
+        let w = NoiseWorld::new(3, vec![0.0, 4.0, 3.0, 2.0, 3.5, 4.5, 3.0, 1.5]);
+        let adopted = ItemSet::singleton(2);
+        assert_eq!(
+            w.best_response(ItemSet::full(3), adopted),
+            ItemSet::from_items([0, 2])
+        );
+    }
+
+    #[test]
+    fn empty_desire() {
+        let w = world(1.0, 1.0, 1.0);
+        assert_eq!(w.best_response(ItemSet::EMPTY, ItemSet::EMPTY), ItemSet::EMPTY);
+    }
+
+    #[test]
+    fn truncation() {
+        let w = world(-1.0, 2.0, -0.5);
+        assert_eq!(w.truncated_utility(ItemSet::singleton(0)), 0.0);
+        assert_eq!(w.truncated_utility(ItemSet::singleton(1)), 2.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! A fresh multi-item campaign with item blocking (§6.3.2 / Fig. 6c).
+//!
+//! Three items with the Table-4 utility configuration: `i` dominates
+//! (U = 2), `j` and `k` are marginal (U ≈ 0.1), `i` and `k` are soft
+//! competitors (the bundle `{i,k}` is worth 2.1) while every other bundle
+//! is negative. Allocating `j` next to `i`'s seeds *blocks* `i`'s
+//! propagation and destroys welfare; SeqGRD's marginal check detects this
+//! and postpones `j`, while SeqGRD-NM walks straight into it.
+//!
+//! Run with: `cargo run --release --example fresh_campaign`
+
+use cwelmax::prelude::*;
+use cwelmax::core::{best_of, MaxGrd};
+use cwelmax::graph::generators::benchmark::Network;
+
+fn main() {
+    let graph = Network::NetHept.tiny_spec().generate();
+    let model = configs::three_item_blocking();
+    println!(
+        "items: U(i)={:.2} U(j)={:.2} U(k)={:.2} U({{i,k}})={:.2}, other bundles < 0",
+        model.deterministic_utility(ItemSet::singleton(0)),
+        model.deterministic_utility(ItemSet::singleton(1)),
+        model.deterministic_utility(ItemSet::singleton(2)),
+        model.deterministic_utility(ItemSet::from_items([0, 2])),
+    );
+
+    // budgets as in Fig. 6(c): a big budget for i, growing budgets for j, k
+    for bj in [20, 60, 100] {
+        let problem = Problem::new(graph.clone(), model.clone())
+            .with_budgets(vec![100, bj, bj])
+            .with_mc_samples(400);
+
+        let nm = SeqGrd::new(SeqGrdMode::NoMarginal).solve(&problem);
+        let full = SeqGrd::new(SeqGrdMode::Marginal).solve(&problem);
+        let mx = MaxGrd.solve(&problem);
+        let combo = best_of(&problem, SeqGrd::new(SeqGrdMode::Marginal));
+
+        println!("\nbudget of j,k = {bj}:");
+        for (s, w) in [
+            (&nm, problem.evaluate(&nm.allocation)),
+            (&full, problem.evaluate(&full.allocation)),
+            (&mx, problem.evaluate(&mx.allocation)),
+            (&combo, problem.evaluate(&combo.allocation)),
+        ] {
+            println!(
+                "  {:<18} welfare {:9.1}   ({:.2?})",
+                s.algorithm, w, s.elapsed
+            );
+        }
+    }
+    println!(
+        "\nAs the j/k budgets grow, blocking intensifies and the gap between \
+         SeqGRD (marginal check) and SeqGRD-NM widens — Fig. 6(c)'s shape."
+    );
+}

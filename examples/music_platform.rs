@@ -1,0 +1,78 @@
+//! The paper's motivating scenario (§1, §6.4): a music streaming platform
+//! recommends songs from four competing genres and wants to maximize the
+//! total listener satisfaction (social welfare), not raw adoption counts.
+//!
+//! The pipeline mirrors §6.4.1 end to end:
+//! 1. generate synthetic listening logs from the published Table-5 adoption
+//!    probabilities (the real Last.fm dump is not redistributable);
+//! 2. learn per-genre utilities back from the logs with the discrete-choice
+//!    estimator (`v_i = ln(10000 · p_i)`);
+//! 3. run SeqGRD-NM against Round-robin/Snake on a NetHEPT-sized network
+//!    and report per-genre adoptions and welfare (the Table-6 comparison).
+//!
+//! Run with: `cargo run --release --example music_platform`
+
+use cwelmax::core::baselines::{RoundRobin, Snake};
+use cwelmax::prelude::*;
+use cwelmax::graph::generators::benchmark::Network;
+use cwelmax::utility::itemset::all_itemsets;
+use cwelmax::utility::learn;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    // --- 1. synthetic listening logs from the published ground truth ----
+    let truth = learn::lastfm_choice_model();
+    let mut rng = SmallRng::seed_from_u64(2020);
+    let logs = learn::generate_logs(&truth, 200_000, &mut rng);
+    println!("generated {} listening-log entries", logs.len());
+
+    // --- 2. learn utilities back --------------------------------------
+    let total_mass: f64 = all_itemsets(4)
+        .filter(|s| !s.is_empty())
+        .map(|s| truth.bundle_prob(s))
+        .sum();
+    let learned = learn::estimate_from_logs(4, &logs, total_mass);
+    println!("\n{:<20} {:>8} {:>8} {:>8}", "genre", "p (true)", "p (est)", "utility");
+    for (g, name) in configs::LASTFM_GENRES.iter().enumerate() {
+        println!(
+            "{:<20} {:>8.3} {:>8.3} {:>8.2}",
+            name,
+            truth.item_probs[g],
+            learned.item_probs[g],
+            learned.utility(ItemSet::singleton(g)),
+        );
+    }
+
+    // --- 3. welfare maximization on the platform's network -------------
+    // learned singleton utilities drive the pure-competition model
+    let singles: Vec<f64> = (0..4)
+        .map(|g| learned.utility(ItemSet::singleton(g)))
+        .collect();
+    let model = configs::lastfm_from_singles(&singles);
+    let graph = Network::NetHept.tiny_spec().generate();
+    let problem = Problem::new(graph, model)
+        .with_uniform_budget(10)
+        .with_mc_samples(500);
+
+    println!("\n{:<12} {:>9} {:>24}", "algorithm", "welfare", "adoptions per genre");
+    for solution in [
+        SeqGrd::new(SeqGrdMode::NoMarginal).solve(&problem),
+        RoundRobin.solve(&problem),
+        Snake.solve(&problem),
+    ] {
+        let r = problem.evaluate_report(&solution.allocation);
+        let counts: Vec<String> =
+            r.adoption_counts.iter().map(|c| format!("{c:.0}")).collect();
+        println!(
+            "{:<12} {:>9.1} {:>24}",
+            solution.algorithm,
+            r.welfare,
+            counts.join(" / "),
+        );
+    }
+    println!(
+        "\nSeqGRD-NM shifts adoptions toward the high-utility genres while \
+         keeping the total adoption count — the §6.4.3 observation."
+    );
+}

@@ -1,0 +1,195 @@
+//! `cwelmax` — command-line CWelMax solver.
+//!
+//! Solve a competitive welfare-maximization instance from files:
+//!
+//! ```text
+//! cwelmax --graph edges.txt --config model.json --budgets 10,10 \
+//!         [--algorithm seqgrd-nm] [--samples 1000] [--eps 0.5] \
+//!         [--fixed fixed.json] [--seed 7] [--json]
+//! ```
+//!
+//! * `--graph` — SNAP-style edge list (`u v [p]`; without probabilities the
+//!   weighted-cascade model `1/din(v)` is applied);
+//! * `--config` — a JSON-serialized [`cwelmax::utility::UtilityModel`]
+//!   (see `examples/model.json` emitted by `--emit-example-config`);
+//! * `--budgets` — comma-separated per-item budgets;
+//! * `--fixed` — optional JSON allocation `[[node, item], ...]` for `SP`;
+//! * `--algorithm` — `seqgrd | seqgrd-nm | maxgrd | supgrd | best-of |
+//!   tcim | round-robin | snake` (default `seqgrd-nm`).
+//!
+//! Prints the chosen allocation, its estimated welfare and per-item
+//! adoption counts; `--json` switches to machine-readable output.
+
+use cwelmax::core::baselines::{RoundRobin, Snake, Tcim};
+use cwelmax::core::{best_of, MaxGrd, SupGrd};
+use cwelmax::diffusion::SimulationConfig;
+use cwelmax::graph::{io as graph_io, ProbabilityModel};
+use cwelmax::prelude::*;
+use cwelmax::rrset::ImmParams;
+
+struct Args {
+    graph: Option<String>,
+    config: Option<String>,
+    budgets: Vec<usize>,
+    fixed: Option<String>,
+    algorithm: String,
+    samples: usize,
+    eps: f64,
+    seed: u64,
+    json: bool,
+    emit_example: bool,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        graph: None,
+        config: None,
+        budgets: Vec::new(),
+        fixed: None,
+        algorithm: "seqgrd-nm".into(),
+        samples: 1000,
+        eps: 0.5,
+        seed: 0x5EED,
+        json: false,
+        emit_example: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let next = |i: &mut usize, what: &str| -> String {
+        *i += 1;
+        argv.get(*i).unwrap_or_else(|| die(&format!("{what} expects a value"))).clone()
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--graph" => a.graph = Some(next(&mut i, "--graph")),
+            "--config" => a.config = Some(next(&mut i, "--config")),
+            "--fixed" => a.fixed = Some(next(&mut i, "--fixed")),
+            "--algorithm" => a.algorithm = next(&mut i, "--algorithm"),
+            "--budgets" => {
+                a.budgets = next(&mut i, "--budgets")
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| die("bad budget")))
+                    .collect()
+            }
+            "--samples" => {
+                a.samples = next(&mut i, "--samples").parse().unwrap_or_else(|_| die("bad samples"))
+            }
+            "--eps" => a.eps = next(&mut i, "--eps").parse().unwrap_or_else(|_| die("bad eps")),
+            "--seed" => a.seed = next(&mut i, "--seed").parse().unwrap_or_else(|_| die("bad seed")),
+            "--json" => a.json = true,
+            "--emit-example-config" => a.emit_example = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: cwelmax --graph EDGES --config MODEL.json --budgets B0,B1,… \
+                     [--algorithm seqgrd|seqgrd-nm|maxgrd|supgrd|best-of|tcim|round-robin|snake] \
+                     [--fixed FIXED.json] [--samples N] [--eps E] [--seed S] [--json] \
+                     [--emit-example-config]"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    a
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args();
+    if args.emit_example {
+        // the paper's C1 configuration, ready to edit
+        let model = configs::two_item_config(TwoItemConfig::C1);
+        println!("{}", serde_json::to_string_pretty(&model).expect("serializable"));
+        return;
+    }
+    let graph_path = args.graph.as_deref().unwrap_or_else(|| die("--graph is required"));
+    let config_path = args.config.as_deref().unwrap_or_else(|| die("--config is required"));
+    if args.budgets.is_empty() {
+        die("--budgets is required");
+    }
+
+    let graph = graph_io::read_edge_list_file(graph_path, ProbabilityModel::WeightedCascade)
+        .unwrap_or_else(|e| die(&format!("cannot read graph: {e}")));
+    let model: UtilityModel = serde_json::from_str(
+        &std::fs::read_to_string(config_path)
+            .unwrap_or_else(|e| die(&format!("cannot read config: {e}"))),
+    )
+    .unwrap_or_else(|e| die(&format!("bad model JSON: {e}")));
+    if args.budgets.len() != model.num_items() {
+        die(&format!(
+            "budgets ({}) must match the model's item count ({})",
+            args.budgets.len(),
+            model.num_items()
+        ));
+    }
+    let fixed = match &args.fixed {
+        None => Allocation::new(),
+        Some(path) => {
+            let pairs: Vec<(u32, usize)> = serde_json::from_str(
+                &std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| die(&format!("cannot read fixed allocation: {e}"))),
+            )
+            .unwrap_or_else(|e| die(&format!("bad fixed-allocation JSON: {e}")));
+            Allocation::from_pairs(pairs)
+        }
+    };
+
+    let problem = Problem::new(graph, model)
+        .with_budgets(args.budgets.clone())
+        .with_fixed_allocation(fixed)
+        .with_sim(SimulationConfig { samples: args.samples, threads: 0, base_seed: args.seed })
+        .with_imm(ImmParams {
+            eps: args.eps,
+            ell: 1.0,
+            seed: args.seed,
+            threads: 0,
+            max_rr_sets: 50_000_000,
+        });
+
+    let solution = match args.algorithm.as_str() {
+        "seqgrd" => SeqGrd::new(SeqGrdMode::Marginal).solve(&problem),
+        "seqgrd-nm" => SeqGrd::new(SeqGrdMode::NoMarginal).solve(&problem),
+        "maxgrd" => MaxGrd.solve(&problem),
+        "supgrd" => {
+            if let Err(issues) = SupGrd::check_conditions(&problem) {
+                eprintln!("warning: SupGRD conditions violated (bound forfeited):");
+                for i in &issues {
+                    eprintln!("  - {i}");
+                }
+            }
+            SupGrd.solve(&problem)
+        }
+        "best-of" => best_of(&problem, SeqGrd::new(SeqGrdMode::Marginal)),
+        "tcim" => Tcim.solve(&problem),
+        "round-robin" => RoundRobin.solve(&problem),
+        "snake" => Snake.solve(&problem),
+        other => die(&format!("unknown algorithm `{other}`")),
+    };
+
+    let report = problem.evaluate_report(&solution.allocation);
+    if args.json {
+        let out = serde_json::json!({
+            "algorithm": solution.algorithm,
+            "allocation": solution.allocation.pairs(),
+            "welfare": report.welfare,
+            "adoption_counts": report.adoption_counts,
+            "total_adopters": report.total_adopters,
+            "solve_seconds": solution.elapsed.as_secs_f64(),
+        });
+        println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+    } else {
+        println!("algorithm: {}", solution.algorithm);
+        println!("solve time: {:?}", solution.elapsed);
+        println!("welfare (±MC noise): {:.2}", report.welfare);
+        for (i, c) in report.adoption_counts.iter().enumerate() {
+            println!("  item {i}: {} seeds, {c:.1} expected adopters",
+                solution.allocation.seeds_of(i).len());
+        }
+        println!("allocation: {:?}", solution.allocation.pairs());
+    }
+}

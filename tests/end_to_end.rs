@@ -1,0 +1,201 @@
+//! End-to-end pipeline tests: every solver on every configuration family,
+//! checked for feasibility and the welfare ordering the paper reports.
+
+use cwelmax::core::baselines::{BalanceC, CandidatePool, GreedyWm, RoundRobin, Snake, Tcim};
+use cwelmax::core::{best_of, MaxGrd, SupGrd};
+use cwelmax::diffusion::SimulationConfig;
+use cwelmax::graph::generators::{self, benchmark::Network};
+use cwelmax::prelude::*;
+use cwelmax::rrset::imm::imm_select;
+use cwelmax::rrset::{ImmParams, StandardRr};
+
+fn fast_sim() -> SimulationConfig {
+    SimulationConfig { samples: 300, threads: 0, base_seed: 99 }
+}
+
+fn fast_imm() -> ImmParams {
+    ImmParams { eps: 0.5, ell: 1.0, seed: 31, threads: 0, max_rr_sets: 2_000_000 }
+}
+
+fn two_item_problem(cfg: TwoItemConfig, budget: usize) -> Problem {
+    let g = generators::erdos_renyi(500, 2500, 17, ProbabilityModel::WeightedCascade);
+    Problem::new(g, configs::two_item_config(cfg))
+        .with_uniform_budget(budget)
+        .with_sim(fast_sim())
+        .with_imm(fast_imm())
+}
+
+#[test]
+fn all_solvers_produce_feasible_allocations() {
+    let p = two_item_problem(TwoItemConfig::C1, 4);
+    let solutions = vec![
+        SeqGrd::new(SeqGrdMode::Marginal).solve(&p),
+        SeqGrd::new(SeqGrdMode::NoMarginal).solve(&p),
+        MaxGrd.solve(&p),
+        Tcim.solve(&p),
+        BalanceC::default().solve(&p),
+        GreedyWm::new(CandidatePool::TopDegree(30)).solve(&p),
+        RoundRobin.solve(&p),
+        Snake.solve(&p),
+    ];
+    for s in solutions {
+        p.check_feasible(&s.allocation)
+            .unwrap_or_else(|e| panic!("{}: {e}", s.algorithm));
+        assert!(!s.allocation.is_empty(), "{} returned nothing", s.algorithm);
+    }
+}
+
+#[test]
+fn seqgrd_beats_adoption_count_baselines_on_c1() {
+    // the headline Fig. 4 ordering: welfare(SeqGRD) > welfare(TCIM) and
+    // welfare(Balance-C) under pure competition with comparable utilities
+    let p = two_item_problem(TwoItemConfig::C1, 6);
+    let w_seq = p.evaluate(&SeqGrd::new(SeqGrdMode::NoMarginal).solve(&p).allocation);
+    let w_tcim = p.evaluate(&Tcim.solve(&p).allocation);
+    assert!(
+        w_seq > w_tcim,
+        "SeqGRD-NM ({w_seq:.1}) must beat TCIM ({w_tcim:.1}) on C1"
+    );
+}
+
+#[test]
+fn maxgrd_suffers_under_soft_competition() {
+    // Fig. 4(c): with a positive bundle, allocating only one item misses
+    // the second item's welfare
+    let p = two_item_problem(TwoItemConfig::C3, 6);
+    let w_seq = p.evaluate(&SeqGrd::new(SeqGrdMode::NoMarginal).solve(&p).allocation);
+    let w_max = p.evaluate(&MaxGrd.solve(&p).allocation);
+    assert!(
+        w_seq > w_max,
+        "SeqGRD-NM ({w_seq:.1}) must beat MaxGRD ({w_max:.1}) under soft competition"
+    );
+}
+
+#[test]
+fn best_of_never_loses_to_either_component() {
+    let p = two_item_problem(TwoItemConfig::C2, 4);
+    let combo = best_of(&p, SeqGrd::new(SeqGrdMode::NoMarginal));
+    let w_combo = p.evaluate(&combo.allocation);
+    let w_seq = p.evaluate(&SeqGrd::new(SeqGrdMode::NoMarginal).solve(&p).allocation);
+    let w_max = p.evaluate(&MaxGrd.solve(&p).allocation);
+    assert!(w_combo + 1e-9 >= w_seq.max(w_max));
+}
+
+#[test]
+fn supgrd_pipeline_on_c6_with_imm_fixed_inferior() {
+    // the §6.2.3 protocol: inferior seeds = IMM top-k, then SupGRD
+    let g = Network::NetHept.tiny_spec().generate();
+    let top = imm_select(&g, &StandardRr, 10, &fast_imm());
+    let fixed = Allocation::from_item_seeds(1, &top.seeds);
+    let p = Problem::new(g, configs::supgrd_config(cwelmax::utility::configs::SupConfig::C6))
+        .with_budgets(vec![10, 0])
+        .with_fixed_allocation(fixed)
+        .with_sim(fast_sim())
+        .with_imm(fast_imm());
+    assert!(SupGrd::check_conditions(&p).is_ok());
+    let sup = SupGrd.solve(&p);
+    let seq = SeqGrd::new(SeqGrdMode::NoMarginal).solve(&p);
+    let w_sup = p.evaluate(&sup.allocation);
+    let w_seq = p.evaluate(&seq.allocation);
+    // Fig. 5(b): SupGRD ≥ SeqGRD-NM on C6 (the superior item should contest
+    // the top spreaders, which PRIMA+ deliberately avoids)
+    assert!(
+        w_sup + 1e-9 >= w_seq,
+        "SupGRD ({w_sup:.1}) must be at least SeqGRD-NM ({w_seq:.1}) on C6"
+    );
+}
+
+#[test]
+fn uic_degenerates_to_ic_for_one_positive_item() {
+    // Proposition 1 end to end through the public API: single item,
+    // U = 1, no noise → welfare(S) == spread(S) in every world
+    let g = generators::erdos_renyi(400, 2000, 23, ProbabilityModel::WeightedCascade);
+    let model = cwelmax::utility::UtilityModel::new(
+        cwelmax::utility::TableValue::from_table(1, vec![0.0, 1.0]),
+        vec![0.0],
+        vec![cwelmax::utility::NoiseDist::None],
+    );
+    let p = Problem::new(g, model)
+        .with_budgets(vec![8])
+        .with_sim(fast_sim())
+        .with_imm(fast_imm());
+    let s = SeqGrd::new(SeqGrdMode::NoMarginal).solve(&p);
+    let est = p.estimator();
+    let w = est.welfare(&s.allocation);
+    let sigma = est.spread(&s.allocation.seed_nodes());
+    assert!((w - sigma).abs() < 1e-9, "welfare {w} vs spread {sigma}");
+    // and the chosen seeds should match plain IMM's on the same seed
+    let imm = imm_select(&p.graph, &StandardRr, 8, &p.imm);
+    let mut a = s.allocation.seed_nodes();
+    let mut b = imm.seeds.clone();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b, "SeqGRD on one item must reduce to IMM");
+}
+
+#[test]
+fn multi_item_welfare_grows_with_items_for_seqgrd() {
+    // Fig. 6(b): welfare grows with the number of items for SeqGRD-NM
+    // (more items = more distinct high-spread regions monetized), while
+    // MaxGRD stays flat (it only ever allocates one item)
+    let g = generators::erdos_renyi(600, 3000, 29, ProbabilityModel::WeightedCascade);
+    let mut seq_w = Vec::new();
+    let mut max_w = Vec::new();
+    for m in 1..=3 {
+        let p = Problem::new(g.clone(), configs::multi_item_pure_competition(m))
+            .with_uniform_budget(5)
+            .with_sim(fast_sim())
+            .with_imm(fast_imm());
+        seq_w.push(p.evaluate(&SeqGrd::new(SeqGrdMode::NoMarginal).solve(&p).allocation));
+        max_w.push(p.evaluate(&MaxGrd.solve(&p).allocation));
+    }
+    assert!(
+        seq_w[2] > seq_w[0],
+        "SeqGRD welfare must grow with items: {seq_w:?}"
+    );
+    let spread_of_max = max_w.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - max_w.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(
+        spread_of_max < 0.25 * max_w[0],
+        "MaxGRD welfare must stay roughly flat: {max_w:?}"
+    );
+}
+
+#[test]
+fn adoption_conservation_table6() {
+    // §6.4.3: SeqGRD-NM vs Round-robin vs Snake keep the *total* adoption
+    // count roughly equal while SeqGRD-NM shifts it toward superior items
+    let g = Network::NetHept.tiny_spec().generate();
+    let p = Problem::new(g, configs::lastfm())
+        .with_uniform_budget(5)
+        .with_sim(fast_sim())
+        .with_imm(fast_imm());
+    let r_seq = p.evaluate_report(&SeqGrd::new(SeqGrdMode::NoMarginal).solve(&p).allocation);
+    let r_rr = p.evaluate_report(&RoundRobin.solve(&p).allocation);
+    let r_snake = p.evaluate_report(&Snake.solve(&p).allocation);
+    let totals = [
+        r_seq.total_adoptions(),
+        r_rr.total_adoptions(),
+        r_snake.total_adoptions(),
+    ];
+    let max_t = totals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min_t = totals.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(
+        (max_t - min_t) / max_t < 0.15,
+        "total adoptions should be stable: {totals:?}"
+    );
+    assert!(
+        r_seq.welfare + 1e-9 >= r_rr.welfare.max(r_snake.welfare),
+        "SeqGRD-NM welfare {:.1} must top RR {:.1} / Snake {:.1}",
+        r_seq.welfare,
+        r_rr.welfare,
+        r_snake.welfare
+    );
+    // the most superior item (indie) gains adoptions relative to RR
+    assert!(
+        r_seq.adoption_counts[0] > r_rr.adoption_counts[0],
+        "indie adoptions: SeqGRD {:.0} vs RR {:.0}",
+        r_seq.adoption_counts[0],
+        r_rr.adoption_counts[0]
+    );
+}

@@ -1,0 +1,78 @@
+//! End-to-end test of the §6.4.1 learning pipeline: synthetic adoption
+//! logs → discrete-choice estimation → utility model → welfare
+//! maximization. The learned model must produce the same *allocation
+//! decisions* as the ground truth, closing the loop from raw behavioural
+//! data to seed selection.
+
+use cwelmax::diffusion::SimulationConfig;
+use cwelmax::graph::generators::preferential_attachment_simple;
+use cwelmax::graph::ProbabilityModel;
+use cwelmax::prelude::*;
+use cwelmax::rrset::ImmParams;
+use cwelmax::utility::itemset::all_itemsets;
+use cwelmax::utility::learn;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn learned_utilities_reproduce_ground_truth_allocation() {
+    // ground truth: the published Table-5 adoption probabilities
+    let truth = learn::lastfm_choice_model();
+    let total_mass: f64 = all_itemsets(4)
+        .filter(|s| !s.is_empty())
+        .map(|s| truth.bundle_prob(s))
+        .sum();
+    let mut rng = SmallRng::seed_from_u64(77);
+    let logs = learn::generate_logs(&truth, 150_000, &mut rng);
+    let learned = learn::estimate_from_logs(4, &logs, total_mass);
+
+    // learned singleton utilities stay close to the ground truth
+    let true_singles: Vec<f64> =
+        (0..4).map(|g| truth.utility(ItemSet::singleton(g))).collect();
+    let learned_singles: Vec<f64> =
+        (0..4).map(|g| learned.utility(ItemSet::singleton(g))).collect();
+    for (t, l) in true_singles.iter().zip(&learned_singles) {
+        assert!((t - l).abs() < 0.1, "learned utility drifted: {l} vs {t}");
+    }
+
+    // and they induce the *same seed allocation*
+    let g = preferential_attachment_simple(
+        1500,
+        3,
+        true,
+        42,
+        ProbabilityModel::WeightedCascade,
+    );
+    let sim = SimulationConfig { samples: 200, threads: 0, base_seed: 5 };
+    let imm = ImmParams { eps: 0.5, ell: 1.0, seed: 9, threads: 0, max_rr_sets: 1_000_000 };
+    let solve = |singles: &[f64]| {
+        let p = Problem::new(g.clone(), configs::lastfm_from_singles(singles))
+            .with_uniform_budget(5)
+            .with_sim(sim)
+            .with_imm(imm);
+        SeqGrd::new(SeqGrdMode::NoMarginal).solve(&p).allocation
+    };
+    let a_true = solve(&true_singles);
+    let a_learned = solve(&learned_singles);
+    assert_eq!(a_true, a_learned, "learning noise changed the allocation");
+}
+
+#[test]
+fn learning_is_robust_to_log_volume() {
+    // utility ordering must already be right with modest logs
+    let truth = learn::lastfm_choice_model();
+    let total_mass: f64 = all_itemsets(4)
+        .filter(|s| !s.is_empty())
+        .map(|s| truth.bundle_prob(s))
+        .sum();
+    for (n_logs, seed) in [(5_000usize, 1u64), (20_000, 2), (80_000, 3)] {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let logs = learn::generate_logs(&truth, n_logs, &mut rng);
+        let learned = learn::estimate_from_logs(4, &logs, total_mass);
+        let us: Vec<f64> = (0..4).map(|i| learned.utility(ItemSet::singleton(i))).collect();
+        assert!(
+            us[0] > us[2] && us[1] > us[2] && us[2] > us[3],
+            "order broken at {n_logs} logs: {us:?}"
+        );
+    }
+}

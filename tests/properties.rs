@@ -1,0 +1,244 @@
+//! Property-based tests (proptest) on the core data structures and model
+//! invariants.
+
+use cwelmax::diffusion::{Allocation, SimulationConfig, WelfareEstimator};
+use cwelmax::graph::{GraphBuilder, ProbabilityModel};
+use cwelmax::utility::{ItemSet, NoiseDist, NoiseWorld, TableValue, UtilityModel};
+use proptest::prelude::*;
+
+// ---------- ItemSet algebra ------------------------------------------------
+
+proptest! {
+    #[test]
+    fn itemset_union_intersection_laws(a in 0u32..1 << 12, b in 0u32..1 << 12) {
+        let (sa, sb) = (ItemSet(a), ItemSet(b));
+        // absorption and de-morgan-ish sanity over the 12-item universe
+        prop_assert_eq!(sa.union(sb).intersect(sa), sa);
+        prop_assert_eq!(sa.intersect(sb).union(sa), sa);
+        prop_assert_eq!(sa.difference(sb).intersect(sb), ItemSet::EMPTY);
+        prop_assert_eq!(sa.union(sb).len() + sa.intersect(sb).len(), sa.len() + sb.len());
+    }
+
+    #[test]
+    fn itemset_subsets_are_exactly_the_powerset(mask in 0u32..1 << 8) {
+        let s = ItemSet(mask);
+        let subs: Vec<ItemSet> = s.subsets().collect();
+        prop_assert_eq!(subs.len(), 1 << s.len());
+        for sub in &subs {
+            prop_assert!(sub.is_subset_of(s));
+        }
+        // no duplicates
+        let mut sorted: Vec<u32> = subs.iter().map(|x| x.0).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), 1 << s.len());
+    }
+
+    #[test]
+    fn itemset_iter_roundtrip(mask in 0u32..1 << 16) {
+        let s = ItemSet(mask);
+        let rebuilt = ItemSet::from_items(s.iter());
+        prop_assert_eq!(rebuilt, s);
+    }
+}
+
+// ---------- graph builder invariants ---------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn built_graphs_always_validate(
+        n in 1usize..60,
+        edges in proptest::collection::vec((0u32..60, 0u32..60), 0..200),
+    ) {
+        let mut b = GraphBuilder::new(n);
+        let mut expected = std::collections::BTreeSet::new();
+        for (u, v) in edges {
+            let (u, v) = (u % n as u32, v % n as u32);
+            b.add_edge(u, v);
+            if u != v {
+                expected.insert((u, v));
+            }
+        }
+        let g = b.build(ProbabilityModel::WeightedCascade);
+        prop_assert!(g.validate().is_ok());
+        prop_assert_eq!(g.num_edges(), expected.len());
+        // weighted cascade: in-probabilities of each node sum to ≤ 1 (= 1
+        // when the node has any in-edge)
+        for v in g.nodes() {
+            let sum: f64 = g.in_edges(v).map(|e| e.prob as f64).sum();
+            if g.in_degree(v) > 0 {
+                prop_assert!((sum - 1.0).abs() < 1e-4, "node {} in-prob sum {}", v, sum);
+            }
+        }
+    }
+}
+
+// ---------- best-response invariants ----------------------------------------
+
+fn arb_world(m: usize) -> impl Strategy<Value = NoiseWorld> {
+    proptest::collection::vec(-10.0f64..10.0, (1 << m) - 1)
+        .prop_map(move |mut tail| {
+            let mut utils = vec![0.0];
+            utils.append(&mut tail);
+            NoiseWorld::new(m, utils)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn best_response_is_feasible_and_maximal(
+        w in arb_world(4),
+        desire_mask in 0u32..16,
+        adopted_bits in 0u32..16,
+    ) {
+        let desire = ItemSet(desire_mask);
+        // adopted must be a feasible previous best response: a subset of
+        // desire with non-negative utility (or empty)
+        let adopted = {
+            let cand = ItemSet(adopted_bits).intersect(desire);
+            if cand.is_empty() || w.utility(cand) < 0.0 { ItemSet::EMPTY } else { cand }
+        };
+        let r = w.best_response(desire, adopted);
+        // (1) progressive: superset of the previous adoption
+        prop_assert!(adopted.is_subset_of(r));
+        // (2) within the desire set
+        prop_assert!(r.is_subset_of(desire));
+        // (3) non-negative utility unless nothing is adopted
+        if !r.is_empty() {
+            prop_assert!(w.utility(r) >= 0.0);
+        }
+        // (4) maximal: no feasible superset beats it
+        for sub in desire.difference(adopted).subsets() {
+            let t = adopted.union(sub);
+            if t != r && w.utility(t) >= 0.0 {
+                prop_assert!(
+                    w.utility(t) <= w.utility(r) + 1e-9,
+                    "{} (U={}) beats chosen {} (U={})",
+                    t, w.utility(t), r, w.utility(r)
+                );
+            }
+        }
+    }
+}
+
+// ---------- utility model invariants ----------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn from_utilities_always_monotone_value(
+        u0 in -3.0f64..5.0,
+        u1 in -3.0f64..5.0,
+        u01 in -6.0f64..6.0,
+    ) {
+        let model = UtilityModel::from_utilities(
+            2,
+            &[
+                (ItemSet::singleton(0), u0),
+                (ItemSet::singleton(1), u1),
+                (ItemSet::full(2), u01),
+            ],
+            vec![NoiseDist::None; 2],
+            0.25,
+        );
+        prop_assert!(model.value_fn().is_monotone());
+        // utilities are reproduced exactly
+        prop_assert!((model.deterministic_utility(ItemSet::singleton(0)) - u0).abs() < 1e-9);
+        prop_assert!((model.deterministic_utility(ItemSet::full(2)) - u01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn umin_below_every_item_umax_above(
+        u0 in 0.1f64..4.0,
+        u1 in 0.1f64..4.0,
+        std in 0.0f64..2.0,
+    ) {
+        let noise = if std == 0.0 { NoiseDist::None } else { NoiseDist::Normal { std } };
+        let model = UtilityModel::from_utilities(
+            2,
+            &[
+                (ItemSet::singleton(0), u0),
+                (ItemSet::singleton(1), u1),
+                (ItemSet::full(2), -1.0),
+            ],
+            vec![noise; 2],
+            0.25,
+        );
+        let umin = model.umin();
+        let t0 = model.expected_truncated_item(0);
+        let t1 = model.expected_truncated_item(1);
+        prop_assert!(umin <= t0 + 1e-12 && umin <= t1 + 1e-12);
+        // E[U+] dominates the deterministic positive part
+        prop_assert!(t0 >= u0.max(0.0) - 1e-12);
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let umax = model.umax_mc(&mut rng, 2000);
+        prop_assert!(umax + 1e-9 >= umin, "umax {} < umin {}", umax, umin);
+    }
+}
+
+// ---------- estimator invariants ---------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn welfare_nonnegative_and_bounded(
+        seed in 0u64..1000,
+        b0 in 0u32..5,
+        b1 in 0u32..5,
+    ) {
+        let g = cwelmax::graph::generators::erdos_renyi(
+            40, 160, seed, ProbabilityModel::WeightedCascade);
+        let model = UtilityModel::new(
+            TableValue::from_table(2, vec![0.0, 4.0, 4.9, 4.9]),
+            vec![3.0, 4.0],
+            vec![NoiseDist::None; 2],
+        );
+        let est = WelfareEstimator::new(
+            &g, &model, SimulationConfig { samples: 64, threads: 2, base_seed: seed });
+        let alloc = Allocation::from_pairs(
+            (0..b0).map(|v| (v, 0usize)).chain((0..b1).map(|v| (v + 10, 1usize))));
+        let r = est.welfare_report(&alloc);
+        // welfare is a sum of non-negative adopted utilities here
+        prop_assert!(r.welfare >= -1e-9);
+        // bounded by n · best bundle utility
+        prop_assert!(r.welfare <= 40.0 * 1.0 + 1e-9);
+        // adopters ≤ informed ≤ n
+        prop_assert!(r.total_adopters <= r.informed + 1e-9);
+        prop_assert!(r.informed <= 40.0 + 1e-9);
+        // per-item counts consistent with adopters under pure competition
+        prop_assert!((r.total_adoptions() - r.total_adopters).abs() < 1e-6);
+    }
+}
+
+// ---------- Lemma 2 bounds ----------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn lemma2_umin_sigma_le_rho_le_umax_sigma(seed in 0u64..500) {
+        // noiseless two-item model: umin = 0.9, umax = 1.0 (best bundle)
+        let g = cwelmax::graph::generators::erdos_renyi(
+            50, 250, seed, ProbabilityModel::WeightedCascade);
+        let model = UtilityModel::new(
+            TableValue::from_table(2, vec![0.0, 4.0, 4.9, 4.9]),
+            vec![3.0, 4.0],
+            vec![NoiseDist::None; 2],
+        );
+        let est = WelfareEstimator::new(
+            &g, &model, SimulationConfig { samples: 400, threads: 2, base_seed: seed });
+        let alloc = Allocation::from_pairs([(0u32, 0usize), (1, 1), (2, 0)]);
+        let seeds = alloc.seed_nodes();
+        let rho = est.welfare(&alloc);
+        let sigma = est.spread(&seeds);
+        let umin = model.umin();
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let umax = model.umax_mc(&mut rng, 1);
+        // identical worlds (common seeds) → the bound holds sample-wise
+        prop_assert!(umin * sigma <= rho + 1e-6, "umin·σ {} > ρ {}", umin * sigma, rho);
+        prop_assert!(rho <= umax * sigma + 1e-6, "ρ {} > umax·σ {}", rho, umax * sigma);
+    }
+}

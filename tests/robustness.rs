@@ -1,0 +1,162 @@
+//! Failure-injection / degenerate-input robustness: every solver must
+//! behave sanely on empty graphs, dead edges, hopeless utilities, and
+//! budget corner cases — no panics, feasible (possibly empty) output.
+
+use cwelmax::core::baselines::{RoundRobin, Snake, Tcim};
+use cwelmax::core::{MaxGrd, SupGrd};
+use cwelmax::diffusion::SimulationConfig;
+use cwelmax::graph::{generators, GraphBuilder};
+use cwelmax::prelude::*;
+use cwelmax::rrset::ImmParams;
+use cwelmax::utility::{NoiseDist, TableValue};
+
+fn tiny_sim() -> SimulationConfig {
+    SimulationConfig { samples: 20, threads: 1, base_seed: 1 }
+}
+
+fn tiny_imm() -> ImmParams {
+    ImmParams { eps: 0.7, ell: 1.0, seed: 1, threads: 1, max_rr_sets: 200_000 }
+}
+
+fn solvers() -> Vec<Box<dyn CwelMaxAlgorithm>> {
+    vec![
+        Box::new(SeqGrd::new(SeqGrdMode::Marginal)),
+        Box::new(SeqGrd::new(SeqGrdMode::NoMarginal)),
+        Box::new(MaxGrd),
+        Box::new(SupGrd),
+        Box::new(Tcim),
+        Box::new(RoundRobin),
+        Box::new(Snake),
+    ]
+}
+
+fn check_all(p: &Problem) {
+    for s in solvers() {
+        let sol = s.solve(p);
+        p.check_feasible(&sol.allocation)
+            .unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+        // evaluation must not panic either
+        let _ = p.evaluate(&sol.allocation);
+    }
+}
+
+#[test]
+fn single_node_graph() {
+    let g = generators::path(1, ProbabilityModel::Constant(1.0));
+    let p = Problem::new(g, configs::two_item_config(TwoItemConfig::C1))
+        .with_uniform_budget(1)
+        .with_sim(tiny_sim())
+        .with_imm(tiny_imm());
+    check_all(&p);
+}
+
+#[test]
+fn all_edges_dead() {
+    let g = generators::erdos_renyi(30, 120, 3, ProbabilityModel::Constant(0.0));
+    let p = Problem::new(g, configs::two_item_config(TwoItemConfig::C1))
+        .with_uniform_budget(2)
+        .with_sim(tiny_sim())
+        .with_imm(tiny_imm());
+    check_all(&p);
+}
+
+#[test]
+fn graph_with_no_edges() {
+    let g = GraphBuilder::new(10).build(ProbabilityModel::WeightedCascade);
+    let p = Problem::new(g, configs::two_item_config(TwoItemConfig::C2))
+        .with_uniform_budget(3)
+        .with_sim(tiny_sim())
+        .with_imm(tiny_imm());
+    check_all(&p);
+}
+
+#[test]
+fn budget_exceeds_node_count() {
+    let g = generators::path(4, ProbabilityModel::Constant(1.0));
+    let p = Problem::new(g, configs::two_item_config(TwoItemConfig::C1))
+        .with_uniform_budget(50)
+        .with_sim(tiny_sim())
+        .with_imm(tiny_imm());
+    // allocations are feasible (budgets are upper bounds); welfare finite
+    for s in solvers() {
+        let sol = s.solve(&p);
+        p.check_feasible(&sol.allocation).unwrap();
+        assert!(p.evaluate(&sol.allocation).is_finite());
+    }
+}
+
+#[test]
+fn hopeless_utilities_yield_zero_welfare() {
+    // every itemset has negative utility: nothing is ever adopted
+    let g = generators::path(6, ProbabilityModel::Constant(1.0));
+    let model = UtilityModel::new(
+        TableValue::from_table(2, vec![0.0, 1.0, 1.0, 1.5]),
+        vec![5.0, 5.0], // prices far above values
+        vec![NoiseDist::None; 2],
+    );
+    let p = Problem::new(g, model)
+        .with_uniform_budget(2)
+        .with_sim(tiny_sim())
+        .with_imm(tiny_imm());
+    for s in solvers() {
+        let sol = s.solve(&p);
+        let w = p.evaluate(&sol.allocation);
+        assert!(w.abs() < 1e-9, "{}: welfare {w} should be 0", s.name());
+    }
+}
+
+#[test]
+fn everything_fixed_nothing_to_do() {
+    let g = generators::path(5, ProbabilityModel::Constant(1.0));
+    let p = Problem::new(g, configs::two_item_config(TwoItemConfig::C1))
+        .with_uniform_budget(2)
+        .with_fixed_allocation(Allocation::from_pairs([(0, 0), (1, 1)]))
+        .with_sim(tiny_sim())
+        .with_imm(tiny_imm());
+    // both items appear in SP → I2 = ∅ → all solvers return empty
+    for s in solvers() {
+        let sol = s.solve(&p);
+        assert!(sol.allocation.is_empty(), "{} should return empty", s.name());
+    }
+}
+
+#[test]
+fn extreme_noise_does_not_break_estimates() {
+    let g = generators::erdos_renyi(40, 160, 9, ProbabilityModel::WeightedCascade);
+    let model = UtilityModel::new(
+        TableValue::from_table(2, vec![0.0, 4.0, 4.9, 4.9]),
+        vec![3.0, 4.0],
+        vec![NoiseDist::Normal { std: 100.0 }; 2],
+    );
+    let p = Problem::new(g, model)
+        .with_uniform_budget(2)
+        .with_sim(tiny_sim())
+        .with_imm(tiny_imm());
+    let sol = SeqGrd::new(SeqGrdMode::NoMarginal).solve(&p);
+    let w = p.evaluate(&sol.allocation);
+    assert!(w.is_finite() && w >= 0.0, "welfare {w}");
+}
+
+#[test]
+fn disconnected_components_are_all_reachable_by_solvers() {
+    // ten 3-node islands; with budget 5 each item should land on distinct
+    // islands (coverage), never panic
+    let mut b = GraphBuilder::new(30);
+    for island in 0..10u32 {
+        let base = island * 3;
+        b.add_edge(base, base + 1);
+        b.add_edge(base, base + 2);
+    }
+    let g = b.build(ProbabilityModel::Constant(1.0));
+    let p = Problem::new(g, configs::two_item_config(TwoItemConfig::C1))
+        .with_uniform_budget(5)
+        .with_sim(tiny_sim())
+        .with_imm(tiny_imm());
+    let sol = SeqGrd::new(SeqGrdMode::NoMarginal).solve(&p);
+    p.check_feasible(&sol.allocation).unwrap();
+    // item 0's five seeds must sit on five distinct islands
+    let mut islands: Vec<u32> = sol.allocation.seeds_of(0).iter().map(|v| v / 3).collect();
+    islands.sort_unstable();
+    islands.dedup();
+    assert_eq!(islands.len(), 5, "seeds should spread across islands");
+}

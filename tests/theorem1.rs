@@ -1,0 +1,63 @@
+//! Executable Theorem 1: expected social welfare is neither monotone, nor
+//! submodular, nor supermodular — verified end to end on the exact Fig. 1(a)
+//! configuration through the public facade API.
+
+use cwelmax::prelude::*;
+use cwelmax::diffusion::SimulationConfig;
+use cwelmax::graph::generators;
+
+fn rho(problem: &Problem, pairs: &[(u32, usize)]) -> f64 {
+    problem.evaluate(&Allocation::from_pairs(pairs.iter().copied()))
+}
+
+fn theorem1_problem() -> Problem {
+    Problem::new(
+        generators::path(2, ProbabilityModel::Constant(1.0)),
+        configs::counterexample_theorem1(),
+    )
+    // the configuration is noiseless and the graph deterministic: a single
+    // world gives the exact expectation
+    .with_sim(SimulationConfig { samples: 1, threads: 1, base_seed: 0 })
+}
+
+#[test]
+fn welfare_is_not_monotone() {
+    let p = theorem1_problem();
+    let s1 = rho(&p, &[(0, 0)]);
+    let s2 = rho(&p, &[(0, 0), (1, 1)]);
+    assert!((s1 - 8.0).abs() < 1e-9, "ρ(S1) = {s1}");
+    assert!((s2 - 7.0).abs() < 1e-9, "ρ(S2) = {s2}");
+    assert!(s2 < s1, "adding a seed pair must be able to DECREASE welfare");
+}
+
+#[test]
+fn welfare_is_not_submodular() {
+    let p = theorem1_problem();
+    // marginals of x = (u, i1) over S1 ⊂ S2
+    let m1 = rho(&p, &[(1, 1), (0, 0)]) - rho(&p, &[(1, 1)]);
+    let m2 = rho(&p, &[(1, 1), (1, 2), (0, 0)]) - rho(&p, &[(1, 1), (1, 2)]);
+    assert!((m1 - 4.0).abs() < 1e-9);
+    assert!((m2 - 5.0).abs() < 1e-9);
+    assert!(m2 > m1, "marginal must be able to GROW with the base set");
+}
+
+#[test]
+fn welfare_is_not_supermodular() {
+    let p = theorem1_problem();
+    let m1 = rho(&p, &[(0, 0)]) - rho(&p, &[]);
+    let m2 = rho(&p, &[(1, 1), (0, 0)]) - rho(&p, &[(1, 1)]);
+    assert!((m1 - 8.0).abs() < 1e-9);
+    assert!((m2 - 4.0).abs() < 1e-9);
+    assert!(m2 < m1, "marginal must be able to SHRINK with the base set");
+}
+
+#[test]
+fn the_value_function_satisfies_the_model_assumptions() {
+    // the counterexample must not cheat: V monotone submodular, V(∅)=0,
+    // prices additive, noise zero — so the non-monotonicity comes from the
+    // *diffusion*, not from a malformed model
+    let m = configs::counterexample_theorem1();
+    assert!(m.value_fn().is_monotone());
+    assert!(m.value_fn().is_submodular());
+    assert!(!m.has_noise());
+}
