@@ -1,0 +1,76 @@
+//! Cold solve vs. warm `CampaignEngine` query — the perf anchor for the
+//! serving architecture.
+//!
+//! The cold path re-runs PRIMA+ (RR-set sampling + selection) on every
+//! `solve()`; the warm path reuses one prebuilt `RrIndex` and pays only
+//! item assignment + (cached) welfare evaluation. The gap between the two
+//! is the amortized sampling cost — expect orders of magnitude on
+//! anything non-trivial.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cwelmax_bench::{network, Scale};
+use cwelmax_core::prelude::*;
+use cwelmax_diffusion::SimulationConfig;
+use cwelmax_engine::{CampaignEngine, CampaignQuery, QueryAlgorithm, RrIndex};
+use cwelmax_graph::generators::benchmark::Network;
+use cwelmax_utility::configs::{self, TwoItemConfig};
+use std::sync::Arc;
+
+fn sim() -> SimulationConfig {
+    SimulationConfig {
+        samples: 200,
+        threads: 2,
+        base_seed: 0xE7A2,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let graph = network(Network::NetHept, Scale::Quick);
+    let imm = Scale::Quick.imm();
+    let budget = 10usize;
+
+    let problem = Problem::new_shared(graph.clone(), configs::two_item_config(TwoItemConfig::C1))
+        .with_uniform_budget(budget)
+        .with_sim(sim())
+        .with_imm(imm);
+
+    // warm state: index built once outside the measured region
+    let index = Arc::new(RrIndex::build(&graph, (2 * budget) as u32, &imm));
+    let engine = CampaignEngine::new(graph.clone(), index).unwrap();
+    let query = CampaignQuery {
+        model: configs::two_item_config(TwoItemConfig::C1),
+        budgets: vec![budget, budget],
+        algorithm: QueryAlgorithm::SeqGrdNm,
+        sim: sim(),
+    };
+    // pay the lazy one-time pool selection before measuring steady state
+    engine.query(&query).unwrap();
+
+    let mut group = c.benchmark_group("engine_warm_query");
+    group.sample_size(10);
+    group.bench_function("cold_solve_seqgrd_nm", |b| {
+        b.iter(|| SeqGrd::nm().solve(&problem))
+    });
+    group.bench_function("warm_engine_query", |b| {
+        b.iter(|| engine.query(&query).unwrap())
+    });
+    // a mixed batch: what a serving tier actually sees
+    let batch: Vec<CampaignQuery> = [TwoItemConfig::C1, TwoItemConfig::C2, TwoItemConfig::C3]
+        .into_iter()
+        .flat_map(|cfg| {
+            (1..=4usize).map(move |b| CampaignQuery {
+                model: configs::two_item_config(cfg),
+                budgets: vec![b, b],
+                algorithm: QueryAlgorithm::SeqGrdNm,
+                sim: sim(),
+            })
+        })
+        .collect();
+    group.bench_function("warm_engine_batch_12_queries", |b| {
+        b.iter(|| engine.query_batch(&batch, 4))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

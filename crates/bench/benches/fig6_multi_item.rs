@@ -32,12 +32,8 @@ fn bench_scalability(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6d_scalability");
     group.sample_size(10);
     for pct in [50usize, 75, 100] {
-        let sub = subgraph::bfs_fraction(
-            &g,
-            0,
-            pct as f64 / 100.0,
-            ProbabilityModel::WeightedCascade,
-        );
+        let sub =
+            subgraph::bfs_fraction(&g, 0, pct as f64 / 100.0, ProbabilityModel::WeightedCascade);
         let problem = Problem::new(sub.graph, configs::multi_item_pure_competition(3))
             .with_uniform_budget(10)
             .with_sim(Scale::Quick.solver_sim())

@@ -29,7 +29,10 @@ fn main() {
             }
             "--out" => {
                 i += 1;
-                out_dir = args.get(i).cloned().unwrap_or_else(|| die("--out expects a dir"));
+                out_dir = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| die("--out expects a dir"));
             }
             "--help" | "-h" => {
                 eprintln!(

@@ -37,7 +37,11 @@ pub fn table2(scale: Scale) -> ExperimentResult {
             s.num_nodes.to_string(),
             s.num_edges.to_string(),
             fmt(s.avg_out_degree),
-            if s.is_symmetric { "undirected".into() } else { "directed".into() },
+            if s.is_symmetric {
+                "undirected".into()
+            } else {
+                "directed".into()
+            },
         ]);
     }
     r.note(
@@ -60,7 +64,16 @@ pub fn fig3(scale: Scale) -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "fig3",
         "Running time (s), configuration C1",
-        &["network", "budget", "greedyWM", "Balance-C", "TCIM", "MaxGRD", "SeqGRD", "SeqGRD-NM"],
+        &[
+            "network",
+            "budget",
+            "greedyWM",
+            "Balance-C",
+            "TCIM",
+            "MaxGRD",
+            "SeqGRD",
+            "SeqGRD-NM",
+        ],
     );
     let nets = [
         Network::NetHept,
@@ -90,8 +103,12 @@ pub fn fig3(scale: Scale) -> ExperimentResult {
             }
             row.push(fmt_secs(Tcim.solve(&p).elapsed));
             row.push(fmt_secs(MaxGrd.solve(&p).elapsed));
-            row.push(fmt_secs(SeqGrd::new(SeqGrdMode::Marginal).solve(&p).elapsed));
-            row.push(fmt_secs(SeqGrd::new(SeqGrdMode::NoMarginal).solve(&p).elapsed));
+            row.push(fmt_secs(
+                SeqGrd::new(SeqGrdMode::Marginal).solve(&p).elapsed,
+            ));
+            row.push(fmt_secs(
+                SeqGrd::new(SeqGrdMode::NoMarginal).solve(&p).elapsed,
+            ));
             r.push_row(row);
         }
     }
@@ -110,15 +127,23 @@ pub fn fig4(scale: Scale) -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "fig4",
         "Expected social welfare on Douban-Movie, configurations C1–C4",
-        &["config", "budget(s)", "greedyWM", "Balance-C", "TCIM", "MaxGRD", "SeqGRD", "SeqGRD-NM"],
+        &[
+            "config",
+            "budget(s)",
+            "greedyWM",
+            "Balance-C",
+            "TCIM",
+            "MaxGRD",
+            "SeqGRD",
+            "SeqGRD-NM",
+        ],
     );
     let g = network(Network::DoubanMovie, scale);
     let budgets: Vec<usize> = match scale {
         Scale::Quick => vec![10, 30, 50],
         Scale::Full => vec![10, 20, 30, 40, 50],
     };
-    let eval =
-        |p: &Problem, a: &Allocation| fmt(harness::evaluate(p, a, scale));
+    let eval = |p: &Problem, a: &Allocation| fmt(harness::evaluate(p, a, scale));
     // spread-based candidate pools; Balance-C re-evaluates its whole pool
     // every round (no lazy evaluation exists for its objective), so its
     // pool must stay small to keep the baseline runnable
@@ -144,14 +169,23 @@ pub fn fig4(scale: Scale) -> ExperimentResult {
         for (bi, bj) in budget_pairs {
             let p = harness::problem(&g, configs::two_item_config(cfg), scale)
                 .with_budgets(vec![bi, bj]);
-            let label = if bi == bj { bi.to_string() } else { format!("{bi}/{bj}") };
+            let label = if bi == bj {
+                bi.to_string()
+            } else {
+                format!("{bi}/{bj}")
+            };
             let (gw, bc) = if run_slow {
                 (
                     eval(
                         &p,
-                        &GreedyWm::new(CandidatePool::Nodes(pool.clone())).solve(&p).allocation,
+                        &GreedyWm::new(CandidatePool::Nodes(pool.clone()))
+                            .solve(&p)
+                            .allocation,
                     ),
-                    eval(&p, &BalanceC::with_pool(bc_pool.clone()).solve(&p).allocation),
+                    eval(
+                        &p,
+                        &BalanceC::with_pool(bc_pool.clone()).solve(&p).allocation,
+                    ),
                 )
             } else {
                 ("—".into(), "—".into())
@@ -164,7 +198,10 @@ pub fn fig4(scale: Scale) -> ExperimentResult {
                 eval(&p, &Tcim.solve(&p).allocation),
                 eval(&p, &MaxGrd.solve(&p).allocation),
                 eval(&p, &SeqGrd::new(SeqGrdMode::Marginal).solve(&p).allocation),
-                eval(&p, &SeqGrd::new(SeqGrdMode::NoMarginal).solve(&p).allocation),
+                eval(
+                    &p,
+                    &SeqGrd::new(SeqGrdMode::NoMarginal).solve(&p).allocation,
+                ),
             ]);
         }
     }
@@ -421,7 +458,15 @@ pub fn table6(scale: Scale) -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "table6",
         "Adoption counts per item and welfare (RR / Snake / SeqGRD-NM)",
-        &["network", "budget", "config", "algorithm", "adoptions per item", "total", "welfare"],
+        &[
+            "network",
+            "budget",
+            "config",
+            "algorithm",
+            "adoptions per item",
+            "total",
+            "welfare",
+        ],
     );
     let budgets: Vec<usize> = vec![10, 40];
     let nets = [Network::NetHept, Network::Orkut];
@@ -436,11 +481,17 @@ pub fn table6(scale: Scale) -> ExperimentResult {
                 for (name, alloc) in [
                     ("RR", RoundRobin.solve(&p).allocation),
                     ("Snake", Snake.solve(&p).allocation),
-                    ("SGRD-NM", SeqGrd::new(SeqGrdMode::NoMarginal).solve(&p).allocation),
+                    (
+                        "SGRD-NM",
+                        SeqGrd::new(SeqGrdMode::NoMarginal).solve(&p).allocation,
+                    ),
                 ] {
                     let rep = harness::evaluate_report(&p, &alloc, scale);
-                    let counts: Vec<String> =
-                        rep.adoption_counts.iter().map(|c| format!("{c:.0}")).collect();
+                    let counts: Vec<String> = rep
+                        .adoption_counts
+                        .iter()
+                        .map(|c| format!("{c:.0}"))
+                        .collect();
                     r.push_row(vec![
                         net.name().into(),
                         b.to_string(),
@@ -474,7 +525,11 @@ pub fn table1() -> ExperimentResult {
     let m = configs::hardness_table1();
     for s in cwelmax_utility::itemset::all_itemsets(4) {
         r.push_row(vec![
-            if s.is_empty() { "∅".into() } else { s.to_string() },
+            if s.is_empty() {
+                "∅".into()
+            } else {
+                s.to_string()
+            },
             fmt(m.value_fn().value(s)),
             fmt(m.price(s)),
             fmt(m.deterministic_utility(s)),
@@ -500,7 +555,13 @@ pub fn gadget_gap() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "gadget",
         "SET-COVER reduction welfare gap (Theorem 2, N = 60)",
-        &["instance", "i1 seeding", "welfare", "threshold c·N²·U({i1,i4})", "verdict"],
+        &[
+            "instance",
+            "i1 seeding",
+            "welfare",
+            "threshold c·N²·U({i1,i4})",
+            "verdict",
+        ],
     );
     let copies = 60;
     let d = 60;
@@ -539,7 +600,11 @@ pub fn gadget_gap() -> ExperimentResult {
             format!("best of C({r_sets},{k}) s-subsets"),
             fmt(best),
             fmt(threshold),
-            if best > threshold { "ABOVE → YES".into() } else { "below → NO".into() },
+            if best > threshold {
+                "ABOVE → YES".into()
+            } else {
+                "below → NO".into()
+            },
         ]);
     }
     r.note("A constant-factor approximation would separate the rows — hence none exists unless P = NP.");
@@ -553,7 +618,14 @@ pub fn ext_mixed(scale: Scale) -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "ext_mixed",
         "Extension: mixed competition + complementarity (i0,i1 complements; i2 competitor)",
-        &["algorithm", "welfare", "adoptions per item", "min share", "Gini", "Jain"],
+        &[
+            "algorithm",
+            "welfare",
+            "adoptions per item",
+            "min share",
+            "Gini",
+            "Jain",
+        ],
     );
     let g = network(Network::NetHept, scale);
     let budget = match scale {
@@ -562,16 +634,29 @@ pub fn ext_mixed(scale: Scale) -> ExperimentResult {
     };
     let p = harness::problem(&g, configs::mixed_interaction(), scale).with_uniform_budget(budget);
     for (name, alloc) in [
-        ("SeqGRD-NM", SeqGrd::new(SeqGrdMode::NoMarginal).solve(&p).allocation),
-        ("SeqGRD", SeqGrd::new(SeqGrdMode::Marginal).solve(&p).allocation),
+        (
+            "SeqGRD-NM",
+            SeqGrd::new(SeqGrdMode::NoMarginal).solve(&p).allocation,
+        ),
+        (
+            "SeqGRD",
+            SeqGrd::new(SeqGrdMode::Marginal).solve(&p).allocation,
+        ),
         ("MaxGRD", MaxGrd.solve(&p).allocation),
-        ("BundleGRD", cwelmax_core::baselines::BundleGrd.solve(&p).allocation),
+        (
+            "BundleGRD",
+            cwelmax_core::baselines::BundleGrd.solve(&p).allocation,
+        ),
         ("TCIM", Tcim.solve(&p).allocation),
         ("Round-robin", RoundRobin.solve(&p).allocation),
     ] {
         let rep = harness::evaluate_report(&p, &alloc, scale);
         let fair = cwelmax_diffusion::FairnessReport::of(&rep);
-        let counts: Vec<String> = rep.adoption_counts.iter().map(|c| format!("{c:.0}")).collect();
+        let counts: Vec<String> = rep
+            .adoption_counts
+            .iter()
+            .map(|c| format!("{c:.0}"))
+            .collect();
         r.push_row(vec![
             name.into(),
             fmt(rep.welfare),

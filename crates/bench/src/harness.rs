@@ -46,24 +46,39 @@ impl Scale {
 
     /// Simulation config for evaluation.
     pub fn sim(self) -> SimulationConfig {
-        SimulationConfig { samples: self.eval_samples(), threads: 0, base_seed: 0xE7A1 }
+        SimulationConfig {
+            samples: self.eval_samples(),
+            threads: 0,
+            base_seed: 0xE7A1,
+        }
     }
 
     /// Simulation config for solver-internal marginals.
     pub fn solver_sim(self) -> SimulationConfig {
-        SimulationConfig { samples: self.marginal_samples(), threads: 0, base_seed: 0xE7A2 }
+        SimulationConfig {
+            samples: self.marginal_samples(),
+            threads: 0,
+            base_seed: 0xE7A2,
+        }
     }
 
     /// IMM parameters (ε = 0.5, ℓ = 1 as in §6.1.3).
     pub fn imm(self) -> ImmParams {
-        ImmParams { eps: 0.5, ell: 1.0, seed: 0x1DD, threads: 0, max_rr_sets: 30_000_000 }
+        ImmParams {
+            eps: 0.5,
+            ell: 1.0,
+            seed: 0x1DD,
+            threads: 0,
+            max_rr_sets: 30_000_000,
+        }
     }
 }
 
 /// Process-wide cache: each benchmark network is generated once per scale.
-fn cache() -> &'static Mutex<HashMap<(Network, Scale), Arc<Graph>>> {
-    static CACHE: std::sync::OnceLock<Mutex<HashMap<(Network, Scale), Arc<Graph>>>> =
-        std::sync::OnceLock::new();
+type NetworkCache = Mutex<HashMap<(Network, Scale), Arc<Graph>>>;
+
+fn cache() -> &'static NetworkCache {
+    static CACHE: std::sync::OnceLock<NetworkCache> = std::sync::OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
@@ -83,12 +98,8 @@ pub fn network(net: Network, scale: Scale) -> Arc<Graph> {
 }
 
 /// Build a problem with the scale's default knobs.
-pub fn problem(
-    graph: &Arc<Graph>,
-    model: cwelmax_utility::UtilityModel,
-    scale: Scale,
-) -> Problem {
-    Problem::new((**graph).clone(), model)
+pub fn problem(graph: &Arc<Graph>, model: cwelmax_utility::UtilityModel, scale: Scale) -> Problem {
+    Problem::new_shared(graph.clone(), model)
         .with_sim(scale.solver_sim())
         .with_imm(scale.imm())
 }

@@ -49,7 +49,11 @@ impl ExperimentResult {
         out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
         out.push_str(&format!(
             "|{}|\n",
-            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         ));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
@@ -66,7 +70,11 @@ impl ExperimentResult {
         std::fs::create_dir_all(&dir)?;
         let path = dir.as_ref().join(format!("{}.json", self.id));
         let mut f = std::fs::File::create(path)?;
-        f.write_all(serde_json::to_string_pretty(self).expect("serializable").as_bytes())
+        f.write_all(
+            serde_json::to_string_pretty(self)
+                .expect("serializable")
+                .as_bytes(),
+        )
     }
 }
 
@@ -109,10 +117,8 @@ mod tests {
         r.push_row(vec!["7".into()]);
         let dir = std::env::temp_dir().join("cwelmax_report_test");
         r.save_json(&dir).unwrap();
-        let loaded: ExperimentResult = serde_json::from_str(
-            &std::fs::read_to_string(dir.join("t.json")).unwrap(),
-        )
-        .unwrap();
+        let loaded: ExperimentResult =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("t.json")).unwrap()).unwrap();
         assert_eq!(loaded.rows, r.rows);
     }
 

@@ -29,19 +29,28 @@ pub struct BalanceC {
 
 impl Default for BalanceC {
     fn default() -> Self {
-        BalanceC { candidate_limit: Some(100), candidate_pool: None }
+        BalanceC {
+            candidate_limit: Some(100),
+            candidate_pool: None,
+        }
     }
 }
 
 impl BalanceC {
     /// With an explicit candidate limit (`None` = all nodes).
     pub fn with_candidates(limit: Option<usize>) -> BalanceC {
-        BalanceC { candidate_limit: limit, candidate_pool: None }
+        BalanceC {
+            candidate_limit: limit,
+            candidate_pool: None,
+        }
     }
 
     /// With an explicit candidate pool.
     pub fn with_pool(pool: Vec<NodeId>) -> BalanceC {
-        BalanceC { candidate_limit: None, candidate_pool: Some(pool) }
+        BalanceC {
+            candidate_limit: None,
+            candidate_pool: Some(pool),
+        }
     }
 }
 
@@ -111,9 +120,8 @@ impl CwelMaxAlgorithm for BalanceC {
                         }
                         let mut cand = alloc.clone();
                         cand.add(v, i);
-                        let score =
-                            estimator.balanced_exposure(&cand.union(&problem.fixed), pair);
-                        if best.map_or(true, |(bs, bv, bi)| {
+                        let score = estimator.balanced_exposure(&cand.union(&problem.fixed), pair);
+                        if best.is_none_or(|(bs, bv, bi)| {
                             score > bs || (score == bs && (v, i) < (bv, bi))
                         }) {
                             best = Some((score, v, i));
@@ -145,8 +153,18 @@ mod tests {
 
     fn fast_problem(graph: cwelmax_graph::Graph) -> Problem {
         Problem::new(graph, configs::two_item_config(TwoItemConfig::C1))
-            .with_sim(SimulationConfig { samples: 60, threads: 2, base_seed: 3 })
-            .with_imm(ImmParams { eps: 0.5, ell: 1.0, seed: 2, threads: 2, max_rr_sets: 500_000 })
+            .with_sim(SimulationConfig {
+                samples: 60,
+                threads: 2,
+                base_seed: 3,
+            })
+            .with_imm(ImmParams {
+                eps: 0.5,
+                ell: 1.0,
+                seed: 2,
+                threads: 2,
+                max_rr_sets: 500_000,
+            })
     }
 
     #[test]

@@ -61,8 +61,18 @@ mod tests {
     use cwelmax_utility::configs;
 
     fn fast(p: Problem) -> Problem {
-        p.with_sim(SimulationConfig { samples: 200, threads: 2, base_seed: 3 })
-            .with_imm(ImmParams { eps: 0.5, ell: 1.0, seed: 2, threads: 2, max_rr_sets: 500_000 })
+        p.with_sim(SimulationConfig {
+            samples: 200,
+            threads: 2,
+            base_seed: 3,
+        })
+        .with_imm(ImmParams {
+            eps: 0.5,
+            ell: 1.0,
+            seed: 2,
+            threads: 2,
+            max_rr_sets: 500_000,
+        })
     }
 
     #[test]
@@ -74,7 +84,10 @@ mod tests {
         assert_eq!(seeds.len(), 4);
         for &v in &seeds {
             for i in 0..3 {
-                assert!(s.allocation.pairs().contains(&(v, i)), "seed {v} missing item {i}");
+                assert!(
+                    s.allocation.pairs().contains(&(v, i)),
+                    "seed {v} missing item {i}"
+                );
             }
         }
         p.check_feasible(&s.allocation).unwrap();
@@ -84,18 +97,17 @@ mod tests {
     fn bundling_wins_with_complements_loses_under_pure_competition() {
         let g = generators::erdos_renyi(400, 2000, 8, PM::WeightedCascade);
         // mixed config: the {i0,i1} complement pair makes bundling strong
-        let p_mixed = fast(Problem::new(g.clone(), configs::mixed_interaction()))
-            .with_budgets(vec![5, 5, 0]);
+        let p_mixed =
+            fast(Problem::new(g.clone(), configs::mixed_interaction())).with_budgets(vec![5, 5, 0]);
         let w_bundle = p_mixed.evaluate(&BundleGrd.solve(&p_mixed).allocation);
-        let w_seq = p_mixed
-            .evaluate(&crate::seqgrd::SeqGrd::nm().solve(&p_mixed).allocation);
+        let w_seq = p_mixed.evaluate(&crate::seqgrd::SeqGrd::nm().solve(&p_mixed).allocation);
         assert!(
             w_bundle > w_seq,
             "bundling must win with complements: bundle {w_bundle:.1} vs seq {w_seq:.1}"
         );
         // pure competition: bundling wastes all but one item per node
-        let p_pure = fast(Problem::new(g, configs::multi_item_pure_competition(3)))
-            .with_uniform_budget(5);
+        let p_pure =
+            fast(Problem::new(g, configs::multi_item_pure_competition(3))).with_uniform_budget(5);
         let w_bundle = p_pure.evaluate(&BundleGrd.solve(&p_pure).allocation);
         let w_seq = p_pure.evaluate(&crate::seqgrd::SeqGrd::nm().solve(&p_pure).allocation);
         assert!(

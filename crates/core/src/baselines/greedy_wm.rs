@@ -43,14 +43,20 @@ pub struct GreedyWm {
 
 impl Default for GreedyWm {
     fn default() -> Self {
-        GreedyWm { pool: CandidatePool::All, use_celf: true }
+        GreedyWm {
+            pool: CandidatePool::All,
+            use_celf: true,
+        }
     }
 }
 
 impl GreedyWm {
     /// greedyWM over a candidate pool (CELF on).
     pub fn new(pool: CandidatePool) -> GreedyWm {
-        GreedyWm { pool, use_celf: true }
+        GreedyWm {
+            pool,
+            use_celf: true,
+        }
     }
 
     /// Disable CELF: re-evaluate every candidate pair each round, exactly
@@ -130,15 +136,18 @@ impl CwelMaxAlgorithm for GreedyWm {
                 let mut heap: BinaryHeap<Cand> = candidates
                     .iter()
                     .flat_map(|&v| free.iter().map(move |i| (v, i)))
-                    .map(|(v, i)| Cand { gain: marginal((v, i), &alloc), node: v, item: i, round: 0 })
+                    .map(|(v, i)| Cand {
+                        gain: marginal((v, i), &alloc),
+                        node: v,
+                        item: i,
+                        round: 0,
+                    })
                     .collect();
                 let mut round = 0u32;
                 let total: usize = free.iter().map(|i| problem.budgets[i]).sum();
                 while alloc.len() < total {
                     let Some(top) = heap.pop() else { break };
-                    if remaining[top.item] == 0
-                        || alloc.pairs().contains(&(top.node, top.item))
-                    {
+                    if remaining[top.item] == 0 || alloc.pairs().contains(&(top.node, top.item)) {
                         continue;
                     }
                     if top.round < round {
@@ -161,9 +170,9 @@ impl CwelMaxAlgorithm for GreedyWm {
                                 continue;
                             }
                             let g = marginal((v, i), &alloc);
-                            if best.map_or(true, |(bg, bv, bi)| {
-                                g > bg || (g == bg && (v, i) < (bv, bi))
-                            }) {
+                            if best
+                                .is_none_or(|(bg, bv, bi)| g > bg || (g == bg && (v, i) < (bv, bi)))
+                            {
                                 best = Some((g, v, i));
                             }
                         }
@@ -197,7 +206,11 @@ mod tests {
             configs::two_item_config(TwoItemConfig::C1),
         )
         .with_uniform_budget(n_budget)
-        .with_sim(SimulationConfig { samples: 100, threads: 2, base_seed: 4 })
+        .with_sim(SimulationConfig {
+            samples: 100,
+            threads: 2,
+            base_seed: 4,
+        })
     }
 
     #[test]

@@ -49,7 +49,11 @@ fn positional_assign(problem: &Problem, snake: bool) -> Allocation {
         for step in 0..m {
             let pos = (k + step) % m;
             let row = (k + step) / m;
-            let idx = if snake && row % 2 == 1 { m - 1 - pos } else { pos };
+            let idx = if snake && row % 2 == 1 {
+                m - 1 - pos
+            } else {
+                pos
+            };
             let item = order[idx];
             if remaining[item] > 0 {
                 assigned = Some(item);
@@ -106,8 +110,18 @@ mod tests {
             configs::two_item_config(TwoItemConfig::C1),
         )
         .with_uniform_budget(2)
-        .with_sim(SimulationConfig { samples: 100, threads: 2, base_seed: 3 })
-        .with_imm(ImmParams { eps: 0.5, ell: 1.0, seed: 2, threads: 2, max_rr_sets: 500_000 })
+        .with_sim(SimulationConfig {
+            samples: 100,
+            threads: 2,
+            base_seed: 3,
+        })
+        .with_imm(ImmParams {
+            eps: 0.5,
+            ell: 1.0,
+            seed: 2,
+            threads: 2,
+            max_rr_sets: 500_000,
+        })
     }
 
     /// Reconstruct the shared pool to compare assignment patterns.

@@ -69,8 +69,18 @@ mod tests {
 
     fn fast_problem(graph: cwelmax_graph::Graph) -> Problem {
         Problem::new(graph, configs::two_item_config(TwoItemConfig::C1))
-            .with_sim(SimulationConfig { samples: 200, threads: 2, base_seed: 3 })
-            .with_imm(ImmParams { eps: 0.5, ell: 1.0, seed: 2, threads: 2, max_rr_sets: 1_000_000 })
+            .with_sim(SimulationConfig {
+                samples: 200,
+                threads: 2,
+                base_seed: 3,
+            })
+            .with_imm(ImmParams {
+                eps: 0.5,
+                ell: 1.0,
+                seed: 2,
+                threads: 2,
+                max_rr_sets: 1_000_000,
+            })
     }
 
     #[test]

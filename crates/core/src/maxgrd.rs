@@ -17,6 +17,37 @@ use cwelmax_rrset::prima::prima_plus;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MaxGrd;
 
+impl MaxGrd {
+    /// Lines 2–3 of Algorithm 2 against a **borrowed, prebuilt** ordered
+    /// seed pool (the warm path `cwelmax-engine` uses — no sampling): give
+    /// each free item its budget-prefix of the pool and keep the single
+    /// item with the highest marginal welfare.
+    pub fn solve_with_pool(&self, problem: &Problem, pool: &[cwelmax_graph::NodeId]) -> Solution {
+        let ((alloc, est), elapsed) = timed(|| self.best_single_item(problem, pool));
+        debug_assert!(problem.check_feasible(&alloc).is_ok());
+        Solution::new(self.name(), alloc, elapsed).with_estimate(est)
+    }
+
+    fn best_single_item(
+        &self,
+        problem: &Problem,
+        pool: &[cwelmax_graph::NodeId],
+    ) -> (Allocation, f64) {
+        let free = problem.free_items();
+        let estimator = problem.estimator();
+        let mut best: Option<(Allocation, f64)> = None;
+        for item in free.iter() {
+            let bi = problem.budgets[item].min(pool.len());
+            let cand = Allocation::from_item_seeds(item, &pool[..bi]);
+            let rho = estimator.marginal_welfare(&cand, &problem.fixed);
+            if best.as_ref().is_none_or(|&(_, b)| rho > b) {
+                best = Some((cand, rho));
+            }
+        }
+        best.unwrap_or((Allocation::new(), 0.0))
+    }
+}
+
 impl CwelMaxAlgorithm for MaxGrd {
     fn name(&self) -> &str {
         "MaxGRD"
@@ -34,19 +65,7 @@ impl CwelMaxAlgorithm for MaxGrd {
 
             // line 1: one pool of max_i b_i prefix-preserved seeds
             let pool = prima_plus(&problem.graph, &sp, &budgets, b_max, &problem.imm);
-
-            // lines 2–3: the best single-item allocation by marginal welfare
-            let estimator = problem.estimator();
-            let mut best: Option<(Allocation, f64)> = None;
-            for item in free.iter() {
-                let bi = problem.budgets[item].min(pool.seeds.len());
-                let cand = Allocation::from_item_seeds(item, &pool.seeds[..bi]);
-                let rho = estimator.marginal_welfare(&cand, &problem.fixed);
-                if best.as_ref().map_or(true, |&(_, b)| rho > b) {
-                    best = Some((cand, rho));
-                }
-            }
-            best.unwrap_or((Allocation::new(), 0.0))
+            self.best_single_item(problem, &pool.seeds)
         });
         debug_assert!(problem.check_feasible(&alloc).is_ok());
         Solution::new(self.name(), alloc, elapsed).with_estimate(est)
@@ -82,15 +101,24 @@ mod tests {
 
     fn fast_problem(graph: cwelmax_graph::Graph, model: cwelmax_utility::UtilityModel) -> Problem {
         Problem::new(graph, model)
-            .with_sim(SimulationConfig { samples: 300, threads: 2, base_seed: 5 })
-            .with_imm(ImmParams { eps: 0.5, ell: 1.0, seed: 11, threads: 2, max_rr_sets: 2_000_000 })
+            .with_sim(SimulationConfig {
+                samples: 300,
+                threads: 2,
+                base_seed: 5,
+            })
+            .with_imm(ImmParams {
+                eps: 0.5,
+                ell: 1.0,
+                seed: 11,
+                threads: 2,
+                max_rr_sets: 2_000_000,
+            })
     }
 
     #[test]
     fn allocates_exactly_one_item() {
         let g = generators::erdos_renyi(200, 1000, 4, PM::WeightedCascade);
-        let p = fast_problem(g, configs::two_item_config(TwoItemConfig::C1))
-            .with_uniform_budget(4);
+        let p = fast_problem(g, configs::two_item_config(TwoItemConfig::C1)).with_uniform_budget(4);
         let s = MaxGrd.solve(&p);
         let items = s.allocation.items();
         assert_eq!(items.len(), 1, "MaxGRD allocates a single item");
@@ -103,8 +131,7 @@ mod tests {
     fn picks_the_higher_utility_item_when_budgets_match() {
         // C2: U(i0)=1 vs U(i1)=0.1 — same seeds, so item 0 must win
         let g = generators::erdos_renyi(200, 1000, 4, PM::WeightedCascade);
-        let p = fast_problem(g, configs::two_item_config(TwoItemConfig::C2))
-            .with_uniform_budget(4);
+        let p = fast_problem(g, configs::two_item_config(TwoItemConfig::C2)).with_uniform_budget(4);
         let s = MaxGrd.solve(&p);
         assert_eq!(s.allocation.items().iter().next(), Some(0));
     }
@@ -135,7 +162,9 @@ mod tests {
             vec![cwelmax_utility::NoiseDist::None; 2],
             0.5,
         );
-        let p = fast_problem(g, model).with_uniform_budget(1).with_mc_samples(50);
+        let p = fast_problem(g, model)
+            .with_uniform_budget(1)
+            .with_mc_samples(50);
         let s = MaxGrd.solve(&p);
         let w = p.evaluate(&s.allocation);
         assert!((w - 30.0).abs() < 1e-9, "MaxGRD welfare {w}");
@@ -144,8 +173,7 @@ mod tests {
     #[test]
     fn best_of_returns_the_better_solution() {
         let g = generators::erdos_renyi(150, 700, 8, PM::WeightedCascade);
-        let p = fast_problem(g, configs::two_item_config(TwoItemConfig::C3))
-            .with_uniform_budget(3);
+        let p = fast_problem(g, configs::two_item_config(TwoItemConfig::C3)).with_uniform_budget(3);
         let s = best_of(&p, SeqGrd::new(SeqGrdMode::NoMarginal));
         let w_best = p.evaluate(&s.allocation);
         let w_max = p.evaluate(&MaxGrd.solve(&p).allocation);

@@ -4,14 +4,18 @@ use cwelmax_diffusion::{Allocation, SimulationConfig, WelfareEstimator, WelfareR
 use cwelmax_graph::Graph;
 use cwelmax_rrset::ImmParams;
 use cwelmax_utility::{ItemId, ItemSet, UtilityModel};
+use std::sync::Arc;
 
 /// One CWelMax instance: `⟨G, Param⟩`, per-item budgets `⃗b`, the fixed
 /// prior allocation `SP` (possibly empty — the "fresh campaigns" special
 /// case), and the accuracy knobs shared by all solvers.
 #[derive(Clone)]
 pub struct Problem {
-    /// The social network `G = (V, E, p)`.
-    pub graph: Graph,
+    /// The social network `G = (V, E, p)`. Held behind `Arc` so serving
+    /// layers (`cwelmax-engine`) can mint per-campaign problems against one
+    /// shared graph without deep-copying the CSR; deref coercion keeps
+    /// every `&problem.graph` call site unchanged.
+    pub graph: Arc<Graph>,
     /// The utility model `Param = (V, P, {D_i})`.
     pub model: UtilityModel,
     /// `budgets[i]` — max seeds for item `i` (items in `I1` should be 0).
@@ -29,6 +33,13 @@ impl Problem {
     /// accuracy parameters (ε = 0.5, ℓ = 1, 5000 MC samples — the paper's
     /// defaults).
     pub fn new(graph: Graph, model: UtilityModel) -> Problem {
+        Problem::new_shared(Arc::new(graph), model)
+    }
+
+    /// Like [`Problem::new`] but over an already-shared graph — the cheap
+    /// constructor serving layers use to answer many campaigns on one
+    /// loaded network.
+    pub fn new_shared(graph: Arc<Graph>, model: UtilityModel) -> Problem {
         let m = model.num_items();
         Problem {
             graph,
@@ -89,14 +100,16 @@ impl Problem {
     pub fn free_items(&self) -> ItemSet {
         let fixed_items = self.fixed.items();
         ItemSet::from_items(
-            (0..self.num_items())
-                .filter(|&i| self.budgets[i] > 0 && !fixed_items.contains(i)),
+            (0..self.num_items()).filter(|&i| self.budgets[i] > 0 && !fixed_items.contains(i)),
         )
     }
 
     /// Budgets of the free items, as `(item, budget)` pairs.
     pub fn free_budgets(&self) -> Vec<(ItemId, usize)> {
-        self.free_items().iter().map(|i| (i, self.budgets[i])).collect()
+        self.free_items()
+            .iter()
+            .map(|i| (i, self.budgets[i]))
+            .collect()
     }
 
     /// Total seed budget `b = Σ_{i ∈ I2} b_i`.
@@ -167,15 +180,20 @@ mod tests {
     fn feasibility_checks() {
         let p = problem().with_budgets(vec![1, 1]);
         assert!(p.check_feasible(&Allocation::from_pairs([(0, 0)])).is_ok());
-        assert!(p.check_feasible(&Allocation::from_pairs([(0, 0), (1, 0)])).is_err());
+        assert!(p
+            .check_feasible(&Allocation::from_pairs([(0, 0), (1, 0)]))
+            .is_err());
         let p2 = problem()
             .with_budgets(vec![1, 1])
             .with_fixed_allocation(Allocation::from_pairs([(4, 1)]));
         assert!(
-            p2.check_feasible(&Allocation::from_pairs([(0, 1)])).is_err(),
+            p2.check_feasible(&Allocation::from_pairs([(0, 1)]))
+                .is_err(),
             "item 1 is fixed"
         );
-        assert!(p2.check_feasible(&Allocation::from_pairs([(9, 0)])).is_err());
+        assert!(p2
+            .check_feasible(&Allocation::from_pairs([(9, 0)]))
+            .is_err());
     }
 
     #[test]

@@ -46,6 +46,65 @@ impl SeqGrd {
     pub fn nm() -> SeqGrd {
         SeqGrd::new(SeqGrdMode::NoMarginal)
     }
+
+    /// Run only the item-assignment stage (Algorithm 1, lines 4–18)
+    /// against a **borrowed, prebuilt** ordered seed pool — the warm path
+    /// `cwelmax-engine` uses: the pool comes from a persistent RR-set
+    /// index, so no sampling happens here. The pool must be
+    /// prefix-preserving for this problem's budgets (PRIMA+ order, or an
+    /// engine index selection); only the first `Σ b_i` seeds are consumed.
+    pub fn solve_with_pool(&self, problem: &Problem, pool: &[cwelmax_graph::NodeId]) -> Solution {
+        let (alloc, elapsed) = timed(|| self.assign_items(problem, pool));
+        debug_assert!(problem.check_feasible(&alloc).is_ok());
+        Solution::new(self.name(), alloc, elapsed)
+    }
+
+    /// Algorithm 1, lines 4–18: give each free item (in decreasing
+    /// `E[U⁺(i)]` order) the next block of the pool, with the optional
+    /// marginal check postponing blocking items.
+    fn assign_items(&self, problem: &Problem, pool: &[cwelmax_graph::NodeId]) -> Allocation {
+        let free = problem.free_items();
+        if free.is_empty() {
+            return Allocation::new();
+        }
+        let mut remaining: Vec<_> = pool.to_vec(); // ordered; consumed from the front
+
+        // line 4: items in decreasing expected truncated utility
+        let order = problem.model.items_by_truncated_utility(free);
+
+        let estimator = problem.estimator();
+        let mut alloc = Allocation::new();
+        let mut postponed = Vec::new();
+
+        for &item in &order {
+            let bi = problem.budgets[item].min(remaining.len());
+            let block: Vec<_> = remaining[..bi].to_vec();
+            let candidate = Allocation::from_item_seeds(item, &block);
+            let accept = match self.mode {
+                SeqGrdMode::NoMarginal => true,
+                SeqGrdMode::Marginal => {
+                    // lines 8–12: keep only if the marginal welfare over
+                    // the allocation committed so far (plus SP) is positive
+                    let base = alloc.union(&problem.fixed);
+                    estimator.marginal_welfare(&candidate, &base) > 0.0
+                }
+            };
+            if accept {
+                alloc = alloc.union(&candidate);
+                remaining.drain(..bi);
+            } else {
+                postponed.push(item);
+            }
+        }
+        // lines 14–18: exhaust the budget with the postponed items (the
+        // approximation bound requires the full seed pool allocated)
+        for item in postponed {
+            let bi = problem.budgets[item].min(remaining.len());
+            let block: Vec<_> = remaining.drain(..bi).collect();
+            alloc = alloc.union(&Allocation::from_item_seeds(item, &block));
+        }
+        alloc
+    }
 }
 
 impl CwelMaxAlgorithm for SeqGrd {
@@ -68,43 +127,7 @@ impl CwelMaxAlgorithm for SeqGrd {
 
             // line 2: the prefix-preserving seed pool
             let pool = prima_plus(&problem.graph, &sp, &budgets, b_total, &problem.imm);
-            let mut remaining = pool.seeds; // ordered; we consume from the front
-
-            // line 4: items in decreasing expected truncated utility
-            let order = problem.model.items_by_truncated_utility(free);
-
-            let estimator = problem.estimator();
-            let mut alloc = Allocation::new();
-            let mut postponed = Vec::new();
-
-            for &item in &order {
-                let bi = problem.budgets[item].min(remaining.len());
-                let block: Vec<_> = remaining[..bi].to_vec();
-                let candidate = Allocation::from_item_seeds(item, &block);
-                let accept = match self.mode {
-                    SeqGrdMode::NoMarginal => true,
-                    SeqGrdMode::Marginal => {
-                        // lines 8–12: keep only if the marginal welfare over
-                        // the allocation committed so far (plus SP) is positive
-                        let base = alloc.union(&problem.fixed);
-                        estimator.marginal_welfare(&candidate, &base) > 0.0
-                    }
-                };
-                if accept {
-                    alloc = alloc.union(&candidate);
-                    remaining.drain(..bi);
-                } else {
-                    postponed.push(item);
-                }
-            }
-            // lines 14–18: exhaust the budget with the postponed items (the
-            // approximation bound requires the full seed pool allocated)
-            for item in postponed {
-                let bi = problem.budgets[item].min(remaining.len());
-                let block: Vec<_> = remaining.drain(..bi).collect();
-                alloc = alloc.union(&Allocation::from_item_seeds(item, &block));
-            }
-            alloc
+            self.assign_items(problem, &pool.seeds)
         });
         debug_assert!(problem.check_feasible(&alloc).is_ok());
         Solution::new(self.name(), alloc, elapsed)
@@ -121,15 +144,24 @@ mod tests {
 
     fn fast_problem(graph: cwelmax_graph::Graph, model: cwelmax_utility::UtilityModel) -> Problem {
         Problem::new(graph, model)
-            .with_sim(SimulationConfig { samples: 300, threads: 2, base_seed: 5 })
-            .with_imm(ImmParams { eps: 0.5, ell: 1.0, seed: 11, threads: 2, max_rr_sets: 2_000_000 })
+            .with_sim(SimulationConfig {
+                samples: 300,
+                threads: 2,
+                base_seed: 5,
+            })
+            .with_imm(ImmParams {
+                eps: 0.5,
+                ell: 1.0,
+                seed: 11,
+                threads: 2,
+                max_rr_sets: 2_000_000,
+            })
     }
 
     #[test]
     fn allocates_full_budgets() {
         let g = generators::erdos_renyi(300, 1500, 1, PM::WeightedCascade);
-        let p = fast_problem(g, configs::two_item_config(TwoItemConfig::C1))
-            .with_uniform_budget(5);
+        let p = fast_problem(g, configs::two_item_config(TwoItemConfig::C1)).with_uniform_budget(5);
         for solver in [SeqGrd::full(), SeqGrd::nm()] {
             let s = solver.solve(&p);
             assert_eq!(s.allocation.seeds_of(0).len(), 5, "{}", solver.name());
@@ -143,10 +175,13 @@ mod tests {
         // star: hub 0 dominates. Item 0 has higher E[U+] in C2, so SeqGRD-NM
         // must give the hub to item 0.
         let g = generators::star(100, PM::Constant(1.0));
-        let p = fast_problem(g, configs::two_item_config(TwoItemConfig::C2))
-            .with_uniform_budget(1);
+        let p = fast_problem(g, configs::two_item_config(TwoItemConfig::C2)).with_uniform_budget(1);
         let s = SeqGrd::nm().solve(&p);
-        assert_eq!(s.allocation.seeds_of(0), vec![0], "hub goes to the better item");
+        assert_eq!(
+            s.allocation.seeds_of(0),
+            vec![0],
+            "hub goes to the better item"
+        );
     }
 
     #[test]
@@ -155,8 +190,7 @@ mod tests {
         // blocking is negligible, so the marginal check accepts everything
         // and both variants coincide
         let g = generators::erdos_renyi(200, 600, 3, PM::WeightedCascade);
-        let p = fast_problem(g, configs::two_item_config(TwoItemConfig::C1))
-            .with_uniform_budget(3);
+        let p = fast_problem(g, configs::two_item_config(TwoItemConfig::C1)).with_uniform_budget(3);
         let a = SeqGrd::full().solve(&p);
         let b = SeqGrd::nm().solve(&p);
         assert_eq!(a.allocation, b.allocation);
@@ -172,8 +206,18 @@ mod tests {
         let model = configs::three_item_blocking();
         let p = Problem::new(g, model)
             .with_budgets(vec![1, 1, 0])
-            .with_sim(SimulationConfig { samples: 200, threads: 2, base_seed: 5 })
-            .with_imm(ImmParams { eps: 0.5, ell: 1.0, seed: 7, threads: 2, max_rr_sets: 500_000 });
+            .with_sim(SimulationConfig {
+                samples: 200,
+                threads: 2,
+                base_seed: 5,
+            })
+            .with_imm(ImmParams {
+                eps: 0.5,
+                ell: 1.0,
+                seed: 7,
+                threads: 2,
+                max_rr_sets: 500_000,
+            });
         let nm = SeqGrd::nm().solve(&p);
         let full = SeqGrd::full().solve(&p);
         let w_nm = p.evaluate(&nm.allocation);

@@ -22,8 +22,17 @@ pub struct Solution {
 
 impl Solution {
     /// Construct, timing already measured.
-    pub fn new(algorithm: impl Into<String>, allocation: Allocation, elapsed: Duration) -> Solution {
-        Solution { algorithm: algorithm.into(), allocation, internal_estimate: None, elapsed }
+    pub fn new(
+        algorithm: impl Into<String>,
+        allocation: Allocation,
+        elapsed: Duration,
+    ) -> Solution {
+        Solution {
+            algorithm: algorithm.into(),
+            allocation,
+            internal_estimate: None,
+            elapsed,
+        }
     }
 
     /// Attach an internal estimate.

@@ -41,9 +41,8 @@ impl SupGrd {
         let model = &problem.model;
         let superior = model.superior_item();
         if superior.is_none() {
-            issues.push(
-                "no superior item: noise is unbounded or utility ranges overlap".to_string(),
-            );
+            issues
+                .push("no superior item: noise is unbounded or utility ranges overlap".to_string());
         }
         let free = problem.free_items();
         if free.len() != 1 {
@@ -53,9 +52,7 @@ impl SupGrd {
             ));
         } else if let Some(im) = superior {
             if free.iter().next() != Some(im) {
-                issues.push(format!(
-                    "the free item must be the superior item i{im}"
-                ));
+                issues.push(format!("the free item must be the superior item i{im}"));
             }
         }
         // pure competition: no bundle may ever beat its best member. With
@@ -104,11 +101,12 @@ impl CwelMaxAlgorithm for SupGrd {
             }
             let superior_utility = problem.model.expected_truncated_item(im);
             // weighted RR sets need each SP node's displaced item utility
-            let sp_alloc = problem.fixed.pairs().iter().map(|&(v, i)| {
-                (v, problem.model.expected_truncated_item(i))
-            });
-            let sampler =
-                WeightedRr::new(problem.graph.num_nodes(), superior_utility, sp_alloc);
+            let sp_alloc = problem
+                .fixed
+                .pairs()
+                .iter()
+                .map(|&(v, i)| (v, problem.model.expected_truncated_item(i)));
+            let sampler = WeightedRr::new(problem.graph.num_nodes(), superior_utility, sp_alloc);
             let r = imm_select(&problem.graph, &sampler, problem.budgets[im], &problem.imm);
             let est = r.estimate();
             (Allocation::from_item_seeds(im, &r.seeds), est)
@@ -128,8 +126,18 @@ mod tests {
 
     fn fast_problem(graph: cwelmax_graph::Graph, model: cwelmax_utility::UtilityModel) -> Problem {
         Problem::new(graph, model)
-            .with_sim(SimulationConfig { samples: 300, threads: 2, base_seed: 5 })
-            .with_imm(ImmParams { eps: 0.5, ell: 1.0, seed: 11, threads: 2, max_rr_sets: 2_000_000 })
+            .with_sim(SimulationConfig {
+                samples: 300,
+                threads: 2,
+                base_seed: 5,
+            })
+            .with_imm(ImmParams {
+                eps: 0.5,
+                ell: 1.0,
+                seed: 11,
+                threads: 2,
+                max_rr_sets: 2_000_000,
+            })
     }
 
     #[test]
@@ -216,9 +224,7 @@ mod tests {
             .with_mc_samples(3000);
         let s = SupGrd.solve(&p);
         let est = s.internal_estimate.unwrap();
-        let mc = p
-            .estimator()
-            .marginal_welfare(&s.allocation, &p.fixed);
+        let mc = p.estimator().marginal_welfare(&s.allocation, &p.fixed);
         let rel = (est - mc).abs() / mc.max(1e-9);
         assert!(rel < 0.25, "RR estimate {est} vs MC {mc} (rel {rel})");
     }

@@ -152,10 +152,7 @@ mod tests {
         let d = a.desire_by_node();
         assert_eq!(
             d,
-            vec![
-                (1, ItemSet::singleton(0)),
-                (3, ItemSet::from_items([0, 1])),
-            ]
+            vec![(1, ItemSet::singleton(0)), (3, ItemSet::from_items([0, 1])),]
         );
     }
 

@@ -39,21 +39,30 @@ pub struct SimulationConfig {
 
 impl Default for SimulationConfig {
     fn default() -> Self {
-        SimulationConfig { samples: 5000, threads: 0, base_seed: 0x5EED }
+        SimulationConfig {
+            samples: 5000,
+            threads: 0,
+            base_seed: 0x5EED,
+        }
     }
 }
 
 impl SimulationConfig {
     /// Config with a given sample count (seed and threads defaulted).
     pub fn with_samples(samples: usize) -> SimulationConfig {
-        SimulationConfig { samples, ..Default::default() }
+        SimulationConfig {
+            samples,
+            ..Default::default()
+        }
     }
 
     fn effective_threads(&self) -> usize {
         if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         }
     }
 }
@@ -164,7 +173,10 @@ impl<'a> WelfareEstimator<'a> {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
         });
         // reassemble in block order: block b lives at thread b % T, slot b / T
         let mut acc = vec![0.0f64; width];
@@ -222,7 +234,9 @@ impl<'a> WelfareEstimator<'a> {
             |ctx, range, acc| {
                 for k in range {
                     let nw = self.noise_world_for(k);
-                    let w = ctx.run(self.graph, &nw, self.edge_world_for(k), alloc).welfare;
+                    let w = ctx
+                        .run(self.graph, &nw, self.edge_world_for(k), alloc)
+                        .welfare;
                     acc[0] += w;
                     acc[1] += w * w;
                 }
@@ -231,7 +245,11 @@ impl<'a> WelfareEstimator<'a> {
         let n = self.cfg.samples.max(1) as f64;
         let mean = sums[0] / n;
         let var = ((sums[1] / n) - mean * mean).max(0.0);
-        let stderr = if n > 1.0 { (var / (n - 1.0)).sqrt() } else { 0.0 };
+        let stderr = if n > 1.0 {
+            (var / (n - 1.0)).sqrt()
+        } else {
+            0.0
+        };
         (mean, stderr)
     }
 
@@ -278,9 +296,9 @@ impl<'a> WelfareEstimator<'a> {
             || IcContext::new(self.graph.num_nodes()),
             |ctx, range, acc| {
                 for k in range {
-                    acc[0] += ctx
-                        .marginal_live_reach(self.graph, self.edge_world_for(k), seeds, base)
-                        as f64;
+                    acc[0] +=
+                        ctx.marginal_live_reach(self.graph, self.edge_world_for(k), seeds, base)
+                            as f64;
                 }
             },
         );
@@ -327,7 +345,11 @@ mod tests {
     use cwelmax_utility::configs::{self, TwoItemConfig};
 
     fn cfg(samples: usize) -> SimulationConfig {
-        SimulationConfig { samples, threads: 2, base_seed: 77 }
+        SimulationConfig {
+            samples,
+            threads: 2,
+            base_seed: 77,
+        }
     }
 
     /// C1 utilities without noise, for deterministic assertions.
@@ -365,13 +387,21 @@ mod tests {
         let r1 = WelfareEstimator::new(
             &g,
             &m,
-            SimulationConfig { samples: 500, threads: 1, base_seed: 9 },
+            SimulationConfig {
+                samples: 500,
+                threads: 1,
+                base_seed: 9,
+            },
         )
         .welfare_report(&alloc);
         let r4 = WelfareEstimator::new(
             &g,
             &m,
-            SimulationConfig { samples: 500, threads: 4, base_seed: 9 },
+            SimulationConfig {
+                samples: 500,
+                threads: 4,
+                base_seed: 9,
+            },
         )
         .welfare_report(&alloc);
         assert_eq!(r1, r4, "thread count must not change the estimate");
@@ -465,7 +495,10 @@ mod tests {
         // mean matches the plain estimator on the same worlds
         assert!((mean_b - est_big.welfare(&alloc)).abs() < 1e-9);
         // the two estimates agree within a few joint standard errors
-        assert!((mean_s - mean_b).abs() < 5.0 * (se_s + se_b), "{mean_s} vs {mean_b}");
+        assert!(
+            (mean_s - mean_b).abs() < 5.0 * (se_s + se_b),
+            "{mean_s} vs {mean_b}"
+        );
     }
 
     #[test]

@@ -35,7 +35,11 @@ impl FairnessReport {
             vec![0.0; counts.len()]
         };
         let min_share = shares.iter().cloned().fold(f64::INFINITY, f64::min);
-        let min_share = if min_share.is_finite() { min_share } else { 0.0 };
+        let min_share = if min_share.is_finite() {
+            min_share
+        } else {
+            0.0
+        };
         // Gini over the (non-negative) counts
         let gini = if total > 0.0 && m > 1 {
             let mut sorted = counts.to_vec();
@@ -55,7 +59,12 @@ impl FairnessReport {
         } else {
             1.0
         };
-        FairnessReport { shares, min_share, gini, jain_index }
+        FairnessReport {
+            shares,
+            min_share,
+            gini,
+            jain_index,
+        }
     }
 
     /// Compute from a [`WelfareReport`].

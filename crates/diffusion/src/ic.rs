@@ -19,7 +19,11 @@ pub struct IcContext {
 impl IcContext {
     /// Allocate for `num_nodes` nodes.
     pub fn new(num_nodes: usize) -> IcContext {
-        IcContext { epoch: vec![0; num_nodes], current_epoch: 0, queue: Vec::new() }
+        IcContext {
+            epoch: vec![0; num_nodes],
+            current_epoch: 0,
+            queue: Vec::new(),
+        }
     }
 
     /// Number of nodes reachable from `seeds` in `world` (including the
@@ -44,8 +48,7 @@ impl IcContext {
             let u = self.queue[head];
             head += 1;
             for e in graph.out_edges(u) {
-                if self.epoch[e.node as usize] != self.current_epoch
-                    && world.is_live(e.id, e.prob)
+                if self.epoch[e.node as usize] != self.current_epoch && world.is_live(e.id, e.prob)
                 {
                     self.epoch[e.node as usize] = self.current_epoch;
                     self.queue.push(e.node);

@@ -184,7 +184,12 @@ impl UicContext {
                 }
             }
         }
-        UicOutcome { welfare, adopters, adoption_counts: counts, informed }
+        UicOutcome {
+            welfare,
+            adopters,
+            adoption_counts: counts,
+            informed,
+        }
     }
 
     /// Prepare state for a fresh world (O(1) amortized via epochs).
@@ -230,7 +235,11 @@ mod tests {
         generators::path(2, PM::Constant(1.0))
     }
 
-    fn run_det(graph: &Graph, model: &cwelmax_utility::UtilityModel, alloc: &Allocation) -> UicOutcome {
+    fn run_det(
+        graph: &Graph,
+        model: &cwelmax_utility::UtilityModel,
+        alloc: &Allocation,
+    ) -> UicOutcome {
         let mut ctx = UicContext::new(graph.num_nodes(), model.num_items());
         let nw = model.noiseless_world();
         ctx.run(graph, &nw, EdgeWorld::new(0), alloc)
@@ -390,6 +399,10 @@ mod tests {
         let mut ctx = UicContext::new(g.num_nodes(), m.num_items());
         let nw = m.noiseless_world();
         ctx.run(&g, &nw, EdgeWorld::new(0), &alloc);
-        assert_eq!(ctx.last_adopted(3), ItemSet::singleton(0), "3 must pick the better item");
+        assert_eq!(
+            ctx.last_adopted(3),
+            ItemSet::singleton(0),
+            "3 must pick the better item"
+        );
     }
 }

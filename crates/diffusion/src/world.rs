@@ -96,10 +96,7 @@ mod tests {
                 .filter(|&s| EdgeWorld::new(world_seed(99, s)).is_live(17, p))
                 .count();
             let freq = live as f64 / trials as f64;
-            assert!(
-                (freq - p as f64).abs() < 0.005,
-                "p={p}: observed {freq}"
-            );
+            assert!((freq - p as f64).abs() < 0.005, "p={p}: observed {freq}");
         }
     }
 

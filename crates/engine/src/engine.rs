@@ -1,0 +1,429 @@
+//! [`CampaignEngine`] — load a graph and an RR-set index once, answer many
+//! allocation queries (budgets × utility configs × algorithm choice) with
+//! **zero RR-set resampling**.
+//!
+//! The architecture exploits two structural facts:
+//!
+//! 1. RR-set sampling is model-independent — a `StandardRr` collection
+//!    depends only on the graph, so one index serves every utility
+//!    configuration and budget vector (up to the index's budget cap);
+//! 2. greedy `NodeSelection` is prefix-preserving — the ordered selection
+//!    at the budget cap contains the greedy solution for **every** smaller
+//!    budget as a prefix, so the engine runs selection once (lazily) and
+//!    answers each query by slicing prefixes and running only the cheap
+//!    item-assignment stage (`SeqGrd::solve_with_pool` /
+//!    `MaxGrd::solve_with_pool`).
+//!
+//! A small welfare-evaluation cache (keyed by model fingerprint ×
+//! allocation × simulation settings) deduplicates the Monte-Carlo work that
+//! repeated or overlapping queries would otherwise redo, and
+//! [`CampaignEngine::query_batch`] fans independent queries out across
+//! threads — the engine is immutable-shared (`&self`) by construction.
+
+use crate::error::EngineError;
+use crate::index::{graph_fingerprint, RrIndex};
+use crate::query::{CampaignAnswer, CampaignQuery, QueryAlgorithm};
+use crate::snapshot;
+use cwelmax_core::{MaxGrd, Problem, SeqGrd};
+use cwelmax_diffusion::{Allocation, WelfareEstimator};
+use cwelmax_graph::{Graph, NodeId};
+use serde::{Serialize, Value};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Point-in-time counters describing what the engine has done.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Queries answered (successfully).
+    pub queries: u64,
+    /// Greedy node-selections run against the index (lazily once).
+    pub pool_selections: u64,
+    /// Welfare evaluations requested at the engine level.
+    pub welfare_evals: u64,
+    /// Of those, how many were served from the cache.
+    pub welfare_cache_hits: u64,
+}
+
+/// Multi-campaign query engine over a shared graph + prebuilt index.
+pub struct CampaignEngine {
+    graph: Arc<Graph>,
+    index: Arc<RrIndex>,
+    /// The ordered greedy selection at the index's budget cap; computed on
+    /// first use, prefixes serve every query.
+    pool: OnceLock<Vec<NodeId>>,
+    /// Welfare cache: `(model, allocation, sim)` fingerprint → estimate.
+    /// Bounded: cleared wholesale when it exceeds `CACHE_CAP` entries.
+    cache: Mutex<HashMap<u64, f64>>,
+    queries: AtomicU64,
+    pool_selections: AtomicU64,
+    welfare_evals: AtomicU64,
+    welfare_cache_hits: AtomicU64,
+}
+
+/// Welfare-cache capacity (entries). Evaluations are a few KB of key space
+/// at most; wholesale clearing keeps the implementation obviously correct.
+const CACHE_CAP: usize = 4096;
+
+impl CampaignEngine {
+    /// Bind a graph and an index. Fails if the index was built for a
+    /// different graph (fingerprint mismatch) — answering queries with a
+    /// foreign index would silently produce garbage allocations.
+    pub fn new(graph: Arc<Graph>, index: Arc<RrIndex>) -> Result<CampaignEngine, EngineError> {
+        let actual = graph_fingerprint(&graph);
+        let expected = index.meta().graph_fingerprint;
+        if expected != actual {
+            return Err(EngineError::GraphMismatch { expected, actual });
+        }
+        Ok(CampaignEngine {
+            graph,
+            index,
+            pool: OnceLock::new(),
+            cache: Mutex::new(HashMap::new()),
+            queries: AtomicU64::new(0),
+            pool_selections: AtomicU64::new(0),
+            welfare_evals: AtomicU64::new(0),
+            welfare_cache_hits: AtomicU64::new(0),
+        })
+    }
+
+    /// Convenience: load the index from a snapshot file and bind it.
+    pub fn from_snapshot(
+        graph: Arc<Graph>,
+        path: impl AsRef<Path>,
+    ) -> Result<CampaignEngine, EngineError> {
+        let index = Arc::new(snapshot::load(path)?);
+        CampaignEngine::new(graph, index)
+    }
+
+    /// The shared graph.
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    /// The shared index.
+    pub fn index(&self) -> &Arc<RrIndex> {
+        &self.index
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            pool_selections: self.pool_selections.load(Ordering::Relaxed),
+            welfare_evals: self.welfare_evals.load(Ordering::Relaxed),
+            welfare_cache_hits: self.welfare_cache_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The ordered seed pool at the budget cap (selected lazily, once).
+    fn pool(&self) -> &[NodeId] {
+        self.pool.get_or_init(|| {
+            self.pool_selections.fetch_add(1, Ordering::Relaxed);
+            self.index
+                .greedy_select(self.index.meta().budget_cap as usize)
+                .seeds
+        })
+    }
+
+    fn validate(&self, q: &CampaignQuery) -> Result<(), EngineError> {
+        if q.budgets.len() != q.model.num_items() {
+            return Err(EngineError::BadQuery(format!(
+                "{} budgets for a {}-item model",
+                q.budgets.len(),
+                q.model.num_items()
+            )));
+        }
+        // SeqGRD consumes the pool block by block across all items, MaxGRD
+        // only ever takes one item's prefix.
+        let needed = match q.algorithm {
+            QueryAlgorithm::MaxGrd => q.budgets.iter().copied().max().unwrap_or(0),
+            _ => q.budgets.iter().sum(),
+        };
+        let cap = self.index.meta().budget_cap as usize;
+        if needed > cap {
+            return Err(EngineError::BadQuery(format!(
+                "query needs {needed} pool seeds but the index supports at most {cap} \
+                 (rebuild the index with a larger --budget-cap)"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Answer one campaign query. Never samples RR sets: the pool comes
+    /// from the prebuilt index, assignment runs against the borrowed pool,
+    /// and welfare is Monte-Carlo-evaluated (cached).
+    pub fn query(&self, q: &CampaignQuery) -> Result<CampaignAnswer, EngineError> {
+        let start = std::time::Instant::now();
+        self.validate(q)?;
+        let pool = self.pool();
+        let problem = Problem::new_shared(self.graph.clone(), q.model.clone())
+            .with_budgets(q.budgets.clone())
+            .with_sim(q.sim);
+        let model_fp = model_fingerprint(&q.model);
+
+        let (algorithm, allocation) = match q.algorithm {
+            QueryAlgorithm::SeqGrdNm => {
+                let s = SeqGrd::nm().solve_with_pool(&problem, pool);
+                (s.algorithm, s.allocation)
+            }
+            QueryAlgorithm::SeqGrd => {
+                let s = SeqGrd::full().solve_with_pool(&problem, pool);
+                (s.algorithm, s.allocation)
+            }
+            QueryAlgorithm::MaxGrd => {
+                let s = MaxGrd.solve_with_pool(&problem, pool);
+                (s.algorithm, s.allocation)
+            }
+            QueryAlgorithm::BestOf => {
+                let a = SeqGrd::full().solve_with_pool(&problem, pool);
+                let b = MaxGrd.solve_with_pool(&problem, pool);
+                let wa = self.evaluate(&problem, model_fp, &a.allocation);
+                let wb = self.evaluate(&problem, model_fp, &b.allocation);
+                let chosen = if wa >= wb { a } else { b };
+                (format!("BestOf({})", chosen.algorithm), chosen.allocation)
+            }
+        };
+        let welfare = self.evaluate(&problem, model_fp, &allocation);
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        Ok(CampaignAnswer {
+            algorithm,
+            allocation,
+            welfare,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Answer a batch of independent queries across `threads` workers
+    /// (0 = one per core). Answers come back in query order; the pool
+    /// selection, index, and welfare cache are shared by all workers.
+    pub fn query_batch(
+        &self,
+        queries: &[CampaignQuery],
+        threads: usize,
+    ) -> Vec<Result<CampaignAnswer, EngineError>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        // materialize the pool up front so workers never race the OnceLock
+        // initialization work (get_or_init would serialize them anyway —
+        // this just keeps the first query's latency out of every worker)
+        let _ = self.pool();
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|t| t.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        }
+        .min(queries.len());
+        let mut results: Vec<Option<Result<CampaignAnswer, EngineError>>> =
+            (0..queries.len()).map(|_| None).collect();
+        let slots: Vec<(usize, &CampaignQuery)> = queries.iter().enumerate().collect();
+        let chunk = slots.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (shard, out) in slots.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for ((_, q), slot) in shard.iter().zip(out.iter_mut()) {
+                        *slot = Some(self.query(q));
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot filled by its worker"))
+            .collect()
+    }
+
+    /// Cached Monte-Carlo welfare of `alloc` under the query's model/sim.
+    fn evaluate(&self, problem: &Problem, model_fp: u64, alloc: &Allocation) -> f64 {
+        self.welfare_evals.fetch_add(1, Ordering::Relaxed);
+        let mut h = DefaultHasher::new();
+        model_fp.hash(&mut h);
+        alloc.pairs().hash(&mut h);
+        problem.sim.samples.hash(&mut h);
+        problem.sim.base_seed.hash(&mut h);
+        let key = h.finish();
+        if let Some(&w) = self.cache.lock().unwrap().get(&key) {
+            self.welfare_cache_hits.fetch_add(1, Ordering::Relaxed);
+            return w;
+        }
+        let est = WelfareEstimator::new(&self.graph, &problem.model, problem.sim);
+        let w = est.welfare(alloc);
+        let mut cache = self.cache.lock().unwrap();
+        if cache.len() >= CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(key, w);
+        w
+    }
+}
+
+/// A stable 64-bit fingerprint of a utility model, via its canonical serde
+/// value tree (`BTreeMap`-backed objects make traversal order, and hence
+/// the fingerprint, deterministic).
+pub fn model_fingerprint(model: &cwelmax_utility::UtilityModel) -> u64 {
+    let mut h = DefaultHasher::new();
+    hash_value(&model.to_value(), &mut h);
+    h.finish()
+}
+
+fn hash_value(v: &Value, h: &mut DefaultHasher) {
+    match v {
+        Value::Null => 0u8.hash(h),
+        Value::Bool(b) => {
+            1u8.hash(h);
+            b.hash(h);
+        }
+        Value::Int(i) => {
+            2u8.hash(h);
+            i.hash(h);
+        }
+        Value::UInt(u) => {
+            3u8.hash(h);
+            u.hash(h);
+        }
+        Value::Float(f) => {
+            4u8.hash(h);
+            f.to_bits().hash(h);
+        }
+        Value::String(s) => {
+            5u8.hash(h);
+            s.hash(h);
+        }
+        Value::Array(a) => {
+            6u8.hash(h);
+            a.len().hash(h);
+            for x in a {
+                hash_value(x, h);
+            }
+        }
+        Value::Object(m) => {
+            7u8.hash(h);
+            m.len().hash(h);
+            for (k, x) in m {
+                k.hash(h);
+                hash_value(x, h);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwelmax_graph::{generators, ProbabilityModel as PM};
+    use cwelmax_rrset::ImmParams;
+    use cwelmax_utility::configs::{self, TwoItemConfig};
+
+    fn engine(n: usize, m: usize, seed: u64, cap: u32) -> CampaignEngine {
+        let graph = Arc::new(generators::erdos_renyi(n, m, seed, PM::WeightedCascade));
+        let params = ImmParams {
+            eps: 0.5,
+            ell: 1.0,
+            seed: 7,
+            threads: 2,
+            max_rr_sets: 500_000,
+        };
+        let index = Arc::new(RrIndex::build(&graph, cap, &params));
+        CampaignEngine::new(graph, index).unwrap()
+    }
+
+    fn query(algorithm: QueryAlgorithm, cfg: TwoItemConfig, b: usize) -> CampaignQuery {
+        CampaignQuery::new(configs::two_item_config(cfg), vec![b, b], algorithm).with_samples(200)
+    }
+
+    #[test]
+    fn rejects_foreign_index() {
+        let g1 = Arc::new(generators::erdos_renyi(50, 200, 1, PM::WeightedCascade));
+        let g2 = Arc::new(generators::erdos_renyi(50, 200, 2, PM::WeightedCascade));
+        let params = ImmParams {
+            eps: 0.5,
+            ell: 1.0,
+            seed: 7,
+            threads: 2,
+            max_rr_sets: 100_000,
+        };
+        let index = Arc::new(RrIndex::build(&g1, 4, &params));
+        match CampaignEngine::new(g2, index) {
+            Err(EngineError::GraphMismatch { .. }) => {}
+            other => panic!("expected GraphMismatch, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn rejects_budget_above_cap() {
+        let e = engine(60, 240, 3, 4);
+        let q = query(QueryAlgorithm::SeqGrdNm, TwoItemConfig::C1, 3); // Σ = 6 > 4
+        match e.query(&q) {
+            Err(EngineError::BadQuery(msg)) => assert!(msg.contains("budget-cap")),
+            other => panic!("expected BadQuery, got {:?}", other.err()),
+        }
+        // MaxGRD only needs max_i b_i = 3 ≤ 4
+        let q = query(QueryAlgorithm::MaxGrd, TwoItemConfig::C1, 3);
+        e.query(&q).unwrap();
+    }
+
+    #[test]
+    fn many_campaigns_one_pool_selection() {
+        let e = engine(150, 700, 5, 10);
+        for cfg in [TwoItemConfig::C1, TwoItemConfig::C2, TwoItemConfig::C3] {
+            for algo in [QueryAlgorithm::SeqGrdNm, QueryAlgorithm::MaxGrd] {
+                let a = e.query(&query(algo, cfg, 3)).unwrap();
+                assert!(a.welfare.is_finite());
+            }
+        }
+        let s = e.stats();
+        assert_eq!(s.queries, 6);
+        assert_eq!(s.pool_selections, 1, "one shared selection serves all");
+    }
+
+    #[test]
+    fn repeated_query_hits_welfare_cache() {
+        let e = engine(100, 400, 9, 6);
+        let q = query(QueryAlgorithm::SeqGrdNm, TwoItemConfig::C1, 2);
+        let a1 = e.query(&q).unwrap();
+        let a2 = e.query(&q).unwrap();
+        assert_eq!(a1.allocation, a2.allocation);
+        assert_eq!(a1.welfare, a2.welfare);
+        let s = e.stats();
+        assert_eq!(s.welfare_evals, 2);
+        assert_eq!(s.welfare_cache_hits, 1);
+    }
+
+    #[test]
+    fn batch_matches_serial_in_order() {
+        let e = engine(120, 500, 11, 8);
+        let queries: Vec<CampaignQuery> = [
+            (QueryAlgorithm::SeqGrdNm, TwoItemConfig::C1, 2),
+            (QueryAlgorithm::MaxGrd, TwoItemConfig::C2, 3),
+            (QueryAlgorithm::SeqGrdNm, TwoItemConfig::C3, 4),
+            (QueryAlgorithm::BestOf, TwoItemConfig::C4, 2),
+            (QueryAlgorithm::SeqGrd, TwoItemConfig::C1, 1),
+        ]
+        .into_iter()
+        .map(|(a, c, b)| query(a, c, b))
+        .collect();
+        let serial: Vec<_> = queries
+            .iter()
+            .map(|q| e.query(q).unwrap().allocation)
+            .collect();
+        let batch = e.query_batch(&queries, 3);
+        assert_eq!(batch.len(), queries.len());
+        for (got, want) in batch.into_iter().zip(serial) {
+            assert_eq!(got.unwrap().allocation, want);
+        }
+    }
+
+    #[test]
+    fn model_fingerprint_is_stable_and_discriminating() {
+        let a = configs::two_item_config(TwoItemConfig::C1);
+        let b = configs::two_item_config(TwoItemConfig::C2);
+        assert_eq!(model_fingerprint(&a), model_fingerprint(&a));
+        assert_ne!(model_fingerprint(&a), model_fingerprint(&b));
+    }
+}

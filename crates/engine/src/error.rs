@@ -1,0 +1,47 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Everything that can go wrong building, persisting, loading, or querying
+/// an index.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Filesystem-level failure.
+    Io(std::io::Error),
+    /// The snapshot bytes are malformed: bad magic, truncation, checksum
+    /// mismatch, or invalid structural invariants.
+    Corrupt(String),
+    /// Snapshot format version is not supported by this build.
+    UnsupportedVersion(u32),
+    /// The index was built for a different graph than the one supplied.
+    GraphMismatch { expected: u64, actual: u64 },
+    /// A query is inconsistent with the index or model (bad budgets, budget
+    /// above the index's supported cap, …).
+    BadQuery(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Io(e) => write!(f, "io error: {e}"),
+            EngineError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+            EngineError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v}")
+            }
+            EngineError::GraphMismatch { expected, actual } => write!(
+                f,
+                "index/graph mismatch: index built for graph {expected:#018x}, \
+                 got {actual:#018x}"
+            ),
+            EngineError::BadQuery(msg) => write!(f, "bad query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Io(e)
+    }
+}

@@ -1,0 +1,61 @@
+//! # cwelmax-engine
+//!
+//! Persistent RR-set index + multi-campaign query engine: the serving
+//! architecture on top of the CWelMax reproduction.
+//!
+//! Every cold `solve()` in `cwelmax-core` spends nearly all of its time
+//! sampling RR sets — yet the sampled collection depends only on the graph
+//! and the accuracy parameters, not on the campaign's utility model or
+//! budgets. This crate makes that expensive artifact **persistent and
+//! shared**:
+//!
+//! * [`RrIndex`] — an immutable, shareable index frozen from an
+//!   [`cwelmax_rrset::RrCollection`], with an inverted node → RR-set
+//!   postings layout so coverage updates during greedy selection cost
+//!   `O(postings touched)` with no per-call index construction;
+//! * [`snapshot`] — a versioned, checksummed binary snapshot format
+//!   ([`codec`]: magic/version header, little-endian sections, CRC-32 over
+//!   the payload) with [`snapshot::save`] / [`snapshot::load`] round-trip,
+//!   so an index built once on a large graph is reused across processes;
+//! * [`CampaignEngine`] — loads a graph + index once and answers many
+//!   allocation queries (budgets × utility configs × algorithm choice)
+//!   over the shared index **without resampling**, with a welfare-
+//!   evaluation cache and parallel batch execution.
+//!
+//! ```
+//! use cwelmax_engine::{CampaignEngine, CampaignQuery, QueryAlgorithm, RrIndex};
+//! use cwelmax_graph::{generators, ProbabilityModel};
+//! use cwelmax_rrset::ImmParams;
+//! use cwelmax_utility::configs::{self, TwoItemConfig};
+//! use std::sync::Arc;
+//!
+//! // Expensive, once: build (or `snapshot::load`) the index.
+//! let graph = Arc::new(generators::erdos_renyi(
+//!     200, 1000, 7, ProbabilityModel::WeightedCascade));
+//! let params = ImmParams { threads: 2, max_rr_sets: 200_000, ..Default::default() };
+//! let index = Arc::new(RrIndex::build(&graph, 10, &params));
+//!
+//! // Cheap, many times: answer campaigns over the shared index.
+//! let engine = CampaignEngine::new(graph, index).unwrap();
+//! let q1 = CampaignQuery::new(
+//!     configs::two_item_config(TwoItemConfig::C1), vec![3, 3],
+//!     QueryAlgorithm::SeqGrdNm).with_samples(100);
+//! let q2 = CampaignQuery::new(
+//!     configs::two_item_config(TwoItemConfig::C2), vec![5, 5],
+//!     QueryAlgorithm::MaxGrd).with_samples(100);
+//! let answers = engine.query_batch(&[q1, q2], 2);
+//! assert!(answers.iter().all(|a| a.is_ok()));
+//! assert_eq!(engine.stats().pool_selections, 1); // one selection served both
+//! ```
+
+pub mod codec;
+pub mod engine;
+pub mod error;
+pub mod index;
+pub mod query;
+pub mod snapshot;
+
+pub use engine::{model_fingerprint, CampaignEngine, EngineStats};
+pub use error::EngineError;
+pub use index::{graph_fingerprint, IndexMeta, RrIndex};
+pub use query::{CampaignAnswer, CampaignQuery, QueryAlgorithm};

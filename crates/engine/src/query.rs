@@ -1,0 +1,91 @@
+//! Query and answer types for the campaign engine.
+
+use cwelmax_diffusion::{Allocation, SimulationConfig};
+use cwelmax_utility::UtilityModel;
+use std::time::Duration;
+
+/// Which warm-path algorithm answers a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryAlgorithm {
+    /// SeqGRD-NM: block assignment only, no Monte Carlo at all.
+    SeqGrdNm,
+    /// Full SeqGRD: marginal checks via Monte-Carlo simulation.
+    SeqGrd,
+    /// MaxGRD: best single item by marginal welfare.
+    MaxGrd,
+    /// Run SeqGRD (full) and MaxGRD, keep the higher-welfare allocation.
+    BestOf,
+}
+
+impl QueryAlgorithm {
+    /// Parse a CLI-style name.
+    pub fn parse(s: &str) -> Option<QueryAlgorithm> {
+        match s {
+            "seqgrd-nm" => Some(QueryAlgorithm::SeqGrdNm),
+            "seqgrd" => Some(QueryAlgorithm::SeqGrd),
+            "maxgrd" => Some(QueryAlgorithm::MaxGrd),
+            "best-of" => Some(QueryAlgorithm::BestOf),
+            _ => None,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryAlgorithm::SeqGrdNm => "seqgrd-nm",
+            QueryAlgorithm::SeqGrd => "seqgrd",
+            QueryAlgorithm::MaxGrd => "maxgrd",
+            QueryAlgorithm::BestOf => "best-of",
+        }
+    }
+}
+
+/// One campaign: a utility configuration, per-item budgets, an algorithm
+/// choice, and Monte-Carlo settings for welfare evaluation. The graph and
+/// RR-set index are **not** part of the query — they are the engine's
+/// shared, amortized state.
+#[derive(Debug, Clone)]
+pub struct CampaignQuery {
+    /// The campaign's utility model (items, values, prices, noise).
+    pub model: UtilityModel,
+    /// `budgets[i]` — max seeds for item `i`; length must match the model.
+    pub budgets: Vec<usize>,
+    /// Algorithm to answer with.
+    pub algorithm: QueryAlgorithm,
+    /// Monte-Carlo settings for welfare evaluation (and SeqGRD's marginal
+    /// checks).
+    pub sim: SimulationConfig,
+}
+
+impl CampaignQuery {
+    /// A query with default simulation settings.
+    pub fn new(model: UtilityModel, budgets: Vec<usize>, algorithm: QueryAlgorithm) -> Self {
+        CampaignQuery {
+            model,
+            budgets,
+            algorithm,
+            sim: SimulationConfig::default(),
+        }
+    }
+
+    /// Override the Monte-Carlo sample count.
+    pub fn with_samples(mut self, samples: usize) -> Self {
+        self.sim.samples = samples;
+        self
+    }
+}
+
+/// The engine's answer to one campaign query.
+#[derive(Debug, Clone)]
+pub struct CampaignAnswer {
+    /// Algorithm that produced the allocation (display name).
+    pub algorithm: String,
+    /// The selected allocation.
+    pub allocation: Allocation,
+    /// Monte-Carlo estimate of the allocation's expected social welfare.
+    pub welfare: f64,
+    /// Wall-clock time spent answering (selection + assignment +
+    /// evaluation; **excludes** any sampling — the warm path never
+    /// samples).
+    pub elapsed: Duration,
+}

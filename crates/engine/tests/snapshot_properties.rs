@@ -1,0 +1,135 @@
+//! Property and adversarial tests for the snapshot format.
+
+use cwelmax_engine::{graph_fingerprint, snapshot, EngineError, IndexMeta, RrIndex};
+use cwelmax_graph::{generators, ProbabilityModel as PM};
+use cwelmax_rrset::{ImmParams, RrCollection, StandardRr};
+use proptest::prelude::*;
+
+fn index_from(seed: u64, n: usize, sets: usize, cap: u32) -> RrIndex {
+    let g = generators::erdos_renyi(n, n * 4, seed, PM::WeightedCascade);
+    let mut c = RrCollection::new(n);
+    c.extend_parallel(&g, &StandardRr, sets, seed ^ 0x51AB, 2);
+    RrIndex::freeze(
+        &c,
+        IndexMeta {
+            eps: 0.5,
+            ell: 1.0,
+            seed,
+            budget_cap: cap,
+            graph_fingerprint: graph_fingerprint(&g),
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// index → bytes → index → bytes is lossless and byte-stable for
+    /// arbitrary build inputs.
+    #[test]
+    fn roundtrip_is_lossless(seed in 0u64..10_000, n in 5usize..80, sets in 0usize..600) {
+        let idx = index_from(seed, n, sets, 8);
+        let bytes = snapshot::to_bytes(&idx);
+        let back = snapshot::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back.canonical_parts(), idx.canonical_parts());
+        prop_assert_eq!(back.num_nodes(), idx.num_nodes());
+        prop_assert_eq!(back.num_sampled(), idx.num_sampled());
+        prop_assert_eq!(back.meta(), idx.meta());
+        prop_assert_eq!(snapshot::to_bytes(&back), bytes);
+    }
+
+    /// Behavioral equality after a round-trip: coverage and greedy
+    /// selection agree exactly with the original index.
+    #[test]
+    fn roundtrip_preserves_behavior(seed in 0u64..5_000) {
+        let idx = index_from(seed, 40, 400, 6);
+        let back = snapshot::from_bytes(&snapshot::to_bytes(&idx)).unwrap();
+        let seeds = [0u32, 7, 13, 39];
+        prop_assert_eq!(idx.coverage_of(&seeds), back.coverage_of(&seeds));
+        let a = idx.greedy_select(5);
+        let b = back.greedy_select(5);
+        prop_assert_eq!(a.seeds, b.seeds);
+        prop_assert_eq!(a.coverage, b.coverage);
+    }
+
+    /// Flipping any single byte of a snapshot is rejected as a checksum /
+    /// header error — never undefined behavior, a panic, or a silently
+    /// different index.
+    #[test]
+    fn any_flipped_byte_is_detected(seed in 0u64..2_000, frac in 0.0f64..1.0, bit in 0u32..8) {
+        let idx = index_from(seed, 20, 120, 4);
+        let bytes = snapshot::to_bytes(&idx);
+        let pos = ((bytes.len() - 1) as f64 * frac) as usize;
+        let mut bad = bytes.clone();
+        bad[pos] ^= 1 << bit;
+        match snapshot::from_bytes(&bad) {
+            Err(EngineError::Corrupt(_)) | Err(EngineError::UnsupportedVersion(_)) => {}
+            Ok(_) => prop_assert!(false, "flip at byte {} accepted", pos),
+            Err(e) => prop_assert!(false, "unexpected error kind: {}", e),
+        }
+    }
+
+    /// Truncation at any point is detected.
+    #[test]
+    fn any_truncation_is_detected(seed in 0u64..2_000, frac in 0.0f64..1.0) {
+        let idx = index_from(seed, 15, 60, 3);
+        let bytes = snapshot::to_bytes(&idx);
+        let cut = (bytes.len() as f64 * frac) as usize;
+        prop_assert!(snapshot::from_bytes(&bytes[..cut.min(bytes.len() - 1)]).is_err());
+    }
+}
+
+/// Determinism: the same build inputs produce byte-identical snapshots —
+/// including across thread counts, because parallel sampling seeds per set
+/// index rather than per thread.
+#[test]
+fn same_seed_same_bytes_across_thread_counts() {
+    let g = generators::erdos_renyi(120, 600, 77, PM::WeightedCascade);
+    let build = |threads: usize| {
+        let p = ImmParams {
+            eps: 0.5,
+            ell: 1.0,
+            seed: 99,
+            threads,
+            max_rr_sets: 400_000,
+        };
+        snapshot::to_bytes(&RrIndex::build(&g, 6, &p))
+    };
+    let one = build(1);
+    assert_eq!(one, build(4));
+    assert_eq!(one, build(2));
+}
+
+/// The acceptance-scale round trip: a 10k-node generated graph's index
+/// survives save/load byte-identically.
+#[test]
+fn ten_k_node_snapshot_roundtrip() {
+    let g = generators::erdos_renyi(10_000, 40_000, 1234, PM::WeightedCascade);
+    let params = ImmParams {
+        eps: 0.5,
+        ell: 1.0,
+        seed: 42,
+        threads: 0,
+        max_rr_sets: 200_000,
+    };
+    let idx = RrIndex::build(&g, 10, &params);
+    assert_eq!(idx.num_nodes(), 10_000);
+    assert!(idx.num_sets() > 0, "index must retain sets");
+    let dir = std::env::temp_dir().join("cwelmax-engine-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ten_k.cwrx");
+    snapshot::save(&idx, &path).unwrap();
+    let back = snapshot::load(&path).unwrap();
+    let original = snapshot::to_bytes(&idx);
+    assert_eq!(
+        snapshot::to_bytes(&back),
+        original,
+        "byte-identical round trip"
+    );
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        original,
+        "file holds the same bytes"
+    );
+    std::fs::remove_file(&path).ok();
+}

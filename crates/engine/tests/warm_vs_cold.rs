@@ -1,0 +1,137 @@
+//! The engine's answers must match cold solves: two campaigns served from
+//! one prebuilt index agree with from-scratch `solve()` welfare within
+//! Monte-Carlo tolerance, with zero RR-set resampling on the warm path.
+
+use cwelmax_core::{CwelMaxAlgorithm, MaxGrd, Problem, SeqGrd};
+use cwelmax_diffusion::SimulationConfig;
+use cwelmax_engine::{CampaignEngine, CampaignQuery, QueryAlgorithm, RrIndex};
+use cwelmax_graph::{generators, Graph, ProbabilityModel as PM};
+use cwelmax_rrset::ImmParams;
+use cwelmax_utility::configs::{self, TwoItemConfig};
+use std::sync::Arc;
+
+fn sim() -> SimulationConfig {
+    SimulationConfig {
+        samples: 2000,
+        threads: 2,
+        base_seed: 5,
+    }
+}
+
+fn imm() -> ImmParams {
+    ImmParams {
+        eps: 0.5,
+        ell: 1.0,
+        seed: 11,
+        threads: 2,
+        max_rr_sets: 2_000_000,
+    }
+}
+
+fn shared_graph() -> Arc<Graph> {
+    Arc::new(generators::erdos_renyi(300, 1500, 17, PM::WeightedCascade))
+}
+
+fn cold_problem(graph: &Arc<Graph>, cfg: TwoItemConfig, b: usize) -> Problem {
+    Problem::new_shared(graph.clone(), configs::two_item_config(cfg))
+        .with_uniform_budget(b)
+        .with_sim(sim())
+        .with_imm(imm())
+}
+
+/// Two different campaigns answered from one index match the cold solver's
+/// welfare within MC tolerance, and the index is never resampled.
+#[test]
+fn two_campaigns_match_cold_solve_welfare() {
+    let graph = shared_graph();
+    let index = Arc::new(RrIndex::build(&graph, 10, &imm()));
+    let engine = CampaignEngine::new(graph.clone(), index).unwrap();
+
+    let campaigns = [(TwoItemConfig::C1, 5usize), (TwoItemConfig::C2, 3)];
+    for (cfg, b) in campaigns {
+        let q = CampaignQuery {
+            model: configs::two_item_config(cfg),
+            budgets: vec![b, b],
+            algorithm: QueryAlgorithm::SeqGrdNm,
+            sim: sim(),
+        };
+        let warm = engine.query(&q).unwrap();
+
+        let cold_p = cold_problem(&graph, cfg, b);
+        let cold = SeqGrd::nm().solve(&cold_p);
+        let cold_welfare = cold_p.evaluate(&cold.allocation);
+
+        // same evaluation worlds (same sim seed) — the tolerance only has
+        // to absorb the two paths picking slightly different (but equally
+        // good) seed pools from independent RR samples
+        let rel = (warm.welfare - cold_welfare).abs() / cold_welfare.max(1e-9);
+        assert!(
+            rel < 0.10,
+            "{cfg:?}/b={b}: warm {} vs cold {cold_welfare} (rel {rel})",
+            warm.welfare
+        );
+        // budgets fully allocated on both paths
+        assert_eq!(warm.allocation.seeds_of(0).len(), b);
+        assert_eq!(warm.allocation.seeds_of(1).len(), b);
+    }
+
+    let stats = engine.stats();
+    assert_eq!(stats.queries, 2);
+    assert_eq!(
+        stats.pool_selections, 1,
+        "the second campaign must reuse the first's node selection — zero resampling"
+    );
+}
+
+/// MaxGRD through the engine agrees with cold MaxGRD.
+#[test]
+fn maxgrd_warm_matches_cold() {
+    let graph = shared_graph();
+    let index = Arc::new(RrIndex::build(&graph, 6, &imm()));
+    let engine = CampaignEngine::new(graph.clone(), index).unwrap();
+
+    let q = CampaignQuery {
+        model: configs::two_item_config(TwoItemConfig::C2),
+        budgets: vec![4, 4],
+        algorithm: QueryAlgorithm::MaxGrd,
+        sim: sim(),
+    };
+    let warm = engine.query(&q).unwrap();
+    // C2's utility gap means both paths must allocate item 0 only
+    assert_eq!(warm.allocation.items().len(), 1);
+    assert_eq!(warm.allocation.seeds_of(0).len(), 4);
+
+    let cold_p = cold_problem(&graph, TwoItemConfig::C2, 4);
+    let cold = MaxGrd.solve(&cold_p);
+    let cold_welfare = cold_p.evaluate(&cold.allocation);
+    let rel = (warm.welfare - cold_welfare).abs() / cold_welfare.max(1e-9);
+    assert!(rel < 0.10, "warm {} vs cold {cold_welfare}", warm.welfare);
+}
+
+/// The engine survives a snapshot round trip mid-pipeline: build → save →
+/// load in a "new process" → same answers.
+#[test]
+fn snapshot_reload_gives_identical_answers() {
+    let graph = shared_graph();
+    let index = Arc::new(RrIndex::build(&graph, 8, &imm()));
+
+    let dir = std::env::temp_dir().join("cwelmax-engine-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("reload.cwrx");
+    cwelmax_engine::snapshot::save(&index, &path).unwrap();
+
+    let q = CampaignQuery {
+        model: configs::two_item_config(TwoItemConfig::C3),
+        budgets: vec![4, 4],
+        algorithm: QueryAlgorithm::SeqGrdNm,
+        sim: sim(),
+    };
+
+    let live = CampaignEngine::new(graph.clone(), index).unwrap();
+    let reloaded = CampaignEngine::from_snapshot(graph, &path).unwrap();
+    let a = live.query(&q).unwrap();
+    let b = reloaded.query(&q).unwrap();
+    assert_eq!(a.allocation, b.allocation);
+    assert_eq!(a.welfare, b.welfare);
+    std::fs::remove_file(&path).ok();
+}

@@ -20,8 +20,14 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Start a builder for a graph with `num_nodes` nodes (ids `0..num_nodes`).
     pub fn new(num_nodes: usize) -> Self {
-        assert!(num_nodes <= u32::MAX as usize, "node count exceeds u32 range");
-        GraphBuilder { num_nodes, edges: Vec::new() }
+        assert!(
+            num_nodes <= u32::MAX as usize,
+            "node count exceeds u32 range"
+        );
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::new(),
+        }
     }
 
     /// Start a builder with capacity for `num_edges` edges.

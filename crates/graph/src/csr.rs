@@ -95,9 +95,8 @@ impl Graph {
 
     /// Iterate every edge as `(source, target, prob)` in edge-id order.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f32)> + '_ {
-        (0..self.num_nodes() as NodeId).flat_map(move |u| {
-            self.out_edges(u).map(move |e| (u, e.node, e.prob))
-        })
+        (0..self.num_nodes() as NodeId)
+            .flat_map(move |u| self.out_edges(u).map(move |e| (u, e.node, e.prob)))
     }
 
     /// All node ids, `0..n`.
@@ -170,7 +169,9 @@ impl Graph {
                 }
                 seen[k] = true;
                 if self.out_targets[k] != v {
-                    return Err(format!("edge {k}: forward target disagrees with reverse slot"));
+                    return Err(format!(
+                        "edge {k}: forward target disagrees with reverse slot"
+                    ));
                 }
                 if (self.out_probs[k] - e.prob).abs() > 0.0 {
                     return Err(format!("edge {k}: probability mismatch between directions"));

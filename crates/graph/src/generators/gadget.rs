@@ -142,11 +142,11 @@ pub fn build_gadget(sc: SetCoverInstance, copies: usize, d_per_copy: usize) -> G
         }
         for i in 0..n {
             b.add_edge(a_nodes[i], g[i]); // a_i -> g_i (i2 entry)
-            // g -> f is complete bipartite within the copy: the proof needs
-            // "if any one of the g nodes adopts i2 … then ALL the f nodes
-            // adopt {i2,i3}", which requires every f to hear every g
-            for j in 0..n {
-                b.add_edge(g[i], f[j]);
+                                          // g -> f is complete bipartite within the copy: the proof needs
+                                          // "if any one of the g nodes adopts i2 … then ALL the f nodes
+                                          // adopt {i2,i3}", which requires every f to hear every g
+            for &fv in &f {
+                b.add_edge(g[i], fv);
             }
             b.add_edge(b_nodes[i], e[i]); // b_i -> e_i -> f_i (i3 path, length 2)
             b.add_edge(e[i], f[i]);

@@ -24,5 +24,7 @@ pub mod benchmark;
 
 pub use deterministic::{complete, grid, path, star};
 pub use erdos_renyi::erdos_renyi;
-pub use preferential_attachment::{preferential_attachment, preferential_attachment_simple, PaParams};
+pub use preferential_attachment::{
+    preferential_attachment, preferential_attachment_simple, PaParams,
+};
 pub use small_world::small_world;

@@ -35,7 +35,12 @@ pub struct PaParams {
 /// (5%) keeps early nodes from monopolizing *all* attachments, matching the
 /// flatter tails of the Douban networks.
 pub fn preferential_attachment(params: PaParams, model: ProbabilityModel) -> Graph {
-    let PaParams { n, edges_per_node: k, directed, seed } = params;
+    let PaParams {
+        n,
+        edges_per_node: k,
+        directed,
+        seed,
+    } = params;
     let mut rng = SmallRng::seed_from_u64(seed);
     let arcs_per_attach = if directed { 1 } else { 2 };
     let mut b = GraphBuilder::with_capacity(n, n.saturating_mul(k) * arcs_per_attach);
@@ -94,7 +99,15 @@ pub fn preferential_attachment_simple(
     seed: u64,
     model: ProbabilityModel,
 ) -> Graph {
-    preferential_attachment(PaParams { n, edges_per_node, directed, seed }, model)
+    preferential_attachment(
+        PaParams {
+            n,
+            edges_per_node,
+            directed,
+            seed,
+        },
+        model,
+    )
 }
 
 #[cfg(test)]
@@ -105,7 +118,12 @@ mod tests {
     #[test]
     fn node_and_edge_counts() {
         let g = preferential_attachment(
-            PaParams { n: 1000, edges_per_node: 3, directed: true, seed: 1 },
+            PaParams {
+                n: 1000,
+                edges_per_node: 3,
+                directed: true,
+                seed: 1,
+            },
             PM::WeightedCascade,
         );
         assert_eq!(g.num_nodes(), 1000);
@@ -118,11 +136,19 @@ mod tests {
     #[test]
     fn undirected_is_symmetric() {
         let g = preferential_attachment(
-            PaParams { n: 200, edges_per_node: 2, directed: false, seed: 5 },
+            PaParams {
+                n: 200,
+                edges_per_node: 2,
+                directed: false,
+                seed: 5,
+            },
             PM::Constant(0.1),
         );
         for (u, v, _) in g.edges() {
-            assert!(g.out_edges(v).any(|e| e.node == u), "missing reverse of ({u},{v})");
+            assert!(
+                g.out_edges(v).any(|e| e.node == u),
+                "missing reverse of ({u},{v})"
+            );
         }
     }
 
@@ -130,7 +156,12 @@ mod tests {
     fn heavy_tail_exists() {
         // the max in-degree should greatly exceed the average under PA
         let g = preferential_attachment(
-            PaParams { n: 5000, edges_per_node: 3, directed: true, seed: 7 },
+            PaParams {
+                n: 5000,
+                edges_per_node: 3,
+                directed: true,
+                seed: 7,
+            },
             PM::WeightedCascade,
         );
         let avg = g.num_edges() as f64 / g.num_nodes() as f64;
@@ -143,17 +174,30 @@ mod tests {
 
     #[test]
     fn reproducible() {
-        let p = PaParams { n: 300, edges_per_node: 2, directed: true, seed: 11 };
+        let p = PaParams {
+            n: 300,
+            edges_per_node: 2,
+            directed: true,
+            seed: 11,
+        };
         let g1 = preferential_attachment(p, PM::Constant(0.1));
         let g2 = preferential_attachment(p, PM::Constant(0.1));
-        assert_eq!(g1.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
+        assert_eq!(
+            g1.edges().collect::<Vec<_>>(),
+            g2.edges().collect::<Vec<_>>()
+        );
     }
 
     #[test]
     fn small_n_does_not_panic() {
         for n in 0..6 {
             let g = preferential_attachment(
-                PaParams { n, edges_per_node: 3, directed: true, seed: 2 },
+                PaParams {
+                    n,
+                    edges_per_node: 3,
+                    directed: true,
+                    seed: 2,
+                },
                 PM::Explicit,
             );
             assert_eq!(g.num_nodes(), n);

@@ -15,7 +15,10 @@ use rand::{Rng, SeedableRng};
 /// every edge's far endpoint rewired uniformly at random with probability
 /// `beta`.
 pub fn small_world(n: usize, k: usize, beta: f64, seed: u64, model: ProbabilityModel) -> Graph {
-    assert!(k % 2 == 0, "k must be even (k/2 neighbours per side)");
+    assert!(
+        k.is_multiple_of(2),
+        "k must be even (k/2 neighbours per side)"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut b = GraphBuilder::with_capacity(n, n * k);
     if n > 1 {
@@ -65,7 +68,12 @@ mod tests {
     fn rewiring_shrinks_diameter() {
         let n = 200;
         let diam = |g: &crate::Graph| {
-            bfs_distances(g, &[0]).iter().filter(|&&d| d != u32::MAX).max().copied().unwrap()
+            bfs_distances(g, &[0])
+                .iter()
+                .filter(|&&d| d != u32::MAX)
+                .max()
+                .copied()
+                .unwrap()
         };
         let lattice = small_world(n, 4, 0.0, 7, PM::Constant(1.0));
         let rewired = small_world(n, 4, 0.3, 7, PM::Constant(1.0));
@@ -81,7 +89,10 @@ mod tests {
     fn reproducible() {
         let g1 = small_world(50, 4, 0.2, 9, PM::Constant(0.5));
         let g2 = small_world(50, 4, 0.2, 9, PM::Constant(0.5));
-        assert_eq!(g1.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
+        assert_eq!(
+            g1.edges().collect::<Vec<_>>(),
+            g2.edges().collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -64,40 +64,64 @@ pub fn read_edge_list(r: impl Read, model: ProbabilityModel) -> Result<Graph, Io
         }
         let mut parts = line.split_whitespace();
         let parse_u32 = |s: Option<&str>, what: &str| -> Result<u32, IoError> {
-            s.ok_or_else(|| IoError::Parse { line: line_no, msg: format!("missing {what}") })?
-                .parse::<u32>()
-                .map_err(|e| IoError::Parse { line: line_no, msg: format!("bad {what}: {e}") })
+            s.ok_or_else(|| IoError::Parse {
+                line: line_no,
+                msg: format!("missing {what}"),
+            })?
+            .parse::<u32>()
+            .map_err(|e| IoError::Parse {
+                line: line_no,
+                msg: format!("bad {what}: {e}"),
+            })
         };
         let u = parse_u32(parts.next(), "source")?;
         let v = parse_u32(parts.next(), "target")?;
         let p = match parts.next() {
             Some(tok) => {
                 any_prob = true;
-                tok.parse::<f32>()
-                    .map_err(|e| IoError::Parse { line: line_no, msg: format!("bad prob: {e}") })?
+                tok.parse::<f32>().map_err(|e| IoError::Parse {
+                    line: line_no,
+                    msg: format!("bad prob: {e}"),
+                })?
             }
             None => 1.0,
         };
         max_id = max_id.max(u).max(v);
         edges.push((u, v, p));
     }
-    let n = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let n = if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    };
     let mut b = GraphBuilder::with_capacity(n, edges.len());
     for (u, v, p) in edges {
         b.add_edge_with_prob(u, v, p);
     }
-    let model = if any_prob { ProbabilityModel::Explicit } else { model };
+    let model = if any_prob {
+        ProbabilityModel::Explicit
+    } else {
+        model
+    };
     Ok(b.build(model))
 }
 
 /// Read an edge list from a file path.
-pub fn read_edge_list_file(path: impl AsRef<Path>, model: ProbabilityModel) -> Result<Graph, IoError> {
+pub fn read_edge_list_file(
+    path: impl AsRef<Path>,
+    model: ProbabilityModel,
+) -> Result<Graph, IoError> {
     read_edge_list(std::fs::File::open(path)?, model)
 }
 
 /// Write the graph as a `u v p` edge list.
 pub fn write_edge_list(g: &Graph, mut w: impl Write) -> Result<(), IoError> {
-    writeln!(w, "# cwelmax edge list: {} nodes {} edges", g.num_nodes(), g.num_edges())?;
+    writeln!(
+        w,
+        "# cwelmax edge list: {} nodes {} edges",
+        g.num_nodes(),
+        g.num_edges()
+    )?;
     for (u, v, p) in g.edges() {
         writeln!(w, "{u} {v} {p}")?;
     }
@@ -149,7 +173,9 @@ pub fn from_binary(mut buf: impl Buf) -> Result<Graph, IoError> {
         let v = buf.get_u32_le();
         let p = buf.get_f32_le();
         if u as usize >= n || v as usize >= n {
-            return Err(IoError::Corrupt(format!("edge ({u},{v}) out of range n={n}")));
+            return Err(IoError::Corrupt(format!(
+                "edge ({u},{v}) out of range n={n}"
+            )));
         }
         b.add_edge_with_prob(u, v, p);
     }

@@ -76,7 +76,6 @@ impl ProbabilityModel {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::{GraphBuilder, ProbabilityModel as PM};
 
     #[test]
@@ -141,7 +140,11 @@ mod tests {
         for i in 0..29u32 {
             b.add_edge(i, i + 1);
         }
-        let g = b.build(PM::Uniform { lo: 0.2, hi: 0.4, seed: 3 });
+        let g = b.build(PM::Uniform {
+            lo: 0.2,
+            hi: 0.4,
+            seed: 3,
+        });
         for (_, _, p) in g.edges() {
             assert!((0.2..=0.4).contains(&p));
         }

@@ -71,7 +71,11 @@ impl std::fmt::Display for GraphStats {
             self.avg_out_degree,
             self.max_out_degree,
             self.max_in_degree,
-            if self.is_symmetric { "undirected" } else { "directed" }
+            if self.is_symmetric {
+                "undirected"
+            } else {
+                "directed"
+            }
         )
     }
 }

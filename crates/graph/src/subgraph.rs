@@ -25,12 +25,7 @@ pub struct Subgraph {
 /// Extract the BFS-induced subgraph covering `fraction` of the nodes,
 /// starting from `start` and restarting (in id order) when the reachable
 /// component is exhausted. `fraction` is clamped to `[0, 1]`.
-pub fn bfs_fraction(
-    g: &Graph,
-    start: NodeId,
-    fraction: f64,
-    model: ProbabilityModel,
-) -> Subgraph {
+pub fn bfs_fraction(g: &Graph, start: NodeId, fraction: f64, model: ProbabilityModel) -> Subgraph {
     let n = g.num_nodes();
     let target = ((n as f64) * fraction.clamp(0.0, 1.0)).ceil() as usize;
     let target = target.min(n);
@@ -41,9 +36,9 @@ pub fn bfs_fraction(
     let mut restart_cursor = 0u32;
 
     let push = |v: NodeId,
-                    visited: &mut Vec<bool>,
-                    picked: &mut Vec<NodeId>,
-                    queue: &mut VecDeque<NodeId>| {
+                visited: &mut Vec<bool>,
+                picked: &mut Vec<NodeId>,
+                queue: &mut VecDeque<NodeId>| {
         if !visited[v as usize] {
             visited[v as usize] = true;
             picked.push(v);
@@ -52,7 +47,12 @@ pub fn bfs_fraction(
     };
 
     if n > 0 {
-        push(start.min(n as u32 - 1), &mut visited, &mut picked, &mut queue);
+        push(
+            start.min(n as u32 - 1),
+            &mut visited,
+            &mut picked,
+            &mut queue,
+        );
     }
     while picked.len() < target {
         match queue.pop_front() {
@@ -93,7 +93,10 @@ pub fn bfs_fraction(
             }
         }
     }
-    Subgraph { graph: b.build(model), original_of: picked }
+    Subgraph {
+        graph: b.build(model),
+        original_of: picked,
+    }
 }
 
 #[cfg(test)]

@@ -51,7 +51,10 @@ fn bfs(g: &Graph, roots: &[NodeId], dir: Direction) -> BfsResult {
     }
     while let Some(u) = queue.pop_front() {
         let d = dist[u as usize];
-        let step = |w: NodeId, dist: &mut Vec<u32>, order: &mut Vec<NodeId>, queue: &mut VecDeque<NodeId>| {
+        let step = |w: NodeId,
+                    dist: &mut Vec<u32>,
+                    order: &mut Vec<NodeId>,
+                    queue: &mut VecDeque<NodeId>| {
             if dist[w as usize] == u32::MAX {
                 dist[w as usize] = d + 1;
                 order.push(w);
@@ -132,7 +135,10 @@ mod tests {
     fn distances() {
         let g = path(4);
         assert_eq!(bfs_distances(&g, &[0]), vec![0, 1, 2, 3]);
-        assert_eq!(bfs_distances(&g, &[3]), vec![u32::MAX, u32::MAX, u32::MAX, 0]);
+        assert_eq!(
+            bfs_distances(&g, &[3]),
+            vec![u32::MAX, u32::MAX, u32::MAX, 0]
+        );
     }
 
     #[test]

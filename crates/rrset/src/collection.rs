@@ -30,9 +30,79 @@ impl RrCollection {
         }
     }
 
+    /// Rebuild a collection from raw parts (the inverse of
+    /// [`RrCollection::parts`]) — the ownership hook snapshot loaders use.
+    /// Validates structural invariants so corrupted inputs surface as
+    /// errors, never as out-of-bounds panics later.
+    pub fn from_parts(
+        num_nodes: usize,
+        set_offsets: Vec<usize>,
+        members: Vec<NodeId>,
+        weights: Vec<f64>,
+        num_sampled: usize,
+    ) -> Result<RrCollection, String> {
+        if set_offsets.first() != Some(&0) {
+            return Err("set_offsets must start at 0".into());
+        }
+        if set_offsets.len() != weights.len() + 1 {
+            return Err(format!(
+                "offset/weight mismatch: {} offsets for {} weights",
+                set_offsets.len(),
+                weights.len()
+            ));
+        }
+        if set_offsets.last() != Some(&members.len()) {
+            return Err(format!(
+                "last offset {} does not match member count {}",
+                set_offsets.last().unwrap(),
+                members.len()
+            ));
+        }
+        if set_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("set_offsets must be non-decreasing".into());
+        }
+        if weights.len() > num_sampled {
+            return Err(format!(
+                "{} retained sets exceed θ = {num_sampled}",
+                weights.len()
+            ));
+        }
+        if let Some(&v) = members.iter().find(|&&v| v as usize >= num_nodes) {
+            return Err(format!("member node {v} out of range n={num_nodes}"));
+        }
+        if let Some(&w) = weights.iter().find(|&&w| !w.is_finite() || w <= 0.0) {
+            return Err(format!("retained set weight {w} is not positive/finite"));
+        }
+        Ok(RrCollection {
+            num_nodes,
+            set_offsets,
+            members,
+            weights,
+            num_sampled,
+        })
+    }
+
+    /// The node-universe size this collection was sampled over.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
     /// θ — the number of sets sampled (including empty ones).
     pub fn num_sampled(&self) -> usize {
         self.num_sampled
+    }
+
+    /// Iterate over the retained sets as `(members, weight)` — the
+    /// borrowed iteration hook index builders use.
+    pub fn iter(&self) -> impl Iterator<Item = (&[NodeId], f64)> + '_ {
+        (0..self.num_sets()).map(|j| (self.set(j), self.weights[j]))
+    }
+
+    /// Borrow the raw storage: `(set_offsets, members, weights)`. Together
+    /// with [`RrCollection::num_sampled`] this is the full persistent state
+    /// of a collection (see `cwelmax-engine`'s snapshot format).
+    pub fn parts(&self) -> (&[usize], &[NodeId], &[f64]) {
+        (&self.set_offsets, &self.members, &self.weights)
     }
 
     /// Number of retained (non-empty) sets.
@@ -84,14 +154,18 @@ impl RrCollection {
                         let hi = ((t + 1) * chunk).min(count);
                         let mut out = Vec::with_capacity(hi.saturating_sub(lo));
                         for k in lo..hi {
-                            let mut rng = SmallRng::seed_from_u64(sample_seed(seed, start + k as u64));
+                            let mut rng =
+                                SmallRng::seed_from_u64(sample_seed(seed, start + k as u64));
                             out.push(sampler.sample(graph, &mut rng));
                         }
                         out
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("sampler panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sampler panicked"))
+                .collect()
         });
         for shard in shards {
             for (set, w) in shard {
@@ -163,8 +237,8 @@ impl RrCollection {
             total += best_gain;
             coverage.push(total);
             // mark this node's uncovered sets covered; decrement members
-            for idx in index_off[best]..index_off[best + 1] {
-                let j = index[idx] as usize;
+            for &set_id in &index[index_off[best]..index_off[best + 1]] {
+                let j = set_id as usize;
                 if covered[j] {
                     continue;
                 }
@@ -291,7 +365,9 @@ mod tests {
         let build = |threads| {
             let mut c = RrCollection::new(100);
             c.extend_parallel(&g, &StandardRr, 500, 7, threads);
-            (0..c.num_sets()).map(|j| c.set(j).to_vec()).collect::<Vec<_>>()
+            (0..c.num_sets())
+                .map(|j| c.set(j).to_vec())
+                .collect::<Vec<_>>()
         };
         assert_eq!(build(1), build(4));
     }

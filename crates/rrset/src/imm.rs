@@ -38,21 +38,32 @@ pub struct ImmParams {
 
 impl Default for ImmParams {
     fn default() -> Self {
-        ImmParams { eps: 0.5, ell: 1.0, seed: 0x1333, threads: 0, max_rr_sets: 20_000_000 }
+        ImmParams {
+            eps: 0.5,
+            ell: 1.0,
+            seed: 0x1333,
+            threads: 0,
+            max_rr_sets: 20_000_000,
+        }
     }
 }
 
 impl ImmParams {
     /// Params with a given `ε` (rest defaulted).
     pub fn with_eps(eps: f64) -> ImmParams {
-        ImmParams { eps, ..Default::default() }
+        ImmParams {
+            eps,
+            ..Default::default()
+        }
     }
 
     fn effective_threads(&self) -> usize {
         if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|t| t.get())
+                .unwrap_or(1)
         }
     }
 }
@@ -82,7 +93,9 @@ pub fn ln_choose(n: usize, k: usize) -> f64 {
         return f64::NEG_INFINITY;
     }
     let k = k.min(n - k);
-    (1..=k).map(|i| (((n - k + i) as f64) / i as f64).ln()).sum()
+    (1..=k)
+        .map(|i| (((n - k + i) as f64) / i as f64).ln())
+        .sum()
 }
 
 /// The `λ*` of Eq. 6, scaled by `w_max` for weighted collections.
@@ -100,9 +113,7 @@ fn lambda_prime(n: usize, k: usize, eps_prime: f64, ell_prime: f64, wmax: f64) -
     let n_f = n as f64;
     let ln_n = n_f.ln().max(1e-9);
     let log2n = n_f.log2().max(1.0);
-    (2.0 + 2.0 / 3.0 * eps_prime)
-        * (ln_choose(n, k) + ell_prime * ln_n + log2n.ln().max(0.0))
-        * n_f
+    (2.0 + 2.0 / 3.0 * eps_prime) * (ln_choose(n, k) + ell_prime * ln_n + log2n.ln().max(0.0)) * n_f
         / (eps_prime * eps_prime)
         * wmax
 }
@@ -131,7 +142,11 @@ fn required_theta(
     let mut lb = 1.0f64;
     // ub ≤ 2 (including the degenerate w_max = 0 of a worthless superior
     // item) leaves nothing to binary-search — skip straight to θ = λ*/1
-    let max_i = if ub > 2.0 { ub.log2().floor() as i32 - 1 } else { 0 };
+    let max_i = if ub > 2.0 {
+        ub.log2().floor() as i32 - 1
+    } else {
+        0
+    };
     for i in 1..=max_i.max(0) {
         let x = ub / 2f64.powi(i);
         let theta_i = ((l_prime / x).ceil() as usize).min(params.max_rr_sets);
@@ -177,19 +192,44 @@ pub fn select_multi_budget(
     b_total: usize,
     params: &ImmParams,
 ) -> ImmResult {
+    if graph.num_nodes() == 0 || b_total == 0 {
+        return ImmResult {
+            seeds: Vec::new(),
+            estimates: Vec::new(),
+            theta: 0,
+        };
+    }
+    let all_budgets: Vec<usize> = budgets.iter().copied().chain([b_total]).collect();
+    let fresh = sampled_collection(graph, sampler, &all_budgets, params);
+    select_from_collection(&fresh, b_total)
+}
+
+/// Phases 1–2 of IMM for a set of budget prefixes: determine the RR-set
+/// requirement θ for every budget (union-bounded), then return a **fresh**
+/// regenerated collection of θ sets (the Chen fix). This is the expensive
+/// artifact `cwelmax-engine` persists: a collection built once here can
+/// serve any number of [`select_from_collection`] calls with budgets up to
+/// `max(budgets)` under the same `(ε, ℓ)` guarantee.
+pub fn sampled_collection(
+    graph: &Graph,
+    sampler: &(impl RrSampler + ?Sized),
+    budgets: &[usize],
+    params: &ImmParams,
+) -> RrCollection {
     let n = graph.num_nodes();
-    if n == 0 || b_total == 0 {
-        return ImmResult { seeds: Vec::new(), estimates: Vec::new(), theta: 0 };
+    if n == 0 {
+        return RrCollection::new(0);
     }
     let ln_n = (n as f64).ln().max(1e-9);
-    let mut all_budgets: Vec<usize> =
-        budgets.iter().copied().chain([b_total]).filter(|&b| b > 0).collect();
+    let mut all_budgets: Vec<usize> = budgets.iter().copied().filter(|&b| b > 0).collect();
     all_budgets.sort_unstable();
     all_budgets.dedup();
+    if all_budgets.is_empty() {
+        return RrCollection::new(n);
+    }
     // ℓ' = ℓ + log 2 / log n (IMM's halving of the failure probability)
     //        + log |⃗b| / log n (union bound over budget prefixes)
-    let ell_prime =
-        params.ell + 2f64.ln() / ln_n + (all_budgets.len() as f64).ln().max(0.0) / ln_n;
+    let ell_prime = params.ell + 2f64.ln() / ln_n + (all_budgets.len() as f64).ln().max(0.0) / ln_n;
 
     // Phase 1: lower bounds / θ requirements, sharing one growing collection.
     let mut search = RrCollection::new(n);
@@ -206,14 +246,36 @@ pub fn select_multi_budget(
         graph,
         sampler,
         theta_needed,
-        params.seed ^ 0x5F52_4553_48u64, // decorrelate from the search phase
+        params.seed ^ 0x005F_5245_5348_u64, // decorrelate from the search phase
         params.effective_threads(),
     );
+    fresh
+}
 
-    // Phase 3: ordered greedy selection.
-    let sel = fresh.greedy_select(b_total.min(n));
-    let estimates = sel.coverage.iter().map(|&c| fresh.estimate(c)).collect();
-    ImmResult { seeds: sel.seeds, estimates, theta: fresh.num_sampled() }
+/// Phase 3 of IMM against a borrowed, prebuilt collection: ordered greedy
+/// selection of `b_total` seeds plus per-prefix estimates. No sampling
+/// happens here — callers holding a shared collection (or an engine index
+/// materialized back into one) pay only the selection cost.
+pub fn select_from_collection(collection: &RrCollection, b_total: usize) -> ImmResult {
+    let n = collection.num_nodes();
+    if n == 0 || b_total == 0 {
+        return ImmResult {
+            seeds: Vec::new(),
+            estimates: Vec::new(),
+            theta: 0,
+        };
+    }
+    let sel = collection.greedy_select(b_total.min(n));
+    let estimates = sel
+        .coverage
+        .iter()
+        .map(|&c| collection.estimate(c))
+        .collect();
+    ImmResult {
+        seeds: sel.seeds,
+        estimates,
+        theta: collection.num_sampled(),
+    }
 }
 
 #[cfg(test)]
@@ -238,7 +300,11 @@ mod tests {
         let g = generators::star(50, PM::Constant(1.0));
         let r = imm_select(&g, &StandardRr, 1, &ImmParams::with_eps(0.5));
         assert_eq!(r.seeds, vec![0]);
-        assert!((r.estimate() - 50.0).abs() < 2.0, "estimate {}", r.estimate());
+        assert!(
+            (r.estimate() - 50.0).abs() < 2.0,
+            "estimate {}",
+            r.estimate()
+        );
     }
 
     #[test]
@@ -261,7 +327,10 @@ mod tests {
     #[test]
     fn imm_estimate_close_to_true_spread() {
         let g = generators::erdos_renyi(300, 1800, 5, PM::WeightedCascade);
-        let params = ImmParams { eps: 0.3, ..Default::default() };
+        let params = ImmParams {
+            eps: 0.3,
+            ..Default::default()
+        };
         let r = imm_select(&g, &StandardRr, 5, &params);
         assert_eq!(r.seeds.len(), 5);
         // cross-check the IMM estimate against direct Monte Carlo
@@ -273,7 +342,11 @@ mod tests {
         let est = cwelmax_diffusion::WelfareEstimator::new(
             &g,
             &model,
-            cwelmax_diffusion::SimulationConfig { samples: 5000, threads: 2, base_seed: 4 },
+            cwelmax_diffusion::SimulationConfig {
+                samples: 5000,
+                threads: 2,
+                base_seed: 4,
+            },
         );
         let mc = est.spread(&r.seeds);
         let rel = (r.estimate() - mc).abs() / mc;
@@ -305,19 +378,17 @@ mod tests {
         let sampler = WeightedRr::new(30, 3.0, std::iter::empty());
         let r = imm_select(&g, &sampler, 1, &ImmParams::with_eps(0.5));
         assert_eq!(r.seeds, vec![0]);
-        assert!((r.estimate() - 90.0).abs() < 6.0, "estimate {}", r.estimate());
+        assert!(
+            (r.estimate() - 90.0).abs() < 6.0,
+            "estimate {}",
+            r.estimate()
+        );
     }
 
     #[test]
     fn multi_budget_prefixes_are_consistent() {
         let g = generators::erdos_renyi(200, 1000, 9, PM::WeightedCascade);
-        let r = select_multi_budget(
-            &g,
-            &StandardRr,
-            &[3, 7],
-            10,
-            &ImmParams::with_eps(0.5),
-        );
+        let r = select_multi_budget(&g, &StandardRr, &[3, 7], 10, &ImmParams::with_eps(0.5));
         assert_eq!(r.seeds.len(), 10);
         assert_eq!(r.estimates.len(), 10);
         // estimates are monotone in the prefix length
@@ -334,7 +405,13 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let g = generators::erdos_renyi(150, 700, 2, PM::WeightedCascade);
-        let p = ImmParams { eps: 0.5, ell: 1.0, seed: 42, threads: 2, max_rr_sets: 1_000_000 };
+        let p = ImmParams {
+            eps: 0.5,
+            ell: 1.0,
+            seed: 42,
+            threads: 2,
+            max_rr_sets: 1_000_000,
+        };
         let r1 = imm_select(&g, &StandardRr, 4, &p);
         let r2 = imm_select(&g, &StandardRr, 4, &p);
         assert_eq!(r1.seeds, r2.seeds);

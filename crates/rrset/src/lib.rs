@@ -29,5 +29,5 @@ pub mod prima;
 pub mod sampler;
 
 pub use collection::RrCollection;
-pub use imm::{ImmParams, ImmResult};
+pub use imm::{sampled_collection, select_from_collection, ImmParams, ImmResult};
 pub use sampler::{MarginalRr, RrSampler, StandardRr, WeightedRr};

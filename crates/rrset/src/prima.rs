@@ -96,7 +96,10 @@ mod tests {
     #[test]
     fn empty_sp_equals_plain_imm() {
         let g = generators::erdos_renyi(150, 900, 3, PM::WeightedCascade);
-        let p = ImmParams { seed: 5, ..ImmParams::with_eps(0.5) };
+        let p = ImmParams {
+            seed: 5,
+            ..ImmParams::with_eps(0.5)
+        };
         let a = prima_plus(&g, &[], &[4], 4, &p);
         let b = crate::imm::imm_select(&g, &crate::sampler::StandardRr, 4, &p);
         // same seeds: a MarginalRr with empty SP never discards anything

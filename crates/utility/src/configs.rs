@@ -43,7 +43,10 @@ pub fn two_item_config(cfg: TwoItemConfig) -> UtilityModel {
     UtilityModel::new(
         TableValue::from_table(2, values),
         vec![3.0, 4.0],
-        vec![NoiseDist::Normal { std: 1.0 }, NoiseDist::Normal { std: 1.0 }],
+        vec![
+            NoiseDist::Normal { std: 1.0 },
+            NoiseDist::Normal { std: 1.0 },
+        ],
     )
 }
 
@@ -244,7 +247,10 @@ mod tests {
         assert_structural(&m);
         assert!((m.deterministic_utility(ItemSet::singleton(0)) - 1.0).abs() < 1e-9);
         assert!((m.deterministic_utility(ItemSet::singleton(1)) - 0.9).abs() < 1e-9);
-        assert!(m.deterministic_utility(ItemSet::full(2)) < 0.0, "pure competition");
+        assert!(
+            m.deterministic_utility(ItemSet::full(2)) < 0.0,
+            "pure competition"
+        );
     }
 
     #[test]
@@ -296,12 +302,13 @@ mod tests {
             let m = multi_item_pure_competition(m_items);
             assert_structural(&m);
             for i in 0..m_items {
-                assert!(
-                    (m.deterministic_utility(ItemSet::singleton(i)) - 1.0).abs() < 1e-9
-                );
+                assert!((m.deterministic_utility(ItemSet::singleton(i)) - 1.0).abs() < 1e-9);
             }
             for s in all_itemsets(m_items).filter(|s| s.len() >= 2) {
-                assert!(m.deterministic_utility(s) < 0.0, "bundle {s} must be negative");
+                assert!(
+                    m.deterministic_utility(s) < 0.0,
+                    "bundle {s} must be negative"
+                );
             }
         }
     }
@@ -330,7 +337,8 @@ mod tests {
         let m = hardness_table1();
         assert!(m.value_fn().is_monotone());
         assert!(m.value_fn().is_submodular());
-        let u = |items: &[usize]| m.deterministic_utility(ItemSet::from_items(items.iter().copied()));
+        let u =
+            |items: &[usize]| m.deterministic_utility(ItemSet::from_items(items.iter().copied()));
         assert!((u(&[0]) - 5.1).abs() < 1e-9);
         assert!((u(&[1]) - 5.0).abs() < 1e-9);
         assert!((u(&[2]) - 5.0).abs() < 1e-9);
@@ -364,8 +372,10 @@ mod tests {
         // complementarity forces non-submodularity — by design
         assert!(!m.value_fn().is_submodular());
         let u01 = m.deterministic_utility(ItemSet::from_items([0, 1]));
-        assert!(u01 > m.deterministic_utility(ItemSet::singleton(0))
-            + m.deterministic_utility(ItemSet::singleton(1)));
+        assert!(
+            u01 > m.deterministic_utility(ItemSet::singleton(0))
+                + m.deterministic_utility(ItemSet::singleton(1))
+        );
         assert!(m.deterministic_utility(ItemSet::from_items([0, 2])) < 0.0);
     }
 
@@ -373,7 +383,8 @@ mod tests {
     fn counterexample_utilities() {
         let m = counterexample_theorem1();
         assert_structural(&m);
-        let u = |items: &[usize]| m.deterministic_utility(ItemSet::from_items(items.iter().copied()));
+        let u =
+            |items: &[usize]| m.deterministic_utility(ItemSet::from_items(items.iter().copied()));
         assert!((u(&[0]) - 4.0).abs() < 1e-9);
         assert!((u(&[1]) - 3.0).abs() < 1e-9);
         assert!((u(&[2]) - 3.5).abs() < 1e-9);

@@ -126,7 +126,11 @@ impl ItemSet {
     /// Iterate **all** subsets of `self`, including `∅` and `self` itself,
     /// in `O(2^len)` total.
     pub fn subsets(self) -> Subsets {
-        Subsets { mask: self.0, sub: self.0, done: false }
+        Subsets {
+            mask: self.0,
+            sub: self.0,
+            done: false,
+        }
     }
 
     /// The raw mask, usable as an index into `2^m`-sized tables.

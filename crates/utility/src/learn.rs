@@ -42,7 +42,11 @@ impl ChoiceModel {
     /// A purely independent model (no corrections).
     pub fn independent(item_probs: Vec<f64>) -> ChoiceModel {
         let m = item_probs.len();
-        ChoiceModel { item_probs, gamma: vec![1.0; m + 1], corrections: HashMap::new() }
+        ChoiceModel {
+            item_probs,
+            gamma: vec![1.0; m + 1],
+            corrections: HashMap::new(),
+        }
     }
 
     /// Number of items.
@@ -84,7 +88,9 @@ impl ChoiceModel {
 
     /// Utilities of all itemsets over the universe, indexed by mask.
     pub fn utilities(&self) -> Vec<(ItemSet, f64)> {
-        all_itemsets(self.num_items()).map(|s| (s, self.utility(s))).collect()
+        all_itemsets(self.num_items())
+            .map(|s| (s, self.utility(s)))
+            .collect()
     }
 }
 
@@ -102,7 +108,10 @@ pub fn generate_logs(truth: &ChoiceModel, n: usize, rng: &mut impl Rng) -> Vec<L
         .collect();
     let weights: Vec<f64> = sets.iter().map(|&s| truth.bundle_prob(s)).collect();
     let total: f64 = weights.iter().sum();
-    assert!(total > 0.0, "ground truth assigns zero probability everywhere");
+    assert!(
+        total > 0.0,
+        "ground truth assigns zero probability everywhere"
+    );
     let mut logs = Vec::with_capacity(n);
     for _ in 0..n {
         let mut x = rng.gen::<f64>() * total;
@@ -137,7 +146,9 @@ pub fn estimate_from_logs(num_items: usize, logs: &[LogEntry], total_mass: f64) 
         *counts.entry(e).or_insert(0.0) += 1.0;
     }
     let freq = |s: ItemSet| counts.get(&s).copied().unwrap_or(0.0) / n * total_mass;
-    let item_probs: Vec<f64> = (0..num_items).map(|i| freq(ItemSet::singleton(i))).collect();
+    let item_probs: Vec<f64> = (0..num_items)
+        .map(|i| freq(ItemSet::singleton(i)))
+        .collect();
     let mut corrections = HashMap::new();
     for s in all_itemsets(num_items).filter(|s| s.len() >= 2) {
         let observed = freq(s);
@@ -147,7 +158,11 @@ pub fn estimate_from_logs(num_items: usize, logs: &[LogEntry], total_mass: f64) 
             corrections.insert(s, q);
         }
     }
-    ChoiceModel { item_probs, gamma: vec![1.0; num_items + 1], corrections }
+    ChoiceModel {
+        item_probs,
+        gamma: vec![1.0; num_items + 1],
+        corrections,
+    }
 }
 
 /// The paper's Table-5 model: singleton probabilities from the published
@@ -162,7 +177,11 @@ pub fn lastfm_choice_model() -> ChoiceModel {
         let independent: f64 = s.iter().map(|i| probs[i]).product();
         corrections.insert(s, -independent);
     }
-    ChoiceModel { item_probs: probs, gamma: vec![1.0; 5], corrections }
+    ChoiceModel {
+        item_probs: probs,
+        gamma: vec![1.0; 5],
+        corrections,
+    }
 }
 
 #[cfg(test)]
@@ -241,8 +260,13 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(99);
         let logs = generate_logs(&truth, 100_000, &mut rng);
         let learned = estimate_from_logs(4, &logs, total);
-        let us: Vec<f64> = (0..4).map(|i| learned.utility(ItemSet::singleton(i))).collect();
-        assert!(us[0] > us[1] && us[1] > us[2] && us[2] > us[3], "order: {us:?}");
+        let us: Vec<f64> = (0..4)
+            .map(|i| learned.utility(ItemSet::singleton(i)))
+            .collect();
+        assert!(
+            us[0] > us[1] && us[1] > us[2] && us[2] > us[3],
+            "order: {us:?}"
+        );
     }
 
     #[test]
@@ -257,7 +281,11 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(7);
         let logs = generate_logs(&truth, 400_000, &mut rng);
         let learned = estimate_from_logs(2, &logs, total);
-        let q = learned.corrections.get(&ItemSet::full(2)).copied().unwrap_or(0.0);
+        let q = learned
+            .corrections
+            .get(&ItemSet::full(2))
+            .copied()
+            .unwrap_or(0.0);
         assert!(
             (q - (-0.08)).abs() < 0.01,
             "learned correction {q} should be ≈ -0.08"

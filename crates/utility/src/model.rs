@@ -23,8 +23,16 @@ impl UtilityModel {
     /// Assemble a model. Panics if the dimensions disagree.
     pub fn new(value: TableValue, prices: Vec<f64>, noise: Vec<NoiseDist>) -> UtilityModel {
         assert_eq!(value.num_items(), prices.len(), "one price per item");
-        assert_eq!(value.num_items(), noise.len(), "one noise distribution per item");
-        UtilityModel { value, prices, noise }
+        assert_eq!(
+            value.num_items(),
+            noise.len(),
+            "one noise distribution per item"
+        );
+        UtilityModel {
+            value,
+            prices,
+            noise,
+        }
     }
 
     /// Build a model directly from target *deterministic utilities*

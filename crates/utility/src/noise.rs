@@ -142,7 +142,11 @@ fn erf(x: f64) -> f64 {
 
 /// Composite Simpson's rule on `[a, b]` with `panels` (even) intervals.
 fn simpson(f: impl Fn(f64) -> f64, a: f64, b: f64, panels: usize) -> f64 {
-    let n = if panels % 2 == 0 { panels } else { panels + 1 };
+    let n = if panels.is_multiple_of(2) {
+        panels
+    } else {
+        panels + 1
+    };
     let h = (b - a) / n as f64;
     let mut acc = f(a) + f(b);
     for k in 1..n {
@@ -160,7 +164,10 @@ mod tests {
 
     fn mc_expected_positive(d: NoiseDist, mu: f64, n: usize) -> f64 {
         let mut rng = SmallRng::seed_from_u64(12345);
-        (0..n).map(|_| (mu + d.sample(&mut rng)).max(0.0)).sum::<f64>() / n as f64
+        (0..n)
+            .map(|_| (mu + d.sample(&mut rng)).max(0.0))
+            .sum::<f64>()
+            / n as f64
     }
 
     #[test]
@@ -205,7 +212,10 @@ mod tests {
 
     #[test]
     fn truncated_normal_matches_monte_carlo() {
-        let d = NoiseDist::TruncatedNormal { std: 1.0, bound: 1.5 };
+        let d = NoiseDist::TruncatedNormal {
+            std: 1.0,
+            bound: 1.5,
+        };
         for &mu in &[-1.0, 0.0, 0.7, 2.0] {
             let analytic = d.expected_positive_part(mu);
             let mc = mc_expected_positive(d, mu, 400_000);
@@ -220,7 +230,10 @@ mod tests {
     fn samples_respect_bounds() {
         let mut rng = SmallRng::seed_from_u64(9);
         let u = NoiseDist::Uniform { half_width: 0.25 };
-        let t = NoiseDist::TruncatedNormal { std: 2.0, bound: 0.5 };
+        let t = NoiseDist::TruncatedNormal {
+            std: 2.0,
+            bound: 0.5,
+        };
         for _ in 0..10_000 {
             assert!(u.sample(&mut rng).abs() <= 0.25);
             assert!(t.sample(&mut rng).abs() <= 0.5);
@@ -233,7 +246,10 @@ mod tests {
         for d in [
             NoiseDist::Normal { std: 1.0 },
             NoiseDist::Uniform { half_width: 1.0 },
-            NoiseDist::TruncatedNormal { std: 1.0, bound: 2.0 },
+            NoiseDist::TruncatedNormal {
+                std: 1.0,
+                bound: 2.0,
+            },
         ] {
             let n = 200_000;
             let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
@@ -247,7 +263,11 @@ mod tests {
         assert_eq!(NoiseDist::Normal { std: 1.0 }.max_abs(), None);
         assert_eq!(NoiseDist::Uniform { half_width: 0.3 }.max_abs(), Some(0.3));
         assert_eq!(
-            NoiseDist::TruncatedNormal { std: 1.0, bound: 2.0 }.max_abs(),
+            NoiseDist::TruncatedNormal {
+                std: 1.0,
+                bound: 2.0
+            }
+            .max_abs(),
             Some(2.0)
         );
     }

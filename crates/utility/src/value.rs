@@ -24,13 +24,16 @@ pub struct TableValue {
 impl TableValue {
     /// Build from a full table indexed by mask (length must be `2^m`).
     pub fn from_table(num_items: usize, values: Vec<f64>) -> TableValue {
-        assert!(num_items <= MAX_ITEMS, "at most {MAX_ITEMS} items supported");
-        assert_eq!(values.len(), 1 << num_items, "table must cover all 2^m itemsets");
         assert!(
-            values[0].abs() < EPS,
-            "V(∅) must be 0 (got {})",
-            values[0]
+            num_items <= MAX_ITEMS,
+            "at most {MAX_ITEMS} items supported"
         );
+        assert_eq!(
+            values.len(),
+            1 << num_items,
+            "table must cover all 2^m itemsets"
+        );
+        assert!(values[0].abs() < EPS, "V(∅) must be 0 (got {})", values[0]);
         TableValue { num_items, values }
     }
 
@@ -43,7 +46,10 @@ impl TableValue {
         let mut values = vec![f64::NAN; size];
         values[0] = 0.0;
         for &(s, v) in pairs {
-            assert!(s.mask() < size, "itemset {s} outside universe of {num_items}");
+            assert!(
+                s.mask() < size,
+                "itemset {s} outside universe of {num_items}"
+            );
             values[s.mask()] = v;
         }
         // monotone completion in mask order (all subsets of `mask` with one
@@ -75,7 +81,10 @@ impl TableValue {
                     .sum::<f64>()
             })
             .collect();
-        TableValue { num_items: m, values }
+        TableValue {
+            num_items: m,
+            values,
+        }
     }
 
     /// Symmetric value depending only on cardinality: `V(I) = by_size[|I|]`.
@@ -191,10 +200,7 @@ mod tests {
         // specify only singletons; pair must default to max of subsets
         let v = TableValue::from_pairs(
             2,
-            &[
-                (ItemSet::singleton(0), 3.0),
-                (ItemSet::singleton(1), 2.0),
-            ],
+            &[(ItemSet::singleton(0), 3.0), (ItemSet::singleton(1), 2.0)],
         );
         assert_eq!(v.value(ItemSet::from_items([0, 1])), 3.0);
         assert!(v.is_monotone());

@@ -74,15 +74,13 @@ impl NoiseWorld {
             }
             let t = adopted.union(sub);
             let u = self.utils[t.mask()];
-            if u > best_u + 1e-12
+            if (u > best_u + 1e-12
                 || (u > best_u - 1e-12
-                    && (t.len() < best.len() || (t.len() == best.len() && t < best))
-                    && u >= 0.0)
+                    && (t.len() < best.len() || (t.len() == best.len() && t < best))))
+                && u >= 0.0
             {
-                if u >= 0.0 {
-                    best = t;
-                    best_u = u;
-                }
+                best = t;
+                best_u = u;
             }
         }
         best
@@ -117,7 +115,10 @@ mod tests {
     #[test]
     fn adopts_nothing_when_all_negative() {
         let w = world(-0.5, -0.1, -3.0);
-        assert_eq!(w.best_response(ItemSet::full(2), ItemSet::EMPTY), ItemSet::EMPTY);
+        assert_eq!(
+            w.best_response(ItemSet::full(2), ItemSet::EMPTY),
+            ItemSet::EMPTY
+        );
     }
 
     #[test]
@@ -174,7 +175,10 @@ mod tests {
     #[test]
     fn empty_desire() {
         let w = world(1.0, 1.0, 1.0);
-        assert_eq!(w.best_response(ItemSet::EMPTY, ItemSet::EMPTY), ItemSet::EMPTY);
+        assert_eq!(
+            w.best_response(ItemSet::EMPTY, ItemSet::EMPTY),
+            ItemSet::EMPTY
+        );
     }
 
     #[test]

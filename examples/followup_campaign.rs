@@ -11,16 +11,21 @@
 //!
 //! Run with: `cargo run --release --example followup_campaign`
 
-use cwelmax::prelude::*;
 use cwelmax::core::SupGrd;
 use cwelmax::graph::generators::{preferential_attachment, PaParams};
+use cwelmax::prelude::*;
 use cwelmax::rrset::imm::imm_select;
 use cwelmax::rrset::{ImmParams, StandardRr};
 use cwelmax::utility::configs::SupConfig;
 
 fn main() {
     let graph = preferential_attachment(
-        PaParams { n: 8_000, edges_per_node: 4, directed: true, seed: 11 },
+        PaParams {
+            n: 8_000,
+            edges_per_node: 4,
+            directed: true,
+            seed: 11,
+        },
         ProbabilityModel::WeightedCascade,
     );
 
@@ -33,7 +38,10 @@ fn main() {
         fixed.len()
     );
 
-    for (name, cfg) in [("C5 (gap 1.0 vs 0.9)", SupConfig::C5), ("C6 (gap 1.0 vs 0.1)", SupConfig::C6)] {
+    for (name, cfg) in [
+        ("C5 (gap 1.0 vs 0.9)", SupConfig::C5),
+        ("C6 (gap 1.0 vs 0.1)", SupConfig::C6),
+    ] {
         let model = configs::supgrd_config(cfg);
         let problem = Problem::new(graph.clone(), model)
             .with_budgets(vec![20, 0])

@@ -9,9 +9,9 @@
 //!
 //! Run with: `cargo run --release --example fresh_campaign`
 
-use cwelmax::prelude::*;
 use cwelmax::core::{best_of, MaxGrd};
 use cwelmax::graph::generators::benchmark::Network;
+use cwelmax::prelude::*;
 
 fn main() {
     let graph = Network::NetHept.tiny_spec().generate();

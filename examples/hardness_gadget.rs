@@ -9,10 +9,8 @@
 //!
 //! Run with: `cargo run --release --example hardness_gadget`
 
+use cwelmax::graph::generators::gadget::{build_gadget, example_no_instance, example_yes_instance};
 use cwelmax::prelude::*;
-use cwelmax::graph::generators::gadget::{
-    build_gadget, example_no_instance, example_yes_instance,
-};
 
 fn main() {
     // the proof takes N > max{k/c, 8n/c} = 80 for n = 4, c = 0.4; the d
@@ -69,7 +67,11 @@ fn main() {
             "{label}: decided_yes={decided_yes}  optimal welfare {:9.1}  \
              threshold c·N²·U({{i1,i4}}) = {threshold:9.1}  → {}",
             best.0,
-            if best.0 > threshold { "ABOVE (YES)" } else { "below (NO)" },
+            if best.0 > threshold {
+                "ABOVE (YES)"
+            } else {
+                "below (NO)"
+            },
         );
         println!("  best i1 seeds: subsets {:?}", best.1);
     }

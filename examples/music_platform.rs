@@ -13,8 +13,8 @@
 //! Run with: `cargo run --release --example music_platform`
 
 use cwelmax::core::baselines::{RoundRobin, Snake};
-use cwelmax::prelude::*;
 use cwelmax::graph::generators::benchmark::Network;
+use cwelmax::prelude::*;
 use cwelmax::utility::itemset::all_itemsets;
 use cwelmax::utility::learn;
 use rand::rngs::SmallRng;
@@ -33,7 +33,10 @@ fn main() {
         .map(|s| truth.bundle_prob(s))
         .sum();
     let learned = learn::estimate_from_logs(4, &logs, total_mass);
-    println!("\n{:<20} {:>8} {:>8} {:>8}", "genre", "p (true)", "p (est)", "utility");
+    println!(
+        "\n{:<20} {:>8} {:>8} {:>8}",
+        "genre", "p (true)", "p (est)", "utility"
+    );
     for (g, name) in configs::LASTFM_GENRES.iter().enumerate() {
         println!(
             "{:<20} {:>8.3} {:>8.3} {:>8.2}",
@@ -55,15 +58,21 @@ fn main() {
         .with_uniform_budget(10)
         .with_mc_samples(500);
 
-    println!("\n{:<12} {:>9} {:>24}", "algorithm", "welfare", "adoptions per genre");
+    println!(
+        "\n{:<12} {:>9} {:>24}",
+        "algorithm", "welfare", "adoptions per genre"
+    );
     for solution in [
         SeqGrd::new(SeqGrdMode::NoMarginal).solve(&problem),
         RoundRobin.solve(&problem),
         Snake.solve(&problem),
     ] {
         let r = problem.evaluate_report(&solution.allocation);
-        let counts: Vec<String> =
-            r.adoption_counts.iter().map(|c| format!("{c:.0}")).collect();
+        let counts: Vec<String> = r
+            .adoption_counts
+            .iter()
+            .map(|c| format!("{c:.0}"))
+            .collect();
         println!(
             "{:<12} {:>9.1} {:>24}",
             solution.algorithm,

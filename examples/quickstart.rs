@@ -6,15 +6,20 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use cwelmax::prelude::*;
 use cwelmax::core::baselines::Tcim;
 use cwelmax::graph::generators::{preferential_attachment, PaParams};
+use cwelmax::prelude::*;
 
 fn main() {
     // 1. The social network G = (V, E, p): 5 000 nodes, heavy-tailed
     //    degrees, weighted-cascade probabilities p(u,v) = 1/din(v).
     let graph = preferential_attachment(
-        PaParams { n: 5_000, edges_per_node: 3, directed: true, seed: 42 },
+        PaParams {
+            n: 5_000,
+            edges_per_node: 3,
+            directed: true,
+            seed: 42,
+        },
         ProbabilityModel::WeightedCascade,
     );
     println!(

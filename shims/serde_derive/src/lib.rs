@@ -1,0 +1,475 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde shim.
+//!
+//! Hand-rolled (no `syn`/`quote` available offline): the input item is
+//! parsed by walking the token trees, and the impl is generated as a source
+//! string re-parsed into a `TokenStream`. Supports exactly the shapes this
+//! workspace derives on:
+//!
+//! * non-generic structs with named fields;
+//! * non-generic enums with unit, tuple and struct variants
+//!   (externally-tagged representation, matching serde's default).
+//!
+//! Unsupported shapes (generics, tuple structs, `#[serde(...)]` attributes)
+//! fail the build with a clear message rather than mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Skip leading `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        if i < toks.len() && is_punct(&toks[i], '#') {
+            // `#` `[...]`
+            i += 2;
+            continue;
+        }
+        if let Some(TokenTree::Ident(id)) = toks.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        return i;
+    }
+}
+
+/// Starting at a field type (after the `:`), advance past it: consume until
+/// a comma at angle-bracket depth 0. Returns the index of the comma (or end).
+fn skip_type(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut angle = 0i32;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parse `name: Type, ...` named-field bodies; returns field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        match &toks[i] {
+            TokenTree::Ident(id) => out.push(id.to_string()),
+            other => panic!("serde shim derive: expected field name, got `{other}`"),
+        }
+        i += 1; // name
+        assert!(
+            i < toks.len() && is_punct(&toks[i], ':'),
+            "serde shim derive: expected `:` after field name"
+        );
+        i += 1; // colon
+        i = skip_type(&toks, i);
+        i += 1; // comma (or past end)
+    }
+    out
+}
+
+/// Count fields of a tuple-variant `( ... )` body.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut arity = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        arity += 1;
+        i = skip_type(&toks, i);
+        i += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected variant name, got `{other}`"),
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let a = tuple_arity(g.stream());
+                i += 1;
+                Fields::Tuple(a)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                i += 1;
+                Fields::Named(f)
+            }
+            _ => Fields::Unit,
+        };
+        // skip optional `= discriminant`
+        if matches!(toks.get(i), Some(t) if is_punct(t, '=')) {
+            i += 1;
+            while i < toks.len() && !is_punct(&toks[i], ',') {
+                i += 1;
+            }
+        }
+        if matches!(toks.get(i), Some(t) if is_punct(t, ',')) {
+            i += 1;
+        }
+        out.push(Variant { name, fields });
+    }
+    out
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, got `{other}`"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got `{other}`"),
+    };
+    i += 1;
+    if matches!(toks.get(i), Some(t) if is_punct(t, '<')) {
+        panic!("serde shim derive: generic types are not supported (type `{name}`)");
+    }
+    match kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: tuple_arity(g.stream()),
+                }
+            }
+            _ => panic!("serde shim derive: unit structs are not supported (type `{name}`)"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            _ => panic!("serde shim derive: malformed enum `{name}`"),
+        },
+        other => panic!("serde shim derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn xs(n: usize) -> Vec<String> {
+    (0..n).map(|k| format!("__x{k}")).collect()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__m.insert(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut __m = ::serde::Map::new();\n\
+                         {inserts}\n\
+                         ::serde::Value::Object(__m)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = match arity {
+                // newtype: serialize transparently as the inner value
+                1 => "::serde::Serialize::to_value(&self.0)".to_string(),
+                n => {
+                    let elems: Vec<String> = (0..n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::String(\
+                             ::std::string::String::from(\"{vn}\")),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(__x0) => {{\n\
+                                 let mut __m = ::serde::Map::new();\n\
+                                 __m.insert(::std::string::String::from(\"{vn}\"), \
+                                     ::serde::Serialize::to_value(__x0));\n\
+                                 ::serde::Value::Object(__m)\n\
+                             }}"
+                        ),
+                        Fields::Tuple(n) => {
+                            let vars = xs(*n);
+                            let elems: Vec<String> = vars
+                                .iter()
+                                .map(|x| format!("::serde::Serialize::to_value({x})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => {{\n\
+                                     let mut __m = ::serde::Map::new();\n\
+                                     __m.insert(::std::string::String::from(\"{vn}\"), \
+                                         ::serde::Value::Array(vec![{elems}]));\n\
+                                     ::serde::Value::Object(__m)\n\
+                                 }}",
+                                binds = vars.join(", "),
+                                elems = elems.join(", ")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let inserts: String = fs
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "__inner.insert(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}));"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => {{\n\
+                                     let mut __inner = ::serde::Map::new();\n\
+                                     {inserts}\n\
+                                     let mut __m = ::serde::Map::new();\n\
+                                     __m.insert(::std::string::String::from(\"{vn}\"), \
+                                         ::serde::Value::Object(__inner));\n\
+                                     ::serde::Value::Object(__m)\n\
+                                 }}",
+                                binds = fs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    body.parse()
+        .expect("serde shim derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(__m, \"{f}\")?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let __m = __v.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(format!(\
+                                 \"expected object for struct {name}, got {{}}\", __v.kind())))?;\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => match arity {
+            1 => format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name}(\
+                             ::serde::Deserialize::from_value(__v)?))\n\
+                     }}\n\
+                 }}"
+            ),
+            n => {
+                let elems: Vec<String> = (0..n)
+                    .map(|k| format!("::serde::Deserialize::from_value(&__a[{k}])?"))
+                    .collect();
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                         fn from_value(__v: &::serde::Value) \
+                             -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                             let __a = __v.as_array().ok_or_else(|| \
+                                 ::serde::Error::custom(\
+                                     \"expected array for tuple struct {name}\"))?;\n\
+                             if __a.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::Error::custom(\
+                                     \"wrong arity for tuple struct {name}\"));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({name}({elems}))\n\
+                         }}\n\
+                     }}",
+                    elems = elems.join(", ")
+                )
+            }
+        },
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Tuple(1) => format!(
+                            "\"{vn}\" => ::std::result::Result::Ok(\
+                                 {name}::{vn}(::serde::Deserialize::from_value(__inner)?)),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Deserialize::from_value(&__a[{k}])?"))
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{\n\
+                                     let __a = __inner.as_array().ok_or_else(|| \
+                                         ::serde::Error::custom(\
+                                             \"expected array for variant {vn}\"))?;\n\
+                                     if __a.len() != {n} {{\n\
+                                         return ::std::result::Result::Err(\
+                                             ::serde::Error::custom(\
+                                                 \"wrong arity for variant {vn}\"));\n\
+                                     }}\n\
+                                     ::std::result::Result::Ok({name}::{vn}({elems}))\n\
+                                 }}",
+                                elems = elems.join(", ")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let inits: String = fs
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::field(__fm, \"{f}\")?,"))
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{\n\
+                                     let __fm = __inner.as_object().ok_or_else(|| \
+                                         ::serde::Error::custom(\
+                                             \"expected object for variant {vn}\"))?;\n\
+                                     ::std::result::Result::Ok({name}::{vn} {{ {inits} }})\n\
+                                 }}"
+                            )
+                        }
+                        Fields::Unit => unreachable!(),
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                     format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                             }},\n\
+                             ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                                 let (__tag, __inner) = __m.iter().next().unwrap();\n\
+                                 match __tag.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     __other => ::std::result::Result::Err(\
+                                         ::serde::Error::custom(format!(\
+                                             \"unknown variant `{{}}` of {name}\", __other))),\n\
+                                 }}\n\
+                             }}\n\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"expected {name} variant, got {{}}\", __other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    body.parse()
+        .expect("serde shim derive: generated Deserialize impl must parse")
+}

@@ -1,6 +1,6 @@
-//! `cwelmax` — command-line CWelMax solver.
+//! `cwelmax` — command-line CWelMax solver and campaign-engine driver.
 //!
-//! Solve a competitive welfare-maximization instance from files:
+//! ## Solve one instance (cold path)
 //!
 //! ```text
 //! cwelmax --graph edges.txt --config model.json --budgets 10,10 \
@@ -17,15 +17,42 @@
 //! * `--algorithm` — `seqgrd | seqgrd-nm | maxgrd | supgrd | best-of |
 //!   tcim | round-robin | snake` (default `seqgrd-nm`).
 //!
-//! Prints the chosen allocation, its estimated welfare and per-item
+//! ## Build a persistent RR-set index (expensive, once per graph)
+//!
+//! ```text
+//! cwelmax index build --graph edges.txt --out index.cwrx \
+//!         [--budget-cap 20] [--eps 0.5] [--ell 1.0] [--seed S] [--threads T]
+//! ```
+//!
+//! ## Answer a batch of campaigns from the index (warm, no resampling)
+//!
+//! ```text
+//! cwelmax query-batch --graph edges.txt --index index.cwrx \
+//!         --queries queries.json [--threads N] [--json]
+//! ```
+//!
+//! `queries.json` is an array of campaign objects:
+//!
+//! ```json
+//! [{"config": "C1", "budgets": [5, 5], "algorithm": "seqgrd-nm",
+//!   "samples": 1000, "seed": 7}]
+//! ```
+//!
+//! where `config` is either a named paper configuration (`C1`–`C4`) or an
+//! inline JSON utility model, and `algorithm` is one of `seqgrd-nm |
+//! seqgrd | maxgrd | best-of`.
+//!
+//! Prints the chosen allocation(s), estimated welfare and per-item
 //! adoption counts; `--json` switches to machine-readable output.
 
 use cwelmax::core::baselines::{RoundRobin, Snake, Tcim};
 use cwelmax::core::{best_of, MaxGrd, SupGrd};
 use cwelmax::diffusion::SimulationConfig;
+use cwelmax::engine::{self, CampaignEngine, CampaignQuery, QueryAlgorithm, RrIndex};
 use cwelmax::graph::{io as graph_io, ProbabilityModel};
 use cwelmax::prelude::*;
 use cwelmax::rrset::ImmParams;
+use std::sync::Arc;
 
 struct Args {
     graph: Option<String>,
@@ -57,7 +84,9 @@ fn parse_args() -> Args {
     let mut i = 0;
     let next = |i: &mut usize, what: &str| -> String {
         *i += 1;
-        argv.get(*i).unwrap_or_else(|| die(&format!("{what} expects a value"))).clone()
+        argv.get(*i)
+            .unwrap_or_else(|| die(&format!("{what} expects a value")))
+            .clone()
     };
     while i < argv.len() {
         match argv[i].as_str() {
@@ -72,10 +101,20 @@ fn parse_args() -> Args {
                     .collect()
             }
             "--samples" => {
-                a.samples = next(&mut i, "--samples").parse().unwrap_or_else(|_| die("bad samples"))
+                a.samples = next(&mut i, "--samples")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad samples"))
             }
-            "--eps" => a.eps = next(&mut i, "--eps").parse().unwrap_or_else(|_| die("bad eps")),
-            "--seed" => a.seed = next(&mut i, "--seed").parse().unwrap_or_else(|_| die("bad seed")),
+            "--eps" => {
+                a.eps = next(&mut i, "--eps")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad eps"))
+            }
+            "--seed" => {
+                a.seed = next(&mut i, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad seed"))
+            }
             "--json" => a.json = true,
             "--emit-example-config" => a.emit_example = true,
             "--help" | "-h" => {
@@ -99,16 +138,268 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Tiny flag cursor shared by the subcommand parsers.
+struct Flags {
+    argv: Vec<String>,
+    i: usize,
+}
+
+impl Flags {
+    fn new(argv: Vec<String>) -> Flags {
+        Flags { argv, i: 0 }
+    }
+
+    fn next_flag(&mut self) -> Option<String> {
+        let f = self.argv.get(self.i).cloned();
+        self.i += 1;
+        f
+    }
+
+    fn value(&mut self, what: &str) -> String {
+        let v = self
+            .argv
+            .get(self.i)
+            .unwrap_or_else(|| die(&format!("{what} expects a value")))
+            .clone();
+        self.i += 1;
+        v
+    }
+
+    fn parsed<T: std::str::FromStr>(&mut self, what: &str) -> T {
+        self.value(what)
+            .parse()
+            .unwrap_or_else(|_| die(&format!("bad value for {what}")))
+    }
+}
+
+fn load_graph(path: &str) -> cwelmax::graph::Graph {
+    graph_io::read_edge_list_file(path, ProbabilityModel::WeightedCascade)
+        .unwrap_or_else(|e| die(&format!("cannot read graph: {e}")))
+}
+
+/// `cwelmax index build …` — sample and persist an RR-set index.
+fn cmd_index_build(argv: Vec<String>) {
+    let mut graph_path = None;
+    let mut out = None;
+    let mut budget_cap: u32 = 20;
+    let mut params = ImmParams {
+        threads: 0,
+        max_rr_sets: 50_000_000,
+        ..Default::default()
+    };
+    let mut f = Flags::new(argv);
+    while let Some(flag) = f.next_flag() {
+        match flag.as_str() {
+            "build" if graph_path.is_none() && out.is_none() => {} // subcommand verb
+            "--graph" => graph_path = Some(f.value("--graph")),
+            "--out" => out = Some(f.value("--out")),
+            "--budget-cap" => budget_cap = f.parsed("--budget-cap"),
+            "--eps" => params.eps = f.parsed("--eps"),
+            "--ell" => params.ell = f.parsed("--ell"),
+            "--seed" => params.seed = f.parsed("--seed"),
+            "--threads" => params.threads = f.parsed("--threads"),
+            "--max-rr-sets" => params.max_rr_sets = f.parsed("--max-rr-sets"),
+            other => die(&format!("unknown `index build` argument `{other}`")),
+        }
+    }
+    let graph_path = graph_path.unwrap_or_else(|| die("--graph is required"));
+    let out = out.unwrap_or_else(|| die("--out is required"));
+    if budget_cap == 0 {
+        die("--budget-cap must be positive");
+    }
+    let graph = load_graph(&graph_path);
+    eprintln!(
+        "building index: {} nodes, {} edges, budget cap {budget_cap}, eps {}",
+        graph.num_nodes(),
+        graph.num_edges(),
+        params.eps
+    );
+    let start = std::time::Instant::now();
+    let index = RrIndex::build(&graph, budget_cap, &params);
+    let build_time = start.elapsed();
+    engine::snapshot::save(&index, &out)
+        .unwrap_or_else(|e| die(&format!("cannot save index: {e}")));
+    let size = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "index built in {build_time:?}: θ = {} sampled, {} retained sets, \
+         {} bytes -> {out}",
+        index.num_sampled(),
+        index.num_sets(),
+        size
+    );
+}
+
+fn parse_query(v: &serde_json::Value, k: usize) -> CampaignQuery {
+    let obj = v
+        .as_object()
+        .unwrap_or_else(|| die(&format!("query {k}: expected a JSON object")));
+    let model: UtilityModel = match obj.get("config") {
+        Some(cfg) => match cfg.as_str() {
+            Some("C1") => configs::two_item_config(TwoItemConfig::C1),
+            Some("C2") => configs::two_item_config(TwoItemConfig::C2),
+            Some("C3") => configs::two_item_config(TwoItemConfig::C3),
+            Some("C4") => configs::two_item_config(TwoItemConfig::C4),
+            Some(other) => die(&format!("query {k}: unknown named config `{other}`")),
+            None => serde::Deserialize::from_value(cfg)
+                .unwrap_or_else(|e| die(&format!("query {k}: bad inline config: {e}"))),
+        },
+        None => die(&format!("query {k}: `config` is required")),
+    };
+    let budgets: Vec<usize> = match obj.get("budgets") {
+        Some(b) => serde::Deserialize::from_value(b)
+            .unwrap_or_else(|e| die(&format!("query {k}: bad budgets: {e}"))),
+        None => die(&format!("query {k}: `budgets` is required")),
+    };
+    let algorithm = match obj.get("algorithm").and_then(|a| a.as_str()) {
+        Some(name) => QueryAlgorithm::parse(name)
+            .unwrap_or_else(|| die(&format!("query {k}: unknown algorithm `{name}`"))),
+        None => QueryAlgorithm::SeqGrdNm,
+    };
+    let samples: usize = match obj.get("samples") {
+        Some(s) => serde::Deserialize::from_value(s)
+            .unwrap_or_else(|e| die(&format!("query {k}: bad samples: {e}"))),
+        None => 1000,
+    };
+    let seed: u64 = match obj.get("seed") {
+        Some(s) => serde::Deserialize::from_value(s)
+            .unwrap_or_else(|e| die(&format!("query {k}: bad seed: {e}"))),
+        None => 0x5EED,
+    };
+    CampaignQuery {
+        model,
+        budgets,
+        algorithm,
+        sim: SimulationConfig {
+            samples,
+            threads: 1,
+            base_seed: seed,
+        },
+    }
+}
+
+/// `cwelmax query-batch …` — answer many campaigns from a prebuilt index.
+fn cmd_query_batch(argv: Vec<String>) {
+    let mut graph_path = None;
+    let mut index_path = None;
+    let mut queries_path = None;
+    let mut threads = 0usize;
+    let mut json = false;
+    let mut f = Flags::new(argv);
+    while let Some(flag) = f.next_flag() {
+        match flag.as_str() {
+            "--graph" => graph_path = Some(f.value("--graph")),
+            "--index" => index_path = Some(f.value("--index")),
+            "--queries" => queries_path = Some(f.value("--queries")),
+            "--threads" => threads = f.parsed("--threads"),
+            "--json" => json = true,
+            other => die(&format!("unknown `query-batch` argument `{other}`")),
+        }
+    }
+    let graph_path = graph_path.unwrap_or_else(|| die("--graph is required"));
+    let index_path = index_path.unwrap_or_else(|| die("--index is required"));
+    let queries_path = queries_path.unwrap_or_else(|| die("--queries is required"));
+
+    let graph = Arc::new(load_graph(&graph_path));
+    let engine = CampaignEngine::from_snapshot(graph, &index_path)
+        .unwrap_or_else(|e| die(&format!("cannot load index: {e}")));
+    let text = std::fs::read_to_string(&queries_path)
+        .unwrap_or_else(|e| die(&format!("cannot read queries: {e}")));
+    let root: serde_json::Value =
+        serde_json::from_str(&text).unwrap_or_else(|e| die(&format!("bad queries JSON: {e}")));
+    let queries: Vec<CampaignQuery> = root
+        .as_array()
+        .unwrap_or_else(|| die("queries file must hold a JSON array"))
+        .iter()
+        .enumerate()
+        .map(|(k, v)| parse_query(v, k))
+        .collect();
+
+    let start = std::time::Instant::now();
+    let answers = engine.query_batch(&queries, threads);
+    let elapsed = start.elapsed();
+    let stats = engine.stats();
+
+    if json {
+        let rows: Vec<_> = answers
+            .iter()
+            .map(|r| match r {
+                Ok(a) => serde_json::json!({
+                    "algorithm": a.algorithm,
+                    "allocation": a.allocation.pairs(),
+                    "welfare": a.welfare,
+                    "elapsed_seconds": a.elapsed.as_secs_f64(),
+                }),
+                Err(e) => serde_json::json!({ "error": format!("{e}") }),
+            })
+            .collect();
+        let out = serde_json::json!({
+            "answers": rows,
+            "batch_seconds": elapsed.as_secs_f64(),
+            "pool_selections": stats.pool_selections,
+            "welfare_evals": stats.welfare_evals,
+            "welfare_cache_hits": stats.welfare_cache_hits,
+        });
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).expect("serializable")
+        );
+    } else {
+        for (k, r) in answers.iter().enumerate() {
+            match r {
+                Ok(a) => println!(
+                    "query {k}: {} welfare {:.2} in {:?}  {:?}",
+                    a.algorithm,
+                    a.welfare,
+                    a.elapsed,
+                    a.allocation.pairs()
+                ),
+                Err(e) => println!("query {k}: error: {e}"),
+            }
+        }
+        println!(
+            "batch: {} queries in {elapsed:?} ({} pool selection(s), \
+             {} welfare evals, {} cache hits)",
+            answers.len(),
+            stats.pool_selections,
+            stats.welfare_evals,
+            stats.welfare_cache_hits
+        );
+    }
+}
+
 fn main() {
+    // subcommand dispatch: `index build …` / `query-batch …` are the warm
+    // serving paths; bare flags fall through to the classic one-shot solver
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("index") => {
+            let rest = argv[1..].to_vec();
+            if rest.first().map(String::as_str) != Some("build") {
+                die("usage: cwelmax index build --graph EDGES --out INDEX.cwrx [...]");
+            }
+            return cmd_index_build(rest);
+        }
+        Some("query-batch") => return cmd_query_batch(argv[1..].to_vec()),
+        _ => {}
+    }
     let args = parse_args();
     if args.emit_example {
         // the paper's C1 configuration, ready to edit
         let model = configs::two_item_config(TwoItemConfig::C1);
-        println!("{}", serde_json::to_string_pretty(&model).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&model).expect("serializable")
+        );
         return;
     }
-    let graph_path = args.graph.as_deref().unwrap_or_else(|| die("--graph is required"));
-    let config_path = args.config.as_deref().unwrap_or_else(|| die("--config is required"));
+    let graph_path = args
+        .graph
+        .as_deref()
+        .unwrap_or_else(|| die("--graph is required"));
+    let config_path = args
+        .config
+        .as_deref()
+        .unwrap_or_else(|| die("--config is required"));
     if args.budgets.is_empty() {
         die("--budgets is required");
     }
@@ -142,7 +433,11 @@ fn main() {
     let problem = Problem::new(graph, model)
         .with_budgets(args.budgets.clone())
         .with_fixed_allocation(fixed)
-        .with_sim(SimulationConfig { samples: args.samples, threads: 0, base_seed: args.seed })
+        .with_sim(SimulationConfig {
+            samples: args.samples,
+            threads: 0,
+            base_seed: args.seed,
+        })
         .with_imm(ImmParams {
             eps: args.eps,
             ell: 1.0,
@@ -181,14 +476,19 @@ fn main() {
             "total_adopters": report.total_adopters,
             "solve_seconds": solution.elapsed.as_secs_f64(),
         });
-        println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).expect("serializable")
+        );
     } else {
         println!("algorithm: {}", solution.algorithm);
         println!("solve time: {:?}", solution.elapsed);
         println!("welfare (±MC noise): {:.2}", report.welfare);
         for (i, c) in report.adoption_counts.iter().enumerate() {
-            println!("  item {i}: {} seeds, {c:.1} expected adopters",
-                solution.allocation.seeds_of(i).len());
+            println!(
+                "  item {i}: {} seeds, {c:.1} expected adopters",
+                solution.allocation.seeds_of(i).len()
+            );
         }
         println!("allocation: {:?}", solution.allocation.pairs());
     }

@@ -13,7 +13,10 @@
 //! * [`rrset`] — reverse-reachable-set machinery (IMM, PRIMA+, weighted
 //!   RR sets);
 //! * [`core`] — the CWelMax algorithms (SeqGRD, SeqGRD-NM, MaxGRD, SupGRD)
-//!   and all baselines.
+//!   and all baselines;
+//! * [`engine`] — persistent RR-set index (versioned, checksummed
+//!   snapshots) and the multi-campaign query engine that answers many
+//!   allocation queries over one prebuilt index without resampling.
 //!
 //! ```
 //! use cwelmax::prelude::*;
@@ -32,6 +35,7 @@
 
 pub use cwelmax_core as core;
 pub use cwelmax_diffusion as diffusion;
+pub use cwelmax_engine as engine;
 pub use cwelmax_graph as graph;
 pub use cwelmax_rrset as rrset;
 pub use cwelmax_utility as utility;
@@ -40,6 +44,7 @@ pub use cwelmax_utility as utility;
 pub mod prelude {
     pub use cwelmax_core::prelude::*;
     pub use cwelmax_diffusion::{Allocation, WelfareEstimator};
+    pub use cwelmax_engine::{CampaignEngine, CampaignQuery, QueryAlgorithm, RrIndex};
     pub use cwelmax_graph::{Graph, GraphBuilder, ProbabilityModel};
     pub use cwelmax_utility::configs::{self, TwoItemConfig};
     pub use cwelmax_utility::{ItemId, ItemSet, UtilityModel};

@@ -12,15 +12,29 @@ use cwelmax::utility::{NoiseDist, TableValue};
 
 fn exact_sim() -> SimulationConfig {
     // deterministic graphs + noiseless models: one world is the expectation
-    SimulationConfig { samples: 1, threads: 1, base_seed: 0 }
+    SimulationConfig {
+        samples: 1,
+        threads: 1,
+        base_seed: 0,
+    }
 }
 
 fn mc_sim(samples: usize) -> SimulationConfig {
-    SimulationConfig { samples, threads: 0, base_seed: 11 }
+    SimulationConfig {
+        samples,
+        threads: 0,
+        base_seed: 11,
+    }
 }
 
 fn fast_imm() -> ImmParams {
-    ImmParams { eps: 0.4, ell: 1.0, seed: 3, threads: 0, max_rr_sets: 2_000_000 }
+    ImmParams {
+        eps: 0.4,
+        ell: 1.0,
+        seed: 3,
+        threads: 0,
+        max_rr_sets: 2_000_000,
+    }
 }
 
 /// Exhaustive optimum over all feasible allocations with one seed per item
@@ -82,7 +96,12 @@ fn solvers_near_exhaustive_optimum_on_small_deterministic_instance() {
 #[test]
 fn maxgrd_bound_holds_on_small_instance() {
     // MaxGRD guarantees (1/m)(1−1/e−ε)·OPT when SP = ∅
-    let g = generators::erdos_renyi(40, 160, 21, cwelmax::graph::ProbabilityModel::WeightedCascade);
+    let g = generators::erdos_renyi(
+        40,
+        160,
+        21,
+        cwelmax::graph::ProbabilityModel::WeightedCascade,
+    );
     let model = UtilityModel::new(
         TableValue::from_table(2, vec![0.0, 4.0, 4.9, 4.9]),
         vec![3.0, 4.0],
@@ -124,9 +143,8 @@ fn lemmas_4_and_5_welfare_monotone_submodular_in_superior_seeds() {
         .with_budgets(vec![3, 0])
         .with_fixed_allocation(fixed)
         .with_sim(exact_sim());
-    let rho = |seeds: &[u32]| {
-        p.evaluate(&Allocation::from_pairs(seeds.iter().map(|&v| (v, 0usize))))
-    };
+    let rho =
+        |seeds: &[u32]| p.evaluate(&Allocation::from_pairs(seeds.iter().map(|&v| (v, 0usize))));
     let candidates = [0u32, 5, 10, 15, 19];
     // monotone: adding any seed never decreases welfare
     for &x in &candidates {

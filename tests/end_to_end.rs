@@ -10,11 +10,21 @@ use cwelmax::rrset::imm::imm_select;
 use cwelmax::rrset::{ImmParams, StandardRr};
 
 fn fast_sim() -> SimulationConfig {
-    SimulationConfig { samples: 300, threads: 0, base_seed: 99 }
+    SimulationConfig {
+        samples: 300,
+        threads: 0,
+        base_seed: 99,
+    }
 }
 
 fn fast_imm() -> ImmParams {
-    ImmParams { eps: 0.5, ell: 1.0, seed: 31, threads: 0, max_rr_sets: 2_000_000 }
+    ImmParams {
+        eps: 0.5,
+        ell: 1.0,
+        seed: 31,
+        threads: 0,
+        max_rr_sets: 2_000_000,
+    }
 }
 
 fn two_item_problem(cfg: TwoItemConfig, budget: usize) -> Problem {
@@ -87,11 +97,14 @@ fn supgrd_pipeline_on_c6_with_imm_fixed_inferior() {
     let g = Network::NetHept.tiny_spec().generate();
     let top = imm_select(&g, &StandardRr, 10, &fast_imm());
     let fixed = Allocation::from_item_seeds(1, &top.seeds);
-    let p = Problem::new(g, configs::supgrd_config(cwelmax::utility::configs::SupConfig::C6))
-        .with_budgets(vec![10, 0])
-        .with_fixed_allocation(fixed)
-        .with_sim(fast_sim())
-        .with_imm(fast_imm());
+    let p = Problem::new(
+        g,
+        configs::supgrd_config(cwelmax::utility::configs::SupConfig::C6),
+    )
+    .with_budgets(vec![10, 0])
+    .with_fixed_allocation(fixed)
+    .with_sim(fast_sim())
+    .with_imm(fast_imm());
     assert!(SupGrd::check_conditions(&p).is_ok());
     let sup = SupGrd.solve(&p);
     let seq = SeqGrd::new(SeqGrdMode::NoMarginal).solve(&p);

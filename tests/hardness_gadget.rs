@@ -3,11 +3,11 @@
 //! `i1`, the `{i2,i3}` bundle and `i4` plays out exactly as the proof
 //! scripts it.
 
-use cwelmax::prelude::*;
 use cwelmax::diffusion::SimulationConfig;
 use cwelmax::graph::generators::gadget::{
     build_gadget, example_no_instance, example_yes_instance, GadgetInstance, SetCoverInstance,
 };
+use cwelmax::prelude::*;
 
 const COPIES: usize = 60;
 const D_PER_COPY: usize = 60;
@@ -35,7 +35,11 @@ fn gadget_problem(sc: SetCoverInstance) -> GadgetProblem {
         .with_budgets(vec![k, 0, 0, 0])
         .with_fixed_allocation(fixed)
         // deterministic network + noiseless model: one world is exact
-        .with_sim(SimulationConfig { samples: 1, threads: 1, base_seed: 0 });
+        .with_sim(SimulationConfig {
+            samples: 1,
+            threads: 1,
+            base_seed: 0,
+        });
     GadgetProblem { gi, problem }
 }
 
@@ -73,7 +77,10 @@ fn best_s_node_welfare(gp: &GadgetProblem, k: usize) -> f64 {
 
 fn threshold(gp: &GadgetProblem) -> f64 {
     let n_d = (gp.gi.copies * gp.gi.d_per_copy) as f64;
-    C * n_d * gp.problem.model.deterministic_utility(ItemSet::from_items([0, 3]))
+    C * n_d
+        * gp.problem
+            .model
+            .deterministic_utility(ItemSet::from_items([0, 3]))
 }
 
 #[test]
@@ -84,8 +91,15 @@ fn yes_instance_welfare_exceeds_the_gap_threshold() {
     assert!(w > t, "YES welfare {w} must exceed c·N²·U({{i1,i4}}) = {t}");
     // the proof's Claim 2: above N² · U({i1,i4}) outright
     let n_d = (gp.gi.copies * gp.gi.d_per_copy) as f64;
-    let u14 = gp.problem.model.deterministic_utility(ItemSet::from_items([0, 3]));
-    assert!(w > n_d * u14, "YES welfare {w} must exceed N²·U({{i1,i4}}) = {}", n_d * u14);
+    let u14 = gp
+        .problem
+        .model
+        .deterministic_utility(ItemSet::from_items([0, 3]));
+    assert!(
+        w > n_d * u14,
+        "YES welfare {w} must exceed N²·U({{i1,i4}}) = {}",
+        n_d * u14
+    );
 }
 
 #[test]
@@ -110,9 +124,17 @@ fn yes_instance_d_nodes_adopt_i1_and_i4() {
     let report = gp.problem.evaluate_report(&alloc);
     let n_d = (gp.gi.copies * gp.gi.d_per_copy) as f64;
     // every d node adopts i1 (plus g, f nodes and the seeds)
-    assert!(report.adoption_counts[0] >= n_d, "i1 adoptions {}", report.adoption_counts[0]);
+    assert!(
+        report.adoption_counts[0] >= n_d,
+        "i1 adoptions {}",
+        report.adoption_counts[0]
+    );
     // every d node and the l/m/o chains and j seeds adopt i4
-    assert!(report.adoption_counts[3] >= n_d, "i4 adoptions {}", report.adoption_counts[3]);
+    assert!(
+        report.adoption_counts[3] >= n_d,
+        "i4 adoptions {}",
+        report.adoption_counts[3]
+    );
 }
 
 #[test]
@@ -130,8 +152,8 @@ fn no_instance_bundle_blocks_i4_on_d_nodes() {
         report.adoption_counts[2]
     );
     // i4 is confined to the j/l/m/o side structure: 4 · n · copies + n seeds
-    let side = (4 * gp.gi.set_cover_elements() * gp.gi.copies) as f64
-        + gp.gi.set_cover_elements() as f64;
+    let side =
+        (4 * gp.gi.set_cover_elements() * gp.gi.copies) as f64 + gp.gi.set_cover_elements() as f64;
     assert!(
         report.adoption_counts[3] <= side,
         "i4 adoptions {} must stay on the side chains (≤ {side})",

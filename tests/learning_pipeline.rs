@@ -27,24 +27,30 @@ fn learned_utilities_reproduce_ground_truth_allocation() {
     let learned = learn::estimate_from_logs(4, &logs, total_mass);
 
     // learned singleton utilities stay close to the ground truth
-    let true_singles: Vec<f64> =
-        (0..4).map(|g| truth.utility(ItemSet::singleton(g))).collect();
-    let learned_singles: Vec<f64> =
-        (0..4).map(|g| learned.utility(ItemSet::singleton(g))).collect();
+    let true_singles: Vec<f64> = (0..4)
+        .map(|g| truth.utility(ItemSet::singleton(g)))
+        .collect();
+    let learned_singles: Vec<f64> = (0..4)
+        .map(|g| learned.utility(ItemSet::singleton(g)))
+        .collect();
     for (t, l) in true_singles.iter().zip(&learned_singles) {
         assert!((t - l).abs() < 0.1, "learned utility drifted: {l} vs {t}");
     }
 
     // and they induce the *same seed allocation*
-    let g = preferential_attachment_simple(
-        1500,
-        3,
-        true,
-        42,
-        ProbabilityModel::WeightedCascade,
-    );
-    let sim = SimulationConfig { samples: 200, threads: 0, base_seed: 5 };
-    let imm = ImmParams { eps: 0.5, ell: 1.0, seed: 9, threads: 0, max_rr_sets: 1_000_000 };
+    let g = preferential_attachment_simple(1500, 3, true, 42, ProbabilityModel::WeightedCascade);
+    let sim = SimulationConfig {
+        samples: 200,
+        threads: 0,
+        base_seed: 5,
+    };
+    let imm = ImmParams {
+        eps: 0.5,
+        ell: 1.0,
+        seed: 9,
+        threads: 0,
+        max_rr_sets: 1_000_000,
+    };
     let solve = |singles: &[f64]| {
         let p = Problem::new(g.clone(), configs::lastfm_from_singles(singles))
             .with_uniform_budget(5)
@@ -69,7 +75,9 @@ fn learning_is_robust_to_log_volume() {
         let mut rng = SmallRng::seed_from_u64(seed);
         let logs = learn::generate_logs(&truth, n_logs, &mut rng);
         let learned = learn::estimate_from_logs(4, &logs, total_mass);
-        let us: Vec<f64> = (0..4).map(|i| learned.utility(ItemSet::singleton(i))).collect();
+        let us: Vec<f64> = (0..4)
+            .map(|i| learned.utility(ItemSet::singleton(i)))
+            .collect();
         assert!(
             us[0] > us[2] && us[1] > us[2] && us[2] > us[3],
             "order broken at {n_logs} logs: {us:?}"

@@ -77,12 +77,11 @@ proptest! {
 // ---------- best-response invariants ----------------------------------------
 
 fn arb_world(m: usize) -> impl Strategy<Value = NoiseWorld> {
-    proptest::collection::vec(-10.0f64..10.0, (1 << m) - 1)
-        .prop_map(move |mut tail| {
-            let mut utils = vec![0.0];
-            utils.append(&mut tail);
-            NoiseWorld::new(m, utils)
-        })
+    proptest::collection::vec(-10.0f64..10.0, (1 << m) - 1).prop_map(move |mut tail| {
+        let mut utils = vec![0.0];
+        utils.append(&mut tail);
+        NoiseWorld::new(m, utils)
+    })
 }
 
 proptest! {

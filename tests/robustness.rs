@@ -11,11 +11,21 @@ use cwelmax::rrset::ImmParams;
 use cwelmax::utility::{NoiseDist, TableValue};
 
 fn tiny_sim() -> SimulationConfig {
-    SimulationConfig { samples: 20, threads: 1, base_seed: 1 }
+    SimulationConfig {
+        samples: 20,
+        threads: 1,
+        base_seed: 1,
+    }
 }
 
 fn tiny_imm() -> ImmParams {
-    ImmParams { eps: 0.7, ell: 1.0, seed: 1, threads: 1, max_rr_sets: 200_000 }
+    ImmParams {
+        eps: 0.7,
+        ell: 1.0,
+        seed: 1,
+        threads: 1,
+        max_rr_sets: 200_000,
+    }
 }
 
 fn solvers() -> Vec<Box<dyn CwelMaxAlgorithm>> {
@@ -116,7 +126,11 @@ fn everything_fixed_nothing_to_do() {
     // both items appear in SP → I2 = ∅ → all solvers return empty
     for s in solvers() {
         let sol = s.solve(&p);
-        assert!(sol.allocation.is_empty(), "{} should return empty", s.name());
+        assert!(
+            sol.allocation.is_empty(),
+            "{} should return empty",
+            s.name()
+        );
     }
 }
 

@@ -2,9 +2,9 @@
 //! submodular, nor supermodular — verified end to end on the exact Fig. 1(a)
 //! configuration through the public facade API.
 
-use cwelmax::prelude::*;
 use cwelmax::diffusion::SimulationConfig;
 use cwelmax::graph::generators;
+use cwelmax::prelude::*;
 
 fn rho(problem: &Problem, pairs: &[(u32, usize)]) -> f64 {
     problem.evaluate(&Allocation::from_pairs(pairs.iter().copied()))
@@ -17,7 +17,11 @@ fn theorem1_problem() -> Problem {
     )
     // the configuration is noiseless and the graph deterministic: a single
     // world gives the exact expectation
-    .with_sim(SimulationConfig { samples: 1, threads: 1, base_seed: 0 })
+    .with_sim(SimulationConfig {
+        samples: 1,
+        threads: 1,
+        base_seed: 0,
+    })
 }
 
 #[test]
@@ -27,7 +31,10 @@ fn welfare_is_not_monotone() {
     let s2 = rho(&p, &[(0, 0), (1, 1)]);
     assert!((s1 - 8.0).abs() < 1e-9, "ρ(S1) = {s1}");
     assert!((s2 - 7.0).abs() < 1e-9, "ρ(S2) = {s2}");
-    assert!(s2 < s1, "adding a seed pair must be able to DECREASE welfare");
+    assert!(
+        s2 < s1,
+        "adding a seed pair must be able to DECREASE welfare"
+    );
 }
 
 #[test]
