@@ -1,0 +1,72 @@
+//! Wire-level serving cost: what a client pays per query against
+//! `cwelmax serve` over loopback TCP, versus the bare in-process engine
+//! call. The gap is the protocol tax (JSON parse/emit + syscalls +
+//! loopback RTT) — it bounds how much the NDJSON framing costs relative
+//! to the ~µs warm query it wraps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cwelmax_bench::{network, Scale};
+use cwelmax_diffusion::SimulationConfig;
+use cwelmax_engine::{CampaignEngine, CampaignQuery, QueryAlgorithm, RrIndex};
+use cwelmax_graph::generators::benchmark::Network;
+use cwelmax_server::CampaignServer;
+use cwelmax_utility::configs::{self, TwoItemConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+// `seed` must equal the in-process query's base_seed (0x5EED = 24301) so
+// both bench arms share one welfare-cache key
+const QUERY_LINE: &[u8] =
+    b"{\"config\": \"C1\", \"budgets\": [5, 5], \"algorithm\": \"seqgrd-nm\", \"samples\": 200, \"seed\": 24301}\n";
+
+fn bench(c: &mut Criterion) {
+    let graph = network(Network::NetHept, Scale::Quick);
+    let index = Arc::new(RrIndex::build(&graph, 10, &Scale::Quick.imm()));
+    let engine = Arc::new(CampaignEngine::new(graph, index).unwrap());
+
+    let server = CampaignServer::bind(engine.clone(), "127.0.0.1:0").unwrap();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().unwrap());
+
+    let stream = TcpStream::connect(handle.local_addr()).unwrap();
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    // match the wire query exactly so the warm path is cache-hot
+    let query = CampaignQuery {
+        model: configs::two_item_config(TwoItemConfig::C1),
+        budgets: vec![5, 5],
+        algorithm: QueryAlgorithm::SeqGrdNm,
+        sim: SimulationConfig {
+            samples: 200,
+            threads: 1,
+            base_seed: 0x5EED,
+        },
+    };
+    engine.query(&query).unwrap(); // pay the one-time pool selection
+
+    let mut group = c.benchmark_group("server_roundtrip");
+    group.sample_size(10);
+    group.bench_function("warm_engine_query_in_process", |b| {
+        b.iter(|| engine.query(&query).unwrap())
+    });
+    group.bench_function("warm_query_over_loopback_tcp", |b| {
+        b.iter(|| {
+            writer.write_all(QUERY_LINE).unwrap();
+            writer.flush().unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.contains("\"ok\":true"), "{line}");
+            line
+        })
+    });
+    group.finish();
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -102,8 +102,7 @@ impl PartialOrd for Cand {
 impl Ord for Cand {
     fn cmp(&self, other: &Self) -> Ordering {
         self.gain
-            .partial_cmp(&other.gain)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&other.gain)
             .then_with(|| other.node.cmp(&self.node))
             .then_with(|| other.item.cmp(&self.item))
     }

@@ -43,7 +43,7 @@ impl FairnessReport {
         // Gini over the (non-negative) counts
         let gini = if total > 0.0 && m > 1 {
             let mut sorted = counts.to_vec();
-            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted.sort_by(f64::total_cmp);
             let weighted: f64 = sorted
                 .iter()
                 .enumerate()

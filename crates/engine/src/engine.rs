@@ -22,6 +22,7 @@
 
 use crate::error::EngineError;
 use crate::index::{graph_fingerprint, RrIndex};
+use crate::lru::LruCache;
 use crate::query::{CampaignAnswer, CampaignQuery, QueryAlgorithm};
 use crate::snapshot;
 use cwelmax_core::{MaxGrd, Problem, SeqGrd};
@@ -29,7 +30,6 @@ use cwelmax_diffusion::{Allocation, WelfareEstimator};
 use cwelmax_graph::{Graph, NodeId};
 use serde::{Serialize, Value};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -56,17 +56,18 @@ pub struct CampaignEngine {
     /// first use, prefixes serve every query.
     pool: OnceLock<Vec<NodeId>>,
     /// Welfare cache: `(model, allocation, sim)` fingerprint → estimate.
-    /// Bounded: cleared wholesale when it exceeds `CACHE_CAP` entries.
-    cache: Mutex<HashMap<u64, f64>>,
+    /// Bounded LRU — hot keys survive sustained mixed traffic instead of
+    /// being dropped wholesale when the cache fills.
+    cache: Mutex<LruCache<u64, f64>>,
     queries: AtomicU64,
     pool_selections: AtomicU64,
     welfare_evals: AtomicU64,
     welfare_cache_hits: AtomicU64,
 }
 
-/// Welfare-cache capacity (entries). Evaluations are a few KB of key space
-/// at most; wholesale clearing keeps the implementation obviously correct.
-const CACHE_CAP: usize = 4096;
+/// Default welfare-cache capacity (entries); override with
+/// [`CampaignEngine::with_cache_capacity`].
+pub const DEFAULT_CACHE_CAP: usize = 4096;
 
 impl CampaignEngine {
     /// Bind a graph and an index. Fails if the index was built for a
@@ -82,12 +83,19 @@ impl CampaignEngine {
             graph,
             index,
             pool: OnceLock::new(),
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(LruCache::new(DEFAULT_CACHE_CAP)),
             queries: AtomicU64::new(0),
             pool_selections: AtomicU64::new(0),
             welfare_evals: AtomicU64::new(0),
             welfare_cache_hits: AtomicU64::new(0),
         })
+    }
+
+    /// Resize the welfare cache (entries; clamped to ≥ 1). Existing cached
+    /// evaluations are dropped — intended for construction time.
+    pub fn with_cache_capacity(self, cap: usize) -> CampaignEngine {
+        *self.cache.lock().unwrap() = LruCache::new(cap);
+        self
     }
 
     /// Convenience: load the index from a snapshot file and bind it.
@@ -254,11 +262,7 @@ impl CampaignEngine {
         }
         let est = WelfareEstimator::new(&self.graph, &problem.model, problem.sim);
         let w = est.welfare(alloc);
-        let mut cache = self.cache.lock().unwrap();
-        if cache.len() >= CACHE_CAP {
-            cache.clear();
-        }
-        cache.insert(key, w);
+        self.cache.lock().unwrap().insert(key, w);
         w
     }
 }
@@ -393,6 +397,35 @@ mod tests {
         let s = e.stats();
         assert_eq!(s.welfare_evals, 2);
         assert_eq!(s.welfare_cache_hits, 1);
+    }
+
+    #[test]
+    fn hot_key_survives_welfare_cache_eviction_cycle() {
+        // regression for the old wholesale-clearing cache: once the cache
+        // filled, *every* entry was dropped — including the hot key — so
+        // sustained mixed traffic periodically lost its working set. With
+        // the LRU, an entry touched between insertions must never be
+        // evicted.
+        let e = engine(80, 320, 13, 6).with_cache_capacity(4);
+        let hot = query(QueryAlgorithm::SeqGrdNm, TwoItemConfig::C1, 2);
+        e.query(&hot).unwrap(); // populate the hot entry
+        let mut expected_hits = 0;
+        for seed in 0..12u64 {
+            // distinct cold entry (different sim seed → different cache key)
+            let mut cold = query(QueryAlgorithm::SeqGrdNm, TwoItemConfig::C2, 2);
+            cold.sim.base_seed = 0xC01D + seed;
+            e.query(&cold).unwrap();
+            // the hot query must still be served from cache, even though
+            // cold traffic has cycled the 4-entry cache multiple times over
+            e.query(&hot).unwrap();
+            expected_hits += 1;
+            assert_eq!(
+                e.stats().welfare_cache_hits,
+                expected_hits,
+                "hot key evicted after {} cold inserts",
+                seed + 1
+            );
+        }
     }
 
     #[test]

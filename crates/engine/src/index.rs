@@ -20,7 +20,7 @@
 
 use crate::error::EngineError;
 use cwelmax_graph::{Graph, NodeId};
-use cwelmax_rrset::collection::GreedySelection;
+use cwelmax_rrset::collection::{greedy_argmax, GreedySelection};
 use cwelmax_rrset::{sampled_collection, ImmParams, RrCollection, StandardRr};
 
 /// Build-time metadata carried by an index (and persisted in snapshots).
@@ -235,13 +235,7 @@ impl RrIndex {
         let mut coverage = Vec::with_capacity(b);
         let mut total = 0.0;
         for _ in 0..b.min(self.num_nodes) {
-            // argmax over gains (ties -> smaller id for determinism,
-            // matching RrCollection::greedy_select)
-            let (best, &best_gain) = match gain
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(&a.0)))
-            {
+            let (best, best_gain) = match greedy_argmax(&gain) {
                 Some(x) => x,
                 None => break,
             };

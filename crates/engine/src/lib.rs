@@ -52,10 +52,13 @@ pub mod codec;
 pub mod engine;
 pub mod error;
 pub mod index;
+pub mod lru;
 pub mod query;
 pub mod snapshot;
+pub mod wire;
 
 pub use engine::{model_fingerprint, CampaignEngine, EngineStats};
 pub use error::EngineError;
 pub use index::{graph_fingerprint, IndexMeta, RrIndex};
+pub use lru::LruCache;
 pub use query::{CampaignAnswer, CampaignQuery, QueryAlgorithm};

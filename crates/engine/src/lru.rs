@@ -1,0 +1,232 @@
+//! A small O(1) LRU cache for the engine's welfare-evaluation memo.
+//!
+//! The first engine shipped with a bounded `HashMap` that was **cleared
+//! wholesale** when it filled — obviously correct, but under sustained
+//! mixed traffic every overflow threw away the hot working set along with
+//! the cold tail, and hit rates collapsed periodically. This replaces it
+//! with a real least-recently-used cache: a `HashMap` from key to slot
+//! plus an intrusive doubly-linked recency list over a slot arena, so
+//! `get`, `insert`, and eviction are all O(1) with no per-entry heap
+//! allocation beyond the arena slot.
+//!
+//! Std-only by design (the workspace has no crates.io access); generic so
+//! the server layer can reuse it, though the engine instantiates it as
+//! `LruCache<u64, f64>`.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Sentinel slot index ("null" link).
+const NIL: usize = usize::MAX;
+
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    /// Toward the more recently used end.
+    prev: usize,
+    /// Toward the less recently used end.
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used map. `get` counts as a use;
+/// [`LruCache::peek`] does not. Inserting into a full cache evicts the
+/// least recently used entry and returns it.
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    /// Most recently used slot (NIL when empty).
+    head: usize,
+    /// Least recently used slot (NIL when empty).
+    tail: usize,
+    cap: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// A cache holding at most `cap` entries (`cap` is clamped to ≥ 1).
+    pub fn new(cap: usize) -> LruCache<K, V> {
+        let cap = cap.max(1);
+        LruCache {
+            map: HashMap::with_capacity(cap.min(1 << 20)),
+            slots: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            cap,
+        }
+    }
+
+    /// Maximum entry count.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Look up `key` and mark it most recently used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let i = *self.map.get(key)?;
+        self.unlink(i);
+        self.push_front(i);
+        Some(&self.slots[i].value)
+    }
+
+    /// Look up `key` **without** touching recency (diagnostics/tests).
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|&i| &self.slots[i].value)
+    }
+
+    /// Insert (or update) `key → value`, marking it most recently used.
+    /// Returns the evicted least-recently-used entry when the insert
+    /// overflowed capacity.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&i) = self.map.get(&key) {
+            self.slots[i].value = value;
+            self.unlink(i);
+            self.push_front(i);
+            return None;
+        }
+        if self.map.len() >= self.cap {
+            // full: recycle the LRU slot in place for the new entry
+            let lru = self.tail;
+            self.unlink(lru);
+            let old_key = std::mem::replace(&mut self.slots[lru].key, key.clone());
+            let old_value = std::mem::replace(&mut self.slots[lru].value, value);
+            self.map.remove(&old_key);
+            self.map.insert(key, lru);
+            self.push_front(lru);
+            return Some((old_key, old_value));
+        }
+        let slot = Slot {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        self.slots.push(slot);
+        let i = self.slots.len() - 1;
+        self.map.insert(key, i);
+        self.push_front(i);
+        None
+    }
+
+    /// Drop every entry (capacity unchanged).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Detach slot `i` from the recency list.
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next].prev = prev;
+        }
+        self.slots[i].prev = NIL;
+        self.slots[i].next = NIL;
+    }
+
+    /// Attach slot `i` at the most-recently-used end.
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut c: LruCache<u64, &'static str> = LruCache::new(4);
+        assert!(c.is_empty());
+        assert_eq!(c.insert(1, "a"), None);
+        assert_eq!(c.insert(2, "b"), None);
+        assert_eq!(c.get(&1), Some(&"a"));
+        assert_eq!(c.get(&3), None);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: LruCache<u64, u64> = LruCache::new(3);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(3, 30);
+        // touch 1 so 2 becomes the LRU
+        assert_eq!(c.get(&1), Some(&10));
+        assert_eq!(c.insert(4, 40), Some((2, 20)));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.peek(&2), None);
+        assert_eq!(c.peek(&1), Some(&10));
+        assert_eq!(c.peek(&3), Some(&30));
+        assert_eq!(c.peek(&4), Some(&40));
+    }
+
+    #[test]
+    fn hot_key_survives_sustained_churn() {
+        // the regression the engine cares about: a key touched between
+        // inserts must never be evicted, no matter how much cold traffic
+        // flows through
+        let mut c: LruCache<u64, u64> = LruCache::new(8);
+        c.insert(0, 0);
+        for k in 1..1000u64 {
+            c.insert(k, k);
+            assert_eq!(c.get(&0), Some(&0), "hot key evicted at churn step {k}");
+            assert!(c.len() <= 8);
+        }
+    }
+
+    #[test]
+    fn update_refreshes_recency_and_value() {
+        let mut c: LruCache<u64, u64> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.insert(1, 11), None); // update, not insert
+        assert_eq!(c.insert(3, 30), Some((2, 20))); // 2 was LRU after the update
+        assert_eq!(c.peek(&1), Some(&11));
+    }
+
+    #[test]
+    fn capacity_one_behaves() {
+        let mut c: LruCache<u64, u64> = LruCache::new(0); // clamped to 1
+        assert_eq!(c.capacity(), 1);
+        assert_eq!(c.insert(1, 10), None);
+        assert_eq!(c.insert(2, 20), Some((1, 10)));
+        assert_eq!(c.get(&2), Some(&20));
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_promote() {
+        let mut c: LruCache<u64, u64> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.peek(&1), Some(&10)); // no promotion
+        assert_eq!(c.insert(3, 30), Some((1, 10))); // 1 still LRU
+    }
+}

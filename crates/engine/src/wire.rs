@@ -1,0 +1,270 @@
+//! The engine's JSON wire format, shared by the `query-batch` CLI path and
+//! the `cwelmax-server` TCP front-end.
+//!
+//! One campaign query is one JSON object:
+//!
+//! ```json
+//! {"config": "C1", "budgets": [5, 5], "algorithm": "seqgrd-nm",
+//!  "samples": 1000, "seed": 7}
+//! ```
+//!
+//! * `config` — a named paper configuration (`"C1"`–`"C4"`) or an inline
+//!   JSON utility model (required);
+//! * `budgets` — per-item seed budgets (required);
+//! * `algorithm` — `seqgrd-nm | seqgrd | maxgrd | best-of`
+//!   (default `seqgrd-nm`);
+//! * `samples` / `seed` — Monte-Carlo settings (defaults 1000 / `0x5EED`).
+//!
+//! The server speaks newline-delimited JSON: one request object per line,
+//! one response object per line. A request is either a bare query object
+//! (as above) or an envelope with a `type` field — `"query"` (the
+//! default), `"stats"`, or `"shutdown"` — plus an optional `id` the
+//! response echoes back, so pipelined clients can match answers:
+//!
+//! ```json
+//! {"type": "query", "id": 7, "config": "C2", "budgets": [3, 3]}
+//! {"type": "stats"}
+//! ```
+//!
+//! Every response carries `"ok": true | false`; errors add an `"error"`
+//! string and never terminate the connection or the process. All parsing
+//! here returns `Result` — `die()`-style exits belong to the CLI alone.
+
+use crate::engine::EngineStats;
+use crate::query::{CampaignAnswer, CampaignQuery, QueryAlgorithm};
+use cwelmax_diffusion::SimulationConfig;
+use cwelmax_utility::configs::{self, TwoItemConfig};
+use cwelmax_utility::UtilityModel;
+use serde::{Deserialize, Map, Serialize, Value};
+
+/// Default Monte-Carlo sample count for wire queries.
+pub const DEFAULT_SAMPLES: usize = 1000;
+/// Default Monte-Carlo base seed for wire queries.
+pub const DEFAULT_SEED: u64 = 0x5EED;
+
+/// A parsed server request: the payload plus the optional `id` echoed in
+/// the response.
+#[derive(Debug, Clone)]
+pub struct WireRequest {
+    /// Client-chosen correlation id (echoed back verbatim).
+    pub id: Option<Value>,
+    /// What the client asked for.
+    pub kind: RequestKind,
+}
+
+/// The request payload variants the wire protocol knows.
+#[derive(Debug, Clone)]
+pub enum RequestKind {
+    /// Answer one campaign query.
+    Query(Box<CampaignQuery>),
+    /// Report request/latency counters and engine statistics.
+    Stats,
+    /// Gracefully stop the server.
+    Shutdown,
+}
+
+/// Parse one campaign query object (see the module docs for the shape).
+pub fn parse_query(v: &Value) -> Result<CampaignQuery, String> {
+    let obj = v
+        .as_object()
+        .ok_or_else(|| format!("expected a JSON object, got {}", v.kind()))?;
+    let model: UtilityModel = match obj.get("config") {
+        Some(cfg) => match cfg.as_str() {
+            Some("C1") => configs::two_item_config(TwoItemConfig::C1),
+            Some("C2") => configs::two_item_config(TwoItemConfig::C2),
+            Some("C3") => configs::two_item_config(TwoItemConfig::C3),
+            Some("C4") => configs::two_item_config(TwoItemConfig::C4),
+            Some(other) => return Err(format!("unknown named config `{other}`")),
+            None => Deserialize::from_value(cfg).map_err(|e| format!("bad inline config: {e}"))?,
+        },
+        None => return Err("`config` is required".into()),
+    };
+    let budgets: Vec<usize> = match obj.get("budgets") {
+        Some(b) => Deserialize::from_value(b).map_err(|e| format!("bad budgets: {e}"))?,
+        None => return Err("`budgets` is required".into()),
+    };
+    let algorithm = match obj.get("algorithm") {
+        Some(a) => {
+            let name = a
+                .as_str()
+                .ok_or_else(|| format!("algorithm must be a string, got {}", a.kind()))?;
+            QueryAlgorithm::parse(name).ok_or_else(|| format!("unknown algorithm `{name}`"))?
+        }
+        None => QueryAlgorithm::SeqGrdNm,
+    };
+    let samples: usize = match obj.get("samples") {
+        Some(s) => Deserialize::from_value(s).map_err(|e| format!("bad samples: {e}"))?,
+        None => DEFAULT_SAMPLES,
+    };
+    let seed: u64 = match obj.get("seed") {
+        Some(s) => Deserialize::from_value(s).map_err(|e| format!("bad seed: {e}"))?,
+        None => DEFAULT_SEED,
+    };
+    Ok(CampaignQuery {
+        model,
+        budgets,
+        algorithm,
+        sim: SimulationConfig {
+            samples,
+            threads: 1,
+            base_seed: seed,
+        },
+    })
+}
+
+/// Parse one request line (newline-delimited JSON). Malformed input comes
+/// back as `Err(message)` — callers answer with [`error_response`] and
+/// keep the connection alive.
+pub fn parse_request_line(line: &str) -> Result<WireRequest, String> {
+    let v: Value = serde_json::from_str(line).map_err(|e| format!("bad request JSON: {e}"))?;
+    parse_request(&v)
+}
+
+/// Parse one request value (envelope or bare query object).
+pub fn parse_request(v: &Value) -> Result<WireRequest, String> {
+    let obj = v
+        .as_object()
+        .ok_or_else(|| format!("expected a JSON object, got {}", v.kind()))?;
+    let id = obj.get("id").cloned();
+    let kind = match obj.get("type").map(|t| t.as_str()) {
+        // bare query objects need no envelope
+        None | Some(Some("query")) => RequestKind::Query(Box::new(parse_query(v)?)),
+        Some(Some("stats")) => RequestKind::Stats,
+        Some(Some("shutdown")) => RequestKind::Shutdown,
+        Some(Some(other)) => return Err(format!("unknown request type `{other}`")),
+        Some(None) => return Err("request `type` must be a string".into()),
+    };
+    Ok(WireRequest { id, kind })
+}
+
+/// Response object for a successfully answered query.
+pub fn answer_response(a: &CampaignAnswer) -> Value {
+    let mut m = Map::new();
+    m.insert("ok".into(), Value::Bool(true));
+    m.insert("algorithm".into(), a.algorithm.to_value());
+    m.insert("allocation".into(), a.allocation.pairs().to_value());
+    m.insert("welfare".into(), a.welfare.to_value());
+    m.insert("elapsed_seconds".into(), a.elapsed.as_secs_f64().to_value());
+    Value::Object(m)
+}
+
+/// Response object for any failed request. The message is the payload —
+/// the connection (and process) stay up.
+pub fn error_response(msg: &str) -> Value {
+    let mut m = Map::new();
+    m.insert("ok".into(), Value::Bool(false));
+    m.insert("error".into(), Value::String(msg.into()));
+    Value::Object(m)
+}
+
+/// Engine counters as a JSON object (embedded in stats responses and the
+/// `query-batch` summary).
+pub fn engine_stats_value(s: &EngineStats) -> Value {
+    let mut m = Map::new();
+    m.insert("queries".into(), s.queries.to_value());
+    m.insert("pool_selections".into(), s.pool_selections.to_value());
+    m.insert("welfare_evals".into(), s.welfare_evals.to_value());
+    m.insert("welfare_cache_hits".into(), s.welfare_cache_hits.to_value());
+    Value::Object(m)
+}
+
+/// Attach the request's echoed `id` (when present) to a response object.
+pub fn with_id(mut response: Value, id: Option<&Value>) -> Value {
+    if let (Value::Object(m), Some(id)) = (&mut response, id) {
+        m.insert("id".into(), id.clone());
+    }
+    response
+}
+
+/// Serialize a response to one compact wire line (no trailing newline).
+pub fn to_line(response: &Value) -> String {
+    serde_json::to_string(response).expect("wire values are serializable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_and_full_queries() {
+        let q = parse_request_line(r#"{"config": "C1", "budgets": [2, 3]}"#).unwrap();
+        assert!(q.id.is_none());
+        match q.kind {
+            RequestKind::Query(q) => {
+                assert_eq!(q.budgets, vec![2, 3]);
+                assert_eq!(q.algorithm, QueryAlgorithm::SeqGrdNm);
+                assert_eq!(q.sim.samples, DEFAULT_SAMPLES);
+                assert_eq!(q.sim.base_seed, DEFAULT_SEED);
+            }
+            other => panic!("expected query, got {other:?}"),
+        }
+        let q = parse_request_line(
+            r#"{"type": "query", "id": 9, "config": "C2", "budgets": [1, 1],
+                "algorithm": "maxgrd", "samples": 50, "seed": 3}"#,
+        )
+        .unwrap();
+        assert_eq!(q.id, Some(Value::Int(9)));
+        match q.kind {
+            RequestKind::Query(q) => {
+                assert_eq!(q.algorithm, QueryAlgorithm::MaxGrd);
+                assert_eq!(q.sim.samples, 50);
+                assert_eq!(q.sim.base_seed, 3);
+            }
+            other => panic!("expected query, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_inline_config() {
+        let model = configs::two_item_config(TwoItemConfig::C3);
+        let inline = serde_json::to_string(&model).unwrap();
+        let line = format!(r#"{{"config": {inline}, "budgets": [2, 2]}}"#);
+        match parse_request_line(&line).unwrap().kind {
+            RequestKind::Query(q) => assert_eq!(q.model.num_items(), model.num_items()),
+            other => panic!("expected query, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_control_requests() {
+        assert!(matches!(
+            parse_request_line(r#"{"type": "stats"}"#).unwrap().kind,
+            RequestKind::Stats
+        ));
+        assert!(matches!(
+            parse_request_line(r#"{"type": "shutdown", "id": "bye"}"#)
+                .unwrap()
+                .kind,
+            RequestKind::Shutdown
+        ));
+    }
+
+    #[test]
+    fn bad_requests_are_errors_not_panics() {
+        for bad in [
+            "not json at all",
+            "[1, 2, 3]",
+            r#"{"type": "frobnicate"}"#,
+            r#"{"budgets": [1, 1]}"#,
+            r#"{"config": "C9", "budgets": [1, 1]}"#,
+            r#"{"config": "C1"}"#,
+            r#"{"config": "C1", "budgets": [1, 1], "algorithm": "quantum"}"#,
+            r#"{"config": "C1", "budgets": "many"}"#,
+            r#"{"config": "C1", "budgets": [1, 1], "samples": "lots"}"#,
+        ] {
+            assert!(parse_request_line(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn responses_are_single_lines_with_ids() {
+        let err = with_id(error_response("boom"), Some(&Value::Int(4)));
+        let line = to_line(&err);
+        assert!(!line.contains('\n'));
+        assert!(line.contains("\"ok\":false"));
+        assert!(line.contains("\"id\":4"));
+        // id attachment is a no-op when the request carried none
+        let plain = to_line(&with_id(error_response("x"), None));
+        assert!(!plain.contains("\"id\""));
+    }
+}

@@ -224,12 +224,7 @@ impl RrCollection {
         let mut coverage = Vec::with_capacity(b);
         let mut total = 0.0;
         for _ in 0..b.min(self.num_nodes) {
-            // argmax over gains (ties -> smaller id for determinism)
-            let (best, &best_gain) = match gain
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(&a.0)))
-            {
+            let (best, best_gain) = match greedy_argmax(&gain) {
                 Some(x) => x,
                 None => break,
             };
@@ -262,6 +257,19 @@ impl RrCollection {
             self.num_nodes as f64 * covered_weight / self.num_sampled as f64
         }
     }
+}
+
+/// Deterministic argmax over per-node greedy gains, shared by
+/// [`RrCollection::greedy_select`] and the frozen-index selection in
+/// `cwelmax-engine`: NaN-safe ([`f64::total_cmp`] gives a total order, so
+/// a poisoned gain sorts deterministically instead of panicking the whole
+/// query), ties broken toward the **smaller** node id. Returns `None` only
+/// for an empty slice.
+pub fn greedy_argmax(gain: &[f64]) -> Option<(usize, f64)> {
+    gain.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(v, &g)| (v, g))
 }
 
 /// Result of greedy node selection.
@@ -393,6 +401,20 @@ mod tests {
         assert_eq!(sel.seeds.len(), 2);
         assert_eq!(sel.seeds[0], 0);
         assert_eq!(sel.seeds[1], 1);
+    }
+
+    #[test]
+    fn greedy_argmax_is_nan_safe_and_tie_breaks_low() {
+        // plain max with deterministic tie-break toward the smaller index
+        assert_eq!(greedy_argmax(&[1.0, 3.0, 3.0, 2.0]), Some((1, 3.0)));
+        assert_eq!(greedy_argmax(&[]), None);
+        // a NaN gain must not panic the selection (the old
+        // `partial_cmp(..).unwrap()` did); total_cmp keeps a total order
+        let (i, g) = greedy_argmax(&[0.5, f64::NAN, 2.0]).unwrap();
+        assert!(i < 3);
+        assert!(g.is_nan() || g == 2.0);
+        // all-NaN still yields a deterministic pick instead of a panic
+        assert_eq!(greedy_argmax(&[f64::NAN, f64::NAN]).unwrap().0, 0);
     }
 
     #[test]

@@ -28,6 +28,6 @@ pub mod imm;
 pub mod prima;
 pub mod sampler;
 
-pub use collection::RrCollection;
+pub use collection::{greedy_argmax, RrCollection};
 pub use imm::{sampled_collection, select_from_collection, ImmParams, ImmResult};
 pub use sampler::{MarginalRr, RrSampler, StandardRr, WeightedRr};

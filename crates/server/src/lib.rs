@@ -1,0 +1,328 @@
+//! # cwelmax-server
+//!
+//! A long-lived TCP front-end over one [`CampaignEngine`]: bind the graph
+//! and RR-set index **once**, then answer campaign queries from many
+//! concurrent connections — the serving shape the engine was built for
+//! (`query-batch` re-loads both on every invocation, throwing away exactly
+//! the amortization the index exists to provide).
+//!
+//! The protocol is newline-delimited JSON (`engine::wire`): one request
+//! object per line, one response object per line, std-only — no HTTP
+//! stack, no external dependencies. Three request types:
+//!
+//! * a campaign query (bare object or `{"type": "query", ...}`) — answered
+//!   with the allocation, welfare, and latency;
+//! * `{"type": "stats"}` — server request/latency counters plus engine
+//!   counters (pool selections, welfare-cache hits, …);
+//! * `{"type": "shutdown"}` — graceful stop: in-flight requests finish,
+//!   open connections are closed, `run()` returns.
+//!
+//! Threading model: one acceptor thread (the caller of
+//! [`CampaignServer::run`]) plus one thread per connection, all borrowing
+//! the shared engine — `CampaignEngine` is `&self`-queryable by
+//! construction (immutable index + atomics + mutexed LRU cache), so no
+//! request ever blocks another except on the welfare-cache mutex.
+//! Malformed input of any kind is answered with a JSON error line; it
+//! never terminates the connection, let alone the process.
+//!
+//! ```no_run
+//! use cwelmax_engine::CampaignEngine;
+//! use cwelmax_server::CampaignServer;
+//! use std::sync::Arc;
+//!
+//! # fn demo(engine: CampaignEngine) -> std::io::Result<()> {
+//! let server = CampaignServer::bind(Arc::new(engine), "127.0.0.1:7878")?;
+//! println!("serving on {}", server.local_addr());
+//! let handle = server.handle(); // shut down from another thread
+//! server.run()?;               // blocks until shutdown
+//! # let _ = handle; Ok(())
+//! # }
+//! ```
+
+use cwelmax_engine::wire::{self, RequestKind};
+use cwelmax_engine::{CampaignEngine, EngineStats};
+use serde::{Map, Serialize, Value};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Point-in-time server counters (monotonic since bind).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests parsed off the wire (well-formed or not).
+    pub requests: u64,
+    /// Campaign queries answered successfully.
+    pub queries: u64,
+    /// Requests answered with an error response.
+    pub errors: u64,
+    /// Cumulative request-handling time in nanoseconds (divide by
+    /// `requests` for the mean latency).
+    pub latency_nanos: u64,
+}
+
+/// State shared by the acceptor, every connection thread, and handles.
+struct Shared {
+    engine: Arc<CampaignEngine>,
+    addr: SocketAddr,
+    stop: AtomicBool,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    queries: AtomicU64,
+    errors: AtomicU64,
+    latency_nanos: AtomicU64,
+    /// Clones of live connection streams, so shutdown can unblock their
+    /// reader threads; slots are pruned as connections close.
+    conns: Mutex<Vec<Option<TcpStream>>>,
+}
+
+impl Shared {
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            latency_nanos: self.latency_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Flip the stop flag, close every live connection, and poke the
+    /// listener so a blocked `accept` returns. Idempotent.
+    fn shutdown(&self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // close only the read half: blocked reader threads unwind with
+        // EOF, but a worker mid-query can still write its response —
+        // "in-flight requests finish" is part of the shutdown contract
+        for conn in self.conns.lock().unwrap().iter().flatten() {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
+        // wake the acceptor: it re-checks `stop` after every accept
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A remote control for a running [`CampaignServer`] — safe to clone into
+/// other threads.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Gracefully stop the server: in-flight requests finish, connections
+    /// close, and [`CampaignServer::run`] returns.
+    pub fn shutdown(&self) {
+        self.shared.shutdown();
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Server counters snapshot.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+}
+
+/// The long-lived query server: one engine, many connections.
+pub struct CampaignServer {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl CampaignServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) over a
+    /// loaded engine. Binding is cheap; the engine carries all the warm
+    /// state.
+    pub fn bind(engine: Arc<CampaignEngine>, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(CampaignServer {
+            listener,
+            shared: Arc::new(Shared {
+                engine,
+                addr,
+                stop: AtomicBool::new(false),
+                connections: AtomicU64::new(0),
+                requests: AtomicU64::new(0),
+                queries: AtomicU64::new(0),
+                errors: AtomicU64::new(0),
+                latency_nanos: AtomicU64::new(0),
+                conns: Mutex::new(Vec::new()),
+            }),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A clonable handle for shutdown and stats from other threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Serve until shutdown (via [`ServerHandle::shutdown`] or a
+    /// `{"type": "shutdown"}` request). Blocks the calling thread; every
+    /// accepted connection gets its own worker thread, all joined before
+    /// this returns.
+    pub fn run(self) -> std::io::Result<()> {
+        let shared = &self.shared;
+        std::thread::scope(|scope| {
+            for stream in self.listener.incoming() {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let stream = match stream {
+                    Ok(s) => s,
+                    // accept errors (aborted handshake, fd exhaustion)
+                    // must not take the server down; back off briefly so
+                    // a persistent error cannot busy-spin the acceptor
+                    Err(_) => {
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        continue;
+                    }
+                };
+                // a connection shutdown cannot reach (clone failure under
+                // fd pressure) would hang the final join — refuse it
+                let Some(slot) = register(shared, &stream) else {
+                    continue;
+                };
+                // re-check *after* registering: a shutdown between the
+                // check above and `register` has already swept `conns`
+                // and would never close this stream
+                if shared.stop.load(Ordering::SeqCst) {
+                    let _ = stream.shutdown(Shutdown::Both);
+                    shared.conns.lock().unwrap()[slot] = None;
+                    break;
+                }
+                shared.connections.fetch_add(1, Ordering::Relaxed);
+                scope.spawn(move || {
+                    serve_connection(shared, stream);
+                    shared.conns.lock().unwrap()[slot] = None;
+                });
+            }
+        });
+        Ok(())
+    }
+}
+
+/// Park a clone of the stream where `Shared::shutdown` can reach it.
+fn register(shared: &Shared, stream: &TcpStream) -> Option<usize> {
+    let clone = stream.try_clone().ok()?;
+    let mut conns = shared.conns.lock().unwrap();
+    match conns.iter().position(Option::is_none) {
+        Some(i) => {
+            conns[i] = Some(clone);
+            Some(i)
+        }
+        None => {
+            conns.push(Some(clone));
+            Some(conns.len() - 1)
+        }
+    }
+}
+
+/// One connection: read request lines, write response lines, until EOF,
+/// an unrecoverable socket error, or shutdown.
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    let reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break, // connection reset / shutdown
+        };
+        if line.trim().is_empty() {
+            continue; // blank keep-alive lines are not requests
+        }
+        let start = Instant::now();
+        let (response, is_shutdown) = handle_line(shared, &line);
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        shared
+            .latency_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let mut text = wire::to_line(&response);
+        text.push('\n');
+        if writer.write_all(text.as_bytes()).is_err() || writer.flush().is_err() {
+            break;
+        }
+        if is_shutdown {
+            shared.shutdown();
+            break;
+        }
+    }
+}
+
+/// Answer one request line. Returns the response and whether it was a
+/// shutdown request (acted on by the caller *after* the response is
+/// written, so the client gets an acknowledgement).
+fn handle_line(shared: &Shared, line: &str) -> (Value, bool) {
+    let request = match wire::parse_request_line(line) {
+        Ok(r) => r,
+        Err(msg) => {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+            return (wire::error_response(&msg), false);
+        }
+    };
+    let id = request.id.as_ref();
+    match request.kind {
+        RequestKind::Query(q) => match shared.engine.query(&q) {
+            Ok(answer) => {
+                shared.queries.fetch_add(1, Ordering::Relaxed);
+                (wire::with_id(wire::answer_response(&answer), id), false)
+            }
+            Err(e) => {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                (
+                    wire::with_id(wire::error_response(&e.to_string()), id),
+                    false,
+                )
+            }
+        },
+        RequestKind::Stats => (
+            wire::with_id(stats_response(&shared.stats(), &shared.engine.stats()), id),
+            false,
+        ),
+        RequestKind::Shutdown => {
+            let mut m = Map::new();
+            m.insert("ok".into(), Value::Bool(true));
+            m.insert("shutting_down".into(), Value::Bool(true));
+            (wire::with_id(Value::Object(m), id), true)
+        }
+    }
+}
+
+/// The stats response body: server counters + engine counters.
+fn stats_response(server: &ServerStats, engine: &EngineStats) -> Value {
+    let mut s = Map::new();
+    s.insert("connections".into(), server.connections.to_value());
+    s.insert("requests".into(), server.requests.to_value());
+    s.insert("queries".into(), server.queries.to_value());
+    s.insert("errors".into(), server.errors.to_value());
+    let mean_seconds = if server.requests > 0 {
+        server.latency_nanos as f64 / server.requests as f64 / 1e9
+    } else {
+        0.0
+    };
+    s.insert("mean_latency_seconds".into(), mean_seconds.to_value());
+    let mut m = Map::new();
+    m.insert("ok".into(), Value::Bool(true));
+    m.insert("server".into(), Value::Object(s));
+    m.insert("engine".into(), wire::engine_stats_value(engine));
+    Value::Object(m)
+}

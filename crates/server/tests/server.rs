@@ -1,0 +1,272 @@
+//! End-to-end tests for `CampaignServer`: real TCP connections against a
+//! real engine on a small deterministic graph.
+
+use cwelmax_engine::{CampaignEngine, RrIndex};
+use cwelmax_graph::{generators, ProbabilityModel};
+use cwelmax_rrset::ImmParams;
+use cwelmax_server::{CampaignServer, ServerHandle};
+use serde::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// A small warm engine: 100-node Erdős–Rényi graph, budget cap 8.
+fn engine() -> Arc<CampaignEngine> {
+    let graph = Arc::new(generators::erdos_renyi(
+        100,
+        400,
+        7,
+        ProbabilityModel::WeightedCascade,
+    ));
+    let params = ImmParams {
+        eps: 0.5,
+        ell: 1.0,
+        seed: 7,
+        threads: 2,
+        max_rr_sets: 500_000,
+    };
+    let index = Arc::new(RrIndex::build(&graph, 8, &params));
+    Arc::new(CampaignEngine::new(graph, index).unwrap())
+}
+
+/// Start a server on an ephemeral loopback port; returns the handle and
+/// the thread running `run()`.
+fn start(engine: Arc<CampaignEngine>) -> (ServerHandle, std::thread::JoinHandle<()>) {
+    let server = CampaignServer::bind(engine, "127.0.0.1:0").unwrap();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().unwrap());
+    (handle, join)
+}
+
+/// One client connection with line-oriented send/receive.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(handle: &ServerHandle) -> Client {
+        let stream = TcpStream::connect(handle.local_addr()).unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.writer.flush().unwrap();
+    }
+
+    fn recv(&mut self) -> Value {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).unwrap();
+        assert!(n > 0, "server closed the connection unexpectedly");
+        serde_json::from_str(&line).expect("response is valid JSON")
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Value {
+        self.send(line);
+        self.recv()
+    }
+}
+
+fn ok(v: &Value) -> bool {
+    v.as_object().unwrap().get("ok") == Some(&Value::Bool(true))
+}
+
+fn error_text(v: &Value) -> String {
+    match v.as_object().unwrap().get("error") {
+        Some(Value::String(s)) => s.clone(),
+        other => panic!("expected error string, got {other:?}"),
+    }
+}
+
+const Q1: &str = r#"{"config": "C1", "budgets": [3, 3], "algorithm": "seqgrd-nm", "samples": 100}"#;
+const Q2: &str = r#"{"config": "C2", "budgets": [2, 2], "algorithm": "maxgrd", "samples": 100}"#;
+
+#[test]
+fn answers_match_direct_engine_queries_byte_identically() {
+    // the server must be a transparent transport: its allocation JSON is
+    // exactly what the engine (and hence `query-batch`) produces for the
+    // same wire query
+    let eng = engine();
+    let (handle, join) = start(eng.clone());
+    let mut c = Client::connect(&handle);
+    for q in [Q1, Q2] {
+        let response = c.roundtrip(q);
+        assert!(ok(&response), "query failed: {response:?}");
+        let parsed =
+            cwelmax_engine::wire::parse_query(&serde_json::from_str::<Value>(q).unwrap()).unwrap();
+        let direct = eng.query(&parsed).unwrap();
+        let direct_json =
+            serde_json::to_string(&cwelmax_engine::wire::answer_response(&direct)).unwrap();
+        let got = response.as_object().unwrap();
+        let want: Value = serde_json::from_str(&direct_json).unwrap();
+        let want = want.as_object().unwrap();
+        assert_eq!(got.get("allocation"), want.get("allocation"));
+        assert_eq!(got.get("algorithm"), want.get("algorithm"));
+        assert_eq!(got.get("welfare"), want.get("welfare"));
+    }
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn concurrent_clients_get_correct_independent_answers() {
+    let eng = engine();
+    // reference answers straight from the engine
+    let parse = |q: &str| {
+        cwelmax_engine::wire::parse_query(&serde_json::from_str::<Value>(q).unwrap()).unwrap()
+    };
+    let want1 = eng.query(&parse(Q1)).unwrap().allocation;
+    let want2 = eng.query(&parse(Q2)).unwrap().allocation;
+    let want1 = serde_json::to_string(&want1.pairs()).unwrap();
+    let want2 = serde_json::to_string(&want2.pairs()).unwrap();
+
+    let (handle, join) = start(eng);
+    let workers: Vec<_> = (0..8)
+        .map(|k| {
+            let handle = handle.clone();
+            let (q, want) = if k % 2 == 0 {
+                (Q1, want1.clone())
+            } else {
+                (Q2, want2.clone())
+            };
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&handle);
+                for _ in 0..5 {
+                    let response = c.roundtrip(q);
+                    assert!(ok(&response), "{response:?}");
+                    let alloc = response.as_object().unwrap().get("allocation").unwrap();
+                    assert_eq!(serde_json::to_string(alloc).unwrap(), want);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let stats = handle.stats();
+    assert_eq!(stats.queries, 40);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.connections, 8);
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn malformed_requests_get_error_responses_and_the_connection_survives() {
+    let (handle, join) = start(engine());
+    let mut c = Client::connect(&handle);
+
+    // malformed JSON
+    let r = c.roundtrip("this is { not json");
+    assert!(!ok(&r));
+    assert!(error_text(&r).contains("bad request JSON"), "{r:?}");
+
+    // unknown algorithm
+    let r = c.roundtrip(r#"{"config": "C1", "budgets": [2, 2], "algorithm": "quantum"}"#);
+    assert!(!ok(&r));
+    assert!(error_text(&r).contains("unknown algorithm"), "{r:?}");
+
+    // budget-length mismatch (C1 is a two-item model) — rejected by the
+    // engine, answered as an error, connection still alive
+    let r = c.roundtrip(r#"{"config": "C1", "budgets": [2, 2, 2], "samples": 50}"#);
+    assert!(!ok(&r));
+    assert!(error_text(&r).contains("budgets"), "{r:?}");
+
+    // budget above the index cap
+    let r = c.roundtrip(r#"{"config": "C1", "budgets": [50, 50], "samples": 50}"#);
+    assert!(!ok(&r));
+    assert!(error_text(&r).contains("budget-cap"), "{r:?}");
+
+    // ...and the same connection still answers real queries afterwards
+    let r = c.roundtrip(Q1);
+    assert!(ok(&r), "{r:?}");
+
+    let stats = handle.stats();
+    assert_eq!(stats.errors, 4);
+    assert_eq!(stats.queries, 1);
+    assert_eq!(stats.requests, 5);
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn warm_repeat_query_is_served_from_cache() {
+    let (handle, join) = start(engine());
+    let mut c = Client::connect(&handle);
+    let a1 = c.roundtrip(Q1);
+    let a2 = c.roundtrip(Q1);
+    assert!(ok(&a1) && ok(&a2));
+    // identical answers...
+    assert_eq!(
+        a1.as_object().unwrap().get("allocation"),
+        a2.as_object().unwrap().get("allocation")
+    );
+    assert_eq!(
+        a1.as_object().unwrap().get("welfare"),
+        a2.as_object().unwrap().get("welfare")
+    );
+    // ...and the stats request proves the repeat hit the welfare cache
+    let stats = c.roundtrip(r#"{"type": "stats"}"#);
+    assert!(ok(&stats));
+    let engine_stats = stats.as_object().unwrap()["engine"].as_object().unwrap();
+    assert_eq!(engine_stats["welfare_evals"], Value::Int(2));
+    assert_eq!(engine_stats["welfare_cache_hits"], Value::Int(1));
+    let server_stats = stats.as_object().unwrap()["server"].as_object().unwrap();
+    assert_eq!(server_stats["queries"], Value::Int(2));
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn ids_are_echoed_for_pipelined_clients() {
+    let (handle, join) = start(engine());
+    let mut c = Client::connect(&handle);
+    // pipeline two requests before reading anything; ids disambiguate
+    c.send(r#"{"type": "query", "id": "first", "config": "C1", "budgets": [2, 2], "samples": 50}"#);
+    c.send(
+        r#"{"type": "query", "id": "second", "config": "C2", "budgets": [2, 2], "samples": 50}"#,
+    );
+    let r1 = c.recv();
+    let r2 = c.recv();
+    assert_eq!(
+        r1.as_object().unwrap().get("id"),
+        Some(&Value::String("first".into()))
+    );
+    assert_eq!(
+        r2.as_object().unwrap().get("id"),
+        Some(&Value::String("second".into()))
+    );
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn shutdown_request_stops_the_server_gracefully() {
+    let (handle, join) = start(engine());
+    let mut c = Client::connect(&handle);
+    assert!(ok(&c.roundtrip(Q1)));
+    let bye = c.roundtrip(r#"{"type": "shutdown"}"#);
+    assert!(ok(&bye));
+    assert_eq!(
+        bye.as_object().unwrap().get("shutting_down"),
+        Some(&Value::Bool(true))
+    );
+    // run() returns; new connections are refused or closed immediately
+    join.join().unwrap();
+    let refused = match TcpStream::connect(handle.local_addr()) {
+        Err(_) => true,
+        Ok(s) => {
+            // the listener socket is gone, so at best the OS accepts and
+            // immediately resets; a read must yield EOF/error
+            let mut r = BufReader::new(s);
+            let mut line = String::new();
+            matches!(r.read_line(&mut line), Ok(0) | Err(_))
+        }
+    };
+    assert!(refused, "server still serving after shutdown");
+}

@@ -180,7 +180,7 @@ impl UtilityModel {
         let (best, _) = bounds
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap())?;
+            .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0))?;
         let dominated = bounds
             .iter()
             .enumerate()
@@ -220,8 +220,7 @@ impl UtilityModel {
         let mut v: Vec<ItemId> = items.iter().collect();
         v.sort_by(|&a, &b| {
             self.expected_truncated_item(b)
-                .partial_cmp(&self.expected_truncated_item(a))
-                .unwrap()
+                .total_cmp(&self.expected_truncated_item(a))
                 .then(a.cmp(&b))
         });
         v

@@ -40,7 +40,20 @@
 //!
 //! where `config` is either a named paper configuration (`C1`–`C4`) or an
 //! inline JSON utility model, and `algorithm` is one of `seqgrd-nm |
-//! seqgrd | maxgrd | best-of`.
+//! seqgrd | maxgrd | best-of`. A malformed query produces a per-query
+//! error entry; the rest of the batch still runs.
+//!
+//! ## Serve campaigns over TCP (long-lived, index loaded once)
+//!
+//! ```text
+//! cwelmax serve --graph edges.txt --index index.cwrx \
+//!         [--addr 127.0.0.1:7878] [--cache-cap N]
+//! ```
+//!
+//! Newline-delimited JSON: each request line is a query object (same shape
+//! as a `query-batch` entry, plus optional `"id"` echoed back),
+//! `{"type": "stats"}`, or `{"type": "shutdown"}`; each response line
+//! carries `"ok": true|false`. See `cwelmax_engine::wire`.
 //!
 //! Prints the chosen allocation(s), estimated welfare and per-item
 //! adoption counts; `--json` switches to machine-readable output.
@@ -48,10 +61,11 @@
 use cwelmax::core::baselines::{RoundRobin, Snake, Tcim};
 use cwelmax::core::{best_of, MaxGrd, SupGrd};
 use cwelmax::diffusion::SimulationConfig;
-use cwelmax::engine::{self, CampaignEngine, CampaignQuery, QueryAlgorithm, RrIndex};
+use cwelmax::engine::{self, wire, CampaignEngine, CampaignQuery, RrIndex};
 use cwelmax::graph::{io as graph_io, ProbabilityModel};
 use cwelmax::prelude::*;
 use cwelmax::rrset::ImmParams;
+use cwelmax::server::CampaignServer;
 use std::sync::Arc;
 
 struct Args {
@@ -229,55 +243,16 @@ fn cmd_index_build(argv: Vec<String>) {
     );
 }
 
-fn parse_query(v: &serde_json::Value, k: usize) -> CampaignQuery {
-    let obj = v
-        .as_object()
-        .unwrap_or_else(|| die(&format!("query {k}: expected a JSON object")));
-    let model: UtilityModel = match obj.get("config") {
-        Some(cfg) => match cfg.as_str() {
-            Some("C1") => configs::two_item_config(TwoItemConfig::C1),
-            Some("C2") => configs::two_item_config(TwoItemConfig::C2),
-            Some("C3") => configs::two_item_config(TwoItemConfig::C3),
-            Some("C4") => configs::two_item_config(TwoItemConfig::C4),
-            Some(other) => die(&format!("query {k}: unknown named config `{other}`")),
-            None => serde::Deserialize::from_value(cfg)
-                .unwrap_or_else(|e| die(&format!("query {k}: bad inline config: {e}"))),
-        },
-        None => die(&format!("query {k}: `config` is required")),
-    };
-    let budgets: Vec<usize> = match obj.get("budgets") {
-        Some(b) => serde::Deserialize::from_value(b)
-            .unwrap_or_else(|e| die(&format!("query {k}: bad budgets: {e}"))),
-        None => die(&format!("query {k}: `budgets` is required")),
-    };
-    let algorithm = match obj.get("algorithm").and_then(|a| a.as_str()) {
-        Some(name) => QueryAlgorithm::parse(name)
-            .unwrap_or_else(|| die(&format!("query {k}: unknown algorithm `{name}`"))),
-        None => QueryAlgorithm::SeqGrdNm,
-    };
-    let samples: usize = match obj.get("samples") {
-        Some(s) => serde::Deserialize::from_value(s)
-            .unwrap_or_else(|e| die(&format!("query {k}: bad samples: {e}"))),
-        None => 1000,
-    };
-    let seed: u64 = match obj.get("seed") {
-        Some(s) => serde::Deserialize::from_value(s)
-            .unwrap_or_else(|e| die(&format!("query {k}: bad seed: {e}"))),
-        None => 0x5EED,
-    };
-    CampaignQuery {
-        model,
-        budgets,
-        algorithm,
-        sim: SimulationConfig {
-            samples,
-            threads: 1,
-            base_seed: seed,
-        },
-    }
+/// Load graph + index into an engine (shared by `query-batch` and `serve`).
+fn load_engine(graph_path: &str, index_path: &str) -> CampaignEngine {
+    let graph = Arc::new(load_graph(graph_path));
+    CampaignEngine::from_snapshot(graph, index_path)
+        .unwrap_or_else(|e| die(&format!("cannot load index: {e}")))
 }
 
 /// `cwelmax query-batch …` — answer many campaigns from a prebuilt index.
+/// A malformed query yields a per-query error entry in the output; the
+/// rest of the batch still runs.
 fn cmd_query_batch(argv: Vec<String>) {
     let mut graph_path = None;
     let mut index_path = None;
@@ -299,52 +274,56 @@ fn cmd_query_batch(argv: Vec<String>) {
     let index_path = index_path.unwrap_or_else(|| die("--index is required"));
     let queries_path = queries_path.unwrap_or_else(|| die("--queries is required"));
 
-    let graph = Arc::new(load_graph(&graph_path));
-    let engine = CampaignEngine::from_snapshot(graph, &index_path)
-        .unwrap_or_else(|e| die(&format!("cannot load index: {e}")));
+    let engine = load_engine(&graph_path, &index_path);
     let text = std::fs::read_to_string(&queries_path)
         .unwrap_or_else(|e| die(&format!("cannot read queries: {e}")));
     let root: serde_json::Value =
         serde_json::from_str(&text).unwrap_or_else(|e| die(&format!("bad queries JSON: {e}")));
-    let queries: Vec<CampaignQuery> = root
+    // parse every query up front; bad ones become per-slot errors instead
+    // of killing the whole batch
+    let parsed: Vec<Result<CampaignQuery, String>> = root
         .as_array()
         .unwrap_or_else(|| die("queries file must hold a JSON array"))
         .iter()
         .enumerate()
-        .map(|(k, v)| parse_query(v, k))
+        .map(|(k, v)| wire::parse_query(v).map_err(|e| format!("query {k}: {e}")))
         .collect();
+    let runnable: Vec<CampaignQuery> = parsed.iter().filter_map(|r| r.clone().ok()).collect();
 
     let start = std::time::Instant::now();
-    let answers = engine.query_batch(&queries, threads);
+    let mut answers = engine.query_batch(&runnable, threads).into_iter();
     let elapsed = start.elapsed();
     let stats = engine.stats();
+    // re-interleave answers with the parse errors, in query order
+    let rows: Vec<Result<_, String>> = parsed
+        .iter()
+        .map(|r| match r {
+            Ok(_) => answers
+                .next()
+                .expect("one answer per runnable query")
+                .map_err(|e| e.to_string()),
+            Err(e) => Err(e.clone()),
+        })
+        .collect();
 
     if json {
-        let rows: Vec<_> = answers
-            .iter()
-            .map(|r| match r {
-                Ok(a) => serde_json::json!({
-                    "algorithm": a.algorithm,
-                    "allocation": a.allocation.pairs(),
-                    "welfare": a.welfare,
-                    "elapsed_seconds": a.elapsed.as_secs_f64(),
-                }),
-                Err(e) => serde_json::json!({ "error": format!("{e}") }),
-            })
-            .collect();
         let out = serde_json::json!({
-            "answers": rows,
+            "answers": rows
+                .iter()
+                .map(|r| match r {
+                    Ok(a) => wire::answer_response(a),
+                    Err(e) => wire::error_response(e),
+                })
+                .collect::<Vec<_>>(),
             "batch_seconds": elapsed.as_secs_f64(),
-            "pool_selections": stats.pool_selections,
-            "welfare_evals": stats.welfare_evals,
-            "welfare_cache_hits": stats.welfare_cache_hits,
+            "engine": wire::engine_stats_value(&stats),
         });
         println!(
             "{}",
             serde_json::to_string_pretty(&out).expect("serializable")
         );
     } else {
-        for (k, r) in answers.iter().enumerate() {
+        for (k, r) in rows.iter().enumerate() {
             match r {
                 Ok(a) => println!(
                     "query {k}: {} welfare {:.2} in {:?}  {:?}",
@@ -359,12 +338,49 @@ fn cmd_query_batch(argv: Vec<String>) {
         println!(
             "batch: {} queries in {elapsed:?} ({} pool selection(s), \
              {} welfare evals, {} cache hits)",
-            answers.len(),
+            rows.len(),
             stats.pool_selections,
             stats.welfare_evals,
             stats.welfare_cache_hits
         );
     }
+}
+
+/// `cwelmax serve …` — long-lived NDJSON-over-TCP query server over one
+/// engine. Loads the graph and index once; answers until a
+/// `{"type": "shutdown"}` request.
+fn cmd_serve(argv: Vec<String>) {
+    let mut graph_path = None;
+    let mut index_path = None;
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut cache_cap: Option<usize> = None;
+    let mut f = Flags::new(argv);
+    while let Some(flag) = f.next_flag() {
+        match flag.as_str() {
+            "--graph" => graph_path = Some(f.value("--graph")),
+            "--index" => index_path = Some(f.value("--index")),
+            "--addr" => addr = f.value("--addr"),
+            "--cache-cap" => cache_cap = Some(f.parsed("--cache-cap")),
+            other => die(&format!("unknown `serve` argument `{other}`")),
+        }
+    }
+    let graph_path = graph_path.unwrap_or_else(|| die("--graph is required"));
+    let index_path = index_path.unwrap_or_else(|| die("--index is required"));
+
+    let mut engine = load_engine(&graph_path, &index_path);
+    if let Some(cap) = cache_cap {
+        engine = engine.with_cache_capacity(cap);
+    }
+    let server = CampaignServer::bind(Arc::new(engine), addr.as_str())
+        .unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")));
+    // announce readiness on stdout so drivers (tests, CI) can wait for it
+    println!("cwelmax-serve listening on {}", server.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    server
+        .run()
+        .unwrap_or_else(|e| die(&format!("server failed: {e}")));
+    eprintln!("cwelmax-serve: shut down");
 }
 
 fn main() {
@@ -380,6 +396,7 @@ fn main() {
             return cmd_index_build(rest);
         }
         Some("query-batch") => return cmd_query_batch(argv[1..].to_vec()),
+        Some("serve") => return cmd_serve(argv[1..].to_vec()),
         _ => {}
     }
     let args = parse_args();

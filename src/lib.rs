@@ -16,7 +16,9 @@
 //!   and all baselines;
 //! * [`engine`] — persistent RR-set index (versioned, checksummed
 //!   snapshots) and the multi-campaign query engine that answers many
-//!   allocation queries over one prebuilt index without resampling.
+//!   allocation queries over one prebuilt index without resampling;
+//! * [`server`] — long-lived TCP front-end over one `CampaignEngine`
+//!   (newline-delimited JSON; `cwelmax serve`).
 //!
 //! ```
 //! use cwelmax::prelude::*;
@@ -38,6 +40,7 @@ pub use cwelmax_diffusion as diffusion;
 pub use cwelmax_engine as engine;
 pub use cwelmax_graph as graph;
 pub use cwelmax_rrset as rrset;
+pub use cwelmax_server as server;
 pub use cwelmax_utility as utility;
 
 /// One-stop imports for applications.
@@ -46,6 +49,7 @@ pub mod prelude {
     pub use cwelmax_diffusion::{Allocation, WelfareEstimator};
     pub use cwelmax_engine::{CampaignEngine, CampaignQuery, QueryAlgorithm, RrIndex};
     pub use cwelmax_graph::{Graph, GraphBuilder, ProbabilityModel};
+    pub use cwelmax_server::{CampaignServer, ServerHandle};
     pub use cwelmax_utility::configs::{self, TwoItemConfig};
     pub use cwelmax_utility::{ItemId, ItemSet, UtilityModel};
 }
