@@ -1,0 +1,124 @@
+//! Warm vs. cold **follow-up** campaigns — the perf anchor for the
+//! SP-conditioned index family.
+//!
+//! A follow-up campaign fixes a prior allocation `SP` and asks for the
+//! best *additional* seeds. The cold path re-runs PRIMA+ with marginal
+//! RR-set sampling on every solve; the warm path filters the prebuilt
+//! standard index into an SP-conditioned view (once per distinct SP,
+//! cached) and then pays only prefix slicing + item assignment + cached
+//! welfare evaluation. Three measured cases:
+//!
+//! * `cold_followup_solve` — `SeqGrd::nm().solve()` with `SP` fixed
+//!   (samples marginal RR sets every call);
+//! * `warm_followup_first_view` — first query against a *new* SP
+//!   (view derivation: filter + one greedy selection, no sampling);
+//! * `warm_followup_repeat` — repeated query against a cached SP view
+//!   (the steady state a serving tier sees).
+//!
+//! The acceptance ratio `cold mean / warm-repeat mean` is recorded as
+//! `followup_speedup_cold_over_warm` in `BENCH_engine.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cwelmax_bench::benchjson;
+use cwelmax_bench::{network, Scale};
+use cwelmax_core::prelude::*;
+use cwelmax_diffusion::{Allocation, SimulationConfig};
+use cwelmax_engine::{CampaignEngine, CampaignQuery, QueryAlgorithm, RrIndex};
+use cwelmax_graph::generators::benchmark::Network;
+use cwelmax_utility::configs::{self, TwoItemConfig};
+use std::sync::Arc;
+
+fn sim() -> SimulationConfig {
+    SimulationConfig {
+        samples: 200,
+        threads: 2,
+        base_seed: 0xF011,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let graph = network(Network::NetHept, Scale::Quick);
+    let imm = Scale::Quick.imm();
+    let budget = 10usize;
+
+    // warm state: one standard index serves fresh AND follow-up campaigns
+    let index = Arc::new(RrIndex::build(&graph, (2 * budget) as u32, &imm));
+    let engine = CampaignEngine::new(graph.clone(), index).unwrap();
+
+    // a realistic prior: the fresh campaign's item-1 seeds become SP
+    let fresh = CampaignQuery {
+        model: configs::two_item_config(TwoItemConfig::C1),
+        budgets: vec![budget, budget],
+        algorithm: QueryAlgorithm::SeqGrdNm,
+        sp: Allocation::new(),
+        sim: sim(),
+    };
+    let fresh_answer = engine.query(&fresh).unwrap();
+    let sp = Allocation::from_item_seeds(1, &fresh_answer.allocation.seeds_of(1));
+    assert_eq!(sp.len(), budget, "fresh campaign must fill item 1's budget");
+
+    let followup = CampaignQuery {
+        model: configs::two_item_config(TwoItemConfig::C1),
+        budgets: vec![budget, budget], // item 1 is fixed in SP ⇒ ignored
+        algorithm: QueryAlgorithm::SeqGrdNm,
+        sp: sp.clone(),
+        sim: sim(),
+    };
+    let problem = Problem::new_shared(graph.clone(), configs::two_item_config(TwoItemConfig::C1))
+        .with_uniform_budget(budget)
+        .with_fixed_allocation(sp.clone())
+        .with_sim(sim())
+        .with_imm(imm);
+
+    // machine-readable stats (BENCH_engine.json)
+    let cold = benchjson::measure(10, || {
+        std::hint::black_box(SeqGrd::nm().solve(&problem));
+    });
+    // distinct SPs (one node swapped per round) force a fresh derivation;
+    // capacity bounds how many distinct views stay cached, so rotate
+    // through more SPs than the default capacity to keep missing
+    let mut variant = 0u32;
+    let first = benchjson::measure(10, || {
+        let mut nodes = sp.seed_nodes();
+        nodes[0] = variant; // node ids are dense; tiny graphs have > 64 nodes
+        variant += 1;
+        let q = CampaignQuery {
+            sp: Allocation::from_item_seeds(1, &nodes),
+            ..followup.clone()
+        };
+        std::hint::black_box(engine.query(&q).unwrap());
+    });
+    engine.query(&followup).unwrap(); // warm the view + welfare cache
+    let repeat = benchjson::measure(50, || {
+        std::hint::black_box(engine.query(&followup).unwrap());
+    });
+    let speedup = cold.mean_ns / repeat.mean_ns;
+    benchjson::record(
+        &[
+            ("engine_followup/cold_followup_solve", cold),
+            ("engine_followup/warm_followup_first_view", first),
+            ("engine_followup/warm_followup_repeat", repeat),
+        ],
+        &[("followup_speedup_cold_over_warm", speedup)],
+    );
+    println!(
+        "followup speedup (cold mean / warm-repeat mean): {speedup:.0}x \
+         (cold {:.2} ms, warm repeat {:.2} µs)",
+        cold.mean_ns / 1e6,
+        repeat.mean_ns / 1e3
+    );
+
+    // human-readable criterion output for the same three cases
+    let mut group = c.benchmark_group("engine_followup");
+    group.sample_size(10);
+    group.bench_function("cold_followup_solve", |b| {
+        b.iter(|| SeqGrd::nm().solve(&problem))
+    });
+    group.bench_function("warm_followup_repeat", |b| {
+        b.iter(|| engine.query(&followup).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

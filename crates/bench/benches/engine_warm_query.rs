@@ -10,7 +10,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use cwelmax_bench::{network, Scale};
 use cwelmax_core::prelude::*;
-use cwelmax_diffusion::SimulationConfig;
+use cwelmax_diffusion::{Allocation, SimulationConfig};
 use cwelmax_engine::{CampaignEngine, CampaignQuery, QueryAlgorithm, RrIndex};
 use cwelmax_graph::generators::benchmark::Network;
 use cwelmax_utility::configs::{self, TwoItemConfig};
@@ -41,10 +41,44 @@ fn bench(c: &mut Criterion) {
         model: configs::two_item_config(TwoItemConfig::C1),
         budgets: vec![budget, budget],
         algorithm: QueryAlgorithm::SeqGrdNm,
+        sp: Allocation::new(),
         sim: sim(),
     };
     // pay the lazy one-time pool selection before measuring steady state
     engine.query(&query).unwrap();
+
+    // a mixed batch: what a serving tier actually sees
+    let batch: Vec<CampaignQuery> = [TwoItemConfig::C1, TwoItemConfig::C2, TwoItemConfig::C3]
+        .into_iter()
+        .flat_map(|cfg| {
+            (1..=4usize).map(move |b| CampaignQuery {
+                model: configs::two_item_config(cfg),
+                budgets: vec![b, b],
+                algorithm: QueryAlgorithm::SeqGrdNm,
+                sp: Allocation::new(),
+                sim: sim(),
+            })
+        })
+        .collect();
+
+    // machine-readable stats (BENCH_engine.json)
+    let cold = cwelmax_bench::benchjson::measure(10, || {
+        std::hint::black_box(SeqGrd::nm().solve(&problem));
+    });
+    let warm = cwelmax_bench::benchjson::measure(50, || {
+        std::hint::black_box(engine.query(&query).unwrap());
+    });
+    let warm_batch = cwelmax_bench::benchjson::measure(20, || {
+        std::hint::black_box(engine.query_batch(&batch, 4));
+    });
+    cwelmax_bench::benchjson::record(
+        &[
+            ("engine_warm_query/cold_solve_seqgrd_nm", cold),
+            ("engine_warm_query/warm_engine_query", warm),
+            ("engine_warm_query/warm_engine_batch_12_queries", warm_batch),
+        ],
+        &[("fresh_speedup_cold_over_warm", cold.mean_ns / warm.mean_ns)],
+    );
 
     let mut group = c.benchmark_group("engine_warm_query");
     group.sample_size(10);
@@ -54,18 +88,6 @@ fn bench(c: &mut Criterion) {
     group.bench_function("warm_engine_query", |b| {
         b.iter(|| engine.query(&query).unwrap())
     });
-    // a mixed batch: what a serving tier actually sees
-    let batch: Vec<CampaignQuery> = [TwoItemConfig::C1, TwoItemConfig::C2, TwoItemConfig::C3]
-        .into_iter()
-        .flat_map(|cfg| {
-            (1..=4usize).map(move |b| CampaignQuery {
-                model: configs::two_item_config(cfg),
-                budgets: vec![b, b],
-                algorithm: QueryAlgorithm::SeqGrdNm,
-                sim: sim(),
-            })
-        })
-        .collect();
     group.bench_function("warm_engine_batch_12_queries", |b| {
         b.iter(|| engine.query_batch(&batch, 4))
     });

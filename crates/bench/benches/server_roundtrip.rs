@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use cwelmax_bench::{network, Scale};
-use cwelmax_diffusion::SimulationConfig;
+use cwelmax_diffusion::{Allocation, SimulationConfig};
 use cwelmax_engine::{CampaignEngine, CampaignQuery, QueryAlgorithm, RrIndex};
 use cwelmax_graph::generators::benchmark::Network;
 use cwelmax_server::CampaignServer;
@@ -39,6 +39,7 @@ fn bench(c: &mut Criterion) {
         model: configs::two_item_config(TwoItemConfig::C1),
         budgets: vec![5, 5],
         algorithm: QueryAlgorithm::SeqGrdNm,
+        sp: Allocation::new(),
         sim: SimulationConfig {
             samples: 200,
             threads: 1,

@@ -1,0 +1,127 @@
+//! Machine-readable bench output: `BENCH_engine.json`.
+//!
+//! The Criterion shim prints medians for humans; perf *trajectories* need
+//! machine-readable numbers a driver can diff across commits. Benches call
+//! [`measure`] for the stats they care about and [`record`] to merge them
+//! into one JSON file — read-modify-write, so the follow-up bench and
+//! `engine_warm_query` accumulate into the same report instead of
+//! clobbering each other.
+//!
+//! Schema: a flat object mapping `"<bench>/<case>"` to
+//! `{"mean_ns", "p50_ns", "p99_ns", "samples"}`, plus scalar derived
+//! entries (e.g. `"followup_speedup_cold_over_warm"`). The path defaults
+//! to `BENCH_engine.json` in the working directory; override with the
+//! `BENCH_ENGINE_JSON` environment variable.
+
+use serde_json::Value;
+use std::time::Instant;
+
+/// Summary statistics of one measured case, in nanoseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchStat {
+    /// Arithmetic mean.
+    pub mean_ns: f64,
+    /// Median.
+    pub p50_ns: u64,
+    /// 99th percentile (the max for fewer than 100 samples).
+    pub p99_ns: u64,
+    /// Sample count.
+    pub samples: usize,
+}
+
+/// Time `iters` runs of `f` (after one untimed warm-up) and summarize.
+pub fn measure(iters: usize, mut f: impl FnMut()) -> BenchStat {
+    f(); // warm-up
+    let mut ns: Vec<u64> = (0..iters.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    ns.sort_unstable();
+    let sum: u128 = ns.iter().map(|&x| x as u128).sum();
+    BenchStat {
+        mean_ns: sum as f64 / ns.len() as f64,
+        p50_ns: ns[ns.len() / 2],
+        p99_ns: ns[((ns.len() * 99) / 100).min(ns.len() - 1)],
+        samples: ns.len(),
+    }
+}
+
+impl BenchStat {
+    fn to_value(self) -> Value {
+        let mut m = serde_json::Map::new();
+        m.insert("mean_ns".into(), Value::Float(self.mean_ns));
+        m.insert("p50_ns".into(), Value::UInt(self.p50_ns));
+        m.insert("p99_ns".into(), Value::UInt(self.p99_ns));
+        m.insert("samples".into(), Value::UInt(self.samples as u64));
+        Value::Object(m)
+    }
+}
+
+/// The report path: `$BENCH_ENGINE_JSON` or `BENCH_engine.json`.
+pub fn report_path() -> String {
+    std::env::var("BENCH_ENGINE_JSON").unwrap_or_else(|_| "BENCH_engine.json".to_string())
+}
+
+/// Merge measured cases and scalar derived entries into the JSON report
+/// (existing keys from other benches are preserved; same-key entries are
+/// overwritten with the fresh numbers). Prints the destination so bench
+/// logs say where the numbers went.
+pub fn record(entries: &[(&str, BenchStat)], extras: &[(&str, f64)]) {
+    let path = report_path();
+    let mut root = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|text| serde_json::from_str::<Value>(&text).ok())
+        .and_then(|v| match v {
+            Value::Object(m) => Some(m),
+            _ => None,
+        })
+        .unwrap_or_default();
+    for &(name, stat) in entries {
+        root.insert(name.to_string(), stat.to_value());
+    }
+    for &(name, x) in extras {
+        root.insert(name.to_string(), Value::Float(x));
+    }
+    let text = serde_json::to_string_pretty(&Value::Object(root)).expect("serializable");
+    if let Err(e) = std::fs::write(&path, text) {
+        eprintln!("benchjson: cannot write {path}: {e}");
+    } else {
+        println!(
+            "benchjson: wrote {} entries -> {path}",
+            entries.len() + extras.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_produces_ordered_percentiles() {
+        let s = measure(25, || {
+            std::hint::black_box((0..1000u64).sum::<u64>());
+        });
+        assert_eq!(s.samples, 25);
+        assert!(s.mean_ns > 0.0);
+        assert!(s.p50_ns <= s.p99_ns, "p50 {} p99 {}", s.p50_ns, s.p99_ns);
+    }
+
+    #[test]
+    fn stat_serializes_all_fields() {
+        let s = BenchStat {
+            mean_ns: 1.5,
+            p50_ns: 1,
+            p99_ns: 2,
+            samples: 3,
+        };
+        let v = s.to_value();
+        let m = v.as_object().unwrap();
+        for k in ["mean_ns", "p50_ns", "p99_ns", "samples"] {
+            assert!(m.contains_key(k), "{k}");
+        }
+    }
+}

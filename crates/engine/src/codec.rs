@@ -23,8 +23,13 @@ use bytes::{Buf, BufMut, BytesMut};
 /// Snapshot file magic: `CWRX` ("CWelmax RR-set indeX").
 pub const MAGIC: u32 = 0x4357_5258;
 
-/// Current snapshot format version.
-pub const VERSION: u32 = 1;
+/// First snapshot format version: canonical index data only.
+pub const VERSION_V1: u32 = 1;
+
+/// Current snapshot format version. Version 2 appends an optional
+/// conditioned-views section (persisted SP node sets); version-1 files
+/// remain loadable — the reader treats the missing section as "no views".
+pub const VERSION: u32 = 2;
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the same
 /// polynomial zlib/PNG use. Table-driven, one table built at first use.
@@ -52,19 +57,27 @@ pub fn crc32(data: &[u8]) -> u32 {
     !c
 }
 
-/// Frame a payload: header + payload + trailing CRC.
+/// Frame a payload at the current format version: header + payload +
+/// trailing CRC.
 pub fn frame(payload: &[u8]) -> Vec<u8> {
+    frame_with_version(VERSION, payload)
+}
+
+/// Frame a payload at an explicit version (compatibility tests write
+/// genuine v1 files with this).
+pub fn frame_with_version(version: u32, payload: &[u8]) -> Vec<u8> {
     let mut out = BytesMut::with_capacity(payload.len() + 20);
     out.put_u32_le(MAGIC);
-    out.put_u32_le(VERSION);
+    out.put_u32_le(version);
     out.put_u64_le(payload.len() as u64);
     out.put_slice(payload);
     out.put_u32_le(crc32(payload));
     out.to_vec()
 }
 
-/// Unframe: verify magic, version, length and CRC; return the payload.
-pub fn unframe(bytes: &[u8]) -> Result<&[u8], EngineError> {
+/// Unframe: verify magic, version, length and CRC; return the format
+/// version (any supported one: `VERSION_V1..=VERSION`) and the payload.
+pub fn unframe(bytes: &[u8]) -> Result<(u32, &[u8]), EngineError> {
     if bytes.len() < 20 {
         return Err(EngineError::Corrupt(format!(
             "snapshot too short: {} bytes",
@@ -79,7 +92,7 @@ pub fn unframe(bytes: &[u8]) -> Result<&[u8], EngineError> {
         )));
     }
     let version = cur.get_u32_le();
-    if version != VERSION {
+    if !(VERSION_V1..=VERSION).contains(&version) {
         return Err(EngineError::UnsupportedVersion(version));
     }
     let len = cur.get_u64_le() as usize;
@@ -100,7 +113,7 @@ pub fn unframe(bytes: &[u8]) -> Result<&[u8], EngineError> {
             "checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
         )));
     }
-    Ok(payload)
+    Ok((version, payload))
 }
 
 /// Section writer: length-prefixed typed vectors, little-endian.
@@ -254,7 +267,24 @@ mod tests {
     fn frame_unframe_roundtrip() {
         let payload = b"hello snapshot payload".to_vec();
         let framed = frame(&payload);
-        assert_eq!(unframe(&framed).unwrap(), &payload[..]);
+        assert_eq!(unframe(&framed).unwrap(), (VERSION, &payload[..]));
+    }
+
+    #[test]
+    fn v1_frames_are_still_accepted() {
+        let payload = b"legacy payload".to_vec();
+        let framed = frame_with_version(VERSION_V1, &payload);
+        assert_eq!(unframe(&framed).unwrap(), (VERSION_V1, &payload[..]));
+        // future versions are rejected with a precise error
+        match unframe(&frame_with_version(VERSION + 1, &payload)) {
+            Err(EngineError::UnsupportedVersion(v)) => assert_eq!(v, VERSION + 1),
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+        // version 0 never existed
+        assert!(matches!(
+            unframe(&frame_with_version(0, &payload)),
+            Err(EngineError::UnsupportedVersion(0))
+        ));
     }
 
     #[test]

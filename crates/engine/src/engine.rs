@@ -20,6 +20,7 @@
 //! [`CampaignEngine::query_batch`] fans independent queries out across
 //! threads — the engine is immutable-shared (`&self`) by construction.
 
+use crate::conditioned::{ConditionedCache, ConditionedView, DEFAULT_CONDITIONED_CAP};
 use crate::error::EngineError;
 use crate::index::{graph_fingerprint, RrIndex};
 use crate::lru::LruCache;
@@ -46,6 +47,11 @@ pub struct EngineStats {
     pub welfare_evals: u64,
     /// Of those, how many were served from the cache.
     pub welfare_cache_hits: u64,
+    /// SP-conditioned views derived (the expensive follow-up step:
+    /// filter + one greedy selection).
+    pub conditioned_views: u64,
+    /// Follow-up queries whose view came from the conditioned cache.
+    pub conditioned_hits: u64,
 }
 
 /// Multi-campaign query engine over a shared graph + prebuilt index.
@@ -59,10 +65,16 @@ pub struct CampaignEngine {
     /// Bounded LRU — hot keys survive sustained mixed traffic instead of
     /// being dropped wholesale when the cache fills.
     cache: Mutex<LruCache<u64, f64>>,
+    /// SP-conditioned index views, keyed by SP node-set fingerprint, so
+    /// repeated follow-up campaigns against the same prior allocation are
+    /// served warm (no filtering, no re-selection).
+    conditioned: ConditionedCache,
     queries: AtomicU64,
     pool_selections: AtomicU64,
     welfare_evals: AtomicU64,
     welfare_cache_hits: AtomicU64,
+    conditioned_views: AtomicU64,
+    conditioned_hits: AtomicU64,
 }
 
 /// Default welfare-cache capacity (entries); override with
@@ -84,10 +96,13 @@ impl CampaignEngine {
             index,
             pool: OnceLock::new(),
             cache: Mutex::new(LruCache::new(DEFAULT_CACHE_CAP)),
+            conditioned: ConditionedCache::new(DEFAULT_CONDITIONED_CAP),
             queries: AtomicU64::new(0),
             pool_selections: AtomicU64::new(0),
             welfare_evals: AtomicU64::new(0),
             welfare_cache_hits: AtomicU64::new(0),
+            conditioned_views: AtomicU64::new(0),
+            conditioned_hits: AtomicU64::new(0),
         })
     }
 
@@ -98,13 +113,32 @@ impl CampaignEngine {
         self
     }
 
-    /// Convenience: load the index from a snapshot file and bind it.
+    /// Resize the conditioned-view cache (entries; clamped to ≥ 1).
+    /// Existing views are dropped — intended for construction time.
+    pub fn with_conditioned_capacity(mut self, cap: usize) -> CampaignEngine {
+        self.conditioned = ConditionedCache::new(cap);
+        self
+    }
+
+    /// Convenience: load the index from a snapshot file and bind it. Any
+    /// SP node sets persisted in the snapshot's conditioned section
+    /// (format v2) are derived eagerly, pre-warming the view cache so the
+    /// first follow-up query against a persisted SP is already warm. The
+    /// cache is sized to hold **all** persisted views (never below the
+    /// default), so pre-warming cannot evict itself.
     pub fn from_snapshot(
         graph: Arc<Graph>,
         path: impl AsRef<Path>,
     ) -> Result<CampaignEngine, EngineError> {
-        let index = Arc::new(snapshot::load(path)?);
-        CampaignEngine::new(graph, index)
+        let (index, views) = snapshot::load_full(path)?;
+        let mut engine = CampaignEngine::new(graph, Arc::new(index))?;
+        if views.len() > DEFAULT_CONDITIONED_CAP {
+            engine = engine.with_conditioned_capacity(views.len());
+        }
+        for sp in &views {
+            engine.conditioned_view(sp)?;
+        }
+        Ok(engine)
     }
 
     /// The shared graph.
@@ -124,6 +158,8 @@ impl CampaignEngine {
             pool_selections: self.pool_selections.load(Ordering::Relaxed),
             welfare_evals: self.welfare_evals.load(Ordering::Relaxed),
             welfare_cache_hits: self.welfare_cache_hits.load(Ordering::Relaxed),
+            conditioned_views: self.conditioned_views.load(Ordering::Relaxed),
+            conditioned_hits: self.conditioned_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -137,6 +173,17 @@ impl CampaignEngine {
         })
     }
 
+    /// The SP-conditioned view for `sp_nodes`, from the cache when warm.
+    fn conditioned_view(&self, sp_nodes: &[NodeId]) -> Result<Arc<ConditionedView>, EngineError> {
+        let (view, hit) = self.conditioned.get_or_derive(&self.index, sp_nodes)?;
+        if hit {
+            self.conditioned_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.conditioned_views.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(view)
+    }
+
     fn validate(&self, q: &CampaignQuery) -> Result<(), EngineError> {
         if q.budgets.len() != q.model.num_items() {
             return Err(EngineError::BadQuery(format!(
@@ -145,11 +192,30 @@ impl CampaignEngine {
                 q.model.num_items()
             )));
         }
-        // SeqGRD consumes the pool block by block across all items, MaxGRD
-        // only ever takes one item's prefix.
+        for &(v, i) in q.sp.pairs() {
+            if v as usize >= self.graph.num_nodes() {
+                return Err(EngineError::BadQuery(format!(
+                    "SP node {v} out of range for a {}-node graph",
+                    self.graph.num_nodes()
+                )));
+            }
+            if i >= q.model.num_items() {
+                return Err(EngineError::BadQuery(format!(
+                    "SP item i{i} out of range for a {}-item model",
+                    q.model.num_items()
+                )));
+            }
+        }
+        // only free items (positive budget, not fixed in SP) draw from the
+        // pool: SeqGRD consumes it block by block across all free items,
+        // MaxGRD only ever takes one free item's prefix
+        let sp_items = q.sp.items();
+        let free_budgets = (0..q.budgets.len())
+            .filter(|&i| !sp_items.contains(i))
+            .map(|i| q.budgets[i]);
         let needed = match q.algorithm {
-            QueryAlgorithm::MaxGrd => q.budgets.iter().copied().max().unwrap_or(0),
-            _ => q.budgets.iter().sum(),
+            QueryAlgorithm::MaxGrd => free_budgets.max().unwrap_or(0),
+            _ => free_budgets.sum(),
         };
         let cap = self.index.meta().budget_cap as usize;
         if needed > cap {
@@ -161,17 +227,29 @@ impl CampaignEngine {
         Ok(())
     }
 
-    /// Answer one campaign query. Never samples RR sets: the pool comes
-    /// from the prebuilt index, assignment runs against the borrowed pool,
-    /// and welfare is Monte-Carlo-evaluated (cached).
+    /// Answer one campaign query. Never samples RR sets: fresh campaigns
+    /// draw their pool from the prebuilt index, follow-up campaigns
+    /// (`SP ≠ ∅`) from an SP-conditioned view of it (cached per SP node
+    /// set), assignment runs against the borrowed pool, and welfare of
+    /// `allocation ∪ SP` is Monte-Carlo-evaluated (cached).
     pub fn query(&self, q: &CampaignQuery) -> Result<CampaignAnswer, EngineError> {
         let start = std::time::Instant::now();
         self.validate(q)?;
-        let pool = self.pool();
+        // the view Arc must outlive `pool`, hence the binding
+        let view;
+        let pool: &[NodeId] = if q.sp.is_empty() {
+            self.pool()
+        } else {
+            view = self.conditioned_view(&q.sp.seed_nodes())?;
+            view.pool()
+        };
         let problem = Problem::new_shared(self.graph.clone(), q.model.clone())
             .with_budgets(q.budgets.clone())
+            .with_fixed_allocation(q.sp.clone())
             .with_sim(q.sim);
         let model_fp = model_fingerprint(&q.model);
+        // the objective is ρ(S ∪ SP); for fresh campaigns the union is S
+        let eval = |alloc: &Allocation| self.evaluate(&problem, model_fp, &alloc.union(&q.sp));
 
         let (algorithm, allocation) = match q.algorithm {
             QueryAlgorithm::SeqGrdNm => {
@@ -189,17 +267,20 @@ impl CampaignEngine {
             QueryAlgorithm::BestOf => {
                 let a = SeqGrd::full().solve_with_pool(&problem, pool);
                 let b = MaxGrd.solve_with_pool(&problem, pool);
-                let wa = self.evaluate(&problem, model_fp, &a.allocation);
-                let wb = self.evaluate(&problem, model_fp, &b.allocation);
-                let chosen = if wa >= wb { a } else { b };
+                let chosen = if eval(&a.allocation) >= eval(&b.allocation) {
+                    a
+                } else {
+                    b
+                };
                 (format!("BestOf({})", chosen.algorithm), chosen.allocation)
             }
         };
-        let welfare = self.evaluate(&problem, model_fp, &allocation);
+        let welfare = eval(&allocation);
         self.queries.fetch_add(1, Ordering::Relaxed);
         Ok(CampaignAnswer {
             algorithm,
             allocation,
+            sp: q.sp.clone(),
             welfare,
             elapsed: start.elapsed(),
         })
@@ -218,8 +299,12 @@ impl CampaignEngine {
         }
         // materialize the pool up front so workers never race the OnceLock
         // initialization work (get_or_init would serialize them anyway —
-        // this just keeps the first query's latency out of every worker)
-        let _ = self.pool();
+        // this just keeps the first query's latency out of every worker).
+        // An all-follow-up batch never needs the fresh pool — don't pay
+        // the budget-cap selection for it
+        if queries.iter().any(|q| q.sp.is_empty()) {
+            let _ = self.pool();
+        }
         let threads = if threads == 0 {
             std::thread::available_parallelism()
                 .map(|t| t.get())

@@ -17,10 +17,15 @@
 //!   ([`codec`]: magic/version header, little-endian sections, CRC-32 over
 //!   the payload) with [`snapshot::save`] / [`snapshot::load`] round-trip,
 //!   so an index built once on a large graph is reused across processes;
+//! * [`conditioned`] — SP-conditioned views of the frozen index: marginal
+//!   sampling is standard sampling plus a filter, so **follow-up**
+//!   campaigns (fixed prior allocation `SP`) are also served warm, from a
+//!   filtered view derived (and LRU-cached) per SP node set — still zero
+//!   resampling;
 //! * [`CampaignEngine`] — loads a graph + index once and answers many
-//!   allocation queries (budgets × utility configs × algorithm choice)
-//!   over the shared index **without resampling**, with a welfare-
-//!   evaluation cache and parallel batch execution.
+//!   allocation queries (budgets × utility configs × algorithm choice ×
+//!   optional `SP`) over the shared index **without resampling**, with a
+//!   welfare-evaluation cache and parallel batch execution.
 //!
 //! ```
 //! use cwelmax_engine::{CampaignEngine, CampaignQuery, QueryAlgorithm, RrIndex};
@@ -49,6 +54,7 @@
 //! ```
 
 pub mod codec;
+pub mod conditioned;
 pub mod engine;
 pub mod error;
 pub mod index;
@@ -57,6 +63,7 @@ pub mod query;
 pub mod snapshot;
 pub mod wire;
 
+pub use conditioned::{sp_fingerprint, ConditionedCache, ConditionedView};
 pub use engine::{model_fingerprint, CampaignEngine, EngineStats};
 pub use error::EngineError;
 pub use index::{graph_fingerprint, IndexMeta, RrIndex};

@@ -41,9 +41,10 @@ impl QueryAlgorithm {
 }
 
 /// One campaign: a utility configuration, per-item budgets, an algorithm
-/// choice, and Monte-Carlo settings for welfare evaluation. The graph and
-/// RR-set index are **not** part of the query — they are the engine's
-/// shared, amortized state.
+/// choice, an optional fixed prior allocation `SP` (a **follow-up**
+/// campaign when non-empty), and Monte-Carlo settings for welfare
+/// evaluation. The graph and RR-set index are **not** part of the query —
+/// they are the engine's shared, amortized state.
 #[derive(Debug, Clone)]
 pub struct CampaignQuery {
     /// The campaign's utility model (items, values, prices, noise).
@@ -52,20 +53,34 @@ pub struct CampaignQuery {
     pub budgets: Vec<usize>,
     /// Algorithm to answer with.
     pub algorithm: QueryAlgorithm,
+    /// The fixed prior allocation `SP` this campaign is conditioned on.
+    /// Empty for fresh campaigns. Items seeded here are excluded from the
+    /// new allocation (their budgets are ignored), the seed pool is drawn
+    /// from the engine's SP-conditioned index view, and the reported
+    /// welfare is `ρ(answer ∪ SP)`.
+    pub sp: Allocation,
     /// Monte-Carlo settings for welfare evaluation (and SeqGRD's marginal
     /// checks).
     pub sim: SimulationConfig,
 }
 
 impl CampaignQuery {
-    /// A query with default simulation settings.
+    /// A fresh-campaign query (`SP = ∅`) with default simulation settings.
     pub fn new(model: UtilityModel, budgets: Vec<usize>, algorithm: QueryAlgorithm) -> Self {
         CampaignQuery {
             model,
             budgets,
             algorithm,
+            sp: Allocation::new(),
             sim: SimulationConfig::default(),
         }
+    }
+
+    /// Condition this query on a fixed prior allocation `SP` (making it a
+    /// follow-up campaign).
+    pub fn with_sp(mut self, sp: Allocation) -> Self {
+        self.sp = sp;
+        self
     }
 
     /// Override the Monte-Carlo sample count.
@@ -80,12 +95,16 @@ impl CampaignQuery {
 pub struct CampaignAnswer {
     /// Algorithm that produced the allocation (display name).
     pub algorithm: String,
-    /// The selected allocation.
+    /// The **newly** selected allocation (does not repeat `SP`).
     pub allocation: Allocation,
-    /// Monte-Carlo estimate of the allocation's expected social welfare.
+    /// The fixed prior allocation the answer is conditioned on (echoed
+    /// from the query; empty for fresh campaigns).
+    pub sp: Allocation,
+    /// Monte-Carlo estimate of the expected social welfare of
+    /// `allocation ∪ sp` — the objective `ρ(S ∪ SP)` of Problem 1.
     pub welfare: f64,
     /// Wall-clock time spent answering (selection + assignment +
     /// evaluation; **excludes** any sampling — the warm path never
-    /// samples).
+    /// samples, not even for follow-ups).
     pub elapsed: Duration,
 }

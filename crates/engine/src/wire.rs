@@ -5,7 +5,7 @@
 //!
 //! ```json
 //! {"config": "C1", "budgets": [5, 5], "algorithm": "seqgrd-nm",
-//!  "samples": 1000, "seed": 7}
+//!  "sp": [[17, 1]], "samples": 1000, "seed": 7}
 //! ```
 //!
 //! * `config` — a named paper configuration (`"C1"`–`"C4"`) or an inline
@@ -13,18 +13,27 @@
 //! * `budgets` — per-item seed budgets (required);
 //! * `algorithm` — `seqgrd-nm | seqgrd | maxgrd | best-of`
 //!   (default `seqgrd-nm`);
+//! * `sp` — optional fixed prior allocation `[[node, item], …]` making
+//!   this a **follow-up** campaign served from an SP-conditioned index
+//!   view (default empty = fresh campaign);
 //! * `samples` / `seed` — Monte-Carlo settings (defaults 1000 / `0x5EED`).
 //!
 //! The server speaks newline-delimited JSON: one request object per line,
 //! one response object per line. A request is either a bare query object
 //! (as above) or an envelope with a `type` field — `"query"` (the
-//! default), `"stats"`, or `"shutdown"` — plus an optional `id` the
-//! response echoes back, so pipelined clients can match answers:
+//! default), `"batch"`, `"stats"`, or `"shutdown"` — plus an optional
+//! `id` the response echoes back, so pipelined clients can match answers:
 //!
 //! ```json
 //! {"type": "query", "id": 7, "config": "C2", "budgets": [3, 3]}
+//! {"type": "batch", "queries": [{"config": "C1", "budgets": [2, 2]}, …]}
 //! {"type": "stats"}
 //! ```
+//!
+//! A batch envelope answers all its queries over **one** wire line
+//! (`{"ok": true, "answers": [...]}`, one entry per query in order), so
+//! clients amortize round-trips; a malformed entry becomes a per-entry
+//! error object, never a failed batch.
 //!
 //! Every response carries `"ok": true | false`; errors add an `"error"`
 //! string and never terminate the connection or the process. All parsing
@@ -32,7 +41,7 @@
 
 use crate::engine::EngineStats;
 use crate::query::{CampaignAnswer, CampaignQuery, QueryAlgorithm};
-use cwelmax_diffusion::SimulationConfig;
+use cwelmax_diffusion::{Allocation, SimulationConfig};
 use cwelmax_utility::configs::{self, TwoItemConfig};
 use cwelmax_utility::UtilityModel;
 use serde::{Deserialize, Map, Serialize, Value};
@@ -57,6 +66,10 @@ pub struct WireRequest {
 pub enum RequestKind {
     /// Answer one campaign query.
     Query(Box<CampaignQuery>),
+    /// Answer many queries over one wire line. Entries that failed to
+    /// parse are carried as `Err(message)` so the response can report
+    /// them positionally while the rest of the batch still runs.
+    Batch(Vec<Result<CampaignQuery, String>>),
     /// Report request/latency counters and engine statistics.
     Stats,
     /// Gracefully stop the server.
@@ -92,6 +105,14 @@ pub fn parse_query(v: &Value) -> Result<CampaignQuery, String> {
         }
         None => QueryAlgorithm::SeqGrdNm,
     };
+    let sp: Allocation = match obj.get("sp") {
+        Some(s) => {
+            let pairs: Vec<(u32, usize)> =
+                Deserialize::from_value(s).map_err(|e| format!("bad sp: {e}"))?;
+            Allocation::from_pairs(pairs)
+        }
+        None => Allocation::new(),
+    };
     let samples: usize = match obj.get("samples") {
         Some(s) => Deserialize::from_value(s).map_err(|e| format!("bad samples: {e}"))?,
         None => DEFAULT_SAMPLES,
@@ -104,6 +125,7 @@ pub fn parse_query(v: &Value) -> Result<CampaignQuery, String> {
         model,
         budgets,
         algorithm,
+        sp,
         sim: SimulationConfig {
             samples,
             threads: 1,
@@ -129,6 +151,20 @@ pub fn parse_request(v: &Value) -> Result<WireRequest, String> {
     let kind = match obj.get("type").map(|t| t.as_str()) {
         // bare query objects need no envelope
         None | Some(Some("query")) => RequestKind::Query(Box::new(parse_query(v)?)),
+        Some(Some("batch")) => {
+            let queries = obj
+                .get("queries")
+                .ok_or("batch request needs a `queries` array")?
+                .as_array()
+                .ok_or("batch `queries` must be an array")?;
+            RequestKind::Batch(
+                queries
+                    .iter()
+                    .enumerate()
+                    .map(|(k, q)| parse_query(q).map_err(|e| format!("query {k}: {e}")))
+                    .collect(),
+            )
+        }
         Some(Some("stats")) => RequestKind::Stats,
         Some(Some("shutdown")) => RequestKind::Shutdown,
         Some(Some(other)) => return Err(format!("unknown request type `{other}`")),
@@ -137,14 +173,36 @@ pub fn parse_request(v: &Value) -> Result<WireRequest, String> {
     Ok(WireRequest { id, kind })
 }
 
-/// Response object for a successfully answered query.
+/// Response object for a successfully answered query. Follow-up answers
+/// echo the conditioning `sp`; fresh answers omit the key, so fresh
+/// responses are byte-identical to the pre-SP wire format.
 pub fn answer_response(a: &CampaignAnswer) -> Value {
     let mut m = Map::new();
     m.insert("ok".into(), Value::Bool(true));
     m.insert("algorithm".into(), a.algorithm.to_value());
     m.insert("allocation".into(), a.allocation.pairs().to_value());
+    if !a.sp.is_empty() {
+        m.insert("sp".into(), a.sp.pairs().to_value());
+    }
     m.insert("welfare".into(), a.welfare.to_value());
     m.insert("elapsed_seconds".into(), a.elapsed.as_secs_f64().to_value());
+    Value::Object(m)
+}
+
+/// Response object for a batch request: one entry per query, in order —
+/// an answer object for successes, an error object for parse or engine
+/// failures.
+pub fn batch_response(rows: &[Result<CampaignAnswer, String>]) -> Value {
+    let answers: Vec<Value> = rows
+        .iter()
+        .map(|r| match r {
+            Ok(a) => answer_response(a),
+            Err(e) => error_response(e),
+        })
+        .collect();
+    let mut m = Map::new();
+    m.insert("ok".into(), Value::Bool(true));
+    m.insert("answers".into(), Value::Array(answers));
     Value::Object(m)
 }
 
@@ -165,6 +223,8 @@ pub fn engine_stats_value(s: &EngineStats) -> Value {
     m.insert("pool_selections".into(), s.pool_selections.to_value());
     m.insert("welfare_evals".into(), s.welfare_evals.to_value());
     m.insert("welfare_cache_hits".into(), s.welfare_cache_hits.to_value());
+    m.insert("conditioned_views".into(), s.conditioned_views.to_value());
+    m.insert("conditioned_hits".into(), s.conditioned_hits.to_value());
     Value::Object(m)
 }
 
@@ -223,6 +283,71 @@ mod tests {
             RequestKind::Query(q) => assert_eq!(q.model.num_items(), model.num_items()),
             other => panic!("expected query, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_sp_bearing_queries() {
+        let q =
+            parse_request_line(r#"{"config": "C1", "budgets": [2, 2], "sp": [[7, 1], [3, 1]]}"#)
+                .unwrap();
+        match q.kind {
+            RequestKind::Query(q) => {
+                assert_eq!(q.sp.pairs(), &[(7, 1), (3, 1)]);
+            }
+            other => panic!("expected query, got {other:?}"),
+        }
+        // absent sp = fresh campaign
+        let q = parse_request_line(r#"{"config": "C1", "budgets": [2, 2]}"#).unwrap();
+        match q.kind {
+            RequestKind::Query(q) => assert!(q.sp.is_empty()),
+            other => panic!("expected query, got {other:?}"),
+        }
+        // malformed sp is an error, not a panic
+        for bad in [
+            r#"{"config": "C1", "budgets": [1, 1], "sp": "nodes"}"#,
+            r#"{"config": "C1", "budgets": [1, 1], "sp": [[1]]}"#,
+            r#"{"config": "C1", "budgets": [1, 1], "sp": [1, 2]}"#,
+        ] {
+            assert!(parse_request_line(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn parses_batch_envelope_with_per_entry_errors() {
+        let line = r#"{"type": "batch", "id": 3, "queries": [
+            {"config": "C1", "budgets": [2, 2]},
+            {"budgets": [1, 1]},
+            {"config": "C2", "budgets": [1, 1], "sp": [[0, 0]]}
+        ]}"#;
+        let req = parse_request_line(line).unwrap();
+        assert_eq!(req.id, Some(Value::Int(3)));
+        match req.kind {
+            RequestKind::Batch(entries) => {
+                assert_eq!(entries.len(), 3);
+                assert!(entries[0].is_ok());
+                let err = entries[1].as_ref().unwrap_err();
+                assert!(err.contains("query 1"), "{err}");
+                assert_eq!(entries[2].as_ref().unwrap().sp.pairs(), &[(0, 0)]);
+            }
+            other => panic!("expected batch, got {other:?}"),
+        }
+        // structural batch errors fail the whole request
+        assert!(parse_request_line(r#"{"type": "batch"}"#).is_err());
+        assert!(parse_request_line(r#"{"type": "batch", "queries": 4}"#).is_err());
+    }
+
+    #[test]
+    fn batch_response_interleaves_answers_and_errors() {
+        let rows = vec![Err("query 0: boom".to_string())];
+        let v = batch_response(&rows);
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.get("ok"), Some(&Value::Bool(true)));
+        let answers = obj.get("answers").unwrap().as_array().unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(
+            answers[0].as_object().unwrap().get("ok"),
+            Some(&Value::Bool(false))
+        );
     }
 
     #[test]

@@ -133,3 +133,70 @@ fn ten_k_node_snapshot_roundtrip() {
     );
     std::fs::remove_file(&path).ok();
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A snapshot carrying arbitrary conditioned views round-trips
+    /// losslessly and byte-stably; stripping its views section and
+    /// re-framing as version 1 still loads the same index (forward
+    /// compatibility with pre-views snapshots).
+    #[test]
+    fn views_roundtrip_and_v1_compat(
+        seed in 0u64..5_000,
+        view_count in 0usize..4,
+        sp_seed in 0u64..1_000,
+    ) {
+        let idx = index_from(seed, 40, 300, 6);
+        // derive deterministic pseudo-random SP node sets in range
+        let views: Vec<Vec<u32>> = (0..view_count)
+            .map(|k| {
+                (0..=(k + sp_seed as usize) % 5)
+                    .map(|j| ((sp_seed + 7 * k as u64 + 13 * j as u64) % 40) as u32)
+                    .collect()
+            })
+            .collect();
+        let bytes = snapshot::to_bytes_with_views(&idx, &views);
+        let (back, got) = snapshot::from_bytes_full(&bytes).unwrap();
+        prop_assert_eq!(&got, &views);
+        prop_assert_eq!(back.canonical_parts(), idx.canonical_parts());
+        prop_assert_eq!(snapshot::to_bytes_with_views(&back, &got), bytes.clone());
+
+        // strip the views section → a genuine v1 payload
+        let (_, payload) = cwelmax_engine::codec::unframe(&bytes).unwrap();
+        let mut cut = payload.len() - 8; // view_count u64
+        for sp in &views {
+            cut -= 8 + 4 * sp.len(); // each view: count u64 + nodes u32
+        }
+        let v1 = cwelmax_engine::codec::frame_with_version(
+            cwelmax_engine::codec::VERSION_V1,
+            &payload[..cut],
+        );
+        let (v1_idx, v1_views) = snapshot::from_bytes_full(&v1).unwrap();
+        prop_assert!(v1_views.is_empty());
+        prop_assert_eq!(v1_idx.canonical_parts(), idx.canonical_parts());
+        prop_assert_eq!(v1_idx.meta(), idx.meta());
+    }
+
+    /// Any single-bit flip in a views-bearing snapshot — including inside
+    /// the conditioned section — is rejected as a codec-level error,
+    /// never accepted or panicking.
+    #[test]
+    fn flipped_views_section_is_detected(seed in 0u64..2_000, frac in 0.0f64..1.0, bit in 0u32..8) {
+        let idx = index_from(seed, 20, 120, 4);
+        let views = vec![vec![1u32, 5, 9], vec![0, 19]];
+        let bytes = snapshot::to_bytes_with_views(&idx, &views);
+        // target the tail (views section + CRC) specifically: the section
+        // occupies the last bytes of the payload before the 4-byte CRC
+        let views_bytes = 8 + views.iter().map(|v| 8 + 4 * v.len()).sum::<usize>() + 4;
+        let lo = bytes.len() - views_bytes;
+        let pos = lo + ((bytes.len() - 1 - lo) as f64 * frac) as usize;
+        let mut bad = bytes.clone();
+        bad[pos] ^= 1 << bit;
+        match snapshot::from_bytes_full(&bad) {
+            Err(EngineError::Corrupt(_)) | Err(EngineError::UnsupportedVersion(_)) => {}
+            Ok(_) => prop_assert!(false, "flip at byte {} accepted", pos),
+            Err(e) => prop_assert!(false, "unexpected error kind: {}", e),
+        }
+    }
+}

@@ -1,12 +1,16 @@
-//! The engine's answers must match cold solves: two campaigns served from
-//! one prebuilt index agree with from-scratch `solve()` welfare within
-//! Monte-Carlo tolerance, with zero RR-set resampling on the warm path.
+//! The engine's answers must match cold solves: campaigns served from one
+//! prebuilt index agree with from-scratch `solve()` welfare within
+//! Monte-Carlo tolerance (fresh path), and SP-conditioned follow-ups are
+//! **byte-identical** to the cold PRIMA+ path on the same sampled world —
+//! all with zero RR-set resampling on the warm path.
 
 use cwelmax_core::{CwelMaxAlgorithm, MaxGrd, Problem, SeqGrd};
-use cwelmax_diffusion::SimulationConfig;
-use cwelmax_engine::{CampaignEngine, CampaignQuery, QueryAlgorithm, RrIndex};
+use cwelmax_diffusion::{Allocation, SimulationConfig};
+use cwelmax_engine::{
+    graph_fingerprint, CampaignEngine, CampaignQuery, IndexMeta, QueryAlgorithm, RrIndex,
+};
 use cwelmax_graph::{generators, Graph, ProbabilityModel as PM};
-use cwelmax_rrset::ImmParams;
+use cwelmax_rrset::{select_from_collection, ImmParams, MarginalRr, RrCollection, StandardRr};
 use cwelmax_utility::configs::{self, TwoItemConfig};
 use std::sync::Arc;
 
@@ -53,6 +57,7 @@ fn two_campaigns_match_cold_solve_welfare() {
             model: configs::two_item_config(cfg),
             budgets: vec![b, b],
             algorithm: QueryAlgorithm::SeqGrdNm,
+            sp: Allocation::new(),
             sim: sim(),
         };
         let warm = engine.query(&q).unwrap();
@@ -94,6 +99,7 @@ fn maxgrd_warm_matches_cold() {
         model: configs::two_item_config(TwoItemConfig::C2),
         budgets: vec![4, 4],
         algorithm: QueryAlgorithm::MaxGrd,
+        sp: Allocation::new(),
         sim: sim(),
     };
     let warm = engine.query(&q).unwrap();
@@ -124,6 +130,7 @@ fn snapshot_reload_gives_identical_answers() {
         model: configs::two_item_config(TwoItemConfig::C3),
         budgets: vec![4, 4],
         algorithm: QueryAlgorithm::SeqGrdNm,
+        sp: Allocation::new(),
         sim: sim(),
     };
 
@@ -133,5 +140,222 @@ fn snapshot_reload_gives_identical_answers() {
     let b = reloaded.query(&q).unwrap();
     assert_eq!(a.allocation, b.allocation);
     assert_eq!(a.welfare, b.welfare);
+    std::fs::remove_file(&path).ok();
+}
+
+/// Build an index from an explicit StandardRr world `(seed, count)`, so a
+/// cold marginal collection over the **same world** can be reproduced.
+fn explicit_world_index(
+    graph: &Arc<Graph>,
+    theta: usize,
+    seed: u64,
+    cap: u32,
+) -> (RrCollection, Arc<RrIndex>) {
+    let n = graph.num_nodes();
+    let mut c = RrCollection::new(n);
+    c.extend_parallel(graph, &StandardRr, theta, seed, 2);
+    let idx = RrIndex::freeze(
+        &c,
+        IndexMeta {
+            eps: 0.5,
+            ell: 1.0,
+            seed,
+            budget_cap: cap,
+            graph_fingerprint: graph_fingerprint(graph),
+        },
+    );
+    (c, Arc::new(idx))
+}
+
+/// The tentpole correctness bar: a conditioned warm answer is
+/// **byte-identical** to the cold PRIMA+ path (marginal sampling +
+/// `select_from_collection` + pool assignment) over the same sampled
+/// world — same allocation, same welfare bits, zero warm-path sampling.
+#[test]
+fn conditioned_warm_matches_cold_prima_plus_on_same_world() {
+    let graph = shared_graph();
+    let n = graph.num_nodes();
+    let (theta, world_seed, cap, b) = (25_000usize, 0x0A1Du64, 12u32, 4usize);
+    let (_, index) = explicit_world_index(&graph, theta, world_seed, cap);
+    let engine = CampaignEngine::new(graph.clone(), index).unwrap();
+
+    let sp = Allocation::from_pairs([(5u32, 1usize), (33, 1), (170, 1)]);
+    let sp_nodes = sp.seed_nodes();
+
+    // cold PRIMA+ on the same world: marginal RR sets with the identical
+    // (seed, count), then the ordered selection at the cap
+    let mut marg = RrCollection::new(n);
+    marg.extend_parallel(&graph, &MarginalRr::new(n, &sp_nodes), theta, world_seed, 2);
+    let cold_sel = select_from_collection(&marg, cap as usize);
+
+    let model = configs::two_item_config(TwoItemConfig::C1);
+    let q = CampaignQuery {
+        model: model.clone(),
+        budgets: vec![b, b],
+        algorithm: QueryAlgorithm::SeqGrdNm,
+        sp: sp.clone(),
+        sim: sim(),
+    };
+    let warm = engine.query(&q).unwrap();
+
+    // cold assignment over the cold pool, same problem semantics
+    let problem = Problem::new_shared(graph.clone(), model)
+        .with_budgets(vec![b, b])
+        .with_fixed_allocation(sp.clone())
+        .with_sim(sim());
+    let cold = SeqGrd::nm().solve_with_pool(&problem, &cold_sel.seeds);
+    let cold_welfare = problem.evaluate(&cold.allocation);
+
+    assert_eq!(
+        warm.allocation, cold.allocation,
+        "conditioned warm allocation must be byte-identical to cold PRIMA+"
+    );
+    assert_eq!(
+        warm.welfare, cold_welfare,
+        "same evaluation worlds must give bit-equal welfare"
+    );
+    assert_eq!(warm.sp, sp, "the answer echoes its conditioning SP");
+    // item 1 is fixed in SP: only item 0 gets new seeds, fully budgeted
+    assert!(warm.allocation.seeds_of(1).is_empty());
+    assert_eq!(warm.allocation.seeds_of(0).len(), b);
+
+    // zero warm-path sampling, one view derivation, and a repeat is warm
+    let stats = engine.stats();
+    assert_eq!(stats.conditioned_views, 1);
+    assert_eq!(stats.conditioned_hits, 0);
+    assert_eq!(stats.pool_selections, 0, "the fresh pool was never needed");
+    let again = engine.query(&q).unwrap();
+    assert_eq!(again.allocation, warm.allocation);
+    assert_eq!(again.welfare, warm.welfare);
+    assert_eq!(engine.stats().conditioned_views, 1, "no re-derivation");
+    assert_eq!(engine.stats().conditioned_hits, 1);
+}
+
+/// MaxGRD follow-ups take the conditioned pool's prefix for the single
+/// best free item — byte-identical to the cold pool path as well.
+#[test]
+fn conditioned_maxgrd_matches_cold_pool_path() {
+    let graph = shared_graph();
+    let n = graph.num_nodes();
+    let (theta, world_seed, cap, b) = (20_000usize, 0x5EAu64, 6u32, 3usize);
+    let (_, index) = explicit_world_index(&graph, theta, world_seed, cap);
+    let engine = CampaignEngine::new(graph.clone(), index).unwrap();
+
+    let sp = Allocation::from_pairs([(7u32, 0usize), (99, 0)]);
+    let sp_nodes = sp.seed_nodes();
+    let mut marg = RrCollection::new(n);
+    marg.extend_parallel(&graph, &MarginalRr::new(n, &sp_nodes), theta, world_seed, 2);
+    let cold_sel = select_from_collection(&marg, cap as usize);
+
+    let model = configs::two_item_config(TwoItemConfig::C2);
+    let q = CampaignQuery {
+        model: model.clone(),
+        budgets: vec![b, b],
+        algorithm: QueryAlgorithm::MaxGrd,
+        sp: sp.clone(),
+        sim: sim(),
+    };
+    let warm = engine.query(&q).unwrap();
+    let problem = Problem::new_shared(graph.clone(), model)
+        .with_budgets(vec![b, b])
+        .with_fixed_allocation(sp)
+        .with_sim(sim());
+    let cold = MaxGrd.solve_with_pool(&problem, &cold_sel.seeds);
+    assert_eq!(warm.allocation, cold.allocation);
+    // item 0 is fixed in SP ⇒ MaxGRD's only free item is 1
+    assert_eq!(warm.allocation.items().iter().next(), Some(1));
+    assert_eq!(warm.welfare, problem.evaluate(&cold.allocation));
+}
+
+/// An engine restored from a snapshot with persisted views starts with
+/// those views derived (warm first follow-up), and answers identically to
+/// the engine that built them.
+#[test]
+fn snapshot_persisted_views_prewarm_the_conditioned_cache() {
+    let graph = shared_graph();
+    let (_, index) = explicit_world_index(&graph, 10_000, 0xCAFE, 6);
+    let sp_nodes = vec![5u32, 33];
+
+    let dir = std::env::temp_dir().join("cwelmax-engine-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("prewarm.cwrx");
+    cwelmax_engine::snapshot::save_with_views(&index, std::slice::from_ref(&sp_nodes), &path)
+        .unwrap();
+
+    let live = CampaignEngine::new(graph.clone(), index).unwrap();
+    let reloaded = CampaignEngine::from_snapshot(graph, &path).unwrap();
+    assert_eq!(
+        reloaded.stats().conditioned_views,
+        1,
+        "persisted view derived at load time"
+    );
+
+    let q = CampaignQuery {
+        model: configs::two_item_config(TwoItemConfig::C1),
+        budgets: vec![2, 2],
+        algorithm: QueryAlgorithm::SeqGrdNm,
+        sp: Allocation::from_pairs([(5u32, 1usize), (33, 1)]),
+        sim: sim(),
+    };
+    let a = live.query(&q).unwrap();
+    let b = reloaded.query(&q).unwrap();
+    assert_eq!(a.allocation, b.allocation);
+    assert_eq!(a.welfare, b.welfare);
+    assert_eq!(
+        reloaded.stats().conditioned_hits,
+        1,
+        "the first follow-up against the persisted SP is already warm"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// An all-follow-up batch never pays for (or pins) the fresh pool, and
+/// more persisted views than the default cache capacity all survive
+/// pre-warming.
+#[test]
+fn followup_batches_and_bulk_prewarm_avoid_fresh_pool_and_eviction() {
+    let graph = shared_graph();
+    let (_, index) = explicit_world_index(&graph, 5_000, 0xBA7C, 4);
+
+    // batch of two follow-ups only: zero fresh-pool selections
+    let engine = CampaignEngine::new(graph.clone(), index.clone()).unwrap();
+    let mk = |sp: Allocation| CampaignQuery {
+        model: configs::two_item_config(TwoItemConfig::C1),
+        budgets: vec![2, 2],
+        algorithm: QueryAlgorithm::SeqGrdNm,
+        sp,
+        sim: sim(),
+    };
+    let batch = [
+        mk(Allocation::from_pairs([(1u32, 1usize)])),
+        mk(Allocation::from_pairs([(2u32, 1usize)])),
+    ];
+    for r in engine.query_batch(&batch, 2) {
+        r.unwrap();
+    }
+    assert_eq!(
+        engine.stats().pool_selections,
+        0,
+        "an all-follow-up batch must not select the fresh pool"
+    );
+
+    // 40 persisted views (> default cap 32) all pre-warm without eviction
+    let views: Vec<Vec<u32>> = (0..40u32).map(|k| vec![k, k + 100]).collect();
+    let dir = std::env::temp_dir().join("cwelmax-engine-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bulk_prewarm.cwrx");
+    cwelmax_engine::snapshot::save_with_views(&index, &views, &path).unwrap();
+    let reloaded = CampaignEngine::from_snapshot(graph, &path).unwrap();
+    assert_eq!(reloaded.stats().conditioned_views, 40);
+    for k in 0..40u32 {
+        let q = mk(Allocation::from_pairs([(k, 1usize), (k + 100, 1)]));
+        reloaded.query(&q).unwrap();
+    }
+    assert_eq!(
+        reloaded.stats().conditioned_views,
+        40,
+        "every persisted view must still be resident — no re-derivations"
+    );
+    assert_eq!(reloaded.stats().conditioned_hits, 40);
     std::fs::remove_file(&path).ok();
 }

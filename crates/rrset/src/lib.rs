@@ -30,4 +30,5 @@ pub mod sampler;
 
 pub use collection::{greedy_argmax, RrCollection};
 pub use imm::{sampled_collection, select_from_collection, ImmParams, ImmResult};
+pub use prima::{condition_parts, conditioned_collection};
 pub use sampler::{MarginalRr, RrSampler, StandardRr, WeightedRr};

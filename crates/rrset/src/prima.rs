@@ -24,8 +24,66 @@
 
 use crate::collection::RrCollection;
 use crate::imm::{select_multi_budget, ImmParams, ImmResult};
-use crate::sampler::{MarginalRr, RrSampler};
+use crate::sampler::{MarginalRr, StandardRr};
 use cwelmax_graph::{Graph, NodeId};
+
+/// Condition canonical RR-set parts on a fixed seed set `SP`
+/// (Algorithm 3 as a *post-filter*): drop every retained set containing a
+/// node of `sp`, keep the rest verbatim, and leave θ to the caller
+/// (conditioning never changes the number of sets *sampled*, only the
+/// number retained — exactly how [`MarginalRr`] zeroes sets at sampling
+/// time).
+///
+/// This is the identity that makes warm follow-up serving sound: a
+/// [`StandardRr`] reverse BFS that never touches `SP` makes exactly the
+/// same RNG draws as a `MarginalRr` BFS (the early-stop only fires on
+/// sets that are discarded anyway), so filtering a standard collection
+/// produces the **same retained sets in the same order** as sampling
+/// marginally with the same `(seed, count)` — not merely the same
+/// distribution. `cwelmax-engine` exploits this to derive SP-conditioned
+/// views from a frozen standard index with no resampling; the equivalence
+/// is asserted bit-for-bit in this module's tests.
+///
+/// Returns the filtered `(set_offsets, members, weights)`.
+pub fn condition_parts(
+    num_nodes: usize,
+    set_offsets: &[usize],
+    members: &[NodeId],
+    weights: &[f64],
+    sp: &[NodeId],
+) -> (Vec<usize>, Vec<NodeId>, Vec<f64>) {
+    let mut in_sp = vec![false; num_nodes];
+    for &v in sp {
+        if (v as usize) < num_nodes {
+            in_sp[v as usize] = true;
+        }
+    }
+    let num_sets = weights.len();
+    let mut out_offsets = Vec::with_capacity(set_offsets.len());
+    out_offsets.push(0usize);
+    let mut out_members = Vec::with_capacity(members.len());
+    let mut out_weights = Vec::with_capacity(num_sets);
+    for j in 0..num_sets {
+        let set = &members[set_offsets[j]..set_offsets[j + 1]];
+        if set.iter().any(|&v| in_sp[v as usize]) {
+            continue; // covered by SP: carries no marginal weight
+        }
+        out_members.extend_from_slice(set);
+        out_offsets.push(out_members.len());
+        out_weights.push(weights[j]);
+    }
+    (out_offsets, out_members, out_weights)
+}
+
+/// [`condition_parts`] over a whole collection: the returned collection
+/// has the SP-covered sets removed and the **same θ** (`num_sampled`), so
+/// its estimator is the marginal estimator `σ(· | SP)`.
+pub fn conditioned_collection(collection: &RrCollection, sp: &[NodeId]) -> RrCollection {
+    let (set_offsets, members, weights) = collection.parts();
+    let (o, m, w) = condition_parts(collection.num_nodes(), set_offsets, members, weights, sp);
+    RrCollection::from_parts(collection.num_nodes(), o, m, w, collection.num_sampled())
+        .expect("conditioning a valid collection preserves its invariants")
+}
 
 /// The PRIMA+ selection: `b` ordered seeds, approximately optimal w.r.t.
 /// marginal spread over `sp` at every budget prefix in `budgets`.
@@ -46,8 +104,11 @@ pub fn prima_plus(
     select_multi_budget(graph, &sampler, budgets, b_total, params)
 }
 
-/// Estimate the marginal spread `σ(seeds | sp)` from a dedicated RR
-/// collection of `num_sets` marginal RR sets (used by tests and reports).
+/// Estimate the marginal spread `σ(seeds | sp)` from `num_sets` standard
+/// RR sets conditioned on `sp` (used by tests and reports). Sampling
+/// standard sets and post-filtering via [`conditioned_collection`] yields
+/// bit-identical results to sampling with [`MarginalRr`] directly — and
+/// exercises the same conditioning path the engine's warm views use.
 pub fn estimate_marginal_spread(
     graph: &Graph,
     sp: &[NodeId],
@@ -55,10 +116,9 @@ pub fn estimate_marginal_spread(
     num_sets: usize,
     seed: u64,
 ) -> f64 {
-    let sampler = MarginalRr::new(graph.num_nodes(), sp);
     let mut c = RrCollection::new(graph.num_nodes());
-    c.extend_parallel(graph, &sampler, num_sets, seed, 0);
-    let _ = sampler.max_weight();
+    c.extend_parallel(graph, &StandardRr, num_sets, seed, 0);
+    let c = conditioned_collection(&c, sp);
     c.estimate(c.coverage_of(seeds))
 }
 
@@ -116,6 +176,67 @@ mod tests {
         // a seed inside SP's reach adds nothing
         let est2 = estimate_marginal_spread(&g, &[2], &[3], 20_000, 3);
         assert!(est2.abs() < 0.05, "estimate {est2}");
+    }
+
+    #[test]
+    fn conditioning_standard_sets_equals_marginal_sampling_bit_for_bit() {
+        // the load-bearing identity: filter(StandardRr, SP) must produce
+        // the *same retained sets in the same order* as MarginalRr with
+        // the same (seed, count) — not merely the same distribution
+        let g = generators::erdos_renyi(120, 700, 21, PM::WeightedCascade);
+        let sp = [3u32, 17, 40, 99];
+        for threads in [1usize, 3] {
+            let mut std_c = RrCollection::new(120);
+            std_c.extend_parallel(&g, &crate::sampler::StandardRr, 2500, 9, threads);
+            let mut marg = RrCollection::new(120);
+            marg.extend_parallel(&g, &MarginalRr::new(120, &sp), 2500, 9, threads);
+            let cond = conditioned_collection(&std_c, &sp);
+            assert_eq!(cond.parts(), marg.parts(), "threads {threads}");
+            assert_eq!(cond.num_sampled(), marg.num_sampled());
+            assert!(cond.num_sets() < std_c.num_sets(), "something was filtered");
+        }
+    }
+
+    #[test]
+    fn conditioning_preserves_theta_and_greedy_matches_marginal() {
+        let g = generators::erdos_renyi(100, 600, 5, PM::WeightedCascade);
+        let sp = [0u32, 50];
+        let mut std_c = RrCollection::new(100);
+        std_c.extend_parallel(&g, &crate::sampler::StandardRr, 1500, 13, 2);
+        let cond = conditioned_collection(&std_c, &sp);
+        let mut marg = RrCollection::new(100);
+        marg.extend_parallel(&g, &MarginalRr::new(100, &sp), 1500, 13, 2);
+        let a = cond.greedy_select(5);
+        let b = marg.greedy_select(5);
+        assert_eq!(a.seeds, b.seeds);
+        assert_eq!(a.coverage, b.coverage); // same float-add order, exact
+                                            // θ unchanged ⇒ the estimator is the marginal estimator
+        assert_eq!(cond.num_sampled(), std_c.num_sampled());
+    }
+
+    #[test]
+    fn conditioning_on_empty_sp_is_identity() {
+        let g = generators::erdos_renyi(60, 300, 2, PM::WeightedCascade);
+        let mut c = RrCollection::new(60);
+        c.extend_parallel(&g, &crate::sampler::StandardRr, 400, 7, 2);
+        let cond = conditioned_collection(&c, &[]);
+        assert_eq!(cond.parts(), c.parts());
+        assert_eq!(cond.num_sampled(), c.num_sampled());
+    }
+
+    #[test]
+    fn condition_parts_drops_only_covered_sets() {
+        // sets {0,1}, {2}, {1,3}; SP = {1} removes the first and third
+        let offsets = vec![0usize, 2, 3, 5];
+        let members = vec![0u32, 1, 2, 1, 3];
+        let weights = vec![1.0, 2.0, 3.0];
+        let (o, m, w) = condition_parts(4, &offsets, &members, &weights, &[1]);
+        assert_eq!(o, vec![0, 1]);
+        assert_eq!(m, vec![2]);
+        assert_eq!(w, vec![2.0]);
+        // out-of-range SP nodes are ignored rather than panicking
+        let (o2, _, _) = condition_parts(4, &offsets, &members, &weights, &[1000]);
+        assert_eq!(o2, offsets);
     }
 
     #[test]

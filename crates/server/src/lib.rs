@@ -8,12 +8,15 @@
 //!
 //! The protocol is newline-delimited JSON (`engine::wire`): one request
 //! object per line, one response object per line, std-only — no HTTP
-//! stack, no external dependencies. Three request types:
+//! stack, no external dependencies. Four request types:
 //!
-//! * a campaign query (bare object or `{"type": "query", ...}`) — answered
-//!   with the allocation, welfare, and latency;
+//! * a campaign query (bare object or `{"type": "query", ...}`, fresh or
+//!   SP-conditioned via `"sp"`) — answered with the allocation, welfare,
+//!   and latency;
+//! * `{"type": "batch", "queries": [...]}` — many queries answered over
+//!   one wire line (round-trip amortization; per-entry errors);
 //! * `{"type": "stats"}` — server request/latency counters plus engine
-//!   counters (pool selections, welfare-cache hits, …);
+//!   counters (pool selections, welfare-cache hits, conditioned views, …);
 //! * `{"type": "shutdown"}` — graceful stop: in-flight requests finish,
 //!   open connections are closed, `run()` returns.
 //!
@@ -22,8 +25,11 @@
 //! the shared engine — `CampaignEngine` is `&self`-queryable by
 //! construction (immutable index + atomics + mutexed LRU cache), so no
 //! request ever blocks another except on the welfare-cache mutex.
-//! Malformed input of any kind is answered with a JSON error line; it
-//! never terminates the connection, let alone the process.
+//! [`CampaignServer::with_max_conns`] caps concurrent connections:
+//! arrivals past the cap get one JSON "server busy" line and a close
+//! instead of an unbounded worker thread. Malformed input of any kind is
+//! answered with a JSON error line; it never terminates the connection,
+//! let alone the process.
 //!
 //! ```no_run
 //! use cwelmax_engine::CampaignEngine;
@@ -44,7 +50,7 @@ use cwelmax_engine::{CampaignEngine, EngineStats};
 use serde::{Map, Serialize, Value};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -53,6 +59,8 @@ use std::time::Instant;
 pub struct ServerStats {
     /// Connections accepted.
     pub connections: u64,
+    /// Connections refused because the `--max-conns` limit was reached.
+    pub busy_rejections: u64,
     /// Requests parsed off the wire (well-formed or not).
     pub requests: u64,
     /// Campaign queries answered successfully.
@@ -69,13 +77,18 @@ struct Shared {
     engine: Arc<CampaignEngine>,
     addr: SocketAddr,
     stop: AtomicBool,
+    /// Concurrent-connection cap; 0 = unlimited.
+    max_conns: AtomicUsize,
     connections: AtomicU64,
+    busy_rejections: AtomicU64,
     requests: AtomicU64,
     queries: AtomicU64,
     errors: AtomicU64,
     latency_nanos: AtomicU64,
     /// Clones of live connection streams, so shutdown can unblock their
-    /// reader threads; slots are pruned as connections close.
+    /// reader threads; slots are pruned as connections close. The count of
+    /// occupied slots is also the live-connection count `--max-conns`
+    /// enforces.
     conns: Mutex<Vec<Option<TcpStream>>>,
 }
 
@@ -83,6 +96,7 @@ impl Shared {
     fn stats(&self) -> ServerStats {
         ServerStats {
             connections: self.connections.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
             requests: self.requests.load(Ordering::Relaxed),
             queries: self.queries.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
@@ -151,7 +165,9 @@ impl CampaignServer {
                 engine,
                 addr,
                 stop: AtomicBool::new(false),
+                max_conns: AtomicUsize::new(0),
                 connections: AtomicU64::new(0),
+                busy_rejections: AtomicU64::new(0),
                 requests: AtomicU64::new(0),
                 queries: AtomicU64::new(0),
                 errors: AtomicU64::new(0),
@@ -159,6 +175,17 @@ impl CampaignServer {
                 conns: Mutex::new(Vec::new()),
             }),
         })
+    }
+
+    /// Cap concurrent connections at `n` (0 = unlimited). A connection
+    /// arriving at the cap is answered with **one** JSON "server busy"
+    /// line and closed instead of getting an unbounded worker thread —
+    /// overload sheds load at accept time rather than by thread
+    /// exhaustion, and the refusal is machine-readable so clients can
+    /// back off and retry.
+    pub fn with_max_conns(self, n: usize) -> Self {
+        self.shared.max_conns.store(n, Ordering::SeqCst);
+        self
     }
 
     /// The bound address.
@@ -194,10 +221,19 @@ impl CampaignServer {
                         continue;
                     }
                 };
-                // a connection shutdown cannot reach (clone failure under
-                // fd pressure) would hang the final join — refuse it
-                let Some(slot) = register(shared, &stream) else {
-                    continue;
+                let slot = match register(shared, &stream) {
+                    Registration::Slot(slot) => slot,
+                    // at the --max-conns cap: shed load with one clean
+                    // JSON refusal instead of an unbounded worker thread
+                    Registration::Busy => {
+                        shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                        refuse_busy(shared, stream);
+                        continue;
+                    }
+                    // a connection shutdown cannot reach (clone failure
+                    // under fd pressure) would hang the final join —
+                    // refuse it
+                    Registration::Failed => continue,
                 };
                 // re-check *after* registering: a shutdown between the
                 // check above and `register` has already swept `conns`
@@ -218,20 +254,52 @@ impl CampaignServer {
     }
 }
 
-/// Park a clone of the stream where `Shared::shutdown` can reach it.
-fn register(shared: &Shared, stream: &TcpStream) -> Option<usize> {
-    let clone = stream.try_clone().ok()?;
+/// Outcome of trying to admit a new connection.
+enum Registration {
+    /// Admitted; the slot index in `Shared::conns`.
+    Slot(usize),
+    /// Refused: the `--max-conns` limit is reached.
+    Busy,
+    /// The stream could not be cloned (fd pressure) — drop it.
+    Failed,
+}
+
+/// Park a clone of the stream where `Shared::shutdown` can reach it. The
+/// occupancy check and the insertion happen under one lock, so the
+/// connection cap cannot be raced past.
+fn register(shared: &Shared, stream: &TcpStream) -> Registration {
+    let Ok(clone) = stream.try_clone() else {
+        return Registration::Failed;
+    };
     let mut conns = shared.conns.lock().unwrap();
+    let max = shared.max_conns.load(Ordering::SeqCst);
+    if max > 0 && conns.iter().flatten().count() >= max {
+        return Registration::Busy;
+    }
     match conns.iter().position(Option::is_none) {
         Some(i) => {
             conns[i] = Some(clone);
-            Some(i)
+            Registration::Slot(i)
         }
         None => {
             conns.push(Some(clone));
-            Some(conns.len() - 1)
+            Registration::Slot(conns.len() - 1)
         }
     }
+}
+
+/// Answer an over-limit connection with one JSON error line and close it.
+fn refuse_busy(shared: &Shared, stream: TcpStream) {
+    let max = shared.max_conns.load(Ordering::SeqCst);
+    let mut text = wire::to_line(&wire::error_response(&format!(
+        "server busy: connection limit {max} reached, retry later"
+    )));
+    text.push('\n');
+    let mut writer = BufWriter::new(&stream);
+    let _ = writer.write_all(text.as_bytes());
+    let _ = writer.flush();
+    drop(writer);
+    let _ = stream.shutdown(Shutdown::Both);
 }
 
 /// One connection: read request lines, write response lines, until EOF,
@@ -294,6 +362,30 @@ fn handle_line(shared: &Shared, line: &str) -> (Value, bool) {
                 )
             }
         },
+        RequestKind::Batch(entries) => {
+            // run the parseable entries through the engine's parallel
+            // batch path, then re-interleave with the parse errors so the
+            // response is positional
+            let runnable: Vec<_> = entries.iter().filter_map(|r| r.clone().ok()).collect();
+            let mut answers = shared.engine.query_batch(&runnable, 0).into_iter();
+            let rows: Vec<Result<_, String>> = entries
+                .iter()
+                .map(|r| match r {
+                    Ok(_) => answers
+                        .next()
+                        .expect("one answer per runnable query")
+                        .map_err(|e| e.to_string()),
+                    Err(e) => Err(e.clone()),
+                })
+                .collect();
+            for row in &rows {
+                match row {
+                    Ok(_) => shared.queries.fetch_add(1, Ordering::Relaxed),
+                    Err(_) => shared.errors.fetch_add(1, Ordering::Relaxed),
+                };
+            }
+            (wire::with_id(wire::batch_response(&rows), id), false)
+        }
         RequestKind::Stats => (
             wire::with_id(stats_response(&shared.stats(), &shared.engine.stats()), id),
             false,
@@ -311,6 +403,7 @@ fn handle_line(shared: &Shared, line: &str) -> (Value, bool) {
 fn stats_response(server: &ServerStats, engine: &EngineStats) -> Value {
     let mut s = Map::new();
     s.insert("connections".into(), server.connections.to_value());
+    s.insert("busy_rejections".into(), server.busy_rejections.to_value());
     s.insert("requests".into(), server.requests.to_value());
     s.insert("queries".into(), server.queries.to_value());
     s.insert("errors".into(), server.errors.to_value());

@@ -70,6 +70,24 @@ impl Client {
         self.send(line);
         self.recv()
     }
+
+    /// Probe for a line the server pushed *unprompted* (the busy refusal
+    /// is written at accept time): returns it, or `None` if nothing
+    /// arrives within a grace window — an admitted connection stays
+    /// silent until queried.
+    fn try_recv_refusal(&mut self) -> Option<Value> {
+        self.reader
+            .get_ref()
+            .set_read_timeout(Some(std::time::Duration::from_millis(150)))
+            .unwrap();
+        let mut line = String::new();
+        let got = match self.reader.read_line(&mut line) {
+            Ok(n) if n > 0 => Some(serde_json::from_str(&line).expect("response is valid JSON")),
+            _ => None,
+        };
+        self.reader.get_ref().set_read_timeout(None).unwrap();
+        got
+    }
 }
 
 fn ok(v: &Value) -> bool {
@@ -241,6 +259,152 @@ fn ids_are_echoed_for_pipelined_clients() {
         r2.as_object().unwrap().get("id"),
         Some(&Value::String("second".into()))
     );
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn batch_envelope_answers_all_queries_on_one_line() {
+    let eng = engine();
+    // reference answers straight from the engine for the two valid entries
+    let parse = |q: &str| {
+        cwelmax_engine::wire::parse_query(&serde_json::from_str::<Value>(q).unwrap()).unwrap()
+    };
+    let want1 = eng.query(&parse(Q1)).unwrap();
+    let want2 = eng.query(&parse(Q2)).unwrap();
+
+    let (handle, join) = start(eng);
+    let mut c = Client::connect(&handle);
+    let line =
+        format!(r#"{{"type": "batch", "id": 11, "queries": [{Q1}, {{"budgets": [1]}}, {Q2}]}}"#);
+    let r = c.roundtrip(&line);
+    assert!(ok(&r), "{r:?}");
+    let obj = r.as_object().unwrap();
+    assert_eq!(obj.get("id"), Some(&Value::Int(11)));
+    let answers = obj.get("answers").unwrap().as_array().unwrap();
+    assert_eq!(answers.len(), 3);
+    // positional: entry 1 is the parse error, 0 and 2 match direct answers
+    for (k, want) in [(0usize, &want1), (2, &want2)] {
+        let a = answers[k].as_object().unwrap();
+        assert_eq!(a.get("ok"), Some(&Value::Bool(true)), "entry {k}");
+        let direct = cwelmax_engine::wire::answer_response(want);
+        assert_eq!(
+            a.get("allocation"),
+            direct.as_object().unwrap().get("allocation")
+        );
+        assert_eq!(a.get("welfare"), direct.as_object().unwrap().get("welfare"));
+    }
+    let e = answers[1].as_object().unwrap();
+    assert_eq!(e.get("ok"), Some(&Value::Bool(false)));
+    assert!(error_text(&answers[1]).contains("query 1"), "{e:?}");
+    // the whole batch was one request but counted per-entry
+    let stats = handle.stats();
+    assert_eq!(stats.requests, 1);
+    assert_eq!(stats.queries, 2);
+    assert_eq!(stats.errors, 1);
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn connections_above_max_conns_get_a_busy_refusal() {
+    let server = CampaignServer::bind(engine(), "127.0.0.1:0")
+        .unwrap()
+        .with_max_conns(2);
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().unwrap());
+
+    // two admitted connections, proven live with a real round-trip each
+    let mut a = Client::connect(&handle);
+    let mut b = Client::connect(&handle);
+    assert!(ok(&a.roundtrip(Q1)));
+    assert!(ok(&b.roundtrip(Q2)));
+
+    // the third gets one clean JSON refusal and then EOF
+    let mut c = Client::connect(&handle);
+    let refusal = c.recv();
+    assert!(!ok(&refusal));
+    assert!(error_text(&refusal).contains("server busy"), "{refusal:?}");
+    let mut line = String::new();
+    assert_eq!(c.reader.read_line(&mut line).unwrap(), 0, "must be closed");
+
+    // the admitted connections keep serving...
+    assert!(ok(&a.roundtrip(Q1)));
+    let stats = handle.stats();
+    assert_eq!(stats.busy_rejections, 1);
+    assert_eq!(stats.connections, 2);
+
+    // ...and closing one frees a slot for a new client
+    drop(b);
+    let mut d = loop {
+        // the server prunes the slot when its reader thread unwinds;
+        // retry until admission succeeds
+        let mut d = Client::connect(&handle);
+        match d.try_recv_refusal() {
+            None => break d,
+            Some(_) => std::thread::sleep(std::time::Duration::from_millis(20)),
+        }
+    };
+    assert!(ok(&d.roundtrip(Q2)));
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn followup_queries_are_served_warm_and_match_fresh_semantics() {
+    let eng = engine();
+    let (handle, join) = start(eng.clone());
+    let mut c = Client::connect(&handle);
+
+    // fresh query, then an SP-conditioned follow-up twice: the second
+    // follow-up must hit the conditioned-view cache (asserted via stats)
+    let fresh = c.roundtrip(Q1);
+    assert!(ok(&fresh), "{fresh:?}");
+    let sp_q = r#"{"config": "C1", "budgets": [3, 3], "sp": [[0, 1], [17, 1]], "samples": 100}"#;
+    let f1 = c.roundtrip(sp_q);
+    let f2 = c.roundtrip(sp_q);
+    assert!(ok(&f1) && ok(&f2), "{f1:?} / {f2:?}");
+    // identical answers modulo wall-clock time
+    for key in ["algorithm", "allocation", "sp", "welfare"] {
+        assert_eq!(
+            f1.as_object().unwrap().get(key),
+            f2.as_object().unwrap().get(key),
+            "follow-up repeat diverged on {key}"
+        );
+    }
+    // the response echoes the conditioning allocation
+    assert_eq!(
+        serde_json::to_string(f1.as_object().unwrap().get("sp").unwrap()).unwrap(),
+        "[[0,1],[17,1]]"
+    );
+    // item 1 is fixed in SP, so only item 0 gets new seeds
+    let alloc = f1.as_object().unwrap()["allocation"].as_array().unwrap();
+    assert_eq!(alloc.len(), 3);
+    for pair in alloc {
+        assert_eq!(pair.as_array().unwrap()[1], Value::Int(0));
+    }
+    // byte-identical to a direct engine answer for the same wire query
+    let parsed =
+        cwelmax_engine::wire::parse_query(&serde_json::from_str::<Value>(sp_q).unwrap()).unwrap();
+    let direct = cwelmax_engine::wire::answer_response(&eng.query(&parsed).unwrap());
+    assert_eq!(
+        f1.as_object().unwrap().get("allocation"),
+        direct.as_object().unwrap().get("allocation")
+    );
+    assert_eq!(
+        f1.as_object().unwrap().get("welfare"),
+        direct.as_object().unwrap().get("welfare")
+    );
+
+    let stats = c.roundtrip(r#"{"type": "stats"}"#);
+    let engine_stats = stats.as_object().unwrap()["engine"].as_object().unwrap();
+    assert_eq!(
+        engine_stats["conditioned_views"],
+        Value::Int(1),
+        "one view derivation serves every same-SP follow-up"
+    );
+    // two server repeats + one direct engine call above = two cache hits
+    assert_eq!(engine_stats["conditioned_hits"], Value::Int(2));
     handle.shutdown();
     join.join().unwrap();
 }

@@ -9,14 +9,21 @@
 //! * C5 (near-tied utilities) — displacement gains almost nothing, so the
 //!   budget goes to uncovered regions instead.
 //!
+//! The second half serves the same follow-up **warm**: a prebuilt
+//! standard RR-set index is filtered into an SP-conditioned view
+//! (`cwelmax-engine`), so repeated follow-up queries against the fixed
+//! allocation never resample.
+//!
 //! Run with: `cargo run --release --example followup_campaign`
 
 use cwelmax::core::SupGrd;
+use cwelmax::engine::{CampaignEngine, CampaignQuery, QueryAlgorithm, RrIndex};
 use cwelmax::graph::generators::{preferential_attachment, PaParams};
 use cwelmax::prelude::*;
 use cwelmax::rrset::imm::imm_select;
 use cwelmax::rrset::{ImmParams, StandardRr};
 use cwelmax::utility::configs::SupConfig;
+use std::sync::Arc;
 
 fn main() {
     let graph = preferential_attachment(
@@ -72,4 +79,34 @@ fn main() {
             seq.elapsed,
         );
     }
+
+    // --- the serving path: the same follow-up, warm -----------------------
+    // Build the standard index once (the expensive step a real deployment
+    // does offline with `cwelmax index build`), then answer SP-conditioned
+    // campaigns from it with zero resampling.
+    let graph = Arc::new(graph);
+    println!("\nbuilding RR-set index for warm follow-up serving…");
+    let index = Arc::new(RrIndex::build(&graph, 20, &imm_params));
+    let engine = CampaignEngine::new(graph, index).unwrap();
+
+    let query = CampaignQuery::new(
+        configs::two_item_config(configs::TwoItemConfig::C1),
+        vec![20, 20],
+        QueryAlgorithm::SeqGrdNm,
+    )
+    .with_sp(fixed.clone())
+    .with_samples(500);
+
+    let first = engine.query(&query).unwrap(); // derives + caches the view
+    let repeat = engine.query(&query).unwrap(); // served from the view cache
+    assert_eq!(first.allocation, repeat.allocation);
+    println!(
+        "warm follow-up: welfare {:.1}; first query (view derivation) {:?}, \
+         repeat {:?} — conditioned views {} / cache hits {}",
+        repeat.welfare,
+        first.elapsed,
+        repeat.elapsed,
+        engine.stats().conditioned_views,
+        engine.stats().conditioned_hits,
+    );
 }

@@ -21,8 +21,14 @@
 //!
 //! ```text
 //! cwelmax index build --graph edges.txt --out index.cwrx \
-//!         [--budget-cap 20] [--eps 0.5] [--ell 1.0] [--seed S] [--threads T]
+//!         [--budget-cap 20] [--eps 0.5] [--ell 1.0] [--seed S] [--threads T] \
+//!         [--condition 1,5,9]...
 //! ```
+//!
+//! Each `--condition` (repeatable) persists an SP node set in the
+//! snapshot's conditioned-views section (format v2): loading engines
+//! derive those SP-conditioned views eagerly, so the first follow-up
+//! query against a persisted prior allocation is already warm.
 //!
 //! ## Answer a batch of campaigns from the index (warm, no resampling)
 //!
@@ -35,25 +41,32 @@
 //!
 //! ```json
 //! [{"config": "C1", "budgets": [5, 5], "algorithm": "seqgrd-nm",
-//!   "samples": 1000, "seed": 7}]
+//!   "sp": [[17, 1]], "samples": 1000, "seed": 7}]
 //! ```
 //!
 //! where `config` is either a named paper configuration (`C1`–`C4`) or an
-//! inline JSON utility model, and `algorithm` is one of `seqgrd-nm |
-//! seqgrd | maxgrd | best-of`. A malformed query produces a per-query
+//! inline JSON utility model, `algorithm` is one of `seqgrd-nm | seqgrd |
+//! maxgrd | best-of`, and the optional `sp` (`[[node, item], …]`) makes
+//! the entry a **follow-up** campaign conditioned on that fixed prior
+//! allocation — served warm from an SP-conditioned view of the index,
+//! still with zero resampling. A malformed query produces a per-query
 //! error entry; the rest of the batch still runs.
 //!
 //! ## Serve campaigns over TCP (long-lived, index loaded once)
 //!
 //! ```text
 //! cwelmax serve --graph edges.txt --index index.cwrx \
-//!         [--addr 127.0.0.1:7878] [--cache-cap N]
+//!         [--addr 127.0.0.1:7878] [--cache-cap N] [--max-conns N]
 //! ```
 //!
 //! Newline-delimited JSON: each request line is a query object (same shape
-//! as a `query-batch` entry, plus optional `"id"` echoed back),
-//! `{"type": "stats"}`, or `{"type": "shutdown"}`; each response line
-//! carries `"ok": true|false`. See `cwelmax_engine::wire`.
+//! as a `query-batch` entry — SP-bearing follow-ups included — plus
+//! optional `"id"` echoed back), a `{"type": "batch", "queries": [...]}`
+//! envelope answered on one line, `{"type": "stats"}`, or
+//! `{"type": "shutdown"}`; each response line carries `"ok": true|false`.
+//! `--max-conns` refuses connections beyond the limit with a JSON "server
+//! busy" line instead of spawning unbounded threads. See
+//! `cwelmax_engine::wire`.
 //!
 //! Prints the chosen allocation(s), estimated welfare and per-item
 //! adoption counts; `--json` switches to machine-readable output.
@@ -196,6 +209,7 @@ fn cmd_index_build(argv: Vec<String>) {
     let mut graph_path = None;
     let mut out = None;
     let mut budget_cap: u32 = 20;
+    let mut conditions: Vec<Vec<u32>> = Vec::new();
     let mut params = ImmParams {
         threads: 0,
         max_rr_sets: 50_000_000,
@@ -213,6 +227,16 @@ fn cmd_index_build(argv: Vec<String>) {
             "--seed" => params.seed = f.parsed("--seed"),
             "--threads" => params.threads = f.parsed("--threads"),
             "--max-rr-sets" => params.max_rr_sets = f.parsed("--max-rr-sets"),
+            "--condition" => conditions.push(
+                f.value("--condition")
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .unwrap_or_else(|_| die("bad --condition node id"))
+                    })
+                    .collect(),
+            ),
             other => die(&format!("unknown `index build` argument `{other}`")),
         }
     }
@@ -222,6 +246,14 @@ fn cmd_index_build(argv: Vec<String>) {
         die("--budget-cap must be positive");
     }
     let graph = load_graph(&graph_path);
+    for sp in &conditions {
+        if let Some(&v) = sp.iter().find(|&&v| v as usize >= graph.num_nodes()) {
+            die(&format!(
+                "--condition node {v} out of range for a {}-node graph",
+                graph.num_nodes()
+            ));
+        }
+    }
     eprintln!(
         "building index: {} nodes, {} edges, budget cap {budget_cap}, eps {}",
         graph.num_nodes(),
@@ -231,14 +263,15 @@ fn cmd_index_build(argv: Vec<String>) {
     let start = std::time::Instant::now();
     let index = RrIndex::build(&graph, budget_cap, &params);
     let build_time = start.elapsed();
-    engine::snapshot::save(&index, &out)
+    engine::snapshot::save_with_views(&index, &conditions, &out)
         .unwrap_or_else(|e| die(&format!("cannot save index: {e}")));
     let size = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
     println!(
         "index built in {build_time:?}: θ = {} sampled, {} retained sets, \
-         {} bytes -> {out}",
+         {} persisted view(s), {} bytes -> {out}",
         index.num_sampled(),
         index.num_sets(),
+        conditions.len(),
         size
     );
 }
@@ -354,6 +387,7 @@ fn cmd_serve(argv: Vec<String>) {
     let mut index_path = None;
     let mut addr = "127.0.0.1:7878".to_string();
     let mut cache_cap: Option<usize> = None;
+    let mut max_conns: Option<usize> = None;
     let mut f = Flags::new(argv);
     while let Some(flag) = f.next_flag() {
         match flag.as_str() {
@@ -361,6 +395,7 @@ fn cmd_serve(argv: Vec<String>) {
             "--index" => index_path = Some(f.value("--index")),
             "--addr" => addr = f.value("--addr"),
             "--cache-cap" => cache_cap = Some(f.parsed("--cache-cap")),
+            "--max-conns" => max_conns = Some(f.parsed("--max-conns")),
             other => die(&format!("unknown `serve` argument `{other}`")),
         }
     }
@@ -371,8 +406,11 @@ fn cmd_serve(argv: Vec<String>) {
     if let Some(cap) = cache_cap {
         engine = engine.with_cache_capacity(cap);
     }
-    let server = CampaignServer::bind(Arc::new(engine), addr.as_str())
+    let mut server = CampaignServer::bind(Arc::new(engine), addr.as_str())
         .unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")));
+    if let Some(n) = max_conns {
+        server = server.with_max_conns(n);
+    }
     // announce readiness on stdout so drivers (tests, CI) can wait for it
     println!("cwelmax-serve listening on {}", server.local_addr());
     use std::io::Write as _;
