@@ -1,0 +1,99 @@
+//! Cold-open cost: monolithic snapshot load vs. sharded-store manifest
+//! open — the number that justifies the store's existence.
+//!
+//! A monolithic snapshot load reads, checksums, validates, and
+//! postings-rebuilds the **entire** index before the first query can run;
+//! `ShardedIndex::open` reads only the manifest (metadata + persisted
+//! budget-cap pool + per-shard integrity records), deferring every shard
+//! to first touch. Cold-open should therefore be `O(manifest)` — at
+//! least an order of magnitude under the snapshot load on the bench
+//! graph, and the gap *grows* with index size while the manifest stays
+//! effectively constant. Also measured: faulting all shards in (the
+//! worst-case first follow-up) and the serving path that makes laziness
+//! pay — a fresh engine query against a cold store, which touches zero
+//! shards.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cwelmax_bench::{network, Scale};
+use cwelmax_diffusion::{Allocation, SimulationConfig};
+use cwelmax_engine::{snapshot, CampaignEngine, CampaignQuery, QueryAlgorithm, RrIndex};
+use cwelmax_graph::generators::benchmark::Network;
+use cwelmax_store::{write_store, ShardedIndex};
+use cwelmax_utility::configs::{self, TwoItemConfig};
+use std::sync::Arc;
+
+const SHARDS: usize = 8;
+
+fn bench(c: &mut Criterion) {
+    let graph = network(Network::NetHept, Scale::Quick);
+    let imm = Scale::Quick.imm();
+    let index = RrIndex::build(&graph, 20, &imm);
+
+    let dir = std::env::temp_dir().join(format!("cwelmax-bench-store-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let snap_path = dir.join("index.cwrx");
+    std::fs::create_dir_all(&dir).unwrap();
+    snapshot::save(&index, &snap_path).unwrap();
+    let store_dir = dir.join("index.store");
+    write_store(&index, &store_dir, SHARDS).unwrap();
+
+    let query = CampaignQuery {
+        model: configs::two_item_config(TwoItemConfig::C1),
+        budgets: vec![5, 5],
+        algorithm: QueryAlgorithm::SeqGrdNm,
+        sp: Allocation::new(),
+        sim: SimulationConfig {
+            samples: 200,
+            threads: 2,
+            base_seed: 0xE7A2,
+        },
+    };
+
+    // machine-readable stats (BENCH_engine.json)
+    let mono = cwelmax_bench::benchjson::measure(20, || {
+        std::hint::black_box(snapshot::load(&snap_path).unwrap());
+    });
+    let lazy = cwelmax_bench::benchjson::measure(50, || {
+        std::hint::black_box(ShardedIndex::open(&store_dir).unwrap());
+    });
+    let load_all = cwelmax_bench::benchjson::measure(20, || {
+        let store = ShardedIndex::open(&store_dir).unwrap();
+        std::hint::black_box(store.load_all().unwrap());
+    });
+    // cold store → first fresh answer, no shard I/O on the whole path
+    let cold_query = cwelmax_bench::benchjson::measure(20, || {
+        let store = Arc::new(ShardedIndex::open(&store_dir).unwrap());
+        let engine = CampaignEngine::with_backend(graph.clone(), store.clone()).unwrap();
+        std::hint::black_box(engine.query(&query).unwrap());
+        assert_eq!(store.shards_loaded(), 0);
+    });
+    cwelmax_bench::benchjson::record(
+        &[
+            ("store_lazy_open/monolithic_snapshot_load", mono),
+            ("store_lazy_open/sharded_manifest_open", lazy),
+            ("store_lazy_open/parallel_load_all_shards", load_all),
+            ("store_lazy_open/cold_open_plus_fresh_query", cold_query),
+        ],
+        &[(
+            "store_open_speedup_mono_over_lazy",
+            mono.mean_ns / lazy.mean_ns,
+        )],
+    );
+
+    let mut group = c.benchmark_group("store_lazy_open");
+    group.sample_size(10);
+    group.bench_function("monolithic_snapshot_load", |b| {
+        b.iter(|| snapshot::load(&snap_path).unwrap())
+    });
+    group.bench_function("sharded_manifest_open", |b| {
+        b.iter(|| ShardedIndex::open(&store_dir).unwrap())
+    });
+    group.bench_function("parallel_load_all_shards", |b| {
+        b.iter(|| ShardedIndex::open(&store_dir).unwrap().load_all().unwrap())
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

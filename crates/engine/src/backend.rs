@@ -1,0 +1,131 @@
+//! [`IndexBackend`] — the engine's pluggable index abstraction.
+//!
+//! [`crate::CampaignEngine`] needs exactly three things from an index:
+//! its build metadata (budget cap + graph fingerprint, to validate
+//! queries and refuse foreign graphs), the ordered greedy pool at the
+//! budget cap (whose prefixes serve every fresh campaign), and a way to
+//! derive SP-conditioned views for follow-up campaigns. This trait
+//! captures that surface so the engine can serve from more than one
+//! physical representation:
+//!
+//! * the monolithic in-memory [`RrIndex`] (this module's blanket impl) —
+//!   everything resident, selections computed on demand;
+//! * `cwelmax-store`'s `ShardedIndex` — a manifest opened eagerly plus
+//!   N shard files loaded lazily on first touch, where the budget-cap
+//!   pool is *persisted in the manifest* so fresh campaigns are answered
+//!   without loading a single shard.
+//!
+//! [`StorageStats`] makes the physical shape observable: the server's
+//! `{"type": "stats"}` response reports how many shards exist, how many
+//! were actually faulted in, and the store's on-disk footprint, so lazy
+//! loading is verifiable over the wire rather than an article of faith.
+
+use crate::conditioned::ConditionedView;
+use crate::error::EngineError;
+use crate::index::{IndexMeta, RrIndex};
+use cwelmax_graph::NodeId;
+
+/// Point-in-time description of a backend's physical storage shape.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Shards the backend is made of (1 for a monolithic index).
+    pub shards_total: u64,
+    /// Shards currently resident in memory. For a monolithic index this
+    /// is always 1; for a sharded store it grows from 0 as queries touch
+    /// shards.
+    pub shards_loaded: u64,
+    /// Bytes the backend occupies on disk (0 for an index that was built
+    /// in memory rather than opened from a store).
+    pub bytes_on_disk: u64,
+}
+
+/// What the campaign engine requires of an index representation. All
+/// methods take `&self`: backends are shared across query threads, so
+/// any lazy loading happens behind interior mutability.
+pub trait IndexBackend: Send + Sync {
+    /// Build metadata (ε, ℓ, seed, budget cap, graph fingerprint).
+    fn meta(&self) -> &IndexMeta;
+
+    /// Node-universe size.
+    fn num_nodes(&self) -> usize;
+
+    /// The ordered greedy seed pool at the budget cap. Prefix
+    /// preservation makes this one selection serve every fresh query
+    /// with a smaller budget. Fallible: a sharded backend may have to
+    /// fault shards in (or may serve a pool persisted at build time
+    /// without touching any shard).
+    fn pool_at_cap(&self) -> Result<Vec<NodeId>, EngineError>;
+
+    /// Derive the SP-conditioned view for `sp_nodes` (unsorted, possibly
+    /// with duplicates — implementations canonicalize). The engine caches
+    /// the result; implementations only build it.
+    fn derive_conditioned(&self, sp_nodes: &[NodeId]) -> Result<ConditionedView, EngineError>;
+
+    /// The backend's physical storage shape, for observability.
+    fn storage(&self) -> StorageStats;
+}
+
+impl IndexBackend for RrIndex {
+    fn meta(&self) -> &IndexMeta {
+        self.meta()
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.num_nodes()
+    }
+
+    fn pool_at_cap(&self) -> Result<Vec<NodeId>, EngineError> {
+        Ok(self.greedy_select(self.meta().budget_cap as usize).seeds)
+    }
+
+    fn derive_conditioned(&self, sp_nodes: &[NodeId]) -> Result<ConditionedView, EngineError> {
+        ConditionedView::derive(self, sp_nodes)
+    }
+
+    fn storage(&self) -> StorageStats {
+        StorageStats {
+            shards_total: 1,
+            shards_loaded: 1,
+            bytes_on_disk: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::graph_fingerprint;
+    use cwelmax_graph::{generators, ProbabilityModel as PM};
+    use cwelmax_rrset::{RrCollection, StandardRr};
+
+    #[test]
+    fn monolithic_backend_mirrors_the_index() {
+        let g = generators::erdos_renyi(60, 240, 3, PM::WeightedCascade);
+        let mut c = RrCollection::new(60);
+        c.extend_parallel(&g, &StandardRr, 600, 11, 2);
+        let idx = RrIndex::freeze(
+            &c,
+            IndexMeta {
+                eps: 0.5,
+                ell: 1.0,
+                seed: 11,
+                budget_cap: 4,
+                graph_fingerprint: graph_fingerprint(&g),
+            },
+        );
+        let backend: &dyn IndexBackend = &idx;
+        assert_eq!(backend.num_nodes(), 60);
+        assert_eq!(backend.meta().budget_cap, 4);
+        assert_eq!(backend.pool_at_cap().unwrap(), idx.greedy_select(4).seeds);
+        let view = backend.derive_conditioned(&[5, 1, 5]).unwrap();
+        assert_eq!(view.sp_nodes(), &[1, 5]);
+        assert_eq!(
+            backend.storage(),
+            StorageStats {
+                shards_total: 1,
+                shards_loaded: 1,
+                bytes_on_disk: 0
+            }
+        );
+    }
+}

@@ -66,8 +66,16 @@ pub fn frame(payload: &[u8]) -> Vec<u8> {
 /// Frame a payload at an explicit version (compatibility tests write
 /// genuine v1 files with this).
 pub fn frame_with_version(version: u32, payload: &[u8]) -> Vec<u8> {
+    frame_tagged(MAGIC, version, payload)
+}
+
+/// Frame a payload under an arbitrary file magic — the general form every
+/// engine-family artifact uses (`CWRX` snapshots here; the sharded store's
+/// manifest and shard files in `cwelmax-store` carry their own magics so a
+/// file can never be parsed as the wrong kind).
+pub fn frame_tagged(magic: u32, version: u32, payload: &[u8]) -> Vec<u8> {
     let mut out = BytesMut::with_capacity(payload.len() + 20);
-    out.put_u32_le(MAGIC);
+    out.put_u32_le(magic);
     out.put_u32_le(version);
     out.put_u64_le(payload.len() as u64);
     out.put_slice(payload);
@@ -78,6 +86,15 @@ pub fn frame_with_version(version: u32, payload: &[u8]) -> Vec<u8> {
 /// Unframe: verify magic, version, length and CRC; return the format
 /// version (any supported one: `VERSION_V1..=VERSION`) and the payload.
 pub fn unframe(bytes: &[u8]) -> Result<(u32, &[u8]), EngineError> {
+    unframe_tagged(MAGIC, VERSION_V1..=VERSION, bytes)
+}
+
+/// [`unframe`] under an arbitrary magic and supported-version range.
+pub fn unframe_tagged(
+    magic: u32,
+    supported: std::ops::RangeInclusive<u32>,
+    bytes: &[u8],
+) -> Result<(u32, &[u8]), EngineError> {
     if bytes.len() < 20 {
         return Err(EngineError::Corrupt(format!(
             "snapshot too short: {} bytes",
@@ -85,14 +102,14 @@ pub fn unframe(bytes: &[u8]) -> Result<(u32, &[u8]), EngineError> {
         )));
     }
     let mut cur = bytes;
-    let magic = cur.get_u32_le();
-    if magic != MAGIC {
+    let got = cur.get_u32_le();
+    if got != magic {
         return Err(EngineError::Corrupt(format!(
-            "bad magic {magic:#010x} (expected {MAGIC:#010x})"
+            "bad magic {got:#010x} (expected {magic:#010x})"
         )));
     }
     let version = cur.get_u32_le();
-    if !(VERSION_V1..=VERSION).contains(&version) {
+    if !supported.contains(&version) {
         return Err(EngineError::UnsupportedVersion(version));
     }
     let len = cur.get_u64_le() as usize;
@@ -285,6 +302,27 @@ mod tests {
             unframe(&frame_with_version(0, &payload)),
             Err(EngineError::UnsupportedVersion(0))
         ));
+    }
+
+    #[test]
+    fn tagged_frames_are_magic_and_version_checked() {
+        let framed = frame_tagged(0xDEAD_BEEF, 3, b"payload");
+        assert_eq!(
+            unframe_tagged(0xDEAD_BEEF, 1..=3, &framed).unwrap(),
+            (3, &b"payload"[..])
+        );
+        // the wrong family magic is a Corrupt error, not a parse attempt
+        assert!(matches!(
+            unframe_tagged(0xFEED_FACE, 1..=3, &framed),
+            Err(EngineError::Corrupt(_))
+        ));
+        // a version outside the caller's supported range is rejected
+        assert!(matches!(
+            unframe_tagged(0xDEAD_BEEF, 1..=2, &framed),
+            Err(EngineError::UnsupportedVersion(3))
+        ));
+        // snapshot frames never unframe under a foreign magic
+        assert!(unframe_tagged(0xDEAD_BEEF, 1..=3, &frame(b"payload")).is_err());
     }
 
     #[test]

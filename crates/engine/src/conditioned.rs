@@ -34,7 +34,7 @@
 //! `tests/warm_vs_cold.rs`). See DESIGN.md §5b.
 
 use crate::error::EngineError;
-use crate::index::RrIndex;
+use crate::index::{IndexMeta, RrIndex};
 use crate::lru::LruCache;
 use cwelmax_graph::NodeId;
 use cwelmax_rrset::collection::GreedySelection;
@@ -62,6 +62,25 @@ pub fn sp_fingerprint(sp_nodes: &[NodeId]) -> u64 {
     h
 }
 
+/// Reject out-of-range SP nodes and return the sorted, deduped node set —
+/// the canonical conditioning key every backend derives from. A silent
+/// clamp would serve a *differently* conditioned answer than the query
+/// asked for, hence the `BadQuery` error.
+pub fn validated_sp_nodes(
+    num_nodes: usize,
+    sp_nodes: &[NodeId],
+) -> Result<Vec<NodeId>, EngineError> {
+    if let Some(&v) = sp_nodes.iter().find(|&&v| v as usize >= num_nodes) {
+        return Err(EngineError::BadQuery(format!(
+            "SP node {v} out of range for a {num_nodes}-node graph"
+        )));
+    }
+    let mut nodes = sp_nodes.to_vec();
+    nodes.sort_unstable();
+    nodes.dedup();
+    Ok(nodes)
+}
+
 /// A frozen, SP-conditioned view of a base [`RrIndex`]: the surviving
 /// RR sets (θ preserved) plus the precomputed ordered greedy pool at the
 /// base budget cap. Immutable and cheaply shareable behind `Arc`.
@@ -87,22 +106,47 @@ impl ConditionedView {
     /// conditioned answer than the query asked for.
     pub fn derive(base: &RrIndex, sp_nodes: &[NodeId]) -> Result<ConditionedView, EngineError> {
         let n = base.num_nodes();
-        if let Some(&v) = sp_nodes.iter().find(|&&v| v as usize >= n) {
-            return Err(EngineError::BadQuery(format!(
-                "SP node {v} out of range for a {n}-node graph"
-            )));
-        }
-        let mut nodes = sp_nodes.to_vec();
-        nodes.sort_unstable();
-        nodes.dedup();
+        let nodes = validated_sp_nodes(n, sp_nodes)?;
         let (set_offsets, members, weights) = base.canonical_parts();
         let (o, m, w) = condition_parts(n, set_offsets, members, weights, &nodes);
         let removed_sets = base.num_sets() - w.len();
-        let inner = RrIndex::from_canonical(n, base.num_sampled(), o, m, w, *base.meta())?;
-        let pool = inner.greedy_select(base.meta().budget_cap as usize).seeds;
+        Self::from_conditioned_parts(
+            nodes,
+            n,
+            base.num_sampled(),
+            o,
+            m,
+            w,
+            *base.meta(),
+            removed_sets,
+        )
+    }
+
+    /// Assemble a view from **already-filtered** canonical parts — the
+    /// hook sharded backends use: they run `condition_parts` shard by
+    /// shard (contiguous set ranges, so concatenating the survivors in
+    /// shard order is bit-identical to filtering the monolithic parts)
+    /// and hand the concatenation here. `sp_nodes` must be sorted,
+    /// deduped, and in range; `num_sampled` is the **base** θ (filtering
+    /// preserves it — that is what makes the estimator marginal);
+    /// `removed_sets` is how many base sets the filter dropped.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_conditioned_parts(
+        sp_nodes: Vec<NodeId>,
+        num_nodes: usize,
+        num_sampled: usize,
+        set_offsets: Vec<usize>,
+        members: Vec<NodeId>,
+        weights: Vec<f64>,
+        meta: IndexMeta,
+        removed_sets: usize,
+    ) -> Result<ConditionedView, EngineError> {
+        let inner =
+            RrIndex::from_canonical(num_nodes, num_sampled, set_offsets, members, weights, meta)?;
+        let pool = inner.greedy_select(meta.budget_cap as usize).seeds;
         Ok(ConditionedView {
-            fingerprint: sp_fingerprint(&nodes),
-            sp_nodes: nodes,
+            fingerprint: sp_fingerprint(&sp_nodes),
+            sp_nodes,
             inner,
             removed_sets,
             pool,
@@ -154,18 +198,22 @@ pub struct ConditionedCache {
 }
 
 impl ConditionedCache {
-    /// A cache holding at most `cap` views (clamped to ≥ 1).
+    /// A cache holding at most `cap` views (0 disables caching — every
+    /// lookup derives afresh).
     pub fn new(cap: usize) -> ConditionedCache {
         ConditionedCache {
             views: Mutex::new(LruCache::new(cap)),
         }
     }
 
-    /// Fetch the view for `sp_nodes`, deriving (and caching) it on a miss.
-    /// Returns the view and whether it was served from cache. Derivation
-    /// happens outside the lock, so a slow first derivation never blocks
-    /// hits for other SPs; two racing first queries may both derive — the
-    /// loser's work is wasted, not wrong.
+    /// Fetch the view for `sp_nodes`, deriving (and caching) it on a miss
+    /// via `derive` — the caller's backend hook ([`ConditionedView::derive`]
+    /// for a monolithic [`RrIndex`]; sharded backends filter shard by
+    /// shard). `derive` receives the sorted, deduped node set. Returns the
+    /// view and whether it was served from cache. Derivation happens
+    /// outside the lock, so a slow first derivation never blocks hits for
+    /// other SPs; two racing first queries may both derive — the loser's
+    /// work is wasted, not wrong.
     ///
     /// A hit is confirmed by comparing the stored node set, not the
     /// 64-bit fingerprint alone: `sp` arrives from untrusted wire
@@ -175,8 +223,8 @@ impl ConditionedCache {
     /// resident entry keeps its slot).
     pub fn get_or_derive(
         &self,
-        base: &RrIndex,
         sp_nodes: &[NodeId],
+        derive: impl FnOnce(&[NodeId]) -> Result<ConditionedView, EngineError>,
     ) -> Result<(Arc<ConditionedView>, bool), EngineError> {
         let mut nodes = sp_nodes.to_vec();
         nodes.sort_unstable();
@@ -189,11 +237,22 @@ impl ConditionedCache {
             }
             collision = true;
         }
-        let view = Arc::new(ConditionedView::derive(base, &nodes)?);
+        let view = Arc::new(derive(&nodes)?);
         if !collision {
             self.views.lock().unwrap().insert(key, view.clone());
         }
         Ok((view, false))
+    }
+
+    /// [`ConditionedCache::get_or_derive`] against a monolithic base
+    /// index (test convenience).
+    #[cfg(test)]
+    fn get_or_derive_test(
+        &self,
+        base: &RrIndex,
+        sp_nodes: &[NodeId],
+    ) -> Result<(Arc<ConditionedView>, bool), EngineError> {
+        self.get_or_derive(sp_nodes, |nodes| ConditionedView::derive(base, nodes))
     }
 
     /// Number of views currently cached.
@@ -310,19 +369,19 @@ mod tests {
     fn cache_hits_on_equivalent_sp_and_evicts_lru() {
         let (idx, _) = base_index(50, 250, 9, 500, 3);
         let cache = ConditionedCache::new(2);
-        let (_, hit) = cache.get_or_derive(&idx, &[1, 2]).unwrap();
+        let (_, hit) = cache.get_or_derive_test(&idx, &[1, 2]).unwrap();
         assert!(!hit);
         // same node set, different order/dups → cache hit
-        let (_, hit) = cache.get_or_derive(&idx, &[2, 1, 1]).unwrap();
+        let (_, hit) = cache.get_or_derive_test(&idx, &[2, 1, 1]).unwrap();
         assert!(hit);
-        let (_, hit) = cache.get_or_derive(&idx, &[3]).unwrap();
+        let (_, hit) = cache.get_or_derive_test(&idx, &[3]).unwrap();
         assert!(!hit);
         // [1,2] was last touched before [3], so a third SP evicts it
-        let (_, hit) = cache.get_or_derive(&idx, &[4]).unwrap();
+        let (_, hit) = cache.get_or_derive_test(&idx, &[4]).unwrap();
         assert!(!hit);
-        let (_, hit) = cache.get_or_derive(&idx, &[3]).unwrap();
+        let (_, hit) = cache.get_or_derive_test(&idx, &[3]).unwrap();
         assert!(hit, "[3] must have survived");
-        let (_, hit) = cache.get_or_derive(&idx, &[1, 2]).unwrap();
+        let (_, hit) = cache.get_or_derive_test(&idx, &[1, 2]).unwrap();
         assert!(!hit, "[1,2] was the LRU and must have been evicted");
         assert_eq!(cache.len(), 2);
     }

@@ -20,6 +20,7 @@
 //! [`CampaignEngine::query_batch`] fans independent queries out across
 //! threads — the engine is immutable-shared (`&self`) by construction.
 
+use crate::backend::{IndexBackend, StorageStats};
 use crate::conditioned::{ConditionedCache, ConditionedView, DEFAULT_CONDITIONED_CAP};
 use crate::error::EngineError;
 use crate::index::{graph_fingerprint, RrIndex};
@@ -52,15 +53,28 @@ pub struct EngineStats {
     pub conditioned_views: u64,
     /// Follow-up queries whose view came from the conditioned cache.
     pub conditioned_hits: u64,
+    /// Shards the index backend is made of (1 for a monolithic index).
+    pub shards_total: u64,
+    /// Shards currently resident in memory (lazy stores grow this from 0
+    /// as queries touch shards; monolithic indexes are always fully
+    /// resident).
+    pub shards_loaded: u64,
+    /// On-disk footprint of the index backend in bytes (0 when the index
+    /// lives only in memory).
+    pub store_bytes_on_disk: u64,
 }
 
-/// Multi-campaign query engine over a shared graph + prebuilt index.
+/// Multi-campaign query engine over a shared graph + prebuilt index
+/// backend (a monolithic [`RrIndex`] or a lazy sharded store).
 pub struct CampaignEngine {
     graph: Arc<Graph>,
-    index: Arc<RrIndex>,
-    /// The ordered greedy selection at the index's budget cap; computed on
-    /// first use, prefixes serve every query.
-    pool: OnceLock<Vec<NodeId>>,
+    backend: Arc<dyn IndexBackend>,
+    /// The ordered greedy selection at the index's budget cap; computed
+    /// (or fetched from the backend's persisted pool) on first use,
+    /// prefixes serve every query. A backend failure is cached too — a
+    /// store whose shards are corrupt fails every fresh query the same
+    /// way instead of re-reading broken files.
+    pool: OnceLock<Result<Vec<NodeId>, EngineError>>,
     /// Welfare cache: `(model, allocation, sim)` fingerprint → estimate.
     /// Bounded LRU — hot keys survive sustained mixed traffic instead of
     /// being dropped wholesale when the cache fills.
@@ -82,18 +96,29 @@ pub struct CampaignEngine {
 pub const DEFAULT_CACHE_CAP: usize = 4096;
 
 impl CampaignEngine {
-    /// Bind a graph and an index. Fails if the index was built for a
-    /// different graph (fingerprint mismatch) — answering queries with a
-    /// foreign index would silently produce garbage allocations.
+    /// Bind a graph and a monolithic in-memory index. Fails if the index
+    /// was built for a different graph (fingerprint mismatch) — answering
+    /// queries with a foreign index would silently produce garbage
+    /// allocations.
     pub fn new(graph: Arc<Graph>, index: Arc<RrIndex>) -> Result<CampaignEngine, EngineError> {
+        Self::with_backend(graph, index)
+    }
+
+    /// Bind a graph and any [`IndexBackend`] — the general constructor
+    /// `serve --store` uses with a lazily loaded sharded store. The same
+    /// graph-fingerprint check applies.
+    pub fn with_backend(
+        graph: Arc<Graph>,
+        backend: Arc<dyn IndexBackend>,
+    ) -> Result<CampaignEngine, EngineError> {
         let actual = graph_fingerprint(&graph);
-        let expected = index.meta().graph_fingerprint;
+        let expected = backend.meta().graph_fingerprint;
         if expected != actual {
             return Err(EngineError::GraphMismatch { expected, actual });
         }
         Ok(CampaignEngine {
             graph,
-            index,
+            backend,
             pool: OnceLock::new(),
             cache: Mutex::new(LruCache::new(DEFAULT_CACHE_CAP)),
             conditioned: ConditionedCache::new(DEFAULT_CONDITIONED_CAP),
@@ -106,15 +131,17 @@ impl CampaignEngine {
         })
     }
 
-    /// Resize the welfare cache (entries; clamped to ≥ 1). Existing cached
+    /// Resize the welfare cache (entries; 0 disables welfare caching
+    /// entirely — every evaluation recomputes). Existing cached
     /// evaluations are dropped — intended for construction time.
     pub fn with_cache_capacity(self, cap: usize) -> CampaignEngine {
         *self.cache.lock().unwrap() = LruCache::new(cap);
         self
     }
 
-    /// Resize the conditioned-view cache (entries; clamped to ≥ 1).
-    /// Existing views are dropped — intended for construction time.
+    /// Resize the conditioned-view cache (entries; 0 disables view
+    /// caching — every follow-up re-derives). Existing views are
+    /// dropped — intended for construction time.
     pub fn with_conditioned_capacity(mut self, cap: usize) -> CampaignEngine {
         self.conditioned = ConditionedCache::new(cap);
         self
@@ -146,13 +173,18 @@ impl CampaignEngine {
         &self.graph
     }
 
-    /// The shared index.
-    pub fn index(&self) -> &Arc<RrIndex> {
-        &self.index
+    /// The shared index backend.
+    pub fn backend(&self) -> &Arc<dyn IndexBackend> {
+        &self.backend
     }
 
-    /// Counters snapshot.
+    /// Counters snapshot, including the backend's storage shape.
     pub fn stats(&self) -> EngineStats {
+        let StorageStats {
+            shards_total,
+            shards_loaded,
+            bytes_on_disk,
+        } = self.backend.storage();
         EngineStats {
             queries: self.queries.load(Ordering::Relaxed),
             pool_selections: self.pool_selections.load(Ordering::Relaxed),
@@ -160,22 +192,30 @@ impl CampaignEngine {
             welfare_cache_hits: self.welfare_cache_hits.load(Ordering::Relaxed),
             conditioned_views: self.conditioned_views.load(Ordering::Relaxed),
             conditioned_hits: self.conditioned_hits.load(Ordering::Relaxed),
+            shards_total,
+            shards_loaded,
+            store_bytes_on_disk: bytes_on_disk,
         }
     }
 
-    /// The ordered seed pool at the budget cap (selected lazily, once).
-    fn pool(&self) -> &[NodeId] {
-        self.pool.get_or_init(|| {
+    /// The ordered seed pool at the budget cap (fetched from the backend
+    /// lazily, once — success or failure).
+    fn pool(&self) -> Result<&[NodeId], EngineError> {
+        let pool = self.pool.get_or_init(|| {
             self.pool_selections.fetch_add(1, Ordering::Relaxed);
-            self.index
-                .greedy_select(self.index.meta().budget_cap as usize)
-                .seeds
-        })
+            self.backend.pool_at_cap()
+        });
+        match pool {
+            Ok(p) => Ok(p),
+            Err(e) => Err(e.duplicate()),
+        }
     }
 
     /// The SP-conditioned view for `sp_nodes`, from the cache when warm.
     fn conditioned_view(&self, sp_nodes: &[NodeId]) -> Result<Arc<ConditionedView>, EngineError> {
-        let (view, hit) = self.conditioned.get_or_derive(&self.index, sp_nodes)?;
+        let (view, hit) = self
+            .conditioned
+            .get_or_derive(sp_nodes, |nodes| self.backend.derive_conditioned(nodes))?;
         if hit {
             self.conditioned_hits.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -217,7 +257,7 @@ impl CampaignEngine {
             QueryAlgorithm::MaxGrd => free_budgets.max().unwrap_or(0),
             _ => free_budgets.sum(),
         };
-        let cap = self.index.meta().budget_cap as usize;
+        let cap = self.backend.meta().budget_cap as usize;
         if needed > cap {
             return Err(EngineError::BadQuery(format!(
                 "query needs {needed} pool seeds but the index supports at most {cap} \
@@ -238,7 +278,7 @@ impl CampaignEngine {
         // the view Arc must outlive `pool`, hence the binding
         let view;
         let pool: &[NodeId] = if q.sp.is_empty() {
-            self.pool()
+            self.pool()?
         } else {
             view = self.conditioned_view(&q.sp.seed_nodes())?;
             view.pool()
@@ -301,7 +341,8 @@ impl CampaignEngine {
         // initialization work (get_or_init would serialize them anyway —
         // this just keeps the first query's latency out of every worker).
         // An all-follow-up batch never needs the fresh pool — don't pay
-        // the budget-cap selection for it
+        // the budget-cap selection for it. A pool failure surfaces
+        // per-query below, not here.
         if queries.iter().any(|q| q.sp.is_empty()) {
             let _ = self.pool();
         }
@@ -511,6 +552,34 @@ mod tests {
                 seed + 1
             );
         }
+    }
+
+    #[test]
+    fn zero_capacity_cache_disables_caching_without_breaking_queries() {
+        // regression: `with_cache_capacity(0)` used to clamp to a 1-entry
+        // cache; it must mean "no welfare caching" — same answers, zero
+        // hits, no panic or eviction churn
+        let cached = engine(80, 320, 17, 6);
+        let uncached = engine(80, 320, 17, 6).with_cache_capacity(0);
+        let q = query(QueryAlgorithm::SeqGrdNm, TwoItemConfig::C1, 2);
+        let want = cached.query(&q).unwrap();
+        for _ in 0..3 {
+            let got = uncached.query(&q).unwrap();
+            assert_eq!(got.allocation, want.allocation);
+            assert_eq!(got.welfare, want.welfare);
+        }
+        let s = uncached.stats();
+        assert_eq!(s.welfare_evals, 3);
+        assert_eq!(s.welfare_cache_hits, 0, "a disabled cache never hits");
+        // conditioned-view cache: capacity 0 re-derives per follow-up
+        let follow = engine(80, 320, 17, 6).with_conditioned_capacity(0);
+        let fq = query(QueryAlgorithm::SeqGrdNm, TwoItemConfig::C1, 2)
+            .with_sp(Allocation::from_pairs(vec![(3, 1)]));
+        follow.query(&fq).unwrap();
+        follow.query(&fq).unwrap();
+        let s = follow.stats();
+        assert_eq!(s.conditioned_views, 2, "every follow-up re-derives");
+        assert_eq!(s.conditioned_hits, 0);
     }
 
     #[test]

@@ -38,6 +38,26 @@ impl fmt::Display for EngineError {
     }
 }
 
+impl EngineError {
+    /// A best-effort copy of this error. `EngineError` cannot be `Clone`
+    /// (`std::io::Error` isn't), but lazy-loading slots cache a failure
+    /// and must hand each caller its own instance: the `Io` variant is
+    /// rebuilt from its kind and message, every other variant copies
+    /// exactly.
+    pub fn duplicate(&self) -> EngineError {
+        match self {
+            EngineError::Io(e) => EngineError::Io(std::io::Error::new(e.kind(), e.to_string())),
+            EngineError::Corrupt(msg) => EngineError::Corrupt(msg.clone()),
+            EngineError::UnsupportedVersion(v) => EngineError::UnsupportedVersion(*v),
+            EngineError::GraphMismatch { expected, actual } => EngineError::GraphMismatch {
+                expected: *expected,
+                actual: *actual,
+            },
+            EngineError::BadQuery(msg) => EngineError::BadQuery(msg.clone()),
+        }
+    }
+}
+
 impl std::error::Error for EngineError {}
 
 impl From<std::io::Error> for EngineError {

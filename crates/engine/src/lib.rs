@@ -25,7 +25,12 @@
 //! * [`CampaignEngine`] — loads a graph + index once and answers many
 //!   allocation queries (budgets × utility configs × algorithm choice ×
 //!   optional `SP`) over the shared index **without resampling**, with a
-//!   welfare-evaluation cache and parallel batch execution.
+//!   welfare-evaluation cache and parallel batch execution;
+//! * [`backend`] — the [`IndexBackend`] trait the engine serves through:
+//!   a monolithic [`RrIndex`] or `cwelmax-store`'s lazily loaded sharded
+//!   store plug in interchangeably, and [`StorageStats`] makes the
+//!   physical shape (shards total/loaded, bytes on disk) observable in
+//!   [`EngineStats`] and over the wire.
 //!
 //! ```
 //! use cwelmax_engine::{CampaignEngine, CampaignQuery, QueryAlgorithm, RrIndex};
@@ -53,6 +58,7 @@
 //! assert_eq!(engine.stats().pool_selections, 1); // one selection served both
 //! ```
 
+pub mod backend;
 pub mod codec;
 pub mod conditioned;
 pub mod engine;
@@ -63,7 +69,8 @@ pub mod query;
 pub mod snapshot;
 pub mod wire;
 
-pub use conditioned::{sp_fingerprint, ConditionedCache, ConditionedView};
+pub use backend::{IndexBackend, StorageStats};
+pub use conditioned::{sp_fingerprint, validated_sp_nodes, ConditionedCache, ConditionedView};
 pub use engine::{model_fingerprint, CampaignEngine, EngineStats};
 pub use error::EngineError;
 pub use index::{graph_fingerprint, IndexMeta, RrIndex};

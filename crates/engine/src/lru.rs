@@ -31,6 +31,13 @@ struct Slot<K, V> {
 /// A fixed-capacity least-recently-used map. `get` counts as a use;
 /// [`LruCache::peek`] does not. Inserting into a full cache evicts the
 /// least recently used entry and returns it.
+///
+/// Capacity 0 is a **disabled** cache, not a degenerate one: `insert`
+/// stores nothing (and evicts nothing — the incoming entry is simply
+/// dropped) and `get` always misses. The engine exposes this as
+/// `with_cache_capacity(0)` = "no caching", which matters for
+/// benchmarking the uncached path and for memory-constrained deployments;
+/// the old behavior silently clamped 0 to 1, which still cached.
 pub struct LruCache<K, V> {
     map: HashMap<K, usize>,
     slots: Vec<Slot<K, V>>,
@@ -42,9 +49,9 @@ pub struct LruCache<K, V> {
 }
 
 impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
-    /// A cache holding at most `cap` entries (`cap` is clamped to ≥ 1).
+    /// A cache holding at most `cap` entries. `cap == 0` disables caching
+    /// entirely (every `insert` is a no-op, every `get` a miss).
     pub fn new(cap: usize) -> LruCache<K, V> {
-        let cap = cap.max(1);
         LruCache {
             map: HashMap::with_capacity(cap.min(1 << 20)),
             slots: Vec::new(),
@@ -84,8 +91,12 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
 
     /// Insert (or update) `key → value`, marking it most recently used.
     /// Returns the evicted least-recently-used entry when the insert
-    /// overflowed capacity.
+    /// overflowed capacity. On a capacity-0 (disabled) cache this is a
+    /// no-op: the entry is dropped without evicting anything.
     pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if self.cap == 0 {
+            return None;
+        }
         if let Some(&i) = self.map.get(&key) {
             self.slots[i].value = value;
             self.unlink(i);
@@ -212,12 +223,29 @@ mod tests {
 
     #[test]
     fn capacity_one_behaves() {
-        let mut c: LruCache<u64, u64> = LruCache::new(0); // clamped to 1
+        let mut c: LruCache<u64, u64> = LruCache::new(1);
         assert_eq!(c.capacity(), 1);
         assert_eq!(c.insert(1, 10), None);
         assert_eq!(c.insert(2, 20), Some((1, 10)));
         assert_eq!(c.get(&2), Some(&20));
         c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn capacity_zero_disables_caching() {
+        // regression: capacity 0 used to clamp to 1 (still caching); it
+        // must mean "no caching" — no panic, no eviction loop, no storage
+        let mut c: LruCache<u64, u64> = LruCache::new(0);
+        assert_eq!(c.capacity(), 0);
+        for k in 0..100u64 {
+            assert_eq!(c.insert(k, k), None, "disabled insert must evict nothing");
+            assert_eq!(c.get(&k), None, "disabled cache must always miss");
+            assert_eq!(c.peek(&k), None);
+            assert!(c.is_empty());
+        }
+        assert_eq!(c.len(), 0);
+        c.clear(); // still a no-op, not a panic
         assert!(c.is_empty());
     }
 

@@ -225,6 +225,12 @@ pub fn engine_stats_value(s: &EngineStats) -> Value {
     m.insert("welfare_cache_hits".into(), s.welfare_cache_hits.to_value());
     m.insert("conditioned_views".into(), s.conditioned_views.to_value());
     m.insert("conditioned_hits".into(), s.conditioned_hits.to_value());
+    m.insert("shards_total".into(), s.shards_total.to_value());
+    m.insert("shards_loaded".into(), s.shards_loaded.to_value());
+    m.insert(
+        "store_bytes_on_disk".into(),
+        s.store_bytes_on_disk.to_value(),
+    );
     Value::Object(m)
 }
 

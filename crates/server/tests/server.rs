@@ -410,6 +410,88 @@ fn followup_queries_are_served_warm_and_match_fresh_semantics() {
 }
 
 #[test]
+fn store_backed_server_loads_shards_lazily_and_reports_it_in_stats() {
+    // the sharded-store serving path, end to end over real TCP: bind an
+    // engine whose backend is a lazily loaded store, answer a fresh
+    // campaign having loaded *zero* shards (the manifest's persisted
+    // pool serves it), then watch a follow-up fault every shard in — all
+    // observable through the new store-level stats fields
+    let graph = Arc::new(generators::erdos_renyi(
+        100,
+        400,
+        7,
+        ProbabilityModel::WeightedCascade,
+    ));
+    let params = ImmParams {
+        eps: 0.5,
+        ell: 1.0,
+        seed: 7,
+        threads: 2,
+        max_rr_sets: 500_000,
+    };
+    let index = RrIndex::build(&graph, 8, &params);
+    let dir = std::env::temp_dir().join(format!("cwelmax-server-store-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    cwelmax_store::write_store(&index, &dir, 6).unwrap();
+    let store = Arc::new(cwelmax_store::ShardedIndex::open(&dir).unwrap());
+    let eng = Arc::new(cwelmax_engine::CampaignEngine::with_backend(graph.clone(), store).unwrap());
+    // reference answers from a monolithic-index engine over the same data
+    let mono = CampaignEngine::new(graph, Arc::new(index)).unwrap();
+
+    let (handle, join) = start(eng);
+    let mut c = Client::connect(&handle);
+
+    // a fresh single-campaign query touches only the shards it needs: none
+    let fresh = c.roundtrip(Q1);
+    assert!(ok(&fresh), "{fresh:?}");
+    let parse = |q: &str| {
+        cwelmax_engine::wire::parse_query(&serde_json::from_str::<Value>(q).unwrap()).unwrap()
+    };
+    let direct = cwelmax_engine::wire::answer_response(&mono.query(&parse(Q1)).unwrap());
+    assert_eq!(
+        fresh.as_object().unwrap().get("allocation"),
+        direct.as_object().unwrap().get("allocation"),
+        "store-backed answer must be byte-identical to the monolithic one"
+    );
+    let stats = c.roundtrip(r#"{"type": "stats"}"#);
+    let engine_stats = stats.as_object().unwrap()["engine"].as_object().unwrap();
+    assert_eq!(engine_stats["shards_total"], Value::Int(6));
+    assert_eq!(
+        engine_stats["shards_loaded"],
+        Value::Int(0),
+        "a fresh campaign is served from the manifest pool: fewer shards \
+         loaded than exist — zero, in fact"
+    );
+    let on_disk = match engine_stats["store_bytes_on_disk"] {
+        Value::Int(b) => b,
+        Value::UInt(b) => b as i64,
+        ref other => panic!("store_bytes_on_disk not a number: {other:?}"),
+    };
+    assert!(on_disk > 0, "the store footprint is reported");
+
+    // the first SP-conditioned follow-up filters every shard → all loaded
+    let sp_q = r#"{"config": "C1", "budgets": [3, 3], "sp": [[0, 1], [17, 1]], "samples": 100}"#;
+    let follow = c.roundtrip(sp_q);
+    assert!(ok(&follow), "{follow:?}");
+    let direct = cwelmax_engine::wire::answer_response(&mono.query(&parse(sp_q)).unwrap());
+    assert_eq!(
+        follow.as_object().unwrap().get("allocation"),
+        direct.as_object().unwrap().get("allocation")
+    );
+    assert_eq!(
+        follow.as_object().unwrap().get("welfare"),
+        direct.as_object().unwrap().get("welfare")
+    );
+    let stats = c.roundtrip(r#"{"type": "stats"}"#);
+    let engine_stats = stats.as_object().unwrap()["engine"].as_object().unwrap();
+    assert_eq!(engine_stats["shards_loaded"], Value::Int(6));
+
+    handle.shutdown();
+    join.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn shutdown_request_stops_the_server_gracefully() {
     let (handle, join) = start(engine());
     let mut c = Client::connect(&handle);

@@ -1,0 +1,518 @@
+//! [`ShardedIndex`] — the lazy, shard-parallel runtime view of a store
+//! directory, plus [`write_store`], the build-side partitioner.
+//!
+//! Opening a store reads **only** the manifest: cold-open cost is
+//! `O(manifest)`, not `O(index)`, which is what makes server restarts on
+//! huge graphs near-instant. Shard files are faulted in on first touch
+//! through per-shard `OnceLock` slots (success *and* failure are cached —
+//! a corrupt shard fails the same way every time instead of re-reading
+//! the broken file), and whole-index operations fault the missing shards
+//! in **in parallel**.
+//!
+//! Every query result is byte-identical to the monolithic [`RrIndex`]
+//! the store was written from. That is not an accident of small inputs —
+//! shards hold *contiguous* global set ranges, so walking shards in
+//! order visits sets in exactly the global order, which preserves both
+//! the float-accumulation order of marginal gains/coverage and the
+//! low-set-id posting order the monolithic code relies on. The
+//! equivalence (including greedy tie-breaks) is proptested across shard
+//! counts in `tests/store_properties.rs`.
+
+use crate::format::{
+    shard_from_bytes, shard_path, shard_to_bytes, Manifest, ShardInfo, ShardParts, MANIFEST_FILE,
+};
+use cwelmax_engine::codec::crc32;
+use cwelmax_engine::conditioned::validated_sp_nodes;
+use cwelmax_engine::{
+    ConditionedView, EngineError, IndexBackend, IndexMeta, RrIndex, StorageStats,
+};
+use cwelmax_graph::NodeId;
+use cwelmax_rrset::collection::{greedy_argmax, GreedySelection};
+use cwelmax_rrset::condition_parts;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// What [`write_store`] produced, for logs and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreSummary {
+    /// Shard files written.
+    pub shards: usize,
+    /// Retained sets distributed across them.
+    pub total_sets: usize,
+    /// Total bytes on disk (manifest + shards).
+    pub bytes_on_disk: u64,
+}
+
+/// Partition a frozen index into a store directory: N shard files
+/// holding contiguous set ranges (written in parallel across a bounded
+/// worker pool), then the manifest — last, and atomically. The
+/// budget-cap greedy pool is computed once here and persisted in the
+/// manifest; serving never recomputes it.
+///
+/// Overwriting an existing store is safe against crashes: all new files
+/// are staged as `.tmp` first, then the **old manifest is deleted**
+/// before any shard is swapped in, so at every instant the directory
+/// either parses as the complete old store, fails to open with a clean
+/// "no manifest" error (mid-swap crash — never a store whose manifest
+/// and shards disagree), or parses as the complete new store. Stale
+/// shard files from a previous, larger shard count are pruned.
+///
+/// Output bytes are a pure function of `(index, shards)`: no timestamps,
+/// no iteration-order dependence — writing twice is byte-identical,
+/// which makes stores diffable and content-addressable exactly like
+/// snapshots.
+pub fn write_store(
+    index: &RrIndex,
+    dir: impl AsRef<Path>,
+    shards: usize,
+) -> Result<StoreSummary, EngineError> {
+    if shards == 0 {
+        return Err(EngineError::BadQuery("shard count must be positive".into()));
+    }
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let (set_offsets, members, weights) = index.canonical_parts();
+    let total = index.num_sets();
+    let chunk = total.div_ceil(shards).max(1);
+    let fingerprint = index.meta().graph_fingerprint;
+    // stage 1: serialize + write every shard as `.tmp`, in parallel over
+    // a bounded pool (shard counts are user-controlled — don't spawn one
+    // thread per shard). Each job is a pure function of its contiguous
+    // set range; per-worker results are concatenated in shard order.
+    let workers = worker_count(shards);
+    let per_worker = shards.div_ceil(workers);
+    let worker_results: Vec<Result<Vec<ShardInfo>, EngineError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut infos = Vec::new();
+                    for k in (w * per_worker)..((w + 1) * per_worker).min(shards) {
+                        let lo = (k * chunk).min(total);
+                        let hi = ((k + 1) * chunk).min(total);
+                        let base = set_offsets[lo];
+                        let local_offsets: Vec<u64> = set_offsets[lo..=hi]
+                            .iter()
+                            .map(|&x| (x - base) as u64)
+                            .collect();
+                        let bytes = shard_to_bytes(&ShardParts {
+                            shard_id: k,
+                            graph_fingerprint: fingerprint,
+                            set_start: lo,
+                            set_offsets: local_offsets,
+                            members: &members[base..set_offsets[hi]],
+                            weights: &weights[lo..hi],
+                        });
+                        std::fs::write(shard_path(dir, k).with_extension("tmp"), &bytes)?;
+                        infos.push(ShardInfo {
+                            set_start: lo,
+                            set_count: hi - lo,
+                            file_bytes: bytes.len() as u64,
+                            file_crc: crc32(&bytes),
+                        });
+                    }
+                    Ok(infos)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard writer panicked"))
+            .collect()
+    });
+    let mut infos = Vec::with_capacity(shards);
+    for r in worker_results {
+        infos.extend(r?);
+    }
+    // stage 2: point of no return — delete the old manifest (if any), so
+    // a crash while shards are being swapped leaves a directory that
+    // cleanly fails to open instead of an old manifest over new shards
+    match std::fs::remove_file(dir.join(MANIFEST_FILE)) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e.into()),
+    }
+    // stage 3: swap the staged shards in and prune stale ones from a
+    // previous, larger shard count
+    for k in 0..shards {
+        let path = shard_path(dir, k);
+        std::fs::rename(path.with_extension("tmp"), &path)?;
+    }
+    for k in shards.. {
+        if std::fs::remove_file(shard_path(dir, k)).is_err() {
+            break;
+        }
+    }
+    // stage 4: the new manifest, atomically — its appearance is what
+    // makes the directory a store again
+    let shard_bytes: u64 = infos.iter().map(|s| s.file_bytes).sum();
+    let manifest = Manifest {
+        meta: *index.meta(),
+        num_nodes: index.num_nodes(),
+        num_sampled: index.num_sampled(),
+        total_sets: total,
+        pool: index.greedy_select(index.meta().budget_cap as usize).seeds,
+        shards: infos,
+    };
+    let bytes = manifest.to_bytes();
+    let path = dir.join(MANIFEST_FILE);
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, &bytes)?;
+    std::fs::rename(&tmp, &path)?;
+    Ok(StoreSummary {
+        shards,
+        total_sets: total,
+        bytes_on_disk: shard_bytes + bytes.len() as u64,
+    })
+}
+
+/// Bounded parallelism for shard I/O: one worker per core, never more
+/// than there are jobs, at least one.
+fn worker_count(jobs: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(4)
+        .clamp(1, jobs.max(1))
+}
+
+/// A store directory opened for serving: eager manifest, lazy shards.
+/// Immutable and `&self`-queryable — share it behind an `Arc` exactly
+/// like an [`RrIndex`].
+pub struct ShardedIndex {
+    dir: PathBuf,
+    manifest: Manifest,
+    /// One lazy slot per shard; a slot holds the loaded per-shard index
+    /// or the (cached) load error.
+    slots: Vec<OnceLock<Result<Arc<RrIndex>, EngineError>>>,
+    /// Shards successfully resident (monotone; drives `shards_loaded`).
+    loaded: AtomicU64,
+    /// Manifest + declared shard file bytes.
+    bytes_on_disk: u64,
+}
+
+impl ShardedIndex {
+    /// Open a store by reading and validating **only** its manifest —
+    /// `O(manifest)` work no matter how large the index is. Shard files
+    /// are not read, not even `stat`ed, until a query touches them.
+    pub fn open(dir: impl AsRef<Path>) -> Result<ShardedIndex, EngineError> {
+        let dir = dir.as_ref().to_path_buf();
+        let bytes = std::fs::read(dir.join(MANIFEST_FILE))?;
+        let manifest = Manifest::from_bytes(&bytes)?;
+        let shard_bytes: u64 = manifest.shards.iter().map(|s| s.file_bytes).sum();
+        let slots = (0..manifest.shards.len())
+            .map(|_| OnceLock::new())
+            .collect();
+        Ok(ShardedIndex {
+            dir,
+            manifest,
+            slots,
+            loaded: AtomicU64::new(0),
+            bytes_on_disk: shard_bytes + bytes.len() as u64,
+        })
+    }
+
+    /// Build metadata (identical in meaning to a snapshot's).
+    pub fn meta(&self) -> &IndexMeta {
+        &self.manifest.meta
+    }
+
+    /// Node-universe size.
+    pub fn num_nodes(&self) -> usize {
+        self.manifest.num_nodes
+    }
+
+    /// θ — total sets sampled (estimator denominator).
+    pub fn num_sampled(&self) -> usize {
+        self.manifest.num_sampled
+    }
+
+    /// Total retained sets across all shards.
+    pub fn num_sets(&self) -> usize {
+        self.manifest.total_sets
+    }
+
+    /// Number of shards the store is partitioned into.
+    pub fn shards_total(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Shards currently resident in memory.
+    pub fn shards_loaded(&self) -> usize {
+        self.loaded.load(Ordering::Relaxed) as usize
+    }
+
+    /// Manifest + shard bytes on disk (from the manifest's declarations).
+    pub fn bytes_on_disk(&self) -> u64 {
+        self.bytes_on_disk
+    }
+
+    /// The persisted ordered greedy pool at the budget cap. Serving fresh
+    /// campaigns from here is what lets a store answer queries with
+    /// **zero** shards resident.
+    pub fn pool(&self) -> &[NodeId] {
+        &self.manifest.pool
+    }
+
+    /// The estimator scale `n · M / θ` (same contract as
+    /// [`RrIndex::estimate`]; needs no shard).
+    pub fn estimate(&self, covered_weight: f64) -> f64 {
+        if self.manifest.num_sampled == 0 {
+            0.0
+        } else {
+            self.manifest.num_nodes as f64 * covered_weight / self.manifest.num_sampled as f64
+        }
+    }
+
+    /// Shard `k`, faulting it in on first touch. The load verifies the
+    /// manifest's whole-file CRC and byte length, the shard frame's own
+    /// CRC, and the shard/manifest cross-identity (id, graph fingerprint,
+    /// set range) before freezing the parts through the validating
+    /// [`RrIndex::from_canonical`]. A failure is cached: a corrupt shard
+    /// keeps failing without re-reading the file, and — crucially — it
+    /// never poisons its siblings, which proptests assert still serve.
+    pub fn shard(&self, k: usize) -> Result<Arc<RrIndex>, EngineError> {
+        let slot = self.slots.get(k).ok_or_else(|| {
+            EngineError::BadQuery(format!(
+                "shard {k} out of range: store has {} shards",
+                self.slots.len()
+            ))
+        })?;
+        let result = slot.get_or_init(|| {
+            let loaded = self.load_shard(k)?;
+            self.loaded.fetch_add(1, Ordering::Relaxed);
+            Ok(Arc::new(loaded))
+        });
+        match result {
+            Ok(idx) => Ok(idx.clone()),
+            Err(e) => Err(e.duplicate()),
+        }
+    }
+
+    /// True when shard `k` is resident (tests observe laziness with this).
+    pub fn shard_is_loaded(&self, k: usize) -> bool {
+        matches!(self.slots.get(k).and_then(OnceLock::get), Some(Ok(_)))
+    }
+
+    /// The uncached load path for shard `k`.
+    fn load_shard(&self, k: usize) -> Result<RrIndex, EngineError> {
+        let info = &self.manifest.shards[k];
+        let bytes = std::fs::read(shard_path(&self.dir, k))?;
+        if bytes.len() as u64 != info.file_bytes {
+            return Err(EngineError::Corrupt(format!(
+                "shard {k}: file is {} bytes, manifest declares {}",
+                bytes.len(),
+                info.file_bytes
+            )));
+        }
+        let crc = crc32(&bytes);
+        if crc != info.file_crc {
+            return Err(EngineError::Corrupt(format!(
+                "shard {k}: file checksum {crc:#010x} does not match manifest {:#010x}",
+                info.file_crc
+            )));
+        }
+        let payload = shard_from_bytes(&bytes)?;
+        if payload.shard_id != k {
+            return Err(EngineError::Corrupt(format!(
+                "shard {k}: file claims to be shard {}",
+                payload.shard_id
+            )));
+        }
+        if payload.graph_fingerprint != self.manifest.meta.graph_fingerprint {
+            return Err(EngineError::Corrupt(format!(
+                "shard {k}: graph fingerprint {:#018x} does not match the store's {:#018x}",
+                payload.graph_fingerprint, self.manifest.meta.graph_fingerprint
+            )));
+        }
+        if payload.set_start != info.set_start || payload.weights.len() != info.set_count {
+            return Err(EngineError::Corrupt(format!(
+                "shard {k}: holds sets {}..{} but the manifest assigns {}..{}",
+                payload.set_start,
+                payload.set_start + payload.weights.len(),
+                info.set_start,
+                info.set_start + info.set_count
+            )));
+        }
+        // θ is global: each shard's estimator is the *marginal* share of
+        // the one sampling effort, and the structural check "retained ≤ θ"
+        // holds a fortiori for a subset
+        RrIndex::from_canonical(
+            self.manifest.num_nodes,
+            self.manifest.num_sampled,
+            payload.set_offsets,
+            payload.members,
+            payload.weights,
+            self.manifest.meta,
+        )
+    }
+
+    /// All shards, faulting the missing ones in **in parallel** across a
+    /// bounded worker pool (at most one worker per core — shard counts
+    /// are user-controlled, so a 1000-shard store must not stampede 1000
+    /// threads of file I/O on its first whole-index query; resident
+    /// shards cost an `Arc` clone). The first failing shard's error
+    /// (lowest id, deterministically) is returned; siblings that loaded
+    /// stay resident.
+    pub fn load_all(&self) -> Result<Vec<Arc<RrIndex>>, EngineError> {
+        let missing: Vec<usize> = (0..self.slots.len())
+            .filter(|&k| self.slots[k].get().is_none())
+            .collect();
+        if missing.len() > 1 {
+            let workers = worker_count(missing.len());
+            let chunk = missing.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                for ids in missing.chunks(chunk) {
+                    scope.spawn(move || {
+                        for &k in ids {
+                            let _ = self.shard(k);
+                        }
+                    });
+                }
+            });
+        }
+        (0..self.slots.len()).map(|k| self.shard(k)).collect()
+    }
+
+    /// Total weight covered by `seeds` — bit-identical to
+    /// [`RrIndex::coverage_of`] on the monolithic index: seeds outer,
+    /// shards in global set order inner, so every `f64` addition happens
+    /// in the same order.
+    pub fn coverage_of(&self, seeds: &[NodeId]) -> Result<f64, EngineError> {
+        let shards = self.load_all()?;
+        let mut covered: Vec<Vec<bool>> =
+            shards.iter().map(|sh| vec![false; sh.num_sets()]).collect();
+        let mut total = 0.0;
+        for &s in seeds {
+            for (sh, cov) in shards.iter().zip(covered.iter_mut()) {
+                let weights = sh.canonical_parts().2;
+                for &j in sh.postings(s) {
+                    if !cov[j as usize] {
+                        cov[j as usize] = true;
+                        total += weights[j as usize];
+                    }
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    /// Global ids of the sets containing node `v` (each shard's postings
+    /// shifted by its `set_start`; increasing, like the monolithic
+    /// index's).
+    pub fn postings(&self, v: NodeId) -> Result<Vec<u32>, EngineError> {
+        let shards = self.load_all()?;
+        let mut out = Vec::new();
+        for (sh, info) in shards.iter().zip(&self.manifest.shards) {
+            out.extend(sh.postings(v).iter().map(|&j| j + info.set_start as u32));
+        }
+        Ok(out)
+    }
+
+    /// Greedy `NodeSelection` over all shards, merging per-shard marginal
+    /// gains — bit-identical to [`RrIndex::greedy_select`] on the
+    /// monolithic index (same accumulation order, same `greedy_argmax`
+    /// tie-breaks), proptested across shard counts. Loads every shard
+    /// (in parallel): a global argmax needs global gains. The *serving*
+    /// path never calls this — the budget-cap pool is persisted in the
+    /// manifest — it exists for ad-hoc selection and as the equivalence
+    /// oracle.
+    pub fn greedy_select(&self, b: usize) -> Result<GreedySelection, EngineError> {
+        let shards = self.load_all()?;
+        let n = self.manifest.num_nodes;
+        let mut gain = vec![0.0f64; n];
+        for sh in &shards {
+            let weights = sh.canonical_parts().2;
+            for (j, &w) in weights.iter().enumerate() {
+                for &v in sh.set(j) {
+                    gain[v as usize] += w;
+                }
+            }
+        }
+        let mut covered: Vec<Vec<bool>> =
+            shards.iter().map(|sh| vec![false; sh.num_sets()]).collect();
+        let mut seeds = Vec::with_capacity(b);
+        let mut coverage = Vec::with_capacity(b);
+        let mut total = 0.0;
+        for _ in 0..b.min(n) {
+            let (best, best_gain) = match greedy_argmax(&gain) {
+                Some(x) => x,
+                None => break,
+            };
+            seeds.push(best as NodeId);
+            total += best_gain;
+            coverage.push(total);
+            for (sh, cov) in shards.iter().zip(covered.iter_mut()) {
+                let weights = sh.canonical_parts().2;
+                for &j in sh.postings(best as NodeId) {
+                    let j = j as usize;
+                    if cov[j] {
+                        continue;
+                    }
+                    cov[j] = true;
+                    for &v in sh.set(j) {
+                        gain[v as usize] -= weights[j];
+                    }
+                }
+            }
+            gain[best] = f64::NEG_INFINITY; // never pick the same node twice
+        }
+        Ok(GreedySelection { seeds, coverage })
+    }
+}
+
+impl IndexBackend for ShardedIndex {
+    fn meta(&self) -> &IndexMeta {
+        self.meta()
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.num_nodes()
+    }
+
+    /// The persisted manifest pool — **zero** shard loads: a fresh
+    /// campaign against a cold store touches no shard file at all.
+    fn pool_at_cap(&self) -> Result<Vec<NodeId>, EngineError> {
+        Ok(self.manifest.pool.clone())
+    }
+
+    /// Filter every shard against `SP` (shards in global order, so the
+    /// concatenated survivors are bit-identical to filtering the
+    /// monolithic parts) and assemble the view. This is the one follow-up
+    /// cost a sharded store pays over a monolithic index: the first SP
+    /// query faults all shards in.
+    fn derive_conditioned(&self, sp_nodes: &[NodeId]) -> Result<ConditionedView, EngineError> {
+        let n = self.manifest.num_nodes;
+        let nodes = validated_sp_nodes(n, sp_nodes)?;
+        let shards = self.load_all()?;
+        let mut set_offsets = vec![0usize];
+        let mut members: Vec<NodeId> = Vec::new();
+        let mut weights: Vec<f64> = Vec::new();
+        for sh in &shards {
+            let (o, m, w) = sh.canonical_parts();
+            let (fo, fm, fw) = condition_parts(n, o, m, w, &nodes);
+            let base = members.len();
+            members.extend_from_slice(&fm);
+            weights.extend_from_slice(&fw);
+            set_offsets.extend(fo[1..].iter().map(|&x| x + base));
+        }
+        let removed = self.manifest.total_sets - weights.len();
+        ConditionedView::from_conditioned_parts(
+            nodes,
+            n,
+            self.manifest.num_sampled,
+            set_offsets,
+            members,
+            weights,
+            self.manifest.meta,
+            removed,
+        )
+    }
+
+    fn storage(&self) -> StorageStats {
+        StorageStats {
+            shards_total: self.slots.len() as u64,
+            shards_loaded: self.loaded.load(Ordering::Relaxed),
+            bytes_on_disk: self.bytes_on_disk,
+        }
+    }
+}

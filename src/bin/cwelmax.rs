@@ -22,7 +22,7 @@
 //! ```text
 //! cwelmax index build --graph edges.txt --out index.cwrx \
 //!         [--budget-cap 20] [--eps 0.5] [--ell 1.0] [--seed S] [--threads T] \
-//!         [--condition 1,5,9]...
+//!         [--condition 1,5,9]... [--sharded --shards N]
 //! ```
 //!
 //! Each `--condition` (repeatable) persists an SP node set in the
@@ -30,12 +30,31 @@
 //! derive those SP-conditioned views eagerly, so the first follow-up
 //! query against a persisted prior allocation is already warm.
 //!
+//! ## Build a sharded store instead (lazy loading, O(manifest) open)
+//!
+//! ```text
+//! cwelmax index shard --graph edges.txt --out index.store --shards 8 \
+//!         [--budget-cap 20] [--eps 0.5] [--ell 1.0] [--seed S] [--threads T]
+//! ```
+//!
+//! `index shard` (equivalently `index build --sharded`; passing
+//! `--shards` alone also implies it) writes `--out` as
+//! a **directory**: a `manifest.bin` carrying the build metadata, the
+//! precomputed budget-cap greedy pool, and per-shard integrity records,
+//! plus `--shards` shard files each holding a contiguous CRC-checked
+//! range of RR sets (written in parallel). Servers open the manifest
+//! eagerly and fault shards in lazily — fresh campaigns are answered
+//! from the persisted pool without reading a single shard.
+//!
 //! ## Answer a batch of campaigns from the index (warm, no resampling)
 //!
 //! ```text
 //! cwelmax query-batch --graph edges.txt --index index.cwrx \
 //!         --queries queries.json [--threads N] [--json]
 //! ```
+//!
+//! (`--store index.store` serves the batch from a sharded store instead
+//! of a monolithic snapshot.)
 //!
 //! `queries.json` is an array of campaign objects:
 //!
@@ -57,7 +76,14 @@
 //! ```text
 //! cwelmax serve --graph edges.txt --index index.cwrx \
 //!         [--addr 127.0.0.1:7878] [--cache-cap N] [--max-conns N]
+//! cwelmax serve --graph edges.txt --store index.store [...]
 //! ```
+//!
+//! With `--store`, startup reads only the store's manifest (cold-open is
+//! `O(manifest)`, not `O(index)`) and shard files are loaded lazily as
+//! queries touch them — `{"type": "stats"}` reports `shards_total` /
+//! `shards_loaded` / `store_bytes_on_disk` so the lazy path is
+//! observable over the wire.
 //!
 //! Newline-delimited JSON: each request line is a query object (same shape
 //! as a `query-batch` entry — SP-bearing follow-ups included — plus
@@ -79,6 +105,7 @@ use cwelmax::graph::{io as graph_io, ProbabilityModel};
 use cwelmax::prelude::*;
 use cwelmax::rrset::ImmParams;
 use cwelmax::server::CampaignServer;
+use cwelmax::store::{write_store, ShardedIndex};
 use std::sync::Arc;
 
 struct Args {
@@ -204,11 +231,15 @@ fn load_graph(path: &str) -> cwelmax::graph::Graph {
         .unwrap_or_else(|e| die(&format!("cannot read graph: {e}")))
 }
 
-/// `cwelmax index build …` — sample and persist an RR-set index.
-fn cmd_index_build(argv: Vec<String>) {
+/// `cwelmax index build …` / `cwelmax index shard …` — sample an RR-set
+/// index and persist it as a monolithic snapshot or a sharded store.
+/// `index shard` is sharded by default; `index build --sharded` is the
+/// equivalent spelling.
+fn cmd_index_build(argv: Vec<String>, mut sharded: bool) {
     let mut graph_path = None;
     let mut out = None;
     let mut budget_cap: u32 = 20;
+    let mut shards: usize = 8;
     let mut conditions: Vec<Vec<u32>> = Vec::new();
     let mut params = ImmParams {
         threads: 0,
@@ -218,7 +249,6 @@ fn cmd_index_build(argv: Vec<String>) {
     let mut f = Flags::new(argv);
     while let Some(flag) = f.next_flag() {
         match flag.as_str() {
-            "build" if graph_path.is_none() && out.is_none() => {} // subcommand verb
             "--graph" => graph_path = Some(f.value("--graph")),
             "--out" => out = Some(f.value("--out")),
             "--budget-cap" => budget_cap = f.parsed("--budget-cap"),
@@ -227,6 +257,14 @@ fn cmd_index_build(argv: Vec<String>) {
             "--seed" => params.seed = f.parsed("--seed"),
             "--threads" => params.threads = f.parsed("--threads"),
             "--max-rr-sets" => params.max_rr_sets = f.parsed("--max-rr-sets"),
+            "--sharded" => sharded = true,
+            // asking for a shard count is asking for a sharded store —
+            // silently ignoring --shards would write a monolithic
+            // snapshot after the user already paid for the build
+            "--shards" => {
+                shards = f.parsed("--shards");
+                sharded = true;
+            }
             "--condition" => conditions.push(
                 f.value("--condition")
                     .split(',')
@@ -244,6 +282,12 @@ fn cmd_index_build(argv: Vec<String>) {
     let out = out.unwrap_or_else(|| die("--out is required"));
     if budget_cap == 0 {
         die("--budget-cap must be positive");
+    }
+    if sharded && shards == 0 {
+        die("--shards must be positive");
+    }
+    if sharded && !conditions.is_empty() {
+        die("--condition persists views in snapshot format v2; sharded stores do not carry them yet");
     }
     let graph = load_graph(&graph_path);
     for sp in &conditions {
@@ -263,24 +307,70 @@ fn cmd_index_build(argv: Vec<String>) {
     let start = std::time::Instant::now();
     let index = RrIndex::build(&graph, budget_cap, &params);
     let build_time = start.elapsed();
-    engine::snapshot::save_with_views(&index, &conditions, &out)
-        .unwrap_or_else(|e| die(&format!("cannot save index: {e}")));
-    let size = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
-    println!(
-        "index built in {build_time:?}: θ = {} sampled, {} retained sets, \
-         {} persisted view(s), {} bytes -> {out}",
-        index.num_sampled(),
-        index.num_sets(),
-        conditions.len(),
-        size
-    );
+    if sharded {
+        let summary = write_store(&index, &out, shards)
+            .unwrap_or_else(|e| die(&format!("cannot write store: {e}")));
+        println!(
+            "store built in {build_time:?}: θ = {} sampled, {} retained sets \
+             across {} shard(s), {} bytes -> {out}/",
+            index.num_sampled(),
+            summary.total_sets,
+            summary.shards,
+            summary.bytes_on_disk
+        );
+    } else {
+        engine::snapshot::save_with_views(&index, &conditions, &out)
+            .unwrap_or_else(|e| die(&format!("cannot save index: {e}")));
+        let size = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+        println!(
+            "index built in {build_time:?}: θ = {} sampled, {} retained sets, \
+             {} persisted view(s), {} bytes -> {out}",
+            index.num_sampled(),
+            index.num_sets(),
+            conditions.len(),
+            size
+        );
+    }
+}
+
+/// Where a serving command gets its index from.
+enum IndexSource {
+    /// A monolithic snapshot file (`--index`), loaded whole.
+    Snapshot(String),
+    /// A sharded store directory (`--store`): manifest now, shards lazily.
+    Store(String),
+}
+
+impl IndexSource {
+    /// Resolve the mutually exclusive `--index` / `--store` flags.
+    fn resolve(index: Option<String>, store: Option<String>) -> IndexSource {
+        match (index, store) {
+            (Some(_), Some(_)) => die("--index and --store are mutually exclusive"),
+            (Some(p), None) => IndexSource::Snapshot(p),
+            (None, Some(d)) => IndexSource::Store(d),
+            (None, None) => die("one of --index or --store is required"),
+        }
+    }
 }
 
 /// Load graph + index into an engine (shared by `query-batch` and `serve`).
-fn load_engine(graph_path: &str, index_path: &str) -> CampaignEngine {
+fn load_engine(graph_path: &str, source: &IndexSource) -> CampaignEngine {
     let graph = Arc::new(load_graph(graph_path));
-    CampaignEngine::from_snapshot(graph, index_path)
-        .unwrap_or_else(|e| die(&format!("cannot load index: {e}")))
+    match source {
+        IndexSource::Snapshot(path) => CampaignEngine::from_snapshot(graph, path)
+            .unwrap_or_else(|e| die(&format!("cannot load index: {e}"))),
+        IndexSource::Store(dir) => {
+            let store =
+                ShardedIndex::open(dir).unwrap_or_else(|e| die(&format!("cannot open store: {e}")));
+            eprintln!(
+                "store opened: {} shard(s), {} sets, 0 loaded (lazy)",
+                store.shards_total(),
+                store.num_sets()
+            );
+            CampaignEngine::with_backend(graph, Arc::new(store))
+                .unwrap_or_else(|e| die(&format!("cannot bind store: {e}")))
+        }
+    }
 }
 
 /// `cwelmax query-batch …` — answer many campaigns from a prebuilt index.
@@ -289,6 +379,7 @@ fn load_engine(graph_path: &str, index_path: &str) -> CampaignEngine {
 fn cmd_query_batch(argv: Vec<String>) {
     let mut graph_path = None;
     let mut index_path = None;
+    let mut store_path = None;
     let mut queries_path = None;
     let mut threads = 0usize;
     let mut json = false;
@@ -297,6 +388,7 @@ fn cmd_query_batch(argv: Vec<String>) {
         match flag.as_str() {
             "--graph" => graph_path = Some(f.value("--graph")),
             "--index" => index_path = Some(f.value("--index")),
+            "--store" => store_path = Some(f.value("--store")),
             "--queries" => queries_path = Some(f.value("--queries")),
             "--threads" => threads = f.parsed("--threads"),
             "--json" => json = true,
@@ -304,10 +396,10 @@ fn cmd_query_batch(argv: Vec<String>) {
         }
     }
     let graph_path = graph_path.unwrap_or_else(|| die("--graph is required"));
-    let index_path = index_path.unwrap_or_else(|| die("--index is required"));
+    let source = IndexSource::resolve(index_path, store_path);
     let queries_path = queries_path.unwrap_or_else(|| die("--queries is required"));
 
-    let engine = load_engine(&graph_path, &index_path);
+    let engine = load_engine(&graph_path, &source);
     let text = std::fs::read_to_string(&queries_path)
         .unwrap_or_else(|e| die(&format!("cannot read queries: {e}")));
     let root: serde_json::Value =
@@ -385,6 +477,7 @@ fn cmd_query_batch(argv: Vec<String>) {
 fn cmd_serve(argv: Vec<String>) {
     let mut graph_path = None;
     let mut index_path = None;
+    let mut store_path = None;
     let mut addr = "127.0.0.1:7878".to_string();
     let mut cache_cap: Option<usize> = None;
     let mut max_conns: Option<usize> = None;
@@ -393,6 +486,7 @@ fn cmd_serve(argv: Vec<String>) {
         match flag.as_str() {
             "--graph" => graph_path = Some(f.value("--graph")),
             "--index" => index_path = Some(f.value("--index")),
+            "--store" => store_path = Some(f.value("--store")),
             "--addr" => addr = f.value("--addr"),
             "--cache-cap" => cache_cap = Some(f.parsed("--cache-cap")),
             "--max-conns" => max_conns = Some(f.parsed("--max-conns")),
@@ -400,9 +494,9 @@ fn cmd_serve(argv: Vec<String>) {
         }
     }
     let graph_path = graph_path.unwrap_or_else(|| die("--graph is required"));
-    let index_path = index_path.unwrap_or_else(|| die("--index is required"));
+    let source = IndexSource::resolve(index_path, store_path);
 
-    let mut engine = load_engine(&graph_path, &index_path);
+    let mut engine = load_engine(&graph_path, &source);
     if let Some(cap) = cache_cap {
         engine = engine.with_cache_capacity(cap);
     }
@@ -427,11 +521,15 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
         Some("index") => {
-            let rest = argv[1..].to_vec();
-            if rest.first().map(String::as_str) != Some("build") {
-                die("usage: cwelmax index build --graph EDGES --out INDEX.cwrx [...]");
-            }
-            return cmd_index_build(rest);
+            let rest = argv.get(2..).unwrap_or(&[]).to_vec();
+            return match argv.get(1).map(String::as_str) {
+                Some("build") => cmd_index_build(rest, false),
+                Some("shard") => cmd_index_build(rest, true),
+                _ => die(
+                    "usage: cwelmax index build --graph EDGES --out INDEX.cwrx [--sharded] [...] \
+                     | cwelmax index shard --graph EDGES --out STORE_DIR --shards N [...]",
+                ),
+            };
         }
         Some("query-batch") => return cmd_query_batch(argv[1..].to_vec()),
         Some("serve") => return cmd_serve(argv[1..].to_vec()),

@@ -17,6 +17,9 @@
 //! * [`engine`] — persistent RR-set index (versioned, checksummed
 //!   snapshots) and the multi-campaign query engine that answers many
 //!   allocation queries over one prebuilt index without resampling;
+//! * [`store`] — sharded on-disk index store (`cwelmax index shard`):
+//!   a manifest opened eagerly plus lazily loaded shard files, so server
+//!   cold-start is `O(manifest)` instead of `O(index)`;
 //! * [`server`] — long-lived TCP front-end over one `CampaignEngine`
 //!   (newline-delimited JSON; `cwelmax serve`).
 //!
@@ -41,6 +44,7 @@ pub use cwelmax_engine as engine;
 pub use cwelmax_graph as graph;
 pub use cwelmax_rrset as rrset;
 pub use cwelmax_server as server;
+pub use cwelmax_store as store;
 pub use cwelmax_utility as utility;
 
 /// One-stop imports for applications.
@@ -50,6 +54,7 @@ pub mod prelude {
     pub use cwelmax_engine::{CampaignEngine, CampaignQuery, QueryAlgorithm, RrIndex};
     pub use cwelmax_graph::{Graph, GraphBuilder, ProbabilityModel};
     pub use cwelmax_server::{CampaignServer, ServerHandle};
+    pub use cwelmax_store::ShardedIndex;
     pub use cwelmax_utility::configs::{self, TwoItemConfig};
     pub use cwelmax_utility::{ItemId, ItemSet, UtilityModel};
 }
