@@ -1,0 +1,123 @@
+//! What the typed client costs: one warm query measured three ways —
+//! in-process engine call (no wire at all), hand-rolled NDJSON over
+//! loopback TCP (the protocol floor), and `CwelmaxClient::query` (the
+//! typed v2 path: inline-config serialization, versioned envelope,
+//! structured decode). The typed-vs-raw gap is the price of types; the
+//! raw-vs-in-process gap is the price of the socket. Mean/p50/p99 land
+//! in `BENCH_engine.json` as `client_roundtrip/*`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cwelmax_bench::{benchjson, network, Scale};
+use cwelmax_client::CwelmaxClient;
+use cwelmax_diffusion::{Allocation, SimulationConfig};
+use cwelmax_engine::{CampaignQuery, EngineBuilder, QueryAlgorithm, RrIndex};
+use cwelmax_graph::generators::benchmark::Network;
+use cwelmax_server::CampaignServer;
+use cwelmax_utility::configs::{self, TwoItemConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+// `seed` must equal the typed query's base_seed (0x5EED = 24301) so all
+// three arms share one welfare-cache key
+const QUERY_LINE: &[u8] =
+    b"{\"config\": \"C1\", \"budgets\": [5, 5], \"algorithm\": \"seqgrd-nm\", \"samples\": 200, \"seed\": 24301}\n";
+
+fn bench(c: &mut Criterion) {
+    let graph = network(Network::NetHept, Scale::Quick);
+    let index = Arc::new(RrIndex::build(&graph, 10, &Scale::Quick.imm()));
+    let engine = Arc::new(
+        EngineBuilder::from_index(index)
+            .graph(graph)
+            .build()
+            .unwrap(),
+    );
+
+    let server = CampaignServer::bind(engine.clone(), "127.0.0.1:0").unwrap();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().unwrap());
+
+    // arm 2: a raw socket with hand-rolled NDJSON (v1 lines)
+    let stream = TcpStream::connect(handle.local_addr()).unwrap();
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    // arm 3: the typed client (negotiates v2 on connect)
+    let mut client = CwelmaxClient::connect(handle.local_addr().to_string()).unwrap();
+    assert_eq!(client.protocol(), 2, "bench must exercise the v2 path");
+
+    let query = CampaignQuery {
+        model: configs::two_item_config(TwoItemConfig::C1),
+        budgets: vec![5, 5],
+        algorithm: QueryAlgorithm::SeqGrdNm,
+        sp: Allocation::new(),
+        sim: SimulationConfig {
+            samples: 200,
+            threads: 1,
+            base_seed: 0x5EED,
+        },
+    };
+    engine.query(&query).unwrap(); // pay the one-time pool selection
+
+    // machine-readable stats (BENCH_engine.json)
+    let in_process = benchjson::measure(50, || {
+        std::hint::black_box(engine.query(&query).unwrap());
+    });
+    let raw = benchjson::measure(50, || {
+        writer.write_all(QUERY_LINE).unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"ok\":true"), "{line}");
+        std::hint::black_box(line);
+    });
+    let typed = benchjson::measure(50, || {
+        std::hint::black_box(client.query(&query).unwrap());
+    });
+    benchjson::record(
+        &[
+            ("client_roundtrip/warm_engine_query_in_process", in_process),
+            ("client_roundtrip/raw_ndjson_over_loopback", raw),
+            ("client_roundtrip/typed_client_query", typed),
+        ],
+        &[(
+            "client_roundtrip_typed_over_raw",
+            typed.mean_ns / raw.mean_ns,
+        )],
+    );
+    println!(
+        "client roundtrip: in-process {:.2} µs, raw NDJSON {:.2} µs, \
+         typed client {:.2} µs ({:.2}x over raw)",
+        in_process.mean_ns / 1e3,
+        raw.mean_ns / 1e3,
+        typed.mean_ns / 1e3,
+        typed.mean_ns / raw.mean_ns
+    );
+
+    // human-readable criterion output for the same three arms
+    let mut group = c.benchmark_group("client_roundtrip");
+    group.sample_size(10);
+    group.bench_function("warm_engine_query_in_process", |b| {
+        b.iter(|| engine.query(&query).unwrap())
+    });
+    group.bench_function("raw_ndjson_over_loopback", |b| {
+        b.iter(|| {
+            writer.write_all(QUERY_LINE).unwrap();
+            writer.flush().unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            line
+        })
+    });
+    group.bench_function("typed_client_query", |b| {
+        b.iter(|| client.query(&query).unwrap())
+    });
+    group.finish();
+
+    client.shutdown().unwrap();
+    join.join().unwrap();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

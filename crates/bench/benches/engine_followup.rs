@@ -23,7 +23,7 @@ use cwelmax_bench::benchjson;
 use cwelmax_bench::{network, Scale};
 use cwelmax_core::prelude::*;
 use cwelmax_diffusion::{Allocation, SimulationConfig};
-use cwelmax_engine::{CampaignEngine, CampaignQuery, QueryAlgorithm, RrIndex};
+use cwelmax_engine::{CampaignQuery, EngineBuilder, QueryAlgorithm, RrIndex};
 use cwelmax_graph::generators::benchmark::Network;
 use cwelmax_utility::configs::{self, TwoItemConfig};
 use std::sync::Arc;
@@ -43,7 +43,10 @@ fn bench(c: &mut Criterion) {
 
     // warm state: one standard index serves fresh AND follow-up campaigns
     let index = Arc::new(RrIndex::build(&graph, (2 * budget) as u32, &imm));
-    let engine = CampaignEngine::new(graph.clone(), index).unwrap();
+    let engine = EngineBuilder::from_index(index)
+        .graph(graph.clone())
+        .build()
+        .unwrap();
 
     // a realistic prior: the fresh campaign's item-1 seeds become SP
     let fresh = CampaignQuery {

@@ -11,7 +11,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use cwelmax_bench::{network, Scale};
 use cwelmax_core::prelude::*;
 use cwelmax_diffusion::{Allocation, SimulationConfig};
-use cwelmax_engine::{CampaignEngine, CampaignQuery, QueryAlgorithm, RrIndex};
+use cwelmax_engine::{CampaignQuery, EngineBuilder, QueryAlgorithm, RrIndex};
 use cwelmax_graph::generators::benchmark::Network;
 use cwelmax_utility::configs::{self, TwoItemConfig};
 use std::sync::Arc;
@@ -36,7 +36,10 @@ fn bench(c: &mut Criterion) {
 
     // warm state: index built once outside the measured region
     let index = Arc::new(RrIndex::build(&graph, (2 * budget) as u32, &imm));
-    let engine = CampaignEngine::new(graph.clone(), index).unwrap();
+    let engine = EngineBuilder::from_index(index)
+        .graph(graph.clone())
+        .build()
+        .unwrap();
     let query = CampaignQuery {
         model: configs::two_item_config(TwoItemConfig::C1),
         budgets: vec![budget, budget],

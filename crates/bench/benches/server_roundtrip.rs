@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use cwelmax_bench::{network, Scale};
 use cwelmax_diffusion::{Allocation, SimulationConfig};
-use cwelmax_engine::{CampaignEngine, CampaignQuery, QueryAlgorithm, RrIndex};
+use cwelmax_engine::{CampaignQuery, EngineBuilder, QueryAlgorithm, RrIndex};
 use cwelmax_graph::generators::benchmark::Network;
 use cwelmax_server::CampaignServer;
 use cwelmax_utility::configs::{self, TwoItemConfig};
@@ -23,7 +23,12 @@ const QUERY_LINE: &[u8] =
 fn bench(c: &mut Criterion) {
     let graph = network(Network::NetHept, Scale::Quick);
     let index = Arc::new(RrIndex::build(&graph, 10, &Scale::Quick.imm()));
-    let engine = Arc::new(CampaignEngine::new(graph, index).unwrap());
+    let engine = Arc::new(
+        EngineBuilder::from_index(index)
+            .graph(graph)
+            .build()
+            .unwrap(),
+    );
 
     let server = CampaignServer::bind(engine.clone(), "127.0.0.1:0").unwrap();
     let handle = server.handle();

@@ -16,7 +16,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use cwelmax_bench::{network, Scale};
 use cwelmax_diffusion::{Allocation, SimulationConfig};
-use cwelmax_engine::{snapshot, CampaignEngine, CampaignQuery, QueryAlgorithm, RrIndex};
+use cwelmax_engine::{snapshot, CampaignQuery, EngineBuilder, QueryAlgorithm, RrIndex};
 use cwelmax_graph::generators::benchmark::Network;
 use cwelmax_store::{write_store, ShardedIndex};
 use cwelmax_utility::configs::{self, TwoItemConfig};
@@ -63,7 +63,10 @@ fn bench(c: &mut Criterion) {
     // cold store → first fresh answer, no shard I/O on the whole path
     let cold_query = cwelmax_bench::benchjson::measure(20, || {
         let store = Arc::new(ShardedIndex::open(&store_dir).unwrap());
-        let engine = CampaignEngine::with_backend(graph.clone(), store.clone()).unwrap();
+        let engine = EngineBuilder::from_backend(store.clone())
+            .graph(graph.clone())
+            .build()
+            .unwrap();
         std::hint::black_box(engine.query(&query).unwrap());
         assert_eq!(store.shards_loaded(), 0);
     });

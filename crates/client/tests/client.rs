@@ -1,0 +1,297 @@
+//! Live-TCP tests for `CwelmaxClient`: negotiation, typed round-trips
+//! byte-identical to in-process engine calls (against both a monolithic
+//! index and a sharded store), v1 fallback, and reconnect-once.
+
+use cwelmax_client::{ClientError, CwelmaxClient};
+use cwelmax_diffusion::{Allocation, SimulationConfig};
+use cwelmax_engine::{CampaignQuery, EngineBuilder, QueryAlgorithm, RrIndex};
+use cwelmax_graph::{generators, Graph, ProbabilityModel};
+use cwelmax_rrset::ImmParams;
+use cwelmax_server::{CampaignServer, ServerHandle};
+use cwelmax_store::FromStore;
+use cwelmax_utility::configs::{self, TwoItemConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::sync::Arc;
+
+fn graph_and_index() -> (Arc<Graph>, Arc<RrIndex>) {
+    let graph = Arc::new(generators::erdos_renyi(
+        100,
+        400,
+        7,
+        ProbabilityModel::WeightedCascade,
+    ));
+    let params = ImmParams {
+        eps: 0.5,
+        ell: 1.0,
+        seed: 7,
+        threads: 2,
+        max_rr_sets: 500_000,
+    };
+    let index = Arc::new(RrIndex::build(&graph, 8, &params));
+    (graph, index)
+}
+
+fn start(engine: cwelmax_engine::CampaignEngine) -> (ServerHandle, std::thread::JoinHandle<()>) {
+    let server = CampaignServer::bind(Arc::new(engine), "127.0.0.1:0").unwrap();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().unwrap());
+    (handle, join)
+}
+
+fn query(cfg: TwoItemConfig, b: usize, sp: Allocation) -> CampaignQuery {
+    CampaignQuery {
+        model: configs::two_item_config(cfg),
+        budgets: vec![b, b],
+        algorithm: QueryAlgorithm::SeqGrdNm,
+        sp,
+        // threads: 1 matches what the wire decoder reconstructs, so the
+        // in-process reference query is the byte-identical twin of what
+        // the server executes
+        sim: SimulationConfig {
+            samples: 100,
+            threads: 1,
+            base_seed: 0x5EED,
+        },
+    }
+}
+
+/// The acceptance bar: fresh, SP-follow-up, and batch queries through
+/// the typed client answer **byte-identically** to in-process engine
+/// calls — against a monolithic-index server and a sharded-store server.
+#[test]
+fn typed_round_trips_match_in_process_engine_on_index_and_store_backends() {
+    let (graph, index) = graph_and_index();
+    // the in-process reference engine
+    let reference = EngineBuilder::from_index(index.clone())
+        .graph(graph.clone())
+        .build()
+        .unwrap();
+    // a store written from the same index
+    let dir = std::env::temp_dir().join(format!("cwelmax-client-store-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    cwelmax_store::write_store(&index, &dir, 5).unwrap();
+
+    let backends: Vec<(&str, cwelmax_engine::CampaignEngine)> = vec![
+        (
+            "index",
+            EngineBuilder::from_index(index.clone())
+                .graph(graph.clone())
+                .build()
+                .unwrap(),
+        ),
+        (
+            "store",
+            EngineBuilder::from_store(&dir)
+                .graph(graph.clone())
+                .build()
+                .unwrap(),
+        ),
+    ];
+    for (name, engine) in backends {
+        let (handle, join) = start(engine);
+        let mut client = CwelmaxClient::connect(handle.local_addr().to_string()).unwrap();
+
+        // negotiation: a v2 session with the full feature set
+        assert_eq!(client.protocol(), 2, "{name}: v2 must be negotiated");
+        for feature in ["batch", "sp", "stats", "store"] {
+            assert!(client.has_feature(feature), "{name}: missing {feature}");
+        }
+        assert!(!client.negotiated().unwrap().server_version.is_empty());
+
+        // fresh query
+        let fresh = query(TwoItemConfig::C1, 3, Allocation::new());
+        let got = client.query(&fresh).unwrap();
+        let want = reference.query(&fresh).unwrap();
+        assert_eq!(got.allocation, want.allocation.pairs(), "{name}: fresh");
+        assert_eq!(
+            got.welfare.to_bits(),
+            want.welfare.to_bits(),
+            "{name}: fresh welfare must be bit-identical"
+        );
+        assert!(got.sp.is_empty());
+
+        // SP follow-up
+        let follow = query(
+            TwoItemConfig::C1,
+            3,
+            Allocation::from_pairs(vec![(0, 1), (17, 1)]),
+        );
+        let got = client.query(&follow).unwrap();
+        let want = reference.query(&follow).unwrap();
+        assert_eq!(got.allocation, want.allocation.pairs(), "{name}: follow");
+        assert_eq!(got.sp, follow.sp.pairs(), "{name}: sp echoed");
+        assert_eq!(got.welfare.to_bits(), want.welfare.to_bits(), "{name}");
+
+        // batch: two good entries around one the engine must refuse
+        // (budget above the cap), whose structured code must survive the
+        // envelope
+        let too_big = query(TwoItemConfig::C2, 50, Allocation::new());
+        let batch = vec![fresh.clone(), too_big, follow.clone()];
+        let rows = client.query_batch(&batch).unwrap();
+        assert_eq!(rows.len(), 3, "{name}");
+        for k in [0usize, 2] {
+            let got = rows[k].as_ref().unwrap();
+            let want = reference.query(&batch[k]).unwrap();
+            assert_eq!(got.allocation, want.allocation.pairs(), "{name} entry {k}");
+            assert_eq!(got.welfare.to_bits(), want.welfare.to_bits(), "{name}");
+        }
+        let err = rows[1].as_ref().unwrap_err();
+        assert_eq!(err.code, 422, "{name}: engine refusal is bad-query");
+        assert_eq!(err.kind, "bad-query", "{name}");
+        assert!(!err.retryable, "{name}");
+
+        // typed stats see the backend shape
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.server_queries, 4);
+        match name {
+            "store" => {
+                assert_eq!(stats.shards_total, 5);
+                assert!(stats.store_bytes_on_disk > 0);
+            }
+            _ => assert_eq!(stats.shards_total, 1),
+        }
+
+        client.shutdown().unwrap();
+        join.join().unwrap();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A pre-v2 server rejects `hello`; the client must fall back to v1
+/// silently and keep every typed call working (with string-only errors).
+#[test]
+fn client_falls_back_to_v1_when_hello_is_rejected() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let write = |line: &str| {
+            let mut s = &stream;
+            s.write_all(line.as_bytes()).unwrap();
+            s.write_all(b"\n").unwrap();
+            s.flush().unwrap();
+        };
+        let mut line = String::new();
+        // 1: hello → the legacy unknown-type error, verbatim
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("hello"), "{line}");
+        write(r#"{"error":"unknown request type `hello`","ok":false}"#);
+        // 2: the query → a canned v1 answer
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(
+            !line.contains("\"v\""),
+            "v1 fallback must not tag requests: {line}"
+        );
+        write(
+            r#"{"algorithm":"SeqGRD-NM","allocation":[[4,0],[9,1]],"elapsed_seconds":0.001,"ok":true,"welfare":12.5}"#,
+        );
+        // 3: a failing query → a v1 string error
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        write(r#"{"error":"bad query: budget too big","ok":false}"#);
+    });
+
+    let mut client = CwelmaxClient::connect(addr.to_string()).unwrap();
+    assert_eq!(client.protocol(), 1, "fallback must report v1");
+    assert!(client.negotiated().is_none());
+    assert!(!client.has_feature("batch"), "v1 advertises nothing");
+
+    let q = query(TwoItemConfig::C1, 2, Allocation::new());
+    let answer = client.query(&q).unwrap();
+    assert_eq!(answer.allocation, vec![(4, 0), (9, 1)]);
+    assert_eq!(answer.welfare, 12.5);
+
+    match client.query(&q) {
+        Err(ClientError::Server(e)) => {
+            assert_eq!(e.code, 0, "v1 errors carry no stable code");
+            assert_eq!(e.kind, "error");
+            assert!(e.message.contains("budget too big"));
+        }
+        other => panic!("expected a server error, got {other:?}"),
+    }
+    server.join().unwrap();
+}
+
+/// The accept-time `--max-conns` busy refusal arrives before the server
+/// reads anything — it must surface as a server error from `connect`,
+/// not masquerade as a v1 fallback on a socket that is already dead.
+#[test]
+fn busy_refusal_at_connect_surfaces_as_a_server_error_not_v1_fallback() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut s = &stream;
+        s.write_all(
+            b"{\"error\":\"server busy: connection limit 2 reached, retry later\",\"ok\":false}\n",
+        )
+        .unwrap();
+        s.flush().unwrap();
+        // close immediately, exactly like CampaignServer's refuse_busy
+    });
+    match CwelmaxClient::connect(addr.to_string()) {
+        Err(ClientError::Server(e)) => {
+            assert!(e.message.contains("server busy"), "{e}");
+        }
+        Ok(c) => panic!("connect succeeded at protocol v{}", c.protocol()),
+        Err(other) => panic!("expected Server error, got {other:?}"),
+    }
+    server.join().unwrap();
+}
+
+/// A connection that dies underneath the client (server restart, idle
+/// reap) is re-established — and re-negotiated — once, transparently.
+#[test]
+fn client_reconnects_once_when_the_connection_breaks() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let hello = r#"{"features":["batch","sp","stats","store"],"ok":true,"protocol":2,"server_version":"0.1.0","v":2}"#;
+    let server = std::thread::spawn(move || {
+        // connection 1: negotiate, then drop dead before the first query
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        {
+            let mut s = &stream;
+            s.write_all(hello.as_bytes()).unwrap();
+            s.write_all(b"\n").unwrap();
+            s.flush().unwrap();
+        }
+        drop(reader);
+        drop(stream);
+        // connection 2: full service
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let write = |text: &str| {
+            let mut s = &stream;
+            s.write_all(text.as_bytes()).unwrap();
+            s.write_all(b"\n").unwrap();
+            s.flush().unwrap();
+        };
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap(); // re-negotiation
+        assert!(line.contains("hello"), "{line}");
+        write(hello);
+        line.clear();
+        reader.read_line(&mut line).unwrap(); // the retried query
+        assert!(line.contains("\"v\""), "retry keeps the v2 dialect");
+        write(
+            r#"{"algorithm":"SeqGRD-NM","allocation":[[2,0]],"elapsed_seconds":0.001,"ok":true,"v":2,"welfare":3.25}"#,
+        );
+    });
+
+    let mut client = CwelmaxClient::connect(addr.to_string()).unwrap();
+    assert_eq!(client.protocol(), 2);
+    // the first connection is already dead; this must succeed anyway
+    let answer = client
+        .query(&query(TwoItemConfig::C1, 1, Allocation::new()))
+        .unwrap();
+    assert_eq!(answer.allocation, vec![(2, 0)]);
+    assert_eq!(answer.welfare, 3.25);
+    assert_eq!(client.protocol(), 2, "re-negotiated back to v2");
+    server.join().unwrap();
+}

@@ -21,12 +21,11 @@
 //! threads — the engine is immutable-shared (`&self`) by construction.
 
 use crate::backend::{IndexBackend, StorageStats};
-use crate::conditioned::{ConditionedCache, ConditionedView, DEFAULT_CONDITIONED_CAP};
+use crate::conditioned::{ConditionedCache, ConditionedView};
 use crate::error::EngineError;
 use crate::index::{graph_fingerprint, RrIndex};
 use crate::lru::LruCache;
 use crate::query::{CampaignAnswer, CampaignQuery, QueryAlgorithm};
-use crate::snapshot;
 use cwelmax_core::{MaxGrd, Problem, SeqGrd};
 use cwelmax_diffusion::{Allocation, WelfareEstimator};
 use cwelmax_graph::{Graph, NodeId};
@@ -92,24 +91,18 @@ pub struct CampaignEngine {
 }
 
 /// Default welfare-cache capacity (entries); override with
-/// [`CampaignEngine::with_cache_capacity`].
+/// `EngineBuilder::cache_capacity`.
 pub const DEFAULT_CACHE_CAP: usize = 4096;
 
 impl CampaignEngine {
-    /// Bind a graph and a monolithic in-memory index. Fails if the index
-    /// was built for a different graph (fingerprint mismatch) — answering
-    /// queries with a foreign index would silently produce garbage
-    /// allocations.
-    pub fn new(graph: Arc<Graph>, index: Arc<RrIndex>) -> Result<CampaignEngine, EngineError> {
-        Self::with_backend(graph, index)
-    }
-
-    /// Bind a graph and any [`IndexBackend`] — the general constructor
-    /// `serve --store` uses with a lazily loaded sharded store. The same
-    /// graph-fingerprint check applies.
-    pub fn with_backend(
+    /// The one real constructor, `EngineBuilder::build`'s workhorse:
+    /// verify the graph fingerprint, size both caches, zero the
+    /// counters. Everything public funnels here.
+    pub(crate) fn assemble(
         graph: Arc<Graph>,
         backend: Arc<dyn IndexBackend>,
+        cache_cap: usize,
+        conditioned_cap: usize,
     ) -> Result<CampaignEngine, EngineError> {
         let actual = graph_fingerprint(&graph);
         let expected = backend.meta().graph_fingerprint;
@@ -120,8 +113,8 @@ impl CampaignEngine {
             graph,
             backend,
             pool: OnceLock::new(),
-            cache: Mutex::new(LruCache::new(DEFAULT_CACHE_CAP)),
-            conditioned: ConditionedCache::new(DEFAULT_CONDITIONED_CAP),
+            cache: Mutex::new(LruCache::new(cache_cap)),
+            conditioned: ConditionedCache::new(conditioned_cap),
             queries: AtomicU64::new(0),
             pool_selections: AtomicU64::new(0),
             welfare_evals: AtomicU64::new(0),
@@ -131,9 +124,27 @@ impl CampaignEngine {
         })
     }
 
+    /// Bind a graph and a monolithic in-memory index.
+    #[deprecated(note = "use `EngineBuilder::from_index(index).graph(graph).build()`")]
+    pub fn new(graph: Arc<Graph>, index: Arc<RrIndex>) -> Result<CampaignEngine, EngineError> {
+        crate::EngineBuilder::from_index(index).graph(graph).build()
+    }
+
+    /// Bind a graph and any [`IndexBackend`].
+    #[deprecated(note = "use `EngineBuilder::from_backend(backend).graph(graph).build()`")]
+    pub fn with_backend(
+        graph: Arc<Graph>,
+        backend: Arc<dyn IndexBackend>,
+    ) -> Result<CampaignEngine, EngineError> {
+        crate::EngineBuilder::from_backend(backend)
+            .graph(graph)
+            .build()
+    }
+
     /// Resize the welfare cache (entries; 0 disables welfare caching
     /// entirely — every evaluation recomputes). Existing cached
     /// evaluations are dropped — intended for construction time.
+    #[deprecated(note = "use `EngineBuilder::cache_capacity(n)` at construction")]
     pub fn with_cache_capacity(self, cap: usize) -> CampaignEngine {
         *self.cache.lock().unwrap() = LruCache::new(cap);
         self
@@ -142,30 +153,28 @@ impl CampaignEngine {
     /// Resize the conditioned-view cache (entries; 0 disables view
     /// caching — every follow-up re-derives). Existing views are
     /// dropped — intended for construction time.
+    #[deprecated(note = "use `EngineBuilder::conditioned_capacity(n)` at construction")]
     pub fn with_conditioned_capacity(mut self, cap: usize) -> CampaignEngine {
         self.conditioned = ConditionedCache::new(cap);
         self
     }
 
-    /// Convenience: load the index from a snapshot file and bind it. Any
-    /// SP node sets persisted in the snapshot's conditioned section
-    /// (format v2) are derived eagerly, pre-warming the view cache so the
-    /// first follow-up query against a persisted SP is already warm. The
-    /// cache is sized to hold **all** persisted views (never below the
-    /// default), so pre-warming cannot evict itself.
+    /// Load the index from a snapshot file and bind it, pre-warming any
+    /// persisted conditioned views.
+    #[deprecated(note = "use `EngineBuilder::from_snapshot(path).graph(graph).build()`")]
     pub fn from_snapshot(
         graph: Arc<Graph>,
         path: impl AsRef<Path>,
     ) -> Result<CampaignEngine, EngineError> {
-        let (index, views) = snapshot::load_full(path)?;
-        let mut engine = CampaignEngine::new(graph, Arc::new(index))?;
-        if views.len() > DEFAULT_CONDITIONED_CAP {
-            engine = engine.with_conditioned_capacity(views.len());
-        }
-        for sp in &views {
-            engine.conditioned_view(sp)?;
-        }
-        Ok(engine)
+        crate::EngineBuilder::from_snapshot(path.as_ref())
+            .graph(graph)
+            .build()
+    }
+
+    /// Derive (and cache) the SP-conditioned view for `sp_nodes` ahead
+    /// of traffic — `EngineBuilder::prewarm_sp`'s build-time hook.
+    pub(crate) fn prewarm_view(&self, sp_nodes: &[NodeId]) -> Result<(), EngineError> {
+        self.conditioned_view(sp_nodes).map(|_| ())
     }
 
     /// The shared graph.
@@ -446,11 +455,12 @@ fn hash_value(v: &Value, h: &mut DefaultHasher) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::EngineBuilder;
     use cwelmax_graph::{generators, ProbabilityModel as PM};
     use cwelmax_rrset::ImmParams;
     use cwelmax_utility::configs::{self, TwoItemConfig};
 
-    fn engine(n: usize, m: usize, seed: u64, cap: u32) -> CampaignEngine {
+    fn builder(n: usize, m: usize, seed: u64, cap: u32) -> EngineBuilder {
         let graph = Arc::new(generators::erdos_renyi(n, m, seed, PM::WeightedCascade));
         let params = ImmParams {
             eps: 0.5,
@@ -460,7 +470,11 @@ mod tests {
             max_rr_sets: 500_000,
         };
         let index = Arc::new(RrIndex::build(&graph, cap, &params));
-        CampaignEngine::new(graph, index).unwrap()
+        EngineBuilder::from_index(index).graph(graph)
+    }
+
+    fn engine(n: usize, m: usize, seed: u64, cap: u32) -> CampaignEngine {
+        builder(n, m, seed, cap).build().unwrap()
     }
 
     fn query(algorithm: QueryAlgorithm, cfg: TwoItemConfig, b: usize) -> CampaignQuery {
@@ -479,10 +493,41 @@ mod tests {
             max_rr_sets: 100_000,
         };
         let index = Arc::new(RrIndex::build(&g1, 4, &params));
-        match CampaignEngine::new(g2, index) {
+        match EngineBuilder::from_index(index).graph(g2).build() {
             Err(EngineError::GraphMismatch { .. }) => {}
             other => panic!("expected GraphMismatch, got {:?}", other.err()),
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_shims_still_assemble_working_engines() {
+        // the pre-builder surface is frozen as thin shims — existing
+        // callers keep compiling and get builder-identical engines
+        let graph = Arc::new(generators::erdos_renyi(60, 240, 3, PM::WeightedCascade));
+        let params = ImmParams {
+            eps: 0.5,
+            ell: 1.0,
+            seed: 7,
+            threads: 2,
+            max_rr_sets: 200_000,
+        };
+        let index = Arc::new(RrIndex::build(&graph, 4, &params));
+        let shim = CampaignEngine::new(graph.clone(), index.clone())
+            .unwrap()
+            .with_cache_capacity(16)
+            .with_conditioned_capacity(2);
+        let built = EngineBuilder::from_index(index)
+            .graph(graph)
+            .cache_capacity(16)
+            .conditioned_capacity(2)
+            .build()
+            .unwrap();
+        let q = query(QueryAlgorithm::SeqGrdNm, TwoItemConfig::C1, 2);
+        let a = shim.query(&q).unwrap();
+        let b = built.query(&q).unwrap();
+        assert_eq!(a.allocation, b.allocation);
+        assert_eq!(a.welfare, b.welfare);
     }
 
     #[test]
@@ -532,7 +577,7 @@ mod tests {
         // sustained mixed traffic periodically lost its working set. With
         // the LRU, an entry touched between insertions must never be
         // evicted.
-        let e = engine(80, 320, 13, 6).with_cache_capacity(4);
+        let e = builder(80, 320, 13, 6).cache_capacity(4).build().unwrap();
         let hot = query(QueryAlgorithm::SeqGrdNm, TwoItemConfig::C1, 2);
         e.query(&hot).unwrap(); // populate the hot entry
         let mut expected_hits = 0;
@@ -556,11 +601,11 @@ mod tests {
 
     #[test]
     fn zero_capacity_cache_disables_caching_without_breaking_queries() {
-        // regression: `with_cache_capacity(0)` used to clamp to a 1-entry
-        // cache; it must mean "no welfare caching" — same answers, zero
-        // hits, no panic or eviction churn
+        // regression: cache capacity 0 used to clamp to a 1-entry cache;
+        // it must mean "no welfare caching" — same answers, zero hits, no
+        // panic or eviction churn
         let cached = engine(80, 320, 17, 6);
-        let uncached = engine(80, 320, 17, 6).with_cache_capacity(0);
+        let uncached = builder(80, 320, 17, 6).cache_capacity(0).build().unwrap();
         let q = query(QueryAlgorithm::SeqGrdNm, TwoItemConfig::C1, 2);
         let want = cached.query(&q).unwrap();
         for _ in 0..3 {
@@ -572,7 +617,10 @@ mod tests {
         assert_eq!(s.welfare_evals, 3);
         assert_eq!(s.welfare_cache_hits, 0, "a disabled cache never hits");
         // conditioned-view cache: capacity 0 re-derives per follow-up
-        let follow = engine(80, 320, 17, 6).with_conditioned_capacity(0);
+        let follow = builder(80, 320, 17, 6)
+            .conditioned_capacity(0)
+            .build()
+            .unwrap();
         let fq = query(QueryAlgorithm::SeqGrdNm, TwoItemConfig::C1, 2)
             .with_sp(Allocation::from_pairs(vec![(3, 1)]));
         follow.query(&fq).unwrap();

@@ -26,6 +26,11 @@
 //!   allocation queries (budgets × utility configs × algorithm choice ×
 //!   optional `SP`) over the shared index **without resampling**, with a
 //!   welfare-evaluation cache and parallel batch execution;
+//! * [`EngineBuilder`] — the **one** way to assemble an engine: pick a
+//!   source (`from_snapshot` / `from_index` / `from_backend`, or
+//!   `cwelmax-store`'s `from_store` extension), set cache capacities,
+//!   pre-warm SP views, `build()`. The old ad-hoc constructors survive
+//!   only as deprecated shims;
 //! * [`backend`] — the [`IndexBackend`] trait the engine serves through:
 //!   a monolithic [`RrIndex`] or `cwelmax-store`'s lazily loaded sharded
 //!   store plug in interchangeably, and [`StorageStats`] makes the
@@ -33,7 +38,7 @@
 //!   [`EngineStats`] and over the wire.
 //!
 //! ```
-//! use cwelmax_engine::{CampaignEngine, CampaignQuery, QueryAlgorithm, RrIndex};
+//! use cwelmax_engine::{CampaignQuery, EngineBuilder, QueryAlgorithm, RrIndex};
 //! use cwelmax_graph::{generators, ProbabilityModel};
 //! use cwelmax_rrset::ImmParams;
 //! use cwelmax_utility::configs::{self, TwoItemConfig};
@@ -46,7 +51,7 @@
 //! let index = Arc::new(RrIndex::build(&graph, 10, &params));
 //!
 //! // Cheap, many times: answer campaigns over the shared index.
-//! let engine = CampaignEngine::new(graph, index).unwrap();
+//! let engine = EngineBuilder::from_index(index).graph(graph).build().unwrap();
 //! let q1 = CampaignQuery::new(
 //!     configs::two_item_config(TwoItemConfig::C1), vec![3, 3],
 //!     QueryAlgorithm::SeqGrdNm).with_samples(100);
@@ -59,6 +64,7 @@
 //! ```
 
 pub mod backend;
+pub mod builder;
 pub mod codec;
 pub mod conditioned;
 pub mod engine;
@@ -70,9 +76,10 @@ pub mod snapshot;
 pub mod wire;
 
 pub use backend::{IndexBackend, StorageStats};
+pub use builder::EngineBuilder;
 pub use conditioned::{sp_fingerprint, validated_sp_nodes, ConditionedCache, ConditionedView};
 pub use engine::{model_fingerprint, CampaignEngine, EngineStats};
-pub use error::EngineError;
+pub use error::{EngineError, ErrorKind};
 pub use index::{graph_fingerprint, IndexMeta, RrIndex};
 pub use lru::LruCache;
 pub use query::{CampaignAnswer, CampaignQuery, QueryAlgorithm};

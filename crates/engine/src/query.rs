@@ -18,9 +18,20 @@ pub enum QueryAlgorithm {
 }
 
 impl QueryAlgorithm {
-    /// Parse a CLI-style name.
+    /// Every variant, in canonical order (parse/name round-trip tests
+    /// iterate this).
+    pub const ALL: [QueryAlgorithm; 4] = [
+        QueryAlgorithm::SeqGrdNm,
+        QueryAlgorithm::SeqGrd,
+        QueryAlgorithm::MaxGrd,
+        QueryAlgorithm::BestOf,
+    ];
+
+    /// Parse a CLI-style name, case-insensitively — `"SeqGRD"` and
+    /// `"seqgrd"` are the same algorithm, and wire clients should not
+    /// have to guess the canonical casing.
     pub fn parse(s: &str) -> Option<QueryAlgorithm> {
-        match s {
+        match s.to_ascii_lowercase().as_str() {
             "seqgrd-nm" => Some(QueryAlgorithm::SeqGrdNm),
             "seqgrd" => Some(QueryAlgorithm::SeqGrd),
             "maxgrd" => Some(QueryAlgorithm::MaxGrd),
@@ -107,4 +118,32 @@ pub struct CampaignAnswer {
     /// evaluation; **excludes** any sampling — the warm path never
     /// samples, not even for follow-ups).
     pub elapsed: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_parse_name_round_trips_for_all_variants() {
+        for algo in QueryAlgorithm::ALL {
+            assert_eq!(QueryAlgorithm::parse(algo.name()), Some(algo));
+        }
+    }
+
+    #[test]
+    fn algorithm_parse_is_case_insensitive() {
+        for (spelling, want) in [
+            ("SeqGRD", QueryAlgorithm::SeqGrd),
+            ("SEQGRD-NM", QueryAlgorithm::SeqGrdNm),
+            ("MaxGrd", QueryAlgorithm::MaxGrd),
+            ("Best-Of", QueryAlgorithm::BestOf),
+        ] {
+            assert_eq!(QueryAlgorithm::parse(spelling), Some(want), "{spelling}");
+            // the canonical name is unaffected by how the query spelled it
+            assert_eq!(QueryAlgorithm::parse(spelling).unwrap().name(), want.name());
+        }
+        assert_eq!(QueryAlgorithm::parse("quantum"), None);
+        assert_eq!(QueryAlgorithm::parse(""), None);
+    }
 }

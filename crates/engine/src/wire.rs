@@ -1,18 +1,35 @@
-//! The engine's JSON wire format, shared by the `query-batch` CLI path and
-//! the `cwelmax-server` TCP front-end.
+//! The engine's versioned JSON wire format, shared by the `query-batch`
+//! CLI path, the `cwelmax-server` TCP front-end, and the typed
+//! `cwelmax-client` crate.
 //!
-//! One campaign query is one JSON object:
+//! ## Protocol versions
+//!
+//! Two dialects share the socket, distinguished per **line** by the `"v"`
+//! field:
+//!
+//! * **v1** — no `"v"` field. The original NDJSON protocol, preserved
+//!   **byte-for-byte**: requests parse exactly as before and responses
+//!   (including error strings) serialize exactly as before, so recorded
+//!   v1 transcripts replay identically against a v2 server.
+//! * **v2** — `"v": 2` on every request; every response carries
+//!   `"v": 2` back. Adds `{"v": 2, "type": "hello"}` negotiation and
+//!   structured errors `{"code", "kind", "message", "retryable"}` (the
+//!   stable [`ErrorKind`] taxonomy). Any other `"v"` is answered with an
+//!   `unsupported-version` error.
+//!
+//! One campaign query is one JSON object (identical in both dialects,
+//! v2 adding the `"v"` key):
 //!
 //! ```json
-//! {"config": "C1", "budgets": [5, 5], "algorithm": "seqgrd-nm",
+//! {"v": 2, "config": "C1", "budgets": [5, 5], "algorithm": "seqgrd-nm",
 //!  "sp": [[17, 1]], "samples": 1000, "seed": 7}
 //! ```
 //!
 //! * `config` — a named paper configuration (`"C1"`–`"C4"`) or an inline
 //!   JSON utility model (required);
 //! * `budgets` — per-item seed budgets (required);
-//! * `algorithm` — `seqgrd-nm | seqgrd | maxgrd | best-of`
-//!   (default `seqgrd-nm`);
+//! * `algorithm` — `seqgrd-nm | seqgrd | maxgrd | best-of`, parsed
+//!   case-insensitively (default `seqgrd-nm`);
 //! * `sp` — optional fixed prior allocation `[[node, item], …]` making
 //!   this a **follow-up** campaign served from an SP-conditioned index
 //!   view (default empty = fresh campaign);
@@ -21,25 +38,37 @@
 //! The server speaks newline-delimited JSON: one request object per line,
 //! one response object per line. A request is either a bare query object
 //! (as above) or an envelope with a `type` field — `"query"` (the
-//! default), `"batch"`, `"stats"`, or `"shutdown"` — plus an optional
-//! `id` the response echoes back, so pipelined clients can match answers:
+//! default), `"batch"`, `"stats"`, `"hello"` (v2 only), or `"shutdown"` —
+//! plus an optional `id` the response echoes back, so pipelined clients
+//! can match answers:
 //!
 //! ```json
-//! {"type": "query", "id": 7, "config": "C2", "budgets": [3, 3]}
-//! {"type": "batch", "queries": [{"config": "C1", "budgets": [2, 2]}, …]}
-//! {"type": "stats"}
+//! {"v": 2, "type": "hello"}
+//! {"v": 2, "type": "query", "id": 7, "config": "C2", "budgets": [3, 3]}
+//! {"v": 2, "type": "batch", "queries": [{"config": "C1", "budgets": [2, 2]}, …]}
+//! {"v": 2, "type": "stats"}
 //! ```
+//!
+//! `hello` is how programs negotiate: the response names the protocol,
+//! the feature set, and the server version —
+//! `{"v": 2, "ok": true, "protocol": 2, "features": ["batch", "sp",
+//! "stats", "store"], "server_version": "…"}`. A v1 server answers
+//! `hello` with an `unknown request type` error, which is exactly the
+//! signal `cwelmax-client` uses to fall back to v1 automatically.
 //!
 //! A batch envelope answers all its queries over **one** wire line
 //! (`{"ok": true, "answers": [...]}`, one entry per query in order), so
 //! clients amortize round-trips; a malformed entry becomes a per-entry
-//! error object, never a failed batch.
+//! error object — carrying the same structured `{code, kind, retryable}`
+//! triple on v2 — never a failed batch.
 //!
-//! Every response carries `"ok": true | false`; errors add an `"error"`
-//! string and never terminate the connection or the process. All parsing
+//! Every response carries `"ok": true | false`. On v1 errors add a bare
+//! `"error"` string; on v2 the `"error"` value is the structured object.
+//! Neither ever terminates the connection or the process. All parsing
 //! here returns `Result` — `die()`-style exits belong to the CLI alone.
 
 use crate::engine::EngineStats;
+use crate::error::{EngineError, ErrorKind};
 use crate::query::{CampaignAnswer, CampaignQuery, QueryAlgorithm};
 use cwelmax_diffusion::{Allocation, SimulationConfig};
 use cwelmax_utility::configs::{self, TwoItemConfig};
@@ -51,12 +80,65 @@ pub const DEFAULT_SAMPLES: usize = 1000;
 /// Default Monte-Carlo base seed for wire queries.
 pub const DEFAULT_SEED: u64 = 0x5EED;
 
-/// A parsed server request: the payload plus the optional `id` echoed in
-/// the response.
+/// The wire protocol version this build speaks natively.
+pub const PROTOCOL_VERSION: u64 = 2;
+
+/// The capability names `hello` advertises. Frozen per entry: features
+/// are only ever appended, so clients can gate on membership.
+pub const FEATURES: [&str; 4] = ["batch", "sp", "stats", "store"];
+
+/// Which dialect a request line spoke — and hence how its response is
+/// encoded. Per-line, not per-connection: a v1 and a v2 client can share
+/// a pipelined connection without confusing each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// The original unversioned NDJSON dialect (no `"v"` field),
+    /// preserved byte-for-byte.
+    V1,
+    /// The versioned dialect: `"v": 2` both ways, structured errors,
+    /// `hello` negotiation.
+    V2,
+}
+
+/// A wire-encodable error: the stable classification plus a
+/// human-readable message. On v1 only the message survives (as the bare
+/// `"error"` string — byte-identical to the pre-v2 format); on v2 the
+/// full `{code, kind, message, retryable}` object is emitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Stable classification (`code`/`kind`/`retryable` derive from it).
+    pub kind: ErrorKind,
+    /// Human-readable detail; never something to dispatch on.
+    pub message: String,
+}
+
+impl WireError {
+    /// A malformed request (unparseable line, bad envelope, bad field).
+    pub fn bad_request(message: impl Into<String>) -> WireError {
+        WireError {
+            kind: ErrorKind::BadRequest,
+            message: message.into(),
+        }
+    }
+
+    /// Classify an engine failure (the kind comes straight from
+    /// [`EngineError::kind`]).
+    pub fn from_engine(e: &EngineError) -> WireError {
+        WireError {
+            kind: e.kind(),
+            message: e.to_string(),
+        }
+    }
+}
+
+/// A parsed server request: the payload, the dialect it arrived in, and
+/// the optional `id` echoed in the response.
 #[derive(Debug, Clone)]
 pub struct WireRequest {
     /// Client-chosen correlation id (echoed back verbatim).
     pub id: Option<Value>,
+    /// The dialect this line spoke; responses must be encoded in it.
+    pub proto: Protocol,
     /// What the client asked for.
     pub kind: RequestKind,
 }
@@ -72,6 +154,9 @@ pub enum RequestKind {
     Batch(Vec<Result<CampaignQuery, String>>),
     /// Report request/latency counters and engine statistics.
     Stats,
+    /// Negotiate protocol and capabilities (v2 only — a v1 line asking
+    /// for `hello` gets the old `unknown request type` error verbatim).
+    Hello,
     /// Gracefully stop the server.
     Shutdown,
 }
@@ -134,29 +219,91 @@ pub fn parse_query(v: &Value) -> Result<CampaignQuery, String> {
     })
 }
 
+/// Serialize a query back to its wire object (the inverse of
+/// [`parse_query`], used by the typed client). The utility model is
+/// always emitted inline — named configs are a parse-side convenience
+/// only — and `sp` is omitted when empty, so fresh-query lines look
+/// exactly like hand-written ones.
+pub fn query_to_value(q: &CampaignQuery) -> Value {
+    let mut m = Map::new();
+    m.insert("config".into(), q.model.to_value());
+    m.insert("budgets".into(), q.budgets.to_value());
+    m.insert("algorithm".into(), Value::String(q.algorithm.name().into()));
+    if !q.sp.is_empty() {
+        m.insert("sp".into(), q.sp.pairs().to_value());
+    }
+    m.insert("samples".into(), q.sim.samples.to_value());
+    m.insert("seed".into(), q.sim.base_seed.to_value());
+    Value::Object(m)
+}
+
+/// The dialect a request object speaks: no `"v"` is v1 (the
+/// compatibility decoder), `"v": 2` is v2, anything else is an
+/// `unsupported-version` error (answered in v2 framing — the sender is
+/// clearly a versioned client).
+fn protocol_of(obj: &Map) -> Result<Protocol, (Protocol, WireError)> {
+    let Some(v) = obj.get("v") else {
+        return Ok(Protocol::V1);
+    };
+    let declared = match v {
+        Value::Int(x) => Some(*x as i128),
+        Value::UInt(x) => Some(*x as i128),
+        _ => None,
+    };
+    if declared == Some(2) {
+        return Ok(Protocol::V2);
+    }
+    let shown = declared
+        .map(|x| x.to_string())
+        .unwrap_or_else(|| format!("{v:?}"));
+    Err((
+        Protocol::V2,
+        WireError {
+            kind: ErrorKind::UnsupportedVersion,
+            message: format!(
+                "unsupported wire protocol version `{shown}` \
+                 (this server speaks v1 lines and v2)"
+            ),
+        },
+    ))
+}
+
 /// Parse one request line (newline-delimited JSON). Malformed input comes
-/// back as `Err(message)` — callers answer with [`error_response`] and
-/// keep the connection alive.
-pub fn parse_request_line(line: &str) -> Result<WireRequest, String> {
-    let v: Value = serde_json::from_str(line).map_err(|e| format!("bad request JSON: {e}"))?;
+/// back as `Err((proto, error))` — `proto` is the dialect the error
+/// response must be encoded in (v1 for lines that never parsed, so
+/// legacy clients keep seeing the exact bytes they always did) — and
+/// callers answer with [`wire_error_response`], keeping the connection
+/// alive.
+pub fn parse_request_line(line: &str) -> Result<WireRequest, (Protocol, WireError)> {
+    let v: Value = serde_json::from_str(line).map_err(|e| {
+        (
+            Protocol::V1,
+            WireError::bad_request(format!("bad request JSON: {e}")),
+        )
+    })?;
     parse_request(&v)
 }
 
 /// Parse one request value (envelope or bare query object).
-pub fn parse_request(v: &Value) -> Result<WireRequest, String> {
-    let obj = v
-        .as_object()
-        .ok_or_else(|| format!("expected a JSON object, got {}", v.kind()))?;
+pub fn parse_request(v: &Value) -> Result<WireRequest, (Protocol, WireError)> {
+    let obj = v.as_object().ok_or_else(|| {
+        (
+            Protocol::V1,
+            WireError::bad_request(format!("expected a JSON object, got {}", v.kind())),
+        )
+    })?;
+    let proto = protocol_of(obj)?;
+    let fail = |msg: String| (proto, WireError::bad_request(msg));
     let id = obj.get("id").cloned();
     let kind = match obj.get("type").map(|t| t.as_str()) {
         // bare query objects need no envelope
-        None | Some(Some("query")) => RequestKind::Query(Box::new(parse_query(v)?)),
+        None | Some(Some("query")) => RequestKind::Query(Box::new(parse_query(v).map_err(fail)?)),
         Some(Some("batch")) => {
             let queries = obj
                 .get("queries")
-                .ok_or("batch request needs a `queries` array")?
+                .ok_or_else(|| fail("batch request needs a `queries` array".into()))?
                 .as_array()
-                .ok_or("batch `queries` must be an array")?;
+                .ok_or_else(|| fail("batch `queries` must be an array".into()))?;
             RequestKind::Batch(
                 queries
                     .iter()
@@ -166,17 +313,29 @@ pub fn parse_request(v: &Value) -> Result<WireRequest, String> {
             )
         }
         Some(Some("stats")) => RequestKind::Stats,
+        // `hello` postdates v1 — a v1 line asking for it must get the
+        // pre-v2 bytes back, i.e. the generic unknown-type error
+        Some(Some("hello")) if proto == Protocol::V2 => RequestKind::Hello,
         Some(Some("shutdown")) => RequestKind::Shutdown,
-        Some(Some(other)) => return Err(format!("unknown request type `{other}`")),
-        Some(None) => return Err("request `type` must be a string".into()),
+        Some(Some(other)) => return Err(fail(format!("unknown request type `{other}`"))),
+        Some(None) => return Err(fail("request `type` must be a string".into())),
     };
-    Ok(WireRequest { id, kind })
+    Ok(WireRequest { id, proto, kind })
+}
+
+/// Stamp a response object with the dialect marker (`"v": 2` on v2;
+/// v1 responses are untouched, preserving their exact historical bytes).
+pub fn with_version(mut response: Value, proto: Protocol) -> Value {
+    if let (Value::Object(m), Protocol::V2) = (&mut response, proto) {
+        m.insert("v".into(), Value::UInt(PROTOCOL_VERSION));
+    }
+    response
 }
 
 /// Response object for a successfully answered query. Follow-up answers
-/// echo the conditioning `sp`; fresh answers omit the key, so fresh
+/// echo the conditioning `sp`; fresh answers omit the key, so fresh v1
 /// responses are byte-identical to the pre-SP wire format.
-pub fn answer_response(a: &CampaignAnswer) -> Value {
+pub fn answer_response(a: &CampaignAnswer, proto: Protocol) -> Value {
     let mut m = Map::new();
     m.insert("ok".into(), Value::Bool(true));
     m.insert("algorithm".into(), a.algorithm.to_value());
@@ -186,33 +345,82 @@ pub fn answer_response(a: &CampaignAnswer) -> Value {
     }
     m.insert("welfare".into(), a.welfare.to_value());
     m.insert("elapsed_seconds".into(), a.elapsed.as_secs_f64().to_value());
-    Value::Object(m)
+    with_version(Value::Object(m), proto)
 }
 
 /// Response object for a batch request: one entry per query, in order —
 /// an answer object for successes, an error object for parse or engine
-/// failures.
-pub fn batch_response(rows: &[Result<CampaignAnswer, String>]) -> Value {
+/// failures (structured on v2). The entries carry no `"v"` of their own;
+/// the envelope is the versioned unit.
+pub fn batch_response(rows: &[Result<CampaignAnswer, WireError>], proto: Protocol) -> Value {
     let answers: Vec<Value> = rows
         .iter()
         .map(|r| match r {
-            Ok(a) => answer_response(a),
-            Err(e) => error_response(e),
+            Ok(a) => answer_response(a, Protocol::V1),
+            Err(e) => error_body(e, proto),
         })
         .collect();
     let mut m = Map::new();
     m.insert("ok".into(), Value::Bool(true));
     m.insert("answers".into(), Value::Array(answers));
+    with_version(Value::Object(m), proto)
+}
+
+/// The `hello` response: protocol, capabilities, and server version —
+/// everything a program needs to decide how to drive this server.
+pub fn hello_response() -> Value {
+    let mut m = Map::new();
+    m.insert("ok".into(), Value::Bool(true));
+    m.insert("protocol".into(), Value::UInt(PROTOCOL_VERSION));
+    m.insert(
+        "features".into(),
+        Value::Array(
+            FEATURES
+                .iter()
+                .map(|f| Value::String((*f).to_string()))
+                .collect(),
+        ),
+    );
+    m.insert(
+        "server_version".into(),
+        Value::String(env!("CARGO_PKG_VERSION").to_string()),
+    );
+    with_version(Value::Object(m), Protocol::V2)
+}
+
+/// The bare error **object** without the version stamp (batch entries
+/// embed it; top-level errors go through [`wire_error_response`]).
+fn error_body(err: &WireError, proto: Protocol) -> Value {
+    let mut m = Map::new();
+    m.insert("ok".into(), Value::Bool(false));
+    match proto {
+        Protocol::V1 => {
+            m.insert("error".into(), Value::String(err.message.clone()));
+        }
+        Protocol::V2 => {
+            let mut e = Map::new();
+            e.insert("code".into(), Value::UInt(err.kind.code() as u64));
+            e.insert("kind".into(), Value::String(err.kind.name().to_string()));
+            e.insert("message".into(), Value::String(err.message.clone()));
+            e.insert("retryable".into(), Value::Bool(err.kind.retryable()));
+            m.insert("error".into(), Value::Object(e));
+        }
+    }
     Value::Object(m)
 }
 
-/// Response object for any failed request. The message is the payload —
-/// the connection (and process) stay up.
+/// Response object for any failed request: the historical bare string on
+/// v1, the structured `{code, kind, message, retryable}` object on v2.
+/// Either way the connection (and process) stay up.
+pub fn wire_error_response(err: &WireError, proto: Protocol) -> Value {
+    with_version(error_body(err, proto), proto)
+}
+
+/// v1 error response from a bare message (classified as a bad request).
+/// Kept because the CLI's offline `query-batch` report and the server's
+/// accept-time busy refusal are version-less surfaces.
 pub fn error_response(msg: &str) -> Value {
-    let mut m = Map::new();
-    m.insert("ok".into(), Value::Bool(false));
-    m.insert("error".into(), Value::String(msg.into()));
-    Value::Object(m)
+    error_body(&WireError::bad_request(msg), Protocol::V1)
 }
 
 /// Engine counters as a JSON object (embedded in stats responses and the
@@ -251,10 +459,15 @@ pub fn to_line(response: &Value) -> String {
 mod tests {
     use super::*;
 
+    fn err_of(line: &str) -> (Protocol, WireError) {
+        parse_request_line(line).expect_err("expected an error")
+    }
+
     #[test]
     fn parses_minimal_and_full_queries() {
         let q = parse_request_line(r#"{"config": "C1", "budgets": [2, 3]}"#).unwrap();
         assert!(q.id.is_none());
+        assert_eq!(q.proto, Protocol::V1);
         match q.kind {
             RequestKind::Query(q) => {
                 assert_eq!(q.budgets, vec![2, 3]);
@@ -281,6 +494,66 @@ mod tests {
     }
 
     #[test]
+    fn versioned_queries_parse_as_v2() {
+        let q = parse_request_line(r#"{"v": 2, "config": "C1", "budgets": [2, 3]}"#).unwrap();
+        assert_eq!(q.proto, Protocol::V2);
+        assert!(matches!(q.kind, RequestKind::Query(_)));
+        // algorithm names are case-insensitive on the wire
+        let q = parse_request_line(
+            r#"{"v": 2, "config": "C1", "budgets": [1, 1], "algorithm": "MaxGRD"}"#,
+        )
+        .unwrap();
+        match q.kind {
+            RequestKind::Query(q) => assert_eq!(q.algorithm, QueryAlgorithm::MaxGrd),
+            other => panic!("expected query, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsupported_protocol_versions_are_rejected_in_v2_framing() {
+        for bad in [
+            r#"{"v": 3, "config": "C1", "budgets": [1, 1]}"#,
+            r#"{"v": 1, "config": "C1", "budgets": [1, 1]}"#,
+            r#"{"v": "two", "config": "C1", "budgets": [1, 1]}"#,
+        ] {
+            let (proto, err) = err_of(bad);
+            assert_eq!(proto, Protocol::V2, "{bad}");
+            assert_eq!(err.kind, ErrorKind::UnsupportedVersion, "{bad}");
+            assert!(err.message.contains("unsupported wire protocol"), "{bad}");
+        }
+    }
+
+    #[test]
+    fn hello_is_v2_only_and_v1_hello_gets_the_legacy_error_bytes() {
+        let req = parse_request_line(r#"{"v": 2, "type": "hello"}"#).unwrap();
+        assert!(matches!(req.kind, RequestKind::Hello));
+        // the v1 decoder must answer exactly as the pre-v2 server did
+        let (proto, err) = err_of(r#"{"type": "hello"}"#);
+        assert_eq!(proto, Protocol::V1);
+        assert_eq!(
+            to_line(&wire_error_response(&err, proto)),
+            r#"{"error":"unknown request type `hello`","ok":false}"#
+        );
+    }
+
+    #[test]
+    fn hello_response_names_protocol_features_and_version() {
+        let v = hello_response();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(obj.get("v"), Some(&Value::UInt(2)));
+        assert_eq!(obj.get("protocol"), Some(&Value::UInt(2)));
+        let features = obj.get("features").unwrap().as_array().unwrap();
+        for want in FEATURES {
+            assert!(
+                features.iter().any(|f| f.as_str() == Some(want)),
+                "missing feature {want}"
+            );
+        }
+        assert!(obj.get("server_version").unwrap().as_str().is_some());
+    }
+
+    #[test]
     fn parses_inline_config() {
         let model = configs::two_item_config(TwoItemConfig::C3);
         let inline = serde_json::to_string(&model).unwrap();
@@ -289,6 +562,35 @@ mod tests {
             RequestKind::Query(q) => assert_eq!(q.model.num_items(), model.num_items()),
             other => panic!("expected query, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn query_to_value_round_trips_through_parse_query() {
+        let q = CampaignQuery {
+            model: configs::two_item_config(TwoItemConfig::C2),
+            budgets: vec![3, 1],
+            algorithm: QueryAlgorithm::MaxGrd,
+            sp: Allocation::from_pairs(vec![(7, 1), (3, 0)]),
+            sim: SimulationConfig {
+                samples: 123,
+                threads: 1,
+                base_seed: 99,
+            },
+        };
+        let back = parse_query(&query_to_value(&q)).unwrap();
+        assert_eq!(back.budgets, q.budgets);
+        assert_eq!(back.algorithm, q.algorithm);
+        assert_eq!(back.sp.pairs(), q.sp.pairs());
+        assert_eq!(back.sim.samples, q.sim.samples);
+        assert_eq!(back.sim.base_seed, q.sim.base_seed);
+        assert_eq!(back.model.to_value(), q.model.to_value());
+        // fresh queries omit `sp` entirely
+        let fresh = CampaignQuery {
+            sp: Allocation::new(),
+            ..q
+        };
+        let v = query_to_value(&fresh);
+        assert!(v.as_object().unwrap().get("sp").is_none());
     }
 
     #[test]
@@ -344,22 +646,44 @@ mod tests {
 
     #[test]
     fn batch_response_interleaves_answers_and_errors() {
-        let rows = vec![Err("query 0: boom".to_string())];
-        let v = batch_response(&rows);
-        let obj = v.as_object().unwrap();
-        assert_eq!(obj.get("ok"), Some(&Value::Bool(true)));
-        let answers = obj.get("answers").unwrap().as_array().unwrap();
-        assert_eq!(answers.len(), 1);
-        assert_eq!(
-            answers[0].as_object().unwrap().get("ok"),
-            Some(&Value::Bool(false))
-        );
+        let rows = vec![Err(WireError::bad_request("query 0: boom"))];
+        for proto in [Protocol::V1, Protocol::V2] {
+            let v = batch_response(&rows, proto);
+            let obj = v.as_object().unwrap();
+            assert_eq!(obj.get("ok"), Some(&Value::Bool(true)));
+            let answers = obj.get("answers").unwrap().as_array().unwrap();
+            assert_eq!(answers.len(), 1);
+            let entry = answers[0].as_object().unwrap();
+            assert_eq!(entry.get("ok"), Some(&Value::Bool(false)));
+            match proto {
+                Protocol::V1 => {
+                    assert_eq!(obj.get("v"), None);
+                    assert_eq!(
+                        entry.get("error"),
+                        Some(&Value::String("query 0: boom".into()))
+                    );
+                }
+                Protocol::V2 => {
+                    assert_eq!(obj.get("v"), Some(&Value::UInt(2)));
+                    let e = entry.get("error").unwrap().as_object().unwrap();
+                    assert_eq!(e.get("code"), Some(&Value::UInt(400)));
+                    assert_eq!(e.get("kind"), Some(&Value::String("bad-request".into())));
+                    assert_eq!(e.get("retryable"), Some(&Value::Bool(false)));
+                }
+            }
+        }
     }
 
     #[test]
     fn parses_control_requests() {
         assert!(matches!(
             parse_request_line(r#"{"type": "stats"}"#).unwrap().kind,
+            RequestKind::Stats
+        ));
+        assert!(matches!(
+            parse_request_line(r#"{"v": 2, "type": "stats"}"#)
+                .unwrap()
+                .kind,
             RequestKind::Stats
         ));
         assert!(matches!(
@@ -383,8 +707,52 @@ mod tests {
             r#"{"config": "C1", "budgets": "many"}"#,
             r#"{"config": "C1", "budgets": [1, 1], "samples": "lots"}"#,
         ] {
-            assert!(parse_request_line(bad).is_err(), "accepted: {bad}");
+            let (_, err) = err_of(bad);
+            assert_eq!(err.kind, ErrorKind::BadRequest, "{bad}");
         }
+    }
+
+    #[test]
+    fn v1_error_lines_are_byte_identical_to_the_pre_v2_format() {
+        // the compatibility guarantee, pinned at the byte level: a v1
+        // request that fails must serialize to exactly the same line the
+        // pre-v2 server emitted ({"error": <msg>, "ok": false}, keys in
+        // BTreeMap order, no `v`)
+        for (line, want) in [
+            (
+                r#"{"budgets": [1, 1]}"#,
+                r#"{"error":"`config` is required","ok":false}"#,
+            ),
+            (
+                r#"{"type": "frobnicate"}"#,
+                r#"{"error":"unknown request type `frobnicate`","ok":false}"#,
+            ),
+            (
+                r#"{"config": "C1", "budgets": [1, 1], "algorithm": "quantum"}"#,
+                r#"{"error":"unknown algorithm `quantum`","ok":false}"#,
+            ),
+        ] {
+            let (proto, err) = err_of(line);
+            assert_eq!(proto, Protocol::V1);
+            assert_eq!(to_line(&wire_error_response(&err, proto)), want, "{line}");
+        }
+    }
+
+    #[test]
+    fn v2_error_objects_carry_the_stable_triple() {
+        let err = WireError::from_engine(&EngineError::BadQuery("too big".into()));
+        let v = wire_error_response(&err, Protocol::V2);
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.get("v"), Some(&Value::UInt(2)));
+        assert_eq!(obj.get("ok"), Some(&Value::Bool(false)));
+        let e = obj.get("error").unwrap().as_object().unwrap();
+        assert_eq!(e.get("code"), Some(&Value::UInt(422)));
+        assert_eq!(e.get("kind"), Some(&Value::String("bad-query".into())));
+        assert_eq!(
+            e.get("message"),
+            Some(&Value::String("bad query: too big".into()))
+        );
+        assert_eq!(e.get("retryable"), Some(&Value::Bool(false)));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 use cwelmax_core::{CwelMaxAlgorithm, MaxGrd, Problem, SeqGrd};
 use cwelmax_diffusion::{Allocation, SimulationConfig};
 use cwelmax_engine::{
-    graph_fingerprint, CampaignEngine, CampaignQuery, IndexMeta, QueryAlgorithm, RrIndex,
+    graph_fingerprint, CampaignQuery, EngineBuilder, IndexMeta, QueryAlgorithm, RrIndex,
 };
 use cwelmax_graph::{generators, Graph, ProbabilityModel as PM};
 use cwelmax_rrset::{select_from_collection, ImmParams, MarginalRr, RrCollection, StandardRr};
@@ -49,7 +49,10 @@ fn cold_problem(graph: &Arc<Graph>, cfg: TwoItemConfig, b: usize) -> Problem {
 fn two_campaigns_match_cold_solve_welfare() {
     let graph = shared_graph();
     let index = Arc::new(RrIndex::build(&graph, 10, &imm()));
-    let engine = CampaignEngine::new(graph.clone(), index).unwrap();
+    let engine = EngineBuilder::from_index(index)
+        .graph(graph.clone())
+        .build()
+        .unwrap();
 
     let campaigns = [(TwoItemConfig::C1, 5usize), (TwoItemConfig::C2, 3)];
     for (cfg, b) in campaigns {
@@ -93,7 +96,10 @@ fn two_campaigns_match_cold_solve_welfare() {
 fn maxgrd_warm_matches_cold() {
     let graph = shared_graph();
     let index = Arc::new(RrIndex::build(&graph, 6, &imm()));
-    let engine = CampaignEngine::new(graph.clone(), index).unwrap();
+    let engine = EngineBuilder::from_index(index)
+        .graph(graph.clone())
+        .build()
+        .unwrap();
 
     let q = CampaignQuery {
         model: configs::two_item_config(TwoItemConfig::C2),
@@ -134,8 +140,14 @@ fn snapshot_reload_gives_identical_answers() {
         sim: sim(),
     };
 
-    let live = CampaignEngine::new(graph.clone(), index).unwrap();
-    let reloaded = CampaignEngine::from_snapshot(graph, &path).unwrap();
+    let live = EngineBuilder::from_index(index)
+        .graph(graph.clone())
+        .build()
+        .unwrap();
+    let reloaded = EngineBuilder::from_snapshot(&path)
+        .graph(graph)
+        .build()
+        .unwrap();
     let a = live.query(&q).unwrap();
     let b = reloaded.query(&q).unwrap();
     assert_eq!(a.allocation, b.allocation);
@@ -177,7 +189,10 @@ fn conditioned_warm_matches_cold_prima_plus_on_same_world() {
     let n = graph.num_nodes();
     let (theta, world_seed, cap, b) = (25_000usize, 0x0A1Du64, 12u32, 4usize);
     let (_, index) = explicit_world_index(&graph, theta, world_seed, cap);
-    let engine = CampaignEngine::new(graph.clone(), index).unwrap();
+    let engine = EngineBuilder::from_index(index)
+        .graph(graph.clone())
+        .build()
+        .unwrap();
 
     let sp = Allocation::from_pairs([(5u32, 1usize), (33, 1), (170, 1)]);
     let sp_nodes = sp.seed_nodes();
@@ -239,7 +254,10 @@ fn conditioned_maxgrd_matches_cold_pool_path() {
     let n = graph.num_nodes();
     let (theta, world_seed, cap, b) = (20_000usize, 0x5EAu64, 6u32, 3usize);
     let (_, index) = explicit_world_index(&graph, theta, world_seed, cap);
-    let engine = CampaignEngine::new(graph.clone(), index).unwrap();
+    let engine = EngineBuilder::from_index(index)
+        .graph(graph.clone())
+        .build()
+        .unwrap();
 
     let sp = Allocation::from_pairs([(7u32, 0usize), (99, 0)]);
     let sp_nodes = sp.seed_nodes();
@@ -282,8 +300,14 @@ fn snapshot_persisted_views_prewarm_the_conditioned_cache() {
     cwelmax_engine::snapshot::save_with_views(&index, std::slice::from_ref(&sp_nodes), &path)
         .unwrap();
 
-    let live = CampaignEngine::new(graph.clone(), index).unwrap();
-    let reloaded = CampaignEngine::from_snapshot(graph, &path).unwrap();
+    let live = EngineBuilder::from_index(index)
+        .graph(graph.clone())
+        .build()
+        .unwrap();
+    let reloaded = EngineBuilder::from_snapshot(&path)
+        .graph(graph)
+        .build()
+        .unwrap();
     assert_eq!(
         reloaded.stats().conditioned_views,
         1,
@@ -318,7 +342,10 @@ fn followup_batches_and_bulk_prewarm_avoid_fresh_pool_and_eviction() {
     let (_, index) = explicit_world_index(&graph, 5_000, 0xBA7C, 4);
 
     // batch of two follow-ups only: zero fresh-pool selections
-    let engine = CampaignEngine::new(graph.clone(), index.clone()).unwrap();
+    let engine = EngineBuilder::from_index(index.clone())
+        .graph(graph.clone())
+        .build()
+        .unwrap();
     let mk = |sp: Allocation| CampaignQuery {
         model: configs::two_item_config(TwoItemConfig::C1),
         budgets: vec![2, 2],
@@ -345,7 +372,10 @@ fn followup_batches_and_bulk_prewarm_avoid_fresh_pool_and_eviction() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("bulk_prewarm.cwrx");
     cwelmax_engine::snapshot::save_with_views(&index, &views, &path).unwrap();
-    let reloaded = CampaignEngine::from_snapshot(graph, &path).unwrap();
+    let reloaded = EngineBuilder::from_snapshot(&path)
+        .graph(graph)
+        .build()
+        .unwrap();
     assert_eq!(reloaded.stats().conditioned_views, 40);
     for k in 0..40u32 {
         let q = mk(Allocation::from_pairs([(k, 1usize), (k + 100, 1)]));

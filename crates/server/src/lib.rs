@@ -6,9 +6,13 @@
 //! (`query-batch` re-loads both on every invocation, throwing away exactly
 //! the amortization the index exists to provide).
 //!
-//! The protocol is newline-delimited JSON (`engine::wire`): one request
-//! object per line, one response object per line, std-only — no HTTP
-//! stack, no external dependencies. Four request types:
+//! The protocol is newline-delimited JSON (`engine::wire`), **versioned
+//! per line**: legacy v1 lines (no `"v"` field) are served byte-for-byte
+//! as before, `{"v": 2, ...}` lines get versioned responses with
+//! structured `{code, kind, message, retryable}` errors, and
+//! `{"v": 2, "type": "hello"}` negotiates protocol, features, and server
+//! version (the typed `cwelmax-client` does this on connect). Std-only —
+//! no HTTP stack, no external dependencies. The request types:
 //!
 //! * a campaign query (bare object or `{"type": "query", ...}`, fresh or
 //!   SP-conditioned via `"sp"`) — answered with the allocation, welfare,
@@ -45,7 +49,7 @@
 //! # }
 //! ```
 
-use cwelmax_engine::wire::{self, RequestKind};
+use cwelmax_engine::wire::{self, RequestKind, WireError};
 use cwelmax_engine::{CampaignEngine, EngineStats};
 use serde::{Map, Serialize, Value};
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -338,26 +342,36 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
 
 /// Answer one request line. Returns the response and whether it was a
 /// shutdown request (acted on by the caller *after* the response is
-/// written, so the client gets an acknowledgement).
+/// written, so the client gets an acknowledgement). The response is
+/// encoded in the dialect the request spoke — v1 lines get the exact
+/// historical bytes, `"v": 2` lines get versioned responses with
+/// structured errors.
 fn handle_line(shared: &Shared, line: &str) -> (Value, bool) {
     let request = match wire::parse_request_line(line) {
         Ok(r) => r,
-        Err(msg) => {
+        Err((proto, err)) => {
             shared.errors.fetch_add(1, Ordering::Relaxed);
-            return (wire::error_response(&msg), false);
+            return (wire::wire_error_response(&err, proto), false);
         }
     };
     let id = request.id.as_ref();
+    let proto = request.proto;
     match request.kind {
         RequestKind::Query(q) => match shared.engine.query(&q) {
             Ok(answer) => {
                 shared.queries.fetch_add(1, Ordering::Relaxed);
-                (wire::with_id(wire::answer_response(&answer), id), false)
+                (
+                    wire::with_id(wire::answer_response(&answer, proto), id),
+                    false,
+                )
             }
             Err(e) => {
                 shared.errors.fetch_add(1, Ordering::Relaxed);
                 (
-                    wire::with_id(wire::error_response(&e.to_string()), id),
+                    wire::with_id(
+                        wire::wire_error_response(&WireError::from_engine(&e), proto),
+                        id,
+                    ),
                     false,
                 )
             }
@@ -368,14 +382,14 @@ fn handle_line(shared: &Shared, line: &str) -> (Value, bool) {
             // response is positional
             let runnable: Vec<_> = entries.iter().filter_map(|r| r.clone().ok()).collect();
             let mut answers = shared.engine.query_batch(&runnable, 0).into_iter();
-            let rows: Vec<Result<_, String>> = entries
+            let rows: Vec<Result<_, WireError>> = entries
                 .iter()
                 .map(|r| match r {
                     Ok(_) => answers
                         .next()
                         .expect("one answer per runnable query")
-                        .map_err(|e| e.to_string()),
-                    Err(e) => Err(e.clone()),
+                        .map_err(|e| WireError::from_engine(&e)),
+                    Err(e) => Err(WireError::bad_request(e.clone())),
                 })
                 .collect();
             for row in &rows {
@@ -384,17 +398,27 @@ fn handle_line(shared: &Shared, line: &str) -> (Value, bool) {
                     Err(_) => shared.errors.fetch_add(1, Ordering::Relaxed),
                 };
             }
-            (wire::with_id(wire::batch_response(&rows), id), false)
+            (wire::with_id(wire::batch_response(&rows, proto), id), false)
         }
         RequestKind::Stats => (
-            wire::with_id(stats_response(&shared.stats(), &shared.engine.stats()), id),
+            wire::with_id(
+                wire::with_version(
+                    stats_response(&shared.stats(), &shared.engine.stats()),
+                    proto,
+                ),
+                id,
+            ),
             false,
         ),
+        RequestKind::Hello => (wire::with_id(wire::hello_response(), id), false),
         RequestKind::Shutdown => {
             let mut m = Map::new();
             m.insert("ok".into(), Value::Bool(true));
             m.insert("shutting_down".into(), Value::Bool(true));
-            (wire::with_id(Value::Object(m), id), true)
+            (
+                wire::with_id(wire::with_version(Value::Object(m), proto), id),
+                true,
+            )
         }
     }
 }

@@ -1,7 +1,8 @@
 //! End-to-end tests for `CampaignServer`: real TCP connections against a
 //! real engine on a small deterministic graph.
 
-use cwelmax_engine::{CampaignEngine, RrIndex};
+use cwelmax_engine::wire::Protocol;
+use cwelmax_engine::{CampaignEngine, EngineBuilder, RrIndex};
 use cwelmax_graph::{generators, ProbabilityModel};
 use cwelmax_rrset::ImmParams;
 use cwelmax_server::{CampaignServer, ServerHandle};
@@ -26,7 +27,12 @@ fn engine() -> Arc<CampaignEngine> {
         max_rr_sets: 500_000,
     };
     let index = Arc::new(RrIndex::build(&graph, 8, &params));
-    Arc::new(CampaignEngine::new(graph, index).unwrap())
+    Arc::new(
+        EngineBuilder::from_index(index)
+            .graph(graph)
+            .build()
+            .unwrap(),
+    )
 }
 
 /// Start a server on an ephemeral loopback port; returns the handle and
@@ -94,6 +100,16 @@ fn ok(v: &Value) -> bool {
     v.as_object().unwrap().get("ok") == Some(&Value::Bool(true))
 }
 
+/// A parsed JSON number as u64 (the shim parses literals as `Int`, the
+/// wire emits `UInt`; responses that round-tripped compare numerically).
+fn uint(v: Option<&Value>) -> Option<u64> {
+    match v {
+        Some(Value::UInt(x)) => Some(*x),
+        Some(Value::Int(x)) if *x >= 0 => Some(*x as u64),
+        _ => None,
+    }
+}
+
 fn error_text(v: &Value) -> String {
     match v.as_object().unwrap().get("error") {
         Some(Value::String(s)) => s.clone(),
@@ -118,8 +134,11 @@ fn answers_match_direct_engine_queries_byte_identically() {
         let parsed =
             cwelmax_engine::wire::parse_query(&serde_json::from_str::<Value>(q).unwrap()).unwrap();
         let direct = eng.query(&parsed).unwrap();
-        let direct_json =
-            serde_json::to_string(&cwelmax_engine::wire::answer_response(&direct)).unwrap();
+        let direct_json = serde_json::to_string(&cwelmax_engine::wire::answer_response(
+            &direct,
+            Protocol::V1,
+        ))
+        .unwrap();
         let got = response.as_object().unwrap();
         let want: Value = serde_json::from_str(&direct_json).unwrap();
         let want = want.as_object().unwrap();
@@ -287,7 +306,7 @@ fn batch_envelope_answers_all_queries_on_one_line() {
     for (k, want) in [(0usize, &want1), (2, &want2)] {
         let a = answers[k].as_object().unwrap();
         assert_eq!(a.get("ok"), Some(&Value::Bool(true)), "entry {k}");
-        let direct = cwelmax_engine::wire::answer_response(want);
+        let direct = cwelmax_engine::wire::answer_response(want, Protocol::V1);
         assert_eq!(
             a.get("allocation"),
             direct.as_object().unwrap().get("allocation")
@@ -386,7 +405,7 @@ fn followup_queries_are_served_warm_and_match_fresh_semantics() {
     // byte-identical to a direct engine answer for the same wire query
     let parsed =
         cwelmax_engine::wire::parse_query(&serde_json::from_str::<Value>(sp_q).unwrap()).unwrap();
-    let direct = cwelmax_engine::wire::answer_response(&eng.query(&parsed).unwrap());
+    let direct = cwelmax_engine::wire::answer_response(&eng.query(&parsed).unwrap(), Protocol::V1);
     assert_eq!(
         f1.as_object().unwrap().get("allocation"),
         direct.as_object().unwrap().get("allocation")
@@ -434,9 +453,17 @@ fn store_backed_server_loads_shards_lazily_and_reports_it_in_stats() {
     std::fs::remove_dir_all(&dir).ok();
     cwelmax_store::write_store(&index, &dir, 6).unwrap();
     let store = Arc::new(cwelmax_store::ShardedIndex::open(&dir).unwrap());
-    let eng = Arc::new(cwelmax_engine::CampaignEngine::with_backend(graph.clone(), store).unwrap());
+    let eng = Arc::new(
+        EngineBuilder::from_backend(store)
+            .graph(graph.clone())
+            .build()
+            .unwrap(),
+    );
     // reference answers from a monolithic-index engine over the same data
-    let mono = CampaignEngine::new(graph, Arc::new(index)).unwrap();
+    let mono = EngineBuilder::from_index(Arc::new(index))
+        .graph(graph)
+        .build()
+        .unwrap();
 
     let (handle, join) = start(eng);
     let mut c = Client::connect(&handle);
@@ -447,7 +474,8 @@ fn store_backed_server_loads_shards_lazily_and_reports_it_in_stats() {
     let parse = |q: &str| {
         cwelmax_engine::wire::parse_query(&serde_json::from_str::<Value>(q).unwrap()).unwrap()
     };
-    let direct = cwelmax_engine::wire::answer_response(&mono.query(&parse(Q1)).unwrap());
+    let direct =
+        cwelmax_engine::wire::answer_response(&mono.query(&parse(Q1)).unwrap(), Protocol::V1);
     assert_eq!(
         fresh.as_object().unwrap().get("allocation"),
         direct.as_object().unwrap().get("allocation"),
@@ -473,7 +501,8 @@ fn store_backed_server_loads_shards_lazily_and_reports_it_in_stats() {
     let sp_q = r#"{"config": "C1", "budgets": [3, 3], "sp": [[0, 1], [17, 1]], "samples": 100}"#;
     let follow = c.roundtrip(sp_q);
     assert!(ok(&follow), "{follow:?}");
-    let direct = cwelmax_engine::wire::answer_response(&mono.query(&parse(sp_q)).unwrap());
+    let direct =
+        cwelmax_engine::wire::answer_response(&mono.query(&parse(sp_q)).unwrap(), Protocol::V1);
     assert_eq!(
         follow.as_object().unwrap().get("allocation"),
         direct.as_object().unwrap().get("allocation")
@@ -489,6 +518,202 @@ fn store_backed_server_loads_shards_lazily_and_reports_it_in_stats() {
     handle.shutdown();
     join.join().unwrap();
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn v1_transcript_replays_byte_identically_against_the_v2_server() {
+    // the compatibility acceptance bar: a recorded v1 session (the lines
+    // this suite has always sent) replayed against the v2-speaking
+    // server yields byte-identical response lines — no `v` key, error
+    // strings verbatim, answers exactly `wire::answer_response` v1 bytes
+    let eng = engine();
+    let (handle, join) = start(eng.clone());
+    let mut c = Client::connect(&handle);
+    let parse = |q: &str| {
+        cwelmax_engine::wire::parse_query(&serde_json::from_str::<Value>(q).unwrap()).unwrap()
+    };
+
+    // deterministic answers: expected line = the v1 encoder over the
+    // direct engine answer
+    for q in [Q1, Q2] {
+        c.send(q);
+        let mut line = String::new();
+        c.reader.read_line(&mut line).unwrap();
+        let direct = eng.query(&parse(q)).unwrap();
+        let want = cwelmax_engine::wire::to_line(&cwelmax_engine::wire::answer_response(
+            &direct,
+            Protocol::V1,
+        ));
+        // elapsed_seconds differs per run; compare with it normalized
+        let strip = |s: &str| {
+            let v: Value = serde_json::from_str(s).unwrap();
+            let mut m = v.as_object().unwrap().clone();
+            m.remove("elapsed_seconds").expect("elapsed present");
+            serde_json::to_string(&Value::Object(m)).unwrap()
+        };
+        assert_eq!(strip(line.trim_end()), strip(&want), "for {q}");
+        assert!(
+            !line.contains("\"v\""),
+            "v1 response must carry no v: {line}"
+        );
+    }
+
+    // deterministic error lines, pinned to the exact historical bytes
+    for (request, want) in [
+        (
+            "this is { not json",
+            r#"{"error":"bad request JSON: expected value at byte 0","ok":false}"#,
+        ),
+        (
+            r#"{"budgets": [1, 1]}"#,
+            r#"{"error":"`config` is required","ok":false}"#,
+        ),
+        (
+            r#"{"type": "hello"}"#,
+            r#"{"error":"unknown request type `hello`","ok":false}"#,
+        ),
+        (
+            r#"{"config": "C1", "budgets": [2, 2], "algorithm": "quantum"}"#,
+            r#"{"error":"unknown algorithm `quantum`","ok":false}"#,
+        ),
+    ] {
+        let mut line = String::new();
+        c.send(request);
+        c.reader.read_line(&mut line).unwrap();
+        // `bad request JSON` detail wording comes from the JSON shim;
+        // pin the stable prefix instead of the parser's message tail
+        if request.starts_with("this") {
+            assert!(
+                line.trim_end()
+                    .starts_with(r#"{"error":"bad request JSON:"#),
+                "{line}"
+            );
+            assert!(line.trim_end().ends_with(r#"","ok":false}"#), "{line}");
+            let _ = want;
+        } else {
+            assert_eq!(line.trim_end(), want, "for {request}");
+        }
+    }
+
+    // the shutdown acknowledgement is bit-stable too
+    c.send(r#"{"type": "shutdown", "id": 5}"#);
+    let mut line = String::new();
+    c.reader.read_line(&mut line).unwrap();
+    assert_eq!(
+        line.trim_end(),
+        r#"{"id":5,"ok":true,"shutting_down":true}"#
+    );
+    join.join().unwrap();
+}
+
+#[test]
+fn v2_session_negotiates_and_speaks_structured_versioned_responses() {
+    let eng = engine();
+    let (handle, join) = start(eng.clone());
+    let mut c = Client::connect(&handle);
+
+    // hello: protocol, features, server version
+    let hello = c.roundtrip(r#"{"v": 2, "type": "hello"}"#);
+    assert!(ok(&hello), "{hello:?}");
+    let obj = hello.as_object().unwrap();
+    assert_eq!(uint(obj.get("v")), Some(2));
+    assert_eq!(uint(obj.get("protocol")), Some(2));
+    let features = obj.get("features").unwrap().as_array().unwrap();
+    for want in ["batch", "sp", "stats", "store"] {
+        assert!(features.iter().any(|f| f.as_str() == Some(want)), "{want}");
+    }
+
+    // a v2 query answers with the same payload as v1 plus the version key
+    let q2 = format!(r#"{{"v": 2, {}"#, &Q1[1..]);
+    let versioned = c.roundtrip(&q2);
+    assert!(ok(&versioned), "{versioned:?}");
+    assert_eq!(uint(versioned.as_object().unwrap().get("v")), Some(2));
+    let plain = c.roundtrip(Q1);
+    for key in ["algorithm", "allocation", "welfare"] {
+        assert_eq!(
+            versioned.as_object().unwrap().get(key),
+            plain.as_object().unwrap().get(key),
+            "v1/v2 payload diverged on {key}"
+        );
+    }
+    assert_eq!(plain.as_object().unwrap().get("v"), None);
+
+    // engine refusals carry the stable structured triple
+    let r = c.roundtrip(r#"{"v": 2, "config": "C1", "budgets": [50, 50]}"#);
+    assert!(!ok(&r));
+    let err = r
+        .as_object()
+        .unwrap()
+        .get("error")
+        .unwrap()
+        .as_object()
+        .unwrap();
+    assert_eq!(uint(err.get("code")), Some(422));
+    assert_eq!(err.get("kind"), Some(&Value::String("bad-query".into())));
+    assert_eq!(err.get("retryable"), Some(&Value::Bool(false)));
+    assert!(err
+        .get("message")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("budget-cap"));
+
+    // malformed batch entries keep their per-entry structured codes
+    // inside the envelope: a parse failure (400) next to an engine
+    // refusal (422) next to a success
+    let batch = format!(
+        r#"{{"v": 2, "type": "batch", "queries": [{{"budgets": [1]}}, {{"config": "C1", "budgets": [50, 50]}}, {Q1}]}}"#
+    );
+    let r = c.roundtrip(&batch);
+    assert!(ok(&r), "{r:?}");
+    assert_eq!(uint(r.as_object().unwrap().get("v")), Some(2));
+    let answers = r
+        .as_object()
+        .unwrap()
+        .get("answers")
+        .unwrap()
+        .as_array()
+        .unwrap();
+    assert_eq!(answers.len(), 3);
+    let entry = |k: usize| answers[k].as_object().unwrap();
+    let e0 = entry(0).get("error").unwrap().as_object().unwrap();
+    assert_eq!(uint(e0.get("code")), Some(400));
+    assert_eq!(e0.get("kind"), Some(&Value::String("bad-request".into())));
+    assert!(e0
+        .get("message")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("query 0"));
+    let e1 = entry(1).get("error").unwrap().as_object().unwrap();
+    assert_eq!(uint(e1.get("code")), Some(422));
+    assert_eq!(e1.get("kind"), Some(&Value::String("bad-query".into())));
+    assert_eq!(entry(2).get("ok"), Some(&Value::Bool(true)));
+
+    // unsupported versions are refused with the taxonomy's 426
+    let r = c.roundtrip(r#"{"v": 7, "type": "stats"}"#);
+    assert!(!ok(&r));
+    let err = r
+        .as_object()
+        .unwrap()
+        .get("error")
+        .unwrap()
+        .as_object()
+        .unwrap();
+    assert_eq!(uint(err.get("code")), Some(426));
+    assert_eq!(
+        err.get("kind"),
+        Some(&Value::String("unsupported-version".into()))
+    );
+
+    // stats and the shutdown ack are versioned as well
+    let stats = c.roundtrip(r#"{"v": 2, "type": "stats"}"#);
+    assert!(ok(&stats));
+    assert_eq!(uint(stats.as_object().unwrap().get("v")), Some(2));
+    let bye = c.roundtrip(r#"{"v": 2, "type": "shutdown"}"#);
+    assert!(ok(&bye));
+    assert_eq!(uint(bye.as_object().unwrap().get("v")), Some(2));
+    join.join().unwrap();
 }
 
 #[test]

@@ -38,14 +38,15 @@
 //!   shards; the first SP-conditioned follow-up faults all shards in.
 //!
 //! ```no_run
-//! use cwelmax_engine::CampaignEngine;
-//! use cwelmax_store::ShardedIndex;
+//! use cwelmax_engine::EngineBuilder;
+//! use cwelmax_store::FromStore; // adds EngineBuilder::from_store
 //! use std::sync::Arc;
 //!
 //! # fn demo(graph: Arc<cwelmax_graph::Graph>) -> Result<(), cwelmax_engine::EngineError> {
-//! let store = Arc::new(ShardedIndex::open("big-graph.store")?);   // manifest only
-//! assert_eq!(store.shards_loaded(), 0);
-//! let engine = CampaignEngine::with_backend(graph, store)?;       // still no shard I/O
+//! let engine = EngineBuilder::from_store("big-graph.store") // manifest only
+//!     .graph(graph)
+//!     .build()?; // still no shard I/O
+//! assert_eq!(engine.stats().shards_loaded, 0);
 //! # Ok(())
 //! # }
 //! ```
@@ -54,4 +55,4 @@ pub mod format;
 pub mod sharded;
 
 pub use format::{Manifest, ShardInfo, MANIFEST_FILE};
-pub use sharded::{write_store, ShardedIndex, StoreSummary};
+pub use sharded::{write_store, FromStore, ShardedIndex, StoreSummary};

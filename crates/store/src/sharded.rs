@@ -24,7 +24,7 @@ use crate::format::{
 use cwelmax_engine::codec::crc32;
 use cwelmax_engine::conditioned::validated_sp_nodes;
 use cwelmax_engine::{
-    ConditionedView, EngineError, IndexBackend, IndexMeta, RrIndex, StorageStats,
+    ConditionedView, EngineBuilder, EngineError, IndexBackend, IndexMeta, RrIndex, StorageStats,
 };
 use cwelmax_graph::NodeId;
 use cwelmax_rrset::collection::{greedy_argmax, GreedySelection};
@@ -42,6 +42,41 @@ pub struct StoreSummary {
     pub total_sets: usize,
     /// Total bytes on disk (manifest + shards).
     pub bytes_on_disk: u64,
+    /// Leftover shard files (from a crashed or larger previous write)
+    /// that were pruned because the new manifest does not name them.
+    pub stale_files_pruned: usize,
+}
+
+/// Extends [`EngineBuilder`] with the store source this crate provides:
+/// with the trait in scope, `EngineBuilder::from_store(dir)` builds an
+/// engine over a lazily opened [`ShardedIndex`] — the manifest is read
+/// (and any open error surfaces) at `build()` time, uniformly with the
+/// snapshot source.
+///
+/// ```no_run
+/// use cwelmax_engine::EngineBuilder;
+/// use cwelmax_store::FromStore;
+/// # fn demo(graph: std::sync::Arc<cwelmax_graph::Graph>)
+/// #     -> Result<(), cwelmax_engine::EngineError> {
+/// let engine = EngineBuilder::from_store("big-graph.store")
+///     .graph(graph)
+///     .build()?;
+/// # Ok(())
+/// # }
+/// ```
+pub trait FromStore {
+    /// Serve from a sharded store directory (manifest eagerly at build,
+    /// shards lazily at query time).
+    fn from_store(dir: impl AsRef<Path>) -> EngineBuilder;
+}
+
+impl FromStore for EngineBuilder {
+    fn from_store(dir: impl AsRef<Path>) -> EngineBuilder {
+        let dir = dir.as_ref().to_path_buf();
+        EngineBuilder::from_backend_fn(move || {
+            Ok(Arc::new(ShardedIndex::open(dir)?) as Arc<dyn IndexBackend>)
+        })
+    }
 }
 
 /// Partition a frozen index into a store directory: N shard files
@@ -55,8 +90,10 @@ pub struct StoreSummary {
 /// before any shard is swapped in, so at every instant the directory
 /// either parses as the complete old store, fails to open with a clean
 /// "no manifest" error (mid-swap crash — never a store whose manifest
-/// and shards disagree), or parses as the complete new store. Stale
-/// shard files from a previous, larger shard count are pruned.
+/// and shards disagree), or parses as the complete new store. Any
+/// leftover shard files the new manifest does not name — a previous
+/// larger shard count, a crashed half-written store, stranded `.tmp`
+/// stages — are swept away ([`StoreSummary::stale_files_pruned`]).
 ///
 /// Output bytes are a pure function of `(index, shards)`: no timestamps,
 /// no iteration-order dependence — writing twice is byte-identical,
@@ -132,17 +169,19 @@ pub fn write_store(
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
         Err(e) => return Err(e.into()),
     }
-    // stage 3: swap the staged shards in and prune stale ones from a
-    // previous, larger shard count
+    // stage 3: swap the staged shards in, then sweep the whole directory
+    // for shard files the new manifest will not name — not just a
+    // contiguous run above `shards`, but *any* leftover from a crashed,
+    // larger, or interrupted previous write (`shard-0007.cwsx` behind a
+    // gap, stranded `.tmp` stages). Anything matching the shard naming
+    // scheme that isn't one of the files just written is stale: serving
+    // never reads it, but it silently inflates the directory and a
+    // future manual copy could resurrect it.
     for k in 0..shards {
         let path = shard_path(dir, k);
         std::fs::rename(path.with_extension("tmp"), &path)?;
     }
-    for k in shards.. {
-        if std::fs::remove_file(shard_path(dir, k)).is_err() {
-            break;
-        }
-    }
+    let stale_files_pruned = prune_stale_shards(dir, shards);
     // stage 4: the new manifest, atomically — its appearance is what
     // makes the directory a store again
     let shard_bytes: u64 = infos.iter().map(|s| s.file_bytes).sum();
@@ -163,7 +202,52 @@ pub fn write_store(
         shards,
         total_sets: total,
         bytes_on_disk: shard_bytes + bytes.len() as u64,
+        stale_files_pruned,
     })
+}
+
+/// Delete every file in `dir` that matches the shard naming scheme but
+/// is not one of the `shards` files the new manifest names: shard files
+/// with an index at or above the new count (including ones stranded
+/// behind gaps), non-canonical spellings of in-range indices, and
+/// `.tmp` staging leftovers from a crashed writer. Returns how many
+/// were removed.
+///
+/// Strictly best-effort: by the time this runs the new store is fully
+/// on disk except for its manifest, and serving never reads stale
+/// files — an un-removable leftover (held open elsewhere, or a
+/// directory wearing a shard name) must not abort the write and strand
+/// a manifest-less directory.
+fn prune_stale_shards(dir: &Path, shards: usize) -> usize {
+    // the exact file names the manifest names — membership is by full
+    // name, not parsed index, so a non-canonical spelling of a valid
+    // index ("shard-1.cwsx", "shard-+0001.cwsx") is still stale
+    let named: std::collections::HashSet<std::ffi::OsString> = (0..shards)
+        .filter_map(|k| shard_path(dir, k).file_name().map(|n| n.to_os_string()))
+        .collect();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut pruned = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        if named.contains(&name) {
+            continue;
+        }
+        let Some(name) = name.to_str() else { continue };
+        let Some(rest) = name.strip_prefix("shard-") else {
+            continue;
+        };
+        // sweep only shapes a shard writer ever creates: shard files and
+        // `.tmp` stages (ours are all renamed away by now). Anything
+        // else under the prefix is not ours to delete.
+        if (rest.ends_with(".cwsx") || rest.ends_with(".tmp"))
+            && std::fs::remove_file(entry.path()).is_ok()
+        {
+            pruned += 1;
+        }
+    }
+    pruned
 }
 
 /// Bounded parallelism for shard I/O: one worker per core, never more

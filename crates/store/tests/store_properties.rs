@@ -4,12 +4,12 @@
 //! integration.
 
 use cwelmax_engine::{
-    graph_fingerprint, CampaignEngine, ConditionedView, EngineError, IndexBackend, IndexMeta,
+    graph_fingerprint, ConditionedView, EngineBuilder, EngineError, IndexBackend, IndexMeta,
     RrIndex,
 };
 use cwelmax_graph::{generators, ProbabilityModel as PM};
 use cwelmax_rrset::{RrCollection, StandardRr};
-use cwelmax_store::{write_store, ShardedIndex};
+use cwelmax_store::{write_store, FromStore, ShardedIndex};
 use proptest::prelude::*;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -352,9 +352,15 @@ fn engine_over_store_matches_monolithic_and_stays_lazy() {
     );
     let dir = scratch("engine");
     write_store(&idx, &dir, 4).unwrap();
-    let store = Arc::new(ShardedIndex::open(&dir).unwrap());
-    let lazy = CampaignEngine::with_backend(graph.clone(), store.clone()).unwrap();
-    let mono = CampaignEngine::new(graph, Arc::new(idx)).unwrap();
+    // the builder's store source: manifest read at build(), shards lazy
+    let lazy = EngineBuilder::from_store(&dir)
+        .graph(graph.clone())
+        .build()
+        .unwrap();
+    let mono = EngineBuilder::from_index(Arc::new(idx))
+        .graph(graph)
+        .build()
+        .unwrap();
 
     let fresh = CampaignQuery::new(
         configs::two_item_config(TwoItemConfig::C1),
@@ -389,10 +395,53 @@ fn engine_over_store_matches_monolithic_and_stays_lazy() {
     );
     // graph-fingerprint protection applies to stores too
     let other = Arc::new(generators::erdos_renyi(80, 320, 8, PM::WeightedCascade));
-    match CampaignEngine::with_backend(other, store) {
+    match EngineBuilder::from_store(&dir).graph(other).build() {
         Err(EngineError::GraphMismatch { .. }) => {}
         other => panic!("expected GraphMismatch, got {:?}", other.err()),
     }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Rewriting a store over a half-written (or differently sharded)
+/// directory must not leave stale shard files behind: anything matching
+/// the shard naming scheme that the new manifest does not name — files
+/// above the new count, files stranded behind gaps, `.tmp` staging
+/// leftovers — is swept, and the sweep is reported in the summary.
+#[test]
+fn rewrite_prunes_stale_shards_the_new_manifest_does_not_name() {
+    let idx = index_from(47, 30, 200, 3);
+    let dir = scratch("stale");
+    std::fs::create_dir_all(&dir).unwrap();
+    // simulate a crashed, larger previous write: a shard beyond the new
+    // count, one stranded behind a gap, an abandoned staging file, and a
+    // non-canonical spelling of an in-range index (the manifest names
+    // only the zero-padded form, so this is stale too)
+    for stale in [
+        "shard-0005.cwsx",
+        "shard-0009.cwsx",
+        "shard-0007.tmp",
+        "shard-1.cwsx",
+    ] {
+        std::fs::write(dir.join(stale), b"leftover garbage").unwrap();
+    }
+    let summary = write_store(&idx, &dir, 2).unwrap();
+    assert_eq!(summary.stale_files_pruned, 4, "all four leftovers swept");
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+    assert_eq!(
+        names,
+        vec!["manifest.bin", "shard-0000.cwsx", "shard-0001.cwsx"],
+        "directory holds exactly the manifest and its named shards"
+    );
+    // ...and the store still opens and serves
+    let store = ShardedIndex::open(&dir).unwrap();
+    assert_eq!(store.shards_total(), 2);
+    assert!(store.load_all().is_ok());
+    // a clean rewrite reports zero pruned
+    assert_eq!(write_store(&idx, &dir, 2).unwrap().stale_files_pruned, 0);
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -17,7 +17,7 @@
 //! Run with: `cargo run --release --example followup_campaign`
 
 use cwelmax::core::SupGrd;
-use cwelmax::engine::{CampaignEngine, CampaignQuery, QueryAlgorithm, RrIndex};
+use cwelmax::engine::{CampaignQuery, EngineBuilder, QueryAlgorithm, RrIndex};
 use cwelmax::graph::generators::{preferential_attachment, PaParams};
 use cwelmax::prelude::*;
 use cwelmax::rrset::imm::imm_select;
@@ -87,7 +87,10 @@ fn main() {
     let graph = Arc::new(graph);
     println!("\nbuilding RR-set index for warm follow-up serving…");
     let index = Arc::new(RrIndex::build(&graph, 20, &imm_params));
-    let engine = CampaignEngine::new(graph, index).unwrap();
+    let engine = EngineBuilder::from_index(index)
+        .graph(graph)
+        .build()
+        .unwrap();
 
     let query = CampaignQuery::new(
         configs::two_item_config(configs::TwoItemConfig::C1),

@@ -1,0 +1,143 @@
+//! Drive a `cwelmax serve` instance with the **typed client** — no
+//! hand-rolled JSON, no `printf | nc`: connect, negotiate protocol v2,
+//! run a fresh campaign, an SP-conditioned follow-up, a batch, and read
+//! the server's stats, all through `cwelmax_client::CwelmaxClient`.
+//!
+//! Two modes:
+//!
+//! * `cargo run --release --example remote_campaign` — self-contained:
+//!   builds a small index, starts a server in-process on an ephemeral
+//!   port, then talks to it over real TCP and cross-checks every answer
+//!   against the in-process engine (bit-identical welfare).
+//! * `CWELMAX_ADDR=host:port cargo run --release --example
+//!   remote_campaign` — drives an already-running server (e.g.
+//!   `cwelmax serve --store …`) instead; used by CI to assert a
+//!   negotiated v2 session against the real binary. The remote server is
+//!   left running.
+
+use cwelmax::client::CwelmaxClient;
+use cwelmax::diffusion::SimulationConfig;
+use cwelmax::engine::{CampaignQuery, EngineBuilder, QueryAlgorithm, RrIndex};
+use cwelmax::prelude::*;
+use cwelmax::rrset::ImmParams;
+use std::sync::Arc;
+
+fn query(cfg: TwoItemConfig, budget: usize, sp: Allocation) -> CampaignQuery {
+    CampaignQuery {
+        model: configs::two_item_config(cfg),
+        budgets: vec![budget, budget],
+        algorithm: QueryAlgorithm::SeqGrdNm,
+        sp,
+        sim: SimulationConfig {
+            samples: 100,
+            threads: 1,
+            base_seed: 0x5EED,
+        },
+    }
+}
+
+fn drive(client: &mut CwelmaxClient) {
+    match client.negotiated() {
+        Some(hello) => println!(
+            "negotiated protocol v{} (server {}, features: {})",
+            hello.protocol,
+            hello.server_version,
+            hello.features.join(", ")
+        ),
+        None => println!("server predates v2; fell back to protocol v1"),
+    }
+
+    // a fresh two-item campaign
+    let fresh = query(TwoItemConfig::C1, 2, Allocation::new());
+    let answer = client.query(&fresh).expect("fresh query");
+    println!(
+        "fresh campaign: welfare {:.2} via {} -> {:?}",
+        answer.welfare, answer.algorithm, answer.allocation
+    );
+
+    // a follow-up conditioned on item 1 already seeded at node 0 — the
+    // server serves it from an SP-conditioned index view, zero resampling
+    let follow = query(TwoItemConfig::C1, 2, Allocation::from_pairs(vec![(0, 1)]));
+    let answer = client.query(&follow).expect("follow-up query");
+    println!(
+        "follow-up (sp {:?}): welfare {:.2} -> {:?}",
+        answer.sp, answer.welfare, answer.allocation
+    );
+
+    // a batch answered over one wire line, per-entry results
+    let rows = client.query_batch(&[fresh, follow]).expect("batch request");
+    for (k, row) in rows.iter().enumerate() {
+        match row {
+            Ok(a) => println!("batch[{k}]: welfare {:.2}", a.welfare),
+            Err(e) => println!("batch[{k}]: refused: {e}"),
+        }
+    }
+
+    let stats = client.stats().expect("stats request");
+    println!(
+        "server stats: {} queries, {} welfare evals ({} cache hits), \
+         {} conditioned views ({} hits), {}/{} shards loaded",
+        stats.server_queries,
+        stats.welfare_evals,
+        stats.welfare_cache_hits,
+        stats.conditioned_views,
+        stats.conditioned_hits,
+        stats.shards_loaded,
+        stats.shards_total,
+    );
+}
+
+fn main() {
+    if let Ok(addr) = std::env::var("CWELMAX_ADDR") {
+        // remote mode: drive an already-running server and leave it up
+        println!("connecting to {addr}…");
+        let mut client = CwelmaxClient::connect(addr).expect("connect");
+        drive(&mut client);
+        return;
+    }
+
+    // self-contained mode: index + server in-process, client over TCP
+    println!("building a small index and starting an in-process server…");
+    let graph = Arc::new(cwelmax::graph::generators::erdos_renyi(
+        200,
+        800,
+        7,
+        ProbabilityModel::WeightedCascade,
+    ));
+    let params = ImmParams {
+        threads: 0,
+        max_rr_sets: 500_000,
+        ..Default::default()
+    };
+    let index = Arc::new(RrIndex::build(&graph, 8, &params));
+    let reference = EngineBuilder::from_index(index.clone())
+        .graph(graph.clone())
+        .build()
+        .expect("reference engine");
+    let served = EngineBuilder::from_index(index)
+        .graph(graph)
+        .build()
+        .expect("served engine");
+    let server = CampaignServer::bind(Arc::new(served), "127.0.0.1:0").expect("bind");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+
+    let mut client = CwelmaxClient::connect(handle.local_addr().to_string()).expect("connect");
+    drive(&mut client);
+
+    // the typed path is transparent: remote answers are bit-identical to
+    // in-process engine calls for the same query
+    let q = query(TwoItemConfig::C2, 3, Allocation::new());
+    let remote = client.query(&q).expect("remote query");
+    let local = reference.query(&q).expect("local query");
+    assert_eq!(remote.allocation, local.allocation.pairs());
+    assert_eq!(remote.welfare.to_bits(), local.welfare.to_bits());
+    println!(
+        "cross-check: remote welfare {:.4} == in-process welfare {:.4} (bit-identical)",
+        remote.welfare, local.welfare
+    );
+
+    client.shutdown().expect("shutdown");
+    join.join().expect("server thread");
+    println!("server shut down cleanly");
+}

@@ -100,12 +100,13 @@
 use cwelmax::core::baselines::{RoundRobin, Snake, Tcim};
 use cwelmax::core::{best_of, MaxGrd, SupGrd};
 use cwelmax::diffusion::SimulationConfig;
+use cwelmax::engine::wire::Protocol;
 use cwelmax::engine::{self, wire, CampaignEngine, CampaignQuery, RrIndex};
 use cwelmax::graph::{io as graph_io, ProbabilityModel};
 use cwelmax::prelude::*;
 use cwelmax::rrset::ImmParams;
 use cwelmax::server::CampaignServer;
-use cwelmax::store::{write_store, ShardedIndex};
+use cwelmax::store::write_store;
 use std::sync::Arc;
 
 struct Args {
@@ -333,44 +334,29 @@ fn cmd_index_build(argv: Vec<String>, mut sharded: bool) {
     }
 }
 
-/// Where a serving command gets its index from.
-enum IndexSource {
-    /// A monolithic snapshot file (`--index`), loaded whole.
-    Snapshot(String),
-    /// A sharded store directory (`--store`): manifest now, shards lazily.
-    Store(String),
+/// Resolve `--index`/`--store` into the shared [`EngineSource`] (one
+/// code path for every serving subcommand) or die with its message.
+fn resolve_source(index: Option<String>, store: Option<String>) -> EngineSource {
+    EngineSource::resolve(index, store).unwrap_or_else(|msg| die(msg))
 }
 
-impl IndexSource {
-    /// Resolve the mutually exclusive `--index` / `--store` flags.
-    fn resolve(index: Option<String>, store: Option<String>) -> IndexSource {
-        match (index, store) {
-            (Some(_), Some(_)) => die("--index and --store are mutually exclusive"),
-            (Some(p), None) => IndexSource::Snapshot(p),
-            (None, Some(d)) => IndexSource::Store(d),
-            (None, None) => die("one of --index or --store is required"),
-        }
-    }
-}
-
-/// Load graph + index into an engine (shared by `query-batch` and `serve`).
-fn load_engine(graph_path: &str, source: &IndexSource) -> CampaignEngine {
+/// Load graph + index into an engine (shared by `query-batch` and
+/// `serve`): one `EngineBuilder` pipeline regardless of source, with the
+/// subcommand's cache capacities applied at construction.
+fn load_engine(
+    graph_path: &str,
+    source: &EngineSource,
+    cache_cap: Option<usize>,
+) -> CampaignEngine {
     let graph = Arc::new(load_graph(graph_path));
-    match source {
-        IndexSource::Snapshot(path) => CampaignEngine::from_snapshot(graph, path)
-            .unwrap_or_else(|e| die(&format!("cannot load index: {e}"))),
-        IndexSource::Store(dir) => {
-            let store =
-                ShardedIndex::open(dir).unwrap_or_else(|e| die(&format!("cannot open store: {e}")));
-            eprintln!(
-                "store opened: {} shard(s), {} sets, 0 loaded (lazy)",
-                store.shards_total(),
-                store.num_sets()
-            );
-            CampaignEngine::with_backend(graph, Arc::new(store))
-                .unwrap_or_else(|e| die(&format!("cannot bind store: {e}")))
-        }
+    eprintln!("loading engine from {}", source.describe());
+    let mut builder = source.builder().graph(graph);
+    if let Some(cap) = cache_cap {
+        builder = builder.cache_capacity(cap);
     }
+    builder
+        .build()
+        .unwrap_or_else(|e| die(&format!("cannot load engine: {e}")))
 }
 
 /// `cwelmax query-batch …` — answer many campaigns from a prebuilt index.
@@ -396,10 +382,10 @@ fn cmd_query_batch(argv: Vec<String>) {
         }
     }
     let graph_path = graph_path.unwrap_or_else(|| die("--graph is required"));
-    let source = IndexSource::resolve(index_path, store_path);
+    let source = resolve_source(index_path, store_path);
     let queries_path = queries_path.unwrap_or_else(|| die("--queries is required"));
 
-    let engine = load_engine(&graph_path, &source);
+    let engine = load_engine(&graph_path, &source, None);
     let text = std::fs::read_to_string(&queries_path)
         .unwrap_or_else(|e| die(&format!("cannot read queries: {e}")));
     let root: serde_json::Value =
@@ -436,7 +422,9 @@ fn cmd_query_batch(argv: Vec<String>) {
             "answers": rows
                 .iter()
                 .map(|r| match r {
-                    Ok(a) => wire::answer_response(a),
+                    // the offline report keeps the v1 shape — it is a
+                    // file, not a negotiated connection
+                    Ok(a) => wire::answer_response(a, Protocol::V1),
                     Err(e) => wire::error_response(e),
                 })
                 .collect::<Vec<_>>(),
@@ -494,12 +482,9 @@ fn cmd_serve(argv: Vec<String>) {
         }
     }
     let graph_path = graph_path.unwrap_or_else(|| die("--graph is required"));
-    let source = IndexSource::resolve(index_path, store_path);
+    let source = resolve_source(index_path, store_path);
 
-    let mut engine = load_engine(&graph_path, &source);
-    if let Some(cap) = cache_cap {
-        engine = engine.with_cache_capacity(cap);
-    }
+    let engine = load_engine(&graph_path, &source, cache_cap);
     let mut server = CampaignServer::bind(Arc::new(engine), addr.as_str())
         .unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")));
     if let Some(n) = max_conns {

@@ -21,7 +21,12 @@
 //!   a manifest opened eagerly plus lazily loaded shard files, so server
 //!   cold-start is `O(manifest)` instead of `O(index)`;
 //! * [`server`] — long-lived TCP front-end over one `CampaignEngine`
-//!   (newline-delimited JSON; `cwelmax serve`).
+//!   (newline-delimited JSON, versioned wire protocol; `cwelmax serve`);
+//! * [`client`] — typed client for that server (`hello` negotiation of
+//!   protocol v2 with automatic v1 fallback, structured errors,
+//!   reconnect-once-on-broken-pipe);
+//! * [`source`] — the shared `--index`-vs-`--store` resolution every
+//!   serving subcommand goes through ([`EngineSource`]).
 //!
 //! ```
 //! use cwelmax::prelude::*;
@@ -38,6 +43,7 @@
 //! assert!(problem.evaluate(&result.allocation) > 0.0);
 //! ```
 
+pub use cwelmax_client as client;
 pub use cwelmax_core as core;
 pub use cwelmax_diffusion as diffusion;
 pub use cwelmax_engine as engine;
@@ -47,14 +53,21 @@ pub use cwelmax_server as server;
 pub use cwelmax_store as store;
 pub use cwelmax_utility as utility;
 
+pub mod source;
+pub use source::EngineSource;
+
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use crate::source::EngineSource;
+    pub use cwelmax_client::CwelmaxClient;
     pub use cwelmax_core::prelude::*;
     pub use cwelmax_diffusion::{Allocation, WelfareEstimator};
-    pub use cwelmax_engine::{CampaignEngine, CampaignQuery, QueryAlgorithm, RrIndex};
+    pub use cwelmax_engine::{
+        CampaignEngine, CampaignQuery, EngineBuilder, QueryAlgorithm, RrIndex,
+    };
     pub use cwelmax_graph::{Graph, GraphBuilder, ProbabilityModel};
     pub use cwelmax_server::{CampaignServer, ServerHandle};
-    pub use cwelmax_store::ShardedIndex;
+    pub use cwelmax_store::{FromStore, ShardedIndex};
     pub use cwelmax_utility::configs::{self, TwoItemConfig};
     pub use cwelmax_utility::{ItemId, ItemSet, UtilityModel};
 }

@@ -1,0 +1,102 @@
+//! [`EngineSource`] — the one place snapshot-vs-store resolution lives.
+//!
+//! Every serving entry point (`cwelmax serve`, `cwelmax query-batch`,
+//! and whatever subcommand comes next) takes the same pair of mutually
+//! exclusive flags: `--index SNAPSHOT` or `--store DIR`. Before this
+//! module, each subcommand re-implemented the resolution and the
+//! engine-loading dance; now they all call [`EngineSource::resolve`] and
+//! get an [`EngineBuilder`] from [`EngineSource::builder`], so source
+//! semantics (including error wording and lazy-store behavior) cannot
+//! drift between subcommands.
+
+use cwelmax_engine::{EngineBuilder, EngineError};
+use cwelmax_graph::Graph;
+use cwelmax_store::FromStore;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Where a serving command gets its index from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineSource {
+    /// A monolithic snapshot file (`--index`), loaded whole; persisted
+    /// conditioned views are pre-warmed.
+    Snapshot(PathBuf),
+    /// A sharded store directory (`--store`): manifest at build time,
+    /// shards lazily as queries touch them.
+    Store(PathBuf),
+}
+
+impl EngineSource {
+    /// Resolve the mutually exclusive `--index` / `--store` flags.
+    pub fn resolve(
+        index: Option<String>,
+        store: Option<String>,
+    ) -> Result<EngineSource, &'static str> {
+        match (index, store) {
+            (Some(_), Some(_)) => Err("--index and --store are mutually exclusive"),
+            (Some(p), None) => Ok(EngineSource::Snapshot(p.into())),
+            (None, Some(d)) => Ok(EngineSource::Store(d.into())),
+            (None, None) => Err("one of --index or --store is required"),
+        }
+    }
+
+    /// An [`EngineBuilder`] over this source — callers chain their own
+    /// graph, capacities, and pre-warm sets before `build()`.
+    pub fn builder(&self) -> EngineBuilder {
+        match self {
+            EngineSource::Snapshot(path) => EngineBuilder::from_snapshot(path.clone()),
+            EngineSource::Store(dir) => EngineBuilder::from_store(dir),
+        }
+    }
+
+    /// Convenience: build an engine with default capacities.
+    pub fn load(&self, graph: Arc<Graph>) -> Result<cwelmax_engine::CampaignEngine, EngineError> {
+        self.builder().graph(graph).build()
+    }
+
+    /// Human-readable description for startup logs.
+    pub fn describe(&self) -> String {
+        match self {
+            EngineSource::Snapshot(p) => format!("snapshot {}", p.display()),
+            EngineSource::Store(d) => format!("store {} (lazy shards)", d.display()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_enforces_exactly_one_source() {
+        assert_eq!(
+            EngineSource::resolve(Some("a.cwrx".into()), None),
+            Ok(EngineSource::Snapshot("a.cwrx".into()))
+        );
+        assert_eq!(
+            EngineSource::resolve(None, Some("d.store".into())),
+            Ok(EngineSource::Store("d.store".into()))
+        );
+        assert!(EngineSource::resolve(None, None).is_err());
+        assert!(EngineSource::resolve(Some("a".into()), Some("b".into())).is_err());
+    }
+
+    #[test]
+    fn builder_surfaces_missing_sources_as_engine_errors() {
+        let graph = Arc::new(cwelmax_graph::generators::erdos_renyi(
+            10,
+            20,
+            1,
+            cwelmax_graph::ProbabilityModel::WeightedCascade,
+        ));
+        for source in [
+            EngineSource::Snapshot("/nonexistent/x.cwrx".into()),
+            EngineSource::Store("/nonexistent/x.store".into()),
+        ] {
+            match source.load(graph.clone()) {
+                Err(EngineError::Io(_)) => {}
+                other => panic!("{source:?}: expected Io, got {:?}", other.err()),
+            }
+        }
+    }
+}
