@@ -51,6 +51,7 @@
 
 use cwelmax_engine::wire;
 use cwelmax_engine::{CampaignQuery, ErrorKind};
+pub use cwelmax_obs::{HistogramSnapshot, Snapshot as MetricsSnapshot};
 use serde::{Deserialize, Map, Value};
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
@@ -423,6 +424,29 @@ impl CwelmaxClient {
             shards_loaded: g(engine, "shards_loaded"),
             store_bytes_on_disk: g(engine, "store_bytes_on_disk"),
         })
+    }
+
+    /// Scrape the server's full metrics registry (wire v2 only — the
+    /// `"metrics"` request type does not exist in the v1 dialect, so a
+    /// fallen-back connection fails fast instead of collecting the
+    /// legacy unknown-type error). Check [`CwelmaxClient::has_feature`]
+    /// with `"metrics"` to probe support without a failing request.
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        if self.negotiated.is_none() {
+            return Err(ClientError::Protocol(
+                "metrics requires wire protocol v2 (server negotiated v1)".into(),
+            ));
+        }
+        let v = self.request(r#"{"v": 2, "type": "metrics"}"#.to_string())?;
+        let obj = object_of(&v)?;
+        if let Some(err) = failure_of(obj) {
+            return Err(ClientError::Server(err));
+        }
+        let payload = obj
+            .get("metrics")
+            .ok_or_else(|| ClientError::Protocol("metrics response lacks `metrics`".into()))?;
+        MetricsSnapshot::from_value(payload)
+            .ok_or_else(|| ClientError::Protocol("unintelligible metrics snapshot".into()))
     }
 
     /// Ask the server to stop gracefully (acknowledged before it does).

@@ -295,3 +295,69 @@ fn client_reconnects_once_when_the_connection_breaks() {
     assert_eq!(client.protocol(), 2, "re-negotiated back to v2");
     server.join().unwrap();
 }
+
+/// The typed `metrics()` scrape against a real server: hello advertises
+/// the feature, and the decoded snapshot carries server counters and
+/// engine latency histograms reflecting the traffic the client itself
+/// just generated.
+#[test]
+fn metrics_round_trips_a_typed_registry_snapshot() {
+    let (graph, index) = graph_and_index();
+    let engine = EngineBuilder::from_index(index)
+        .graph(graph)
+        .build()
+        .unwrap();
+    let (handle, join) = start(engine);
+
+    let mut client = CwelmaxClient::connect(handle.local_addr().to_string()).unwrap();
+    assert_eq!(client.protocol(), 2);
+    assert!(
+        client.has_feature("metrics"),
+        "a v2 server advertises the metrics feature"
+    );
+
+    let q = query(TwoItemConfig::C1, 2, Allocation::new());
+    client.query(&q).unwrap();
+    client.query(&q).unwrap();
+
+    let snap = client.metrics().unwrap();
+    // the hello + two queries all count as requests
+    assert!(snap.counters["server.requests_total"] >= 3);
+    assert_eq!(snap.counters["engine.queries"], 2);
+    let query_ns = &snap.histograms["engine.query_ns"];
+    assert_eq!(query_ns.count, 2);
+    assert!(query_ns.sum > 0, "two real queries take nonzero time");
+    assert!(query_ns.quantile(0.5) <= query_ns.max);
+    assert_eq!(snap.counters["engine.welfare_cache_hits"], 1);
+    assert_eq!(snap.counters["engine.welfare_cache_misses"], 1);
+
+    client.shutdown().unwrap();
+    join.join().unwrap();
+}
+
+/// On a fallen-back v1 connection `metrics()` fails fast with a clear
+/// protocol error instead of sending a request v1 cannot answer.
+#[test]
+fn metrics_fails_fast_on_a_v1_connection() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let mut s = &stream;
+        s.write_all(b"{\"error\":\"unknown request type `hello`\",\"ok\":false}\n")
+            .unwrap();
+        s.flush().unwrap();
+    });
+    let mut client = CwelmaxClient::connect(addr.to_string()).unwrap();
+    assert_eq!(client.protocol(), 1);
+    match client.metrics() {
+        Err(ClientError::Protocol(msg)) => {
+            assert!(msg.contains("v2"), "error names the protocol gap: {msg}")
+        }
+        other => panic!("expected a protocol error, got {other:?}"),
+    }
+    server.join().unwrap();
+}

@@ -44,6 +44,7 @@ use crate::error::EngineError;
 use crate::index::RrIndex;
 use crate::snapshot;
 use cwelmax_graph::{Graph, NodeId};
+use cwelmax_obs::MetricsRegistry;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -56,8 +57,13 @@ enum Source {
     Index(Arc<RrIndex>),
     /// A ready backend (monolithic or sharded).
     Backend(Arc<dyn IndexBackend>),
-    /// A deferred backend opener, run at build time.
-    Deferred(Box<dyn FnOnce() -> Result<Arc<dyn IndexBackend>, EngineError> + Send>),
+    /// A deferred backend opener, run at build time with the stack's
+    /// metrics registry so the backend records into the same registry
+    /// as the engine.
+    #[allow(clippy::type_complexity)]
+    Deferred(
+        Box<dyn FnOnce(&Arc<MetricsRegistry>) -> Result<Arc<dyn IndexBackend>, EngineError> + Send>,
+    ),
 }
 
 /// Builder for [`CampaignEngine`] — see the module docs. Construct with
@@ -69,6 +75,7 @@ pub struct EngineBuilder {
     cache_capacity: Option<usize>,
     conditioned_capacity: Option<usize>,
     prewarm: Vec<Vec<NodeId>>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl EngineBuilder {
@@ -79,6 +86,7 @@ impl EngineBuilder {
             cache_capacity: None,
             conditioned_capacity: None,
             prewarm: Vec::new(),
+            metrics: None,
         }
     }
 
@@ -105,9 +113,15 @@ impl EngineBuilder {
     /// downstream crates use to extend the builder with sources this
     /// crate cannot name (`cwelmax-store`'s `FromStore` trait builds
     /// `EngineBuilder::from_store(dir)` on it). Open errors surface from
-    /// [`EngineBuilder::build`], uniformly with the snapshot source.
+    /// [`EngineBuilder::build`], uniformly with the snapshot source. The
+    /// opener receives the stack's [`MetricsRegistry`] (the one passed
+    /// to [`EngineBuilder::metrics`], or the fresh default) so the
+    /// backend's fault counters land in the same registry the engine
+    /// and server report from.
     pub fn from_backend_fn(
-        open: impl FnOnce() -> Result<Arc<dyn IndexBackend>, EngineError> + Send + 'static,
+        open: impl FnOnce(&Arc<MetricsRegistry>) -> Result<Arc<dyn IndexBackend>, EngineError>
+            + Send
+            + 'static,
     ) -> EngineBuilder {
         EngineBuilder::with_source(Source::Deferred(Box::new(open)))
     }
@@ -144,6 +158,15 @@ impl EngineBuilder {
         self
     }
 
+    /// The metrics registry the engine (and a deferred backend) record
+    /// into. Defaults to a fresh registry per build, so independently
+    /// built engines never share counters; pass one explicitly to
+    /// aggregate several stacks into a single scrape surface.
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> EngineBuilder {
+        self.metrics = Some(registry);
+        self
+    }
+
     /// Assemble the engine: resolve the source, verify the graph
     /// fingerprint, size the caches, and derive every pre-warm view
     /// (persisted snapshot views first, then explicit
@@ -153,6 +176,7 @@ impl EngineBuilder {
         let graph = self.graph.ok_or_else(|| {
             EngineError::Builder(".graph(...) is required before .build()".into())
         })?;
+        let metrics = self.metrics.unwrap_or_default();
         let (backend, mut prewarm): (Arc<dyn IndexBackend>, Vec<Vec<NodeId>>) = match self.source {
             Source::Snapshot(path) => {
                 let (index, views) = snapshot::load_full(path)?;
@@ -160,7 +184,7 @@ impl EngineBuilder {
             }
             Source::Index(index) => (index, Vec::new()),
             Source::Backend(backend) => (backend, Vec::new()),
-            Source::Deferred(open) => (open()?, Vec::new()),
+            Source::Deferred(open) => (open(&metrics)?, Vec::new()),
         };
         prewarm.extend(self.prewarm);
         // unless the operator pinned a capacity, make sure pre-warming
@@ -173,6 +197,7 @@ impl EngineBuilder {
             backend,
             self.cache_capacity.unwrap_or(DEFAULT_CACHE_CAP),
             conditioned_cap,
+            metrics,
         )?;
         // capacity 0 means "no view caching": deriving views here would
         // be build-time work the disabled cache immediately discards
@@ -289,7 +314,7 @@ mod tests {
     fn deferred_backend_errors_surface_at_build() {
         let (graph, _) = graph_and_index(13);
         let result =
-            EngineBuilder::from_backend_fn(|| Err(EngineError::Corrupt("store is broken".into())))
+            EngineBuilder::from_backend_fn(|_| Err(EngineError::Corrupt("store is broken".into())))
                 .graph(graph)
                 .build();
         match result {

@@ -29,11 +29,11 @@ use crate::query::{CampaignAnswer, CampaignQuery, QueryAlgorithm};
 use cwelmax_core::{MaxGrd, Problem, SeqGrd};
 use cwelmax_diffusion::{Allocation, WelfareEstimator};
 use cwelmax_graph::{Graph, NodeId};
+use cwelmax_obs::{Counter, Histogram, MetricsRegistry};
 use serde::{Serialize, Value};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Point-in-time counters describing what the engine has done.
@@ -82,12 +82,21 @@ pub struct CampaignEngine {
     /// repeated follow-up campaigns against the same prior allocation are
     /// served warm (no filtering, no re-selection).
     conditioned: ConditionedCache,
-    queries: AtomicU64,
-    pool_selections: AtomicU64,
-    welfare_evals: AtomicU64,
-    welfare_cache_hits: AtomicU64,
-    conditioned_views: AtomicU64,
-    conditioned_hits: AtomicU64,
+    /// The stack's metrics registry (shared with the backend when the
+    /// builder opened it, and adopted by the server). The counter and
+    /// histogram handles below are fetched once at assembly so the hot
+    /// path never touches the registry's name map.
+    metrics: Arc<MetricsRegistry>,
+    queries: Arc<Counter>,
+    pool_selections: Arc<Counter>,
+    welfare_evals: Arc<Counter>,
+    welfare_cache_hits: Arc<Counter>,
+    welfare_cache_misses: Arc<Counter>,
+    conditioned_views: Arc<Counter>,
+    conditioned_hits: Arc<Counter>,
+    query_ns: Arc<Histogram>,
+    batch_ns: Arc<Histogram>,
+    conditioned_derive_ns: Arc<Histogram>,
 }
 
 /// Default welfare-cache capacity (entries); override with
@@ -103,6 +112,7 @@ impl CampaignEngine {
         backend: Arc<dyn IndexBackend>,
         cache_cap: usize,
         conditioned_cap: usize,
+        metrics: Arc<MetricsRegistry>,
     ) -> Result<CampaignEngine, EngineError> {
         let actual = graph_fingerprint(&graph);
         let expected = backend.meta().graph_fingerprint;
@@ -115,12 +125,17 @@ impl CampaignEngine {
             pool: OnceLock::new(),
             cache: Mutex::new(LruCache::new(cache_cap)),
             conditioned: ConditionedCache::new(conditioned_cap),
-            queries: AtomicU64::new(0),
-            pool_selections: AtomicU64::new(0),
-            welfare_evals: AtomicU64::new(0),
-            welfare_cache_hits: AtomicU64::new(0),
-            conditioned_views: AtomicU64::new(0),
-            conditioned_hits: AtomicU64::new(0),
+            queries: metrics.counter("engine.queries"),
+            pool_selections: metrics.counter("engine.pool_selections"),
+            welfare_evals: metrics.counter("engine.welfare_evals"),
+            welfare_cache_hits: metrics.counter("engine.welfare_cache_hits"),
+            welfare_cache_misses: metrics.counter("engine.welfare_cache_misses"),
+            conditioned_views: metrics.counter("engine.conditioned_views"),
+            conditioned_hits: metrics.counter("engine.conditioned_hits"),
+            query_ns: metrics.histogram("engine.query_ns"),
+            batch_ns: metrics.histogram("engine.batch_ns"),
+            conditioned_derive_ns: metrics.histogram("engine.conditioned_derive_ns"),
+            metrics,
         })
     }
 
@@ -187,6 +202,13 @@ impl CampaignEngine {
         &self.backend
     }
 
+    /// The stack's metrics registry. The server adopts this so one
+    /// registry spans engine, backend, and serving layer; a snapshot of
+    /// it is the payload of the wire `metrics` request.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
     /// Counters snapshot, including the backend's storage shape.
     pub fn stats(&self) -> EngineStats {
         let StorageStats {
@@ -195,12 +217,12 @@ impl CampaignEngine {
             bytes_on_disk,
         } = self.backend.storage();
         EngineStats {
-            queries: self.queries.load(Ordering::Relaxed),
-            pool_selections: self.pool_selections.load(Ordering::Relaxed),
-            welfare_evals: self.welfare_evals.load(Ordering::Relaxed),
-            welfare_cache_hits: self.welfare_cache_hits.load(Ordering::Relaxed),
-            conditioned_views: self.conditioned_views.load(Ordering::Relaxed),
-            conditioned_hits: self.conditioned_hits.load(Ordering::Relaxed),
+            queries: self.queries.get(),
+            pool_selections: self.pool_selections.get(),
+            welfare_evals: self.welfare_evals.get(),
+            welfare_cache_hits: self.welfare_cache_hits.get(),
+            conditioned_views: self.conditioned_views.get(),
+            conditioned_hits: self.conditioned_hits.get(),
             shards_total,
             shards_loaded,
             store_bytes_on_disk: bytes_on_disk,
@@ -211,7 +233,7 @@ impl CampaignEngine {
     /// lazily, once — success or failure).
     fn pool(&self) -> Result<&[NodeId], EngineError> {
         let pool = self.pool.get_or_init(|| {
-            self.pool_selections.fetch_add(1, Ordering::Relaxed);
+            self.pool_selections.incr();
             self.backend.pool_at_cap()
         });
         match pool {
@@ -222,13 +244,16 @@ impl CampaignEngine {
 
     /// The SP-conditioned view for `sp_nodes`, from the cache when warm.
     fn conditioned_view(&self, sp_nodes: &[NodeId]) -> Result<Arc<ConditionedView>, EngineError> {
-        let (view, hit) = self
-            .conditioned
-            .get_or_derive(sp_nodes, |nodes| self.backend.derive_conditioned(nodes))?;
+        let (view, hit) = self.conditioned.get_or_derive(sp_nodes, |nodes| {
+            let start = std::time::Instant::now();
+            let derived = self.backend.derive_conditioned(nodes);
+            self.conditioned_derive_ns.record_since(start);
+            derived
+        })?;
         if hit {
-            self.conditioned_hits.fetch_add(1, Ordering::Relaxed);
+            self.conditioned_hits.incr();
         } else {
-            self.conditioned_views.fetch_add(1, Ordering::Relaxed);
+            self.conditioned_views.incr();
         }
         Ok(view)
     }
@@ -325,7 +350,8 @@ impl CampaignEngine {
             }
         };
         let welfare = eval(&allocation);
-        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.queries.incr();
+        self.query_ns.record_since(start);
         Ok(CampaignAnswer {
             algorithm,
             allocation,
@@ -346,6 +372,7 @@ impl CampaignEngine {
         if queries.is_empty() {
             return Vec::new();
         }
+        let batch_start = std::time::Instant::now();
         // materialize the pool up front so workers never race the OnceLock
         // initialization work (get_or_init would serialize them anyway —
         // this just keeps the first query's latency out of every worker).
@@ -376,6 +403,7 @@ impl CampaignEngine {
                 });
             }
         });
+        self.batch_ns.record_since(batch_start);
         results
             .into_iter()
             .map(|r| r.expect("every slot filled by its worker"))
@@ -384,7 +412,7 @@ impl CampaignEngine {
 
     /// Cached Monte-Carlo welfare of `alloc` under the query's model/sim.
     fn evaluate(&self, problem: &Problem, model_fp: u64, alloc: &Allocation) -> f64 {
-        self.welfare_evals.fetch_add(1, Ordering::Relaxed);
+        self.welfare_evals.incr();
         let mut h = DefaultHasher::new();
         model_fp.hash(&mut h);
         alloc.pairs().hash(&mut h);
@@ -392,9 +420,10 @@ impl CampaignEngine {
         problem.sim.base_seed.hash(&mut h);
         let key = h.finish();
         if let Some(&w) = self.cache.lock().unwrap().get(&key) {
-            self.welfare_cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.welfare_cache_hits.incr();
             return w;
         }
+        self.welfare_cache_misses.incr();
         let est = WelfareEstimator::new(&self.graph, &problem.model, problem.sim);
         let w = est.welfare(alloc);
         self.cache.lock().unwrap().insert(key, w);

@@ -38,7 +38,8 @@
 //! The server speaks newline-delimited JSON: one request object per line,
 //! one response object per line. A request is either a bare query object
 //! (as above) or an envelope with a `type` field — `"query"` (the
-//! default), `"batch"`, `"stats"`, `"hello"` (v2 only), or `"shutdown"` —
+//! default), `"batch"`, `"stats"`, `"hello"` (v2 only), `"metrics"`
+//! (v2 only; the full metrics-registry snapshot), or `"shutdown"` —
 //! plus an optional `id` the response echoes back, so pipelined clients
 //! can match answers:
 //!
@@ -52,7 +53,8 @@
 //! `hello` is how programs negotiate: the response names the protocol,
 //! the feature set, and the server version —
 //! `{"v": 2, "ok": true, "protocol": 2, "features": ["batch", "sp",
-//! "stats", "store"], "server_version": "…"}`. A v1 server answers
+//! "stats", "store", "metrics"], "server_version": "…"}`. A v1 server
+//! answers
 //! `hello` with an `unknown request type` error, which is exactly the
 //! signal `cwelmax-client` uses to fall back to v1 automatically.
 //!
@@ -85,7 +87,7 @@ pub const PROTOCOL_VERSION: u64 = 2;
 
 /// The capability names `hello` advertises. Frozen per entry: features
 /// are only ever appended, so clients can gate on membership.
-pub const FEATURES: [&str; 4] = ["batch", "sp", "stats", "store"];
+pub const FEATURES: [&str; 5] = ["batch", "sp", "stats", "store", "metrics"];
 
 /// Which dialect a request line spoke — and hence how its response is
 /// encoded. Per-line, not per-connection: a v1 and a v2 client can share
@@ -154,6 +156,10 @@ pub enum RequestKind {
     Batch(Vec<Result<CampaignQuery, String>>),
     /// Report request/latency counters and engine statistics.
     Stats,
+    /// Report the full metrics-registry snapshot (counters, gauges,
+    /// log2-bucket histograms). v2 only, like `hello` — a v1 line asking
+    /// for it gets the old `unknown request type` error verbatim.
+    Metrics,
     /// Negotiate protocol and capabilities (v2 only — a v1 line asking
     /// for `hello` gets the old `unknown request type` error verbatim).
     Hello,
@@ -313,9 +319,11 @@ pub fn parse_request(v: &Value) -> Result<WireRequest, (Protocol, WireError)> {
             )
         }
         Some(Some("stats")) => RequestKind::Stats,
-        // `hello` postdates v1 — a v1 line asking for it must get the
-        // pre-v2 bytes back, i.e. the generic unknown-type error
+        // `hello` and `metrics` postdate v1 — a v1 line asking for
+        // either must get the pre-v2 bytes back, i.e. the generic
+        // unknown-type error
         Some(Some("hello")) if proto == Protocol::V2 => RequestKind::Hello,
+        Some(Some("metrics")) if proto == Protocol::V2 => RequestKind::Metrics,
         Some(Some("shutdown")) => RequestKind::Shutdown,
         Some(Some(other)) => return Err(fail(format!("unknown request type `{other}`"))),
         Some(None) => return Err(fail("request `type` must be a string".into())),
@@ -385,6 +393,15 @@ pub fn hello_response() -> Value {
         "server_version".into(),
         Value::String(env!("CARGO_PKG_VERSION").to_string()),
     );
+    with_version(Value::Object(m), Protocol::V2)
+}
+
+/// The `metrics` response: the registry snapshot under a `"metrics"`
+/// key. v2 framing always — the request type itself is v2-only.
+pub fn metrics_response(snapshot: &cwelmax_obs::Snapshot) -> Value {
+    let mut m = Map::new();
+    m.insert("ok".into(), Value::Bool(true));
+    m.insert("metrics".into(), snapshot.to_value());
     with_version(Value::Object(m), Protocol::V2)
 }
 
@@ -533,6 +550,46 @@ mod tests {
         assert_eq!(
             to_line(&wire_error_response(&err, proto)),
             r#"{"error":"unknown request type `hello`","ok":false}"#
+        );
+    }
+
+    #[test]
+    fn metrics_is_v2_only_and_v1_metrics_gets_the_legacy_error_bytes() {
+        let req = parse_request_line(r#"{"v": 2, "type": "metrics"}"#).unwrap();
+        assert!(matches!(req.kind, RequestKind::Metrics));
+        // a v1 line must see exactly what the pre-metrics server said —
+        // a 400-family bad-request, never a new response shape
+        let (proto, err) = err_of(r#"{"type": "metrics"}"#);
+        assert_eq!(proto, Protocol::V1);
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+        assert_eq!(err.kind.code(), 400);
+        assert_eq!(
+            to_line(&wire_error_response(&err, proto)),
+            r#"{"error":"unknown request type `metrics`","ok":false}"#
+        );
+    }
+
+    #[test]
+    fn metrics_response_wraps_a_parseable_snapshot() {
+        let reg = cwelmax_obs::MetricsRegistry::new();
+        reg.counter("server.requests_total").add(3);
+        reg.histogram("engine.query_ns").record(2048);
+        let v = metrics_response(&reg.snapshot());
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.get("v"), Some(&Value::UInt(2)));
+        assert_eq!(obj.get("ok"), Some(&Value::Bool(true)));
+        let snap = cwelmax_obs::Snapshot::from_value(obj.get("metrics").unwrap()).unwrap();
+        assert_eq!(snap.counters["server.requests_total"], 3);
+        assert_eq!(snap.histograms["engine.query_ns"].count, 1);
+    }
+
+    #[test]
+    fn hello_advertises_the_metrics_feature() {
+        assert!(FEATURES.contains(&"metrics"));
+        assert_eq!(
+            FEATURES.last(),
+            Some(&"metrics"),
+            "features are append-only; metrics postdates the first four"
         );
     }
 

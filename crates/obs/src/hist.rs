@@ -1,0 +1,316 @@
+//! Atomic metric primitives: [`Counter`], [`Gauge`], and the
+//! log2-bucket [`Histogram`].
+//!
+//! ## Bucketing math
+//!
+//! A histogram is 65 atomic buckets indexed by the bit length of the
+//! recorded value: bucket 0 holds exactly the value 0, and bucket `b`
+//! (1 ≤ b ≤ 64) holds values in `[2^(b-1), 2^b)`. `bucket_of` is two
+//! instructions (`leading_zeros` + subtract), so recording a sample is
+//! four relaxed atomic ops — bucket, count, sum, max — with no locks
+//! and no allocation. That bounds relative quantile error by 2× (one
+//! octave), which is exactly what latency triage needs: telling 2 µs
+//! from 200 µs, not 2.0 µs from 2.1 µs. Count, sum, and max are kept
+//! exactly, so means and maxima have no bucketing error at all.
+//!
+//! Quantiles are computed from a [`HistogramSnapshot`] by the
+//! nearest-rank rule: `quantile(q)` walks the cumulative bucket counts
+//! to rank `ceil(q·count)` and reports the top of the bucket it lands
+//! in — a conservative (upper) estimate in the same octave as the true
+//! order statistic.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Number of log2 buckets: one for zero plus one per bit of a `u64`.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index for a value: 0 for 0, else its bit length.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Largest value a bucket can hold (its representative in quantiles).
+#[inline]
+pub fn bucket_top(b: usize) -> u64 {
+    match b {
+        0 => 0,
+        64.. => u64::MAX,
+        _ => (1u64 << b) - 1,
+    }
+}
+
+/// Monotonic event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn incr(&self) {
+        self.0.fetch_add(1, Relaxed);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// Instantaneous signed level (queue depths, open connections, …).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Relaxed);
+    }
+
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Relaxed);
+    }
+
+    pub fn sub(&self, d: i64) {
+        self.0.fetch_sub(d, Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// Lock-free log2-bucket histogram — see the module docs for the
+/// bucketing math. `count`, `sum`, and `max` are exact; bucket counts
+/// quantize values to their octave.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one sample (typically nanoseconds). Four relaxed atomic
+    /// ops; safe from any thread.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+        self.max.fetch_max(v, Relaxed);
+    }
+
+    /// Elapsed nanoseconds since `start`, recorded.
+    pub fn record_since(&self, start: Instant) {
+        self.record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// RAII timer: records elapsed nanoseconds into this histogram when
+    /// the returned guard drops (also via the crate's `span!` macro).
+    pub fn span(self: &Arc<Histogram>) -> SpanTimer {
+        SpanTimer {
+            hist: Arc::clone(self),
+            start: Instant::now(),
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Relaxed)
+    }
+
+    /// Point-in-time copy of every field. Loads are individually
+    /// relaxed, so a snapshot taken during concurrent recording may be
+    /// torn by a sample or two — fine for monitoring, and exact
+    /// whenever recording has quiesced.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Relaxed),
+            sum: self.sum.load(Relaxed),
+            max: self.max.load(Relaxed),
+            buckets: self.buckets.iter().map(|b| b.load(Relaxed)).collect(),
+        }
+    }
+}
+
+/// RAII guard from [`Histogram::span`].
+pub struct SpanTimer {
+    hist: Arc<Histogram>,
+    start: Instant,
+}
+
+impl SpanTimer {
+    /// Elapsed time so far, without stopping the timer.
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        self.hist.record(self.elapsed_ns());
+    }
+}
+
+/// Immutable copy of a [`Histogram`]; quantiles and merging live here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    /// Per-bucket counts, `BUCKETS` entries.
+    pub buckets: Vec<u64>,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: vec![0; BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Nearest-rank quantile, reported as the top of the bucket the
+    /// rank lands in (0 for an empty histogram). `q` is clamped to
+    /// `[0, 1]`; the result is always within one octave of the exact
+    /// order statistic.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // never report past the exact max (the top bucket's
+                // range top can overshoot it by up to 2×)
+                return bucket_top(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Exact arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Fold another snapshot into this one (bucket-wise sum, max of
+    /// maxes) — used to aggregate per-request-type histograms into an
+    /// overall latency distribution.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for b in 1..64 {
+            // bucket b covers [2^(b-1), 2^b)
+            assert_eq!(bucket_of(1u64 << (b - 1)), b);
+            assert_eq!(bucket_of((1u64 << b) - 1), b);
+            assert_eq!(bucket_top(b), (1u64 << b) - 1);
+        }
+        assert_eq!(bucket_top(64), u64::MAX);
+    }
+
+    #[test]
+    fn exact_fields_and_quantiles() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 1, 7, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1109);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.quantile(0.0), 0); // rank 1 → the recorded zero
+        assert!(s.quantile(0.5) >= 1 && s.quantile(0.5) < 2);
+        assert_eq!(s.quantile(1.0), 1000, "p100 is the exact max");
+        assert!((s.mean() - 1109.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let s = Histogram::default().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn span_records_once_on_drop() {
+        let h = Arc::new(Histogram::default());
+        {
+            let _t = h.span();
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() > 0, "elapsed time is nonzero");
+    }
+
+    #[test]
+    fn merge_adds_bucketwise() {
+        let (a, b) = (Histogram::default(), Histogram::default());
+        a.record(5);
+        a.record(9);
+        b.record(5000);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 3);
+        assert_eq!(m.sum, 5014);
+        assert_eq!(m.max, 5000);
+        assert_eq!(m.buckets.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn saturating_records_do_not_panic() {
+        let h = Histogram::default();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.quantile(0.99), u64::MAX);
+    }
+}

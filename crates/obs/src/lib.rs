@@ -1,0 +1,46 @@
+//! `cwelmax-obs` — the observability spine of the workspace.
+//!
+//! Three pieces, all std-only (consistent with the shims-only
+//! dependency policy):
+//!
+//! * [`hist`] — lock-free log2-bucket latency [`Histogram`]s plus the
+//!   exact atomic [`Counter`] / [`Gauge`] primitives. Recording is a
+//!   handful of relaxed atomic ops; quantiles (p50/p90/p99/max) are
+//!   derived from a [`HistogramSnapshot`] without ever locking the hot
+//!   path.
+//! * [`registry`] — a [`MetricsRegistry`] of named metrics. Lookup
+//!   takes a short mutex once per call site (callers cache the
+//!   returned `Arc`); recording afterwards is lock-free. A registry
+//!   [`Snapshot`] is a deterministic, JSON-serializable view of every
+//!   metric — the payload of the wire `{"type":"metrics"}` request and
+//!   of `cwelmax serve --metrics-dump`.
+//! * [`log`] — a leveled structured-NDJSON [`Logger`] with
+//!   per-connection/per-request id fields and a configurable
+//!   slow-query threshold.
+//!
+//! Ownership model: there is deliberately **no process-global
+//! registry**. Each engine stack (engine + backend + server) shares one
+//! `Arc<MetricsRegistry>` threaded through `EngineBuilder::metrics`;
+//! the CLI builds exactly one stack per process, which makes the
+//! registry process-wide in practice while keeping tests (which build
+//! many engines in parallel and assert exact counts) isolated.
+
+pub mod hist;
+pub mod log;
+pub mod registry;
+
+pub use hist::{Counter, Gauge, Histogram, HistogramSnapshot, SpanTimer, BUCKETS};
+pub use log::{Level, Logger};
+pub use registry::{MetricsRegistry, Snapshot};
+
+/// `span!(hist)` or `span!(registry, "name")` — an RAII timer that
+/// records elapsed nanoseconds into a histogram when dropped.
+#[macro_export]
+macro_rules! span {
+    ($hist:expr) => {
+        $crate::Histogram::span(&$hist)
+    };
+    ($registry:expr, $name:expr) => {
+        $crate::Histogram::span(&$registry.histogram($name))
+    };
+}

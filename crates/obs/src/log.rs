@@ -1,0 +1,261 @@
+//! Leveled structured logging: one NDJSON object per event.
+//!
+//! Every event line carries `ts_ms` (Unix milliseconds), `level`, and
+//! `event`, plus whatever fields the call site attaches — connection
+//! and request ids by convention (`conn`, `req`). Fields are emitted
+//! key-sorted (the sink map is a `BTreeMap`), so lines are grep- and
+//! diff-stable. The default sink is stderr; `cwelmax serve` defaults
+//! the level to [`Level::Warn`], which keeps the current quiet stderr
+//! behavior while making `--log-level debug` a one-flag upgrade.
+//!
+//! The logger also owns the slow-query threshold: [`Logger::slow`]
+//! emits a `warn`-level `slow_query` event whenever a request exceeds
+//! it, independent of the configured level filter's `info`/`debug`
+//! chatter.
+
+use serde::{Map, Value};
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering::Relaxed};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+    Trace = 4,
+}
+
+impl Level {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            3 => Level::Debug,
+            _ => Level::Trace,
+        }
+    }
+}
+
+impl std::str::FromStr for Level {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Level, String> {
+        match s {
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            other => Err(format!(
+                "unknown log level `{other}` (expected error|warn|info|debug|trace)"
+            )),
+        }
+    }
+}
+
+/// Structured NDJSON event logger. Cheap when filtered: `event` checks
+/// the level with one relaxed load before building anything.
+pub struct Logger {
+    level: AtomicU8,
+    slow_query_ns: AtomicU64,
+    sink: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for Logger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Logger")
+            .field("level", &self.level())
+            .field("slow_query_ns", &self.slow_query_ns.load(Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Logger {
+    fn default() -> Logger {
+        Logger::new(Level::Warn)
+    }
+}
+
+impl Logger {
+    /// Logger writing NDJSON to stderr at the given level.
+    pub fn new(level: Level) -> Logger {
+        Logger::with_sink(level, Box::new(std::io::stderr()))
+    }
+
+    /// Logger with a custom sink (tests capture events this way).
+    pub fn with_sink(level: Level, sink: Box<dyn Write + Send>) -> Logger {
+        Logger {
+            level: AtomicU8::new(level as u8),
+            slow_query_ns: AtomicU64::new(0),
+            sink: Mutex::new(sink),
+        }
+    }
+
+    pub fn level(&self) -> Level {
+        Level::from_u8(self.level.load(Relaxed))
+    }
+
+    pub fn set_level(&self, level: Level) {
+        self.level.store(level as u8, Relaxed);
+    }
+
+    /// Events at or above (≤ numerically) this level are emitted.
+    pub fn enabled(&self, level: Level) -> bool {
+        level <= self.level()
+    }
+
+    /// Slow-query threshold in nanoseconds; 0 disables [`Logger::slow`].
+    pub fn set_slow_query_ns(&self, ns: u64) {
+        self.slow_query_ns.store(ns, Relaxed);
+    }
+
+    pub fn slow_query_ns(&self) -> u64 {
+        self.slow_query_ns.load(Relaxed)
+    }
+
+    /// Emit one event line: `{"event":..,"level":..,"ts_ms":..,` plus
+    /// `fields`, keys sorted. Filtered events cost one atomic load.
+    pub fn event(&self, level: Level, event: &str, fields: &[(&str, Value)]) {
+        if !self.enabled(level) {
+            return;
+        }
+        let ts_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let mut m = Map::new();
+        m.insert("ts_ms".into(), serde_json::to_value(&ts_ms));
+        m.insert("level".into(), Value::String(level.as_str().into()));
+        m.insert("event".into(), Value::String(event.into()));
+        for (k, v) in fields {
+            m.insert((*k).into(), v.clone());
+        }
+        if let Ok(line) = serde_json::to_string(&Value::Object(m)) {
+            let mut sink = self.sink.lock().unwrap();
+            let _ = writeln!(sink, "{line}");
+            let _ = sink.flush();
+        }
+    }
+
+    pub fn error(&self, event: &str, fields: &[(&str, Value)]) {
+        self.event(Level::Error, event, fields);
+    }
+
+    pub fn warn(&self, event: &str, fields: &[(&str, Value)]) {
+        self.event(Level::Warn, event, fields);
+    }
+
+    pub fn info(&self, event: &str, fields: &[(&str, Value)]) {
+        self.event(Level::Info, event, fields);
+    }
+
+    pub fn debug(&self, event: &str, fields: &[(&str, Value)]) {
+        self.event(Level::Debug, event, fields);
+    }
+
+    pub fn trace(&self, event: &str, fields: &[(&str, Value)]) {
+        self.event(Level::Trace, event, fields);
+    }
+
+    /// If `elapsed_ns` crosses the slow-query threshold, emit a
+    /// `slow_query` warning carrying the elapsed time plus `fields`.
+    /// Returns whether the event fired.
+    pub fn slow(&self, elapsed_ns: u64, fields: &[(&str, Value)]) -> bool {
+        let threshold = self.slow_query_ns();
+        if threshold == 0 || elapsed_ns < threshold {
+            return false;
+        }
+        let mut all = vec![
+            ("elapsed_ns", serde_json::to_value(&elapsed_ns)),
+            ("threshold_ns", serde_json::to_value(&threshold)),
+        ];
+        all.extend(fields.iter().map(|(k, v)| (*k, v.clone())));
+        self.warn("slow_query", &all);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// Shared in-memory sink for capturing log output in tests.
+    #[derive(Clone, Default)]
+    struct Buf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Buf {
+        fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(b);
+            Ok(b.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl Buf {
+        fn lines(&self) -> Vec<String> {
+            String::from_utf8(self.0.lock().unwrap().clone())
+                .unwrap()
+                .lines()
+                .map(String::from)
+                .collect()
+        }
+    }
+
+    #[test]
+    fn level_filter_and_ndjson_shape() {
+        let buf = Buf::default();
+        let log = Logger::with_sink(Level::Warn, Box::new(buf.clone()));
+        log.info("ignored", &[]);
+        log.warn("conn_error", &[("conn", Value::Int(7))]);
+        let lines = buf.lines();
+        assert_eq!(lines.len(), 1, "info is below warn");
+        let v: Value = serde_json::from_str(&lines[0]).unwrap();
+        let m = v.as_object().unwrap();
+        assert_eq!(m["event"].as_str(), Some("conn_error"));
+        assert_eq!(m["level"].as_str(), Some("warn"));
+        assert_eq!(m["conn"], Value::Int(7));
+        assert!(matches!(m["ts_ms"], Value::Int(_) | Value::UInt(_)));
+    }
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert!("warn".parse::<Level>().unwrap() < Level::Debug);
+        assert!("bogus".parse::<Level>().is_err());
+        let log = Logger::new(Level::Error);
+        assert!(log.enabled(Level::Error) && !log.enabled(Level::Warn));
+        log.set_level(Level::Trace);
+        assert!(log.enabled(Level::Trace));
+    }
+
+    #[test]
+    fn slow_query_fires_only_past_threshold() {
+        let buf = Buf::default();
+        let log = Logger::with_sink(Level::Warn, Box::new(buf.clone()));
+        assert!(!log.slow(1_000_000, &[]), "threshold 0 disables");
+        log.set_slow_query_ns(500);
+        assert!(!log.slow(499, &[]));
+        assert!(log.slow(500, &[("req", Value::Int(3))]));
+        let lines = buf.lines();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("\"event\":\"slow_query\""));
+        assert!(lines[0].contains("\"elapsed_ns\":500"));
+        assert!(lines[0].contains("\"req\":3"));
+    }
+}

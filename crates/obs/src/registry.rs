@@ -1,0 +1,259 @@
+//! [`MetricsRegistry`] — named metrics, and the deterministic
+//! [`Snapshot`] that travels over the wire.
+//!
+//! Lookup (`counter`/`gauge`/`histogram`) takes a short mutex and
+//! returns an `Arc` to the metric; call sites fetch their metrics once
+//! (at assembly time) and record lock-free afterwards. Names are
+//! dot-separated, `layer.metric[.detail]` — e.g. `engine.query_ns`,
+//! `store.shard_faults`, `server.request_ns.query`. The `_ns` suffix
+//! marks nanosecond histograms.
+//!
+//! A [`Snapshot`] is BTreeMap-backed throughout, so serializing the
+//! same state always yields the same bytes — the registry determinism
+//! tests and the CI smoke greps rely on that.
+
+use crate::hist::{Counter, Gauge, Histogram, HistogramSnapshot};
+use serde::{Map, Value};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// A process- (or stack-) wide set of named metrics. Cheap to create;
+/// share via `Arc`.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Arc<MetricsRegistry> {
+        Arc::new(MetricsRegistry::default())
+    }
+
+    /// Get or create the named counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.counters.lock().unwrap();
+        Arc::clone(m.entry(name.to_string()).or_default())
+    }
+
+    /// Get or create the named gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.gauges.lock().unwrap();
+        Arc::clone(m.entry(name.to_string()).or_default())
+    }
+
+    /// Get or create the named histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = self.histograms.lock().unwrap();
+        Arc::clone(m.entry(name.to_string()).or_default())
+    }
+
+    /// Point-in-time copy of every registered metric, keys sorted.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, c)| (k.clone(), c.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, g)| (k.clone(), g.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Deterministic, serializable view of a registry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+fn uint(v: u64) -> Value {
+    serde_json::to_value(&v)
+}
+
+fn hist_value(h: &HistogramSnapshot) -> Value {
+    let mut m = Map::new();
+    m.insert("count".into(), uint(h.count));
+    m.insert("sum".into(), uint(h.sum));
+    m.insert("max".into(), uint(h.max));
+    m.insert("p50".into(), uint(h.quantile(0.50)));
+    m.insert("p90".into(), uint(h.quantile(0.90)));
+    m.insert("p99".into(), uint(h.quantile(0.99)));
+    // sparse bucket encoding: [index, count] pairs for nonzero buckets
+    m.insert(
+        "buckets".into(),
+        Value::Array(
+            h.buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &n)| n > 0)
+                .map(|(b, &n)| Value::Array(vec![uint(b as u64), uint(n)]))
+                .collect(),
+        ),
+    );
+    Value::Object(m)
+}
+
+fn u64_of(v: &Value) -> Option<u64> {
+    match v {
+        Value::Int(i) => u64::try_from(*i).ok(),
+        Value::UInt(u) => Some(*u),
+        _ => None,
+    }
+}
+
+fn hist_of(v: &Value) -> Option<HistogramSnapshot> {
+    let m = v.as_object()?;
+    let mut h = HistogramSnapshot {
+        count: u64_of(m.get("count")?)?,
+        sum: u64_of(m.get("sum")?)?,
+        max: u64_of(m.get("max")?)?,
+        ..HistogramSnapshot::default()
+    };
+    for pair in m.get("buckets")?.as_array()? {
+        let pair = pair.as_array()?;
+        let (b, n) = (u64_of(pair.first()?)? as usize, u64_of(pair.get(1)?)?);
+        *h.buckets.get_mut(b)? = n;
+    }
+    Some(h)
+}
+
+impl Snapshot {
+    /// Serialize as a JSON value:
+    /// `{"counters":{..},"gauges":{..},"histograms":{name:{count,sum,
+    /// max,p50,p90,p99,buckets:[[b,n],..]},..}}`. The p* fields are
+    /// derived for human/scrape convenience; `from_value` recomputes
+    /// them from the buckets.
+    pub fn to_value(&self) -> Value {
+        let mut root = Map::new();
+        root.insert(
+            "counters".into(),
+            Value::Object(
+                self.counters
+                    .iter()
+                    .map(|(k, &v)| (k.clone(), uint(v)))
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "gauges".into(),
+            Value::Object(
+                self.gauges
+                    .iter()
+                    .map(|(k, &v)| (k.clone(), Value::Int(v)))
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "histograms".into(),
+            Value::Object(
+                self.histograms
+                    .iter()
+                    .map(|(k, h)| (k.clone(), hist_value(h)))
+                    .collect(),
+            ),
+        );
+        Value::Object(root)
+    }
+
+    /// Parse a value produced by [`Snapshot::to_value`] (e.g. the body
+    /// of a wire `metrics` response). Returns `None` on shape errors.
+    pub fn from_value(v: &Value) -> Option<Snapshot> {
+        let root = v.as_object()?;
+        let mut snap = Snapshot::default();
+        for (k, v) in root.get("counters")?.as_object()? {
+            snap.counters.insert(k.clone(), u64_of(v)?);
+        }
+        for (k, v) in root.get("gauges")?.as_object()? {
+            let g = match v {
+                Value::Int(i) => *i,
+                Value::UInt(u) => i64::try_from(*u).ok()?,
+                _ => return None,
+            };
+            snap.gauges.insert(k.clone(), g);
+        }
+        for (k, v) in root.get("histograms")?.as_object()? {
+            snap.histograms.insert(k.clone(), hist_of(v)?);
+        }
+        Some(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_the_same_metric() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a.b").incr();
+        reg.counter("a.b").add(2);
+        assert_eq!(reg.counter("a.b").get(), 3);
+        reg.gauge("g").set(-4);
+        assert_eq!(reg.gauge("g").get(), -4);
+        reg.histogram("h_ns").record(10);
+        assert_eq!(reg.histogram("h_ns").count(), 1);
+    }
+
+    #[test]
+    fn snapshot_serialization_is_deterministic() {
+        // build two registries with the same state in different orders
+        let mk = |names: &[&str]| {
+            let reg = MetricsRegistry::new();
+            for n in names {
+                reg.counter(n).incr();
+            }
+            reg.histogram("z.lat_ns").record(1000);
+            reg.histogram("a.lat_ns").record(3);
+            reg.gauge("mid").set(7);
+            reg
+        };
+        let r1 = mk(&["b", "a", "c"]);
+        let r2 = mk(&["c", "b", "a"]);
+        let j1 = serde_json::to_string(&r1.snapshot().to_value()).unwrap();
+        let j2 = serde_json::to_string(&r2.snapshot().to_value()).unwrap();
+        assert_eq!(j1, j2, "same state, same bytes, any insertion order");
+        // and repeated snapshots of quiesced state are identical
+        assert_eq!(r1.snapshot(), r1.snapshot());
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter("server.requests_total").add(41);
+        reg.gauge("server.open_conns").set(-2);
+        for v in [0u64, 5, 5, 900, u64::MAX] {
+            reg.histogram("engine.query_ns").record(v);
+        }
+        let snap = reg.snapshot();
+        let line = serde_json::to_string(&snap.to_value()).unwrap();
+        let back = Snapshot::from_value(&serde_json::from_str(&line).unwrap()).unwrap();
+        assert_eq!(back, snap);
+        // quantiles recompute identically from the parsed buckets
+        let (h, b) = (
+            &snap.histograms["engine.query_ns"],
+            &back.histograms["engine.query_ns"],
+        );
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(h.quantile(q), b.quantile(q));
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests: the log2-bucket histogram against an exact
+//! sorted-vec oracle.
+//!
+//! The histogram's contract is octave accuracy: for any sample set and
+//! any quantile, `quantile(q)` must land in the **same log2 bucket** as
+//! the exact nearest-rank order statistic, never exceed the true max,
+//! and keep `count`/`sum`/`max` exact. The oracle sorts the raw samples
+//! and indexes rank `ceil(q·n)` directly.
+
+use cwelmax_obs::hist::{bucket_of, Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+fn oracle_rank(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn check_against_oracle(samples: &[u64], q: f64) -> Result<(), String> {
+    let h = Histogram::default();
+    for &v in samples {
+        h.record(v);
+    }
+    let s = h.snapshot();
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+
+    prop_assert_eq!(s.count, samples.len() as u64);
+    prop_assert_eq!(
+        s.sum,
+        samples.iter().fold(0u64, |a, &v| a.wrapping_add(v)),
+        "sum is exact (mod 2^64)"
+    );
+    prop_assert_eq!(s.max, sorted.last().copied().unwrap_or(0));
+
+    if samples.is_empty() {
+        prop_assert_eq!(s.quantile(q), 0, "empty histogram reports 0");
+        return Ok(());
+    }
+    let exact = oracle_rank(&sorted, q);
+    let est = s.quantile(q);
+    prop_assert_eq!(
+        bucket_of(est),
+        bucket_of(exact),
+        "estimate {} and oracle {} must share a log2 bucket (q={})",
+        est,
+        exact,
+        q
+    );
+    prop_assert!(est <= s.max, "never reports past the exact max");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+    #[test]
+    fn quantiles_share_the_oracle_bucket(
+        samples in collection::vec(0u64..2_000_000, 0..120),
+        q in 0.0f64..=1.0,
+    ) {
+        check_against_oracle(&samples, q)?;
+    }
+
+    #[test]
+    fn quantiles_hold_across_the_full_u64_range(
+        // bit-length-uniform samples so every octave gets exercised,
+        // including the saturating top bucket
+        bits in collection::vec(0u32..=64, 1..60),
+        lo in any::<u64>(),
+        q in 0.0f64..=1.0,
+    ) {
+        let samples: Vec<u64> = bits
+            .iter()
+            .map(|&b| match b {
+                0 => 0u64,
+                64 => u64::MAX - (lo % 17),
+                _ => (1u64 << (b - 1)) | (lo % (1u64 << (b - 1)).max(1)),
+            })
+            .collect();
+        check_against_oracle(&samples, q)?;
+    }
+}
+
+#[test]
+fn single_sample_every_quantile_is_that_sample() {
+    for v in [0u64, 1, 42, 1 << 33, u64::MAX] {
+        let h = Histogram::default();
+        h.record(v);
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(
+                bucket_of(s.quantile(q)),
+                bucket_of(v),
+                "v={v} q={q} est={}",
+                s.quantile(q)
+            );
+            assert!(s.quantile(q) <= v);
+        }
+        assert_eq!(s.quantile(1.0), v, "p100 of one sample is exact");
+    }
+}
+
+#[test]
+fn merged_snapshot_equals_recording_into_one() {
+    let (a, b, both) = (
+        Histogram::default(),
+        Histogram::default(),
+        Histogram::default(),
+    );
+    let xs = [3u64, 900, 0, 65_000, 12];
+    let ys = [1u64 << 40, 7, 7];
+    for &v in &xs {
+        a.record(v);
+        both.record(v);
+    }
+    for &v in &ys {
+        b.record(v);
+        both.record(v);
+    }
+    let mut m = a.snapshot();
+    m.merge(&b.snapshot());
+    assert_eq!(m, both.snapshot());
+}
+
+#[test]
+fn concurrent_recording_loses_nothing() {
+    use std::sync::Arc;
+    let h = Arc::new(Histogram::default());
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    h.record(t * 10_000 + i);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let s = h.snapshot();
+    assert_eq!(s.count, 40_000);
+    assert_eq!(s.buckets.iter().sum::<u64>(), 40_000);
+    assert_eq!(s.max, 39_999);
+    let _ = HistogramSnapshot::default(); // exercise the Default path
+}

@@ -49,8 +49,9 @@
 //! # }
 //! ```
 
-use cwelmax_engine::wire::{self, RequestKind, WireError};
+use cwelmax_engine::wire::{self, Protocol, RequestKind, WireError};
 use cwelmax_engine::{CampaignEngine, EngineStats};
+use cwelmax_obs::{Counter, Gauge, Histogram, HistogramSnapshot, Logger, MetricsRegistry};
 use serde::{Map, Serialize, Value};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -72,8 +73,69 @@ pub struct ServerStats {
     /// Requests answered with an error response.
     pub errors: u64,
     /// Cumulative request-handling time in nanoseconds (divide by
-    /// `requests` for the mean latency).
+    /// `requests` for the mean latency). Derived from the per-type
+    /// latency histograms' exact sums — identical arithmetic to the
+    /// flat counter it replaced.
     pub latency_nanos: u64,
+}
+
+/// The per-request-type latency histograms, `server.request_ns.<type>`
+/// in the registry. Handles are fetched once at bind; recording is
+/// lock-free.
+struct RequestTimers {
+    query: Arc<Histogram>,
+    batch: Arc<Histogram>,
+    stats: Arc<Histogram>,
+    hello: Arc<Histogram>,
+    metrics: Arc<Histogram>,
+    shutdown: Arc<Histogram>,
+    /// Lines that never parsed into a request (bad JSON, bad envelope,
+    /// unsupported version) — they cost handling time too.
+    invalid: Arc<Histogram>,
+}
+
+impl RequestTimers {
+    fn new(reg: &MetricsRegistry) -> RequestTimers {
+        RequestTimers {
+            query: reg.histogram("server.request_ns.query"),
+            batch: reg.histogram("server.request_ns.batch"),
+            stats: reg.histogram("server.request_ns.stats"),
+            hello: reg.histogram("server.request_ns.hello"),
+            metrics: reg.histogram("server.request_ns.metrics"),
+            shutdown: reg.histogram("server.request_ns.shutdown"),
+            invalid: reg.histogram("server.request_ns.invalid"),
+        }
+    }
+
+    fn of(&self, label: &'static str) -> &Arc<Histogram> {
+        match label {
+            "query" => &self.query,
+            "batch" => &self.batch,
+            "stats" => &self.stats,
+            "hello" => &self.hello,
+            "metrics" => &self.metrics,
+            "shutdown" => &self.shutdown,
+            _ => &self.invalid,
+        }
+    }
+
+    /// All request types folded into one latency distribution — the
+    /// `{"type": "stats"}` percentiles and the mean's exact sum.
+    fn aggregate(&self) -> HistogramSnapshot {
+        let mut agg = HistogramSnapshot::default();
+        for h in [
+            &self.query,
+            &self.batch,
+            &self.stats,
+            &self.hello,
+            &self.metrics,
+            &self.shutdown,
+            &self.invalid,
+        ] {
+            agg.merge(&h.snapshot());
+        }
+        agg
+    }
 }
 
 /// State shared by the acceptor, every connection thread, and handles.
@@ -83,12 +145,21 @@ struct Shared {
     stop: AtomicBool,
     /// Concurrent-connection cap; 0 = unlimited.
     max_conns: AtomicUsize,
-    connections: AtomicU64,
-    busy_rejections: AtomicU64,
-    requests: AtomicU64,
-    queries: AtomicU64,
-    errors: AtomicU64,
-    latency_nanos: AtomicU64,
+    /// Structured event log (connection lifecycle, IO errors, slow
+    /// queries). Swappable at construction via `with_logger`; the lock
+    /// is taken once per connection, not per request.
+    log: Mutex<Arc<Logger>>,
+    /// Monotonic connection ids for log correlation.
+    next_conn_id: AtomicU64,
+    connections: Arc<Counter>,
+    accept_errors: Arc<Counter>,
+    busy_rejections: Arc<Counter>,
+    requests: Arc<Counter>,
+    queries: Arc<Counter>,
+    errors: Arc<Counter>,
+    parse_errors: Arc<Counter>,
+    open_conns: Arc<Gauge>,
+    request_ns: RequestTimers,
     /// Clones of live connection streams, so shutdown can unblock their
     /// reader threads; slots are pruned as connections close. The count of
     /// occupied slots is also the live-connection count `--max-conns`
@@ -98,14 +169,22 @@ struct Shared {
 
 impl Shared {
     fn stats(&self) -> ServerStats {
+        self.stats_with(&self.request_ns.aggregate())
+    }
+
+    fn stats_with(&self, latency: &HistogramSnapshot) -> ServerStats {
         ServerStats {
-            connections: self.connections.load(Ordering::Relaxed),
-            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
-            requests: self.requests.load(Ordering::Relaxed),
-            queries: self.queries.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            latency_nanos: self.latency_nanos.load(Ordering::Relaxed),
+            connections: self.connections.get(),
+            busy_rejections: self.busy_rejections.get(),
+            requests: self.requests.get(),
+            queries: self.queries.get(),
+            errors: self.errors.get(),
+            latency_nanos: latency.sum,
         }
+    }
+
+    fn logger(&self) -> Arc<Logger> {
+        Arc::clone(&self.log.lock().unwrap())
     }
 
     /// Flip the stop flag, close every live connection, and poke the
@@ -148,6 +227,11 @@ impl ServerHandle {
     pub fn stats(&self) -> ServerStats {
         self.shared.stats()
     }
+
+    /// The metrics registry the server records into (the engine's).
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(self.shared.engine.metrics())
+    }
 }
 
 /// The long-lived query server: one engine, many connections.
@@ -163,6 +247,9 @@ impl CampaignServer {
     pub fn bind(engine: Arc<CampaignEngine>, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        // the server records into the engine's registry, so one
+        // `{"type": "metrics"}` scrape sees the whole stack
+        let reg = Arc::clone(engine.metrics());
         Ok(CampaignServer {
             listener,
             shared: Arc::new(Shared {
@@ -170,15 +257,33 @@ impl CampaignServer {
                 addr,
                 stop: AtomicBool::new(false),
                 max_conns: AtomicUsize::new(0),
-                connections: AtomicU64::new(0),
-                busy_rejections: AtomicU64::new(0),
-                requests: AtomicU64::new(0),
-                queries: AtomicU64::new(0),
-                errors: AtomicU64::new(0),
-                latency_nanos: AtomicU64::new(0),
+                log: Mutex::new(Arc::new(Logger::new(cwelmax_obs::Level::Warn))),
+                next_conn_id: AtomicU64::new(0),
+                connections: reg.counter("server.connections"),
+                accept_errors: reg.counter("server.accept_errors"),
+                busy_rejections: reg.counter("server.busy_rejections"),
+                requests: reg.counter("server.requests_total"),
+                queries: reg.counter("server.queries"),
+                errors: reg.counter("server.errors"),
+                parse_errors: reg.counter("server.parse_errors"),
+                open_conns: reg.gauge("server.open_conns"),
+                request_ns: RequestTimers::new(&reg),
                 conns: Mutex::new(Vec::new()),
             }),
         })
+    }
+
+    /// Replace the structured logger (default: warn-level to stderr).
+    /// Call before [`CampaignServer::run`]; the CLI uses this to apply
+    /// `--log-level` and the slow-query threshold.
+    pub fn with_logger(self, logger: Arc<Logger>) -> Self {
+        *self.shared.log.lock().unwrap() = logger;
+        self
+    }
+
+    /// The metrics registry this server records into (the engine's).
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(self.shared.engine.metrics())
     }
 
     /// Cap concurrent connections at `n` (0 = unlimited). A connection
@@ -210,6 +315,7 @@ impl CampaignServer {
     /// this returns.
     pub fn run(self) -> std::io::Result<()> {
         let shared = &self.shared;
+        let log = shared.logger();
         std::thread::scope(|scope| {
             for stream in self.listener.incoming() {
                 if shared.stop.load(Ordering::SeqCst) {
@@ -220,7 +326,9 @@ impl CampaignServer {
                     // accept errors (aborted handshake, fd exhaustion)
                     // must not take the server down; back off briefly so
                     // a persistent error cannot busy-spin the acceptor
-                    Err(_) => {
+                    Err(e) => {
+                        shared.accept_errors.incr();
+                        log.warn("accept_error", &[("error", e.to_string().to_value())]);
                         std::thread::sleep(std::time::Duration::from_millis(10));
                         continue;
                     }
@@ -230,14 +338,24 @@ impl CampaignServer {
                     // at the --max-conns cap: shed load with one clean
                     // JSON refusal instead of an unbounded worker thread
                     Registration::Busy => {
-                        shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                        shared.busy_rejections.incr();
+                        log.info(
+                            "busy_rejection",
+                            &[(
+                                "max_conns",
+                                shared.max_conns.load(Ordering::SeqCst).to_value(),
+                            )],
+                        );
                         refuse_busy(shared, stream);
                         continue;
                     }
                     // a connection shutdown cannot reach (clone failure
                     // under fd pressure) would hang the final join —
                     // refuse it
-                    Registration::Failed => continue,
+                    Registration::Failed => {
+                        log.warn("conn_register_failed", &[]);
+                        continue;
+                    }
                 };
                 // re-check *after* registering: a shutdown between the
                 // check above and `register` has already swept `conns`
@@ -247,10 +365,13 @@ impl CampaignServer {
                     shared.conns.lock().unwrap()[slot] = None;
                     break;
                 }
-                shared.connections.fetch_add(1, Ordering::Relaxed);
+                shared.connections.incr();
+                shared.open_conns.add(1);
+                let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
                 scope.spawn(move || {
-                    serve_connection(shared, stream);
+                    serve_connection(shared, stream, conn_id);
                     shared.conns.lock().unwrap()[slot] = None;
+                    shared.open_conns.sub(1);
                 });
             }
         });
@@ -308,29 +429,57 @@ fn refuse_busy(shared: &Shared, stream: TcpStream) {
 
 /// One connection: read request lines, write response lines, until EOF,
 /// an unrecoverable socket error, or shutdown.
-fn serve_connection(shared: &Shared, stream: TcpStream) {
+fn serve_connection(shared: &Shared, stream: TcpStream, conn_id: u64) {
+    let log = shared.logger();
     let reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
-        Err(_) => return,
+        Err(_) => {
+            log.warn("conn_clone_failed", &[("conn", conn_id.to_value())]);
+            return;
+        }
     });
+    log.debug("conn_open", &[("conn", conn_id.to_value())]);
     let mut writer = BufWriter::new(stream);
+    let mut req_no = 0u64;
     for line in reader.lines() {
         let line = match line {
             Ok(l) => l,
-            Err(_) => break, // connection reset / shutdown
+            Err(e) => {
+                // connection reset / shutdown mid-read
+                log.warn(
+                    "conn_read_error",
+                    &[
+                        ("conn", conn_id.to_value()),
+                        ("error", e.to_string().to_value()),
+                    ],
+                );
+                break;
+            }
         };
         if line.trim().is_empty() {
             continue; // blank keep-alive lines are not requests
         }
+        req_no += 1;
         let start = Instant::now();
-        let (response, is_shutdown) = handle_line(shared, &line);
-        shared.requests.fetch_add(1, Ordering::Relaxed);
-        shared
-            .latency_nanos
-            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let (response, is_shutdown, label) = handle_line(shared, &line);
+        let elapsed_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        shared.requests.incr();
+        shared.request_ns.of(label).record(elapsed_ns);
+        log.slow(
+            elapsed_ns,
+            &[
+                ("conn", conn_id.to_value()),
+                ("req", req_no.to_value()),
+                ("request_type", label.to_value()),
+            ],
+        );
         let mut text = wire::to_line(&response);
         text.push('\n');
         if writer.write_all(text.as_bytes()).is_err() || writer.flush().is_err() {
+            log.warn(
+                "conn_write_error",
+                &[("conn", conn_id.to_value()), ("req", req_no.to_value())],
+            );
             break;
         }
         if is_shutdown {
@@ -338,20 +487,28 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
             break;
         }
     }
+    log.debug(
+        "conn_closed",
+        &[
+            ("conn", conn_id.to_value()),
+            ("requests", req_no.to_value()),
+        ],
+    );
 }
 
-/// Answer one request line. Returns the response and whether it was a
+/// Answer one request line. Returns the response, whether it was a
 /// shutdown request (acted on by the caller *after* the response is
-/// written, so the client gets an acknowledgement). The response is
-/// encoded in the dialect the request spoke — v1 lines get the exact
-/// historical bytes, `"v": 2` lines get versioned responses with
-/// structured errors.
-fn handle_line(shared: &Shared, line: &str) -> (Value, bool) {
+/// written, so the client gets an acknowledgement), and the request-type
+/// label its latency is recorded under. The response is encoded in the
+/// dialect the request spoke — v1 lines get the exact historical bytes,
+/// `"v": 2` lines get versioned responses with structured errors.
+fn handle_line(shared: &Shared, line: &str) -> (Value, bool, &'static str) {
     let request = match wire::parse_request_line(line) {
         Ok(r) => r,
         Err((proto, err)) => {
-            shared.errors.fetch_add(1, Ordering::Relaxed);
-            return (wire::wire_error_response(&err, proto), false);
+            shared.errors.incr();
+            shared.parse_errors.incr();
+            return (wire::wire_error_response(&err, proto), false, "invalid");
         }
     };
     let id = request.id.as_ref();
@@ -359,20 +516,22 @@ fn handle_line(shared: &Shared, line: &str) -> (Value, bool) {
     match request.kind {
         RequestKind::Query(q) => match shared.engine.query(&q) {
             Ok(answer) => {
-                shared.queries.fetch_add(1, Ordering::Relaxed);
+                shared.queries.incr();
                 (
                     wire::with_id(wire::answer_response(&answer, proto), id),
                     false,
+                    "query",
                 )
             }
             Err(e) => {
-                shared.errors.fetch_add(1, Ordering::Relaxed);
+                shared.errors.incr();
                 (
                     wire::with_id(
                         wire::wire_error_response(&WireError::from_engine(&e), proto),
                         id,
                     ),
                     false,
+                    "query",
                 )
             }
         },
@@ -394,23 +553,44 @@ fn handle_line(shared: &Shared, line: &str) -> (Value, bool) {
                 .collect();
             for row in &rows {
                 match row {
-                    Ok(_) => shared.queries.fetch_add(1, Ordering::Relaxed),
-                    Err(_) => shared.errors.fetch_add(1, Ordering::Relaxed),
+                    Ok(_) => shared.queries.incr(),
+                    Err(_) => shared.errors.incr(),
                 };
             }
-            (wire::with_id(wire::batch_response(&rows, proto), id), false)
+            (
+                wire::with_id(wire::batch_response(&rows, proto), id),
+                false,
+                "batch",
+            )
         }
-        RequestKind::Stats => (
-            wire::with_id(
-                wire::with_version(
-                    stats_response(&shared.stats(), &shared.engine.stats()),
-                    proto,
+        RequestKind::Stats => {
+            let latency = shared.request_ns.aggregate();
+            (
+                wire::with_id(
+                    wire::with_version(
+                        stats_response(
+                            &shared.stats_with(&latency),
+                            &latency,
+                            &shared.engine.stats(),
+                            proto,
+                        ),
+                        proto,
+                    ),
+                    id,
                 ),
+                false,
+                "stats",
+            )
+        }
+        RequestKind::Hello => (wire::with_id(wire::hello_response(), id), false, "hello"),
+        RequestKind::Metrics => (
+            wire::with_id(
+                wire::metrics_response(&shared.engine.metrics().snapshot()),
                 id,
             ),
             false,
+            "metrics",
         ),
-        RequestKind::Hello => (wire::with_id(wire::hello_response(), id), false),
         RequestKind::Shutdown => {
             let mut m = Map::new();
             m.insert("ok".into(), Value::Bool(true));
@@ -418,13 +598,22 @@ fn handle_line(shared: &Shared, line: &str) -> (Value, bool) {
             (
                 wire::with_id(wire::with_version(Value::Object(m), proto), id),
                 true,
+                "shutdown",
             )
         }
     }
 }
 
-/// The stats response body: server counters + engine counters.
-fn stats_response(server: &ServerStats, engine: &EngineStats) -> Value {
+/// The stats response body: server counters + engine counters. The v1
+/// body is byte-for-byte what it has always been; v2 adds histogram
+/// percentiles of per-request handling time (`latency` aggregates every
+/// request type).
+fn stats_response(
+    server: &ServerStats,
+    latency: &HistogramSnapshot,
+    engine: &EngineStats,
+    proto: Protocol,
+) -> Value {
     let mut s = Map::new();
     s.insert("connections".into(), server.connections.to_value());
     s.insert("busy_rejections".into(), server.busy_rejections.to_value());
@@ -437,6 +626,11 @@ fn stats_response(server: &ServerStats, engine: &EngineStats) -> Value {
         0.0
     };
     s.insert("mean_latency_seconds".into(), mean_seconds.to_value());
+    if proto == Protocol::V2 {
+        s.insert("latency_p50_ns".into(), latency.quantile(0.50).to_value());
+        s.insert("latency_p99_ns".into(), latency.quantile(0.99).to_value());
+        s.insert("latency_max_ns".into(), latency.max.to_value());
+    }
     let mut m = Map::new();
     m.insert("ok".into(), Value::Bool(true));
     m.insert("server".into(), Value::Object(s));

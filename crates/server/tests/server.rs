@@ -741,3 +741,200 @@ fn shutdown_request_stops_the_server_gracefully() {
     };
     assert!(refused, "server still serving after shutdown");
 }
+
+// --------------------------------------------------------------- metrics
+
+/// The `{"type": "metrics"}` scrape is the observability tentpole: one
+/// v2 request must surface engine, store, and server instrumentation in
+/// a single registry snapshot.
+#[test]
+fn metrics_scrape_covers_the_whole_stack_over_live_tcp() {
+    let (handle, join) = start(engine());
+    let mut c = Client::connect(&handle);
+
+    // hello advertises the feature before anyone relies on it
+    let hello = c.roundtrip(r#"{"v": 2, "type": "hello"}"#);
+    assert!(ok(&hello));
+    let features = hello
+        .as_object()
+        .unwrap()
+        .get("features")
+        .unwrap()
+        .as_array()
+        .unwrap();
+    assert!(
+        features.contains(&Value::String("metrics".into())),
+        "hello must advertise the metrics feature: {features:?}"
+    );
+
+    // generate traffic across request types: two identical queries (the
+    // second hits the welfare cache) plus a batch
+    assert!(ok(&c.roundtrip(Q1)));
+    assert!(ok(&c.roundtrip(Q1)));
+    let batch = format!(r#"{{"type": "batch", "queries": [{Q1}, {Q2}]}}"#);
+    assert!(ok(&c.roundtrip(&batch)));
+
+    let r = c.roundtrip(r#"{"v": 2, "type": "metrics"}"#);
+    assert!(ok(&r), "metrics scrape failed: {r:?}");
+    let obj = r.as_object().unwrap();
+    assert_eq!(uint(obj.get("v")), Some(2));
+    let snap = cwelmax_obs::Snapshot::from_value(obj.get("metrics").unwrap())
+        .expect("metrics payload round-trips into a Snapshot");
+
+    // server layer: accepts, per-type request latency
+    assert_eq!(snap.counters["server.connections"], 1);
+    assert!(snap.counters["server.requests_total"] >= 4);
+    assert!(snap.histograms["server.request_ns.query"].count >= 2);
+    assert_eq!(snap.histograms["server.request_ns.batch"].count, 1);
+    assert_eq!(snap.histograms["server.request_ns.hello"].count, 1);
+
+    // engine layer: query latency and welfare-cache hit/miss traffic
+    assert!(snap.counters["engine.queries"] >= 2);
+    assert!(snap.histograms["engine.query_ns"].count >= 2);
+    assert!(snap.histograms["engine.query_ns"].sum > 0);
+    assert!(snap.histograms["engine.batch_ns"].count >= 1);
+    assert!(
+        snap.counters["engine.welfare_cache_hits"] >= 1,
+        "repeating an identical query must hit the welfare cache"
+    );
+    assert!(snap.counters["engine.welfare_cache_misses"] >= 1);
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+/// v1 never learns new request types: `{"type": "metrics"}` without
+/// `"v": 2` gets the exact legacy unknown-type error, and the v1 stats
+/// body stays free of the new latency percentile fields.
+#[test]
+fn metrics_and_percentiles_stay_out_of_the_v1_dialect() {
+    let (handle, join) = start(engine());
+    let mut c = Client::connect(&handle);
+    assert!(ok(&c.roundtrip(Q1)));
+
+    let r = c.roundtrip(r#"{"type": "metrics"}"#);
+    assert!(!ok(&r));
+    assert_eq!(error_text(&r), "unknown request type `metrics`");
+
+    let v1 = c.roundtrip(r#"{"type": "stats"}"#);
+    assert!(ok(&v1));
+    let server = v1
+        .as_object()
+        .unwrap()
+        .get("server")
+        .unwrap()
+        .as_object()
+        .unwrap();
+    assert!(server.get("mean_latency_seconds").is_some());
+    assert!(
+        server.get("latency_p50_ns").is_none(),
+        "v1 stats bytes must not grow new fields"
+    );
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+/// v2 stats report histogram-backed latency percentiles that are
+/// ordered and consistent with the recorded request traffic.
+#[test]
+fn v2_stats_report_ordered_latency_percentiles() {
+    let (handle, join) = start(engine());
+    let mut c = Client::connect(&handle);
+    for _ in 0..3 {
+        assert!(ok(&c.roundtrip(Q1)));
+    }
+    let r = c.roundtrip(r#"{"v": 2, "type": "stats"}"#);
+    assert!(ok(&r));
+    let server = r
+        .as_object()
+        .unwrap()
+        .get("server")
+        .unwrap()
+        .as_object()
+        .unwrap();
+    let p50 = uint(server.get("latency_p50_ns")).expect("v2 stats carry latency_p50_ns");
+    let p99 = uint(server.get("latency_p99_ns")).expect("v2 stats carry latency_p99_ns");
+    let max = uint(server.get("latency_max_ns")).expect("v2 stats carry latency_max_ns");
+    assert!(p50 > 0, "three real queries cannot all take zero time");
+    assert!(p50 <= p99, "p50 {p50} must not exceed p99 {p99}");
+    assert!(p99 <= max, "p99 {p99} must not exceed max {max}");
+    assert_eq!(uint(server.get("requests")), Some(3));
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+/// Connection lifecycle and error paths speak through the structured
+/// logger: debug level shows conn_open/conn_closed NDJSON events with
+/// correlating connection ids.
+#[test]
+fn structured_logger_traces_connection_lifecycle() {
+    use std::sync::Mutex;
+
+    #[derive(Clone, Default)]
+    struct Buf(Arc<Mutex<Vec<u8>>>);
+    impl Write for Buf {
+        fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(b);
+            Ok(b.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let buf = Buf::default();
+    let logger = Arc::new(cwelmax_obs::Logger::with_sink(
+        cwelmax_obs::Level::Debug,
+        Box::new(buf.clone()),
+    ));
+    // an aggressive slow-query threshold so real queries trip it
+    logger.set_slow_query_ns(1);
+
+    let server = CampaignServer::bind(engine(), "127.0.0.1:0")
+        .unwrap()
+        .with_logger(logger);
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().unwrap());
+
+    let mut c = Client::connect(&handle);
+    assert!(ok(&c.roundtrip(Q1)));
+    drop(c); // EOF closes the connection
+             // the worker thread logs conn_closed after the socket drops; give it
+             // a moment before shutting down
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    handle.shutdown();
+    join.join().unwrap();
+
+    let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+    let events: Vec<Value> = text
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("every log line is valid JSON"))
+        .collect();
+    let with_event = |name: &str| -> Vec<&Value> {
+        events
+            .iter()
+            .filter(|e| e.as_object().unwrap().get("event") == Some(&Value::String(name.into())))
+            .collect()
+    };
+    let opens = with_event("conn_open");
+    let closes = with_event("conn_closed");
+    assert_eq!(opens.len(), 1, "one connection, one conn_open: {text}");
+    assert_eq!(closes.len(), 1, "one connection, one conn_closed: {text}");
+    // open and close correlate through the same connection id
+    assert_eq!(
+        opens[0].as_object().unwrap().get("conn"),
+        closes[0].as_object().unwrap().get("conn")
+    );
+    // the 1ns threshold makes every request a slow query
+    let slow = with_event("slow_query");
+    assert!(!slow.is_empty(), "expected slow_query events in: {text}");
+    let slow_obj = slow[0].as_object().unwrap();
+    assert!(uint(slow_obj.get("elapsed_ns")).unwrap() >= 1);
+    assert_eq!(
+        slow_obj.get("request_type"),
+        Some(&Value::String("query".into()))
+    );
+    assert_eq!(slow_obj.get("level"), Some(&Value::String("warn".into())));
+}

@@ -27,6 +27,7 @@ use cwelmax_engine::{
     ConditionedView, EngineBuilder, EngineError, IndexBackend, IndexMeta, RrIndex, StorageStats,
 };
 use cwelmax_graph::NodeId;
+use cwelmax_obs::{Counter, Histogram, MetricsRegistry};
 use cwelmax_rrset::collection::{greedy_argmax, GreedySelection};
 use cwelmax_rrset::condition_parts;
 use std::path::{Path, PathBuf};
@@ -73,8 +74,13 @@ pub trait FromStore {
 impl FromStore for EngineBuilder {
     fn from_store(dir: impl AsRef<Path>) -> EngineBuilder {
         let dir = dir.as_ref().to_path_buf();
-        EngineBuilder::from_backend_fn(move || {
-            Ok(Arc::new(ShardedIndex::open(dir)?) as Arc<dyn IndexBackend>)
+        // the opener receives the builder's registry, so the store's
+        // fault counters land next to the engine's query counters
+        EngineBuilder::from_backend_fn(move |metrics| {
+            Ok(
+                Arc::new(ShardedIndex::open_with_metrics(dir, Arc::clone(metrics))?)
+                    as Arc<dyn IndexBackend>,
+            )
         })
     }
 }
@@ -272,16 +278,45 @@ pub struct ShardedIndex {
     loaded: AtomicU64,
     /// Manifest + declared shard file bytes.
     bytes_on_disk: u64,
+    /// The registry the fault metrics below live in (shared with the
+    /// engine when opened through `EngineBuilder::from_store`).
+    metrics: Arc<MetricsRegistry>,
+    /// Shard-file fault attempts (each shard faults at most once —
+    /// success and failure are both cached).
+    shard_faults: Arc<Counter>,
+    /// Fault attempts that failed (missing file, CRC mismatch, identity
+    /// mismatch) — a flaky disk shows up here, not just as slow queries.
+    shard_fault_errors: Arc<Counter>,
+    /// Bytes read from shard files (counted even when validation then
+    /// rejects them).
+    shard_fault_bytes: Arc<Counter>,
+    /// Wall-clock fault duration (read + validate + freeze), per attempt.
+    shard_fault_ns: Arc<Histogram>,
 }
 
 impl ShardedIndex {
     /// Open a store by reading and validating **only** its manifest —
     /// `O(manifest)` work no matter how large the index is. Shard files
     /// are not read, not even `stat`ed, until a query touches them.
+    /// Records into a private registry; serving paths use
+    /// [`ShardedIndex::open_with_metrics`] to share the stack's.
     pub fn open(dir: impl AsRef<Path>) -> Result<ShardedIndex, EngineError> {
+        ShardedIndex::open_with_metrics(dir, MetricsRegistry::new())
+    }
+
+    /// [`ShardedIndex::open`], recording fault metrics (and the manifest
+    /// open time, `store.manifest_open_ns`) into the given registry.
+    pub fn open_with_metrics(
+        dir: impl AsRef<Path>,
+        metrics: Arc<MetricsRegistry>,
+    ) -> Result<ShardedIndex, EngineError> {
+        let start = std::time::Instant::now();
         let dir = dir.as_ref().to_path_buf();
         let bytes = std::fs::read(dir.join(MANIFEST_FILE))?;
         let manifest = Manifest::from_bytes(&bytes)?;
+        metrics
+            .histogram("store.manifest_open_ns")
+            .record_since(start);
         let shard_bytes: u64 = manifest.shards.iter().map(|s| s.file_bytes).sum();
         let slots = (0..manifest.shards.len())
             .map(|_| OnceLock::new())
@@ -292,7 +327,22 @@ impl ShardedIndex {
             slots,
             loaded: AtomicU64::new(0),
             bytes_on_disk: shard_bytes + bytes.len() as u64,
+            shard_faults: metrics.counter("store.shard_faults"),
+            shard_fault_errors: metrics.counter("store.shard_fault_errors"),
+            shard_fault_bytes: metrics.counter("store.shard_fault_bytes"),
+            shard_fault_ns: metrics.histogram("store.shard_fault_ns"),
+            metrics,
         })
+    }
+
+    /// The registry this store records into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Fault attempts that failed so far (tests and health checks).
+    pub fn shard_fault_errors(&self) -> u64 {
+        self.shard_fault_errors.get()
     }
 
     /// Build metadata (identical in meaning to a snapshot's).
@@ -362,9 +412,20 @@ impl ShardedIndex {
             ))
         })?;
         let result = slot.get_or_init(|| {
-            let loaded = self.load_shard(k)?;
-            self.loaded.fetch_add(1, Ordering::Relaxed);
-            Ok(Arc::new(loaded))
+            self.shard_faults.incr();
+            let start = std::time::Instant::now();
+            let loaded = self.load_shard(k);
+            self.shard_fault_ns.record_since(start);
+            match loaded {
+                Ok(idx) => {
+                    self.loaded.fetch_add(1, Ordering::Relaxed);
+                    Ok(Arc::new(idx))
+                }
+                Err(e) => {
+                    self.shard_fault_errors.incr();
+                    Err(e)
+                }
+            }
         });
         match result {
             Ok(idx) => Ok(idx.clone()),
@@ -381,6 +442,7 @@ impl ShardedIndex {
     fn load_shard(&self, k: usize) -> Result<RrIndex, EngineError> {
         let info = &self.manifest.shards[k];
         let bytes = std::fs::read(shard_path(&self.dir, k))?;
+        self.shard_fault_bytes.add(bytes.len() as u64);
         if bytes.len() as u64 != info.file_bytes {
             return Err(EngineError::Corrupt(format!(
                 "shard {k}: file is {} bytes, manifest declares {}",

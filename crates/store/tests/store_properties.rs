@@ -153,13 +153,18 @@ proptest! {
 
         let store = ShardedIndex::open(&dir).unwrap();
         prop_assert_eq!(store.pool(), &idx.greedy_select(4).seeds[..]);
+        prop_assert_eq!(store.shard_fault_errors(), 0, "no faults attempted yet");
         match store.shard(victim) {
             Err(EngineError::Corrupt(_)) | Err(EngineError::UnsupportedVersion(_)) => {}
             Ok(_) => prop_assert!(false, "flipped shard {} accepted", victim),
             Err(e) => prop_assert!(false, "unexpected error kind: {}", e),
         }
-        // the error is cached, not flapping
+        // the failed fault is counted — a flaky disk is visible in
+        // metrics, not only in per-query errors
+        prop_assert_eq!(store.shard_fault_errors(), 1);
+        // the error is cached, not flapping — and not double-counted
         prop_assert!(store.shard(victim).is_err());
+        prop_assert_eq!(store.shard_fault_errors(), 1);
         // every sibling still loads and serves its share of the data
         for k in (0..shards).filter(|&k| k != victim) {
             let sh = store.shard(k).unwrap_or_else(|e| {
@@ -170,6 +175,13 @@ proptest! {
             prop_assert!(probe.is_finite());
         }
         prop_assert_eq!(store.shards_loaded(), shards - 1);
+        // the registry view agrees with the accessors: every shard was
+        // faulted exactly once, one fault failed, duration was measured
+        let snap = store.metrics().snapshot();
+        prop_assert_eq!(snap.counters["store.shard_faults"], shards as u64);
+        prop_assert_eq!(snap.counters["store.shard_fault_errors"], 1);
+        prop_assert!(snap.counters["store.shard_fault_bytes"] > 0);
+        prop_assert_eq!(snap.histograms["store.shard_fault_ns"].count, shards as u64);
         // whole-index operations over a damaged store are errors, not UB
         prop_assert!(store.coverage_of(&[0]).is_err());
         prop_assert!(store.greedy_select(2).is_err());

@@ -75,7 +75,9 @@
 //!
 //! ```text
 //! cwelmax serve --graph edges.txt --index index.cwrx \
-//!         [--addr 127.0.0.1:7878] [--cache-cap N] [--max-conns N]
+//!         [--addr 127.0.0.1:7878] [--cache-cap N] [--max-conns N] \
+//!         [--log-level error|warn|info|debug|trace] [--slow-query-ms N] \
+//!         [--metrics-dump SECS] [--metrics-file PATH]
 //! cwelmax serve --graph edges.txt --store index.store [...]
 //! ```
 //!
@@ -94,6 +96,13 @@
 //! busy" line instead of spawning unbounded threads. See
 //! `cwelmax_engine::wire`.
 //!
+//! Observability: `{"v": 2, "type": "metrics"}` scrapes the full metrics
+//! registry (counters, gauges, latency histograms across engine, store,
+//! and server); `--metrics-dump SECS` appends the same snapshot as one
+//! NDJSON line every `SECS` seconds to `--metrics-file` (stderr when
+//! omitted). `--log-level` tunes the structured NDJSON logger (default
+//! `warn`); `--slow-query-ms N` logs any request slower than `N` ms.
+//!
 //! Prints the chosen allocation(s), estimated welfare and per-item
 //! adoption counts; `--json` switches to machine-readable output.
 
@@ -103,6 +112,7 @@ use cwelmax::diffusion::SimulationConfig;
 use cwelmax::engine::wire::Protocol;
 use cwelmax::engine::{self, wire, CampaignEngine, CampaignQuery, RrIndex};
 use cwelmax::graph::{io as graph_io, ProbabilityModel};
+use cwelmax::obs;
 use cwelmax::prelude::*;
 use cwelmax::rrset::ImmParams;
 use cwelmax::server::CampaignServer;
@@ -469,6 +479,10 @@ fn cmd_serve(argv: Vec<String>) {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut cache_cap: Option<usize> = None;
     let mut max_conns: Option<usize> = None;
+    let mut log_level = "warn".to_string();
+    let mut slow_query_ms: Option<u64> = None;
+    let mut metrics_dump_secs: Option<u64> = None;
+    let mut metrics_file: Option<String> = None;
     let mut f = Flags::new(argv);
     while let Some(flag) = f.next_flag() {
         match flag.as_str() {
@@ -478,17 +492,42 @@ fn cmd_serve(argv: Vec<String>) {
             "--addr" => addr = f.value("--addr"),
             "--cache-cap" => cache_cap = Some(f.parsed("--cache-cap")),
             "--max-conns" => max_conns = Some(f.parsed("--max-conns")),
+            "--log-level" => log_level = f.value("--log-level"),
+            "--slow-query-ms" => slow_query_ms = Some(f.parsed("--slow-query-ms")),
+            "--metrics-dump" => metrics_dump_secs = Some(f.parsed("--metrics-dump")),
+            "--metrics-file" => metrics_file = Some(f.value("--metrics-file")),
             other => die(&format!("unknown `serve` argument `{other}`")),
         }
     }
     let graph_path = graph_path.unwrap_or_else(|| die("--graph is required"));
     let source = resolve_source(index_path, store_path);
+    let level: obs::Level = log_level
+        .parse()
+        .unwrap_or_else(|e: String| die(&format!("bad --log-level: {e}")));
+    let logger = Arc::new(obs::Logger::new(level));
+    if let Some(ms) = slow_query_ms {
+        logger.set_slow_query_ns(ms.saturating_mul(1_000_000));
+    }
 
     let engine = load_engine(&graph_path, &source, cache_cap);
     let mut server = CampaignServer::bind(Arc::new(engine), addr.as_str())
-        .unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")));
+        .unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")))
+        .with_logger(Arc::clone(&logger));
     if let Some(n) = max_conns {
         server = server.with_max_conns(n);
+    }
+    // periodic registry snapshots, one NDJSON line each, until the
+    // server stops (the dump thread is a daemon: detached on purpose)
+    if let Some(secs) = metrics_dump_secs {
+        let registry = server.metrics();
+        let path = metrics_file.clone();
+        std::thread::spawn(move || {
+            let period = std::time::Duration::from_secs(secs.max(1));
+            loop {
+                std::thread::sleep(period);
+                dump_metrics_line(&registry, path.as_deref());
+            }
+        });
     }
     // announce readiness on stdout so drivers (tests, CI) can wait for it
     println!("cwelmax-serve listening on {}", server.local_addr());
@@ -498,6 +537,33 @@ fn cmd_serve(argv: Vec<String>) {
         .run()
         .unwrap_or_else(|e| die(&format!("server failed: {e}")));
     eprintln!("cwelmax-serve: shut down");
+}
+
+/// Append one `{"ts_ms": …, "metrics": {…}}` NDJSON line to `path` (or
+/// stderr when no `--metrics-file` is given). Failures are reported but
+/// never take the server down — metrics are best-effort by design.
+fn dump_metrics_line(registry: &obs::MetricsRegistry, path: Option<&str>) {
+    use std::io::Write as _;
+    let ts_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let mut m = serde::Map::new();
+    m.insert("ts_ms".into(), serde::Serialize::to_value(&ts_ms));
+    m.insert("metrics".into(), registry.snapshot().to_value());
+    let mut line = serde_json::to_string(&serde::Value::Object(m)).unwrap();
+    line.push('\n');
+    let result = match path {
+        Some(p) => std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(p)
+            .and_then(|mut f| f.write_all(line.as_bytes())),
+        None => std::io::stderr().write_all(line.as_bytes()),
+    };
+    if let Err(e) = result {
+        eprintln!("warning: metrics dump failed: {e}");
+    }
 }
 
 fn main() {

@@ -14,6 +14,9 @@
 //!   RR sets);
 //! * [`core`] — the CWelMax algorithms (SeqGRD, SeqGRD-NM, MaxGRD, SupGRD)
 //!   and all baselines;
+//! * [`obs`] — std-only observability kit: metrics registry, lock-free
+//!   log2-bucket latency histograms, and a structured NDJSON logger,
+//!   shared by engine, store, and server;
 //! * [`engine`] — persistent RR-set index (versioned, checksummed
 //!   snapshots) and the multi-campaign query engine that answers many
 //!   allocation queries over one prebuilt index without resampling;
@@ -48,6 +51,7 @@ pub use cwelmax_core as core;
 pub use cwelmax_diffusion as diffusion;
 pub use cwelmax_engine as engine;
 pub use cwelmax_graph as graph;
+pub use cwelmax_obs as obs;
 pub use cwelmax_rrset as rrset;
 pub use cwelmax_server as server;
 pub use cwelmax_store as store;
