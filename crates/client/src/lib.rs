@@ -266,11 +266,14 @@ impl CwelmaxClient {
         // (most importantly the accept-time `--max-conns` busy line,
         // which arrives before the server ever reads our hello) and must
         // surface, not masquerade as a v1 fallback on a dead socket.
-        let err = failure_of(obj).expect("ok != true implies an error payload");
-        if err.message.contains("unknown request type") {
-            Ok(None)
-        } else {
-            Err(ClientError::Server(err))
+        match failure_of(obj) {
+            Some(err) if err.message.contains("unknown request type") => Ok(None),
+            Some(err) => Err(ClientError::Server(err)),
+            // a non-ok line with no error payload is a server this
+            // client does not understand — a protocol error, not a panic
+            None => Err(ClientError::Protocol(
+                "non-ok hello response without an error payload".into(),
+            )),
         }
     }
 
@@ -328,9 +331,12 @@ impl CwelmaxClient {
 
     /// Answer one campaign query (fresh or SP-conditioned).
     pub fn query(&mut self, q: &CampaignQuery) -> Result<RemoteAnswer, ClientError> {
-        let mut obj = match wire::query_to_value(q) {
-            Value::Object(m) => m,
-            _ => unreachable!("query_to_value returns an object"),
+        let Value::Object(mut obj) = wire::query_to_value(q) else {
+            // query_to_value returns an object today; if that ever
+            // changes, fail the one query instead of the process
+            return Err(ClientError::Protocol(
+                "query serialized to a non-object value".into(),
+            ));
         };
         if self.negotiated.is_some() {
             obj.insert("v".into(), Value::UInt(wire::PROTOCOL_VERSION));

@@ -231,7 +231,7 @@ impl ConditionedCache {
         nodes.dedup();
         let key = sp_fingerprint(&nodes);
         let mut collision = false;
-        if let Some(v) = self.views.lock().unwrap().get(&key) {
+        if let Some(v) = crate::lock_recover(&self.views).get(&key) {
             if v.sp_nodes() == nodes {
                 return Ok((v.clone(), true));
             }
@@ -239,7 +239,7 @@ impl ConditionedCache {
         }
         let view = Arc::new(derive(&nodes)?);
         if !collision {
-            self.views.lock().unwrap().insert(key, view.clone());
+            crate::lock_recover(&self.views).insert(key, view.clone());
         }
         Ok((view, false))
     }
@@ -257,12 +257,12 @@ impl ConditionedCache {
 
     /// Number of views currently cached.
     pub fn len(&self) -> usize {
-        self.views.lock().unwrap().len()
+        crate::lock_recover(&self.views).len()
     }
 
     /// True when no view is cached.
     pub fn is_empty(&self) -> bool {
-        self.views.lock().unwrap().is_empty()
+        crate::lock_recover(&self.views).is_empty()
     }
 }
 

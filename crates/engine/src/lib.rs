@@ -76,6 +76,16 @@ pub mod snapshot;
 pub mod wire;
 
 pub use backend::{IndexBackend, StorageStats};
+
+/// Lock `m`, recovering the guard when a previous holder panicked.
+/// Every critical section over the engine's mutexes (welfare-cache
+/// get/insert, conditioned-view cache, logger swap) leaves the guarded
+/// structure valid, so continuing with the data is always sound — and a
+/// poisoned cache must degrade to a cache miss, never take the serving
+/// path down (the `no-panic-in-serving` invariant).
+pub(crate) fn lock_recover<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 pub use builder::EngineBuilder;
 pub use conditioned::{sp_fingerprint, validated_sp_nodes, ConditionedCache, ConditionedView};
 pub use engine::{model_fingerprint, CampaignEngine, EngineStats};

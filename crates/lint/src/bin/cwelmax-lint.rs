@@ -1,0 +1,102 @@
+//! The `cwelmax-lint` command-line front-end.
+//!
+//! ```text
+//! cwelmax-lint check [--json] [--root DIR]    lint the workspace; exit 1 on findings
+//! cwelmax-lint golden [--write] [--root DIR]  print or refresh the wire-v1 pin file
+//! cwelmax-lint rules                          list the rule catalog
+//! ```
+//!
+//! `--root` defaults to the current directory, which is the workspace
+//! root under `cargo run -p cwelmax-lint`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut json = false;
+    let mut write = false;
+    let mut root = PathBuf::from(".");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "check" | "golden" | "rules" if cmd.is_none() => cmd = Some(a.clone()),
+            "--json" => json = true,
+            "--write" => write = true,
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let result = match cmd.as_deref() {
+        Some("check") => check(&root, json),
+        Some("golden") => golden(&root, write),
+        Some("rules") => {
+            for (name, what) in cwelmax_lint::rules::RULES {
+                println!("{name:32} {what}");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => return usage("expected a subcommand: check | golden | rules"),
+    };
+    result.unwrap_or_else(|e| {
+        eprintln!("cwelmax-lint: {e}");
+        ExitCode::from(2)
+    })
+}
+
+fn check(root: &Path, json: bool) -> std::io::Result<ExitCode> {
+    let report = cwelmax_lint::run_lint(root)?;
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        if report.clean() {
+            println!(
+                "cwelmax-lint: {} files clean ({} rules)",
+                report.files_checked,
+                cwelmax_lint::rules::RULES.len()
+            );
+        } else {
+            println!(
+                "cwelmax-lint: {} diagnostic(s) across {} files",
+                report.diagnostics.len(),
+                report.files_checked
+            );
+        }
+    }
+    Ok(if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn golden(root: &Path, write: bool) -> std::io::Result<ExitCode> {
+    let pins = cwelmax_lint::wire_pin_actual(root)?;
+    let body = cwelmax_lint::golden_body(&pins);
+    if write {
+        let path = root.join(cwelmax_lint::GOLDEN_PATH);
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(&path, &body)?;
+        println!("wrote {} pins to {}", pins.len(), path.display());
+    } else {
+        print!("{body}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("cwelmax-lint: {msg}");
+    eprintln!("usage: cwelmax-lint check [--json] [--root DIR]");
+    eprintln!("       cwelmax-lint golden [--write] [--root DIR]");
+    eprintln!("       cwelmax-lint rules");
+    ExitCode::from(2)
+}

@@ -1,0 +1,600 @@
+//! A lightweight Rust lexer for invariant lints.
+//!
+//! This is not a full Rust grammar — it is exactly the token model the
+//! rules in [`crate::rules`] need, with three properties a grep cannot
+//! give them:
+//!
+//! * **position tracking** — every token and comment carries a 1-based
+//!   `line:col`, so diagnostics point at the offending token, not the
+//!   file;
+//! * **string/comment awareness** — `".unwrap()"` inside a string
+//!   literal or a doc comment is a [`TokKind::Str`]/[`Comment`], never a
+//!   spurious identifier match (raw strings, byte strings, char
+//!   literals, lifetimes, and nested block comments are all handled);
+//! * **`#[cfg(test)]` awareness** — tokens inside a `#[cfg(test)]`-gated
+//!   item (module, function, or `use`) are flagged `in_test`, so rules
+//!   that exempt test code (panics, prints) can do so structurally
+//!   instead of by filename heuristics.
+//!
+//! Comments are lexed into a separate side table rather than discarded:
+//! the suppression machinery (`// lint:allow(rule) -- reason`) and the
+//! atomics rule's `// seqcst:` justifications both read them.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `Ordering`, `unsafe`, …).
+    Ident,
+    /// A single punctuation character (`.`, `!`, `:`, `{`, …).
+    Punct,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`). The text
+    /// is the **verbatim source slice**, prefix and quotes included.
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal (`42`, `0x5EED`, `1.5e3`).
+    Num,
+}
+
+/// One source token with its position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    /// Verbatim source text (for [`TokKind::Punct`] a single character).
+    pub text: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in characters).
+    pub col: u32,
+    /// True when the token sits inside a `#[cfg(test)]`-gated item.
+    pub in_test: bool,
+}
+
+/// One comment (line or block) with its position.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment body without the `//` / `/* */` markers, untrimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based column of the opening marker.
+    pub col: u32,
+}
+
+/// A lexed source file: the token stream plus the comment side table.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `src`. Never fails: unterminated constructs are consumed to EOF,
+/// which is the forgiving behavior a linter wants (rustc owns syntax
+/// errors; we only need to not mis-tokenize valid code).
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lx = Lexer {
+        chars,
+        i: 0,
+        line: 1,
+        col: 1,
+        out: Lexed::default(),
+    };
+    lx.run();
+    mark_cfg_test_regions(&mut lx.out.tokens);
+    lx.out
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+            in_test: false,
+        });
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line, col),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line, col),
+                '"' => self.string(String::new(), line, col),
+                'r' | 'b' if self.raw_or_byte_string(line, col) => {}
+                '\'' => self.char_or_lifetime(line, col),
+                c if c.is_alphabetic() || c == '_' => self.ident(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line, col);
+                }
+            }
+        }
+    }
+
+    fn line_comment(&mut self, line: u32, col: u32) {
+        self.bump();
+        self.bump(); // consume `//`
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { text, line, col });
+    }
+
+    fn block_comment(&mut self, line: u32, col: u32) {
+        self.bump();
+        self.bump(); // consume `/*`
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment { text, line, col });
+    }
+
+    /// Ordinary (escaped) string body; `prefix` already consumed into
+    /// `text` for byte strings. Consumes the opening quote itself.
+    fn string(&mut self, mut text: String, line: u32, col: u32) {
+        text.push('"');
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '\\' {
+                if let Some(esc) = self.bump() {
+                    text.push(esc);
+                }
+            } else if c == '"' {
+                break;
+            }
+        }
+        self.push(TokKind::Str, text, line, col);
+    }
+
+    /// Handle `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, and raw identifiers
+    /// (`r#type`). Returns false when the `r`/`b` is just the start of a
+    /// plain identifier, leaving the cursor untouched.
+    fn raw_or_byte_string(&mut self, line: u32, col: u32) -> bool {
+        let c0 = self.peek(0).unwrap_or_default();
+        // b"…" / b'…'
+        if c0 == 'b' {
+            match self.peek(1) {
+                Some('"') => {
+                    self.bump(); // the b
+                    self.string(String::from("b"), line, col);
+                    return true;
+                }
+                Some('\'') => {
+                    self.bump(); // the b
+                    self.byte_char(line, col);
+                    return true;
+                }
+                Some('r') => {
+                    // br"…" / br#"…"#
+                    let mut k = 2;
+                    while self.peek(k) == Some('#') {
+                        k += 1;
+                    }
+                    if self.peek(k) == Some('"') {
+                        self.bump();
+                        self.bump(); // br
+                        self.raw_string(String::from("br"), line, col);
+                        return true;
+                    }
+                    return false;
+                }
+                _ => return false,
+            }
+        }
+        // r"…" / r#"…"# / r#ident
+        let mut k = 1;
+        while self.peek(k) == Some('#') {
+            k += 1;
+        }
+        match self.peek(k) {
+            Some('"') => {
+                self.bump(); // the r
+                self.raw_string(String::from("r"), line, col);
+                true
+            }
+            // raw identifier r#type: lex as the ident `type`
+            Some(c) if k == 2 && (c.is_alphabetic() || c == '_') => {
+                self.bump();
+                self.bump(); // r#
+                self.ident(line, col);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Raw-string body: `prefix` is the consumed `r`/`br`; the cursor
+    /// sits on the first `#` or the opening quote.
+    fn raw_string(&mut self, mut text: String, line: u32, col: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            text.push('#');
+            self.bump();
+        }
+        text.push('"');
+        self.bump(); // opening quote
+        'body: while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        continue 'body;
+                    }
+                }
+                for _ in 0..hashes {
+                    text.push('#');
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokKind::Str, text, line, col);
+    }
+
+    /// `b'x'` byte literal; cursor on the opening quote.
+    fn byte_char(&mut self, line: u32, col: u32) {
+        let mut text = String::from("b");
+        text.push('\'');
+        self.bump();
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '\\' {
+                if let Some(esc) = self.bump() {
+                    text.push(esc);
+                }
+            } else if c == '\'' {
+                break;
+            }
+        }
+        self.push(TokKind::Char, text, line, col);
+    }
+
+    /// Disambiguate `'a'` (char) from `'a` (lifetime): a backslash after
+    /// the quote is always a char; otherwise it is a char exactly when
+    /// the second-next character closes the quote.
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        if self.peek(1) == Some('\\') || self.peek(2) == Some('\'') {
+            let mut text = String::new();
+            text.push('\'');
+            self.bump();
+            while let Some(c) = self.bump() {
+                text.push(c);
+                if c == '\\' {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                } else if c == '\'' {
+                    break;
+                }
+            }
+            self.push(TokKind::Char, text, line, col);
+        } else {
+            let mut text = String::from("'");
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, text, line, col);
+        }
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line, col);
+    }
+
+    /// Numeric literal. Consumes alphanumerics and `_` (covering hex,
+    /// suffixes, exponents), plus a `.` only when a digit follows — so
+    /// `1.0` is one token but `1.max(2)` stops before the dot.
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            let in_literal = c.is_alphanumeric()
+                || c == '_'
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()));
+            if !in_literal {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Num, text, line, col);
+    }
+}
+
+/// Second pass: flag every token inside a `#[cfg(test)]`-gated item as
+/// `in_test`. The gated item is whatever follows the attribute (skipping
+/// further attributes): a braced region (`mod tests { … }`, `fn x() { … }`)
+/// is flagged to its matching close brace; a semicolon-terminated item
+/// (`use …;`) to the semicolon. Only the literal `cfg(test)` form is
+/// recognized — the workspace does not use `cfg(any(test, …))`, and the
+/// conservative failure mode (not flagging) makes rules stricter, never
+/// looser.
+fn mark_cfg_test_regions(tokens: &mut [Token]) {
+    let n = tokens.len();
+    let mut i = 0;
+    while i < n {
+        if is_cfg_test_at(tokens, i) {
+            // skip the attribute itself: `#` `[` cfg `(` test `)` `]`
+            let mut j = i + 7;
+            // skip any further attributes stacked on the same item
+            while j < n && tokens[j].text == "#" && tokens.get(j + 1).is_some_and(|t| t.text == "[")
+            {
+                let mut depth = 0usize;
+                j += 1; // on `[`
+                while j < n {
+                    match tokens[j].text.as_str() {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            // find the item body: first `{` at this nesting, or a `;`
+            let mut end = j;
+            let mut found_brace = false;
+            while end < n {
+                match tokens[end].text.as_str() {
+                    "{" => {
+                        found_brace = true;
+                        break;
+                    }
+                    ";" => break,
+                    _ => end += 1,
+                }
+            }
+            if found_brace {
+                let mut depth = 0usize;
+                while end < n {
+                    match tokens[end].text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    end += 1;
+                }
+            }
+            for t in tokens.iter_mut().take((end + 1).min(n)).skip(i) {
+                t.in_test = true;
+            }
+            i = (end + 1).min(n);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+fn is_cfg_test_at(tokens: &[Token], i: usize) -> bool {
+    let texts = ["#", "[", "cfg", "(", "test", ")", "]"];
+    tokens.len() >= i + texts.len()
+        && texts
+            .iter()
+            .enumerate()
+            .all(|(k, w)| tokens[i + k].text == *w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts_with_positions() {
+        let lx = lex("let x = a.unwrap();");
+        let unwrap = lx.tokens.iter().find(|t| t.text == "unwrap").unwrap();
+        assert_eq!(unwrap.kind, TokKind::Ident);
+        assert_eq!((unwrap.line, unwrap.col), (1, 11));
+        let dot = lx.tokens.iter().find(|t| t.text == ".").unwrap();
+        assert_eq!(dot.kind, TokKind::Punct);
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let lx = lex("a\nbb\n  ccc");
+        let c = lx.tokens.iter().find(|t| t.text == "ccc").unwrap();
+        assert_eq!((c.line, c.col), (3, 3));
+    }
+
+    #[test]
+    fn strings_swallow_code_like_text() {
+        let t = texts(r#"let s = ".unwrap()"; s"#);
+        assert!(!t.contains(&"unwrap".to_string()));
+        assert!(t.contains(&"\".unwrap()\"".to_string()));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let lx = lex(r#"f("a\"b.unwrap()"); g()"#);
+        assert!(lx.tokens.iter().all(|t| t.text != "unwrap"));
+        assert!(lx.tokens.iter().any(|t| t.text == "g"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let lx = lex(r###"let s = r#"panic!("x")"#; done"###);
+        assert!(lx.tokens.iter().all(|t| t.text != "panic"));
+        assert!(lx.tokens.iter().any(|t| t.text == "done"));
+        let s = lx.tokens.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert_eq!(s.text, r###"r#"panic!("x")"#"###);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let lx = lex(r#"let a = b"CWSM"; let c = b'\n'; tail"#);
+        assert_eq!(
+            lx.tokens.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1
+        );
+        assert_eq!(
+            lx.tokens.iter().filter(|t| t.kind == TokKind::Char).count(),
+            1
+        );
+        assert!(lx.tokens.iter().any(|t| t.text == "tail"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lx = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert_eq!(
+            lx.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Lifetime)
+                .count(),
+            3
+        );
+        assert!(lx.tokens.iter().all(|t| t.kind != TokKind::Char));
+        // …and char literals are not lifetimes
+        let lx = lex("let c = 'x'; let n = '\\n';");
+        assert_eq!(
+            lx.tokens.iter().filter(|t| t.kind == TokKind::Char).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn comments_are_lexed_aside_not_tokenized() {
+        let lx = lex("a(); // trailing .unwrap() mention\n/* block\npanic! */ b();");
+        assert!(lx.tokens.iter().all(|t| t.text != "unwrap"));
+        assert!(lx.tokens.iter().all(|t| t.text != "panic"));
+        assert_eq!(lx.comments.len(), 2);
+        assert_eq!(lx.comments[0].line, 1);
+        assert!(lx.comments[0].text.contains("trailing"));
+        assert_eq!(lx.comments[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lx = lex("/* outer /* inner */ still comment */ code();");
+        assert!(lx.tokens.iter().any(|t| t.text == "code"));
+        assert!(lx.tokens.iter().all(|t| t.text != "still"));
+        assert_eq!(lx.comments.len(), 1);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_method_calls() {
+        let t = texts("let x = 1.max(2); let h = 0x5EED; let f = 1.5e3;");
+        assert!(t.contains(&"max".to_string()));
+        assert!(t.contains(&"0x5EED".to_string()));
+        assert!(t.contains(&"1.5e3".to_string()));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_flagged() {
+        let src = "fn live() { x.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n\
+                   fn live2() { z.unwrap(); }";
+        let lx = lex(src);
+        let unwraps: Vec<bool> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.text == "unwrap")
+            .map(|t| t.in_test)
+            .collect();
+        assert_eq!(unwraps, vec![false, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_with_stacked_attributes_and_use_items() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn helper() { a.unwrap() }\n\
+                   #[cfg(test)]\nuse std::dbg;\nfn live() {}";
+        let lx = lex(src);
+        let unwrap = lx.tokens.iter().find(|t| t.text == "unwrap").unwrap();
+        assert!(unwrap.in_test);
+        let dbg = lx.tokens.iter().find(|t| t.text == "dbg").unwrap();
+        assert!(dbg.in_test);
+        let live = lx.tokens.iter().find(|t| t.text == "live").unwrap();
+        assert!(!live.in_test);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let t = texts("let r#type = 1; r#type");
+        assert_eq!(t.iter().filter(|s| s.as_str() == "type").count(), 2);
+    }
+}

@@ -1,0 +1,239 @@
+//! # cwelmax-lint
+//!
+//! In-repo static analysis: the invariants this workspace defends with
+//! tests — NaN-safe float ordering, panic-free serving crates, justified
+//! `SeqCst` fences, logger-routed diagnostics, wall-clock-free
+//! deterministic paths, byte-pinned wire-v1 strings — enforced at
+//! analysis time too, so a regression is a red `file:line:col` line in
+//! CI before it is a flaky production incident.
+//!
+//! The analysis is a lightweight Rust lexer ([`lexer`]) feeding a rule
+//! engine ([`rules`]); no rustc internals, no external crates, std only
+//! like the rest of the workspace. Run it as:
+//!
+//! ```text
+//! cargo run -p cwelmax-lint -- check            # human-readable, exit 1 on findings
+//! cargo run -p cwelmax-lint -- check --json     # machine-readable report
+//! cargo run -p cwelmax-lint -- golden --write   # refresh the wire-v1 pin file
+//! cargo run -p cwelmax-lint -- rules            # the rule catalog
+//! ```
+//!
+//! See DESIGN.md §11 for the rule catalog, the suppression syntax, and
+//! the golden-file workflow for intentional wire-v1 changes.
+
+pub mod lexer;
+pub mod rules;
+
+use rules::{Diagnostic, SourceFile, WIRE_V1_PIN};
+use serde::Value;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The committed pin file for `wire-v1-pin`, relative to the workspace
+/// root: every non-test string literal of `engine/src/wire.rs`, encoded
+/// one per line (sorted, deduplicated).
+pub const GOLDEN_PATH: &str = "crates/lint/golden/wire_v1_pins.txt";
+
+/// The pinned file whose literals the golden file freezes.
+pub const WIRE_PATH: &str = "crates/engine/src/wire.rs";
+
+/// Outcome of a full workspace check.
+#[derive(Debug)]
+pub struct LintReport {
+    /// All findings, sorted by `(file, line, col, rule)`.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files analyzed.
+    pub files_checked: usize,
+}
+
+impl LintReport {
+    pub fn clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// The machine-readable report (`--json`): one object with a
+    /// `diagnostics` array of `{file, line, col, rule, message}`.
+    pub fn to_json(&self) -> String {
+        let mut m = serde::Map::new();
+        m.insert("clean".into(), Value::Bool(self.clean()));
+        m.insert(
+            "files_checked".into(),
+            Value::UInt(self.files_checked as u64),
+        );
+        let diags: Vec<Value> = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                let mut o = serde::Map::new();
+                o.insert("file".into(), Value::String(d.file.clone()));
+                o.insert("line".into(), Value::UInt(u64::from(d.line)));
+                o.insert("col".into(), Value::UInt(u64::from(d.col)));
+                o.insert("rule".into(), Value::String(d.rule.to_string()));
+                o.insert("message".into(), Value::String(d.message.clone()));
+                Value::Object(o)
+            })
+            .collect();
+        m.insert("diagnostics".into(), Value::Array(diags));
+        serde_json::to_string(&Value::Object(m)).unwrap_or_else(|_| String::from("{}"))
+    }
+}
+
+/// Lint the whole workspace under `root`: every `.rs` file through the
+/// token rules, plus the `wire-v1-pin` golden-file check.
+pub fn run_lint(root: &Path) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut diagnostics = Vec::new();
+    for rel in &files {
+        let src = fs::read_to_string(root.join(rel))?;
+        let file = SourceFile::new(&rel.to_string_lossy(), &src);
+        diagnostics.extend(rules::check_file(&file));
+    }
+    diagnostics.extend(check_wire_pin(root)?);
+    diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    Ok(LintReport {
+        diagnostics,
+        files_checked: files.len(),
+    })
+}
+
+/// Lint one in-memory source as if it lived at `rel_path` (token rules
+/// and suppressions only — the fixture surface the tests drive).
+pub fn check_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    rules::check_file(&SourceFile::new(rel_path, src))
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // build artifacts and VCS metadata are not workspace sources
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+// ------------------------------------------------------------- wire-v1 pin
+
+/// Encode one string-literal source slice for the golden file: real
+/// newlines and backslashes are escaped so every pin is exactly one
+/// line, and comparisons stay byte-exact.
+fn encode_literal(raw: &str) -> String {
+    raw.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// The current pins: every non-test string literal in
+/// `engine/src/wire.rs` (sorted, deduplicated), each with the line of
+/// its first occurrence.
+pub fn wire_pin_actual(root: &Path) -> io::Result<Vec<(String, u32)>> {
+    let src = fs::read_to_string(root.join(WIRE_PATH))?;
+    let lexed = lexer::lex(&src);
+    let mut pins: Vec<(String, u32)> = Vec::new();
+    for t in &lexed.tokens {
+        if t.kind != lexer::TokKind::Str || t.in_test {
+            continue;
+        }
+        let enc = encode_literal(&t.text);
+        match pins.binary_search_by(|(p, _)| p.as_str().cmp(enc.as_str())) {
+            Ok(_) => {}
+            Err(at) => pins.insert(at, (enc, t.line)),
+        }
+    }
+    Ok(pins)
+}
+
+/// Parse the committed golden file: one encoded literal per line;
+/// `#`-prefixed lines are comments (a literal slice always starts with
+/// `"`, `r`, or `b`, so the prefix is unambiguous).
+pub fn read_golden(root: &Path) -> io::Result<Vec<String>> {
+    let text = fs::read_to_string(root.join(GOLDEN_PATH))?;
+    Ok(text
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect())
+}
+
+/// Render the golden file body from the current pins.
+pub fn golden_body(pins: &[(String, u32)]) -> String {
+    let mut out = String::from(
+        "# wire-v1 pin file — every non-test string literal in crates/engine/src/wire.rs.\n\
+         # A diff here means wire bytes moved. If the change is intentional, regenerate\n\
+         # with `cargo run -p cwelmax-lint -- golden --write` and review the diff in the PR.\n",
+    );
+    for (pin, _) in pins {
+        out.push_str(pin);
+        out.push('\n');
+    }
+    out
+}
+
+/// The `wire-v1-pin` rule: diff the current literals of `wire.rs`
+/// against the committed golden file. Additions point at the literal's
+/// line in `wire.rs`; deletions point at the golden file.
+pub fn check_wire_pin(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let actual = wire_pin_actual(root)?;
+    let golden = match read_golden(root) {
+        Ok(g) => g,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return Ok(vec![Diagnostic {
+                file: GOLDEN_PATH.to_string(),
+                line: 1,
+                col: 1,
+                rule: WIRE_V1_PIN,
+                message: "golden file missing — create it with `cargo run -p cwelmax-lint -- golden --write`"
+                    .into(),
+            }]);
+        }
+        Err(e) => return Err(e),
+    };
+    Ok(diff_pins(&actual, &golden))
+}
+
+/// Pure diff of current pins vs golden entries (exposed for tests).
+pub fn diff_pins(actual: &[(String, u32)], golden: &[String]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (pin, line) in actual {
+        if !golden.iter().any(|g| g == pin) {
+            out.push(Diagnostic {
+                file: WIRE_PATH.to_string(),
+                line: *line,
+                col: 1,
+                rule: WIRE_V1_PIN,
+                message: format!(
+                    "string literal {pin} is not pinned in the golden file — wire bytes may have drifted; \
+                     if intentional run `cargo run -p cwelmax-lint -- golden --write`"
+                ),
+            });
+        }
+    }
+    for g in golden {
+        if !actual.iter().any(|(pin, _)| pin == g) {
+            out.push(Diagnostic {
+                file: GOLDEN_PATH.to_string(),
+                line: 1,
+                col: 1,
+                rule: WIRE_V1_PIN,
+                message: format!(
+                    "pinned literal {g} no longer appears in {WIRE_PATH} — frozen v1 bytes were edited; \
+                     if intentional run `cargo run -p cwelmax-lint -- golden --write`"
+                ),
+            });
+        }
+    }
+    out
+}

@@ -1,0 +1,94 @@
+//! The workspace must lint clean: `cwelmax-lint check` over the real
+//! tree is a tier-1 invariant, and the wire-v1 golden file must match
+//! the literals actually in `crates/engine/src/wire.rs`.
+
+use cwelmax_lint::{diff_pins, run_lint, wire_pin_actual};
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    // crates/lint/../.. — the workspace root this crate is vendored in
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let report = run_lint(&workspace_root()).expect("lint walks the workspace");
+    assert!(
+        report.clean(),
+        "workspace has lint findings:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // sanity: the walk actually visited the tree, not an empty dir
+    assert!(report.files_checked > 50, "{} files", report.files_checked);
+}
+
+#[test]
+fn json_report_shape() {
+    let report = run_lint(&workspace_root()).expect("lint walks the workspace");
+    let json = report.to_json();
+    assert!(json.contains("\"clean\":true"), "{json}");
+    assert!(json.contains("\"diagnostics\":[]"), "{json}");
+}
+
+#[test]
+fn golden_file_is_current() {
+    let root = workspace_root();
+    let actual = wire_pin_actual(&root).expect("wire.rs lexes");
+    let golden = cwelmax_lint::read_golden(&root).expect("golden file committed");
+    let diffs = diff_pins(&actual, &golden);
+    assert!(
+        diffs.is_empty(),
+        "golden drift:\n{}",
+        diffs
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // the v1 surface is non-trivial: dozens of frozen literals
+    assert!(actual.len() > 40, "{} pins", actual.len());
+}
+
+#[test]
+fn editing_a_pinned_literal_is_detected() {
+    let root = workspace_root();
+    let mut actual = wire_pin_actual(&root).expect("wire.rs lexes");
+    let golden = cwelmax_lint::read_golden(&root).expect("golden file committed");
+
+    // simulate an engineer editing a frozen v1 literal in wire.rs
+    let victim = actual
+        .iter_mut()
+        .find(|(p, _)| p.contains("ok"))
+        .expect("some pinned literal mentions ok");
+    victim.0.push_str("-tampered");
+
+    let diffs = diff_pins(&actual, &golden);
+    // one addition (the tampered spelling) + one deletion (the original)
+    assert_eq!(diffs.len(), 2, "{diffs:?}");
+    assert!(diffs
+        .iter()
+        .all(|d| d.rule == cwelmax_lint::rules::WIRE_V1_PIN));
+    assert!(
+        diffs.iter().any(|d| d.message.contains("-tampered")),
+        "{diffs:?}"
+    );
+}
+
+#[test]
+fn removing_a_golden_entry_is_detected() {
+    let root = workspace_root();
+    let actual = wire_pin_actual(&root).expect("wire.rs lexes");
+    let mut golden = cwelmax_lint::read_golden(&root).expect("golden file committed");
+    golden.pop();
+    let diffs = diff_pins(&actual, &golden);
+    assert_eq!(diffs.len(), 1, "{diffs:?}");
+    assert!(diffs[0].file.ends_with("wire.rs"), "{diffs:?}");
+}

@@ -56,8 +56,17 @@ use serde::{Map, Serialize, Value};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
+
+/// Lock `m`, recovering the guard when a previous holder panicked. The
+/// server's mutexes guard a slot vector and an `Arc<Logger>` swap —
+/// both valid after any interrupted critical section — and a serving
+/// thread must shed a poisoned lock, not propagate the panic
+/// (the `no-panic-in-serving` invariant).
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Point-in-time server counters (monotonic since bind).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -184,19 +193,25 @@ impl Shared {
     }
 
     fn logger(&self) -> Arc<Logger> {
-        Arc::clone(&self.log.lock().unwrap())
+        Arc::clone(&lock_recover(&self.log))
     }
 
     /// Flip the stop flag, close every live connection, and poke the
     /// listener so a blocked `accept` returns. Idempotent.
     fn shutdown(&self) {
-        if self.stop.swap(true, Ordering::SeqCst) {
+        // AcqRel: the swap only elects the one thread that runs the
+        // sweep below. The sweep itself synchronizes through the `conns`
+        // mutex — a racing `register` either inserts before the sweep
+        // (its stream gets closed here) or after the sweep's unlock, in
+        // which case the mutex ordering makes this store visible to the
+        // acceptor's post-register re-check. No full fence needed.
+        if self.stop.swap(true, Ordering::AcqRel) {
             return;
         }
         // close only the read half: blocked reader threads unwind with
         // EOF, but a worker mid-query can still write its response —
         // "in-flight requests finish" is part of the shutdown contract
-        for conn in self.conns.lock().unwrap().iter().flatten() {
+        for conn in lock_recover(&self.conns).iter().flatten() {
             let _ = conn.shutdown(Shutdown::Read);
         }
         // wake the acceptor: it re-checks `stop` after every accept
@@ -277,7 +292,7 @@ impl CampaignServer {
     /// Call before [`CampaignServer::run`]; the CLI uses this to apply
     /// `--log-level` and the slow-query threshold.
     pub fn with_logger(self, logger: Arc<Logger>) -> Self {
-        *self.shared.log.lock().unwrap() = logger;
+        *lock_recover(&self.shared.log) = logger;
         self
     }
 
@@ -293,7 +308,10 @@ impl CampaignServer {
     /// exhaustion, and the refusal is machine-readable so clients can
     /// back off and retry.
     pub fn with_max_conns(self, n: usize) -> Self {
-        self.shared.max_conns.store(n, Ordering::SeqCst);
+        // Relaxed: written once here, before `run` spawns any thread
+        // (spawn itself is the happens-before edge), and the admission
+        // check that enforces the cap reads it under the `conns` mutex.
+        self.shared.max_conns.store(n, Ordering::Relaxed);
         self
     }
 
@@ -318,7 +336,10 @@ impl CampaignServer {
         let log = shared.logger();
         std::thread::scope(|scope| {
             for stream in self.listener.incoming() {
-                if shared.stop.load(Ordering::SeqCst) {
+                // Acquire (pairs with the AcqRel swap in `shutdown`):
+                // sufficient — the state shutdown mutates is behind the
+                // `conns` mutex, the flag itself is the only payload
+                if shared.stop.load(Ordering::Acquire) {
                     break;
                 }
                 let stream = match stream {
@@ -343,7 +364,7 @@ impl CampaignServer {
                             "busy_rejection",
                             &[(
                                 "max_conns",
-                                shared.max_conns.load(Ordering::SeqCst).to_value(),
+                                shared.max_conns.load(Ordering::Relaxed).to_value(),
                             )],
                         );
                         refuse_busy(shared, stream);
@@ -359,10 +380,13 @@ impl CampaignServer {
                 };
                 // re-check *after* registering: a shutdown between the
                 // check above and `register` has already swept `conns`
-                // and would never close this stream
-                if shared.stop.load(Ordering::SeqCst) {
+                // and would never close this stream. Acquire suffices:
+                // `register` took the `conns` mutex after the sweep
+                // released it, which orders the sweep's flag store
+                // before this load.
+                if shared.stop.load(Ordering::Acquire) {
                     let _ = stream.shutdown(Shutdown::Both);
-                    shared.conns.lock().unwrap()[slot] = None;
+                    lock_recover(&shared.conns)[slot] = None;
                     break;
                 }
                 shared.connections.incr();
@@ -370,7 +394,7 @@ impl CampaignServer {
                 let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
                 scope.spawn(move || {
                     serve_connection(shared, stream, conn_id);
-                    shared.conns.lock().unwrap()[slot] = None;
+                    lock_recover(&shared.conns)[slot] = None;
                     shared.open_conns.sub(1);
                 });
             }
@@ -396,8 +420,9 @@ fn register(shared: &Shared, stream: &TcpStream) -> Registration {
     let Ok(clone) = stream.try_clone() else {
         return Registration::Failed;
     };
-    let mut conns = shared.conns.lock().unwrap();
-    let max = shared.max_conns.load(Ordering::SeqCst);
+    let mut conns = lock_recover(&shared.conns);
+    // Relaxed: set once before any thread existed; see `with_max_conns`
+    let max = shared.max_conns.load(Ordering::Relaxed);
     if max > 0 && conns.iter().flatten().count() >= max {
         return Registration::Busy;
     }
@@ -415,7 +440,8 @@ fn register(shared: &Shared, stream: &TcpStream) -> Registration {
 
 /// Answer an over-limit connection with one JSON error line and close it.
 fn refuse_busy(shared: &Shared, stream: TcpStream) {
-    let max = shared.max_conns.load(Ordering::SeqCst);
+    // Relaxed: the refusal message only echoes the configured cap
+    let max = shared.max_conns.load(Ordering::Relaxed);
     let mut text = wire::to_line(&wire::error_response(&format!(
         "server busy: connection limit {max} reached, retry later"
     )));
@@ -546,6 +572,7 @@ fn handle_line(shared: &Shared, line: &str) -> (Value, bool, &'static str) {
                 .map(|r| match r {
                     Ok(_) => answers
                         .next()
+                        // lint:allow(no-panic-in-serving) -- `query_batch` returns exactly one answer per runnable entry by construction
                         .expect("one answer per runnable query")
                         .map_err(|e| WireError::from_engine(&e)),
                     Err(e) => Err(WireError::bad_request(e.clone())),

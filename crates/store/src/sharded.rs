@@ -160,6 +160,7 @@ pub fn write_store(
             .collect();
         handles
             .into_iter()
+            // lint:allow(no-panic-in-serving) -- build-time path, not serving; a panicked writer thread means a torn store and must propagate
             .map(|h| h.join().expect("shard writer panicked"))
             .collect()
     });
