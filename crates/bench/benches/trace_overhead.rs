@@ -1,0 +1,107 @@
+//! What request-scoped tracing costs on the warm query path.
+//!
+//! Three regimes, mirroring the server's policy exactly:
+//!
+//! - `tracing_off` — `query_traced(q, None)`: the scope is `None`, every
+//!   span site is a skipped `map`, no allocation. Must sit within noise
+//!   of the plain `engine.query` baseline.
+//! - `tracing_sampled` — a server-minted `TraceCtx` per request, spans
+//!   recorded in full, then `TraceBuffer::offer` drops ~99% at the tail
+//!   (rate 0.01). This is the `--trace-sample 0.01` steady state.
+//! - `tracing_always_on` — a pinned ctx per request, every trace kept in
+//!   the ring. The worst case a client can force.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cwelmax_bench::{network, Scale};
+use cwelmax_diffusion::{Allocation, SimulationConfig};
+use cwelmax_engine::{CampaignQuery, EngineBuilder, QueryAlgorithm, RrIndex};
+use cwelmax_graph::generators::benchmark::Network;
+use cwelmax_obs::{TraceBuffer, TraceCtx, TraceIdGen};
+use cwelmax_utility::configs::{self, TwoItemConfig};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let graph = network(Network::NetHept, Scale::Quick);
+    let imm = Scale::Quick.imm();
+    let budget = 10usize;
+    let index = Arc::new(RrIndex::build(&graph, (2 * budget) as u32, &imm));
+    let engine = EngineBuilder::from_index(index)
+        .graph(graph.clone())
+        .build()
+        .unwrap();
+    let query = CampaignQuery {
+        model: configs::two_item_config(TwoItemConfig::C1),
+        budgets: vec![budget, budget],
+        algorithm: QueryAlgorithm::SeqGrdNm,
+        sp: Allocation::new(),
+        sim: SimulationConfig {
+            samples: 200,
+            threads: 2,
+            base_seed: 0xE7A2,
+        },
+    };
+    // pay lazy pool selection + fill the welfare cache before measuring
+    engine.query(&query).unwrap();
+
+    let ids = TraceIdGen::new(0x7261_6365);
+    let sampled_buf = TraceBuffer::new(256);
+    sampled_buf.set_sample_rate(0.01);
+    let pinned_buf = TraceBuffer::new(256);
+
+    let off = cwelmax_bench::benchjson::measure(50, || {
+        std::hint::black_box(engine.query_traced(&query, None).unwrap());
+    });
+    let sampled = cwelmax_bench::benchjson::measure(50, || {
+        let ctx = TraceCtx::new(ids.mint(), false);
+        std::hint::black_box(engine.query_traced(&query, Some(ctx.root())).unwrap());
+        sampled_buf.offer(ctx.finish());
+    });
+    let always_on = cwelmax_bench::benchjson::measure(50, || {
+        let ctx = TraceCtx::new(ids.mint(), true);
+        std::hint::black_box(engine.query_traced(&query, Some(ctx.root())).unwrap());
+        pinned_buf.offer(ctx.finish());
+    });
+    cwelmax_bench::benchjson::record(
+        &[
+            ("trace_overhead/tracing_off", off),
+            ("trace_overhead/tracing_sampled", sampled),
+            ("trace_overhead/tracing_always_on", always_on),
+        ],
+        &[
+            (
+                "trace_overhead_sampled_ratio",
+                sampled.mean_ns / off.mean_ns,
+            ),
+            (
+                "trace_overhead_always_on_ratio",
+                always_on.mean_ns / off.mean_ns,
+            ),
+        ],
+    );
+
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(20);
+    group.bench_function("tracing_off", |b| {
+        b.iter(|| engine.query_traced(&query, None).unwrap())
+    });
+    group.bench_function("tracing_sampled", |b| {
+        b.iter(|| {
+            let ctx = TraceCtx::new(ids.mint(), false);
+            let a = engine.query_traced(&query, Some(ctx.root())).unwrap();
+            sampled_buf.offer(ctx.finish());
+            a
+        })
+    });
+    group.bench_function("tracing_always_on", |b| {
+        b.iter(|| {
+            let ctx = TraceCtx::new(ids.mint(), true);
+            let a = engine.query_traced(&query, Some(ctx.root())).unwrap();
+            pinned_buf.offer(ctx.finish());
+            a
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

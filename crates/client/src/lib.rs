@@ -51,7 +51,7 @@
 
 use cwelmax_engine::wire;
 use cwelmax_engine::{CampaignQuery, ErrorKind};
-pub use cwelmax_obs::{HistogramSnapshot, Snapshot as MetricsSnapshot};
+pub use cwelmax_obs::{HistogramSnapshot, Snapshot as MetricsSnapshot, SpanNode, Trace};
 use serde::{Deserialize, Map, Value};
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
@@ -177,6 +177,11 @@ pub struct RemoteAnswer {
     pub welfare: f64,
     /// Server-side handling time in seconds.
     pub elapsed_seconds: f64,
+    /// The trace id the server recorded this request under (canonical
+    /// 16-hex), echoed when the request was traced — client-pinned via
+    /// [`CwelmaxClient::query_traced`], or server-sampled. `None` on
+    /// untraced requests and every v1 answer.
+    pub trace: Option<String>,
 }
 
 /// Server + engine counters from a `stats` request, decoded.
@@ -331,6 +336,32 @@ impl CwelmaxClient {
 
     /// Answer one campaign query (fresh or SP-conditioned).
     pub fn query(&mut self, q: &CampaignQuery) -> Result<RemoteAnswer, ClientError> {
+        self.query_inner(q, None)
+    }
+
+    /// [`CwelmaxClient::query`] under a client-originated trace id (wire
+    /// v2 only): the server records the request's full span tree pinned
+    /// past tail sampling, echoes the id on the answer
+    /// ([`RemoteAnswer::trace`], canonical 16-hex), and retains the
+    /// trace for [`CwelmaxClient::traces`] to fetch.
+    pub fn query_traced(
+        &mut self,
+        q: &CampaignQuery,
+        trace_id: u64,
+    ) -> Result<RemoteAnswer, ClientError> {
+        if self.negotiated.is_none() {
+            return Err(ClientError::Protocol(
+                "traced queries require wire protocol v2 (server negotiated v1)".into(),
+            ));
+        }
+        self.query_inner(q, Some(trace_id))
+    }
+
+    fn query_inner(
+        &mut self,
+        q: &CampaignQuery,
+        trace_id: Option<u64>,
+    ) -> Result<RemoteAnswer, ClientError> {
         let Value::Object(mut obj) = wire::query_to_value(q) else {
             // query_to_value returns an object today; if that ever
             // changes, fail the one query instead of the process
@@ -340,6 +371,12 @@ impl CwelmaxClient {
         };
         if self.negotiated.is_some() {
             obj.insert("v".into(), Value::UInt(wire::PROTOCOL_VERSION));
+        }
+        if let Some(id) = trace_id {
+            obj.insert(
+                "trace".into(),
+                Value::String(cwelmax_obs::trace::format_trace_id(id)),
+            );
         }
         let v = self.request(wire::to_line(&Value::Object(obj)))?;
         let obj = object_of(&v)?;
@@ -455,6 +492,41 @@ impl CwelmaxClient {
             .ok_or_else(|| ClientError::Protocol("unintelligible metrics snapshot".into()))
     }
 
+    /// Fetch the server's recently retained traces, newest first, up to
+    /// `limit` (0 = everything retained). Wire v2 only, like
+    /// [`CwelmaxClient::metrics`]; check
+    /// [`CwelmaxClient::has_feature`]`("traces")` to probe support
+    /// without a failing request.
+    pub fn traces(&mut self, limit: usize) -> Result<Vec<Trace>, ClientError> {
+        if self.negotiated.is_none() {
+            return Err(ClientError::Protocol(
+                "traces requires wire protocol v2 (server negotiated v1)".into(),
+            ));
+        }
+        let mut m = Map::new();
+        m.insert("v".into(), Value::UInt(wire::PROTOCOL_VERSION));
+        m.insert("type".into(), Value::String("traces".into()));
+        if limit > 0 {
+            m.insert("limit".into(), Value::UInt(limit as u64));
+        }
+        let v = self.request(wire::to_line(&Value::Object(m)))?;
+        let obj = object_of(&v)?;
+        if let Some(err) = failure_of(obj) {
+            return Err(ClientError::Server(err));
+        }
+        let traces = obj
+            .get("traces")
+            .and_then(|t| t.as_array())
+            .ok_or_else(|| ClientError::Protocol("traces response lacks `traces`".into()))?;
+        traces
+            .iter()
+            .map(|t| {
+                Trace::from_value(t)
+                    .ok_or_else(|| ClientError::Protocol("unintelligible trace payload".into()))
+            })
+            .collect()
+    }
+
     /// Ask the server to stop gracefully (acknowledged before it does).
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         let line = if self.negotiated.is_some() {
@@ -533,6 +605,10 @@ fn answer_of(obj: &Map) -> Result<RemoteAnswer, String> {
         sp,
         welfare: f64_of(obj.get("welfare")).ok_or("answer lacks `welfare`")?,
         elapsed_seconds: f64_of(obj.get("elapsed_seconds")).unwrap_or(0.0),
+        trace: obj
+            .get("trace")
+            .and_then(|t| t.as_str())
+            .map(str::to_string),
     })
 }
 

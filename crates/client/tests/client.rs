@@ -361,3 +361,82 @@ fn metrics_fails_fast_on_a_v1_connection() {
     }
     server.join().unwrap();
 }
+
+/// The typed tracing surface against a real server: `query_traced`
+/// echoes the pinned id on the answer, `traces()` returns the retained
+/// trace with its span tree, and both fail fast on a v1 connection.
+#[test]
+fn query_traced_pins_a_trace_and_traces_fetches_its_span_tree() {
+    let (graph, index) = graph_and_index();
+    let engine = EngineBuilder::from_index(index)
+        .graph(graph)
+        .build()
+        .unwrap();
+    let (handle, join) = start(engine);
+
+    let mut client = CwelmaxClient::connect(handle.local_addr().to_string()).unwrap();
+    assert!(
+        client.has_feature("traces"),
+        "a v2 server advertises the traces feature"
+    );
+
+    let q = query(TwoItemConfig::C1, 2, Allocation::new());
+    // untraced queries stay trace-free
+    let plain = client.query(&q).unwrap();
+    assert!(plain.trace.is_none());
+    // a pinned trace comes back canonical on the answer
+    let traced = client.query_traced(&q, 0xbead).unwrap();
+    assert_eq!(traced.trace.as_deref(), Some("000000000000bead"));
+
+    let traces = client.traces(0).unwrap();
+    assert_eq!(traces.len(), 1, "only the pinned trace is retained");
+    let trace = &traces[0];
+    assert_eq!(trace.trace_id, 0xbead);
+    assert!(trace.pinned && !trace.error);
+    assert_eq!(trace.spans[0].name, "server.query");
+    assert!(
+        trace.spans[0]
+            .children
+            .iter()
+            .any(|s| s.name == "engine.query"),
+        "the engine span survives the typed round-trip"
+    );
+    // limit is honored
+    assert_eq!(client.traces(1).unwrap().len(), 1);
+
+    client.shutdown().unwrap();
+    join.join().unwrap();
+}
+
+/// On a fallen-back v1 connection both tracing entry points fail fast
+/// with a protocol error instead of emitting bytes v1 cannot parse.
+#[test]
+fn tracing_fails_fast_on_a_v1_connection() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let mut s = &stream;
+        s.write_all(b"{\"error\":\"unknown request type `hello`\",\"ok\":false}\n")
+            .unwrap();
+        s.flush().unwrap();
+    });
+    let mut client = CwelmaxClient::connect(addr.to_string()).unwrap();
+    assert_eq!(client.protocol(), 1);
+    let q = query(TwoItemConfig::C1, 1, Allocation::new());
+    for result in [
+        client.query_traced(&q, 1).map(|_| ()),
+        client.traces(0).map(|_| ()),
+    ] {
+        match result {
+            Err(ClientError::Protocol(msg)) => {
+                assert!(msg.contains("v2"), "error names the protocol gap: {msg}")
+            }
+            other => panic!("expected a protocol error, got {other:?}"),
+        }
+    }
+    server.join().unwrap();
+}

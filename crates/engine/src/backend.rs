@@ -24,6 +24,7 @@ use crate::conditioned::ConditionedView;
 use crate::error::EngineError;
 use crate::index::{IndexMeta, RrIndex};
 use cwelmax_graph::NodeId;
+use cwelmax_obs::TraceScope;
 
 /// Point-in-time description of a backend's physical storage shape.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -60,6 +61,19 @@ pub trait IndexBackend: Send + Sync {
     /// with duplicates — implementations canonicalize). The engine caches
     /// the result; implementations only build it.
     fn derive_conditioned(&self, sp_nodes: &[NodeId]) -> Result<ConditionedView, EngineError>;
+
+    /// [`IndexBackend::derive_conditioned`] with an optional trace
+    /// scope to hang storage-side spans under (shard faults, per-shard
+    /// filtering). The default ignores the scope — an in-memory index
+    /// has no storage story worth a span — so only backends with real
+    /// I/O (the sharded store) need to override.
+    fn derive_conditioned_traced(
+        &self,
+        sp_nodes: &[NodeId],
+        _scope: Option<TraceScope<'_>>,
+    ) -> Result<ConditionedView, EngineError> {
+        self.derive_conditioned(sp_nodes)
+    }
 
     /// The backend's physical storage shape, for observability.
     fn storage(&self) -> StorageStats;

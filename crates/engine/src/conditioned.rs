@@ -195,6 +195,9 @@ impl ConditionedView {
 /// query threads of a [`crate::CampaignEngine`].
 pub struct ConditionedCache {
     views: Mutex<LruCache<u64, Arc<ConditionedView>>>,
+    /// Metrics hook: bumped when an insert pushes out a resident view
+    /// (set once at engine assembly, before the cache is shared).
+    evictions: Option<Arc<cwelmax_obs::Counter>>,
 }
 
 impl ConditionedCache {
@@ -203,7 +206,14 @@ impl ConditionedCache {
     pub fn new(cap: usize) -> ConditionedCache {
         ConditionedCache {
             views: Mutex::new(LruCache::new(cap)),
+            evictions: None,
         }
+    }
+
+    /// Count capacity evictions into `counter` (engine assembly hook).
+    pub fn with_eviction_counter(mut self, counter: Arc<cwelmax_obs::Counter>) -> ConditionedCache {
+        self.evictions = Some(counter);
+        self
     }
 
     /// Fetch the view for `sp_nodes`, deriving (and caching) it on a miss
@@ -239,7 +249,12 @@ impl ConditionedCache {
         }
         let view = Arc::new(derive(&nodes)?);
         if !collision {
-            crate::lock_recover(&self.views).insert(key, view.clone());
+            let evicted = crate::lock_recover(&self.views).insert(key, view.clone());
+            if evicted.is_some() {
+                if let Some(c) = &self.evictions {
+                    c.incr();
+                }
+            }
         }
         Ok((view, false))
     }

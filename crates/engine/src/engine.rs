@@ -29,7 +29,7 @@ use crate::query::{CampaignAnswer, CampaignQuery, QueryAlgorithm};
 use cwelmax_core::{MaxGrd, Problem, SeqGrd};
 use cwelmax_diffusion::{Allocation, WelfareEstimator};
 use cwelmax_graph::{Graph, NodeId};
-use cwelmax_obs::{Counter, Histogram, MetricsRegistry};
+use cwelmax_obs::{Counter, Histogram, MetricsRegistry, TraceScope};
 use serde::{Serialize, Value};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
@@ -92,6 +92,7 @@ pub struct CampaignEngine {
     welfare_evals: Arc<Counter>,
     welfare_cache_hits: Arc<Counter>,
     welfare_cache_misses: Arc<Counter>,
+    cache_evictions: Arc<Counter>,
     conditioned_views: Arc<Counter>,
     conditioned_hits: Arc<Counter>,
     query_ns: Arc<Histogram>,
@@ -119,12 +120,17 @@ impl CampaignEngine {
         if expected != actual {
             return Err(EngineError::GraphMismatch { expected, actual });
         }
+        // one eviction counter covers both engine LRUs (welfare +
+        // conditioned views) — "is the cache churning?" is one question
+        let cache_evictions = metrics.counter("engine.cache_evictions");
         Ok(CampaignEngine {
             graph,
             backend,
             pool: OnceLock::new(),
             cache: Mutex::new(LruCache::new(cache_cap)),
-            conditioned: ConditionedCache::new(conditioned_cap),
+            conditioned: ConditionedCache::new(conditioned_cap)
+                .with_eviction_counter(Arc::clone(&cache_evictions)),
+            cache_evictions,
             queries: metrics.counter("engine.queries"),
             pool_selections: metrics.counter("engine.pool_selections"),
             welfare_evals: metrics.counter("engine.welfare_evals"),
@@ -189,7 +195,7 @@ impl CampaignEngine {
     /// Derive (and cache) the SP-conditioned view for `sp_nodes` ahead
     /// of traffic — `EngineBuilder::prewarm_sp`'s build-time hook.
     pub(crate) fn prewarm_view(&self, sp_nodes: &[NodeId]) -> Result<(), EngineError> {
-        self.conditioned_view(sp_nodes).map(|_| ())
+        self.conditioned_view(sp_nodes, None).map(|_| ())
     }
 
     /// The shared graph.
@@ -243,10 +249,27 @@ impl CampaignEngine {
     }
 
     /// The SP-conditioned view for `sp_nodes`, from the cache when warm.
-    fn conditioned_view(&self, sp_nodes: &[NodeId]) -> Result<Arc<ConditionedView>, EngineError> {
+    /// A cache miss derives under an `engine.conditioned_derive` span
+    /// (when traced) with the SP fingerprint attached; the backend gets
+    /// the span's child scope so storage-side work (shard faults) nests
+    /// under the derive.
+    fn conditioned_view(
+        &self,
+        sp_nodes: &[NodeId],
+        scope: Option<TraceScope<'_>>,
+    ) -> Result<Arc<ConditionedView>, EngineError> {
         let (view, hit) = self.conditioned.get_or_derive(sp_nodes, |nodes| {
+            let mut span = scope.map(|s| s.span("engine.conditioned_derive"));
+            if let Some(sp) = span.as_mut() {
+                sp.attr(
+                    "sp_fingerprint",
+                    format!("{:016x}", crate::conditioned::sp_fingerprint(nodes)),
+                );
+                sp.attr("sp_nodes", nodes.len() as u64);
+            }
+            let child = span.as_ref().map(|s| s.scope());
             let start = std::time::Instant::now();
-            let derived = self.backend.derive_conditioned(nodes);
+            let derived = self.backend.derive_conditioned_traced(nodes, child);
             self.conditioned_derive_ns.record_since(start);
             derived
         })?;
@@ -307,14 +330,33 @@ impl CampaignEngine {
     /// set), assignment runs against the borrowed pool, and welfare of
     /// `allocation ∪ SP` is Monte-Carlo-evaluated (cached).
     pub fn query(&self, q: &CampaignQuery) -> Result<CampaignAnswer, EngineError> {
+        self.query_traced(q, None)
+    }
+
+    /// [`CampaignEngine::query`] recording spans into a request trace:
+    /// an `engine.query` root under `parent`, with the conditioned
+    /// derive, storage faults, and each welfare evaluation nested
+    /// beneath it. `parent = None` is exactly `query` — the untraced
+    /// hot path allocates nothing for tracing.
+    pub fn query_traced(
+        &self,
+        q: &CampaignQuery,
+        parent: Option<TraceScope<'_>>,
+    ) -> Result<CampaignAnswer, EngineError> {
         let start = std::time::Instant::now();
+        let mut root = parent.map(|s| s.span("engine.query"));
+        if let Some(sp) = root.as_mut() {
+            sp.attr("algorithm", q.algorithm.name());
+            sp.attr("follow_up", !q.sp.is_empty());
+        }
+        let scope = root.as_ref().map(|s| s.scope());
         self.validate(q)?;
         // the view Arc must outlive `pool`, hence the binding
         let view;
         let pool: &[NodeId] = if q.sp.is_empty() {
             self.pool()?
         } else {
-            view = self.conditioned_view(&q.sp.seed_nodes())?;
+            view = self.conditioned_view(&q.sp.seed_nodes(), scope)?;
             view.pool()
         };
         let problem = Problem::new_shared(self.graph.clone(), q.model.clone())
@@ -323,7 +365,8 @@ impl CampaignEngine {
             .with_sim(q.sim);
         let model_fp = model_fingerprint(&q.model);
         // the objective is ρ(S ∪ SP); for fresh campaigns the union is S
-        let eval = |alloc: &Allocation| self.evaluate(&problem, model_fp, &alloc.union(&q.sp));
+        let eval =
+            |alloc: &Allocation| self.evaluate(&problem, model_fp, &alloc.union(&q.sp), scope);
 
         let (algorithm, allocation) = match q.algorithm {
             QueryAlgorithm::SeqGrdNm => {
@@ -369,10 +412,28 @@ impl CampaignEngine {
         queries: &[CampaignQuery],
         threads: usize,
     ) -> Vec<Result<CampaignAnswer, EngineError>> {
+        self.query_batch_traced(queries, threads, None)
+    }
+
+    /// [`CampaignEngine::query_batch`] under a trace: one
+    /// `engine.batch` span with an `engine.query` child per entry.
+    /// Workers record concurrently into the same trace — span records
+    /// are flat and parent-linked, so cross-thread nesting is safe.
+    pub fn query_batch_traced(
+        &self,
+        queries: &[CampaignQuery],
+        threads: usize,
+        parent: Option<TraceScope<'_>>,
+    ) -> Vec<Result<CampaignAnswer, EngineError>> {
         if queries.is_empty() {
             return Vec::new();
         }
         let batch_start = std::time::Instant::now();
+        let mut batch_span = parent.map(|s| s.span("engine.batch"));
+        if let Some(sp) = batch_span.as_mut() {
+            sp.attr("queries", queries.len() as u64);
+        }
+        let trace_scope = batch_span.as_ref().map(|s| s.scope());
         // materialize the pool up front so workers never race the OnceLock
         // initialization work (get_or_init would serialize them anyway —
         // this just keeps the first query's latency out of every worker).
@@ -398,7 +459,7 @@ impl CampaignEngine {
             for (shard, out) in slots.chunks(chunk).zip(results.chunks_mut(chunk)) {
                 scope.spawn(move || {
                     for ((_, q), slot) in shard.iter().zip(out.iter_mut()) {
-                        *slot = Some(self.query(q));
+                        *slot = Some(self.query_traced(q, trace_scope));
                     }
                 });
             }
@@ -412,7 +473,16 @@ impl CampaignEngine {
     }
 
     /// Cached Monte-Carlo welfare of `alloc` under the query's model/sim.
-    fn evaluate(&self, problem: &Problem, model_fp: u64, alloc: &Allocation) -> f64 {
+    /// Traced as one `engine.welfare` span per evaluation, with the
+    /// cache outcome attached (a BestOf query legitimately emits
+    /// several).
+    fn evaluate(
+        &self,
+        problem: &Problem,
+        model_fp: u64,
+        alloc: &Allocation,
+        scope: Option<TraceScope<'_>>,
+    ) -> f64 {
         self.welfare_evals.incr();
         let mut h = DefaultHasher::new();
         model_fp.hash(&mut h);
@@ -420,14 +490,23 @@ impl CampaignEngine {
         problem.sim.samples.hash(&mut h);
         problem.sim.base_seed.hash(&mut h);
         let key = h.finish();
+        let mut span = scope.map(|s| s.span("engine.welfare"));
         if let Some(&w) = crate::lock_recover(&self.cache).get(&key) {
             self.welfare_cache_hits.incr();
+            if let Some(sp) = span.as_mut() {
+                sp.attr("cache_hit", true);
+            }
             return w;
         }
         self.welfare_cache_misses.incr();
+        if let Some(sp) = span.as_mut() {
+            sp.attr("cache_hit", false);
+        }
         let est = WelfareEstimator::new(&self.graph, &problem.model, problem.sim);
         let w = est.welfare(alloc);
-        crate::lock_recover(&self.cache).insert(key, w);
+        if crate::lock_recover(&self.cache).insert(key, w).is_some() {
+            self.cache_evictions.incr();
+        }
         w
     }
 }

@@ -87,7 +87,7 @@ pub const PROTOCOL_VERSION: u64 = 2;
 
 /// The capability names `hello` advertises. Frozen per entry: features
 /// are only ever appended, so clients can gate on membership.
-pub const FEATURES: [&str; 5] = ["batch", "sp", "stats", "store", "metrics"];
+pub const FEATURES: [&str; 6] = ["batch", "sp", "stats", "store", "metrics", "traces"];
 
 /// Which dialect a request line spoke — and hence how its response is
 /// encoded. Per-line, not per-connection: a v1 and a v2 client can share
@@ -141,6 +141,13 @@ pub struct WireRequest {
     pub id: Option<Value>,
     /// The dialect this line spoke; responses must be encoded in it.
     pub proto: Protocol,
+    /// Client-originated trace id (v2 only: a `"trace"` field holding
+    /// 1–16 hex chars). A traced request is always recorded — pinned
+    /// past sampling — and the id is echoed on the answer so the client
+    /// can fetch the span tree later via `{"type": "traces"}`. v1 lines
+    /// never populate this: the v1 decoder ignores unknown keys, so old
+    /// transcripts replay byte-identically.
+    pub trace: Option<u64>,
     /// What the client asked for.
     pub kind: RequestKind,
 }
@@ -160,6 +167,13 @@ pub enum RequestKind {
     /// log2-bucket histograms). v2 only, like `hello` — a v1 line asking
     /// for it gets the old `unknown request type` error verbatim.
     Metrics,
+    /// Report recent traces from the server's tail-sampled buffer,
+    /// newest first, up to `limit` (0 = everything retained). v2 only,
+    /// like `hello` and `metrics`.
+    Traces {
+        /// Maximum traces to return (0 = all retained).
+        limit: usize,
+    },
     /// Negotiate protocol and capabilities (v2 only — a v1 line asking
     /// for `hello` gets the old `unknown request type` error verbatim).
     Hello,
@@ -301,6 +315,20 @@ pub fn parse_request(v: &Value) -> Result<WireRequest, (Protocol, WireError)> {
     let proto = protocol_of(obj)?;
     let fail = |msg: String| (proto, WireError::bad_request(msg));
     let id = obj.get("id").cloned();
+    // `trace` postdates v1, so only the v2 decoder sees it — a v1 line
+    // carrying the key keeps its historical meaning (ignored)
+    let trace = match obj.get("trace") {
+        Some(t) if proto == Protocol::V2 => {
+            let hex = t
+                .as_str()
+                .ok_or_else(|| fail(format!("trace id must be a hex string, got {}", t.kind())))?;
+            Some(
+                cwelmax_obs::trace::parse_trace_id(hex)
+                    .ok_or_else(|| fail(format!("bad trace id `{hex}` (want 1-16 hex chars)")))?,
+            )
+        }
+        _ => None,
+    };
     let kind = match obj.get("type").map(|t| t.as_str()) {
         // bare query objects need no envelope
         None | Some(Some("query")) => RequestKind::Query(Box::new(parse_query(v).map_err(fail)?)),
@@ -324,11 +352,24 @@ pub fn parse_request(v: &Value) -> Result<WireRequest, (Protocol, WireError)> {
         // unknown-type error
         Some(Some("hello")) if proto == Protocol::V2 => RequestKind::Hello,
         Some(Some("metrics")) if proto == Protocol::V2 => RequestKind::Metrics,
+        Some(Some("traces")) if proto == Protocol::V2 => {
+            let limit: usize = match obj.get("limit") {
+                Some(l) => Deserialize::from_value(l)
+                    .map_err(|e| fail(format!("bad traces limit: {e}")))?,
+                None => 0,
+            };
+            RequestKind::Traces { limit }
+        }
         Some(Some("shutdown")) => RequestKind::Shutdown,
         Some(Some(other)) => return Err(fail(format!("unknown request type `{other}`"))),
         Some(None) => return Err(fail("request `type` must be a string".into())),
     };
-    Ok(WireRequest { id, proto, kind })
+    Ok(WireRequest {
+        id,
+        proto,
+        trace,
+        kind,
+    })
 }
 
 /// Stamp a response object with the dialect marker (`"v": 2` on v2;
@@ -338,6 +379,31 @@ pub fn with_version(mut response: Value, proto: Protocol) -> Value {
         m.insert("v".into(), Value::UInt(PROTOCOL_VERSION));
     }
     response
+}
+
+/// Echo the request's trace id (when it carried one) on a v2 response —
+/// zero-padded 16-hex, exactly the canonical form `{"type": "traces"}`
+/// reports, so clients can correlate without normalizing. v1 responses
+/// are never touched: the trace field itself is v2-only.
+pub fn with_trace(mut response: Value, trace: Option<u64>, proto: Protocol) -> Value {
+    if let (Value::Object(m), Some(id), Protocol::V2) = (&mut response, trace, proto) {
+        m.insert(
+            "trace".into(),
+            Value::String(cwelmax_obs::trace::format_trace_id(id)),
+        );
+    }
+    response
+}
+
+/// The `traces` response: recent retained traces (already rendered to
+/// key-sorted JSON by [`cwelmax_obs::Trace::to_value`]), newest first,
+/// under a `"traces"` key. v2 framing always — the request type itself
+/// is v2-only.
+pub fn traces_response(traces: &[Value]) -> Value {
+    let mut m = Map::new();
+    m.insert("ok".into(), Value::Bool(true));
+    m.insert("traces".into(), Value::Array(traces.to_vec()));
+    with_version(Value::Object(m), Protocol::V2)
 }
 
 /// Response object for a successfully answered query. Follow-up answers
@@ -588,10 +654,100 @@ mod tests {
     fn hello_advertises_the_metrics_feature() {
         assert!(FEATURES.contains(&"metrics"));
         assert_eq!(
-            FEATURES.last(),
-            Some(&"metrics"),
-            "features are append-only; metrics postdates the first four"
+            FEATURES[4], "metrics",
+            "features are append-only; metrics keeps its original slot"
         );
+    }
+
+    #[test]
+    fn hello_advertises_the_traces_feature_last() {
+        assert!(FEATURES.contains(&"traces"));
+        assert_eq!(
+            FEATURES.last(),
+            Some(&"traces"),
+            "features are append-only; traces postdates the first five"
+        );
+    }
+
+    #[test]
+    fn trace_ids_parse_on_v2_and_are_ignored_on_v1() {
+        let q = parse_request_line(
+            r#"{"v": 2, "trace": "00c0ffee", "config": "C1", "budgets": [1, 1]}"#,
+        )
+        .unwrap();
+        assert_eq!(q.trace, Some(0x00c0_ffee));
+        // a v1 line carrying the key keeps its historical meaning:
+        // unknown keys are ignored, the request still parses
+        let q = parse_request_line(r#"{"trace": "00c0ffee", "config": "C1", "budgets": [1, 1]}"#)
+            .unwrap();
+        assert_eq!(q.proto, Protocol::V1);
+        assert_eq!(q.trace, None);
+        // malformed v2 trace ids are errors, not panics
+        for bad in [
+            r#"{"v": 2, "trace": 7, "config": "C1", "budgets": [1, 1]}"#,
+            r#"{"v": 2, "trace": "", "config": "C1", "budgets": [1, 1]}"#,
+            r#"{"v": 2, "trace": "xyz", "config": "C1", "budgets": [1, 1]}"#,
+            r#"{"v": 2, "trace": "00112233445566778", "config": "C1", "budgets": [1, 1]}"#,
+        ] {
+            let (_, err) = err_of(bad);
+            assert_eq!(err.kind, ErrorKind::BadRequest, "{bad}");
+        }
+    }
+
+    #[test]
+    fn traces_is_v2_only_and_v1_traces_gets_the_legacy_error_bytes() {
+        let req = parse_request_line(r#"{"v": 2, "type": "traces"}"#).unwrap();
+        assert!(matches!(req.kind, RequestKind::Traces { limit: 0 }));
+        let req = parse_request_line(r#"{"v": 2, "type": "traces", "limit": 5}"#).unwrap();
+        assert!(matches!(req.kind, RequestKind::Traces { limit: 5 }));
+        assert!(parse_request_line(r#"{"v": 2, "type": "traces", "limit": "all"}"#).is_err());
+        let (proto, err) = err_of(r#"{"type": "traces"}"#);
+        assert_eq!(proto, Protocol::V1);
+        assert_eq!(
+            to_line(&wire_error_response(&err, proto)),
+            r#"{"error":"unknown request type `traces`","ok":false}"#
+        );
+    }
+
+    #[test]
+    fn with_trace_echoes_canonical_hex_on_v2_only() {
+        let base = || {
+            let mut m = Map::new();
+            m.insert("ok".into(), Value::Bool(true));
+            Value::Object(m)
+        };
+        let v = with_trace(base(), Some(0xc0ffee), Protocol::V2);
+        assert_eq!(
+            v.as_object().unwrap().get("trace"),
+            Some(&Value::String("0000000000c0ffee".into()))
+        );
+        // v1 bytes stay pinned; trace-less responses stay untouched
+        assert!(with_trace(base(), Some(1), Protocol::V1)
+            .as_object()
+            .unwrap()
+            .get("trace")
+            .is_none());
+        assert!(with_trace(base(), None, Protocol::V2)
+            .as_object()
+            .unwrap()
+            .get("trace")
+            .is_none());
+    }
+
+    #[test]
+    fn traces_response_wraps_rendered_traces() {
+        let ctx = cwelmax_obs::TraceCtx::new(0xabcd, true);
+        drop(ctx.root().span("server.query"));
+        let trace = ctx.finish();
+        let v = traces_response(&[trace.to_value()]);
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.get("v"), Some(&Value::UInt(2)));
+        assert_eq!(obj.get("ok"), Some(&Value::Bool(true)));
+        let arr = obj.get("traces").unwrap().as_array().unwrap();
+        assert_eq!(arr.len(), 1);
+        let back = cwelmax_obs::Trace::from_value(&arr[0]).unwrap();
+        assert_eq!(back.trace_id, 0xabcd);
+        assert_eq!(back.span_names(), vec!["server.query"]);
     }
 
     #[test]

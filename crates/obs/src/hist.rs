@@ -221,6 +221,36 @@ impl HistogramSnapshot {
         }
     }
 
+    /// What `self` recorded **beyond** `baseline` — the windowed view
+    /// behind `window::HistogramWindow`. Both must be cumulative
+    /// snapshots of the same histogram, `baseline` taken earlier;
+    /// fields subtract saturating (a torn concurrent snapshot degrades
+    /// to a slightly-off window, never a panic or an underflow wrap).
+    ///
+    /// The exact in-window max is unrecoverable from two cumulative
+    /// maxes (the lifetime max may predate the window), so the delta's
+    /// `max` is the sound octave bound: the top of the highest
+    /// non-empty delta bucket, capped by the lifetime max.
+    pub fn delta(&self, baseline: &HistogramSnapshot) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .zip(baseline.buckets.iter().chain(std::iter::repeat(&0)))
+            .map(|(a, b)| a.saturating_sub(*b))
+            .collect();
+        let top = buckets
+            .iter()
+            .rposition(|&n| n > 0)
+            .map(|b| bucket_top(b).min(self.max))
+            .unwrap_or(0);
+        HistogramSnapshot {
+            count: self.count.saturating_sub(baseline.count),
+            sum: self.sum.wrapping_sub(baseline.sum),
+            max: top,
+            buckets,
+        }
+    }
+
     /// Fold another snapshot into this one (bucket-wise sum, max of
     /// maxes) — used to aggregate per-request-type histograms into an
     /// overall latency distribution.
@@ -301,6 +331,29 @@ mod tests {
         assert_eq!(m.sum, 5014);
         assert_eq!(m.max, 5000);
         assert_eq!(m.buckets.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn delta_subtracts_bucketwise_with_octave_max() {
+        let h = Histogram::default();
+        h.record(1 << 20); // before the baseline
+        let baseline = h.snapshot();
+        h.record(100);
+        h.record(120);
+        let d = h.snapshot().delta(&baseline);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 220);
+        assert_eq!(d.buckets.iter().sum::<u64>(), 2);
+        // in-window max is octave-bounded (127), not the lifetime 2^20
+        assert_eq!(d.max, 127);
+        assert!(d.quantile(0.99) <= 127);
+        // empty delta is all zeros
+        let z = h.snapshot().delta(&h.snapshot());
+        assert_eq!(z.count, 0);
+        assert_eq!(z.max, 0);
+        // a stale baseline "ahead" of self saturates instead of wrapping
+        let s = baseline.delta(&h.snapshot());
+        assert_eq!(s.count, 0);
     }
 
     #[test]

@@ -17,6 +17,13 @@
 //! * [`log`] — a leveled structured-NDJSON [`Logger`] with
 //!   per-connection/per-request id fields and a configurable
 //!   slow-query threshold.
+//! * [`trace`] — request-scoped span trees ([`TraceCtx`] /
+//!   [`TraceScope`] / RAII [`SpanGuard`]s with typed attributes) and a
+//!   bounded [`TraceBuffer`] with tail-based retention: error and slow
+//!   traces are always kept, the rest deterministically sampled.
+//! * [`window`] — [`HistogramWindow`], a roll-on-read ring of
+//!   cumulative baselines turning lifetime histograms into "last 60 s"
+//!   percentile views without touching the record path.
 //!
 //! Ownership model: there is deliberately **no process-global
 //! registry**. Each engine stack (engine + backend + server) shares one
@@ -28,10 +35,16 @@
 pub mod hist;
 pub mod log;
 pub mod registry;
+pub mod trace;
+pub mod window;
 
 pub use hist::{Counter, Gauge, Histogram, HistogramSnapshot, SpanTimer, BUCKETS};
 pub use log::{Level, Logger};
 pub use registry::{MetricsRegistry, Snapshot};
+pub use trace::{
+    AttrValue, SpanGuard, SpanNode, Trace, TraceBuffer, TraceCtx, TraceIdGen, TraceScope,
+};
+pub use window::HistogramWindow;
 
 /// `span!(hist)` or `span!(registry, "name")` — an RAII timer that
 /// records elapsed nanoseconds into a histogram when dropped.

@@ -1,0 +1,179 @@
+//! Windowed histogram views — "last 60 s" percentiles next to lifetime
+//! ones.
+//!
+//! Lifetime histograms never forget: after a day of traffic, p99 is a
+//! day-old aggregate and a latency regression moves it by epsilon. A
+//! [`HistogramWindow`] fixes that without touching the lock-free record
+//! path: it keeps a short ring of **cumulative snapshot baselines**,
+//! one per elapsed interval, rolled forward lazily on read. The
+//! windowed view is simply `current − oldest retained baseline`
+//! (bucket-wise [`HistogramSnapshot::delta`]), so recording stays four
+//! relaxed atomics and all windowing cost is paid by the reader —
+//! a stats scrape, a few times a minute.
+//!
+//! The window is quantized: with `slots` slots of `interval` each, a
+//! read sees between `(slots−1)·interval` and `slots·interval` of
+//! history once the ring is warm (and everything since start before
+//! that). Exact windows would need per-sample timestamps; octave
+//! percentiles don't need them.
+//!
+//! Time is passed in by the caller ([`HistogramWindow::observe`] takes
+//! `now: Instant`), so the roll-forward logic is deterministic under
+//! test — construct instants, never sleep.
+
+use crate::hist::HistogramSnapshot;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Roll-on-read ring of cumulative baselines over one histogram — see
+/// the module docs.
+#[derive(Debug)]
+pub struct HistogramWindow {
+    origin: Instant,
+    interval: Duration,
+    slots: u64,
+    /// `(slot index, cumulative snapshot at first read in that slot)`,
+    /// oldest first. Seeded with an all-zero baseline at slot 0 so
+    /// early reads window from process start instead of reporting
+    /// nothing.
+    baselines: Mutex<VecDeque<(u64, HistogramSnapshot)>>,
+}
+
+impl HistogramWindow {
+    /// A window of `slots × interval` (e.g. 12 × 5 s = last minute).
+    /// `slots` and `interval` are clamped to at least 1 slot / 1 ns.
+    pub fn new(origin: Instant, interval: Duration, slots: usize) -> HistogramWindow {
+        let mut baselines = VecDeque::new();
+        baselines.push_back((0u64, HistogramSnapshot::default()));
+        HistogramWindow {
+            origin,
+            interval: interval.max(Duration::from_nanos(1)),
+            slots: (slots as u64).max(1),
+            baselines: Mutex::new(baselines),
+        }
+    }
+
+    /// Total span of a warm window.
+    pub fn window(&self) -> Duration {
+        self.interval.saturating_mul(self.slots as u32)
+    }
+
+    /// The windowed view of `current` (a cumulative snapshot of the
+    /// histogram being watched) as of `now`: roll the baseline ring
+    /// forward, then return `current − oldest retained baseline`.
+    pub fn observe(&self, current: &HistogramSnapshot, now: Instant) -> HistogramSnapshot {
+        let elapsed = now.saturating_duration_since(self.origin);
+        let slot = (elapsed.as_nanos() / self.interval.as_nanos().max(1)) as u64;
+        let mut ring = self.baselines.lock().unwrap();
+        // one baseline per slot, taken at the slot's first read
+        if ring.back().is_none_or(|(s, _)| slot > *s) {
+            ring.push_back((slot, current.clone()));
+        }
+        // the front anchors the delta; drop it while the next baseline
+        // still spans the full window (span ≥ slots intervals)
+        while ring.len() > 1 && ring[1].0 + self.slots <= slot {
+            ring.pop_front();
+        }
+        let (_, baseline) = &ring[0];
+        current.delta(baseline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    fn at(origin: Instant, secs: u64) -> Instant {
+        origin + Duration::from_secs(secs)
+    }
+
+    #[test]
+    fn cold_window_reports_everything_since_start() {
+        let origin = Instant::now();
+        let w = HistogramWindow::new(origin, Duration::from_secs(5), 12);
+        assert_eq!(w.window(), Duration::from_secs(60));
+        let h = Histogram::default();
+        h.record(100);
+        h.record(200);
+        let view = w.observe(&h.snapshot(), at(origin, 1));
+        assert_eq!(view.count, 2);
+        assert_eq!(view.sum, 300);
+    }
+
+    #[test]
+    fn old_samples_age_out_of_the_window() {
+        let origin = Instant::now();
+        let w = HistogramWindow::new(origin, Duration::from_secs(5), 12);
+        let h = Histogram::default();
+        // a burst of slow samples in the first interval...
+        for _ in 0..10 {
+            h.record(1 << 30);
+        }
+        let warm = w.observe(&h.snapshot(), at(origin, 1));
+        assert_eq!(warm.count, 10);
+        assert!(warm.quantile(0.99) >= 1 << 29, "burst dominates p99");
+        // ...then only fast traffic, with a read every interval so the
+        // ring rolls forward
+        for tick in 1..=13u64 {
+            h.record(1000);
+            let _ = w.observe(&h.snapshot(), at(origin, tick * 5));
+        }
+        // 70 s later the burst is outside the 60 s window
+        let view = w.observe(&h.snapshot(), at(origin, 70));
+        assert!(view.count <= 13, "burst aged out, got count {}", view.count);
+        assert!(
+            view.quantile(0.99) < 1 << 29,
+            "p99 recovered to the fast traffic: {}",
+            view.quantile(0.99)
+        );
+        // the lifetime histogram still remembers the burst
+        assert!(h.snapshot().quantile(0.99) >= 1 << 29);
+    }
+
+    #[test]
+    fn sparse_reads_fall_back_to_the_oldest_baseline() {
+        let origin = Instant::now();
+        let w = HistogramWindow::new(origin, Duration::from_secs(5), 12);
+        let h = Histogram::default();
+        h.record(7);
+        // no reads for 10 windows — the only baseline is the seed; the
+        // view must still be well-formed (covers more than the window,
+        // never less)
+        let view = w.observe(&h.snapshot(), at(origin, 600));
+        assert_eq!(view.count, 1);
+        assert_eq!(view.max, 7);
+    }
+
+    #[test]
+    fn repeated_reads_in_one_slot_share_a_baseline() {
+        let origin = Instant::now();
+        let w = HistogramWindow::new(origin, Duration::from_secs(5), 2);
+        let h = Histogram::default();
+        h.record(1);
+        let a = w.observe(&h.snapshot(), at(origin, 1));
+        h.record(2);
+        let b = w.observe(&h.snapshot(), at(origin, 2));
+        assert_eq!(a.count, 1);
+        assert_eq!(b.count, 2, "same slot, same (zero) baseline");
+    }
+
+    #[test]
+    fn windowed_max_is_a_sound_octave_bound() {
+        let origin = Instant::now();
+        let w = HistogramWindow::new(origin, Duration::from_secs(1), 2);
+        let h = Histogram::default();
+        h.record(1 << 40); // lifetime max, recorded before the window
+        for tick in 1..=4u64 {
+            let _ = w.observe(&h.snapshot(), at(origin, tick));
+        }
+        h.record(100);
+        let view = w.observe(&h.snapshot(), at(origin, 5));
+        assert_eq!(view.count, 1);
+        // the in-window sample is 100; its octave top is 127 — the
+        // windowed max must not report the stale lifetime 2^40
+        assert!(view.max <= 127, "windowed max {} leaked", view.max);
+        assert!(view.max >= 100 || view.quantile(1.0) >= 64);
+    }
+}

@@ -1,0 +1,203 @@
+//! Adversarial-input tests for [`Snapshot::from_value`]: the metrics
+//! payload arrives from untrusted wire peers, so any shape — unknown
+//! fields, wrong types, truncated or out-of-range buckets — must come
+//! back `None`, never a panic, and a benign extension (an unknown
+//! top-level key) must not break parsing of the known ones.
+
+use cwelmax_obs::{MetricsRegistry, Snapshot, BUCKETS};
+use proptest::prelude::*;
+use serde::Value;
+
+fn parse(text: &str) -> Option<Snapshot> {
+    let v: Value = serde_json::from_str(text).ok()?;
+    Snapshot::from_value(&v)
+}
+
+#[test]
+fn rejects_wrong_shapes_cleanly() {
+    for bad in [
+        "null",
+        "42",
+        r#""counters""#,
+        "[]",
+        "{}",                                                      // missing sections
+        r#"{"counters":{},"gauges":{}}"#,                          // missing histograms
+        r#"{"counters":[],"gauges":{},"histograms":{}}"#,          // counters not an object
+        r#"{"counters":{"a":"one"},"gauges":{},"histograms":{}}"#, // counter not an int
+        r#"{"counters":{"a":-1},"gauges":{},"histograms":{}}"#,    // negative counter
+        r#"{"counters":{},"gauges":{"g":1.5},"histograms":{}}"#,   // float gauge
+        r#"{"counters":{},"gauges":{"g":18446744073709551615},"histograms":{}}"#, // gauge > i64
+        r#"{"counters":{},"gauges":{},"histograms":{"h":7}}"#,     // histogram not an object
+        r#"{"counters":{},"gauges":{},"histograms":{"h":{}}}"#,    // empty histogram
+        r#"{"counters":{},"gauges":{},"histograms":{"h":{"count":1,"sum":1}}}"#, // no max/buckets
+        r#"{"counters":{},"gauges":{},"histograms":{"h":{"count":1,"sum":1,"max":1,"buckets":{}}}}"#,
+        r#"{"counters":{},"gauges":{},"histograms":{"h":{"count":1,"sum":1,"max":1,"buckets":[[0]]}}}"#, // truncated pair
+        r#"{"counters":{},"gauges":{},"histograms":{"h":{"count":1,"sum":1,"max":1,"buckets":[[65,1]]}}}"#, // bucket index out of range
+        r#"{"counters":{},"gauges":{},"histograms":{"h":{"count":1,"sum":1,"max":1,"buckets":[[99999999999,1]]}}}"#,
+        r#"{"counters":{},"gauges":{},"histograms":{"h":{"count":1,"sum":1,"max":1,"buckets":[["0",1]]}}}"#, // stringy index
+        r#"{"counters":{},"gauges":{},"histograms":{"h":{"count":true,"sum":1,"max":1,"buckets":[]}}}"#,
+    ] {
+        assert!(parse(bad).is_none(), "accepted: {bad}");
+    }
+}
+
+#[test]
+fn tolerates_unknown_fields_and_empty_sections() {
+    // forward compatibility: an extra top-level section or histogram
+    // field from a newer server parses fine — unknown keys are ignored
+    let ok = parse(
+        r#"{"counters":{"c":3},"gauges":{"g":-1},"histograms":
+            {"h":{"count":1,"sum":9,"max":9,"p50":9,"p77":9,"buckets":[[4,1]],"novel":true}},
+            "future_section":{"x":1}}"#,
+    )
+    .expect("unknown fields are not errors");
+    assert_eq!(ok.counters["c"], 3);
+    assert_eq!(ok.gauges["g"], -1);
+    assert_eq!(ok.histograms["h"].count, 1);
+    assert_eq!(ok.histograms["h"].buckets[4], 1);
+    assert_eq!(ok.histograms["h"].buckets.len(), BUCKETS);
+
+    let empty = parse(r#"{"counters":{},"gauges":{},"histograms":{}}"#).unwrap();
+    assert_eq!(empty, Snapshot::default());
+}
+
+#[test]
+fn boundary_bucket_indices() {
+    // index BUCKETS-1 (=64) is the last valid slot; BUCKETS is not
+    let last = format!(
+        r#"{{"counters":{{}},"gauges":{{}},"histograms":
+            {{"h":{{"count":1,"sum":1,"max":1,"buckets":[[{},1]]}}}}}}"#,
+        BUCKETS - 1
+    );
+    assert!(parse(&last).is_some());
+    let past = last.replace(&format!("[{},1]", BUCKETS - 1), &format!("[{BUCKETS},1]"));
+    assert!(parse(&past).is_none());
+}
+
+/// Decode an arbitrary JSON value tree from a fuzz byte string — the
+/// in-repo proptest shim has no recursive/oneof strategies, so the
+/// structure comes from interpreting raw bytes: each byte picks a
+/// variant, depth is bounded, and every byte string decodes to *some*
+/// tree. Shape-biased toward schema-ish keys so mutations reach the
+/// inner parsers instead of bouncing off the top-level object check.
+fn decode_value(bytes: &mut &[u8], depth: usize) -> Value {
+    let b = match take(bytes) {
+        Some(b) => b,
+        None => return Value::Null,
+    };
+    const KEYS: [&str; 8] = [
+        "counters",
+        "gauges",
+        "histograms",
+        "count",
+        "sum",
+        "max",
+        "buckets",
+        "x",
+    ];
+    match b % if depth == 0 { 6 } else { 8 } {
+        0 => Value::Null,
+        1 => Value::Bool(b & 1 == 0),
+        2 => Value::Int(take(bytes).map_or(0, |v| v as i64 - 128)),
+        3 => Value::UInt(take(bytes).map_or(0, |v| (v as u64) << (b % 57))),
+        4 => Value::Float(take(bytes).map_or(0.0, |v| v as f64 / 3.0 - 40.0)),
+        5 => Value::String(KEYS[(b >> 3) as usize % KEYS.len()].to_string()),
+        6 => Value::Array(
+            (0..(b % 4) as usize)
+                .map(|_| decode_value(bytes, depth - 1))
+                .collect(),
+        ),
+        _ => Value::Object(
+            (0..(b % 4) as usize)
+                .map(|k| {
+                    (
+                        KEYS[(b as usize + k) % KEYS.len()].to_string(),
+                        decode_value(bytes, depth - 1),
+                    )
+                })
+                .collect(),
+        ),
+    }
+}
+
+fn take(bytes: &mut &[u8]) -> Option<u8> {
+    let (&b, rest) = bytes.split_first()?;
+    *bytes = rest;
+    Some(b)
+}
+
+fn arb_value(bytes: &[u8]) -> Value {
+    decode_value(&mut { bytes }, 3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(250))]
+
+    // the headline property: *no* value tree panics the parser
+    #[test]
+    fn from_value_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Snapshot::from_value(&arb_value(&bytes));
+    }
+
+    // schema-shaped fuzz: a plausible envelope with arbitrary innards
+    #[test]
+    fn enveloped_garbage_never_panics(
+        a in proptest::collection::vec(any::<u8>(), 0..32),
+        b in proptest::collection::vec(any::<u8>(), 0..32),
+        c in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let mut root = serde::Map::new();
+        root.insert("counters".into(), arb_value(&a));
+        root.insert("gauges".into(), arb_value(&b));
+        root.insert("histograms".into(), arb_value(&c));
+        let _ = Snapshot::from_value(&Value::Object(root));
+    }
+
+    // bucket-pair fuzz: arbitrary (index, count) pairs either parse into
+    // in-range buckets or are rejected — never an index panic
+    #[test]
+    fn arbitrary_bucket_pairs_are_bounds_checked(
+        pairs in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..8)
+    ) {
+        let buckets = Value::Array(
+            pairs
+                .iter()
+                .map(|&(b, n)| Value::Array(vec![Value::UInt(b), Value::UInt(n)]))
+                .collect(),
+        );
+        let mut h = serde::Map::new();
+        h.insert("count".into(), Value::UInt(1));
+        h.insert("sum".into(), Value::UInt(1));
+        h.insert("max".into(), Value::UInt(1));
+        h.insert("buckets".into(), buckets);
+        let mut hs = serde::Map::new();
+        hs.insert("h".into(), Value::Object(h));
+        let mut root = serde::Map::new();
+        root.insert("counters".into(), Value::Object(serde::Map::new()));
+        root.insert("gauges".into(), Value::Object(serde::Map::new()));
+        root.insert("histograms".into(), Value::Object(hs));
+        let parsed = Snapshot::from_value(&Value::Object(root));
+        let all_in_range = pairs.iter().all(|&(b, _)| (b as usize) < BUCKETS);
+        prop_assert_eq!(parsed.is_some(), all_in_range);
+    }
+
+    // round-trip stays lossless under arbitrary *valid* state — the
+    // adversarial suite's control group
+    #[test]
+    fn valid_snapshots_survive_mutation_free(
+        c in any::<u64>(),
+        g in any::<i64>(),
+        samples in proptest::collection::vec(any::<u64>(), 0..20),
+    ) {
+        let reg = MetricsRegistry::new();
+        reg.counter("c").add(c);
+        reg.gauge("g").set(g);
+        for v in samples {
+            reg.histogram("h_ns").record(v);
+        }
+        let snap = reg.snapshot();
+        let line = serde_json::to_string(&snap.to_value()).unwrap();
+        let back = Snapshot::from_value(&serde_json::from_str(&line).unwrap()).unwrap();
+        prop_assert_eq!(back, snap);
+    }
+}

@@ -51,13 +51,26 @@
 
 use cwelmax_engine::wire::{self, Protocol, RequestKind, WireError};
 use cwelmax_engine::{CampaignEngine, EngineStats};
-use cwelmax_obs::{Counter, Gauge, Histogram, HistogramSnapshot, Logger, MetricsRegistry};
+use cwelmax_obs::{
+    Counter, Gauge, Histogram, HistogramSnapshot, HistogramWindow, Logger, MetricsRegistry,
+    TraceBuffer, TraceCtx, TraceIdGen,
+};
 use serde::{Map, Serialize, Value};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Default retention capacity of the trace ring (`--trace-buffer`).
+pub const DEFAULT_TRACE_BUFFER: usize = 256;
+
+/// The sliding latency window v2 stats report percentiles over: 12
+/// intervals of 5 s. Lifetime percentiles converge and stop moving on a
+/// long-lived server; the windowed pair tracks what the server did in
+/// the *last minute*.
+const WINDOW_INTERVAL: Duration = Duration::from_secs(5);
+const WINDOW_SLOTS: usize = 12;
 
 /// Lock `m`, recovering the guard when a previous holder panicked. The
 /// server's mutexes guard a slot vector and an `Arc<Logger>` swap —
@@ -97,6 +110,7 @@ struct RequestTimers {
     stats: Arc<Histogram>,
     hello: Arc<Histogram>,
     metrics: Arc<Histogram>,
+    traces: Arc<Histogram>,
     shutdown: Arc<Histogram>,
     /// Lines that never parsed into a request (bad JSON, bad envelope,
     /// unsupported version) — they cost handling time too.
@@ -111,6 +125,7 @@ impl RequestTimers {
             stats: reg.histogram("server.request_ns.stats"),
             hello: reg.histogram("server.request_ns.hello"),
             metrics: reg.histogram("server.request_ns.metrics"),
+            traces: reg.histogram("server.request_ns.traces"),
             shutdown: reg.histogram("server.request_ns.shutdown"),
             invalid: reg.histogram("server.request_ns.invalid"),
         }
@@ -123,6 +138,7 @@ impl RequestTimers {
             "stats" => &self.stats,
             "hello" => &self.hello,
             "metrics" => &self.metrics,
+            "traces" => &self.traces,
             "shutdown" => &self.shutdown,
             _ => &self.invalid,
         }
@@ -138,6 +154,7 @@ impl RequestTimers {
             &self.stats,
             &self.hello,
             &self.metrics,
+            &self.traces,
             &self.shutdown,
             &self.invalid,
         ] {
@@ -168,7 +185,18 @@ struct Shared {
     errors: Arc<Counter>,
     parse_errors: Arc<Counter>,
     open_conns: Arc<Gauge>,
+    bytes_read: Arc<Counter>,
+    bytes_written: Arc<Counter>,
     request_ns: RequestTimers,
+    /// Sliding per-interval baselines over the aggregate latency
+    /// histogram, backing the v2 stats `latency_window_*` fields.
+    latency_window: HistogramWindow,
+    /// Tail-sampled ring of completed request traces. Always present:
+    /// with the default rate 0.0 only client-pinned traces are recorded,
+    /// so an untraced request costs one atomic load.
+    trace_buf: Arc<TraceBuffer>,
+    /// Mints server-originated trace ids when `--trace-sample` is on.
+    trace_ids: TraceIdGen,
     /// Clones of live connection streams, so shutdown can unblock their
     /// reader threads; slots are pruned as connections close. The count of
     /// occupied slots is also the live-connection count `--max-conns`
@@ -247,6 +275,11 @@ impl ServerHandle {
     pub fn metrics(&self) -> Arc<MetricsRegistry> {
         Arc::clone(self.shared.engine.metrics())
     }
+
+    /// The server's tail-sampled trace buffer.
+    pub fn trace_buffer(&self) -> Arc<TraceBuffer> {
+        Arc::clone(&self.shared.trace_buf)
+    }
 }
 
 /// The long-lived query server: one engine, many connections.
@@ -282,7 +315,15 @@ impl CampaignServer {
                 errors: reg.counter("server.errors"),
                 parse_errors: reg.counter("server.parse_errors"),
                 open_conns: reg.gauge("server.open_conns"),
+                bytes_read: reg.counter("server.bytes_read"),
+                bytes_written: reg.counter("server.bytes_written"),
                 request_ns: RequestTimers::new(&reg),
+                latency_window: HistogramWindow::new(Instant::now(), WINDOW_INTERVAL, WINDOW_SLOTS),
+                trace_buf: Arc::new(TraceBuffer::new(DEFAULT_TRACE_BUFFER)),
+                // fixed seed: ids only need to be unique within one
+                // server lifetime, and a deterministic stream keeps the
+                // sampling decision reproducible across runs
+                trace_ids: TraceIdGen::new(0x7261_6365_5F69_6473),
                 conns: Mutex::new(Vec::new()),
             }),
         })
@@ -290,10 +331,37 @@ impl CampaignServer {
 
     /// Replace the structured logger (default: warn-level to stderr).
     /// Call before [`CampaignServer::run`]; the CLI uses this to apply
-    /// `--log-level` and the slow-query threshold.
+    /// `--log-level` and the slow-query threshold. The logger's
+    /// slow-query threshold doubles as the trace buffer's "always keep"
+    /// rule: a request slow enough to warn about is slow enough to keep
+    /// the trace of.
     pub fn with_logger(self, logger: Arc<Logger>) -> Self {
+        self.shared.trace_buf.set_slow_ns(logger.slow_query_ns());
         *lock_recover(&self.shared.log) = logger;
         self
+    }
+
+    /// Probability of retaining an unremarkable request trace
+    /// (`--trace-sample`; default 0.0). Any non-zero rate turns span
+    /// recording on for *every* request — tail-based retention needs the
+    /// finished trace to decide — while 0.0 records only client-pinned
+    /// traces.
+    pub fn with_trace_sample(self, rate: f64) -> Self {
+        self.shared.trace_buf.set_sample_rate(rate);
+        self
+    }
+
+    /// Retention capacity of the trace ring (`--trace-buffer`; default
+    /// [`DEFAULT_TRACE_BUFFER`], 0 disables retention entirely).
+    pub fn with_trace_buffer(self, cap: usize) -> Self {
+        self.shared.trace_buf.set_capacity(cap);
+        self
+    }
+
+    /// The tail-sampled trace buffer (tests and embedders inspect it
+    /// directly; the wire surface is `{"v": 2, "type": "traces"}`).
+    pub fn trace_buffer(&self) -> Arc<TraceBuffer> {
+        Arc::clone(&self.shared.trace_buf)
     }
 
     /// The metrics registry this server records into (the engine's).
@@ -482,6 +550,8 @@ fn serve_connection(shared: &Shared, stream: TcpStream, conn_id: u64) {
                 break;
             }
         };
+        // +1 for the newline `lines()` stripped
+        shared.bytes_read.add(line.len() as u64 + 1);
         if line.trim().is_empty() {
             continue; // blank keep-alive lines are not requests
         }
@@ -508,6 +578,7 @@ fn serve_connection(shared: &Shared, stream: TcpStream, conn_id: u64) {
             );
             break;
         }
+        shared.bytes_written.add(text.len() as u64);
         if is_shutdown {
             shared.shutdown();
             break;
@@ -540,33 +611,44 @@ fn handle_line(shared: &Shared, line: &str) -> (Value, bool, &'static str) {
     let id = request.id.as_ref();
     let proto = request.proto;
     match request.kind {
-        RequestKind::Query(q) => match shared.engine.query(&q) {
-            Ok(answer) => {
-                shared.queries.incr();
-                (
-                    wire::with_id(wire::answer_response(&answer, proto), id),
-                    false,
-                    "query",
-                )
+        RequestKind::Query(q) => {
+            let ctx = trace_ctx(shared, request.trace);
+            let result = {
+                let root = ctx.as_ref().map(|c| c.root().span("server.query"));
+                let scope = root.as_ref().map(|s| s.scope());
+                shared.engine.query_traced(&q, scope)
+            };
+            let body = match result {
+                Ok(answer) => {
+                    shared.queries.incr();
+                    wire::answer_response(&answer, proto)
+                }
+                Err(e) => {
+                    shared.errors.incr();
+                    if let Some(c) = &ctx {
+                        c.mark_error();
+                    }
+                    wire::wire_error_response(&WireError::from_engine(&e), proto)
+                }
+            };
+            let body = wire::with_trace(body, ctx.as_ref().map(TraceCtx::trace_id), proto);
+            if let Some(c) = ctx {
+                shared.trace_buf.offer(c.finish());
             }
-            Err(e) => {
-                shared.errors.incr();
-                (
-                    wire::with_id(
-                        wire::wire_error_response(&WireError::from_engine(&e), proto),
-                        id,
-                    ),
-                    false,
-                    "query",
-                )
-            }
-        },
+            (wire::with_id(body, id), false, "query")
+        }
         RequestKind::Batch(entries) => {
+            let ctx = trace_ctx(shared, request.trace);
             // run the parseable entries through the engine's parallel
             // batch path, then re-interleave with the parse errors so the
             // response is positional
             let runnable: Vec<_> = entries.iter().filter_map(|r| r.clone().ok()).collect();
-            let mut answers = shared.engine.query_batch(&runnable, 0).into_iter();
+            let batch_answers = {
+                let root = ctx.as_ref().map(|c| c.root().span("server.batch"));
+                let scope = root.as_ref().map(|s| s.scope());
+                shared.engine.query_batch_traced(&runnable, 0, scope)
+            };
+            let mut answers = batch_answers.into_iter();
             let rows: Vec<Result<_, WireError>> = entries
                 .iter()
                 .map(|r| match r {
@@ -581,23 +663,35 @@ fn handle_line(shared: &Shared, line: &str) -> (Value, bool, &'static str) {
             for row in &rows {
                 match row {
                     Ok(_) => shared.queries.incr(),
-                    Err(_) => shared.errors.incr(),
+                    Err(_) => {
+                        shared.errors.incr();
+                        if let Some(c) = &ctx {
+                            c.mark_error();
+                        }
+                    }
                 };
             }
-            (
-                wire::with_id(wire::batch_response(&rows, proto), id),
-                false,
-                "batch",
-            )
+            let body = wire::with_trace(
+                wire::batch_response(&rows, proto),
+                ctx.as_ref().map(TraceCtx::trace_id),
+                proto,
+            );
+            if let Some(c) = ctx {
+                shared.trace_buf.offer(c.finish());
+            }
+            (wire::with_id(body, id), false, "batch")
         }
         RequestKind::Stats => {
             let latency = shared.request_ns.aggregate();
+            let windowed = shared.latency_window.observe(&latency, Instant::now());
             (
                 wire::with_id(
                     wire::with_version(
                         stats_response(
                             &shared.stats_with(&latency),
                             &latency,
+                            &windowed,
+                            shared.latency_window.window(),
                             &shared.engine.stats(),
                             proto,
                         ),
@@ -618,6 +712,19 @@ fn handle_line(shared: &Shared, line: &str) -> (Value, bool, &'static str) {
             false,
             "metrics",
         ),
+        RequestKind::Traces { limit } => {
+            let traces: Vec<Value> = shared
+                .trace_buf
+                .recent(limit)
+                .iter()
+                .map(|t| t.to_value())
+                .collect();
+            (
+                wire::with_id(wire::traces_response(&traces), id),
+                false,
+                "traces",
+            )
+        }
         RequestKind::Shutdown => {
             let mut m = Map::new();
             m.insert("ok".into(), Value::Bool(true));
@@ -631,13 +738,31 @@ fn handle_line(shared: &Shared, line: &str) -> (Value, bool, &'static str) {
     }
 }
 
+/// Start a trace for one request, if anything will want it: a
+/// client-supplied id is always recorded (pinned past sampling — the
+/// client asked by name), and a non-zero sample rate records every
+/// request so the tail rule can decide at completion. Neither → `None`,
+/// and the whole span machinery is skipped.
+fn trace_ctx(shared: &Shared, client: Option<u64>) -> Option<TraceCtx> {
+    match client {
+        Some(id) => Some(TraceCtx::new(id, true)),
+        None if shared.trace_buf.sample_rate() > 0.0 => {
+            Some(TraceCtx::new(shared.trace_ids.mint(), false))
+        }
+        None => None,
+    }
+}
+
 /// The stats response body: server counters + engine counters. The v1
 /// body is byte-for-byte what it has always been; v2 adds histogram
 /// percentiles of per-request handling time (`latency` aggregates every
-/// request type).
+/// request type) and their sliding-window counterparts (`windowed`, the
+/// last `window` of it).
 fn stats_response(
     server: &ServerStats,
     latency: &HistogramSnapshot,
+    windowed: &HistogramSnapshot,
+    window: Duration,
     engine: &EngineStats,
     proto: Protocol,
 ) -> Value {
@@ -657,6 +782,16 @@ fn stats_response(
         s.insert("latency_p50_ns".into(), latency.quantile(0.50).to_value());
         s.insert("latency_p99_ns".into(), latency.quantile(0.99).to_value());
         s.insert("latency_max_ns".into(), latency.max.to_value());
+        s.insert(
+            "latency_window_p50_ns".into(),
+            windowed.quantile(0.50).to_value(),
+        );
+        s.insert(
+            "latency_window_p99_ns".into(),
+            windowed.quantile(0.99).to_value(),
+        );
+        s.insert("latency_window_requests".into(), windowed.count.to_value());
+        s.insert("latency_window_seconds".into(), window.as_secs().to_value());
     }
     let mut m = Map::new();
     m.insert("ok".into(), Value::Bool(true));

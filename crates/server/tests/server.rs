@@ -938,3 +938,274 @@ fn structured_logger_traces_connection_lifecycle() {
     );
     assert_eq!(slow_obj.get("level"), Some(&Value::String("warn".into())));
 }
+
+#[test]
+fn client_trace_ids_are_echoed_and_their_span_trees_retained() {
+    // the tentpole contract at rate 0.0: only client-pinned traces are
+    // recorded, the id is echoed canonically, and the retained span tree
+    // nests server → engine → welfare
+    let (handle, join) = start(engine());
+    let mut c = Client::connect(&handle);
+
+    let traced = c.roundtrip(
+        r#"{"v": 2, "trace": "c0ffee", "config": "C1", "budgets": [3, 3], "samples": 100}"#,
+    );
+    assert!(ok(&traced), "{traced:?}");
+    assert_eq!(
+        traced.as_object().unwrap().get("trace"),
+        Some(&Value::String("0000000000c0ffee".into())),
+        "client trace ids come back zero-padded to canonical 16-hex"
+    );
+    // untraced v2 and every v1 answer stay trace-free (v1 byte pin)
+    let plain = c.roundtrip(r#"{"v": 2, "config": "C1", "budgets": [3, 3], "samples": 100}"#);
+    assert!(plain.as_object().unwrap().get("trace").is_none());
+    let v1 = c.roundtrip(Q1);
+    assert!(v1.as_object().unwrap().get("trace").is_none());
+
+    let resp = c.roundtrip(r#"{"v": 2, "type": "traces"}"#);
+    assert!(ok(&resp), "{resp:?}");
+    let arr = resp.as_object().unwrap()["traces"].as_array().unwrap();
+    assert_eq!(arr.len(), 1, "rate 0.0 retains only the pinned trace");
+    let trace = cwelmax_obs::Trace::from_value(&arr[0]).expect("wire trace parses");
+    assert_eq!(trace.trace_id, 0xc0ffee);
+    assert!(trace.pinned);
+    assert!(!trace.error);
+    assert!(trace.duration_ns > 0);
+    assert_eq!(trace.spans.len(), 1, "one root span per request");
+    let root = &trace.spans[0];
+    assert_eq!(root.name, "server.query");
+    let engine_span = root
+        .children
+        .iter()
+        .find(|s| s.name == "engine.query")
+        .expect("engine.query nests under server.query");
+    assert!(
+        engine_span
+            .attrs
+            .iter()
+            .any(|(k, v)| k == "algorithm" && *v == cwelmax_obs::AttrValue::Str("seqgrd-nm".into())),
+        "engine span names its algorithm: {:?}",
+        engine_span.attrs
+    );
+    let welfare: Vec<_> = engine_span
+        .children
+        .iter()
+        .filter(|s| s.name == "engine.welfare")
+        .collect();
+    assert!(
+        !welfare.is_empty(),
+        "welfare evaluations hang under the engine query span"
+    );
+    assert!(
+        welfare
+            .iter()
+            .all(|w| w.attrs.iter().any(|(k, _)| k == "cache_hit")),
+        "every welfare span reports its cache outcome"
+    );
+    // a v1 line asking for traces gets the legacy unknown-type bytes
+    let legacy = c.roundtrip(r#"{"type": "traces"}"#);
+    assert!(!ok(&legacy));
+    assert!(error_text(&legacy).contains("unknown request type"));
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn sampled_tracing_mints_ids_and_stats_report_windowed_percentiles() {
+    // --trace-sample 1.0: every request is recorded under a server-minted
+    // id (echoed on v2 answers), and v2 stats carry last-minute windowed
+    // percentiles next to the lifetime ones
+    let server = CampaignServer::bind(engine(), "127.0.0.1:0")
+        .unwrap()
+        .with_trace_sample(1.0)
+        .with_trace_buffer(8);
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().unwrap());
+    let mut c = Client::connect(&handle);
+
+    let a = c.roundtrip(r#"{"v": 2, "config": "C1", "budgets": [3, 3], "samples": 100}"#);
+    assert!(ok(&a), "{a:?}");
+    let minted = a.as_object().unwrap()["trace"]
+        .as_str()
+        .expect("sampled v2 answers echo a server-minted trace id")
+        .to_string();
+    assert_eq!(minted.len(), 16);
+    // batches are traced too, as one trace under server.batch
+    let b = c.roundtrip(
+        r#"{"v": 2, "type": "batch", "queries": [{"config": "C1", "budgets": [2, 2], "samples": 100}, {"config": "C2", "budgets": [2, 2], "samples": 100}]}"#,
+    );
+    assert!(ok(&b), "{b:?}");
+    assert!(b.as_object().unwrap().get("trace").is_some());
+
+    let resp = c.roundtrip(r#"{"v": 2, "type": "traces"}"#);
+    let arr = resp.as_object().unwrap()["traces"].as_array().unwrap();
+    assert_eq!(arr.len(), 2, "both requests were retained at rate 1.0");
+    let traces: Vec<_> = arr
+        .iter()
+        .map(|t| cwelmax_obs::Trace::from_value(t).unwrap())
+        .collect();
+    // newest first: the batch, then the single query
+    assert_eq!(traces[0].spans[0].name, "server.batch");
+    assert_eq!(traces[1].spans[0].name, "server.query");
+    assert_eq!(
+        cwelmax_obs::trace::format_trace_id(traces[1].trace_id),
+        minted,
+        "the echoed id finds its trace in the buffer"
+    );
+    assert!(!traces[1].pinned, "server-minted traces are not pinned");
+    let engine_batch = traces[0].spans[0]
+        .children
+        .iter()
+        .find(|s| s.name == "engine.batch")
+        .expect("engine.batch nests under server.batch");
+    assert_eq!(
+        engine_batch
+            .children
+            .iter()
+            .filter(|s| s.name == "engine.query")
+            .count(),
+        2,
+        "each batch entry contributes its own engine.query span"
+    );
+    // limit is honored, newest first
+    let limited = c.roundtrip(r#"{"v": 2, "type": "traces", "limit": 1}"#);
+    let arr = limited.as_object().unwrap()["traces"].as_array().unwrap();
+    assert_eq!(arr.len(), 1);
+
+    // windowed percentiles: v2-only, fresh (everything above happened
+    // within the first 5s interval, so window == lifetime-ish counts)
+    let stats = c.roundtrip(r#"{"v": 2, "type": "stats"}"#);
+    let s = stats.as_object().unwrap()["server"].as_object().unwrap();
+    let window_reqs = uint(s.get("latency_window_requests")).unwrap();
+    let lifetime_reqs = uint(s.get("requests")).unwrap();
+    assert!(window_reqs >= 1 && window_reqs <= lifetime_reqs);
+    assert!(uint(s.get("latency_window_p50_ns")).is_some());
+    assert!(uint(s.get("latency_window_p99_ns")).is_some());
+    assert_eq!(uint(s.get("latency_window_seconds")), Some(60));
+    assert!(
+        uint(s.get("latency_window_p99_ns")).unwrap() <= uint(s.get("latency_max_ns")).unwrap(),
+        "windowed p99 is bounded by the lifetime max"
+    );
+    // and none of it leaks into the v1 stats body
+    let v1_stats = c.roundtrip(r#"{"type": "stats"}"#);
+    let s = v1_stats.as_object().unwrap()["server"].as_object().unwrap();
+    assert!(s.get("latency_window_p50_ns").is_none());
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn sp_follow_up_trace_shows_conditioned_derive_and_per_shard_faults() {
+    // the storage acceptance bar: a traced SP follow-up against a 4-shard
+    // store retains a span tree proving the conditioned derive faulted
+    // exactly shards 0..4, each under its own store.shard_fault span
+    use cwelmax_obs::AttrValue;
+    let graph = Arc::new(generators::erdos_renyi(
+        100,
+        400,
+        7,
+        ProbabilityModel::WeightedCascade,
+    ));
+    let params = ImmParams {
+        eps: 0.5,
+        ell: 1.0,
+        seed: 7,
+        threads: 2,
+        max_rr_sets: 500_000,
+    };
+    let index = RrIndex::build(&graph, 8, &params);
+    let dir = std::env::temp_dir().join(format!("cwelmax-server-trace-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    cwelmax_store::write_store(&index, &dir, 4).unwrap();
+    let store = Arc::new(cwelmax_store::ShardedIndex::open(&dir).unwrap());
+    let eng = Arc::new(
+        EngineBuilder::from_backend(store)
+            .graph(graph)
+            .build()
+            .unwrap(),
+    );
+    let (handle, join) = start(eng);
+    let mut c = Client::connect(&handle);
+
+    let resp = c.roundtrip(
+        r#"{"v": 2, "trace": "feed", "config": "C1", "budgets": [3, 3], "sp": [[0, 1], [17, 1]], "samples": 100}"#,
+    );
+    assert!(ok(&resp), "{resp:?}");
+    assert_eq!(
+        resp.as_object().unwrap().get("trace"),
+        Some(&Value::String("000000000000feed".into()))
+    );
+
+    let traces = c.roundtrip(r#"{"v": 2, "type": "traces", "limit": 1}"#);
+    let arr = traces.as_object().unwrap()["traces"].as_array().unwrap();
+    assert_eq!(arr.len(), 1);
+    let trace = cwelmax_obs::Trace::from_value(&arr[0]).unwrap();
+    assert_eq!(trace.trace_id, 0xfeed);
+    let root = &trace.spans[0];
+    assert_eq!(root.name, "server.query");
+    let engine_span = root
+        .children
+        .iter()
+        .find(|s| s.name == "engine.query")
+        .expect("engine.query under server.query");
+    assert!(
+        engine_span
+            .attrs
+            .iter()
+            .any(|(k, v)| k == "follow_up" && *v == AttrValue::Bool(true)),
+        "an SP-bearing query is a follow-up: {:?}",
+        engine_span.attrs
+    );
+    let derive = engine_span
+        .children
+        .iter()
+        .find(|s| s.name == "engine.conditioned_derive")
+        .expect("first follow-up pays the conditioned derive");
+    assert!(
+        derive.attrs.iter().any(|(k, _)| k == "sp_fingerprint"),
+        "derive span carries the SP fingerprint: {:?}",
+        derive.attrs
+    );
+    let store_span = derive
+        .children
+        .iter()
+        .find(|s| s.name == "store.derive_conditioned")
+        .expect("storage derive nests under the engine derive");
+    let mut shards: Vec<u64> = store_span
+        .children
+        .iter()
+        .filter(|s| s.name == "store.shard_fault")
+        .map(|s| {
+            match s
+                .attrs
+                .iter()
+                .find(|(k, _)| k == "shard")
+                .map(|(_, v)| v.clone())
+            {
+                Some(AttrValue::U64(k)) => k,
+                other => panic!("shard fault span lacks a shard attr: {other:?}"),
+            }
+        })
+        .collect();
+    shards.sort_unstable();
+    assert_eq!(
+        shards,
+        vec![0, 1, 2, 3],
+        "the first SP follow-up faults every shard, one span each"
+    );
+    // span timing is consistent: faults fall inside the derive span
+    for fault in store_span
+        .children
+        .iter()
+        .filter(|s| s.name == "store.shard_fault")
+    {
+        assert!(fault.start_ns >= store_span.start_ns);
+        assert!(fault.end_ns <= store_span.end_ns);
+    }
+
+    handle.shutdown();
+    join.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}

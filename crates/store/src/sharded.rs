@@ -27,7 +27,7 @@ use cwelmax_engine::{
     ConditionedView, EngineBuilder, EngineError, IndexBackend, IndexMeta, RrIndex, StorageStats,
 };
 use cwelmax_graph::NodeId;
-use cwelmax_obs::{Counter, Histogram, MetricsRegistry};
+use cwelmax_obs::{Counter, Histogram, MetricsRegistry, TraceScope};
 use cwelmax_rrset::collection::{greedy_argmax, GreedySelection};
 use cwelmax_rrset::condition_parts;
 use std::path::{Path, PathBuf};
@@ -501,21 +501,48 @@ impl ShardedIndex {
     /// (lowest id, deterministically) is returned; siblings that loaded
     /// stay resident.
     pub fn load_all(&self) -> Result<Vec<Arc<RrIndex>>, EngineError> {
+        self.load_all_traced(None)
+    }
+
+    /// [`ShardedIndex::load_all`] recording one `store.shard_fault` span
+    /// per *missing* shard under `trace` (resident shards cost an `Arc`
+    /// clone and earn no span). Spans are recorded from the fault worker
+    /// threads — [`TraceScope`] is `Copy + Sync`, so each scoped thread
+    /// carries its own copy and pushes into the shared trace.
+    fn load_all_traced(
+        &self,
+        trace: Option<TraceScope<'_>>,
+    ) -> Result<Vec<Arc<RrIndex>>, EngineError> {
         let missing: Vec<usize> = (0..self.slots.len())
             .filter(|&k| self.slots[k].get().is_none())
             .collect();
+        let fault = |k: usize| {
+            let mut span = trace.map(|s| s.span("store.shard_fault"));
+            if let Some(sp) = span.as_mut() {
+                sp.attr("shard", k as u64);
+            }
+            let faulted = self.shard(k);
+            if faulted.is_err() {
+                if let Some(sp) = span.as_mut() {
+                    sp.attr("error", true);
+                }
+            }
+        };
         if missing.len() > 1 {
             let workers = worker_count(missing.len());
             let chunk = missing.len().div_ceil(workers);
             std::thread::scope(|scope| {
                 for ids in missing.chunks(chunk) {
+                    let fault = &fault;
                     scope.spawn(move || {
                         for &k in ids {
-                            let _ = self.shard(k);
+                            fault(k);
                         }
                     });
                 }
             });
+        } else if let Some(&k) = missing.first() {
+            fault(k);
         }
         (0..self.slots.len()).map(|k| self.shard(k)).collect()
     }
@@ -628,9 +655,27 @@ impl IndexBackend for ShardedIndex {
     /// cost a sharded store pays over a monolithic index: the first SP
     /// query faults all shards in.
     fn derive_conditioned(&self, sp_nodes: &[NodeId]) -> Result<ConditionedView, EngineError> {
+        self.derive_conditioned_traced(sp_nodes, None)
+    }
+
+    /// The traced variant is the real implementation: it hangs one
+    /// `store.derive_conditioned` span off the engine's derive span, with
+    /// the per-shard fault spans from [`ShardedIndex::load_all_traced`]
+    /// nested underneath — so a follow-up campaign's trace shows exactly
+    /// which shards its first SP query paid to fault in.
+    fn derive_conditioned_traced(
+        &self,
+        sp_nodes: &[NodeId],
+        trace: Option<TraceScope<'_>>,
+    ) -> Result<ConditionedView, EngineError> {
+        let mut span = trace.map(|s| s.span("store.derive_conditioned"));
+        if let Some(sp) = span.as_mut() {
+            sp.attr("shards_total", self.slots.len() as u64);
+        }
+        let child = span.as_ref().map(|sp| sp.scope());
         let n = self.manifest.num_nodes;
         let nodes = validated_sp_nodes(n, sp_nodes)?;
-        let shards = self.load_all()?;
+        let shards = self.load_all_traced(child)?;
         let mut set_offsets = vec![0usize];
         let mut members: Vec<NodeId> = Vec::new();
         let mut weights: Vec<f64> = Vec::new();

@@ -77,7 +77,8 @@
 //! cwelmax serve --graph edges.txt --index index.cwrx \
 //!         [--addr 127.0.0.1:7878] [--cache-cap N] [--max-conns N] \
 //!         [--log-level error|warn|info|debug|trace] [--slow-query-ms N] \
-//!         [--metrics-dump SECS] [--metrics-file PATH]
+//!         [--metrics-dump SECS] [--metrics-file PATH] \
+//!         [--trace-sample RATE] [--trace-buffer N]
 //! cwelmax serve --graph edges.txt --store index.store [...]
 //! ```
 //!
@@ -101,7 +102,13 @@
 //! and server); `--metrics-dump SECS` appends the same snapshot as one
 //! NDJSON line every `SECS` seconds to `--metrics-file` (stderr when
 //! omitted). `--log-level` tunes the structured NDJSON logger (default
-//! `warn`); `--slow-query-ms N` logs any request slower than `N` ms.
+//! `warn`); `--slow-query-ms N` logs any request slower than `N` ms —
+//! and marks its trace as always-keep. `--trace-sample RATE` records a
+//! span tree per request, tail-retaining errors, slow requests, and a
+//! `RATE` sample of the rest into a ring of `--trace-buffer N` traces
+//! (default 256), scraped via `{"v": 2, "type": "traces"}`; a client may
+//! also pin one request by sending a hex `"trace"` id, echoed on the
+//! answer.
 //!
 //! Prints the chosen allocation(s), estimated welfare and per-item
 //! adoption counts; `--json` switches to machine-readable output.
@@ -483,6 +490,8 @@ fn cmd_serve(argv: Vec<String>) {
     let mut slow_query_ms: Option<u64> = None;
     let mut metrics_dump_secs: Option<u64> = None;
     let mut metrics_file: Option<String> = None;
+    let mut trace_sample: Option<f64> = None;
+    let mut trace_buffer: Option<usize> = None;
     let mut f = Flags::new(argv);
     while let Some(flag) = f.next_flag() {
         match flag.as_str() {
@@ -496,7 +505,14 @@ fn cmd_serve(argv: Vec<String>) {
             "--slow-query-ms" => slow_query_ms = Some(f.parsed("--slow-query-ms")),
             "--metrics-dump" => metrics_dump_secs = Some(f.parsed("--metrics-dump")),
             "--metrics-file" => metrics_file = Some(f.value("--metrics-file")),
+            "--trace-sample" => trace_sample = Some(f.parsed("--trace-sample")),
+            "--trace-buffer" => trace_buffer = Some(f.parsed("--trace-buffer")),
             other => die(&format!("unknown `serve` argument `{other}`")),
+        }
+    }
+    if let Some(rate) = trace_sample {
+        if !(0.0..=1.0).contains(&rate) {
+            die("--trace-sample must be in [0, 1]");
         }
     }
     let graph_path = graph_path.unwrap_or_else(|| die("--graph is required"));
@@ -516,16 +532,23 @@ fn cmd_serve(argv: Vec<String>) {
     if let Some(n) = max_conns {
         server = server.with_max_conns(n);
     }
+    if let Some(rate) = trace_sample {
+        server = server.with_trace_sample(rate);
+    }
+    if let Some(cap) = trace_buffer {
+        server = server.with_trace_buffer(cap);
+    }
     // periodic registry snapshots, one NDJSON line each, until the
     // server stops (the dump thread is a daemon: detached on purpose)
     if let Some(secs) = metrics_dump_secs {
         let registry = server.metrics();
         let path = metrics_file.clone();
+        let dump_log = Arc::clone(&logger);
         std::thread::spawn(move || {
             let period = std::time::Duration::from_secs(secs.max(1));
             loop {
                 std::thread::sleep(period);
-                dump_metrics_line(&registry, path.as_deref());
+                dump_metrics_line(&registry, path.as_deref(), &dump_log);
             }
         });
     }
@@ -540,9 +563,14 @@ fn cmd_serve(argv: Vec<String>) {
 }
 
 /// Append one `{"ts_ms": …, "metrics": {…}}` NDJSON line to `path` (or
-/// stderr when no `--metrics-file` is given). Failures are reported but
-/// never take the server down — metrics are best-effort by design.
-fn dump_metrics_line(registry: &obs::MetricsRegistry, path: Option<&str>) {
+/// stderr when no `--metrics-file` is given), flushing after the line so
+/// tail-readers see complete records. Failures never take the server
+/// down — metrics are best-effort by design — but they are *counted*
+/// (`server.metrics_dump_errors`, visible in the next successful dump
+/// and over the wire) and warned about through the structured logger, so
+/// a wedged metrics file is an observable condition rather than a
+/// silently dead NDJSON stream.
+fn dump_metrics_line(registry: &obs::MetricsRegistry, path: Option<&str>, log: &obs::Logger) {
     use std::io::Write as _;
     let ts_ms = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -558,11 +586,23 @@ fn dump_metrics_line(registry: &obs::MetricsRegistry, path: Option<&str>) {
             .create(true)
             .append(true)
             .open(p)
-            .and_then(|mut f| f.write_all(line.as_bytes())),
-        None => std::io::stderr().write_all(line.as_bytes()),
+            .and_then(|mut f| f.write_all(line.as_bytes()).and_then(|()| f.flush())),
+        None => std::io::stderr()
+            .write_all(line.as_bytes())
+            .and_then(|()| std::io::stderr().flush()),
     };
     if let Err(e) = result {
-        eprintln!("warning: metrics dump failed: {e}");
+        registry.counter("server.metrics_dump_errors").incr();
+        log.warn(
+            "metrics_dump_error",
+            &[
+                ("error", serde::Serialize::to_value(&e.to_string())),
+                (
+                    "path",
+                    serde::Serialize::to_value(&path.unwrap_or("<stderr>").to_string()),
+                ),
+            ],
+        );
     }
 }
 
