@@ -1,0 +1,112 @@
+//! Live θ top-up vs. cold rebuild — the number that justifies the
+//! mutation journal's existence.
+//!
+//! Growing a serving index without the journal means rebuilding the
+//! **entire** θ₁ population from scratch and freezing it; with the
+//! journal, `JournaledStore::ensure_theta` samples only the deficit
+//! (θ₁ − θ₀ sets, continuing the same seed stream), appends one durable
+//! journal record, and splices the new sets in as an in-memory overlay.
+//! Top-up cost is therefore `O(deficit)` while the rebuild is `O(θ₁)`,
+//! and the gap widens as the index grows. Both paths produce
+//! bit-identical answers (asserted by `journal_recovery.rs`); this bench
+//! measures what that equivalence costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cwelmax_bench::{network, Scale};
+use cwelmax_engine::{graph_fingerprint, IndexMeta, RrIndex};
+use cwelmax_graph::generators::benchmark::Network;
+use cwelmax_rrset::{RrCollection, StandardRr, REGEN_SEED_XOR};
+use cwelmax_store::{write_store, JournaledStore, JOURNAL_FILE};
+
+const SHARDS: usize = 8;
+const CAP: u32 = 20;
+const WORKERS: usize = 2;
+
+fn bench(c: &mut Criterion) {
+    let graph = network(Network::NetHept, Scale::Quick);
+    let imm = Scale::Quick.imm();
+    let meta = IndexMeta {
+        eps: imm.eps,
+        ell: imm.ell,
+        seed: imm.seed,
+        budget_cap: CAP,
+        graph_fingerprint: graph_fingerprint(&graph),
+    };
+
+    // the base store: θ₀ sets from the regeneration stream, so the cold
+    // rebuild at θ₁ below is the exact population a top-up reproduces
+    let theta0 = 10_000usize;
+    let target = theta0 + theta0 / 4; // grow by 25%
+    let mut base = RrCollection::new(graph.num_nodes());
+    base.extend_parallel(
+        &graph,
+        &StandardRr,
+        theta0,
+        imm.seed ^ REGEN_SEED_XOR,
+        WORKERS,
+    );
+    let index = RrIndex::freeze(&base, meta);
+    let dir = std::env::temp_dir().join(format!("cwelmax-bench-topup-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let store_dir = dir.join("index.store");
+    write_store(&index, &store_dir, SHARDS).unwrap();
+
+    // cold: what a restart pays — resample the FULL target population
+    // and freeze it into a fresh index
+    let cold = cwelmax_bench::benchjson::measure(10, || {
+        let mut c = RrCollection::new(graph.num_nodes());
+        c.extend_parallel(
+            &graph,
+            &StandardRr,
+            target,
+            imm.seed ^ REGEN_SEED_XOR,
+            WORKERS,
+        );
+        std::hint::black_box(RrIndex::freeze(&c, meta));
+    });
+    // warm: open the journaled store and top up only the deficit
+    // (removing `journal.bin` resets the store to θ₀ between runs)
+    let warm = cwelmax_bench::benchjson::measure(20, || {
+        std::fs::remove_file(store_dir.join(JOURNAL_FILE)).ok();
+        let js = JournaledStore::open(&store_dir).unwrap();
+        assert_eq!(
+            std::hint::black_box(js.ensure_theta(&graph, target).unwrap()),
+            target
+        );
+    });
+    cwelmax_bench::benchjson::record(
+        &[
+            ("journal_topup/cold_rebuild_at_target_theta", cold),
+            ("journal_topup/warm_topup_of_deficit", warm),
+        ],
+        &[("topup_speedup_cold_over_warm", cold.mean_ns / warm.mean_ns)],
+    );
+
+    let mut group = c.benchmark_group("journal_topup");
+    group.sample_size(10);
+    group.bench_function("cold_rebuild_at_target_theta", |b| {
+        b.iter(|| {
+            let mut c = RrCollection::new(graph.num_nodes());
+            c.extend_parallel(
+                &graph,
+                &StandardRr,
+                target,
+                imm.seed ^ REGEN_SEED_XOR,
+                WORKERS,
+            );
+            RrIndex::freeze(&c, meta)
+        })
+    });
+    group.bench_function("warm_topup_of_deficit", |b| {
+        b.iter(|| {
+            std::fs::remove_file(store_dir.join(JOURNAL_FILE)).ok();
+            let js = JournaledStore::open(&store_dir).unwrap();
+            js.ensure_theta(&graph, target).unwrap()
+        })
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

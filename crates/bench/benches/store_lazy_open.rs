@@ -70,6 +70,18 @@ fn bench(c: &mut Criterion) {
         std::hint::black_box(engine.query(&query).unwrap());
         assert_eq!(store.shards_loaded(), 0);
     });
+    // resident-vs-total: how little of the store a cold open actually
+    // pays for. A fresh open faults nothing; one shard touch faults one
+    // shard; the totals put the `store.resident_bytes` gauge in context.
+    let probe = ShardedIndex::open(&store_dir).unwrap();
+    let resident_cold = probe.resident_bytes();
+    probe.shard(0).unwrap();
+    let resident_one_shard = probe.resident_bytes();
+    probe.load_all().unwrap();
+    let resident_full = probe.resident_bytes();
+    let total_on_disk = probe.bytes_on_disk();
+    assert_eq!(resident_cold, 0, "a cold open must fault no shard bytes");
+
     cwelmax_bench::benchjson::record(
         &[
             ("store_lazy_open/monolithic_snapshot_load", mono),
@@ -77,10 +89,20 @@ fn bench(c: &mut Criterion) {
             ("store_lazy_open/parallel_load_all_shards", load_all),
             ("store_lazy_open/cold_open_plus_fresh_query", cold_query),
         ],
-        &[(
-            "store_open_speedup_mono_over_lazy",
-            mono.mean_ns / lazy.mean_ns,
-        )],
+        &[
+            (
+                "store_open_speedup_mono_over_lazy",
+                mono.mean_ns / lazy.mean_ns,
+            ),
+            ("store_resident_bytes_cold_open", resident_cold as f64),
+            ("store_resident_bytes_one_shard", resident_one_shard as f64),
+            ("store_resident_bytes_fully_loaded", resident_full as f64),
+            ("store_bytes_on_disk_total", total_on_disk as f64),
+            (
+                "store_resident_fraction_one_shard",
+                resident_one_shard as f64 / total_on_disk as f64,
+            ),
+        ],
     );
 
     let mut group = c.benchmark_group("store_lazy_open");

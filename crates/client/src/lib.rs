@@ -82,6 +82,9 @@ pub struct ServerError {
     pub message: String,
     /// Whether retrying the same request may succeed.
     pub retryable: bool,
+    /// Server-suggested back-off before retrying, when it gave one (the
+    /// accept-time busy refusal does; `None` everywhere else).
+    pub retry_after_ms: Option<u64>,
 }
 
 impl ServerError {
@@ -111,6 +114,7 @@ impl ServerError {
                     .unwrap_or_default()
                     .to_string(),
                 retryable: m.get("retryable") == Some(&Value::Bool(true)),
+                retry_after_ms: None,
             },
             // v1: bare string
             Value::String(s) => ServerError {
@@ -118,12 +122,14 @@ impl ServerError {
                 kind: "error".into(),
                 message: s.clone(),
                 retryable: false,
+                retry_after_ms: None,
             },
             other => ServerError {
                 code: 0,
                 kind: "error".into(),
                 message: format!("unintelligible error payload: {other:?}"),
                 retryable: false,
+                retry_after_ms: None,
             },
         }
     }
@@ -202,6 +208,12 @@ pub struct RemoteStats {
     pub shards_total: u64,
     pub shards_loaded: u64,
     pub store_bytes_on_disk: u64,
+    /// Records in the mutation journal (0 on v1 and journal-less stores).
+    pub journal_records: u64,
+    /// Bytes of committed journal (0 on v1 and journal-less stores).
+    pub journal_bytes: u64,
+    /// θ top-ups served since bind (0 on v1 and journal-less stores).
+    pub topups_total: u64,
 }
 
 /// A typed connection to a `cwelmax serve` instance. See the module
@@ -244,15 +256,34 @@ impl Conn {
     }
 }
 
+/// Longest back-off `connect` will honor from a busy refusal's
+/// `retry_after_ms` hint — a misbehaving (or hostile) server must not be
+/// able to park the client for minutes.
+const MAX_RETRY_AFTER_MS: u64 = 2_000;
+
 impl CwelmaxClient {
     /// Connect and negotiate: hello first, automatic v1 fallback if the
-    /// server rejects it (see the module docs).
+    /// server rejects it (see the module docs). A busy refusal carrying
+    /// a `retry_after_ms` hint is honored with **one** bounded back-off
+    /// and reconnect (capped at [`MAX_RETRY_AFTER_MS`]); a second
+    /// refusal surfaces as [`ClientError::Server`].
     pub fn connect(addr: impl Into<String>) -> Result<CwelmaxClient, ClientError> {
         let addr = addr.into();
-        let mut conn = Conn::open(&addr)?;
+        match Self::connect_once(&addr) {
+            Err(ClientError::Server(err)) if err.retry_after_ms.is_some() => {
+                let hint = err.retry_after_ms.unwrap_or(0).min(MAX_RETRY_AFTER_MS);
+                std::thread::sleep(std::time::Duration::from_millis(hint));
+                Self::connect_once(&addr)
+            }
+            other => other,
+        }
+    }
+
+    fn connect_once(addr: &str) -> Result<CwelmaxClient, ClientError> {
+        let mut conn = Conn::open(addr)?;
         let negotiated = Self::negotiate(&mut conn)?;
         Ok(CwelmaxClient {
-            addr,
+            addr: addr.to_string(),
             conn,
             negotiated,
         })
@@ -466,7 +497,34 @@ impl CwelmaxClient {
             shards_total: g(engine, "shards_total"),
             shards_loaded: g(engine, "shards_loaded"),
             store_bytes_on_disk: g(engine, "store_bytes_on_disk"),
+            journal_records: g(engine, "journal_records"),
+            journal_bytes: g(engine, "journal_bytes"),
+            topups_total: g(engine, "topups_total"),
         })
+    }
+
+    /// Grow the server's sampled population to at least `theta` RR sets
+    /// (wire v2 only; the server's backend must be a journaled store to
+    /// accept a real deficit). Returns the population after the grow.
+    /// Check [`CwelmaxClient::has_feature`]`("topup")` to probe support
+    /// without a failing request.
+    pub fn topup(&mut self, theta: usize) -> Result<u64, ClientError> {
+        if self.negotiated.is_none() {
+            return Err(ClientError::Protocol(
+                "topup requires wire protocol v2 (server negotiated v1)".into(),
+            ));
+        }
+        let mut m = Map::new();
+        m.insert("v".into(), Value::UInt(wire::PROTOCOL_VERSION));
+        m.insert("type".into(), Value::String("topup".into()));
+        m.insert("theta".into(), Value::UInt(theta as u64));
+        let v = self.request(wire::to_line(&Value::Object(m)))?;
+        let obj = object_of(&v)?;
+        if let Some(err) = failure_of(obj) {
+            return Err(ClientError::Server(err));
+        }
+        u64_of(obj.get("theta"))
+            .ok_or_else(|| ClientError::Protocol("topup response lacks `theta`".into()))
     }
 
     /// Scrape the server's full metrics registry (wire v2 only — the
@@ -575,15 +633,20 @@ fn failure_of(obj: &Map) -> Option<ServerError> {
     if obj.get("ok") == Some(&Value::Bool(true)) {
         return None;
     }
-    Some(match obj.get("error") {
+    let mut err = match obj.get("error") {
         Some(err) => ServerError::from_value(err),
         None => ServerError {
             code: 0,
             kind: "error".into(),
             message: "server reported failure without an error payload".into(),
             retryable: false,
+            retry_after_ms: None,
         },
-    })
+    };
+    // the back-off hint rides at the top level of the refusal line, next
+    // to the (byte-pinned) `error`/`ok` pair
+    err.retry_after_ms = u64_of(obj.get("retry_after_ms"));
+    Some(err)
 }
 
 fn answer_of(obj: &Map) -> Result<RemoteAnswer, String> {

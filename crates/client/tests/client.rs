@@ -440,3 +440,162 @@ fn tracing_fails_fast_on_a_v1_connection() {
     }
     server.join().unwrap();
 }
+
+/// A busy refusal that carries the server's `retry_after_ms` hint is
+/// honored with exactly one bounded back-off and reconnect: the second
+/// attempt lands on a freed slot and negotiates v2 normally.
+#[test]
+fn busy_refusal_with_a_retry_hint_is_retried_once() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let hello = r#"{"features":["batch","sp","stats","store"],"ok":true,"protocol":2,"server_version":"0.1.0","v":2}"#;
+    let server = std::thread::spawn(move || {
+        // connection 1: the hinted refusal, then close — like
+        // CampaignServer's refuse_busy with BUSY_RETRY_AFTER_MS attached
+        // (the hello is drained first so the close cannot race the
+        // client's in-flight write into a reset)
+        let (stream, _) = listener.accept().unwrap();
+        {
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let mut s = &stream;
+            s.write_all(
+                b"{\"error\":\"server busy: connection limit 1 reached, retry later\",\"ok\":false,\"retry_after_ms\":100}\n",
+            )
+            .unwrap();
+            s.flush().unwrap();
+        }
+        drop(stream);
+        // connection 2: the slot freed up; full negotiation
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("hello"), "{line}");
+        let mut s = &stream;
+        s.write_all(hello.as_bytes()).unwrap();
+        s.write_all(b"\n").unwrap();
+        s.flush().unwrap();
+    });
+
+    let started = std::time::Instant::now();
+    let client = CwelmaxClient::connect(addr.to_string()).unwrap();
+    assert_eq!(
+        client.protocol(),
+        2,
+        "the retry negotiates a normal v2 session"
+    );
+    assert!(
+        started.elapsed() >= std::time::Duration::from_millis(100),
+        "the hint's back-off must actually be waited out"
+    );
+    server.join().unwrap();
+}
+
+/// A server that is *still* busy after the hinted back-off gets exactly
+/// one retry — the second refusal surfaces as the final error, hint and
+/// all, instead of looping.
+#[test]
+fn a_second_busy_refusal_after_the_hinted_retry_is_final() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let refusal =
+        b"{\"error\":\"server busy: connection limit 1 reached, retry later\",\"ok\":false,\"retry_after_ms\":50}\n";
+    let server = std::thread::spawn(move || {
+        for _ in 0..2 {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let mut s = &stream;
+            s.write_all(refusal).unwrap();
+            s.flush().unwrap();
+        }
+        // a third connection attempt would hang the test right here
+    });
+    match CwelmaxClient::connect(addr.to_string()) {
+        Err(ClientError::Server(e)) => {
+            assert!(e.message.contains("server busy"), "{e}");
+            assert_eq!(e.retry_after_ms, Some(50), "the hint survives decoding");
+        }
+        Ok(c) => panic!("connect succeeded at protocol v{}", c.protocol()),
+        Err(other) => panic!("expected Server error, got {other:?}"),
+    }
+    server.join().unwrap();
+}
+
+/// The typed `topup()` call against a real journaled-store server: the
+/// feature is advertised, θ grows live, the journal counters appear in
+/// typed stats, and queries keep answering on the same connection.
+#[test]
+fn topup_round_trips_typed_against_a_journaled_store_server() {
+    let (graph, index) = graph_and_index();
+    let theta0 = index.num_sampled();
+    let dir = std::env::temp_dir().join(format!("cwelmax-client-topup-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    cwelmax_store::write_store(&index, &dir, 4).unwrap();
+    let store = Arc::new(cwelmax_store::JournaledStore::open(&dir).unwrap());
+    let engine = EngineBuilder::from_backend(store)
+        .graph(graph)
+        .build()
+        .unwrap();
+    let (handle, join) = start(engine);
+
+    let mut client = CwelmaxClient::connect(handle.local_addr().to_string()).unwrap();
+    assert!(
+        client.has_feature("topup"),
+        "a v2 server advertises the topup feature"
+    );
+
+    let before = client.stats().unwrap();
+    assert_eq!(before.journal_records, 0);
+    assert_eq!(before.topups_total, 0);
+
+    let target = theta0 + 300;
+    assert_eq!(client.topup(target).unwrap(), target as u64);
+    // an already-satisfied target is a no-op that reports the population
+    assert_eq!(client.topup(1).unwrap(), target as u64);
+
+    let after = client.stats().unwrap();
+    assert_eq!(after.journal_records, 1);
+    assert_eq!(after.topups_total, 1);
+    assert!(after.journal_bytes > 0);
+
+    // the grown index keeps serving typed queries
+    let answer = client
+        .query(&query(TwoItemConfig::C1, 2, Allocation::new()))
+        .unwrap();
+    assert!(answer.welfare > 0.0);
+
+    client.shutdown().unwrap();
+    join.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// On a fallen-back v1 connection `topup()` fails fast with a protocol
+/// error instead of sending a request v1 cannot answer.
+#[test]
+fn topup_fails_fast_on_a_v1_connection() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let mut s = &stream;
+        s.write_all(b"{\"error\":\"unknown request type `hello`\",\"ok\":false}\n")
+            .unwrap();
+        s.flush().unwrap();
+    });
+    let mut client = CwelmaxClient::connect(addr.to_string()).unwrap();
+    assert_eq!(client.protocol(), 1);
+    match client.topup(10_000) {
+        Err(ClientError::Protocol(msg)) => {
+            assert!(msg.contains("v2"), "error names the protocol gap: {msg}")
+        }
+        other => panic!("expected a protocol error, got {other:?}"),
+    }
+    server.join().unwrap();
+}

@@ -23,7 +23,7 @@
 use crate::conditioned::ConditionedView;
 use crate::error::EngineError;
 use crate::index::{IndexMeta, RrIndex};
-use cwelmax_graph::NodeId;
+use cwelmax_graph::{Graph, NodeId};
 use cwelmax_obs::TraceScope;
 
 /// Point-in-time description of a backend's physical storage shape.
@@ -38,6 +38,14 @@ pub struct StorageStats {
     /// Bytes the backend occupies on disk (0 for an index that was built
     /// in memory rather than opened from a store).
     pub bytes_on_disk: u64,
+    /// Mutation-journal records currently replayed on top of the base
+    /// store (0 for immutable backends and freshly compacted stores).
+    pub journal_records: u64,
+    /// Bytes of committed journal on disk (0 for immutable backends).
+    pub journal_bytes: u64,
+    /// θ top-ups performed since this backend was opened (cumulative —
+    /// compaction folds the journal away but does not reset this).
+    pub topups_total: u64,
 }
 
 /// What the campaign engine requires of an index representation. All
@@ -49,6 +57,30 @@ pub trait IndexBackend: Send + Sync {
 
     /// Node-universe size.
     fn num_nodes(&self) -> usize;
+
+    /// θ — total RR sets sampled (including discarded ones): the
+    /// estimator denominator, and the cursor a θ top-up grows from.
+    fn num_sampled(&self) -> usize;
+
+    /// Grow the backend's sampled population to at least `target` sets,
+    /// returning the θ actually held afterwards. Already satisfied
+    /// targets are a no-op. Immutable backends (the default) refuse a
+    /// real deficit with [`EngineError::BadQuery`] — only a journaled
+    /// store can grow. Implementations that do grow must produce sets
+    /// **bit-identical** to a cold build at `(seed, target)`: they
+    /// continue the build's seed stream from the current cursor rather
+    /// than resampling from scratch.
+    fn ensure_theta(&self, _graph: &Graph, target: usize) -> Result<usize, EngineError> {
+        let have = self.num_sampled();
+        if target <= have {
+            Ok(have)
+        } else {
+            Err(EngineError::BadQuery(format!(
+                "backend holds θ = {have} and cannot grow to {target}: \
+                 only a journaled store supports θ top-up"
+            )))
+        }
+    }
 
     /// The ordered greedy seed pool at the budget cap. Prefix
     /// preservation makes this one selection serve every fresh query
@@ -88,6 +120,10 @@ impl IndexBackend for RrIndex {
         self.num_nodes()
     }
 
+    fn num_sampled(&self) -> usize {
+        self.num_sampled()
+    }
+
     fn pool_at_cap(&self) -> Result<Vec<NodeId>, EngineError> {
         Ok(self.greedy_select(self.meta().budget_cap as usize).seeds)
     }
@@ -100,7 +136,7 @@ impl IndexBackend for RrIndex {
         StorageStats {
             shards_total: 1,
             shards_loaded: 1,
-            bytes_on_disk: 0,
+            ..StorageStats::default()
         }
     }
 }
@@ -130,6 +166,7 @@ mod tests {
         let backend: &dyn IndexBackend = &idx;
         assert_eq!(backend.num_nodes(), 60);
         assert_eq!(backend.meta().budget_cap, 4);
+        assert_eq!(backend.num_sampled(), 600);
         assert_eq!(backend.pool_at_cap().unwrap(), idx.greedy_select(4).seeds);
         let view = backend.derive_conditioned(&[5, 1, 5]).unwrap();
         assert_eq!(view.sp_nodes(), &[1, 5]);
@@ -138,8 +175,37 @@ mod tests {
             StorageStats {
                 shards_total: 1,
                 shards_loaded: 1,
-                bytes_on_disk: 0
+                bytes_on_disk: 0,
+                journal_records: 0,
+                journal_bytes: 0,
+                topups_total: 0,
             }
         );
+    }
+
+    #[test]
+    fn immutable_backends_refuse_a_theta_deficit() {
+        let g = generators::erdos_renyi(30, 90, 5, PM::WeightedCascade);
+        let mut c = RrCollection::new(30);
+        c.extend_parallel(&g, &StandardRr, 200, 5, 2);
+        let idx = RrIndex::freeze(
+            &c,
+            IndexMeta {
+                eps: 0.5,
+                ell: 1.0,
+                seed: 5,
+                budget_cap: 2,
+                graph_fingerprint: graph_fingerprint(&g),
+            },
+        );
+        let backend: &dyn IndexBackend = &idx;
+        // satisfied targets are a no-op and report the θ actually held
+        assert_eq!(backend.ensure_theta(&g, 150).unwrap(), 200);
+        assert_eq!(backend.ensure_theta(&g, 200).unwrap(), 200);
+        // a real deficit is a typed refusal, not a panic or silent clamp
+        assert!(matches!(
+            backend.ensure_theta(&g, 201),
+            Err(EngineError::BadQuery(_))
+        ));
     }
 }

@@ -279,6 +279,13 @@ impl ConditionedCache {
     pub fn is_empty(&self) -> bool {
         crate::lock_recover(&self.views).is_empty()
     }
+
+    /// Drop every cached view. A θ top-up calls this: the views were
+    /// derived from the smaller population and are stale the moment the
+    /// backend grows.
+    pub fn clear(&self) {
+        crate::lock_recover(&self.views).clear();
+    }
 }
 
 #[cfg(test)]

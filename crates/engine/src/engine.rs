@@ -34,7 +34,7 @@ use serde::{Serialize, Value};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::path::Path;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex};
 
 /// Point-in-time counters describing what the engine has done.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -61,6 +61,13 @@ pub struct EngineStats {
     /// On-disk footprint of the index backend in bytes (0 when the index
     /// lives only in memory).
     pub store_bytes_on_disk: u64,
+    /// Mutation-journal records overlaying the backend's base store (0
+    /// for immutable backends).
+    pub journal_records: u64,
+    /// Committed journal bytes on disk (0 for immutable backends).
+    pub journal_bytes: u64,
+    /// θ top-ups performed by the backend since it was opened.
+    pub topups_total: u64,
 }
 
 /// Multi-campaign query engine over a shared graph + prebuilt index
@@ -72,8 +79,13 @@ pub struct CampaignEngine {
     /// (or fetched from the backend's persisted pool) on first use,
     /// prefixes serve every query. A backend failure is cached too — a
     /// store whose shards are corrupt fails every fresh query the same
-    /// way instead of re-reading broken files.
-    pool: OnceLock<Result<Vec<NodeId>, EngineError>>,
+    /// way instead of re-reading broken files. `None` means "not yet
+    /// fetched": a θ top-up resets the slot so the next fresh query
+    /// re-selects over the grown population (hence `Mutex<Option<…>>`
+    /// rather than a write-once `OnceLock`). The pool is shared as an
+    /// `Arc` so in-flight queries keep their selection across an
+    /// invalidation.
+    pool: Mutex<Option<Result<Arc<Vec<NodeId>>, EngineError>>>,
     /// Welfare cache: `(model, allocation, sim)` fingerprint → estimate.
     /// Bounded LRU — hot keys survive sustained mixed traffic instead of
     /// being dropped wholesale when the cache fills.
@@ -126,7 +138,7 @@ impl CampaignEngine {
         Ok(CampaignEngine {
             graph,
             backend,
-            pool: OnceLock::new(),
+            pool: Mutex::new(None),
             cache: Mutex::new(LruCache::new(cache_cap)),
             conditioned: ConditionedCache::new(conditioned_cap)
                 .with_eviction_counter(Arc::clone(&cache_evictions)),
@@ -221,6 +233,9 @@ impl CampaignEngine {
             shards_total,
             shards_loaded,
             bytes_on_disk,
+            journal_records,
+            journal_bytes,
+            topups_total,
         } = self.backend.storage();
         EngineStats {
             queries: self.queries.get(),
@@ -232,20 +247,42 @@ impl CampaignEngine {
             shards_total,
             shards_loaded,
             store_bytes_on_disk: bytes_on_disk,
+            journal_records,
+            journal_bytes,
+            topups_total,
         }
     }
 
     /// The ordered seed pool at the budget cap (fetched from the backend
-    /// lazily, once — success or failure).
-    fn pool(&self) -> Result<&[NodeId], EngineError> {
-        let pool = self.pool.get_or_init(|| {
+    /// lazily — success or failure — and kept until a θ top-up
+    /// invalidates it).
+    fn pool(&self) -> Result<Arc<Vec<NodeId>>, EngineError> {
+        let mut slot = crate::lock_recover(&self.pool);
+        match slot.get_or_insert_with(|| {
             self.pool_selections.incr();
-            self.backend.pool_at_cap()
-        });
-        match pool {
-            Ok(p) => Ok(p),
+            self.backend.pool_at_cap().map(Arc::new)
+        }) {
+            Ok(p) => Ok(Arc::clone(p)),
             Err(e) => Err(e.duplicate()),
         }
+    }
+
+    /// Grow the backend's sampled population to at least `target` RR
+    /// sets (the wire `topup` request's engine half). Delegates to
+    /// [`IndexBackend::ensure_theta`] — only a journaled store accepts a
+    /// real deficit — and, when θ actually grew, drops the cached pool
+    /// and every cached conditioned view: both were selected over the
+    /// smaller population and must be re-derived to stay bit-identical
+    /// to a cold build at the new θ. The welfare cache survives (its
+    /// keys are allocation × model × sim — θ-independent).
+    pub fn ensure_theta(&self, target: usize) -> Result<usize, EngineError> {
+        let before = self.backend.num_sampled();
+        let theta = self.backend.ensure_theta(&self.graph, target)?;
+        if theta != before {
+            *crate::lock_recover(&self.pool) = None;
+            self.conditioned.clear();
+        }
+        Ok(theta)
     }
 
     /// The SP-conditioned view for `sp_nodes`, from the cache when warm.
@@ -351,10 +388,12 @@ impl CampaignEngine {
         }
         let scope = root.as_ref().map(|s| s.scope());
         self.validate(q)?;
-        // the view Arc must outlive `pool`, hence the binding
+        // whichever Arc backs `pool` must outlive it, hence the bindings
         let view;
+        let pool_arc;
         let pool: &[NodeId] = if q.sp.is_empty() {
-            self.pool()?
+            pool_arc = self.pool()?;
+            &pool_arc
         } else {
             view = self.conditioned_view(&q.sp.seed_nodes(), scope)?;
             view.pool()

@@ -87,7 +87,9 @@ pub const PROTOCOL_VERSION: u64 = 2;
 
 /// The capability names `hello` advertises. Frozen per entry: features
 /// are only ever appended, so clients can gate on membership.
-pub const FEATURES: [&str; 6] = ["batch", "sp", "stats", "store", "metrics", "traces"];
+pub const FEATURES: [&str; 7] = [
+    "batch", "sp", "stats", "store", "metrics", "traces", "topup",
+];
 
 /// Which dialect a request line spoke — and hence how its response is
 /// encoded. Per-line, not per-connection: a v1 and a v2 client can share
@@ -177,6 +179,14 @@ pub enum RequestKind {
     /// Negotiate protocol and capabilities (v2 only — a v1 line asking
     /// for `hello` gets the old `unknown request type` error verbatim).
     Hello,
+    /// Grow the index's sampled population to at least `theta` RR sets
+    /// (admin request; the engine journals the new sets and serves them
+    /// immediately). v2 only — only journaled backends accept a real
+    /// deficit, and v1 lines predate mutation entirely.
+    Topup {
+        /// The θ target (absolute set count, not a delta).
+        theta: usize,
+    },
     /// Gracefully stop the server.
     Shutdown,
 }
@@ -360,6 +370,15 @@ pub fn parse_request(v: &Value) -> Result<WireRequest, (Protocol, WireError)> {
             };
             RequestKind::Traces { limit }
         }
+        Some(Some("topup")) if proto == Protocol::V2 => {
+            let theta: usize = match obj.get("theta") {
+                Some(t) => {
+                    Deserialize::from_value(t).map_err(|e| fail(format!("bad theta: {e}")))?
+                }
+                None => return Err(fail("topup request needs a `theta` target".into())),
+            };
+            RequestKind::Topup { theta }
+        }
         Some(Some("shutdown")) => RequestKind::Shutdown,
         Some(Some(other)) => return Err(fail(format!("unknown request type `{other}`"))),
         Some(None) => return Err(fail("request `type` must be a string".into())),
@@ -403,6 +422,16 @@ pub fn traces_response(traces: &[Value]) -> Value {
     let mut m = Map::new();
     m.insert("ok".into(), Value::Bool(true));
     m.insert("traces".into(), Value::Array(traces.to_vec()));
+    with_version(Value::Object(m), Protocol::V2)
+}
+
+/// The `topup` response: the sampled population after the grow (which
+/// may already have satisfied the target, making the request a no-op).
+/// v2 framing always — the request type itself is v2-only.
+pub fn topup_response(theta: usize) -> Value {
+    let mut m = Map::new();
+    m.insert("ok".into(), Value::Bool(true));
+    m.insert("theta".into(), Value::UInt(theta as u64));
     with_version(Value::Object(m), Protocol::V2)
 }
 
@@ -660,12 +689,21 @@ mod tests {
     }
 
     #[test]
-    fn hello_advertises_the_traces_feature_last() {
+    fn hello_advertises_the_traces_feature() {
         assert!(FEATURES.contains(&"traces"));
         assert_eq!(
+            FEATURES[5], "traces",
+            "features are append-only; traces keeps its original slot"
+        );
+    }
+
+    #[test]
+    fn hello_advertises_the_topup_feature_last() {
+        assert!(FEATURES.contains(&"topup"));
+        assert_eq!(
             FEATURES.last(),
-            Some(&"traces"),
-            "features are append-only; traces postdates the first five"
+            Some(&"topup"),
+            "features are append-only; topup postdates the first six"
         );
     }
 
@@ -707,6 +745,31 @@ mod tests {
             to_line(&wire_error_response(&err, proto)),
             r#"{"error":"unknown request type `traces`","ok":false}"#
         );
+    }
+
+    #[test]
+    fn topup_is_v2_only_and_v1_topup_gets_the_legacy_error_bytes() {
+        let req = parse_request_line(r#"{"v": 2, "type": "topup", "theta": 4096}"#).unwrap();
+        assert!(matches!(req.kind, RequestKind::Topup { theta: 4096 }));
+        // the target is mandatory (growing "to wherever" is meaningless)
+        // and must be a count
+        assert!(parse_request_line(r#"{"v": 2, "type": "topup"}"#).is_err());
+        assert!(parse_request_line(r#"{"v": 2, "type": "topup", "theta": "lots"}"#).is_err());
+        let (proto, err) = err_of(r#"{"type": "topup", "theta": 4096}"#);
+        assert_eq!(proto, Protocol::V1);
+        assert_eq!(
+            to_line(&wire_error_response(&err, proto)),
+            r#"{"error":"unknown request type `topup`","ok":false}"#
+        );
+    }
+
+    #[test]
+    fn topup_response_reports_the_resulting_theta() {
+        let v = topup_response(8192);
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.get("v"), Some(&Value::UInt(2)));
+        assert_eq!(obj.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(obj.get("theta"), Some(&Value::UInt(8192)));
     }
 
     #[test]

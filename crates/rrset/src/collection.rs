@@ -30,6 +30,25 @@ impl RrCollection {
         }
     }
 
+    /// An empty collection whose θ cursor is preset to `cursor` — the
+    /// resume hook for **deficit-only top-up sampling**. The next
+    /// [`RrCollection::extend_parallel`] call seeds set `k` from
+    /// `(seed, cursor + k)`, so sampling `target − cursor` sets here
+    /// produces exactly the sets a cold `extend_parallel(…, target, …)`
+    /// run would have produced at indices `cursor..target`: the seed
+    /// stream continues, it does not restart. (`num_sampled` counts
+    /// discarded sets too, so the resumed collection retains only the
+    /// *new* sets — callers append them to the base they resumed from.)
+    pub fn resume_at(num_nodes: usize, cursor: usize) -> RrCollection {
+        RrCollection {
+            num_nodes,
+            set_offsets: vec![0],
+            members: Vec::new(),
+            weights: Vec::new(),
+            num_sampled: cursor,
+        }
+    }
+
     /// Rebuild a collection from raw parts (the inverse of
     /// [`RrCollection::parts`]) — the ownership hook snapshot loaders use.
     /// Validates structural invariants so corrupted inputs surface as
@@ -378,6 +397,34 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(build(1), build(4));
+    }
+
+    #[test]
+    fn resumed_sampling_continues_the_seed_stream() {
+        // cold: 500 sets in one run. warm: 300, then a resumed collection
+        // sampling the 200-set deficit. The resumed sets must be exactly
+        // the cold run's sets 300..500 — same members, same weights, same
+        // order — which is the identity θ top-up rests on.
+        let g = generators::erdos_renyi(100, 400, 5, PM::WeightedCascade);
+        let mut cold = RrCollection::new(100);
+        cold.extend_parallel(&g, &StandardRr, 500, 21, 3);
+        let mut warm = RrCollection::new(100);
+        warm.extend_parallel(&g, &StandardRr, 300, 21, 2);
+        let mut resumed = RrCollection::resume_at(100, warm.num_sampled());
+        assert_eq!(resumed.num_sampled(), 300);
+        assert_eq!(resumed.num_sets(), 0);
+        resumed.extend_parallel(&g, &StandardRr, 200, 21, 4);
+        assert_eq!(resumed.num_sampled(), cold.num_sampled());
+        // warm retained + resumed retained == cold retained, in order
+        let warm_sets = warm.num_sets();
+        assert_eq!(warm_sets + resumed.num_sets(), cold.num_sets());
+        for j in 0..resumed.num_sets() {
+            assert_eq!(resumed.set(j), cold.set(warm_sets + j));
+            assert_eq!(
+                resumed.weight(j).to_bits(),
+                cold.weight(warm_sets + j).to_bits()
+            );
+        }
     }
 
     #[test]

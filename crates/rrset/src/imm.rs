@@ -19,6 +19,15 @@ use crate::collection::RrCollection;
 use crate::sampler::RrSampler;
 use cwelmax_graph::{Graph, NodeId};
 
+/// XOR applied to [`ImmParams::seed`] to derive the **regeneration
+/// stream** seed of [`sampled_collection`]'s phase 2 (the ASCII bytes
+/// `"_RESH"`): the fresh post-search collection — the one indexes are
+/// frozen from — samples set `k` from `(seed ^ REGEN_SEED_XOR, k)`.
+/// Exported so incremental growth (`cwelmax-store`'s θ top-up) can
+/// *continue* exactly this stream from a resumed cursor and stay
+/// bit-identical with a cold build at the same `(seed, total_count)`.
+pub const REGEN_SEED_XOR: u64 = 0x005F_5245_5348;
+
 /// Accuracy/confidence parameters shared by IMM, PRIMA+ and SupGRD.
 #[derive(Debug, Clone, Copy)]
 pub struct ImmParams {
@@ -246,7 +255,7 @@ pub fn sampled_collection(
         graph,
         sampler,
         theta_needed,
-        params.seed ^ 0x005F_5245_5348_u64, // decorrelate from the search phase
+        params.seed ^ REGEN_SEED_XOR, // decorrelate from the search phase
         params.effective_threads(),
     );
     fresh

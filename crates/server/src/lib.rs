@@ -65,6 +65,12 @@ use std::time::{Duration, Instant};
 /// Default retention capacity of the trace ring (`--trace-buffer`).
 pub const DEFAULT_TRACE_BUFFER: usize = 256;
 
+/// How long a busy-refused client should wait before retrying, echoed as
+/// `retry_after_ms` on the refusal line. Connection slots free on the
+/// order of a request round-trip, so a fixed small hint beats anything
+/// derived from load at the refusal instant.
+pub const BUSY_RETRY_AFTER_MS: u64 = 100;
+
 /// The sliding latency window v2 stats report percentiles over: 12
 /// intervals of 5 s. Lifetime percentiles converge and stop moving on a
 /// long-lived server; the windowed pair tracks what the server did in
@@ -111,6 +117,7 @@ struct RequestTimers {
     hello: Arc<Histogram>,
     metrics: Arc<Histogram>,
     traces: Arc<Histogram>,
+    topup: Arc<Histogram>,
     shutdown: Arc<Histogram>,
     /// Lines that never parsed into a request (bad JSON, bad envelope,
     /// unsupported version) — they cost handling time too.
@@ -126,6 +133,7 @@ impl RequestTimers {
             hello: reg.histogram("server.request_ns.hello"),
             metrics: reg.histogram("server.request_ns.metrics"),
             traces: reg.histogram("server.request_ns.traces"),
+            topup: reg.histogram("server.request_ns.topup"),
             shutdown: reg.histogram("server.request_ns.shutdown"),
             invalid: reg.histogram("server.request_ns.invalid"),
         }
@@ -139,6 +147,7 @@ impl RequestTimers {
             "hello" => &self.hello,
             "metrics" => &self.metrics,
             "traces" => &self.traces,
+            "topup" => &self.topup,
             "shutdown" => &self.shutdown,
             _ => &self.invalid,
         }
@@ -155,6 +164,7 @@ impl RequestTimers {
             &self.hello,
             &self.metrics,
             &self.traces,
+            &self.topup,
             &self.shutdown,
             &self.invalid,
         ] {
@@ -510,9 +520,15 @@ fn register(shared: &Shared, stream: &TcpStream) -> Registration {
 fn refuse_busy(shared: &Shared, stream: TcpStream) {
     // Relaxed: the refusal message only echoes the configured cap
     let max = shared.max_conns.load(Ordering::Relaxed);
-    let mut text = wire::to_line(&wire::error_response(&format!(
+    let mut body = wire::error_response(&format!(
         "server busy: connection limit {max} reached, retry later"
-    )));
+    ));
+    // machine-readable back-off hint; a top-level key (not inside the
+    // error body) keeps the historical `error`/`ok` bytes untouched
+    if let Value::Object(m) = &mut body {
+        m.insert("retry_after_ms".into(), Value::UInt(BUSY_RETRY_AFTER_MS));
+    }
+    let mut text = wire::to_line(&body);
     text.push('\n');
     let mut writer = BufWriter::new(&stream);
     let _ = writer.write_all(text.as_bytes());
@@ -725,6 +741,16 @@ fn handle_line(shared: &Shared, line: &str) -> (Value, bool, &'static str) {
                 "traces",
             )
         }
+        RequestKind::Topup { theta } => {
+            let body = match shared.engine.ensure_theta(theta) {
+                Ok(have) => wire::topup_response(have),
+                Err(e) => {
+                    shared.errors.incr();
+                    wire::wire_error_response(&WireError::from_engine(&e), proto)
+                }
+            };
+            (wire::with_id(body, id), false, "topup")
+        }
         RequestKind::Shutdown => {
             let mut m = Map::new();
             m.insert("ok".into(), Value::Bool(true));
@@ -793,9 +819,19 @@ fn stats_response(
         s.insert("latency_window_requests".into(), windowed.count.to_value());
         s.insert("latency_window_seconds".into(), window.as_secs().to_value());
     }
+    let mut engine_v = wire::engine_stats_value(engine);
+    if proto == Protocol::V2 {
+        // journal/top-up counters postdate v1, whose engine block is
+        // byte-pinned — they ride only on v2 stats
+        if let Value::Object(e) = &mut engine_v {
+            e.insert("journal_records".into(), engine.journal_records.to_value());
+            e.insert("journal_bytes".into(), engine.journal_bytes.to_value());
+            e.insert("topups_total".into(), engine.topups_total.to_value());
+        }
+    }
     let mut m = Map::new();
     m.insert("ok".into(), Value::Bool(true));
     m.insert("server".into(), Value::Object(s));
-    m.insert("engine".into(), wire::engine_stats_value(engine));
+    m.insert("engine".into(), engine_v);
     Value::Object(m)
 }

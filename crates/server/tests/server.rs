@@ -344,6 +344,12 @@ fn connections_above_max_conns_get_a_busy_refusal() {
     let refusal = c.recv();
     assert!(!ok(&refusal));
     assert!(error_text(&refusal).contains("server busy"), "{refusal:?}");
+    // the refusal carries a machine-readable back-off hint
+    assert_eq!(
+        uint(refusal.as_object().unwrap().get("retry_after_ms")),
+        Some(cwelmax_server::BUSY_RETRY_AFTER_MS),
+        "{refusal:?}"
+    );
     let mut line = String::new();
     assert_eq!(c.reader.read_line(&mut line).unwrap(), 0, "must be closed");
 
@@ -515,6 +521,97 @@ fn store_backed_server_loads_shards_lazily_and_reports_it_in_stats() {
     let engine_stats = stats.as_object().unwrap()["engine"].as_object().unwrap();
     assert_eq!(engine_stats["shards_loaded"], Value::Int(6));
 
+    handle.shutdown();
+    join.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn topup_request_grows_theta_live_and_reports_journal_stats() {
+    // live index mutation over the wire: a journaled-store-backed server
+    // accepts {"v": 2, "type": "topup"}, grows θ without a restart, and
+    // surfaces the journal counters in v2 stats (v1 stats stay pinned)
+    let graph = Arc::new(generators::erdos_renyi(
+        100,
+        400,
+        7,
+        ProbabilityModel::WeightedCascade,
+    ));
+    let params = ImmParams {
+        eps: 0.5,
+        ell: 1.0,
+        seed: 7,
+        threads: 2,
+        max_rr_sets: 500_000,
+    };
+    let index = RrIndex::build(&graph, 8, &params);
+    let theta0 = index.num_sampled();
+    let dir = std::env::temp_dir().join(format!("cwelmax-server-topup-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    cwelmax_store::write_store(&index, &dir, 4).unwrap();
+    let store = Arc::new(cwelmax_store::JournaledStore::open(&dir).unwrap());
+    let eng = Arc::new(
+        EngineBuilder::from_backend(store)
+            .graph(graph)
+            .build()
+            .unwrap(),
+    );
+    let (handle, join) = start(eng);
+    let mut c = Client::connect(&handle);
+
+    // hello advertises the capability, appended last
+    let hello = c.roundtrip(r#"{"v": 2, "type": "hello"}"#);
+    let features = hello.as_object().unwrap()["features"].as_array().unwrap();
+    assert_eq!(features.last().and_then(|f| f.as_str()), Some("topup"));
+
+    // v2 stats before: a journaled backend with an empty journal
+    let stats = c.roundtrip(r#"{"v": 2, "type": "stats"}"#);
+    let engine_stats = stats.as_object().unwrap()["engine"].as_object().unwrap();
+    assert_eq!(uint(engine_stats.get("journal_records")), Some(0));
+    assert_eq!(uint(engine_stats.get("topups_total")), Some(0));
+
+    // grow θ live; the response reports the resulting population
+    let target = theta0 + 400;
+    let grown = c.roundtrip(&format!(
+        r#"{{"v": 2, "type": "topup", "theta": {target}}}"#
+    ));
+    assert!(ok(&grown), "{grown:?}");
+    assert_eq!(
+        uint(grown.as_object().unwrap().get("theta")),
+        Some(target as u64)
+    );
+    // an already-satisfied target is a cheap no-op, not an error
+    let noop = c.roundtrip(r#"{"v": 2, "type": "topup", "theta": 1}"#);
+    assert!(ok(&noop), "{noop:?}");
+    assert_eq!(
+        uint(noop.as_object().unwrap().get("theta")),
+        Some(target as u64)
+    );
+
+    // v2 stats after: one journal record, one top-up, bytes on disk
+    let stats = c.roundtrip(r#"{"v": 2, "type": "stats"}"#);
+    let engine_stats = stats.as_object().unwrap()["engine"].as_object().unwrap();
+    assert_eq!(uint(engine_stats.get("journal_records")), Some(1));
+    assert_eq!(uint(engine_stats.get("topups_total")), Some(1));
+    assert!(uint(engine_stats.get("journal_bytes")).unwrap() > 0);
+
+    // the v1 stats block is byte-pinned: no journal keys leak into it
+    let stats = c.roundtrip(r#"{"type": "stats"}"#);
+    let engine_stats = stats.as_object().unwrap()["engine"].as_object().unwrap();
+    assert!(engine_stats.get("journal_records").is_none());
+    assert!(engine_stats.get("topups_total").is_none());
+
+    // topup does not exist in the v1 dialect — exact legacy error bytes
+    c.send(r#"{"type": "topup", "theta": 5}"#);
+    let mut line = String::new();
+    c.reader.read_line(&mut line).unwrap();
+    assert_eq!(
+        line.trim_end(),
+        r#"{"error":"unknown request type `topup`","ok":false}"#
+    );
+
+    // the grown index keeps answering queries on the same connection
+    assert!(ok(&c.roundtrip(Q1)));
     handle.shutdown();
     join.join().unwrap();
     std::fs::remove_dir_all(&dir).ok();

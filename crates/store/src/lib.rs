@@ -51,8 +51,23 @@
 //! # }
 //! ```
 
+//! ## Growing a store
+//!
+//! A store is no longer frozen at build time: [`JournaledStore`] wraps
+//! the sharded base with an append-only mutation journal
+//! (`journal.bin`, [`journal`] module) and a **θ top-up** path —
+//! `ensure_theta(graph, target)` continues the build's sampling stream
+//! from the current cursor, fsyncs the new sets as one CRC-framed
+//! journal record, and serves them immediately through an in-memory
+//! overlay whose answers are bit-identical to a cold build at
+//! `(seed, target)`. `compact()` folds the journal into fresh shards.
+
 pub mod format;
+pub mod journal;
 pub mod sharded;
+pub mod topup;
 
 pub use format::{Manifest, ShardInfo, MANIFEST_FILE};
+pub use journal::{JournalRecord, Replay, JOURNAL_FILE, JOURNAL_MAGIC, JOURNAL_VERSION};
 pub use sharded::{write_store, FromStore, ShardedIndex, StoreSummary};
+pub use topup::JournaledStore;

@@ -27,7 +27,7 @@ use cwelmax_engine::{
     ConditionedView, EngineBuilder, EngineError, IndexBackend, IndexMeta, RrIndex, StorageStats,
 };
 use cwelmax_graph::NodeId;
-use cwelmax_obs::{Counter, Histogram, MetricsRegistry, TraceScope};
+use cwelmax_obs::{Counter, Gauge, Histogram, MetricsRegistry, TraceScope};
 use cwelmax_rrset::collection::{greedy_argmax, GreedySelection};
 use cwelmax_rrset::condition_parts;
 use std::path::{Path, PathBuf};
@@ -69,6 +69,13 @@ pub trait FromStore {
     /// Serve from a sharded store directory (manifest eagerly at build,
     /// shards lazily at query time).
     fn from_store(dir: impl AsRef<Path>) -> EngineBuilder;
+
+    /// Serve from a store directory opened as a [`crate::JournaledStore`]:
+    /// the journal (if any) is replayed at build time, and the engine can
+    /// grow the store live through `ensure_theta` (the wire `topup`
+    /// request). Use this over [`FromStore::from_store`] whenever the
+    /// serving process should accept mutations.
+    fn from_journaled_store(dir: impl AsRef<Path>) -> EngineBuilder;
 }
 
 impl FromStore for EngineBuilder {
@@ -81,6 +88,16 @@ impl FromStore for EngineBuilder {
                 Arc::new(ShardedIndex::open_with_metrics(dir, Arc::clone(metrics))?)
                     as Arc<dyn IndexBackend>,
             )
+        })
+    }
+
+    fn from_journaled_store(dir: impl AsRef<Path>) -> EngineBuilder {
+        let dir = dir.as_ref().to_path_buf();
+        EngineBuilder::from_backend_fn(move |metrics| {
+            Ok(Arc::new(crate::topup::JournaledStore::open_with_metrics(
+                dir,
+                Arc::clone(metrics),
+            )?) as Arc<dyn IndexBackend>)
         })
     }
 }
@@ -257,9 +274,9 @@ fn prune_stale_shards(dir: &Path, shards: usize) -> usize {
     pruned
 }
 
-/// Bounded parallelism for shard I/O: one worker per core, never more
-/// than there are jobs, at least one.
-fn worker_count(jobs: usize) -> usize {
+/// Bounded parallelism for shard I/O (and top-up sampling): one worker
+/// per core, never more than there are jobs, at least one.
+pub(crate) fn worker_count(jobs: usize) -> usize {
     std::thread::available_parallelism()
         .map(|t| t.get())
         .unwrap_or(4)
@@ -293,6 +310,10 @@ pub struct ShardedIndex {
     shard_fault_bytes: Arc<Counter>,
     /// Wall-clock fault duration (read + validate + freeze), per attempt.
     shard_fault_ns: Arc<Histogram>,
+    /// Bytes of shard files currently resident in memory (grows from 0
+    /// as shards fault in; compare against `bytes_on_disk` for a live
+    /// residency ratio — the bigger-than-RAM observability hook).
+    resident_bytes: Arc<Gauge>,
 }
 
 impl ShardedIndex {
@@ -322,6 +343,11 @@ impl ShardedIndex {
         let slots = (0..manifest.shards.len())
             .map(|_| OnceLock::new())
             .collect();
+        // a freshly opened store has zero shards resident; reset rather
+        // than add so a reopen (compaction swaps the base in-place over
+        // the same registry) doesn't inherit the old instance's residency
+        let resident_bytes = metrics.gauge("store.resident_bytes");
+        resident_bytes.set(0);
         Ok(ShardedIndex {
             dir,
             manifest,
@@ -332,6 +358,7 @@ impl ShardedIndex {
             shard_fault_errors: metrics.counter("store.shard_fault_errors"),
             shard_fault_bytes: metrics.counter("store.shard_fault_bytes"),
             shard_fault_ns: metrics.histogram("store.shard_fault_ns"),
+            resident_bytes,
             metrics,
         })
     }
@@ -381,6 +408,12 @@ impl ShardedIndex {
         self.bytes_on_disk
     }
 
+    /// Shard-file bytes currently resident in memory (the
+    /// `store.resident_bytes` gauge; ≤ [`ShardedIndex::bytes_on_disk`]).
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes.get().max(0) as u64
+    }
+
     /// The persisted ordered greedy pool at the budget cap. Serving fresh
     /// campaigns from here is what lets a store answer queries with
     /// **zero** shards resident.
@@ -420,6 +453,8 @@ impl ShardedIndex {
             match loaded {
                 Ok(idx) => {
                     self.loaded.fetch_add(1, Ordering::Relaxed);
+                    self.resident_bytes
+                        .add(self.manifest.shards[k].file_bytes as i64);
                     Ok(Arc::new(idx))
                 }
                 Err(e) => {
@@ -643,6 +678,10 @@ impl IndexBackend for ShardedIndex {
         self.num_nodes()
     }
 
+    fn num_sampled(&self) -> usize {
+        self.num_sampled()
+    }
+
     /// The persisted manifest pool — **zero** shard loads: a fresh
     /// campaign against a cold store touches no shard file at all.
     fn pool_at_cap(&self) -> Result<Vec<NodeId>, EngineError> {
@@ -705,6 +744,7 @@ impl IndexBackend for ShardedIndex {
             shards_total: self.slots.len() as u64,
             shards_loaded: self.loaded.load(Ordering::Relaxed),
             bytes_on_disk: self.bytes_on_disk,
+            ..StorageStats::default()
         }
     }
 }

@@ -1,0 +1,590 @@
+//! [`JournaledStore`] — a sharded store that can **grow**: the frozen
+//! [`ShardedIndex`] base plus an in-memory overlay of journaled θ
+//! top-ups, served through the same [`IndexBackend`] surface.
+//!
+//! ## Why growing is safe
+//!
+//! The store's answers are a deterministic function of `(seed, θ)`:
+//! set `k` of the build stream depends only on the seed and `k`, never
+//! on thread scheduling (see `RrCollection::extend_parallel`). A top-up
+//! therefore does not "add more random sets" — it *continues the exact
+//! stream the store was built from*, via `RrCollection::resume_at` at
+//! the current cursor with the build's regeneration seed
+//! (`seed ^ REGEN_SEED_XOR`, the stream `sampled_collection` uses for
+//! its final sampling pass). The grown store is bit-identical to a cold
+//! build at `(seed, target)`:
+//!
+//! * **coverage / greedy** — base shards hold contiguous global set
+//!   ranges and the overlay's sets come after all of them, so every
+//!   composed walk visits sets in global order: the same `f64`
+//!   additions happen in the same order as in the cold monolith, and
+//!   `greedy_argmax` breaks ties identically;
+//! * **conditioning** — per-shard `condition_parts` survivors are
+//!   concatenated in shard order with the overlay's survivors last,
+//!   which is exactly the cold store's filtered global order.
+//!
+//! ## Durability lifecycle
+//!
+//! `ensure_theta` samples the deficit, appends **one** journal record
+//! (fsync — see [`crate::journal`]), and only then splices the sets
+//! into the overlay: a record is serveable exactly when it is durable.
+//! `compact` folds base + overlay into a fresh store via [`write_store`]
+//! (write-then-rename) and deletes the journal only after the new
+//! manifest is on disk; a crash in between leaves a journal whose
+//! records are all ≤ the new manifest's θ, which the next open detects
+//! and discards (they are already folded in).
+
+use crate::journal::{self, JournalRecord};
+use crate::sharded::{worker_count, write_store, ShardedIndex, StoreSummary};
+use cwelmax_engine::conditioned::validated_sp_nodes;
+use cwelmax_engine::{
+    graph_fingerprint, ConditionedView, EngineError, IndexBackend, IndexMeta, RrIndex, StorageStats,
+};
+use cwelmax_graph::{Graph, NodeId};
+use cwelmax_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use cwelmax_rrset::collection::GreedySelection;
+use cwelmax_rrset::{condition_parts, greedy_argmax, RrCollection, StandardRr, REGEN_SEED_XOR};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// The mutable half of a [`JournaledStore`]: the current base store and
+/// the overlay of journaled sets not yet folded into it. Swapped as a
+/// unit under one lock so readers always see a consistent (base,
+/// overlay, θ) triple.
+struct State {
+    base: Arc<ShardedIndex>,
+    /// The journaled sets, frozen into a postings-indexed mini-index —
+    /// logically the store's one extra, memory-only shard (global set
+    /// ids `base.num_sets()..`). Rebuilt on each top-up; empty (zero
+    /// sets) right after open-with-no-journal and after `compact`.
+    overlay: Arc<RrIndex>,
+    /// Raw overlay parts (global-order concatenation of the journal
+    /// records) — the rebuild source for `overlay` and the tail of the
+    /// canonical parts `compact` freezes.
+    overlay_offsets: Vec<usize>,
+    overlay_members: Vec<NodeId>,
+    overlay_weights: Vec<f64>,
+    /// θ including the overlay (the composed estimator denominator).
+    num_sampled: usize,
+    /// Composed budget-cap pool, cached per overlay version (the base
+    /// manifest's persisted pool is stale the moment the overlay is
+    /// non-empty).
+    pool: Option<Vec<NodeId>>,
+}
+
+impl State {
+    /// Freeze the overlay parts into the mini-index. Infallible for
+    /// parts this module built (they came out of validated records or a
+    /// collection), but routed through the validating constructor so an
+    /// internal bug surfaces as `Corrupt`, not a later panic.
+    fn rebuild_overlay(&mut self, num_nodes: usize, meta: IndexMeta) -> Result<(), EngineError> {
+        self.overlay = Arc::new(RrIndex::from_canonical(
+            num_nodes,
+            self.num_sampled,
+            self.overlay_offsets.clone(),
+            self.overlay_members.clone(),
+            self.overlay_weights.clone(),
+            meta,
+        )?);
+        Ok(())
+    }
+
+    /// True when nothing is journaled on top of the base.
+    fn overlay_is_empty(&self) -> bool {
+        self.overlay_weights.is_empty() && self.num_sampled == self.base.num_sampled()
+    }
+}
+
+/// A store directory opened for serving **and growing**: the lazy
+/// [`ShardedIndex`] base, the replayed journal overlay, and the θ
+/// top-up machinery. Shared behind an `Arc` and `&self`-queryable like
+/// every other backend.
+pub struct JournaledStore {
+    dir: PathBuf,
+    /// Build metadata — identical across top-ups and compactions (the
+    /// seed and ε/ℓ of the one sampling stream being continued).
+    meta: IndexMeta,
+    num_nodes: usize,
+    state: RwLock<State>,
+    metrics: Arc<MetricsRegistry>,
+    /// Journal records currently overlaying the base (gauge: compaction
+    /// folds them away and resets to 0).
+    journal_records: Arc<Gauge>,
+    /// Committed journal bytes on disk.
+    journal_bytes: Arc<Gauge>,
+    /// θ top-ups performed by this instance (cumulative).
+    topups_total: Arc<Counter>,
+    /// Wall-clock duration of each top-up (sample + journal + splice).
+    topup_ns: Arc<Histogram>,
+}
+
+impl JournaledStore {
+    /// Open a store directory and replay its journal (if any) into the
+    /// serving overlay. Records into a private registry; serving paths
+    /// use [`JournaledStore::open_with_metrics`] to share the stack's.
+    pub fn open(dir: impl AsRef<Path>) -> Result<JournaledStore, EngineError> {
+        JournaledStore::open_with_metrics(dir, MetricsRegistry::new())
+    }
+
+    /// [`JournaledStore::open`] recording into the given registry.
+    ///
+    /// Replay applies the journal's crash-recovery rule (torn tail
+    /// dropped — and physically truncated away, so the next append
+    /// lands on the committed prefix; interior corruption fails
+    /// loudly), then chain-validates every surviving record against
+    /// the manifest: same graph fingerprint, same seed, `theta_before`
+    /// linking to the manifest's θ (or the previous record). Records
+    /// entirely at or below the manifest's θ were already folded in by
+    /// a `compact` that crashed before deleting the journal; they are
+    /// skipped, and a journal containing only such records is removed.
+    pub fn open_with_metrics(
+        dir: impl AsRef<Path>,
+        metrics: Arc<MetricsRegistry>,
+    ) -> Result<JournaledStore, EngineError> {
+        let dir = dir.as_ref().to_path_buf();
+        let base = Arc::new(ShardedIndex::open_with_metrics(&dir, Arc::clone(&metrics))?);
+        let meta = *base.meta();
+        let num_nodes = base.num_nodes();
+        let replayed = journal::replay_file(&dir)?;
+        if replayed.torn_bytes > 0 {
+            journal::truncate_to(&dir, replayed.committed_bytes)?;
+        }
+        let mut cursor = base.num_sampled();
+        let mut applied: u64 = 0;
+        let mut overlay_offsets = vec![0usize];
+        let mut overlay_members: Vec<NodeId> = Vec::new();
+        let mut overlay_weights: Vec<f64> = Vec::new();
+        for rec in &replayed.records {
+            if rec.graph_fingerprint != meta.graph_fingerprint {
+                return Err(EngineError::Corrupt(format!(
+                    "journal record is for graph {:#018x}, store is for {:#018x}",
+                    rec.graph_fingerprint, meta.graph_fingerprint
+                )));
+            }
+            if rec.seed != meta.seed {
+                return Err(EngineError::Corrupt(format!(
+                    "journal record continues seed {}, store was built with seed {}",
+                    rec.seed, meta.seed
+                )));
+            }
+            if rec.theta_after <= base.num_sampled() {
+                // already folded into the manifest by a compact that
+                // crashed before removing the journal — skip
+                continue;
+            }
+            if rec.theta_before != cursor {
+                return Err(EngineError::Corrupt(format!(
+                    "journal chain break: record starts at θ = {}, expected {cursor}",
+                    rec.theta_before
+                )));
+            }
+            if let Some(&v) = rec.members.iter().find(|&&v| v as usize >= num_nodes) {
+                return Err(EngineError::Corrupt(format!(
+                    "journal record member node {v} out of range n={num_nodes}"
+                )));
+            }
+            let base_len = overlay_members.len();
+            overlay_members.extend_from_slice(&rec.members);
+            overlay_weights.extend_from_slice(&rec.weights);
+            overlay_offsets.extend(rec.set_offsets[1..].iter().map(|&x| x + base_len));
+            cursor = rec.theta_after;
+            applied += 1;
+        }
+        let mut journal_disk_bytes = replayed.committed_bytes;
+        if applied == 0 && journal_disk_bytes > 0 {
+            // every record was stale (post-compact crash): the journal
+            // carries no information the manifest doesn't — drop it
+            journal::remove(&dir)?;
+            journal_disk_bytes = 0;
+        }
+        let mut state = State {
+            base,
+            overlay: Arc::new(RrIndex::from_canonical(
+                num_nodes,
+                cursor,
+                vec![0],
+                Vec::new(),
+                Vec::new(),
+                meta,
+            )?),
+            overlay_offsets,
+            overlay_members,
+            overlay_weights,
+            num_sampled: cursor,
+            pool: None,
+        };
+        state.rebuild_overlay(num_nodes, meta)?;
+        let journal_records = metrics.gauge("store.journal_records");
+        journal_records.set(applied as i64);
+        let journal_bytes = metrics.gauge("store.journal_bytes");
+        journal_bytes.set(journal_disk_bytes as i64);
+        Ok(JournaledStore {
+            dir,
+            meta,
+            num_nodes,
+            state: RwLock::new(state),
+            journal_records,
+            journal_bytes,
+            topups_total: metrics.counter("store.topups_total"),
+            topup_ns: metrics.histogram("store.topup_ns"),
+            metrics,
+        })
+    }
+
+    fn read(&self) -> RwLockReadGuard<'_, State> {
+        // a panicked writer cannot leave State torn: every mutation
+        // completes its splice before releasing the guard, and poisoning
+        // is about panics, not partial writes
+        self.state.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, State> {
+        self.state.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The registry this store records into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Build metadata (identical to the base store's).
+    pub fn meta(&self) -> &IndexMeta {
+        &self.meta
+    }
+
+    /// Node-universe size.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// θ — total sets sampled, **including** the journaled overlay.
+    pub fn num_sampled(&self) -> usize {
+        self.read().num_sampled
+    }
+
+    /// Retained sets across base shards and overlay.
+    pub fn num_sets(&self) -> usize {
+        let st = self.read();
+        st.base.num_sets() + st.overlay.num_sets()
+    }
+
+    /// Journal records currently overlaying the base.
+    pub fn journal_records(&self) -> u64 {
+        self.journal_records.get().max(0) as u64
+    }
+
+    /// Committed journal bytes on disk.
+    pub fn journal_bytes(&self) -> u64 {
+        self.journal_bytes.get().max(0) as u64
+    }
+
+    /// θ top-ups performed since open.
+    pub fn topups_total(&self) -> u64 {
+        self.topups_total.get()
+    }
+
+    /// Grow the sampled population to at least `target` sets by
+    /// continuing the build's seed stream over `graph`, journaling the
+    /// new sets (fsync), and serving them immediately. Returns the θ
+    /// actually held afterwards; satisfied targets are a no-op. The
+    /// graph must be the one the store was built for.
+    pub fn ensure_theta(&self, graph: &Graph, target: usize) -> Result<usize, EngineError> {
+        let actual = graph_fingerprint(graph);
+        if actual != self.meta.graph_fingerprint {
+            return Err(EngineError::GraphMismatch {
+                expected: self.meta.graph_fingerprint,
+                actual,
+            });
+        }
+        let mut st = self.write();
+        let have = st.num_sampled;
+        if target <= have {
+            return Ok(have);
+        }
+        let start = std::time::Instant::now();
+        let deficit = target - have;
+        // continue the exact sampling stream the store was built from:
+        // same regeneration seed, cursor picked up where the stream
+        // stopped — set `have + k` here is bit-identical to set
+        // `have + k` of a cold build at (seed, target)
+        let mut c = RrCollection::resume_at(self.num_nodes, have);
+        c.extend_parallel(
+            graph,
+            &StandardRr,
+            deficit,
+            self.meta.seed ^ REGEN_SEED_XOR,
+            worker_count(deficit),
+        );
+        let (offsets, members, weights) = c.parts();
+        let record = JournalRecord {
+            graph_fingerprint: self.meta.graph_fingerprint,
+            seed: self.meta.seed,
+            theta_before: have,
+            theta_after: target,
+            set_offsets: offsets.to_vec(),
+            members: members.to_vec(),
+            weights: weights.to_vec(),
+        };
+        // durability point: the record is on disk (fsynced) before any
+        // query can observe the new sets
+        let appended = journal::append(&self.dir, &record)?;
+        let base_len = st.overlay_members.len();
+        st.overlay_members.extend_from_slice(members);
+        st.overlay_weights.extend_from_slice(weights);
+        let rebased: Vec<usize> = offsets[1..].iter().map(|&x| x + base_len).collect();
+        st.overlay_offsets.extend(rebased);
+        st.num_sampled = target;
+        st.rebuild_overlay(self.num_nodes, self.meta)?;
+        st.pool = None;
+        self.journal_records.add(1);
+        self.journal_bytes.add(appended as i64);
+        self.topups_total.incr();
+        self.topup_ns.record_since(start);
+        Ok(target)
+    }
+
+    /// Total weight covered by `seeds` over base + overlay —
+    /// bit-identical to a cold build at the composed `(seed, θ)`: sets
+    /// are visited in global order (base shards in order, overlay
+    /// last), so every `f64` addition happens in the cold build's
+    /// order.
+    pub fn coverage_of(&self, seeds: &[NodeId]) -> Result<f64, EngineError> {
+        let st = self.read();
+        let shards = st.base.load_all()?;
+        let mut covered: Vec<Vec<bool>> = shards
+            .iter()
+            .map(|sh| vec![false; sh.num_sets()])
+            .chain(std::iter::once(vec![false; st.overlay.num_sets()]))
+            .collect();
+        let mut total = 0.0;
+        for &s in seeds {
+            for (sh, cov) in shards
+                .iter()
+                .map(|a| a.as_ref())
+                .chain(std::iter::once(st.overlay.as_ref()))
+                .zip(covered.iter_mut())
+            {
+                let weights = sh.canonical_parts().2;
+                for &j in sh.postings(s) {
+                    if !cov[j as usize] {
+                        cov[j as usize] = true;
+                        total += weights[j as usize];
+                    }
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    /// Greedy selection over base + overlay — bit-identical to the cold
+    /// build's (same accumulation order, same `greedy_argmax`
+    /// tie-breaks); the equivalence oracle for the top-up tests.
+    pub fn greedy_select(&self, b: usize) -> Result<GreedySelection, EngineError> {
+        composed_greedy(&self.read(), self.num_nodes, b)
+    }
+
+    /// The composed budget-cap pool: the manifest's persisted pool
+    /// while nothing is journaled, else recomputed over base + overlay
+    /// and cached until the next top-up.
+    pub fn pool_at_cap(&self) -> Result<Vec<NodeId>, EngineError> {
+        {
+            let st = self.read();
+            if st.overlay_is_empty() {
+                return st.base.pool_at_cap();
+            }
+            if let Some(p) = &st.pool {
+                return Ok(p.clone());
+            }
+        }
+        // compute under the write lock so the cached pool can never be
+        // stale relative to an interleaved top-up
+        let mut st = self.write();
+        if let Some(p) = &st.pool {
+            return Ok(p.clone());
+        }
+        let seeds = composed_greedy(&st, self.num_nodes, self.meta.budget_cap as usize)?.seeds;
+        st.pool = Some(seeds.clone());
+        Ok(seeds)
+    }
+
+    /// Fold base + overlay into a fresh sharded store (write-then-rename
+    /// via [`write_store`]) and delete the journal — only after the new
+    /// manifest is durable, so a crash anywhere in between is recovered
+    /// by the next open (stale journal records are detected and
+    /// skipped). `shards` defaults to the base's current shard count.
+    /// The compacted store is byte-deterministic: identical to
+    /// `write_store` of a cold build at the composed `(seed, θ)`.
+    pub fn compact(&self, shards: Option<usize>) -> Result<StoreSummary, EngineError> {
+        let mut st = self.write();
+        let shard_count = shards.unwrap_or_else(|| st.base.shards_total());
+        if st.overlay_is_empty() && shard_count == st.base.shards_total() {
+            // nothing journaled and no reshape requested: just make sure
+            // no stale journal file lingers
+            journal::remove(&self.dir)?;
+            self.journal_records.set(0);
+            self.journal_bytes.set(0);
+            return Ok(StoreSummary {
+                shards: st.base.shards_total(),
+                total_sets: st.base.num_sets(),
+                bytes_on_disk: st.base.bytes_on_disk(),
+                stale_files_pruned: 0,
+            });
+        }
+        let shard_list = st.base.load_all()?;
+        let mut set_offsets = vec![0usize];
+        let mut members: Vec<NodeId> = Vec::new();
+        let mut weights: Vec<f64> = Vec::new();
+        for sh in shard_list
+            .iter()
+            .map(|a| a.as_ref())
+            .chain(std::iter::once(st.overlay.as_ref()))
+        {
+            let (o, m, w) = sh.canonical_parts();
+            let base = members.len();
+            members.extend_from_slice(m);
+            weights.extend_from_slice(w);
+            set_offsets.extend(o[1..].iter().map(|&x| x + base));
+        }
+        let index = RrIndex::from_canonical(
+            self.num_nodes,
+            st.num_sampled,
+            set_offsets,
+            members,
+            weights,
+            self.meta,
+        )?;
+        let summary = write_store(&index, &self.dir, shard_count)?;
+        // the new manifest is on disk — the journal is now redundant
+        journal::remove(&self.dir)?;
+        st.base = Arc::new(ShardedIndex::open_with_metrics(
+            &self.dir,
+            Arc::clone(&self.metrics),
+        )?);
+        st.overlay_offsets = vec![0];
+        st.overlay_members = Vec::new();
+        st.overlay_weights = Vec::new();
+        st.rebuild_overlay(self.num_nodes, self.meta)?;
+        st.pool = None;
+        self.journal_records.set(0);
+        self.journal_bytes.set(0);
+        Ok(summary)
+    }
+}
+
+/// The composed greedy walk: base shards in global order, then the
+/// overlay as the virtual last shard — structurally identical to
+/// `ShardedIndex::greedy_select`, which is itself bit-identical to the
+/// monolithic `RrIndex::greedy_select`.
+fn composed_greedy(st: &State, n: usize, b: usize) -> Result<GreedySelection, EngineError> {
+    let shard_list = st.base.load_all()?;
+    let parts: Vec<&RrIndex> = shard_list
+        .iter()
+        .map(|a| a.as_ref())
+        .chain(std::iter::once(st.overlay.as_ref()))
+        .collect();
+    let mut gain = vec![0.0f64; n];
+    for sh in &parts {
+        let weights = sh.canonical_parts().2;
+        for (j, &w) in weights.iter().enumerate() {
+            for &v in sh.set(j) {
+                gain[v as usize] += w;
+            }
+        }
+    }
+    let mut covered: Vec<Vec<bool>> = parts.iter().map(|sh| vec![false; sh.num_sets()]).collect();
+    let mut seeds = Vec::with_capacity(b);
+    let mut coverage = Vec::with_capacity(b);
+    let mut total = 0.0;
+    for _ in 0..b.min(n) {
+        let (best, best_gain) = match greedy_argmax(&gain) {
+            Some(x) => x,
+            None => break,
+        };
+        seeds.push(best as NodeId);
+        total += best_gain;
+        coverage.push(total);
+        for (sh, cov) in parts.iter().zip(covered.iter_mut()) {
+            let weights = sh.canonical_parts().2;
+            for &j in sh.postings(best as NodeId) {
+                let j = j as usize;
+                if cov[j] {
+                    continue;
+                }
+                cov[j] = true;
+                for &v in sh.set(j) {
+                    gain[v as usize] -= weights[j];
+                }
+            }
+        }
+        gain[best] = f64::NEG_INFINITY; // never pick the same node twice
+    }
+    Ok(GreedySelection { seeds, coverage })
+}
+
+impl IndexBackend for JournaledStore {
+    fn meta(&self) -> &IndexMeta {
+        &self.meta
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn num_sampled(&self) -> usize {
+        self.num_sampled()
+    }
+
+    fn ensure_theta(&self, graph: &Graph, target: usize) -> Result<usize, EngineError> {
+        self.ensure_theta(graph, target)
+    }
+
+    fn pool_at_cap(&self) -> Result<Vec<NodeId>, EngineError> {
+        self.pool_at_cap()
+    }
+
+    /// Filter base shards in global order, then the overlay — the
+    /// concatenated survivors are bit-identical to filtering the cold
+    /// build's monolithic parts.
+    fn derive_conditioned(&self, sp_nodes: &[NodeId]) -> Result<ConditionedView, EngineError> {
+        let st = self.read();
+        let n = self.num_nodes;
+        let nodes = validated_sp_nodes(n, sp_nodes)?;
+        let shard_list = st.base.load_all()?;
+        let mut set_offsets = vec![0usize];
+        let mut members: Vec<NodeId> = Vec::new();
+        let mut weights: Vec<f64> = Vec::new();
+        for sh in shard_list
+            .iter()
+            .map(|a| a.as_ref())
+            .chain(std::iter::once(st.overlay.as_ref()))
+        {
+            let (o, m, w) = sh.canonical_parts();
+            let (fo, fm, fw) = condition_parts(n, o, m, w, &nodes);
+            let base = members.len();
+            members.extend_from_slice(&fm);
+            weights.extend_from_slice(&fw);
+            set_offsets.extend(fo[1..].iter().map(|&x| x + base));
+        }
+        let removed = st.base.num_sets() + st.overlay.num_sets() - weights.len();
+        ConditionedView::from_conditioned_parts(
+            nodes,
+            n,
+            st.num_sampled,
+            set_offsets,
+            members,
+            weights,
+            self.meta,
+            removed,
+        )
+    }
+
+    fn storage(&self) -> StorageStats {
+        let base = self.read().base.storage();
+        StorageStats {
+            journal_records: self.journal_records(),
+            journal_bytes: self.journal_bytes(),
+            topups_total: self.topups_total(),
+            ..base
+        }
+    }
+}

@@ -46,6 +46,21 @@
 //! eagerly and fault shards in lazily — fresh campaigns are answered
 //! from the persisted pool without reading a single shard.
 //!
+//! ## Grow a store in place (θ top-up) and fold the journal
+//!
+//! ```text
+//! cwelmax index topup --store index.store --graph edges.txt --theta N
+//! cwelmax index compact --store index.store [--shards N]
+//! ```
+//!
+//! `index topup` continues the build's deterministic sampling stream to
+//! at least `--theta` sets, fsyncing the delta into the store's
+//! append-only `journal.bin` — no rebuild, answers bit-identical to a
+//! cold build at the same `(seed, theta)`. `index compact` folds the
+//! journal into fresh shard files (write-then-rename; the journal is
+//! removed only after the new manifest is durable). A live server does
+//! the same over the wire via `{"v": 2, "type": "topup", "theta": N}`.
+//!
 //! ## Answer a batch of campaigns from the index (warm, no resampling)
 //!
 //! ```text
@@ -351,6 +366,79 @@ fn cmd_index_build(argv: Vec<String>, mut sharded: bool) {
     }
 }
 
+/// `cwelmax index topup …` — grow a journaled store's sampled population
+/// to at least `--theta` RR sets, continuing the build's deterministic
+/// sampling stream. The new sets are fsynced into `journal.bin` before
+/// the command reports success; reopening the store (or a live server's
+/// `{"v": 2, "type": "topup"}`) serves them immediately.
+fn cmd_index_topup(argv: Vec<String>) {
+    let mut store = None;
+    let mut graph_path = None;
+    let mut theta: Option<usize> = None;
+    let mut f = Flags::new(argv);
+    while let Some(flag) = f.next_flag() {
+        match flag.as_str() {
+            "--store" => store = Some(f.value("--store")),
+            "--graph" => graph_path = Some(f.value("--graph")),
+            "--theta" => theta = Some(f.parsed("--theta")),
+            other => die(&format!("unknown `index topup` argument `{other}`")),
+        }
+    }
+    let store = store.unwrap_or_else(|| die("--store is required"));
+    let graph_path = graph_path.unwrap_or_else(|| die("--graph is required"));
+    let theta = theta.unwrap_or_else(|| die("--theta is required"));
+    let graph = load_graph(&graph_path);
+    let js = cwelmax::store::JournaledStore::open(&store)
+        .unwrap_or_else(|e| die(&format!("cannot open store: {e}")));
+    let before = js.num_sampled();
+    let start = std::time::Instant::now();
+    let have = js
+        .ensure_theta(&graph, theta)
+        .unwrap_or_else(|e| die(&format!("top-up failed: {e}")));
+    println!(
+        "store topped up in {:?}: θ {before} -> {have} \
+         ({} journal record(s), {} journal bytes) -> {store}/",
+        start.elapsed(),
+        js.journal_records(),
+        js.journal_bytes()
+    );
+}
+
+/// `cwelmax index compact …` — fold a journaled store's `journal.bin`
+/// into fresh shard files and remove the journal. Also reshards when
+/// `--shards` differs from the current layout.
+fn cmd_index_compact(argv: Vec<String>) {
+    let mut store = None;
+    let mut shards: Option<usize> = None;
+    let mut f = Flags::new(argv);
+    while let Some(flag) = f.next_flag() {
+        match flag.as_str() {
+            "--store" => store = Some(f.value("--store")),
+            "--shards" => shards = Some(f.parsed("--shards")),
+            other => die(&format!("unknown `index compact` argument `{other}`")),
+        }
+    }
+    let store = store.unwrap_or_else(|| die("--store is required"));
+    if shards == Some(0) {
+        die("--shards must be positive");
+    }
+    let js = cwelmax::store::JournaledStore::open(&store)
+        .unwrap_or_else(|e| die(&format!("cannot open store: {e}")));
+    let start = std::time::Instant::now();
+    let summary = js
+        .compact(shards)
+        .unwrap_or_else(|e| die(&format!("compaction failed: {e}")));
+    println!(
+        "store compacted in {:?}: θ = {} sampled, {} retained sets across \
+         {} shard(s), {} bytes, journal folded -> {store}/",
+        start.elapsed(),
+        js.num_sampled(),
+        summary.total_sets,
+        summary.shards,
+        summary.bytes_on_disk
+    );
+}
+
 /// Resolve `--index`/`--store` into the shared [`EngineSource`] (one
 /// code path for every serving subcommand) or die with its message.
 fn resolve_source(index: Option<String>, store: Option<String>) -> EngineSource {
@@ -616,9 +704,13 @@ fn main() {
             return match argv.get(1).map(String::as_str) {
                 Some("build") => cmd_index_build(rest, false),
                 Some("shard") => cmd_index_build(rest, true),
+                Some("topup") => cmd_index_topup(rest),
+                Some("compact") => cmd_index_compact(rest),
                 _ => die(
                     "usage: cwelmax index build --graph EDGES --out INDEX.cwrx [--sharded] [...] \
-                     | cwelmax index shard --graph EDGES --out STORE_DIR --shards N [...]",
+                     | cwelmax index shard --graph EDGES --out STORE_DIR --shards N [...] \
+                     | cwelmax index topup --store STORE_DIR --graph EDGES --theta N \
+                     | cwelmax index compact --store STORE_DIR [--shards N]",
                 ),
             };
         }

@@ -22,7 +22,9 @@ pub enum EngineSource {
     /// conditioned views are pre-warmed.
     Snapshot(PathBuf),
     /// A sharded store directory (`--store`): manifest at build time,
-    /// shards lazily as queries touch them.
+    /// shards lazily as queries touch them. Opened **journaled**, so the
+    /// engine can grow θ live (`{"v": 2, "type": "topup"}`); a store
+    /// with no `journal.bin` behaves exactly as before.
     Store(PathBuf),
 }
 
@@ -45,7 +47,7 @@ impl EngineSource {
     pub fn builder(&self) -> EngineBuilder {
         match self {
             EngineSource::Snapshot(path) => EngineBuilder::from_snapshot(path.clone()),
-            EngineSource::Store(dir) => EngineBuilder::from_store(dir),
+            EngineSource::Store(dir) => EngineBuilder::from_journaled_store(dir),
         }
     }
 
@@ -58,7 +60,7 @@ impl EngineSource {
     pub fn describe(&self) -> String {
         match self {
             EngineSource::Snapshot(p) => format!("snapshot {}", p.display()),
-            EngineSource::Store(d) => format!("store {} (lazy shards)", d.display()),
+            EngineSource::Store(d) => format!("store {} (lazy shards, journaled)", d.display()),
         }
     }
 }
