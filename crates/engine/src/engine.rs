@@ -260,6 +260,7 @@ impl CampaignEngine {
         let mut slot = crate::lock_recover(&self.pool);
         match slot.get_or_insert_with(|| {
             self.pool_selections.incr();
+            // lint:allow(no-blocking-under-lock) -- single-flight by design: the mutex spans the backend selection so concurrent callers wait for one computation instead of racing duplicates, and `invalidate_pool` serializes on the same mutex
             self.backend.pool_at_cap().map(Arc::new)
         }) {
             Ok(p) => Ok(Arc::clone(p)),

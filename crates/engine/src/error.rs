@@ -269,4 +269,26 @@ mod tests {
         // the duplicate of an error keeps its classification
         assert_eq!(io.duplicate().kind(), ErrorKind::Io);
     }
+
+    /// `ALL` must enumerate every variant exactly once. The match below
+    /// has no wildcard arm, so adding a variant without revisiting this
+    /// test (and `ALL`, which the lint's error-kinds golden pins) is a
+    /// compile error.
+    #[test]
+    fn all_enumerates_every_variant_once() {
+        let mut seen = [0usize; ErrorKind::ALL.len()];
+        for k in ErrorKind::ALL {
+            let slot = match k {
+                ErrorKind::BadRequest => 0,
+                ErrorKind::GraphMismatch => 1,
+                ErrorKind::BadQuery => 2,
+                ErrorKind::UnsupportedVersion => 3,
+                ErrorKind::Corrupt => 4,
+                ErrorKind::Io => 5,
+                ErrorKind::Busy => 6,
+            };
+            seen[slot] += 1;
+        }
+        assert_eq!(seen, [1; ErrorKind::ALL.len()]);
+    }
 }

@@ -2,7 +2,10 @@
 //!
 //! ```text
 //! cwelmax-lint check [--json] [--root DIR]    lint the workspace; exit 1 on findings
-//! cwelmax-lint golden [--write] [--root DIR]  print or refresh the wire-v1 pin file
+//! cwelmax-lint golden [--write] [--root DIR]  verify the golden files are current
+//!                                             (exit 1 if stale); --write refreshes
+//!                                             them, refusing non-append changes to
+//!                                             the append-only surfaces
 //! cwelmax-lint rules                          list the rule catalog
 //! ```
 //!
@@ -77,18 +80,60 @@ fn check(root: &Path, json: bool) -> std::io::Result<ExitCode> {
     })
 }
 
+/// `golden`: verify every golden is current (exit 1 when stale);
+/// `golden --write`: regenerate them, refusing reorders/removals on the
+/// append-only surfaces (features, error kinds).
 fn golden(root: &Path, write: bool) -> std::io::Result<ExitCode> {
+    use cwelmax_lint::conformance;
     let pins = cwelmax_lint::wire_pin_actual(root)?;
-    let body = cwelmax_lint::golden_body(&pins);
-    if write {
-        let path = root.join(cwelmax_lint::GOLDEN_PATH);
+    let wire_src = std::fs::read_to_string(root.join(cwelmax_lint::WIRE_PATH))?;
+    let error_src = std::fs::read_to_string(root.join(conformance::ERROR_PATH))?;
+    let features = conformance::features_of(&wire_src);
+    let tax = conformance::taxonomy_of(&error_src);
+    if !write {
+        let mut diags = cwelmax_lint::check_wire_pin(root)?;
+        diags.extend(cwelmax_lint::check_conformance(root)?);
+        for d in &diags {
+            println!("{d}");
+        }
+        return Ok(if diags.is_empty() {
+            println!("goldens current");
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        });
+    }
+    // append-only guard before touching anything
+    let feature_names: Vec<String> = features.iter().map(|(f, _)| f.clone()).collect();
+    let kind_lines = conformance::error_kinds_lines(&tax);
+    for (rel, new) in [
+        (conformance::FEATURES_GOLDEN_PATH, &feature_names),
+        (conformance::ERROR_KINDS_GOLDEN_PATH, &kind_lines),
+    ] {
+        if let Some(old) = cwelmax_lint::read_golden_lines(root, rel)? {
+            if let Some(why) = conformance::append_only_violation(&old, new, rel) {
+                eprintln!("cwelmax-lint: {why}");
+                return Ok(ExitCode::from(2));
+            }
+        }
+    }
+    for (rel, body) in [
+        (cwelmax_lint::GOLDEN_PATH, cwelmax_lint::golden_body(&pins)),
+        (
+            conformance::FEATURES_GOLDEN_PATH,
+            conformance::features_golden_body(&features),
+        ),
+        (
+            conformance::ERROR_KINDS_GOLDEN_PATH,
+            conformance::error_kinds_golden_body(&tax),
+        ),
+    ] {
+        let path = root.join(rel);
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)?;
         }
         std::fs::write(&path, &body)?;
-        println!("wrote {} pins to {}", pins.len(), path.display());
-    } else {
-        print!("{body}");
+        println!("wrote {rel}");
     }
     Ok(ExitCode::SUCCESS)
 }

@@ -1,0 +1,334 @@
+//! Intra-workspace call-graph approximation: name-based resolution of
+//! free functions and inherent methods over the whole analyzed file
+//! set.
+//!
+//! ## Soundness caveats (by design — see DESIGN §11)
+//!
+//! * **Name-based, not type-based.** A method call `.foo(…)` resolves
+//!   to *every* workspace method named `foo`; a free call `bar(…)` to
+//!   every free fn named `bar` (same-crate candidates preferred). This
+//!   over-approximates: a false edge can only make the concurrency
+//!   rules stricter, never hide a real cycle.
+//! * **Std-collision denylist.** Method names that collide with
+//!   ubiquitous `std` container/IO methods (`len`, `get`, `insert`,
+//!   `clear`, `shutdown`, …) are *not* resolved — on those names the
+//!   over-approximation inverts into noise (`Vec::len` is not
+//!   `ConditionedCache::len`). Guard-returning helpers are exempt from
+//!   the denylist when called with empty parens: `self.read()` must
+//!   still resolve to the `RwLockReadGuard`-returning helper.
+//! * **Trait dispatch is out of scope.** A call through `dyn Trait`
+//!   resolves to every inherent/impl method of that name, which happens
+//!   to cover the workspace's `IndexBackend` pattern; exotic dispatch
+//!   would not be tracked.
+//! * **Qualified calls** (`journal::append(…)`, `Type::method(…)`)
+//!   match the qualifier against the impl type name or the defining
+//!   file's stem/parent directory, which is how the workspace lays out
+//!   modules.
+
+use crate::lexer::{TokKind, Token};
+use crate::tree::FnDef;
+use std::collections::HashMap;
+
+/// Method names never resolved by bare name: the chance that `.len()`
+/// means a workspace method rather than a std container's is too low
+/// for an over-approximating analysis. Guard-returning helpers bypass
+/// this list (with empty parens) — see module docs.
+pub const METHOD_DENYLIST: &[&str] = &[
+    "len",
+    "is_empty",
+    "get",
+    "insert",
+    "remove",
+    "clear",
+    "push",
+    "pop",
+    "extend",
+    "append",
+    "iter",
+    "next",
+    "count",
+    "clone",
+    "contains",
+    "take",
+    "join",
+    "spawn",
+    "send",
+    "recv",
+    "set",
+    "add",
+    "sub",
+    "get_or_insert_with",
+    "read",
+    "write",
+    "flush",
+    "shutdown",
+    "connect",
+    "open",
+    "create",
+    "find",
+    "position",
+    "sort",
+    "drain",
+    "lock",
+    "map",
+    "and_then",
+    "unwrap_or_else",
+    "last",
+    "first",
+    "min",
+    "max",
+    "sum",
+    "filter",
+    "collect",
+    "parse",
+    "to_value",
+    "hash",
+    "finish",
+    "record",
+    "incr",
+    "get_or_init",
+    "snapshot",
+    "load",
+    "store",
+];
+
+/// One resolved call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Candidate callees (indices into the workspace `FnDef` table).
+    /// More than one when the name is ambiguous — the analysis unions
+    /// their effects.
+    pub callees: Vec<usize>,
+    /// Token index of the callee name.
+    pub tok: usize,
+    /// `foo` / `Type::foo` as written at the call site.
+    pub label: String,
+}
+
+/// The resolved workspace: every function plus, per function, its call
+/// sites into other workspace functions.
+pub struct CallGraph {
+    /// Call sites per function, parallel to the `FnDef` table.
+    pub calls: Vec<Vec<CallSite>>,
+}
+
+/// The crate a workspace-relative path belongs to, for same-crate
+/// preference (`crates/<name>/…` → `<name>`; root files → "").
+fn crate_of(path: &str) -> &str {
+    let mut parts = path.split('/');
+    if parts.next() == Some("crates") {
+        parts.next().unwrap_or("")
+    } else {
+        ""
+    }
+}
+
+/// Last path component without `.rs`, and its parent directory name —
+/// the module names a qualified call may refer to.
+fn module_names(path: &str) -> (String, String) {
+    let mut comps: Vec<&str> = path.split('/').collect();
+    let stem = comps
+        .pop()
+        .unwrap_or("")
+        .trim_end_matches(".rs")
+        .to_string();
+    let parent = comps.pop().unwrap_or("").to_string();
+    (stem, parent)
+}
+
+/// Resolve every call site of every function. `tokens_of(file)` hands
+/// back the token stream of file `i`; `paths[i]` its workspace path.
+pub fn resolve<'a>(
+    fns: &[FnDef],
+    paths: &[String],
+    tokens_of: impl Fn(usize) -> &'a [Token],
+) -> CallGraph {
+    // name → candidate fn indices, split by shape
+    let mut methods: HashMap<&str, Vec<usize>> = HashMap::new();
+    let mut free: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, f) in fns.iter().enumerate() {
+        if f.qual.contains("::") {
+            methods.entry(f.name.as_str()).or_default().push(i);
+        } else {
+            free.entry(f.name.as_str()).or_default().push(i);
+        }
+    }
+
+    let mut calls: Vec<Vec<CallSite>> = vec![Vec::new(); fns.len()];
+    for (fi, f) in fns.iter().enumerate() {
+        let Some((open, close)) = f.body else {
+            continue;
+        };
+        let toks = tokens_of(f.file);
+        let crate_name = crate_of(&paths[f.file]);
+        // nested fn bodies belong to the nested fn, not to us
+        let nested: Vec<(usize, usize)> = fns
+            .iter()
+            .filter(|g| g.file == f.file && g.sig > open && g.sig < close)
+            .filter_map(|g| g.body)
+            .collect();
+        let mut i = open + 1;
+        while i < close {
+            if let Some(&(_, nclose)) = nested.iter().find(|(no, nc)| *no <= i && i <= *nc) {
+                i = nclose + 1;
+                continue;
+            }
+            let t = &toks[i];
+            let is_call = t.kind == TokKind::Ident
+                && toks.get(i + 1).is_some_and(|n| n.text == "(")
+                && toks.get(i.wrapping_sub(1)).is_none_or(|p| p.text != "fn");
+            if !is_call {
+                i += 1;
+                continue;
+            }
+            let name = t.text.as_str();
+            let prev = i.checked_sub(1).map(|p| &toks[p]);
+            let empty_args = toks.get(i + 2).is_some_and(|n| n.text == ")");
+            let mut callees: Vec<usize> = Vec::new();
+            if prev.is_some_and(|p| p.text == ".") {
+                // method call: resolve by name unless denylisted; a
+                // denylisted name still resolves to guard-returning
+                // helpers of the same crate when called with `()`
+                let denied = METHOD_DENYLIST.contains(&name);
+                for &c in methods.get(name).into_iter().flatten() {
+                    let cand = &fns[c];
+                    let guard_helper = cand.returns_guard
+                        && empty_args
+                        && crate_of(&paths[cand.file]) == crate_name;
+                    if !denied || guard_helper {
+                        callees.push(c);
+                    }
+                }
+            } else if prev.is_some_and(|p| p.text == ":")
+                && i >= 3
+                && toks[i - 2].text == ":"
+                && toks[i - 3].kind == TokKind::Ident
+            {
+                // qualified call `Q::name(…)`: match Q against the impl
+                // type or the defining module's file stem / directory
+                let q = toks[i - 3].text.as_str();
+                let want_qual = format!("{q}::{name}");
+                for &c in methods.get(name).into_iter().flatten() {
+                    if fns[c].qual == want_qual {
+                        callees.push(c);
+                    }
+                }
+                for &c in free.get(name).into_iter().flatten() {
+                    let (stem, parent) = module_names(&paths[fns[c].file]);
+                    if stem == q || parent == q {
+                        callees.push(c);
+                    }
+                }
+            } else {
+                // bare free call: same-crate candidates win when any exist
+                let cands: Vec<usize> = free.get(name).cloned().unwrap_or_default();
+                let same: Vec<usize> = cands
+                    .iter()
+                    .copied()
+                    .filter(|&c| crate_of(&paths[fns[c].file]) == crate_name)
+                    .collect();
+                callees = if same.is_empty() { cands } else { same };
+            }
+            callees.retain(|&c| c != fi); // direct recursion adds nothing
+            if !callees.is_empty() {
+                let label = if prev.is_some_and(|p| p.text == ":") && i >= 3 {
+                    format!("{}::{name}", toks[i - 3].text)
+                } else {
+                    name.to_string()
+                };
+                calls[fi].push(CallSite {
+                    callees,
+                    tok: i,
+                    label,
+                });
+            }
+            i += 1;
+        }
+    }
+    CallGraph { calls }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::tree::functions_of;
+
+    fn graph(files: &[(&str, &str)]) -> (Vec<FnDef>, CallGraph, Vec<crate::lexer::Lexed>) {
+        let lexed: Vec<_> = files.iter().map(|(_, s)| lex(s)).collect();
+        let paths: Vec<String> = files.iter().map(|(p, _)| p.to_string()).collect();
+        let mut fns = Vec::new();
+        for (i, lx) in lexed.iter().enumerate() {
+            fns.extend(functions_of(&lx.tokens, i, false));
+        }
+        let cg = resolve(&fns, &paths, |i| &lexed[i].tokens);
+        (fns, cg, lexed)
+    }
+
+    fn callee_names(fns: &[FnDef], cg: &CallGraph, caller: &str) -> Vec<String> {
+        let fi = fns.iter().position(|f| f.qual == caller).unwrap();
+        cg.calls[fi]
+            .iter()
+            .flat_map(|c| c.callees.iter().map(|&i| fns[i].qual.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn free_and_method_calls_resolve() {
+        let (fns, cg, _) = graph(&[(
+            "crates/store/src/lib.rs",
+            "fn helper() {}\n\
+             impl S { fn work(&self) { helper(); self.inner(); }\n\
+                      fn inner(&self) {} }",
+        )]);
+        assert_eq!(callee_names(&fns, &cg, "S::work"), ["helper", "S::inner"]);
+    }
+
+    #[test]
+    fn qualified_calls_match_module_stem() {
+        let (fns, cg, _) = graph(&[
+            (
+                "crates/store/src/journal.rs",
+                "pub fn append(x: u32) -> u32 { x }",
+            ),
+            (
+                "crates/store/src/topup.rs",
+                "fn grow() { journal::append(1); }",
+            ),
+        ]);
+        assert_eq!(callee_names(&fns, &cg, "grow"), ["append"]);
+    }
+
+    #[test]
+    fn denylisted_method_names_do_not_resolve() {
+        let (fns, cg, _) = graph(&[(
+            "crates/engine/src/lib.rs",
+            "impl Cache { fn len(&self) -> usize { 0 } }\n\
+             fn caller(v: &Vec<u32>) { v.len(); }",
+        )]);
+        assert!(callee_names(&fns, &cg, "caller").is_empty());
+    }
+
+    #[test]
+    fn guard_helpers_bypass_the_denylist() {
+        let (fns, cg, _) = graph(&[(
+            "crates/store/src/topup.rs",
+            "impl S { fn read(&self) -> RwLockReadGuard<'_, u32> { self.state.read().unwrap() }\n\
+                      fn serve(&self) { self.read(); } }",
+        )]);
+        assert_eq!(callee_names(&fns, &cg, "S::serve"), ["S::read"]);
+    }
+
+    #[test]
+    fn same_crate_free_fns_are_preferred() {
+        let (fns, cg, _) = graph(&[
+            ("crates/engine/src/a.rs", "pub fn shared_name() {}"),
+            ("crates/store/src/b.rs", "pub fn shared_name() {}"),
+            ("crates/store/src/c.rs", "fn caller() { shared_name(); }"),
+        ]);
+        let fi = fns.iter().position(|f| f.qual == "caller").unwrap();
+        let callees = &cg.calls[fi][0].callees;
+        assert_eq!(callees.len(), 1);
+        assert_eq!(&fns[callees[0]].file, &1); // the store one
+    }
+}

@@ -1,0 +1,578 @@
+//! The `wire-conformance` rule family: protocol surface invariants
+//! checked lexically against the source (never against compiled-in
+//! constants, so `--root` works on any checkout, including the CI
+//! meta-test's deliberately-broken scratch copy).
+//!
+//! Three invariants:
+//!
+//! 1. **`hello` features are append-only and order-pinned.** The
+//!    `FEATURES` array in `engine/src/wire.rs` is compared *in order*
+//!    against `crates/lint/golden/hello_features.txt`. Slots are
+//!    load-bearing (clients and CHANGES notes reference "advertised
+//!    last"); a reorder or removal is a finding even when the set is
+//!    unchanged — which is exactly what the sorted `wire-v1-pin` golden
+//!    cannot see.
+//! 2. **The error taxonomy is pinned and exhaustive.** Every
+//!    `ErrorKind` variant must appear in `ALL` (in declaration order)
+//!    and carry `code()`/`name()` match arms; the
+//!    `(code, name, retryable)` triples are compared in declaration
+//!    order against `crates/lint/golden/error_kinds.txt`.
+//! 3. **Every advertised feature has a typed-client surface.** Each
+//!    feature name maps to a `CwelmaxClient` method via
+//!    [`FEATURE_SURFACE`] or carries an explicit exemption in
+//!    [`FEATURE_EXEMPT`]; stale map entries are findings too, so the
+//!    tables cannot rot.
+
+use crate::lexer::{lex, TokKind};
+use crate::rules::{Diagnostic, WIRE_CONFORMANCE};
+use crate::tree;
+
+/// Committed golden: the `hello` features list, one per line, in
+/// advertised order. Append-only — `golden --write` refuses to reorder
+/// or remove entries.
+pub const FEATURES_GOLDEN_PATH: &str = "crates/lint/golden/hello_features.txt";
+
+/// Committed golden: one `code name retryable|final variant` line per
+/// `ErrorKind`, in declaration order.
+pub const ERROR_KINDS_GOLDEN_PATH: &str = "crates/lint/golden/error_kinds.txt";
+
+/// Source files the conformance pass lexes.
+pub const ERROR_PATH: &str = "crates/engine/src/error.rs";
+pub const CLIENT_PATH: &str = "crates/client/src/lib.rs";
+
+/// feature name → the `CwelmaxClient` method that exercises it.
+pub const FEATURE_SURFACE: &[(&str, &str)] = &[
+    ("batch", "query_batch"),
+    ("stats", "stats"),
+    ("metrics", "metrics"),
+    ("traces", "traces"),
+    ("topup", "topup"),
+];
+
+/// Features with no client call surface, and why that is correct.
+pub const FEATURE_EXEMPT: &[(&str, &str)] = &[
+    (
+        "sp",
+        "the spread parameter rides on `CampaignQuery.sp`; every query method carries it",
+    ),
+    (
+        "store",
+        "advertises server-side persistence; a property of the deployment, nothing to call",
+    ),
+];
+
+fn finding(file: &str, line: u32, message: String) -> Diagnostic {
+    Diagnostic {
+        file: file.to_string(),
+        line,
+        col: 1,
+        rule: WIRE_CONFORMANCE,
+        message,
+        chain: Vec::new(),
+    }
+}
+
+/// Strip the quotes off a lexed string-literal slice (`"x"` → `x`).
+fn unquote(raw: &str) -> &str {
+    raw.trim_start_matches(['b', 'r', '#'])
+        .trim_matches('#')
+        .trim_matches('"')
+}
+
+// ----------------------------------------------------------- extraction
+
+/// The `FEATURES` array of `wire.rs`, in declaration order with lines.
+pub fn features_of(wire_src: &str) -> Vec<(String, u32)> {
+    let toks = lex(wire_src).tokens;
+    let Some(at) = toks
+        .iter()
+        .position(|t| t.kind == TokKind::Ident && t.text == "FEATURES" && !t.in_test)
+    else {
+        return Vec::new();
+    };
+    // skip the type annotation (its `[&str; N]` contains a `;`): start
+    // collecting at the `=`
+    let Some(eq) = toks[at..].iter().position(|t| t.text == "=") else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for t in &toks[at + eq + 1..] {
+        match t.kind {
+            TokKind::Str => out.push((unquote(&t.text).to_string(), t.line)),
+            _ if t.text == ";" => break,
+            _ => {}
+        }
+    }
+    out
+}
+
+/// The lexed `ErrorKind` taxonomy of `error.rs`.
+#[derive(Debug, Default)]
+pub struct ErrorTaxonomy {
+    /// Variants in declaration order, with their lines.
+    pub variants: Vec<(String, u32)>,
+    /// Entries of the `ALL` constant, in order.
+    pub all: Vec<String>,
+    /// variant → numeric code (from the `code()` match).
+    pub codes: Vec<(String, String)>,
+    /// variant → wire name (from the `name()` match).
+    pub names: Vec<(String, String)>,
+    /// Variants listed retryable in `retryable()`.
+    pub retryable: Vec<String>,
+}
+
+pub fn taxonomy_of(error_src: &str) -> ErrorTaxonomy {
+    let toks = lex(error_src).tokens;
+    let mut tax = ErrorTaxonomy::default();
+    // variants: idents at depth 1 of `enum ErrorKind { … }` followed by
+    // `,` or `}` (the taxonomy is all unit variants)
+    if let Some(e) = toks
+        .windows(2)
+        .position(|w| w[0].text == "enum" && w[1].text == "ErrorKind")
+    {
+        if let Some(open) = toks[e..].iter().position(|t| t.text == "{") {
+            let open = e + open;
+            if let Some(close) = tree::matching_brace(&toks, open) {
+                for i in open + 1..close {
+                    if toks[i].kind == TokKind::Ident
+                        && toks
+                            .get(i + 1)
+                            .is_some_and(|n| n.text == "," || n.text == "}")
+                    {
+                        tax.variants.push((toks[i].text.clone(), toks[i].line));
+                    }
+                }
+            }
+        }
+    }
+    // `ErrorKind :: X` sequences inside a token range, in order
+    let kind_refs = |from: usize, to: usize| -> Vec<usize> {
+        (from..to)
+            .filter(|&i| {
+                toks[i].kind == TokKind::Ident
+                    && i >= 3
+                    && toks[i - 1].text == ":"
+                    && toks[i - 2].text == ":"
+                    && toks[i - 3].text == "ErrorKind"
+            })
+            .collect()
+    };
+    let fn_body = |name: &str| -> Option<(usize, usize)> {
+        let at = toks
+            .windows(2)
+            .position(|w| w[0].text == "fn" && w[1].text == name && !w[0].in_test)?;
+        let open = at + toks[at..].iter().position(|t| t.text == "{")?;
+        Some((open, tree::matching_brace(&toks, open)?))
+    };
+    // ALL: every `ErrorKind::X` in the initializer (start at the `=` —
+    // the `[ErrorKind; N]` type annotation contains a `;` of its own)
+    if let Some(a) = toks
+        .windows(2)
+        .position(|w| w[0].text == "const" && w[1].text == "ALL")
+    {
+        let eq = toks[a..]
+            .iter()
+            .position(|t| t.text == "=")
+            .map_or(toks.len(), |p| a + p);
+        let end = toks[eq..]
+            .iter()
+            .position(|t| t.text == ";")
+            .map_or(toks.len(), |p| eq + p);
+        for i in kind_refs(eq, end) {
+            tax.all.push(toks[i].text.clone());
+        }
+    }
+    // code()/name() arms: `ErrorKind::X => <literal>`
+    for (fn_name, want_num) in [("code", true), ("name", false)] {
+        if let Some((open, close)) = fn_body(fn_name) {
+            for i in kind_refs(open, close) {
+                let arrow = toks.get(i + 1).is_some_and(|t| t.text == "=")
+                    && toks.get(i + 2).is_some_and(|t| t.text == ">");
+                if !arrow {
+                    continue;
+                }
+                if let Some(v) = toks.get(i + 3) {
+                    let pair = (toks[i].text.clone(), unquote(&v.text).to_string());
+                    if want_num {
+                        tax.codes.push(pair);
+                    } else {
+                        tax.names.push(pair);
+                    }
+                }
+            }
+        }
+    }
+    if let Some((open, close)) = fn_body("retryable") {
+        for i in kind_refs(open, close) {
+            tax.retryable.push(toks[i].text.clone());
+        }
+    }
+    tax
+}
+
+/// Public method names of `impl CwelmaxClient` in `client/src/lib.rs`.
+pub fn client_methods_of(client_src: &str) -> Vec<String> {
+    let toks = lex(client_src).tokens;
+    tree::functions_of(&toks, 0, false)
+        .into_iter()
+        .filter(|f| !f.is_test && f.qual.starts_with("CwelmaxClient::"))
+        .map(|f| f.name)
+        .collect()
+}
+
+// -------------------------------------------------------------- goldens
+
+/// Render the features golden body from the current list.
+pub fn features_golden_body(features: &[(String, u32)]) -> String {
+    let mut out = String::from(
+        "# hello features golden — crates/engine/src/wire.rs FEATURES, in advertised order.\n\
+         # APPEND-ONLY: slots are load-bearing (clients gate on membership, tests pin\n\
+         # positions). `golden --write` refuses to reorder or remove entries.\n",
+    );
+    for (f, _) in features {
+        out.push_str(f);
+        out.push('\n');
+    }
+    out
+}
+
+/// One golden line per kind: `code name retryable|final variant`.
+pub fn error_kinds_lines(tax: &ErrorTaxonomy) -> Vec<String> {
+    let lookup = |table: &[(String, String)], v: &str| -> String {
+        table
+            .iter()
+            .find(|(k, _)| k == v)
+            .map(|(_, val)| val.clone())
+            .unwrap_or_else(|| "?".into())
+    };
+    tax.variants
+        .iter()
+        .map(|(v, _)| {
+            let retry = if tax.retryable.contains(v) {
+                "retryable"
+            } else {
+                "final"
+            };
+            format!(
+                "{} {} {} {}",
+                lookup(&tax.codes, v),
+                lookup(&tax.names, v),
+                retry,
+                v
+            )
+        })
+        .collect()
+}
+
+pub fn error_kinds_golden_body(tax: &ErrorTaxonomy) -> String {
+    let mut out = String::from(
+        "# error taxonomy golden — crates/engine/src/error.rs, in declaration order:\n\
+         # `code name retryable|final variant`. Codes and names are frozen wire surface;\n\
+         # kinds are append-only. Regenerate with `cargo run -p cwelmax-lint -- golden --write`.\n",
+    );
+    for line in error_kinds_lines(tax) {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+// --------------------------------------------------------------- checks
+
+/// The pure conformance check over already-loaded sources and goldens
+/// (`None` golden = the committed file is missing). Exposed for tests;
+/// [`crate::run_lint`] feeds it from disk.
+pub fn check_sources(
+    wire_src: &str,
+    error_src: &str,
+    client_src: &str,
+    features_golden: Option<&[String]>,
+    kinds_golden: Option<&[String]>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let features = features_of(wire_src);
+    let tax = taxonomy_of(error_src);
+    let methods = client_methods_of(client_src);
+
+    // 1. features vs the ordered golden
+    let feature_line = features.first().map_or(1, |(_, l)| *l);
+    match features_golden {
+        None => out.push(finding(
+            FEATURES_GOLDEN_PATH,
+            1,
+            "features golden missing — create it with `cargo run -p cwelmax-lint -- golden --write`"
+                .into(),
+        )),
+        Some(golden) => {
+            let actual: Vec<&str> = features.iter().map(|(f, _)| f.as_str()).collect();
+            if actual.len() < golden.len()
+                || golden.iter().zip(&actual).any(|(g, a)| g != a)
+            {
+                out.push(finding(
+                    crate::WIRE_PATH,
+                    feature_line,
+                    format!(
+                        "hello features [{}] break the append-only pin [{}] — features may \
+                         only be appended, never reordered or removed (slots are load-bearing)",
+                        actual.join(", "),
+                        golden.join(", ")
+                    ),
+                ));
+            } else {
+                for (f, l) in &features[golden.len()..] {
+                    out.push(finding(
+                        crate::WIRE_PATH,
+                        *l,
+                        format!(
+                            "new feature `{f}` is not pinned — append it with \
+                             `cargo run -p cwelmax-lint -- golden --write`"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // 2. taxonomy: ALL must list the variants in declaration order, and
+    // every variant needs code/name arms
+    let variant_names: Vec<&str> = tax.variants.iter().map(|(v, _)| v.as_str()).collect();
+    if tax.all != variant_names {
+        out.push(finding(
+            ERROR_PATH,
+            tax.variants.first().map_or(1, |(_, l)| *l),
+            format!(
+                "ErrorKind::ALL [{}] does not match the declared variants [{}] in order — \
+                 every kind must be listed exactly once, in declaration order",
+                tax.all.join(", "),
+                variant_names.join(", ")
+            ),
+        ));
+    }
+    for (v, l) in &tax.variants {
+        for (table, what) in [(&tax.codes, "code()"), (&tax.names, "name()")] {
+            if !table.iter().any(|(k, _)| k == v) {
+                out.push(finding(
+                    ERROR_PATH,
+                    *l,
+                    format!("ErrorKind::{v} has no {what} arm — the wire triple is unpinned"),
+                ));
+            }
+        }
+    }
+    match kinds_golden {
+        None => out.push(finding(
+            ERROR_KINDS_GOLDEN_PATH,
+            1,
+            "error-kinds golden missing — create it with `cargo run -p cwelmax-lint -- golden --write`"
+                .into(),
+        )),
+        Some(golden) => {
+            let lines = error_kinds_lines(&tax);
+            if lines != *golden {
+                out.push(finding(
+                    ERROR_PATH,
+                    tax.variants.first().map_or(1, |(_, l)| *l),
+                    format!(
+                        "error taxonomy drifted from its golden: current [{}] vs pinned [{}] — \
+                         codes/names are frozen wire surface; if the change is an append, run \
+                         `cargo run -p cwelmax-lint -- golden --write`",
+                        lines.join("; "),
+                        golden.join("; ")
+                    ),
+                ));
+            }
+        }
+    }
+
+    // 3. every feature has a client surface or an exemption; no stale
+    // table entries
+    for (f, l) in &features {
+        let surface = FEATURE_SURFACE.iter().find(|(name, _)| name == f);
+        let exempt = FEATURE_EXEMPT.iter().any(|(name, _)| name == f);
+        match surface {
+            Some((_, method)) if !methods.iter().any(|m| m == method) => {
+                out.push(finding(
+                    crate::WIRE_PATH,
+                    *l,
+                    format!(
+                        "feature `{f}` maps to `CwelmaxClient::{method}` which does not exist — \
+                         implement the method or fix FEATURE_SURFACE"
+                    ),
+                ));
+            }
+            Some(_) => {}
+            None if exempt => {}
+            None => out.push(finding(
+                crate::WIRE_PATH,
+                *l,
+                format!(
+                    "feature `{f}` has no typed-client surface — add a `CwelmaxClient` method \
+                     to FEATURE_SURFACE or an explicit FEATURE_EXEMPT entry with a reason"
+                ),
+            )),
+        }
+    }
+    for (f, _) in FEATURE_SURFACE.iter().chain(FEATURE_EXEMPT) {
+        if !features.iter().any(|(name, _)| name == f) {
+            out.push(finding(
+                crate::WIRE_PATH,
+                feature_line,
+                format!(
+                    "surface table lists `{f}`, which hello no longer advertises — stale entry"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Append-only guard for `golden --write`: the committed list must be a
+/// prefix of the new one. Returns the offending description on refusal.
+pub fn append_only_violation(old: &[String], new: &[String], what: &str) -> Option<String> {
+    if new.len() < old.len() || old.iter().zip(new).any(|(o, n)| o != n) {
+        Some(format!(
+            "refusing to rewrite the {what} golden: [{}] is not an append to [{}] — \
+             this surface is append-only; a deliberate break needs a hand edit with review",
+            new.join(", "),
+            old.join(", ")
+        ))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WIRE: &str = r#"pub const FEATURES: [&str; 7] =
+        ["batch", "sp", "stats", "store", "metrics", "traces", "topup"];"#;
+    const ALL_FEATURES: &[&str] = &[
+        "batch", "sp", "stats", "store", "metrics", "traces", "topup",
+    ];
+    const ERRORS: &str = r#"
+        pub enum ErrorKind { BadRequest, Io }
+        impl ErrorKind {
+            pub const ALL: [ErrorKind; 2] = [ErrorKind::BadRequest, ErrorKind::Io];
+            pub fn code(self) -> u16 {
+                match self { ErrorKind::BadRequest => 400, ErrorKind::Io => 502 }
+            }
+            pub fn name(self) -> &'static str {
+                match self { ErrorKind::BadRequest => "bad-request", ErrorKind::Io => "io" }
+            }
+            pub fn retryable(self) -> bool { matches!(self, ErrorKind::Io) }
+        }
+    "#;
+    const CLIENT: &str = "impl CwelmaxClient { pub fn query_batch(&mut self) {} \
+                          pub fn stats(&mut self) {} pub fn metrics(&mut self) {} \
+                          pub fn traces(&mut self) {} pub fn topup(&mut self) {} }";
+
+    fn golden(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn features_are_extracted_in_order() {
+        let f: Vec<String> = features_of(WIRE).into_iter().map(|(f, _)| f).collect();
+        assert_eq!(f, ALL_FEATURES);
+    }
+
+    #[test]
+    fn taxonomy_extraction_reads_the_triples() {
+        let tax = taxonomy_of(ERRORS);
+        assert_eq!(
+            error_kinds_lines(&tax),
+            ["400 bad-request final BadRequest", "502 io retryable Io"]
+        );
+        assert_eq!(tax.all, ["BadRequest", "Io"]);
+    }
+
+    #[test]
+    fn conforming_sources_are_clean() {
+        let diags = check_sources(
+            WIRE,
+            ERRORS,
+            CLIENT,
+            Some(&golden(ALL_FEATURES)),
+            Some(&golden(&[
+                "400 bad-request final BadRequest",
+                "502 io retryable Io",
+            ])),
+        );
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn feature_reorder_is_a_finding() {
+        let wire = r#"pub const FEATURES: [&str; 7] =
+            ["sp", "batch", "stats", "store", "metrics", "traces", "topup"];"#;
+        let diags = check_sources(
+            wire,
+            ERRORS,
+            CLIENT,
+            Some(&golden(ALL_FEATURES)),
+            Some(&golden(&[
+                "400 bad-request final BadRequest",
+                "502 io retryable Io",
+            ])),
+        );
+        assert!(
+            diags.iter().any(|d| d.message.contains("append-only pin")),
+            "reorder not detected: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn all_mismatch_is_a_finding() {
+        let errors = ERRORS.replace(
+            "[ErrorKind::BadRequest, ErrorKind::Io]",
+            "[ErrorKind::Io, ErrorKind::BadRequest]",
+        );
+        let diags = check_sources(
+            WIRE,
+            &errors,
+            CLIENT,
+            Some(&golden(ALL_FEATURES)),
+            Some(&golden(&[
+                "400 bad-request final BadRequest",
+                "502 io retryable Io",
+            ])),
+        );
+        assert!(
+            diags.iter().any(|d| d.message.contains("ErrorKind::ALL")),
+            "ALL drift not detected: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn unmapped_feature_is_a_finding() {
+        let wire = r#"pub const FEATURES: [&str; 8] =
+            ["batch", "sp", "stats", "store", "metrics", "traces", "topup", "wat"];"#;
+        let diags = check_sources(
+            wire,
+            ERRORS,
+            CLIENT,
+            Some(&golden(&[
+                "batch", "sp", "stats", "store", "metrics", "traces", "topup", "wat",
+            ])),
+            Some(&golden(&[
+                "400 bad-request final BadRequest",
+                "502 io retryable Io",
+            ])),
+        );
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("no typed-client surface")),
+            "unmapped feature not detected: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn append_only_guard_refuses_reorders_but_not_appends() {
+        let old = golden(&["a", "b"]);
+        assert!(append_only_violation(&old, &golden(&["a", "b", "c"]), "x").is_none());
+        assert!(append_only_violation(&old, &golden(&["b", "a"]), "x").is_some());
+        assert!(append_only_violation(&old, &golden(&["a"]), "x").is_some());
+    }
+}

@@ -3,26 +3,60 @@
 //! In-repo static analysis: the invariants this workspace defends with
 //! tests — NaN-safe float ordering, panic-free serving crates, justified
 //! `SeqCst` fences, logger-routed diagnostics, wall-clock-free
-//! deterministic paths, byte-pinned wire-v1 strings — enforced at
-//! analysis time too, so a regression is a red `file:line:col` line in
-//! CI before it is a flaky production incident.
+//! deterministic paths, byte-pinned wire-v1 strings, an acyclic lock
+//! order, no blocking I/O under a guard, and an append-only protocol
+//! surface — enforced at analysis time too, so a regression is a red
+//! `file:line:col` line in CI before it is a flaky production incident.
 //!
-//! The analysis is a lightweight Rust lexer ([`lexer`]) feeding a rule
-//! engine ([`rules`]); no rustc internals, no external crates, std only
+//! The analysis is a lightweight Rust lexer ([`lexer`]) feeding two
+//! layers: token-local rules ([`rules`]) and a structural pass — a
+//! brace-matched item tree ([`tree`]), a name-based workspace call
+//! graph ([`callgraph`]), and guard-liveness/lock-order analysis
+//! ([`locks`]) — plus the protocol-surface conformance checks
+//! ([`conformance`]). No rustc internals, no external crates, std only
 //! like the rest of the workspace. Run it as:
 //!
 //! ```text
 //! cargo run -p cwelmax-lint -- check            # human-readable, exit 1 on findings
-//! cargo run -p cwelmax-lint -- check --json     # machine-readable report
-//! cargo run -p cwelmax-lint -- golden --write   # refresh the wire-v1 pin file
+//! cargo run -p cwelmax-lint -- check --json     # machine-readable report (schema v1)
+//! cargo run -p cwelmax-lint -- golden           # verify all goldens are current (exit 1 if not)
+//! cargo run -p cwelmax-lint -- golden --write   # refresh the golden files (append-only)
 //! cargo run -p cwelmax-lint -- rules            # the rule catalog
 //! ```
 //!
+//! ## JSON report schema (v1, stable)
+//!
+//! ```text
+//! {
+//!   "schema": 1,                 // bumped only on breaking changes
+//!   "clean": bool,
+//!   "files_checked": uint,
+//!   "diagnostics": [
+//!     {
+//!       "file": string,          // workspace-relative, forward slashes
+//!       "line": uint,            // 1-based
+//!       "col": uint,             // 1-based
+//!       "rule": string,          // a name from `rules::RULES`
+//!       "message": string,
+//!       "chain": [string, ...]   // witness steps; empty for token-local rules
+//!     }, ...
+//!   ]
+//! }
+//! ```
+//!
+//! Fields are never removed or re-typed within a schema version; new
+//! optional fields may be appended. [`report_from_json`] round-trips
+//! the format and is pinned by a test.
+//!
 //! See DESIGN.md §11 for the rule catalog, the suppression syntax, and
-//! the golden-file workflow for intentional wire-v1 changes.
+//! the golden-file workflows.
 
+pub mod callgraph;
+pub mod conformance;
 pub mod lexer;
+pub mod locks;
 pub mod rules;
+pub mod tree;
 
 use rules::{Diagnostic, SourceFile, WIRE_V1_PIN};
 use serde::Value;
@@ -38,6 +72,9 @@ pub const GOLDEN_PATH: &str = "crates/lint/golden/wire_v1_pins.txt";
 /// The pinned file whose literals the golden file freezes.
 pub const WIRE_PATH: &str = "crates/engine/src/wire.rs";
 
+/// The JSON report schema version (see the module docs for the shape).
+pub const JSON_SCHEMA_VERSION: u64 = 1;
+
 /// Outcome of a full workspace check.
 #[derive(Debug)]
 pub struct LintReport {
@@ -52,10 +89,11 @@ impl LintReport {
         self.diagnostics.is_empty()
     }
 
-    /// The machine-readable report (`--json`): one object with a
-    /// `diagnostics` array of `{file, line, col, rule, message}`.
+    /// The machine-readable report (`--json`), schema v1 — see the
+    /// module docs for the documented shape.
     pub fn to_json(&self) -> String {
         let mut m = serde::Map::new();
+        m.insert("schema".into(), Value::UInt(JSON_SCHEMA_VERSION));
         m.insert("clean".into(), Value::Bool(self.clean()));
         m.insert(
             "files_checked".into(),
@@ -71,6 +109,10 @@ impl LintReport {
                 o.insert("col".into(), Value::UInt(u64::from(d.col)));
                 o.insert("rule".into(), Value::String(d.rule.to_string()));
                 o.insert("message".into(), Value::String(d.message.clone()));
+                o.insert(
+                    "chain".into(),
+                    Value::Array(d.chain.iter().cloned().map(Value::String).collect()),
+                );
                 Value::Object(o)
             })
             .collect();
@@ -79,19 +121,75 @@ impl LintReport {
     }
 }
 
-/// Lint the whole workspace under `root`: every `.rs` file through the
-/// token rules, plus the `wire-v1-pin` golden-file check.
-pub fn run_lint(root: &Path) -> io::Result<LintReport> {
-    let mut files = Vec::new();
-    collect_rs_files(root, root, &mut files)?;
-    files.sort();
-    let mut diagnostics = Vec::new();
-    for rel in &files {
-        let src = fs::read_to_string(root.join(rel))?;
-        let file = SourceFile::new(&rel.to_string_lossy(), &src);
-        diagnostics.extend(rules::check_file(&file));
+fn value_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::Int(i) if *i >= 0 => Some(*i as u64),
+        Value::UInt(u) => Some(*u),
+        _ => None,
     }
+}
+
+/// Parse a schema-v1 JSON report back into a [`LintReport`]. Returns
+/// `None` on a schema mismatch, a shape violation, or an unknown rule
+/// name — the round-trip test pins the schema with this.
+pub fn report_from_json(s: &str) -> Option<LintReport> {
+    let v: Value = serde_json::from_str(s).ok()?;
+    let o = v.as_object()?;
+    if value_u64(o.get("schema")?)? != JSON_SCHEMA_VERSION {
+        return None;
+    }
+    let files_checked = value_u64(o.get("files_checked")?)? as usize;
+    let mut diagnostics = Vec::new();
+    for d in o.get("diagnostics")?.as_array()? {
+        let d = d.as_object()?;
+        let rule_name = d.get("rule")?.as_str()?;
+        let rule = rules::RULES
+            .iter()
+            .map(|(name, _)| *name)
+            .find(|name| *name == rule_name)?;
+        let mut chain = Vec::new();
+        for step in d.get("chain")?.as_array()? {
+            chain.push(step.as_str()?.to_string());
+        }
+        diagnostics.push(Diagnostic {
+            file: d.get("file")?.as_str()?.to_string(),
+            line: value_u64(d.get("line")?)? as u32,
+            col: value_u64(d.get("col")?)? as u32,
+            rule,
+            message: d.get("message")?.as_str()?.to_string(),
+            chain,
+        });
+    }
+    Some(LintReport {
+        diagnostics,
+        files_checked,
+    })
+}
+
+/// Lint the whole workspace under `root`: every `.rs` file through the
+/// token rules, the structural concurrency pass over the full file set,
+/// and the golden-pinned protocol checks (`wire-v1-pin`,
+/// `wire-conformance`). Suppressions apply once, at the end, across
+/// all rule families.
+pub fn run_lint(root: &Path) -> io::Result<LintReport> {
+    let mut rels = Vec::new();
+    collect_rs_files(root, root, &mut rels)?;
+    rels.sort();
+    let mut files = Vec::new();
+    for rel in &rels {
+        let src = fs::read_to_string(root.join(rel))?;
+        files.push(SourceFile::new(&rel.to_string_lossy(), &src));
+    }
+    let mut diagnostics = Vec::new();
+    for file in &files {
+        diagnostics.extend(rules::token_rules(file));
+    }
+    diagnostics.extend(locks::analyze(&files));
     diagnostics.extend(check_wire_pin(root)?);
+    diagnostics.extend(check_conformance(root)?);
+    let refs: Vec<&SourceFile> = files.iter().collect();
+    let mut sups = rules::collect_suppressions(&refs);
+    let mut diagnostics = rules::apply_suppressions(&mut sups, diagnostics);
     diagnostics
         .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
     Ok(LintReport {
@@ -100,10 +198,29 @@ pub fn run_lint(root: &Path) -> io::Result<LintReport> {
     })
 }
 
-/// Lint one in-memory source as if it lived at `rel_path` (token rules
-/// and suppressions only — the fixture surface the tests drive).
+/// Lint a set of in-memory sources as one workspace: token rules, the
+/// structural pass, and workspace-wide suppressions (no disk goldens) —
+/// the fixture surface the tests drive.
+pub fn check_sources(sources: &[(&str, &str)]) -> Vec<Diagnostic> {
+    let files: Vec<SourceFile> = sources
+        .iter()
+        .map(|(path, src)| SourceFile::new(path, src))
+        .collect();
+    let mut diags = Vec::new();
+    for file in &files {
+        diags.extend(rules::token_rules(file));
+    }
+    diags.extend(locks::analyze(&files));
+    let refs: Vec<&SourceFile> = files.iter().collect();
+    let mut sups = rules::collect_suppressions(&refs);
+    let mut diags = rules::apply_suppressions(&mut sups, diags);
+    diags.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    diags
+}
+
+/// Lint one in-memory source as if it lived at `rel_path`.
 pub fn check_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
-    rules::check_file(&SourceFile::new(rel_path, src))
+    check_sources(&[(rel_path, src)])
 }
 
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -156,16 +273,26 @@ pub fn wire_pin_actual(root: &Path) -> io::Result<Vec<(String, u32)>> {
     Ok(pins)
 }
 
-/// Parse the committed golden file: one encoded literal per line;
-/// `#`-prefixed lines are comments (a literal slice always starts with
-/// `"`, `r`, or `b`, so the prefix is unambiguous).
+/// Read a committed golden file as its non-comment lines; `Ok(None)`
+/// when the file does not exist yet.
+pub fn read_golden_lines(root: &Path, rel: &str) -> io::Result<Option<Vec<String>>> {
+    match fs::read_to_string(root.join(rel)) {
+        Ok(text) => Ok(Some(
+            text.lines()
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(str::to_string)
+                .collect(),
+        )),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// Parse the committed wire-pin golden file: one encoded literal per
+/// line; `#`-prefixed lines are comments (a literal slice always starts
+/// with `"`, `r`, or `b`, so the prefix is unambiguous).
 pub fn read_golden(root: &Path) -> io::Result<Vec<String>> {
-    let text = fs::read_to_string(root.join(GOLDEN_PATH))?;
-    Ok(text
-        .lines()
-        .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .map(str::to_string)
-        .collect())
+    read_golden_lines(root, GOLDEN_PATH)?.ok_or_else(|| io::Error::from(io::ErrorKind::NotFound))
 }
 
 /// Render the golden file body from the current pins.
@@ -187,19 +314,17 @@ pub fn golden_body(pins: &[(String, u32)]) -> String {
 /// line in `wire.rs`; deletions point at the golden file.
 pub fn check_wire_pin(root: &Path) -> io::Result<Vec<Diagnostic>> {
     let actual = wire_pin_actual(root)?;
-    let golden = match read_golden(root) {
-        Ok(g) => g,
-        Err(e) if e.kind() == io::ErrorKind::NotFound => {
-            return Ok(vec![Diagnostic {
-                file: GOLDEN_PATH.to_string(),
-                line: 1,
-                col: 1,
-                rule: WIRE_V1_PIN,
-                message: "golden file missing — create it with `cargo run -p cwelmax-lint -- golden --write`"
+    let Some(golden) = read_golden_lines(root, GOLDEN_PATH)? else {
+        return Ok(vec![Diagnostic {
+            file: GOLDEN_PATH.to_string(),
+            line: 1,
+            col: 1,
+            rule: WIRE_V1_PIN,
+            message:
+                "golden file missing — create it with `cargo run -p cwelmax-lint -- golden --write`"
                     .into(),
-            }]);
-        }
-        Err(e) => return Err(e),
+            chain: Vec::new(),
+        }]);
     };
     Ok(diff_pins(&actual, &golden))
 }
@@ -218,6 +343,7 @@ pub fn diff_pins(actual: &[(String, u32)], golden: &[String]) -> Vec<Diagnostic>
                     "string literal {pin} is not pinned in the golden file — wire bytes may have drifted; \
                      if intentional run `cargo run -p cwelmax-lint -- golden --write`"
                 ),
+                chain: Vec::new(),
             });
         }
     }
@@ -232,8 +358,28 @@ pub fn diff_pins(actual: &[(String, u32)], golden: &[String]) -> Vec<Diagnostic>
                     "pinned literal {g} no longer appears in {WIRE_PATH} — frozen v1 bytes were edited; \
                      if intentional run `cargo run -p cwelmax-lint -- golden --write`"
                 ),
+                chain: Vec::new(),
             });
         }
     }
     out
+}
+
+// -------------------------------------------------------- wire-conformance
+
+/// The `wire-conformance` rule from disk: lex `wire.rs` / `error.rs` /
+/// the client, read the two conformance goldens, and run the pure check.
+pub fn check_conformance(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let wire = fs::read_to_string(root.join(WIRE_PATH))?;
+    let error = fs::read_to_string(root.join(conformance::ERROR_PATH))?;
+    let client = fs::read_to_string(root.join(conformance::CLIENT_PATH))?;
+    let features_golden = read_golden_lines(root, conformance::FEATURES_GOLDEN_PATH)?;
+    let kinds_golden = read_golden_lines(root, conformance::ERROR_KINDS_GOLDEN_PATH)?;
+    Ok(conformance::check_sources(
+        &wire,
+        &error,
+        &client,
+        features_golden.as_deref(),
+        kinds_golden.as_deref(),
+    ))
 }

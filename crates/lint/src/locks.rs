@@ -1,0 +1,678 @@
+//! The concurrency rules: guard-liveness tracking, the workspace-wide
+//! lock-order graph, and blocking-I/O-under-lock detection.
+//!
+//! ## The model
+//!
+//! A **lock** is named `crate::field` after the field (or binding) the
+//! guard came from: `lock_recover(&self.conns)` in the server is
+//! `server::conns`, `self.state.read()` in the store is `store::state`.
+//! Acquisition sites are `.lock()` / `.read()` / `.write()` with empty
+//! argument lists (the `RwLock` methods take none; `io::Read::read`
+//! takes a buffer, which is how the two are told apart), the
+//! `lock_recover` helpers, and calls to workspace functions whose
+//! return type mentions a `*Guard`.
+//!
+//! **Guard liveness** follows Rust's drop rules closely enough to stay
+//! sound on this workspace's idioms:
+//!
+//! * `let g = <acq>;` lives to the end of the enclosing block, or to an
+//!   explicit `drop(g)`.
+//! * An unbound (temporary) guard lives to the end of its statement —
+//!   except when the statement grows a block at base depth first
+//!   (`for x in lock(..) { … }`, `if let … = lock(..) { … } else { … }`,
+//!   `match lock(..) { … }`), where the temporary lives to the end of
+//!   the construct, matching the scrutinee-temporary rules.
+//!
+//! While guards are live, every further acquisition — direct or through
+//! a call (using the per-function transitive summaries) — adds a
+//! `held → acquired` edge to the global lock-order graph; any cycle is
+//! a `lock-order-acyclic` finding carrying the full acquisition chain.
+//! Blocking operations (fsync/file/socket I/O, `thread::sleep`)
+//! reachable while a guard is held are `no-blocking-under-lock`
+//! findings in the serving crates.
+//!
+//! Self-edges (re-acquiring the lock already held) are deliberately not
+//! reported: with name-based call resolution they are dominated by
+//! false positives, and the workspace's `lock_recover` idiom makes real
+//! re-entrancy visible in review. See DESIGN §11 for the caveat list.
+
+use crate::callgraph::{self, CallGraph};
+use crate::lexer::{TokKind, Token};
+use crate::rules::{
+    Diagnostic, SourceFile, LOCK_ORDER_ACYCLIC, NO_BLOCKING_UNDER_LOCK, SERVING_CRATES,
+};
+use crate::tree::{self, FnDef};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Method calls that block: file sync/IO and buffered reads. `.flush()`
+/// is included — on the serving paths the flushed writer is a socket.
+const BLOCKING_METHODS: &[&str] = &[
+    "sync_all",
+    "sync_data",
+    "write_all",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "read_line",
+    "flush",
+];
+
+/// Qualifiers whose associated calls block (`fs::write`, `File::open`,
+/// `TcpStream::connect`, `thread::sleep`).
+const BLOCKING_QUALIFIERS: &[&str] = &["fs", "File", "TcpStream", "thread"];
+const BLOCKING_QUALIFIED: &[(&str, &str)] = &[("thread", "sleep")];
+
+/// One interesting point inside a function body, in token order.
+enum Event {
+    /// A direct lock acquisition: `(lock id, short source label)`.
+    Acquire(String, String),
+    /// A blocking operation, labeled (`fs::write`, `sync_all`, …).
+    Blocking(String),
+    /// A resolved call into other workspace functions.
+    Call(usize),
+}
+
+/// Per-function transitive effects, with one witness chain per entry.
+#[derive(Default, Clone, PartialEq)]
+struct Summary {
+    /// lock id → steps from this function's body to the acquisition.
+    acquires: BTreeMap<String, Vec<String>>,
+    /// blocking-op witness key (`op at file:line`) → steps to the op.
+    blocking: BTreeMap<String, Vec<String>>,
+}
+
+/// A live guard during the liveness walk.
+struct Live {
+    lock: String,
+    /// Last token index (inclusive) at which the guard is held.
+    end: usize,
+    /// `let`-binding name, for `drop(name)` tracking.
+    name: Option<String>,
+    line: u32,
+}
+
+/// One lock-order edge with its witness.
+struct EdgeInfo {
+    file: String,
+    line: u32,
+    col: u32,
+    /// What the code did at the edge site (an acquisition or a call).
+    label: String,
+    /// Steps inside the callee leading to the far acquisition (empty
+    /// for direct acquisitions).
+    chain: Vec<String>,
+}
+
+/// Run the structural concurrency rules over the whole file set.
+pub fn analyze(files: &[SourceFile]) -> Vec<Diagnostic> {
+    // ---- the function table and call graph (shims excluded: they are
+    // API stand-ins whose bodies model, not implement, concurrency)
+    let mut fns: Vec<FnDef> = Vec::new();
+    for (i, f) in files.iter().enumerate() {
+        if f.is_shim {
+            continue;
+        }
+        fns.extend(tree::functions_of(&f.lexed.tokens, i, f.is_test_file));
+    }
+    let paths: Vec<String> = files.iter().map(|f| f.rel_path.clone()).collect();
+    let cg = callgraph::resolve(&fns, &paths, |i| &files[i].lexed.tokens);
+
+    // ---- per-function events
+    let events: Vec<Vec<(usize, Event)>> = fns
+        .iter()
+        .enumerate()
+        .map(|(fi, f)| collect_events(f, fi, &fns, files, &cg))
+        .collect();
+
+    // ---- transitive summaries to a fixpoint. Convergence is judged on
+    // the key sets alone: they grow monotonically, while the witness
+    // chains can keep mutating forever around call-graph cycles (two
+    // same-named methods resolving to each other) and are cosmetic.
+    let mut summaries: Vec<Summary> = vec![Summary::default(); fns.len()];
+    for _ in 0..summaries.len().max(4) {
+        let mut changed = false;
+        for fi in 0..fns.len() {
+            if excluded(&fns[fi]) {
+                continue;
+            }
+            let s = summarize(fi, &events[fi], &fns, files, &cg, &summaries);
+            changed |= !s.acquires.keys().eq(summaries[fi].acquires.keys())
+                || !s.blocking.keys().eq(summaries[fi].blocking.keys());
+            summaries[fi] = s;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // ---- liveness walk: blocking findings + lock-order edges
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut edges: Vec<((String, String), EdgeInfo)> = Vec::new();
+    for (fi, f) in fns.iter().enumerate() {
+        if excluded(f) {
+            continue;
+        }
+        liveness_walk(
+            fi,
+            f,
+            &events[fi],
+            &fns,
+            files,
+            &cg,
+            &summaries,
+            &mut diags,
+            &mut edges,
+        );
+    }
+
+    diags.extend(report_cycles(&edges));
+    diags.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    // one call site can reach the same op through several resolved
+    // callees — keep the first witness chain per distinct finding
+    diags.dedup_by(|a, b| {
+        (&a.file, a.line, a.col, a.rule, &a.message) == (&b.file, b.line, b.col, b.rule, &b.message)
+    });
+    diags
+}
+
+/// Functions the analysis skips entirely: test code, bodyless
+/// declarations, and the `lock_recover` helpers themselves (their call
+/// sites are modeled as direct acquisitions of the *argument* lock;
+/// analyzing the body would invent a lock named after the parameter).
+fn excluded(f: &FnDef) -> bool {
+    f.is_test || f.body.is_none() || f.name == "lock_recover"
+}
+
+fn crate_label(files: &[SourceFile], file: usize) -> String {
+    files[file]
+        .crate_name
+        .clone()
+        .unwrap_or_else(|| "root".into())
+}
+
+fn is_serving(files: &[SourceFile], file: usize) -> bool {
+    files[file]
+        .crate_name
+        .as_deref()
+        .is_some_and(|c| SERVING_CRATES.contains(&c))
+        && !files[file].is_test_file
+}
+
+/// Extract the ordered interesting points of one function body.
+fn collect_events(
+    f: &FnDef,
+    fi: usize,
+    fns: &[FnDef],
+    files: &[SourceFile],
+    cg: &CallGraph,
+) -> Vec<(usize, Event)> {
+    let Some((open, close)) = f.body else {
+        return Vec::new();
+    };
+    if excluded(f) {
+        return Vec::new();
+    }
+    let toks = &files[f.file].lexed.tokens;
+    let krate = crate_label(files, f.file);
+    let nested: Vec<(usize, usize)> = fns
+        .iter()
+        .filter(|g| g.file == f.file && g.sig > open && g.sig < close)
+        .filter_map(|g| g.body)
+        .collect();
+    let calls_here: HashMap<usize, usize> = cg.calls[fi]
+        .iter()
+        .enumerate()
+        .map(|(ci, c)| (c.tok, ci))
+        .collect();
+
+    let mut out = Vec::new();
+    let mut i = open + 1;
+    while i < close {
+        if let Some(&(_, nclose)) = nested.iter().find(|(no, nc)| *no <= i && i <= *nc) {
+            i = nclose + 1;
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind == TokKind::Ident {
+            if let Some((lock, label)) = direct_acquisition(toks, i, &krate) {
+                out.push((i, Event::Acquire(lock, label)));
+            } else if let Some(op) = blocking_op(toks, i) {
+                out.push((i, Event::Blocking(op)));
+            }
+            if let Some(&ci) = calls_here.get(&i) {
+                // `lock_recover` sites are already the Acquire above
+                if !cg.calls[fi][ci].label.contains("lock_recover") {
+                    out.push((i, Event::Call(ci)));
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Recognize a direct acquisition at ident `i`; returns
+/// `(lock id, source label)`.
+fn direct_acquisition(toks: &[Token], i: usize, krate: &str) -> Option<(String, String)> {
+    let t = &toks[i];
+    let next_is = |k: usize, s: &str| toks.get(i + k).is_some_and(|t| t.text == s);
+    let prev = |k: usize| i.checked_sub(k).map(|p| &toks[p]);
+    match t.text.as_str() {
+        // `recv.lock()` / `recv.field.read()` / `recv.field.write()`
+        "lock" | "read" | "write"
+            if prev(1).is_some_and(|p| p.text == ".") && next_is(1, "(") && next_is(2, ")") =>
+        {
+            let recv = prev(2).filter(|p| p.kind == TokKind::Ident && p.text != "self")?;
+            Some((
+                format!("{krate}::{}", recv.text),
+                format!("{}.{}()", recv.text, t.text),
+            ))
+        }
+        // `lock_recover(&self.field)` — the argument names the lock
+        "lock_recover"
+            if next_is(1, "(") && prev(1).is_none_or(|p| p.text != "fn" && p.text != ".") =>
+        {
+            let mut j = i + 2;
+            let mut depth = 1i32;
+            let mut field = None;
+            while j < toks.len() && depth > 0 {
+                match toks[j].text.as_str() {
+                    "(" => depth += 1,
+                    ")" => depth -= 1,
+                    _ if toks[j].kind == TokKind::Ident && toks[j].text != "self" => {
+                        field = Some(toks[j].text.clone());
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let field = field?;
+            Some((
+                format!("{krate}::{field}"),
+                format!("lock_recover(&…{field})"),
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// Recognize a blocking operation at ident `i`; returns its label.
+fn blocking_op(toks: &[Token], i: usize) -> Option<String> {
+    let t = &toks[i];
+    let prev = |k: usize| i.checked_sub(k).map(|p| &toks[p]);
+    if BLOCKING_METHODS.contains(&t.text.as_str()) && prev(1).is_some_and(|p| p.text == ".") {
+        return Some(t.text.clone());
+    }
+    // `qual::name(` — `fs::write`, `File::open`, `TcpStream::connect`;
+    // `thread::sleep` is special-cased because only `sleep` blocks
+    let qualified = prev(1).is_some_and(|p| p.text == ":")
+        && prev(2).is_some_and(|p| p.text == ":")
+        && prev(3).is_some_and(|p| p.kind == TokKind::Ident);
+    if qualified && toks.get(i + 1).is_some_and(|n| n.text == "(") {
+        let q = &prev(3).unwrap().text;
+        let hit = match q.as_str() {
+            "thread" => BLOCKING_QUALIFIED.contains(&("thread", t.text.as_str())),
+            _ => BLOCKING_QUALIFIERS.contains(&q.as_str()) && q != "thread",
+        };
+        if hit {
+            return Some(format!("{q}::{}", t.text));
+        }
+    }
+    None
+}
+
+/// This function's transitive summary, given everyone's previous one.
+fn summarize(
+    fi: usize,
+    events: &[(usize, Event)],
+    fns: &[FnDef],
+    files: &[SourceFile],
+    cg: &CallGraph,
+    summaries: &[Summary],
+) -> Summary {
+    let f = &fns[fi];
+    let toks = &files[f.file].lexed.tokens;
+    let path = &files[f.file].rel_path;
+    let mut s = Summary::default();
+    for (tok, ev) in events {
+        let line = toks[*tok].line;
+        match ev {
+            Event::Acquire(lock, label) => {
+                s.acquires
+                    .entry(lock.clone())
+                    .or_insert_with(|| vec![format!("{path}:{line} `{label}`")]);
+            }
+            Event::Blocking(op) => {
+                s.blocking
+                    .entry(format!("{op} at {path}:{line}"))
+                    .or_insert_with(|| vec![format!("`{op}` at {path}:{line}")]);
+            }
+            Event::Call(ci) => {
+                let site = &cg.calls[fi][*ci];
+                let step = format!("{path}:{line} calls `{}`", site.label);
+                // witness chains are capped: around call-graph cycles
+                // they would otherwise grow by one hop per fixpoint pass
+                let extend = |steps: &[String]| {
+                    let mut v = vec![step.clone()];
+                    v.extend(steps.iter().take(11).cloned());
+                    v
+                };
+                for &c in &site.callees {
+                    if excluded(&fns[c]) {
+                        continue;
+                    }
+                    for (lock, steps) in &summaries[c].acquires {
+                        s.acquires
+                            .entry(lock.clone())
+                            .or_insert_with(|| extend(steps));
+                    }
+                    for (key, steps) in &summaries[c].blocking {
+                        s.blocking
+                            .entry(key.clone())
+                            .or_insert_with(|| extend(steps));
+                    }
+                }
+            }
+        }
+    }
+    s
+}
+
+/// Walk one body tracking live guards; emit blocking findings and
+/// lock-order edges.
+#[allow(clippy::too_many_arguments)]
+fn liveness_walk(
+    fi: usize,
+    f: &FnDef,
+    events: &[(usize, Event)],
+    fns: &[FnDef],
+    files: &[SourceFile],
+    cg: &CallGraph,
+    summaries: &[Summary],
+    diags: &mut Vec<Diagnostic>,
+    edges: &mut Vec<((String, String), EdgeInfo)>,
+) {
+    let Some((open, close)) = f.body else { return };
+    let toks = &files[f.file].lexed.tokens;
+    let path = &files[f.file].rel_path;
+    let serving = is_serving(files, f.file);
+    let by_tok: HashMap<usize, Vec<&Event>> = {
+        let mut m: HashMap<usize, Vec<&Event>> = HashMap::new();
+        for (tok, ev) in events {
+            m.entry(*tok).or_default().push(ev);
+        }
+        m
+    };
+    let nested: Vec<(usize, usize)> = fns
+        .iter()
+        .filter(|g| g.file == f.file && g.sig > open && g.sig < close)
+        .filter_map(|g| g.body)
+        .collect();
+
+    let mut braces: Vec<usize> = vec![open];
+    let mut lives: Vec<Live> = Vec::new();
+    let mut i = open + 1;
+    while i < close {
+        if let Some(&(_, nclose)) = nested.iter().find(|(no, nc)| *no <= i && i <= *nc) {
+            i = nclose + 1;
+            continue;
+        }
+        lives.retain(|g| g.end >= i);
+        let t = &toks[i];
+        match t.text.as_str() {
+            "{" => braces.push(i),
+            "}" => {
+                braces.pop();
+            }
+            // `drop(name)` releases a let-bound guard early
+            "drop"
+                if toks.get(i + 1).is_some_and(|n| n.text == "(")
+                    && toks.get(i + 2).is_some_and(|n| n.kind == TokKind::Ident)
+                    && toks.get(i + 3).is_some_and(|n| n.text == ")") =>
+            {
+                let name = toks[i + 2].text.as_str();
+                lives.retain(|g| g.name.as_deref() != Some(name));
+            }
+            _ => {}
+        }
+        for ev in by_tok.get(&i).map(Vec::as_slice).unwrap_or(&[]) {
+            match ev {
+                Event::Acquire(lock, label) => {
+                    for g in &lives {
+                        if g.lock != *lock {
+                            edges.push((
+                                (g.lock.clone(), lock.clone()),
+                                EdgeInfo {
+                                    file: path.clone(),
+                                    line: t.line,
+                                    col: t.col,
+                                    label: label.clone(),
+                                    chain: Vec::new(),
+                                },
+                            ));
+                        }
+                    }
+                    let (name, end) = binding_and_end(toks, open, close, &braces, i);
+                    lives.push(Live {
+                        lock: lock.clone(),
+                        end,
+                        name,
+                        line: t.line,
+                    });
+                }
+                Event::Blocking(op) => {
+                    if serving && !lives.is_empty() {
+                        diags.push(blocking_diag(path, t, op, &lives, &[]));
+                    }
+                }
+                Event::Call(ci) => {
+                    let site = &cg.calls[fi][*ci];
+                    let mut acquired_here: BTreeSet<String> = BTreeSet::new();
+                    for &c in &site.callees {
+                        if excluded(&fns[c]) {
+                            continue;
+                        }
+                        for (lock, steps) in &summaries[c].acquires {
+                            for g in &lives {
+                                if g.lock != *lock {
+                                    edges.push((
+                                        (g.lock.clone(), lock.clone()),
+                                        EdgeInfo {
+                                            file: path.clone(),
+                                            line: t.line,
+                                            col: t.col,
+                                            label: format!("call `{}`", site.label),
+                                            chain: steps.clone(),
+                                        },
+                                    ));
+                                }
+                            }
+                            if fns[c].returns_guard {
+                                acquired_here.insert(lock.clone());
+                            }
+                        }
+                        if serving && !lives.is_empty() {
+                            for steps in summaries[c].blocking.values() {
+                                diags.push(blocking_diag(
+                                    path,
+                                    t,
+                                    &format!("call `{}`", site.label),
+                                    &lives,
+                                    steps,
+                                ));
+                            }
+                        }
+                    }
+                    // a guard-returning helper hands its guard to us
+                    if !acquired_here.is_empty() {
+                        let (name, end) = binding_and_end(toks, open, close, &braces, i);
+                        for lock in acquired_here {
+                            lives.push(Live {
+                                lock,
+                                end,
+                                name: name.clone(),
+                                line: t.line,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+fn blocking_diag(
+    path: &str,
+    t: &Token,
+    what: &str,
+    lives: &[Live],
+    chain: &[String],
+) -> Diagnostic {
+    let held: Vec<String> = lives
+        .iter()
+        .map(|g| format!("`{}` (line {})", g.lock, g.line))
+        .collect();
+    Diagnostic {
+        file: path.to_string(),
+        line: t.line,
+        col: t.col,
+        rule: NO_BLOCKING_UNDER_LOCK,
+        message: format!(
+            "{what} blocks while holding {}; move the I/O outside the critical section or \
+             `lint:allow` with a safety argument",
+            held.join(", ")
+        ),
+        chain: chain.to_vec(),
+    }
+}
+
+/// Is the acquisition at `acq` a `let` binding, and until which token
+/// does its guard live?
+fn binding_and_end(
+    toks: &[Token],
+    open: usize,
+    close: usize,
+    braces: &[usize],
+    acq: usize,
+) -> (Option<String>, usize) {
+    // statement start: the token after the nearest `;`/`{`/`}` behind us
+    let mut s = acq;
+    while s > open + 1 && !matches!(toks[s - 1].text.as_str(), ";" | "{" | "}") {
+        s -= 1;
+    }
+    if toks[s].text == "let" {
+        let mut n = s + 1;
+        if toks.get(n).is_some_and(|t| t.text == "mut") {
+            n += 1;
+        }
+        let name = toks
+            .get(n)
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone());
+        let enclosing = braces.last().copied().unwrap_or(open);
+        let end = tree::matching_brace(toks, enclosing).unwrap_or(close);
+        return (name, end);
+    }
+    (None, temp_end(toks, close, acq))
+}
+
+/// End of a temporary (unbound) guard: the statement's `;`, extended
+/// over a block the statement grows at base depth (`for`/`if let`/
+/// `match` scrutinee temporaries), continuing through `else` chains.
+fn temp_end(toks: &[Token], close: usize, acq: usize) -> usize {
+    let mut paren = 0i32;
+    let mut j = acq + 1;
+    while j < close {
+        match toks[j].text.as_str() {
+            "(" | "[" => paren += 1,
+            ")" | "]" => paren -= 1,
+            ";" if paren <= 0 => return j,
+            "}" if paren <= 0 => return j, // tail expression of the block
+            "{" if paren <= 0 => {
+                let k = tree::matching_brace(toks, j).unwrap_or(close);
+                if toks.get(k + 1).is_some_and(|t| t.text == "else") {
+                    j = k + 1; // scan on through the else branch
+                } else {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    close
+}
+
+// ------------------------------------------------------------------ cycles
+
+/// Detect cycles in the lock-order graph; one diagnostic per distinct
+/// cycle, anchored at its first edge, with the full chain attached.
+fn report_cycles(edges: &[((String, String), EdgeInfo)]) -> Vec<Diagnostic> {
+    // first witness per directed edge
+    let mut witness: BTreeMap<(String, String), &EdgeInfo> = BTreeMap::new();
+    for (k, info) in edges {
+        witness.entry(k.clone()).or_insert(info);
+    }
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (from, to) in witness.keys() {
+        adj.entry(from).or_default().insert(to);
+    }
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    let mut out = Vec::new();
+    // enumerate each simple cycle once, from its lexicographically
+    // smallest node, never revisiting smaller nodes
+    for &start in &nodes {
+        let mut stack: Vec<&str> = vec![start];
+        cycle_dfs(start, start, &adj, &mut stack, &witness, &mut out);
+    }
+    out
+}
+
+fn cycle_dfs<'a>(
+    start: &'a str,
+    at: &'a str,
+    adj: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+    stack: &mut Vec<&'a str>,
+    witness: &BTreeMap<(String, String), &EdgeInfo>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for &next in adj.get(at).into_iter().flatten() {
+        if next == start && stack.len() > 1 {
+            out.push(cycle_diag(stack, witness));
+        } else if next > start && !stack.contains(&next) {
+            stack.push(next);
+            cycle_dfs(start, next, adj, stack, witness, out);
+            stack.pop();
+        }
+    }
+}
+
+fn cycle_diag(stack: &[&str], witness: &BTreeMap<(String, String), &EdgeInfo>) -> Diagnostic {
+    let mut ring: Vec<&str> = stack.to_vec();
+    ring.push(stack[0]);
+    let mut chain = Vec::new();
+    for w in ring.windows(2) {
+        let info = witness[&(w[0].to_string(), w[1].to_string())];
+        chain.push(format!(
+            "{} -> {} at {}:{} via {}",
+            w[0], w[1], info.file, info.line, info.label
+        ));
+        for step in &info.chain {
+            chain.push(format!("    through {step}"));
+        }
+    }
+    let first = witness[&(ring[0].to_string(), ring[1].to_string())];
+    Diagnostic {
+        file: first.file.clone(),
+        line: first.line,
+        col: first.col,
+        rule: LOCK_ORDER_ACYCLIC,
+        message: format!(
+            "lock-order cycle: {} — acquisition order must form a DAG; reorder the \
+             acquisitions or drop the first guard before taking the second",
+            ring.join(" -> ")
+        ),
+        chain,
+    }
+}

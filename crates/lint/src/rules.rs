@@ -29,6 +29,10 @@ pub struct Diagnostic {
     /// Stable rule name (see [`RULES`]).
     pub rule: &'static str,
     pub message: String,
+    /// Witness steps for cross-function findings (`lock-order-acyclic`
+    /// cycles, transitive `no-blocking-under-lock` paths). Empty for
+    /// token-local rules.
+    pub chain: Vec<String>,
 }
 
 impl std::fmt::Display for Diagnostic {
@@ -37,7 +41,11 @@ impl std::fmt::Display for Diagnostic {
             f,
             "{}:{}:{} {} {}",
             self.file, self.line, self.col, self.rule, self.message
-        )
+        )?;
+        for step in &self.chain {
+            write!(f, "\n        {step}")?;
+        }
+        Ok(())
     }
 }
 
@@ -50,6 +58,9 @@ pub const NO_UNSAFE: &str = "no-unsafe";
 pub const NO_DIRECT_PRINT: &str = "no-direct-print";
 pub const NO_WALLCLOCK_IN_DETERMINISTIC: &str = "no-wallclock-in-deterministic";
 pub const WIRE_V1_PIN: &str = "wire-v1-pin";
+pub const LOCK_ORDER_ACYCLIC: &str = "lock-order-acyclic";
+pub const NO_BLOCKING_UNDER_LOCK: &str = "no-blocking-under-lock";
+pub const WIRE_CONFORMANCE: &str = "wire-conformance";
 /// Meta rule: malformed `lint:allow` comments. Not suppressible.
 pub const BAD_SUPPRESSION: &str = "bad-suppression";
 /// Meta rule: `lint:allow` comments that matched no diagnostic. Not
@@ -87,6 +98,18 @@ pub const RULES: &[(&str, &str)] = &[
         "string literals in `engine/src/wire.rs` must match the committed golden file (frozen v1 bytes cannot drift silently)",
     ),
     (
+        LOCK_ORDER_ACYCLIC,
+        "the workspace lock-order graph (guard held while acquiring, tracked through the call graph) must be a DAG — any cycle is a latent deadlock",
+    ),
+    (
+        NO_BLOCKING_UNDER_LOCK,
+        "no fsync/file/socket I/O or `thread::sleep` reachable while a guard is held in serving crates — blocking under a lock is a tail-latency cliff",
+    ),
+    (
+        WIRE_CONFORMANCE,
+        "hello features are append-only and order-pinned; ErrorKind triples match their golden and `ALL` is exhaustive; every feature has a typed-client method or an explicit exemption",
+    ),
+    (
         BAD_SUPPRESSION,
         "meta: a `lint:allow` comment that is malformed, names an unknown rule, or lacks a `-- reason`",
     ),
@@ -96,8 +119,9 @@ pub const RULES: &[(&str, &str)] = &[
     ),
 ];
 
-/// Crates whose non-test code must never panic (they serve traffic).
-const SERVING_CRATES: &[&str] = &["engine", "server", "store", "client"];
+/// Crates whose non-test code must never panic or block under a lock
+/// (they serve traffic).
+pub const SERVING_CRATES: &[&str] = &["engine", "server", "store", "client"];
 
 /// Paths whose non-test code must never read the wall clock (they
 /// produce byte-deterministic artifacts).
@@ -162,10 +186,12 @@ impl SourceFile {
     }
 }
 
-/// Run every token rule on one file and apply its suppressions. (The
-/// `wire-v1-pin` rule needs the golden file and runs at the driver
-/// level — see [`crate::check_wire_pin`].)
-pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
+/// Run every token rule on one file (no suppressions applied — the
+/// driver applies them workspace-wide after the structural rules, so a
+/// `lint:allow` can cover cross-function findings too). The
+/// `wire-v1-pin` and `wire-conformance` rules need files and goldens
+/// and run at the driver level.
+pub fn token_rules(file: &SourceFile) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     no_partial_cmp_unwrap(file, &mut diags);
     no_panic_in_serving(file, &mut diags);
@@ -173,7 +199,15 @@ pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
     no_unsafe(file, &mut diags);
     no_direct_print(file, &mut diags);
     no_wallclock_in_deterministic(file, &mut diags);
-    apply_suppressions(file, diags)
+    diags
+}
+
+/// Token rules plus this one file's suppressions — the single-file
+/// fixture surface.
+pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
+    let diags = token_rules(file);
+    let mut sups = collect_suppressions(&[file]);
+    apply_suppressions(&mut sups, diags)
 }
 
 fn diag(file: &SourceFile, t: &Token, rule: &'static str, message: String) -> Diagnostic {
@@ -183,6 +217,7 @@ fn diag(file: &SourceFile, t: &Token, rule: &'static str, message: String) -> Di
         col: t.col,
         rule,
         message,
+        chain: Vec::new(),
     }
 }
 
@@ -380,48 +415,69 @@ fn no_wallclock_in_deterministic(file: &SourceFile, out: &mut Vec<Diagnostic>) {
 
 // ------------------------------------------------------------ suppressions
 
+/// One parsed (well-formed) `lint:allow`, or the `bad-suppression`
+/// finding a malformed one produces.
+pub struct Suppressions {
+    sups: Vec<Suppression>,
+    bad: Vec<Diagnostic>,
+}
+
 struct Suppression {
+    file: String,
     rule: String,
     line: u32,
     col: u32,
     used: bool,
 }
 
-/// Parse `lint:allow` comments, drop the diagnostics they cover, and
-/// emit `bad-suppression`/`unused-suppression` findings.
-fn apply_suppressions(file: &SourceFile, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
-    let mut out = Vec::new();
-    let mut sups: Vec<Suppression> = Vec::new();
-    for c in &file.lexed.comments {
-        match parse_suppression(c) {
-            Some(Ok(rule)) => sups.push(Suppression {
-                rule,
-                line: c.line,
-                col: c.col,
-                used: false,
-            }),
-            Some(Err(why)) => out.push(Diagnostic {
-                file: file.rel_path.clone(),
-                line: c.line,
-                col: c.col,
-                rule: BAD_SUPPRESSION,
-                message: why,
-            }),
-            None => {}
+/// Parse every `lint:allow` comment of the given files. The result is
+/// applied once, after *all* rules have run — token-local and
+/// structural alike — so every rule family is suppressible with the
+/// same syntax and `unused-suppression` sees the full picture.
+pub fn collect_suppressions(files: &[&SourceFile]) -> Suppressions {
+    let mut sups = Vec::new();
+    let mut bad = Vec::new();
+    for file in files {
+        for c in &file.lexed.comments {
+            match parse_suppression(c) {
+                Some(Ok(rule)) => sups.push(Suppression {
+                    file: file.rel_path.clone(),
+                    rule,
+                    line: c.line,
+                    col: c.col,
+                    used: false,
+                }),
+                Some(Err(why)) => bad.push(Diagnostic {
+                    file: file.rel_path.clone(),
+                    line: c.line,
+                    col: c.col,
+                    rule: BAD_SUPPRESSION,
+                    message: why,
+                    chain: Vec::new(),
+                }),
+                None => {}
+            }
         }
     }
+    Suppressions { sups, bad }
+}
+
+/// Drop the diagnostics the suppressions cover; emit
+/// `bad-suppression`/`unused-suppression` findings.
+pub fn apply_suppressions(sups: &mut Suppressions, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let mut out = std::mem::take(&mut sups.bad);
     for d in diags {
-        let covered = sups
-            .iter_mut()
-            .find(|s| s.rule == d.rule && (s.line == d.line || s.line + 1 == d.line));
+        let covered = sups.sups.iter_mut().find(|s| {
+            s.rule == d.rule && s.file == d.file && (s.line == d.line || s.line + 1 == d.line)
+        });
         match covered {
             Some(s) => s.used = true,
             None => out.push(d),
         }
     }
-    for s in sups.iter().filter(|s| !s.used) {
+    for s in sups.sups.iter().filter(|s| !s.used) {
         out.push(Diagnostic {
-            file: file.rel_path.clone(),
+            file: s.file.clone(),
             line: s.line,
             col: s.col,
             rule: UNUSED_SUPPRESSION,
@@ -429,6 +485,7 @@ fn apply_suppressions(file: &SourceFile, diags: Vec<Diagnostic>) -> Vec<Diagnost
                 "`lint:allow({})` matches no diagnostic on this or the next line — remove it",
                 s.rule
             ),
+            chain: Vec::new(),
         });
     }
     out

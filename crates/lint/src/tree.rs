@@ -1,0 +1,257 @@
+//! The brace-matched item tree: functions (free and inherent/trait-impl
+//! methods) extracted from the token stream with their body token
+//! ranges, impl context, and test classification.
+//!
+//! This is the structural layer the cross-function rules stand on: the
+//! per-function token slices feed the lock/guard analysis in
+//! [`crate::locks`], and the `(name, qual)` pairs feed the name-based
+//! call resolution in [`crate::callgraph`]. It is deliberately *not* a
+//! parser of expressions — it only needs to answer "which tokens belong
+//! to which function, and what is that function called".
+
+use crate::lexer::{TokKind, Token};
+
+/// One function (or method) definition found in a file's token stream.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Bare name (`pool_at_cap`, `read`, …).
+    pub name: String,
+    /// `Type::name` for methods defined inside `impl Type` /
+    /// `impl Trait for Type` blocks, else the bare name.
+    pub qual: String,
+    /// Index into the analyzed file set.
+    pub file: usize,
+    /// Token index of the `fn` keyword.
+    pub sig: usize,
+    /// Inclusive token index range of the body braces `{` .. `}`.
+    /// `None` for bodyless declarations (trait method signatures).
+    pub body: Option<(usize, usize)>,
+    /// 1-based position of the `fn` keyword.
+    pub line: u32,
+    pub col: u32,
+    /// Inside a `#[cfg(test)]` region or a `tests/`/`benches/` file —
+    /// exempt from the concurrency rules.
+    pub is_test: bool,
+    /// The declared return type mentions a `*Guard` type — calling this
+    /// function acquires (and hands back) a lock guard, so call sites
+    /// are treated as lock acquisitions by the guard-liveness analysis.
+    pub returns_guard: bool,
+}
+
+/// Extract every `fn` in `tokens` (one lexed file). `file` is the
+/// caller's index for this file; `file_is_test` marks integration-test
+/// and bench files wholesale.
+pub fn functions_of(tokens: &[Token], file: usize, file_is_test: bool) -> Vec<FnDef> {
+    let impls = impl_regions(tokens);
+    let mut out = Vec::new();
+    let n = tokens.len();
+    for i in 0..n {
+        let t = &tokens[i];
+        if t.kind != TokKind::Ident || t.text != "fn" {
+            continue;
+        }
+        // `fn` inside a type position (`fn(` pointer types, `Fn(` bounds)
+        // has no name ident after it
+        let Some(name_tok) = tokens.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != TokKind::Ident {
+            continue;
+        }
+        let name = name_tok.text.clone();
+        let body = body_range(tokens, i + 2);
+        let sig_end = body.map_or(n, |(open, _)| open);
+        let returns_guard = tokens[i + 2..sig_end]
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text.ends_with("Guard"));
+        let qual = match impls
+            .iter()
+            .filter(|r| r.open < i && i < r.close)
+            .min_by_key(|r| r.close - r.open)
+        {
+            Some(r) => format!("{}::{name}", r.self_ty),
+            None => name.clone(),
+        };
+        out.push(FnDef {
+            name,
+            qual,
+            file,
+            sig: i,
+            body,
+            line: t.line,
+            col: t.col,
+            is_test: file_is_test || t.in_test,
+            returns_guard,
+        });
+    }
+    out
+}
+
+/// An `impl` block: its brace range and the (last segment of the) type
+/// it is for.
+struct ImplRegion {
+    self_ty: String,
+    open: usize,
+    close: usize,
+}
+
+/// Find every `impl … { … }` region and the self type it targets: the
+/// last path ident before the body brace, taken from after `for` when a
+/// trait impl, with generic argument lists skipped.
+fn impl_regions(tokens: &[Token]) -> Vec<ImplRegion> {
+    let mut out = Vec::new();
+    let n = tokens.len();
+    for i in 0..n {
+        if tokens[i].kind != TokKind::Ident || tokens[i].text != "impl" {
+            continue;
+        }
+        let mut j = i + 1;
+        let mut angle = 0i32;
+        let mut self_ty = String::new();
+        while j < n {
+            let t = &tokens[j];
+            match t.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "{" if angle <= 0 => break,
+                "where" if angle <= 0 => break,
+                ";" => break, // `impl Trait for Type;` never happens, but stay safe
+                "for" if angle <= 0 => self_ty.clear(),
+                _ if angle <= 0
+                    && t.kind == TokKind::Ident
+                    && t.text != "dyn"
+                    && t.text != "mut"
+                    && t.text != "const" =>
+                {
+                    // keep overwriting: the last ident at angle depth 0
+                    // before `{`/`where` is the type's final segment
+                    self_ty = t.text.clone();
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        // find the body brace (skipping a `where` clause if present)
+        while j < n && tokens[j].text != "{" {
+            j += 1;
+        }
+        if j >= n || self_ty.is_empty() {
+            continue;
+        }
+        if let Some(close) = matching_brace(tokens, j) {
+            out.push(ImplRegion {
+                self_ty,
+                open: j,
+                close,
+            });
+        }
+    }
+    out
+}
+
+/// The body brace range of a `fn` whose signature starts at `from`: the
+/// first `{` at paren depth 0 (signatures contain parens and angle
+/// brackets but never braces), or `None` when a `;` ends a bodyless
+/// declaration first.
+fn body_range(tokens: &[Token], from: usize) -> Option<(usize, usize)> {
+    let mut paren = 0i32;
+    let mut j = from;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            ";" if paren == 0 => return None,
+            "{" if paren == 0 => return matching_brace(tokens, j).map(|c| (j, c)),
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Index of the `}` matching the `{` at `open`.
+pub fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn fns(src: &str) -> Vec<FnDef> {
+        functions_of(&lex(src).tokens, 0, false)
+    }
+
+    #[test]
+    fn free_fns_and_methods_are_qualified() {
+        let src = "fn free() {}\n\
+                   impl Store { fn open(&self) {} }\n\
+                   impl Backend for Store { fn meta(&self) {} }";
+        let got = fns(src);
+        let quals: Vec<&str> = got.iter().map(|f| f.qual.as_str()).collect();
+        assert_eq!(quals, ["free", "Store::open", "Store::meta"]);
+    }
+
+    #[test]
+    fn generic_impls_resolve_the_self_type() {
+        let src = "impl<T: Clone> Cache<T> { fn get(&self) {} }\n\
+                   impl<'a> Iterator for Iter<'a> { fn next(&mut self) -> Option<u32> { None } }";
+        let got = fns(src);
+        assert_eq!(got[0].qual, "Cache::get");
+        assert_eq!(got[1].qual, "Iter::next");
+    }
+
+    #[test]
+    fn body_ranges_are_brace_exact() {
+        let src = "fn a() { let x = 1; { nested(); } }\nfn b() {}";
+        let toks = lex(src).tokens;
+        let got = functions_of(&toks, 0, false);
+        let (open, close) = got[0].body.unwrap();
+        assert_eq!(toks[open].text, "{");
+        assert_eq!(toks[close].text, "}");
+        // b's body starts after a's close
+        let (b_open, _) = got[1].body.unwrap();
+        assert!(b_open > close);
+    }
+
+    #[test]
+    fn trait_declarations_have_no_body() {
+        let src = "trait T { fn required(&self) -> u32; fn provided(&self) {} }";
+        let got = fns(src);
+        assert!(got[0].body.is_none());
+        assert!(got[1].body.is_some());
+    }
+
+    #[test]
+    fn guard_returning_helpers_are_flagged() {
+        let src = "impl S {\n\
+                     fn read(&self) -> RwLockReadGuard<'_, State> { self.state.read().unwrap() }\n\
+                     fn plain(&self) -> usize { 0 }\n\
+                   }";
+        let got = fns(src);
+        assert!(got[0].returns_guard);
+        assert!(!got[1].returns_guard);
+    }
+
+    #[test]
+    fn cfg_test_fns_are_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests { fn helper() {} }";
+        let got = fns(src);
+        assert!(!got[0].is_test);
+        assert!(got[1].is_test);
+    }
+}

@@ -1,0 +1,252 @@
+//! Fixture tests for the structural rule families: each rule gets a
+//! tripping fixture and a non-tripping near-miss, driven through
+//! [`cwelmax_lint::check_sources`] — the same pipeline `check` runs on
+//! the real tree (token rules + structural pass + suppressions), minus
+//! the disk goldens.
+
+use cwelmax_lint::check_sources;
+use cwelmax_lint::rules::{
+    Diagnostic, LOCK_ORDER_ACYCLIC, NO_BLOCKING_UNDER_LOCK, UNUSED_SUPPRESSION,
+};
+
+fn rules_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+// ------------------------------------------------------- lock-order-acyclic
+
+/// Two functions acquiring the same two mutexes in opposite orders is
+/// the canonical deadlock seed — the rule must find it and report the
+/// acquisition chain with `file:line` per edge.
+#[test]
+fn two_lock_inversion_is_detected() {
+    let src = "\
+        struct S { alpha: Mutex<u32>, beta: Mutex<u32> }\n\
+        fn forward(s: &S) {\n\
+            let a = s.alpha.lock().unwrap();\n\
+            let b = s.beta.lock().unwrap();\n\
+            drop(b);\n\
+            drop(a);\n\
+        }\n\
+        fn reverse(s: &S) {\n\
+            let b = s.beta.lock().unwrap();\n\
+            let a = s.alpha.lock().unwrap();\n\
+            drop(a);\n\
+            drop(b);\n\
+        }\n";
+    let diags = check_sources(&[("crates/engine/src/fixture.rs", src)]);
+    let cycles: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.rule == LOCK_ORDER_ACYCLIC)
+        .collect();
+    assert!(!cycles.is_empty(), "inversion not detected: {diags:?}");
+    let d = cycles[0];
+    assert!(
+        d.message.contains("engine::alpha") && d.message.contains("engine::beta"),
+        "cycle message names both locks: {}",
+        d.message
+    );
+    // every edge of the reported cycle carries a file:line witness
+    assert!(!d.chain.is_empty(), "cycle has no chain: {d:?}");
+    assert!(
+        d.chain
+            .iter()
+            .all(|step| step.contains("crates/engine/src/fixture.rs:")),
+        "chain steps carry file:line: {:?}",
+        d.chain
+    );
+}
+
+/// Dropping the first guard before taking the second breaks the held-set
+/// — no edge, no cycle.
+#[test]
+fn drop_before_second_lock_does_not_trip() {
+    let src = "\
+        struct S { alpha: Mutex<u32>, beta: Mutex<u32> }\n\
+        fn forward(s: &S) {\n\
+            let a = s.alpha.lock().unwrap();\n\
+            drop(a);\n\
+            let b = s.beta.lock().unwrap();\n\
+            drop(b);\n\
+        }\n\
+        fn reverse(s: &S) {\n\
+            let b = s.beta.lock().unwrap();\n\
+            drop(b);\n\
+            let a = s.alpha.lock().unwrap();\n\
+            drop(a);\n\
+        }\n";
+    let diags = check_sources(&[("crates/engine/src/fixture.rs", src)]);
+    assert!(
+        !rules_of(&diags).contains(&LOCK_ORDER_ACYCLIC),
+        "false cycle: {diags:?}"
+    );
+}
+
+/// The inversion must also be found when the second acquisition hides
+/// behind a call — held sets propagate through the call graph.
+#[test]
+fn inversion_through_a_call_is_detected() {
+    let src = "\
+        struct S { alpha: Mutex<u32>, beta: Mutex<u32> }\n\
+        fn take_beta(s: &S) {\n\
+            let b = s.beta.lock().unwrap();\n\
+            drop(b);\n\
+        }\n\
+        fn forward(s: &S) {\n\
+            let a = s.alpha.lock().unwrap();\n\
+            take_beta(s);\n\
+            drop(a);\n\
+        }\n\
+        fn reverse(s: &S) {\n\
+            let b = s.beta.lock().unwrap();\n\
+            let a = s.alpha.lock().unwrap();\n\
+            drop(a);\n\
+            drop(b);\n\
+        }\n";
+    let diags = check_sources(&[("crates/engine/src/fixture.rs", src)]);
+    let cycle = diags
+        .iter()
+        .find(|d| d.rule == LOCK_ORDER_ACYCLIC)
+        .unwrap_or_else(|| panic!("transitive inversion not detected: {diags:?}"));
+    assert!(
+        cycle.chain.iter().any(|s| s.contains("take_beta")),
+        "chain shows the call edge: {:?}",
+        cycle.chain
+    );
+}
+
+// ---------------------------------------------------- no-blocking-under-lock
+
+/// fsync while a guard is live in a serving crate is the rule's bread
+/// and butter.
+#[test]
+fn fsync_under_lock_trips() {
+    let src = "\
+        struct S { state: Mutex<u32> }\n\
+        fn commit(s: &S, f: &std::fs::File) {\n\
+            let g = s.state.lock().unwrap();\n\
+            f.sync_all().unwrap();\n\
+            drop(g);\n\
+        }\n";
+    let diags = check_sources(&[("crates/server/src/fixture.rs", src)]);
+    let d = diags
+        .iter()
+        .find(|d| d.rule == NO_BLOCKING_UNDER_LOCK)
+        .unwrap_or_else(|| panic!("fsync under lock not detected: {diags:?}"));
+    assert_eq!(d.file, "crates/server/src/fixture.rs");
+    assert_eq!(d.line, 4, "points at the sync_all call: {d:?}");
+    assert!(d.message.contains("server::state"), "{}", d.message);
+}
+
+/// A temporary guard dies at its statement's `;` — blocking I/O on the
+/// next line holds nothing.
+#[test]
+fn temp_guard_ends_at_statement() {
+    let src = "\
+        struct S { state: Mutex<u32> }\n\
+        fn commit(s: &S, f: &std::fs::File) {\n\
+            *s.state.lock().unwrap() += 1;\n\
+            f.sync_all().unwrap();\n\
+        }\n";
+    let diags = check_sources(&[("crates/server/src/fixture.rs", src)]);
+    assert!(
+        !rules_of(&diags).contains(&NO_BLOCKING_UNDER_LOCK),
+        "temp guard outlived its statement: {diags:?}"
+    );
+}
+
+/// A temporary guard in an `if let` scrutinee lives for the whole
+/// construct — I/O inside the block is under the lock.
+#[test]
+fn if_let_scrutinee_guard_spans_the_block() {
+    let src = "\
+        struct S { state: Mutex<Option<u32>> }\n\
+        fn commit(s: &S, f: &std::fs::File) {\n\
+            if let Some(v) = *s.state.lock().unwrap() {\n\
+                f.sync_all().unwrap();\n\
+            }\n\
+        }\n";
+    let diags = check_sources(&[("crates/server/src/fixture.rs", src)]);
+    assert!(
+        rules_of(&diags).contains(&NO_BLOCKING_UNDER_LOCK),
+        "if-let scrutinee guard not extended: {diags:?}"
+    );
+}
+
+/// Blocking reached through a call is still blocking — the witness
+/// chain must name the intermediate hop.
+#[test]
+fn blocking_through_a_call_reports_the_chain() {
+    let src = "\
+        struct S { state: Mutex<u32> }\n\
+        fn persist(f: &std::fs::File) {\n\
+            f.sync_all().unwrap();\n\
+        }\n\
+        fn commit(s: &S, f: &std::fs::File) {\n\
+            let g = s.state.lock().unwrap();\n\
+            persist(f);\n\
+            drop(g);\n\
+        }\n";
+    let diags = check_sources(&[("crates/store/src/fixture.rs", src)]);
+    let d = diags
+        .iter()
+        .find(|d| d.rule == NO_BLOCKING_UNDER_LOCK)
+        .unwrap_or_else(|| panic!("transitive blocking not detected: {diags:?}"));
+    assert_eq!(d.line, 7, "points at the call site: {d:?}");
+    assert!(
+        d.chain.iter().any(|s| s.contains("sync_all")),
+        "chain reaches the sink: {:?}",
+        d.chain
+    );
+}
+
+/// Test-only code is exempt: the serving-path rules police production
+/// paths.
+#[test]
+fn cfg_test_code_is_exempt() {
+    let src = "\
+        struct S { state: Mutex<u32> }\n\
+        #[cfg(test)]\n\
+        mod tests {\n\
+            fn commit(s: &super::S, f: &std::fs::File) {\n\
+                let g = s.state.lock().unwrap();\n\
+                f.sync_all().unwrap();\n\
+                drop(g);\n\
+            }\n\
+        }\n";
+    let diags = check_sources(&[("crates/server/src/fixture.rs", src)]);
+    assert!(diags.is_empty(), "test code flagged: {diags:?}");
+}
+
+// ---------------------------------------------------------- suppressions
+
+/// `lint:allow` with a reason silences a structural finding, exactly as
+/// it does token findings.
+#[test]
+fn allow_silences_a_structural_finding() {
+    let src = "\
+        struct S { state: Mutex<u32> }\n\
+        fn commit(s: &S, f: &std::fs::File) {\n\
+            let g = s.state.lock().unwrap_or_else(|e| e.into_inner());\n\
+            // lint:allow(no-blocking-under-lock) -- fsync-before-visible is the durability contract\n\
+            f.sync_all().ok();\n\
+            drop(g);\n\
+        }\n";
+    let diags = check_sources(&[("crates/server/src/fixture.rs", src)]);
+    assert!(diags.is_empty(), "allow did not apply: {diags:?}");
+}
+
+/// A suppression for a structural rule that matches nothing rots — the
+/// meta rule flags it like any other stale allow.
+#[test]
+fn unused_structural_allow_is_flagged() {
+    let src = "\
+        struct S { state: Mutex<u32> }\n\
+        fn harmless(s: &S) {\n\
+            // lint:allow(no-blocking-under-lock) -- nothing here blocks\n\
+            let g = s.state.lock().unwrap_or_else(|e| e.into_inner());\n\
+            drop(g);\n\
+        }\n";
+    let diags = check_sources(&[("crates/server/src/fixture.rs", src)]);
+    assert_eq!(rules_of(&diags), [UNUSED_SUPPRESSION], "{diags:?}");
+}

@@ -92,3 +92,122 @@ fn removing_a_golden_entry_is_detected() {
     assert_eq!(diffs.len(), 1, "{diffs:?}");
     assert!(diffs[0].file.ends_with("wire.rs"), "{diffs:?}");
 }
+
+#[test]
+fn conformance_goldens_are_current() {
+    let root = workspace_root();
+    let diags = cwelmax_lint::check_conformance(&root).expect("conformance sources readable");
+    assert!(
+        diags.is_empty(),
+        "conformance goldens stale:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// The features golden is order-pinned: swapping two entries, or a wire
+/// list that omits a golden entry, must fail conformance.
+#[test]
+fn feature_reorder_and_omission_are_detected() {
+    use cwelmax_lint::conformance;
+    let root = workspace_root();
+    let wire = std::fs::read_to_string(root.join(cwelmax_lint::WIRE_PATH)).unwrap();
+    let error = std::fs::read_to_string(root.join(conformance::ERROR_PATH)).unwrap();
+    let client = std::fs::read_to_string(root.join(conformance::CLIENT_PATH)).unwrap();
+    let features = cwelmax_lint::read_golden_lines(&root, conformance::FEATURES_GOLDEN_PATH)
+        .unwrap()
+        .expect("features golden committed");
+    let kinds = cwelmax_lint::read_golden_lines(&root, conformance::ERROR_KINDS_GOLDEN_PATH)
+        .unwrap()
+        .expect("error-kinds golden committed");
+
+    // baseline: the committed tree conforms
+    let clean = conformance::check_sources(&wire, &error, &client, Some(&features), Some(&kinds));
+    assert!(clean.is_empty(), "{clean:?}");
+
+    // reorder: swap the first two pinned features
+    let mut reordered = features.clone();
+    reordered.swap(0, 1);
+    let diags = conformance::check_sources(&wire, &error, &client, Some(&reordered), Some(&kinds));
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == cwelmax_lint::rules::WIRE_CONFORMANCE),
+        "reorder not detected: {diags:?}"
+    );
+
+    // omission: drop a feature from the wire list while the golden keeps
+    // it (the two-literal needle skips doc-comment mentions of "stats")
+    let tampered = wire.replacen("\"sp\", \"stats\",", "\"sp\",", 1);
+    assert_ne!(tampered, wire, "fixture assumes [… \"sp\", \"stats\" …]");
+    let diags =
+        conformance::check_sources(&tampered, &error, &client, Some(&features), Some(&kinds));
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == cwelmax_lint::rules::WIRE_CONFORMANCE),
+        "omission not detected: {diags:?}"
+    );
+}
+
+/// `golden --write` refuses to rewrite history on the append-only
+/// surfaces; appending is fine.
+#[test]
+fn append_only_guard_refuses_reorders() {
+    use cwelmax_lint::conformance::append_only_violation;
+    let old = vec!["a".to_string(), "b".to_string()];
+    let mut appended = old.clone();
+    appended.push("c".to_string());
+    assert!(append_only_violation(&old, &appended, "x").is_none());
+    assert!(append_only_violation(&old, &old[..1], "x").is_some());
+    let swapped = vec!["b".to_string(), "a".to_string()];
+    assert!(append_only_violation(&old, &swapped, "x").is_some());
+}
+
+/// The documented `--json` schema survives a round-trip, chains and all.
+#[test]
+fn json_report_round_trips() {
+    use cwelmax_lint::rules::{Diagnostic, NO_BLOCKING_UNDER_LOCK};
+    let report = run_lint(&workspace_root()).expect("lint walks the workspace");
+    let parsed = cwelmax_lint::report_from_json(&report.to_json()).expect("schema v1 parses");
+    assert_eq!(parsed.files_checked, report.files_checked);
+    assert_eq!(parsed.diagnostics.len(), report.diagnostics.len());
+
+    // a synthetic dirty report exercises every field, including chains
+    let synth = cwelmax_lint::LintReport {
+        diagnostics: vec![Diagnostic {
+            file: "crates/store/src/topup.rs".into(),
+            line: 42,
+            col: 7,
+            rule: NO_BLOCKING_UNDER_LOCK,
+            message: "call `persist` blocks while holding `store::state`".into(),
+            chain: vec![
+                "crates/store/src/topup.rs:50 calls `persist`".into(),
+                "`sync_all` at crates/store/src/journal.rs:276".into(),
+            ],
+        }],
+        files_checked: 3,
+    };
+    let back = cwelmax_lint::report_from_json(&synth.to_json()).expect("round-trip");
+    assert_eq!(back.files_checked, 3);
+    let (a, b) = (&back.diagnostics[0], &synth.diagnostics[0]);
+    assert_eq!(
+        (&a.file, a.line, a.col, a.rule, &a.message, &a.chain),
+        (&b.file, b.line, b.col, b.rule, &b.message, &b.chain)
+    );
+
+    // schema bumps and unknown rules are rejected, not misread
+    assert!(cwelmax_lint::report_from_json(
+        "{\"schema\":2,\"clean\":true,\"files_checked\":0,\"diagnostics\":[]}"
+    )
+    .is_none());
+    assert!(cwelmax_lint::report_from_json(
+        &synth
+            .to_json()
+            .replace(NO_BLOCKING_UNDER_LOCK, "not-a-rule")
+    )
+    .is_none());
+}

@@ -634,11 +634,14 @@ impl TraceBuffer {
             return false;
         }
         self.kept.fetch_add(1, Relaxed);
+        // allocate outside the ring lock; the critical section is just
+        // the two pointer moves
+        let trace = Arc::new(trace);
         let mut ring = self.ring.lock().unwrap();
         while ring.len() >= cap {
             ring.pop_front();
         }
-        ring.push_back(Arc::new(trace));
+        ring.push_back(trace);
         true
     }
 
